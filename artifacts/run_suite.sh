@@ -1,0 +1,9 @@
+#!/bin/bash
+cd /root/repo
+BIN=target/release/repro
+: > artifacts/suite.log
+for cmd in fig3 fig5 fig6 fig7 fig8 fig9 spectra decode baselines recovery bert; do
+  echo "### RUNNING $cmd" >> artifacts/suite.log
+  $BIN $cmd --samples 100 >> artifacts/suite.log 2>&1
+done
+echo SUITE_COMPLETE >> artifacts/suite.log

@@ -1,0 +1,48 @@
+//! Design-space machinery benchmarks: Theorem 3.2 evaluation,
+//! configuration validation and parameter-reduction accounting across the
+//! Table 4 presets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrd_core::compression::param_reduction_pct;
+use lrd_core::select::{preset_config, table4_presets};
+use lrd_core::space::{design_space_size, table2, DecompositionConfig};
+use lrd_models::zoo::{llama2_70b, llama2_7b};
+use std::hint::black_box;
+
+fn bench_design_space_size(c: &mut Criterion) {
+    let d7 = llama2_7b();
+    let d70 = llama2_70b();
+    c.bench_function("design_space_size_llama7b", |b| {
+        b.iter(|| design_space_size(black_box(&d7)))
+    });
+    c.bench_function("design_space_size_llama70b", |b| {
+        b.iter(|| design_space_size(black_box(&d70)))
+    });
+    c.bench_function("table2_all_rows", |b| b.iter(table2));
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let desc = llama2_7b();
+    let all_t: Vec<usize> = (0..7).collect();
+    let all_l: Vec<usize> = (0..32).collect();
+    let cfg = DecompositionConfig::uniform(&all_l, &all_t, 1);
+    c.bench_function("validate_full_config", |b| {
+        b.iter(|| cfg.validate(black_box(&desc)).unwrap())
+    });
+}
+
+fn bench_table4_reductions(c: &mut Criterion) {
+    let desc = llama2_7b();
+    let presets = table4_presets();
+    c.bench_function("param_reduction_all_presets", |b| {
+        b.iter(|| {
+            presets
+                .iter()
+                .map(|(_, _, layers)| param_reduction_pct(&desc, &preset_config(layers)))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_design_space_size, bench_validation, bench_table4_reductions);
+criterion_main!(benches);

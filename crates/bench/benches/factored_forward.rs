@@ -1,0 +1,58 @@
+//! Dense vs factored linear forward — the deployment-side ablation: at
+//! which rank does the three-GEMM factored form stop paying off?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrd_nn::linear::{FactoredLinear, Linear};
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::tucker::tucker2;
+use lrd_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_dense_vs_factored(c: &mut Criterion) {
+    let mut rng = Rng64::new(4);
+    let dense = Linear::new(256, 256, false, &mut rng);
+    let x = Tensor::randn(&[128, 256], &mut rng);
+
+    let mut group = c.benchmark_group("linear_forward_256");
+    group.bench_function("dense", |b| b.iter(|| dense.infer(black_box(&x))));
+    for rank in [1usize, 16, 64, 128, 256] {
+        let fac = FactoredLinear::from_tucker(tucker2(&dense.w.value, rank).unwrap(), None);
+        group.bench_with_input(BenchmarkId::new("factored", rank), &rank, |b, _| {
+            b.iter(|| fac.infer(black_box(&x)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_backward(c: &mut Criterion) {
+    let mut rng = Rng64::new(5);
+    let dense = Linear::new(128, 128, false, &mut rng);
+    let fac = FactoredLinear::from_tucker(tucker2(&dense.w.value, 4).unwrap(), None);
+    let x = Tensor::randn(&[64, 128], &mut rng);
+    let dy = Tensor::randn(&[64, 128], &mut rng);
+    let mut group = c.benchmark_group("linear_backward_128");
+    group.bench_function("dense", |b| {
+        b.iter_batched(
+            || dense.clone(),
+            |mut l| {
+                let (_, cache) = l.forward(black_box(&x));
+                l.backward(&cache, black_box(&dy))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("factored_rank4", |b| {
+        b.iter_batched(
+            || fac.clone(),
+            |mut l| {
+                let (_, cache) = l.forward(black_box(&x));
+                l.backward(&cache, black_box(&dy))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_vs_factored, bench_backward);
+criterion_main!(benches);

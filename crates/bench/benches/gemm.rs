@@ -1,0 +1,49 @@
+//! GEMM kernel throughput (the substrate all forward passes stand on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lrd_tensor::matmul::{batched_matmul, matmul, matmul_transb};
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_square(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_square");
+    for n in [64usize, 128, 256] {
+        let mut rng = Rng64::new(n as u64);
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| matmul(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_token_shapes(c: &mut Criterion) {
+    // The shapes the evaluation pipeline actually runs: tokens × d_model.
+    let mut rng = Rng64::new(9);
+    let x = Tensor::randn(&[768, 40], &mut rng);
+    let w = Tensor::randn(&[40, 112], &mut rng);
+    let mut group = c.benchmark_group("gemm_transformer_shapes");
+    group.bench_function("768x40_x_40x112", |b| {
+        b.iter(|| matmul(black_box(&x), black_box(&w)))
+    });
+    let wt = Tensor::randn(&[112, 40], &mut rng);
+    group.bench_function("transb_768x40_x_112x40", |b| {
+        b.iter(|| matmul_transb(black_box(&x), black_box(&wt)))
+    });
+    group.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut rng = Rng64::new(10);
+    let a = Tensor::randn(&[64, 24, 10], &mut rng);
+    let b = Tensor::randn(&[64, 10, 24], &mut rng);
+    c.bench_function("batched_matmul_64x24x10x24", |bch| {
+        bch.iter(|| batched_matmul(black_box(&a), black_box(&b)))
+    });
+}
+
+criterion_group!(benches, bench_square, bench_token_shapes, bench_batched);
+criterion_main!(benches);

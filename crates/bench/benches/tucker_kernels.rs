@@ -1,0 +1,90 @@
+//! Kernel benchmarks for the decomposition machinery: truncated SVD /
+//! Tucker-2 at several pruned ranks, and order-3 HOI. Includes the
+//! Jacobi-vs-randomized SVD ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::svd::{svd_jacobi, truncated_svd};
+use lrd_tensor::tucker::{tucker2, tucker_hoi, HoiOptions};
+use lrd_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_tucker2_ranks(c: &mut Criterion) {
+    let mut rng = Rng64::new(1);
+    let w = Tensor::randn(&[256, 256], &mut rng);
+    let mut group = c.benchmark_group("tucker2_256x256");
+    for rank in [1usize, 8, 32, 96] {
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, &r| {
+            b.iter(|| tucker2(black_box(&w), r).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd_engines(c: &mut Criterion) {
+    let mut rng = Rng64::new(2);
+    // 160×160 exceeds the Jacobi-direct limit so truncated_svd takes the
+    // randomized path; compare against full Jacobi.
+    let w = Tensor::randn(&[160, 160], &mut rng);
+    let mut group = c.benchmark_group("svd_engines_160x160_rank8");
+    group.bench_function("randomized", |b| {
+        b.iter(|| truncated_svd(black_box(&w), 8).unwrap())
+    });
+    group.bench_function("jacobi_full", |b| {
+        b.iter(|| svd_jacobi(black_box(&w)).unwrap().truncate(8).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_hoi_order3(c: &mut Criterion) {
+    let mut rng = Rng64::new(3);
+    let t = Tensor::randn(&[24, 24, 24], &mut rng);
+    let mut group = c.benchmark_group("tucker_hoi_24x24x24");
+    for (label, iters) in [("hosvd_only", 1usize), ("hoi_5_iters", 5)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                tucker_hoi(
+                    black_box(&t),
+                    &[6, 6, 6],
+                    HoiOptions { max_iters: iters, tol: 0.0 },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cp_vs_tucker(c: &mut Criterion) {
+    // Decomposition-family ablation (related work [34]): CP-ALS vs Tucker
+    // HOI at the same component budget on the same order-3 tensor.
+    let mut rng = Rng64::new(6);
+    let t = Tensor::randn(&[20, 20, 20], &mut rng);
+    let mut group = c.benchmark_group("cp_vs_tucker_20x20x20_rank4");
+    group.bench_function("tucker_hoi", |b| {
+        b.iter(|| {
+            tucker_hoi(black_box(&t), &[4, 4, 4], HoiOptions { max_iters: 10, tol: 1e-6 })
+                .unwrap()
+        })
+    });
+    group.bench_function("cp_als", |b| {
+        b.iter(|| {
+            lrd_tensor::cp::cp_als(
+                black_box(&t),
+                4,
+                lrd_tensor::cp::CpOptions { max_iters: 10, tol: 1e-6, seed: 1 },
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tucker2_ranks,
+    bench_svd_engines,
+    bench_hoi_order3,
+    bench_cp_vs_tucker
+);
+criterion_main!(benches);

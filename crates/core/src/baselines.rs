@@ -1,0 +1,197 @@
+//! Alternative compression baselines: post-training quantization and
+//! magnitude pruning.
+//!
+//! The paper positions low-rank decomposition against sparsity and
+//! quantization (§1, §2). These comparators apply the other two families to
+//! the same trained models so the workspace can ablate
+//! accuracy-vs-size-reduction across compression methods at matched
+//! operating points.
+
+use lrd_nn::linear::AnyLinear;
+use lrd_nn::TransformerLm;
+use lrd_tensor::Tensor;
+
+/// Symmetric per-tensor fake quantization: values are rounded to
+/// `2^(bits−1) − 1` levels per sign and dequantized back to f32 — the
+/// standard PTQ simulation (computation stays f32; storage would be
+/// `bits`-wide).
+pub fn quantize_tensor(t: &Tensor, bits: u32) -> Tensor {
+    assert!((2..=16).contains(&bits), "bits must be in 2..=16");
+    let max = t.max_abs();
+    if max == 0.0 {
+        return t.clone();
+    }
+    let levels = ((1u32 << (bits - 1)) - 1) as f32;
+    let scale = max / levels;
+    t.map(|x| (x / scale).round().clamp(-levels, levels) * scale)
+}
+
+/// Keeps only the largest-magnitude `1 − sparsity` fraction of entries
+/// (unstructured magnitude pruning).
+pub fn prune_tensor(t: &Tensor, sparsity: f64) -> Tensor {
+    assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+    let mut mags: Vec<f32> = t.data().iter().map(|x| x.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let cut = (sparsity * mags.len() as f64) as usize;
+    if cut == 0 {
+        return t.clone();
+    }
+    let threshold = mags[cut.min(mags.len() - 1)];
+    t.map(|x| if x.abs() < threshold { 0.0 } else { x })
+}
+
+/// Report of a whole-model baseline compression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineReport {
+    /// Nominal model-size reduction versus FP16 dense storage, percent.
+    pub size_reduction_pct: f64,
+    /// Number of weight tensors transformed.
+    pub tensors_touched: usize,
+}
+
+/// Applies `bits`-bit fake quantization to every decomposable weight
+/// tensor of the model (embeddings/norms stay FP16, as is standard
+/// practice).
+pub fn quantize_model(model: &mut TransformerLm, bits: u32) -> BaselineReport {
+    let total_params = model.param_count() as f64;
+    let mut touched = 0usize;
+    let mut quantized_params = 0usize;
+    for (_, _, slot) in model.visit_linears() {
+        if let AnyLinear::Dense(l) = slot {
+            l.w.value = quantize_tensor(&l.w.value, bits);
+            quantized_params += l.w.value.len();
+            touched += 1;
+        }
+    }
+    // FP16 baseline: 16 bits/param; quantized tensors store `bits`.
+    let saved_bits = quantized_params as f64 * (16.0 - bits as f64);
+    BaselineReport {
+        size_reduction_pct: 100.0 * saved_bits / (total_params * 16.0),
+        tensors_touched: touched,
+    }
+}
+
+/// Applies unstructured magnitude pruning at the given sparsity to every
+/// decomposable weight tensor.
+///
+/// The nominal size reduction assumes ideal sparse storage (values only);
+/// real formats add index overhead, so this is an upper bound — noted in
+/// EXPERIMENTS.md.
+pub fn prune_model(model: &mut TransformerLm, sparsity: f64) -> BaselineReport {
+    let total_params = model.param_count() as f64;
+    let mut touched = 0usize;
+    let mut pruned_params = 0.0f64;
+    for (_, _, slot) in model.visit_linears() {
+        if let AnyLinear::Dense(l) = slot {
+            l.w.value = prune_tensor(&l.w.value, sparsity);
+            pruned_params += l.w.value.len() as f64 * sparsity;
+            touched += 1;
+        }
+    }
+    BaselineReport {
+        size_reduction_pct: 100.0 * pruned_params / total_params,
+        tensors_touched: touched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_nn::{ArchKind, TransformerConfig};
+    use lrd_tensor::rng::Rng64;
+
+    fn small_model() -> TransformerLm {
+        let cfg = TransformerConfig {
+            kind: ArchKind::Decoder,
+            vocab_size: 32,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 32,
+            max_seq: 16,
+        };
+        TransformerLm::new(cfg, &mut Rng64::new(21))
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_bits() {
+        let mut rng = Rng64::new(1);
+        let t = Tensor::randn(&[32, 32], &mut rng);
+        let mut prev = f32::INFINITY;
+        for bits in [2u32, 4, 8, 12] {
+            let q = quantize_tensor(&t, bits);
+            let err = t.sub(&q).unwrap().frobenius_norm() / t.frobenius_norm();
+            assert!(err < prev, "bits {bits}: {err} vs {prev}");
+            prev = err;
+        }
+        assert!(prev < 1e-3, "12-bit error should be tiny: {prev}");
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let mut rng = Rng64::new(2);
+        let t = Tensor::randn(&[8, 8], &mut rng);
+        let q1 = quantize_tensor(&t, 8);
+        let q2 = quantize_tensor(&q1, 8);
+        assert!(q1.approx_eq(&q2, 1e-6));
+    }
+
+    #[test]
+    fn pruning_achieves_target_sparsity() {
+        let mut rng = Rng64::new(3);
+        let t = Tensor::randn(&[40, 40], &mut rng);
+        let p = prune_tensor(&t, 0.6);
+        let zeros = p.data().iter().filter(|&&x| x == 0.0).count();
+        let frac = zeros as f64 / p.len() as f64;
+        assert!((frac - 0.6).abs() < 0.03, "sparsity {frac}");
+        // Survivors are the large entries.
+        let min_kept =
+            p.data().iter().filter(|&&x| x != 0.0).fold(f32::INFINITY, |m, &x| m.min(x.abs()));
+        let max_cut = t
+            .data()
+            .iter()
+            .zip(p.data())
+            .filter(|(_, &kept)| kept == 0.0)
+            .fold(0.0f32, |m, (&orig, _)| m.max(orig.abs()));
+        assert!(min_kept >= max_cut);
+    }
+
+    #[test]
+    fn zero_sparsity_is_identity() {
+        let mut rng = Rng64::new(4);
+        let t = Tensor::randn(&[6, 6], &mut rng);
+        assert_eq!(prune_tensor(&t, 0.0), t);
+    }
+
+    #[test]
+    fn quantize_model_reports_size() {
+        let mut m = small_model();
+        let report = quantize_model(&mut m, 8);
+        assert_eq!(report.tensors_touched, 14);
+        // Linear weights dominate but embeddings stay FP16: reduction < 50%.
+        assert!(report.size_reduction_pct > 20.0);
+        assert!(report.size_reduction_pct < 50.0);
+        // Model still runs.
+        assert!(m.logits(&[1, 2], 1).data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn prune_model_reports_size() {
+        let mut m = small_model();
+        let report = prune_model(&mut m, 0.5);
+        assert_eq!(report.tensors_touched, 14);
+        assert!(report.size_reduction_pct > 10.0);
+        assert!(m.logits(&[1, 2], 1).data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn mild_quantization_barely_changes_outputs() {
+        let m = small_model();
+        let mut q = m.clone();
+        quantize_model(&mut q, 12);
+        let a = m.logits(&[3, 4, 5], 1);
+        let b = q.logits(&[3, 4, 5], 1);
+        assert!(a.sub(&b).unwrap().max_abs() < 0.05);
+    }
+}

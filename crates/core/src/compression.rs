@@ -1,0 +1,114 @@
+//! Compression arithmetic (§2.3) lifted to whole-model configurations.
+
+use crate::space::DecompositionConfig;
+use lrd_models::descriptor::TransformerDescriptor;
+
+/// §2.3: compression ratio of one `h × w` tensor decomposed at rank `pr`:
+/// `h·w / (h·pr + pr² + pr·w)`.
+pub fn tensor_compression_ratio(h: usize, w: usize, pr: usize) -> f64 {
+    (h * w) as f64 / (h * pr + pr * pr + pr * w) as f64
+}
+
+/// Parameter count of a model after applying configuration γ.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid for the descriptor.
+pub fn decomposed_params(desc: &TransformerDescriptor, cfg: &DecompositionConfig) -> u64 {
+    cfg.validate(desc).unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+    let tensors = desc.layer_tensors();
+    let mut params = desc.total_params() as i64;
+    for (_, t_idx, rank) in cfg.ranks.iter() {
+        let t = &tensors[t_idx];
+        params -= t.params() as i64;
+        params += t.decomposed_params(rank) as i64;
+    }
+    params.max(0) as u64
+}
+
+/// Parameter reduction of configuration γ versus the dense model, percent.
+pub fn param_reduction_pct(desc: &TransformerDescriptor, cfg: &DecompositionConfig) -> f64 {
+    let dense = desc.total_params() as f64;
+    100.0 * (dense - decomposed_params(desc, cfg) as f64) / dense
+}
+
+/// Model size reduction in bytes for a dtype-independent ratio, identical
+/// to the parameter reduction (sizes are linear in parameters).
+pub fn size_reduction_pct(desc: &TransformerDescriptor, cfg: &DecompositionConfig) -> f64 {
+    param_reduction_pct(desc, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_models::zoo::llama2_7b;
+    use lrd_tensor::tucker::break_even_rank;
+
+    #[test]
+    fn ratio_matches_paper_formula() {
+        // 4096×4096 at rank 1: 16.78M / 8193 ≈ 2048.
+        let r = tensor_compression_ratio(4096, 4096, 1);
+        assert!((r - 4096.0 * 4096.0 / 8193.0).abs() < 1e-9);
+        assert!(r > 2000.0);
+    }
+
+    #[test]
+    fn ratio_crosses_one_at_break_even() {
+        let (h, w) = (100, 60);
+        let be = break_even_rank(h, w);
+        assert!(tensor_compression_ratio(h, w, be.floor() as usize) > 1.0);
+        assert!(tensor_compression_ratio(h, w, be.ceil() as usize + 1) < 1.0);
+    }
+
+    #[test]
+    fn original_config_reduces_nothing() {
+        let desc = llama2_7b();
+        assert_eq!(param_reduction_pct(&desc, &DecompositionConfig::original()), 0.0);
+    }
+
+    #[test]
+    fn table4_layer_counts_give_paper_reductions() {
+        // Rank-1, all 7 tensors; Table 4 maps layer counts to reductions.
+        let desc = llama2_7b();
+        let all: Vec<usize> = (0..7).collect();
+        for (layers, expect) in [(2usize, 6.0f64), (3, 9.0), (5, 15.0), (7, 21.0), (11, 33.0)] {
+            let layer_ids: Vec<usize> = (0..layers).collect();
+            let cfg = DecompositionConfig::uniform(&layer_ids, &all, 1);
+            let red = param_reduction_pct(&desc, &cfg);
+            assert!(
+                (red - expect).abs() < 1.0,
+                "{layers} layers: got {red:.1}%, Table 4 says {expect}%"
+            );
+        }
+    }
+
+    #[test]
+    fn ninety_six_percent_at_all_layers() {
+        let desc = llama2_7b();
+        let all_t: Vec<usize> = (0..7).collect();
+        let all_l: Vec<usize> = (0..32).collect();
+        let cfg = DecompositionConfig::uniform(&all_l, &all_t, 1);
+        let red = param_reduction_pct(&desc, &cfg);
+        assert!((red - 96.0).abs() < 1.0, "full decomposition = {red:.1}%");
+    }
+
+    #[test]
+    fn higher_rank_reduces_less() {
+        let desc = llama2_7b();
+        let all: Vec<usize> = (0..7).collect();
+        let r1 = param_reduction_pct(&desc, &DecompositionConfig::uniform(&[0, 1], &all, 1));
+        let r250 = param_reduction_pct(&desc, &DecompositionConfig::uniform(&[0, 1], &all, 250));
+        let r500 = param_reduction_pct(&desc, &DecompositionConfig::uniform(&[0, 1], &all, 500));
+        assert!(r1 > r250 && r250 > r500);
+        assert!(r500 > 0.0);
+    }
+
+    #[test]
+    fn decomposed_params_never_negative() {
+        let desc = llama2_7b();
+        let all_t: Vec<usize> = (0..7).collect();
+        let all_l: Vec<usize> = (0..32).collect();
+        let cfg = DecompositionConfig::uniform(&all_l, &all_t, 1);
+        assert!(decomposed_params(&desc, &cfg) > 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Applying a decomposition configuration to models.
+//!
+//! Two targets:
+//!
+//! * a **live model** ([`decompose_model`]) — each selected weight is
+//!   factored with rank-pruned Tucker-2 (truncated SVD) and its slot
+//!   swapped to a [`FactoredLinear`], exactly the deployment the paper
+//!   measures;
+//! * an **analytic descriptor** ([`descriptor_decomposition`]) — the same
+//!   γ expressed as the hardware simulator's tensor list.
+
+use crate::space::DecompositionConfig;
+use lrd_hwsim::ops::DecomposedTensor;
+use lrd_models::descriptor::TransformerDescriptor;
+use lrd_nn::linear::{AnyLinear, FactoredLinear};
+use lrd_nn::TransformerLm;
+use lrd_tensor::tucker::tucker2;
+use lrd_tensor::TensorError;
+
+/// Outcome of decomposing a live model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompositionReport {
+    /// Parameters before decomposition.
+    pub params_before: usize,
+    /// Parameters after decomposition.
+    pub params_after: usize,
+    /// Per-decomposed-tensor relative reconstruction errors
+    /// `(layer, tensor_name, ‖W − U1ΓU2‖/‖W‖)`.
+    pub tensor_errors: Vec<(usize, &'static str, f32)>,
+}
+
+impl DecompositionReport {
+    /// Parameter reduction, percent.
+    pub fn reduction_pct(&self) -> f64 {
+        100.0 * (self.params_before as f64 - self.params_after as f64)
+            / self.params_before as f64
+    }
+
+    /// Mean relative reconstruction error across decomposed tensors.
+    pub fn mean_error(&self) -> f32 {
+        if self.tensor_errors.is_empty() {
+            return 0.0;
+        }
+        self.tensor_errors.iter().map(|(_, _, e)| e).sum::<f32>()
+            / self.tensor_errors.len() as f32
+    }
+}
+
+/// Factors the selected weights of `model` in place according to γ.
+///
+/// Tensor indices in γ refer to the per-layer slot order exposed by
+/// [`TransformerLm::visit_linears`] (Q, K, V, SO, then the MLP tensors —
+/// the paper's Fig. 4 order).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidRank`] if a requested rank exceeds a
+/// tensor's rank bound, or propagates SVD failures. The model is not
+/// modified on error (tensors are factored onto a staging list first).
+pub fn decompose_model(
+    model: &mut TransformerLm,
+    cfg: &DecompositionConfig,
+) -> Result<DecompositionReport, TensorError> {
+    let params_before = model.param_count();
+    // Stage all factorizations before mutating any slot.
+    let mut staged: Vec<(usize, &'static str, usize, FactoredLinear, f32)> = Vec::new();
+    {
+        let slots = model.visit_linears();
+        // Group by layer to derive per-layer tensor indices.
+        let mut per_layer_idx = 0usize;
+        let mut current_layer = usize::MAX;
+        for (slot_pos, (layer, name, slot)) in slots.iter().enumerate() {
+            if *layer != current_layer {
+                current_layer = *layer;
+                per_layer_idx = 0;
+            } else {
+                per_layer_idx += 1;
+            }
+            if let Some(rank) = cfg.ranks.get(*layer, per_layer_idx) {
+                let w = slot.effective_weight();
+                let fac = tucker2(&w, rank)?;
+                let err = fac.relative_error(&w);
+                let bias = match &**slot {
+                    AnyLinear::Dense(l) => l.b.clone(),
+                    AnyLinear::Factored(f) => f.b.clone(),
+                };
+                staged.push((slot_pos, name, *layer, FactoredLinear::from_tucker(fac, bias), err));
+            }
+        }
+    }
+    let mut tensor_errors = Vec::with_capacity(staged.len());
+    {
+        let mut slots = model.visit_linears();
+        for (slot_pos, name, layer, fac, err) in staged {
+            *slots[slot_pos].2 = AnyLinear::Factored(fac);
+            tensor_errors.push((layer, name, err));
+        }
+    }
+    Ok(DecompositionReport {
+        params_before,
+        params_after: model.param_count(),
+        tensor_errors,
+    })
+}
+
+/// Expresses γ as the hardware simulator's decomposed-tensor list for an
+/// analytic descriptor.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid for the descriptor.
+pub fn descriptor_decomposition(
+    desc: &TransformerDescriptor,
+    cfg: &DecompositionConfig,
+) -> Vec<DecomposedTensor> {
+    cfg.validate(desc).unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+    let tensors = desc.layer_tensors();
+    cfg.ranks
+        .iter()
+        .map(|(layer, t_idx, rank)| DecomposedTensor {
+            layer,
+            tensor: tensors[t_idx].name,
+            rank,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_models::tiny::build_tiny_llama;
+    use lrd_models::zoo::llama2_7b;
+    use lrd_nn::{ArchKind, TransformerConfig};
+    use lrd_tensor::rng::Rng64;
+
+    fn small_model() -> TransformerLm {
+        let cfg = TransformerConfig {
+            kind: ArchKind::Decoder,
+            vocab_size: 32,
+            d_model: 16,
+            n_layers: 4,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 32,
+            max_seq: 16,
+        };
+        TransformerLm::new(cfg, &mut Rng64::new(5))
+    }
+
+    #[test]
+    fn decompose_reduces_params() {
+        let mut m = small_model();
+        let cfg = DecompositionConfig::uniform(&[1, 3], &[0, 1, 2, 3, 4, 5, 6], 1);
+        let report = decompose_model(&mut m, &cfg).unwrap();
+        assert!(report.params_after < report.params_before);
+        assert_eq!(report.tensor_errors.len(), 14);
+        assert!(report.reduction_pct() > 0.0);
+    }
+
+    #[test]
+    fn only_selected_layers_are_factored() {
+        let mut m = small_model();
+        let cfg = DecompositionConfig::uniform(&[2], &[0, 3], 1);
+        decompose_model(&mut m, &cfg).unwrap();
+        for (layer, name, slot) in m.visit_linears() {
+            let expect = layer == 2 && (name == "wq" || name == "wo");
+            assert_eq!(slot.is_factored(), expect, "layer {layer} tensor {name}");
+        }
+    }
+
+    #[test]
+    fn full_rank_decomposition_preserves_outputs() {
+        let mut m = small_model();
+        let orig = m.clone();
+        // W_Q of the tiny model is 16×16 → full rank 16 reconstructs
+        // exactly (within f32 SVD error).
+        let cfg = DecompositionConfig::uniform(&[0], &[0], 16);
+        decompose_model(&mut m, &cfg).unwrap();
+        let tokens = [1usize, 2, 3];
+        let a = orig.logits(&tokens, 1);
+        let b = m.logits(&tokens, 1);
+        let diff = a.sub(&b).unwrap().max_abs();
+        assert!(diff < 1e-2, "max logit diff {diff}");
+    }
+
+    #[test]
+    fn rank1_decomposition_changes_outputs() {
+        let mut m = small_model();
+        let orig = m.clone();
+        let cfg = DecompositionConfig::uniform(&[0, 1, 2, 3], &[0, 1, 2, 3, 4, 5, 6], 1);
+        let report = decompose_model(&mut m, &cfg).unwrap();
+        assert!(report.mean_error() > 0.1, "rank-1 must lose information");
+        let tokens = [1usize, 2, 3];
+        let diff = orig.logits(&tokens, 1).sub(&m.logits(&tokens, 1)).unwrap().max_abs();
+        assert!(diff > 1e-3);
+    }
+
+    #[test]
+    fn excessive_rank_fails_cleanly() {
+        let mut m = small_model();
+        let cfg = DecompositionConfig::uniform(&[0], &[0], 17);
+        let before = m.clone();
+        assert!(decompose_model(&mut m, &cfg).is_err());
+        assert_eq!(m, before, "model must be unchanged on error");
+    }
+
+    #[test]
+    fn matches_analytic_param_accounting() {
+        // The live decomposition and the descriptor math must agree on the
+        // parameter reduction.
+        let mut m = build_tiny_llama(1);
+        let desc = lrd_models::tiny::tiny_llama_descriptor();
+        let cfg = DecompositionConfig::uniform(&[2, 17, 31], &[0, 1, 2, 3, 4, 5, 6], 1);
+        let analytic = crate::compression::param_reduction_pct(&desc, &cfg);
+        let report = decompose_model(&mut m, &cfg).unwrap();
+        let live = report.reduction_pct();
+        assert!((analytic - live).abs() < 0.2, "analytic {analytic}% vs live {live}%");
+    }
+
+    #[test]
+    fn descriptor_decomposition_names() {
+        let desc = llama2_7b();
+        let cfg = DecompositionConfig::uniform(&[0], &[0, 4], 1);
+        let mut list = descriptor_decomposition(&desc, &cfg);
+        list.sort_by_key(|d| d.tensor);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].tensor, "W_Gate");
+        assert_eq!(list[1].tensor, "W_Q");
+    }
+}

@@ -1,0 +1,46 @@
+//! # lrd-core
+//!
+//! The paper's contribution: formalization of the low-rank decomposition
+//! design space for transformer language models, the Tucker-2 model
+//! decomposer, design-space pruning strategies, and the characterization /
+//! case-study drivers that regenerate every figure.
+//!
+//! * [`space`] — Definitions 2–5, the validity proposition and Theorem 3.2
+//!   (design-space size), including the Table 2 rows.
+//! * [`compression`] — §2.3 compression arithmetic and model-level
+//!   parameter-reduction accounting for a configuration γ.
+//! * [`decompose`] — applies a γ to a live [`lrd_nn::TransformerLm`]
+//!   (factoring trained weights with truncated-SVD Tucker-2) and to an
+//!   analytic descriptor (for the hardware simulator).
+//! * [`select`] — layer/tensor selection strategies: the paper's Table 4
+//!   presets, spread-apart placement, first/last-layer avoidance.
+//! * [`study`] — experiment drivers for Figs. 3, 5–12 and the Definition 1
+//!   design-goal optimizer.
+//! * [`recovery`] — §6 future work: post-decomposition recovery
+//!   fine-tuning.
+//!
+//! # Example
+//!
+//! Compute the design-space size of Llama2-7B (Theorem 3.2):
+//!
+//! ```
+//! use lrd_core::space::design_space_size;
+//! use lrd_models::zoo::llama2_7b;
+//!
+//! let size = design_space_size(&llama2_7b());
+//! // O(2^37) per the paper's Table 2 (layer × tensor choices alone).
+//! assert!(size.scale_log2 >= 37);
+//! ```
+
+pub mod baselines;
+pub mod compression;
+pub mod decompose;
+pub mod recovery;
+pub mod search;
+pub mod select;
+pub mod space;
+pub mod spectra;
+pub mod study;
+
+pub use decompose::{decompose_model, descriptor_decomposition, DecompositionReport};
+pub use space::{DecompositionConfig, PrunedRanks};

@@ -1,0 +1,242 @@
+//! Design-space search: navigating the pruned configuration space toward
+//! the Definition 1 goal.
+//!
+//! The paper reduces the `O(2^37)` space to `O(32)` by characterization
+//! (rank 1, all tensors, spread layers, avoid first/last) and then sweeps
+//! Table 4. This module automates that navigation: given an accuracy
+//! predictor (measured layer sensitivities) and the hardware simulator, it
+//! searches layer subsets directly — a greedy marginal-cost pass and a
+//! seeded random baseline to show the greedy result is not luck.
+
+use crate::compression::param_reduction_pct;
+use crate::decompose::descriptor_decomposition;
+use crate::space::DecompositionConfig;
+use lrd_hwsim::device::SystemSpec;
+use lrd_hwsim::report::simulate_inference;
+use lrd_models::descriptor::TransformerDescriptor;
+use lrd_tensor::rng::Rng64;
+
+/// A per-layer accuracy-drop predictor: `drop[l]` is the expected accuracy
+/// loss (percentage points) of decomposing layer `l` alone (the Fig. 7
+/// measurement); combined drops are assumed additive, the first-order model
+/// the paper's insights imply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityModel {
+    drops: Vec<f64>,
+}
+
+impl SensitivityModel {
+    /// Builds the predictor from Fig. 7 single-layer measurements
+    /// (`baseline_acc − acc_with_layer_l_decomposed`, clamped at 0).
+    pub fn new(per_layer_drops: Vec<f64>) -> Self {
+        SensitivityModel { drops: per_layer_drops.into_iter().map(|d| d.max(0.0)).collect() }
+    }
+
+    /// Number of layers covered.
+    pub fn n_layers(&self) -> usize {
+        self.drops.len()
+    }
+
+    /// Predicted accuracy drop for decomposing `layers` together.
+    pub fn predict_drop(&self, layers: &[usize]) -> f64 {
+        layers.iter().map(|&l| self.drops.get(l).copied().unwrap_or(0.0)).sum()
+    }
+}
+
+/// One search outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Chosen layers (rank 1, all tensors).
+    pub layers: Vec<usize>,
+    /// Predicted accuracy drop (percentage points).
+    pub predicted_drop: f64,
+    /// Parameter reduction, percent.
+    pub param_reduction_pct: f64,
+    /// Simulated energy–delay product (J·s) of the configuration.
+    pub edp: f64,
+}
+
+fn edp_of(
+    system: &SystemSpec,
+    desc: &TransformerDescriptor,
+    layers: &[usize],
+    batch: usize,
+    seq: usize,
+) -> f64 {
+    let tensors: Vec<usize> = (0..desc.layer_tensors().len()).collect();
+    let cfg = DecompositionConfig::uniform(layers, &tensors, 1);
+    let decomp = descriptor_decomposition(desc, &cfg);
+    let report = simulate_inference(system, desc, &decomp, batch, seq);
+    report.wall_time_s * report.energy_j
+}
+
+fn result_for(
+    system: &SystemSpec,
+    desc: &TransformerDescriptor,
+    sens: &SensitivityModel,
+    layers: Vec<usize>,
+    batch: usize,
+    seq: usize,
+) -> SearchResult {
+    let tensors: Vec<usize> = (0..desc.layer_tensors().len()).collect();
+    let cfg = DecompositionConfig::uniform(&layers, &tensors, 1);
+    SearchResult {
+        predicted_drop: sens.predict_drop(&layers),
+        param_reduction_pct: param_reduction_pct(desc, &cfg),
+        edp: edp_of(system, desc, &layers, batch, seq),
+        layers,
+    }
+}
+
+/// Greedy Definition 1 search: repeatedly add the layer with the smallest
+/// predicted accuracy cost while the total predicted drop stays below
+/// `tau_pct`; returns the best configuration found (lowest EDP among
+/// feasible prefixes).
+///
+/// # Panics
+///
+/// Panics if the sensitivity model's layer count differs from the
+/// descriptor's.
+pub fn greedy_search(
+    system: &SystemSpec,
+    desc: &TransformerDescriptor,
+    sens: &SensitivityModel,
+    tau_pct: f64,
+    batch: usize,
+    seq: usize,
+) -> Option<SearchResult> {
+    assert_eq!(sens.n_layers(), desc.n_layers, "sensitivity/descriptor layer mismatch");
+    // Cheapest layers first.
+    let mut order: Vec<usize> = (0..desc.n_layers).collect();
+    order.sort_by(|&a, &b| {
+        sens.drops[a].partial_cmp(&sens.drops[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut total_drop = 0.0;
+    let mut best: Option<SearchResult> = None;
+    for l in order {
+        if total_drop + sens.drops[l] >= tau_pct {
+            continue;
+        }
+        chosen.push(l);
+        chosen.sort_unstable();
+        total_drop += sens.drops[l];
+        let candidate = result_for(system, desc, sens, chosen.clone(), batch, seq);
+        if best.as_ref().map_or(true, |b| candidate.edp < b.edp) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// Random-subset baseline: samples `trials` random layer subsets, keeps the
+/// feasible one with the lowest EDP. Exists to quantify how much the greedy
+/// characterization-guided search beats unguided sampling.
+pub fn random_search(
+    system: &SystemSpec,
+    desc: &TransformerDescriptor,
+    sens: &SensitivityModel,
+    tau_pct: f64,
+    trials: usize,
+    seed: u64,
+    batch: usize,
+    seq: usize,
+) -> Option<SearchResult> {
+    let mut rng = Rng64::new(seed);
+    let mut best: Option<SearchResult> = None;
+    for _ in 0..trials {
+        let count = 1 + rng.below(desc.n_layers);
+        let mut layers: Vec<usize> = (0..desc.n_layers).collect();
+        rng.shuffle(&mut layers);
+        layers.truncate(count);
+        layers.sort_unstable();
+        if sens.predict_drop(&layers) >= tau_pct {
+            continue;
+        }
+        let candidate = result_for(system, desc, sens, layers, batch, seq);
+        if best.as_ref().map_or(true, |b| candidate.edp < b.edp) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_models::zoo::llama2_7b;
+
+    /// A sensitivity profile shaped like Fig. 7: edges expensive, middle
+    /// cheap.
+    fn fig7_like(n: usize) -> SensitivityModel {
+        SensitivityModel::new(
+            (0..n)
+                .map(|l| {
+                    let edge = (n - 1 - l).min(l);
+                    if edge == 0 {
+                        8.0
+                    } else if edge == 1 {
+                        4.0
+                    } else {
+                        0.8
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn predictor_is_additive_and_clamped() {
+        let s = SensitivityModel::new(vec![1.0, -2.0, 3.0]);
+        assert_eq!(s.predict_drop(&[0, 1]), 1.0);
+        assert_eq!(s.predict_drop(&[0, 2]), 4.0);
+    }
+
+    #[test]
+    fn greedy_avoids_sensitive_edge_layers() {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        let sens = fig7_like(32);
+        let res = greedy_search(&sys, &desc, &sens, 10.0, 16, 128).expect("feasible");
+        // With τ=10 and edge costs 8/4, the greedy must pick middle layers
+        // only.
+        assert!(!res.layers.contains(&0));
+        assert!(!res.layers.contains(&31));
+        assert!(res.predicted_drop < 10.0);
+        assert!(res.param_reduction_pct > 5.0, "should decompose several layers");
+    }
+
+    #[test]
+    fn greedy_beats_random_baseline() {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        let sens = fig7_like(32);
+        let tau = 8.0;
+        let greedy = greedy_search(&sys, &desc, &sens, tau, 16, 128).unwrap();
+        let random = random_search(&sys, &desc, &sens, tau, 30, 7, 16, 128).unwrap();
+        assert!(
+            greedy.edp <= random.edp * 1.001,
+            "greedy EDP {} vs random {}",
+            greedy.edp,
+            random.edp
+        );
+    }
+
+    #[test]
+    fn zero_tolerance_gives_nothing_with_positive_costs() {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        let sens = SensitivityModel::new(vec![1.0; 32]);
+        assert!(greedy_search(&sys, &desc, &sens, 0.5, 16, 128).is_none());
+    }
+
+    #[test]
+    fn free_layers_all_selected() {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        let sens = SensitivityModel::new(vec![0.0; 32]);
+        let res = greedy_search(&sys, &desc, &sens, 1.0, 16, 128).unwrap();
+        assert_eq!(res.layers.len(), 32, "all layers are free to decompose");
+        assert!((res.param_reduction_pct - 96.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Layer- and tensor-selection strategies distilled from the paper's
+//! characterization (§3.4) plus the Table 4 case-study presets.
+
+use crate::space::DecompositionConfig;
+
+/// The paper's Table 4: decomposed layer choices (converted to 0-based
+/// indices) and the parameter-reduction rate each achieves on Llama2-7B
+/// with rank-1, all-tensor decomposition.
+pub fn table4_presets() -> Vec<(&'static str, f64, Vec<usize>)> {
+    // The paper lists 1-based layer ids.
+    fn zb(layers: &[usize]) -> Vec<usize> {
+        layers.iter().map(|&l| l - 1).collect()
+    }
+    vec![
+        ("6%", 6.0, zb(&[3, 30])),
+        ("9%", 9.0, zb(&[3, 18, 32])),
+        ("15%", 15.0, zb(&[3, 9, 15, 21, 27])),
+        ("21%", 21.0, zb(&[5, 9, 13, 17, 21, 25, 29])),
+        ("33%", 33.0, zb(&[3, 6, 9, 12, 15, 18, 21, 24, 27, 30, 32])),
+        (
+            "48%",
+            48.0,
+            zb(&[1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 29, 31]),
+        ),
+        (
+            "60%",
+            60.0,
+            zb(&[2, 4, 6, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 21, 23, 25, 27, 29, 31]),
+        ),
+        (
+            "75%",
+            75.0,
+            zb(&[
+                2, 4, 6, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26,
+                27, 28, 29, 30,
+            ]),
+        ),
+        (
+            "84%",
+            84.0,
+            zb(&[
+                1, 3, 5, 7, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+                26, 27, 28, 29, 30, 31, 32,
+            ]),
+        ),
+        ("96%", 96.0, (1..=32).map(|l| l - 1).collect()),
+    ]
+}
+
+/// All seven Llama tensor indices (rank-1, all-tensor decomposition —
+/// the operating point §3.4 recommends).
+pub fn all_llama_tensors() -> Vec<usize> {
+    (0..7).collect()
+}
+
+/// All six BERT tensor indices.
+pub fn all_bert_tensors() -> Vec<usize> {
+    (0..6).collect()
+}
+
+/// The attention-group tensor indices (`W_Q, W_K, W_V, W_SO`) — both
+/// architectures order them first (§3.3.2 compares sensitivity within this
+/// group).
+pub fn attention_tensors() -> Vec<usize> {
+    (0..4).collect()
+}
+
+/// The Llama MLP-group tensor indices (`W_Gate, W_Up, W_Down`).
+pub fn llama_mlp_tensors() -> Vec<usize> {
+    (4..7).collect()
+}
+
+/// The BERT MLP-group tensor indices (`W_Int, W_Out`).
+pub fn bert_mlp_tensors() -> Vec<usize> {
+    (4..6).collect()
+}
+
+/// `count` layers spread as far apart as possible across `n_layers`
+/// (§3.4: "decompose layers uniformly spread apart").
+pub fn spread_layers(n_layers: usize, count: usize) -> Vec<usize> {
+    assert!(count <= n_layers, "cannot select {count} of {n_layers} layers");
+    if count == 0 {
+        return Vec::new();
+    }
+    if count == 1 {
+        return vec![n_layers / 2];
+    }
+    (0..count)
+        .map(|i| i * (n_layers - 1) / (count - 1))
+        .collect()
+}
+
+/// `count` consecutive layers starting at `start` (the anti-pattern of
+/// Fig. 8).
+pub fn consecutive_layers(start: usize, count: usize) -> Vec<usize> {
+    (start..start + count).collect()
+}
+
+/// Every `stride`-th layer starting at `start` (Fig. 8's distance study).
+pub fn strided_layers(n_layers: usize, start: usize, stride: usize, count: usize) -> Vec<usize> {
+    assert!(stride >= 1);
+    (0..count).map(|i| start + i * stride).filter(|&l| l < n_layers).collect()
+}
+
+/// §3.4: avoid the sensitive first `head` and last `tail` layers; spread
+/// `count` layers over the remaining middle region.
+pub fn middle_spread_layers(n_layers: usize, count: usize, head: usize, tail: usize) -> Vec<usize> {
+    let lo = head;
+    let hi = n_layers.saturating_sub(tail);
+    assert!(hi > lo, "no layers left after exclusions");
+    let region = hi - lo;
+    assert!(count <= region, "cannot fit {count} layers in region of {region}");
+    spread_layers(region, count).into_iter().map(|l| l + lo).collect()
+}
+
+/// Builds the paper's recommended configuration for a parameter-reduction
+/// preset: rank 1, all tensors, Table 4 layers.
+pub fn preset_config(preset_layers: &[usize]) -> DecompositionConfig {
+    DecompositionConfig::uniform(preset_layers, &all_llama_tensors(), 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compression::param_reduction_pct;
+    use lrd_models::zoo::llama2_7b;
+
+    #[test]
+    fn table4_reductions_match_labels() {
+        // The paper's layer choices must actually deliver the advertised
+        // parameter reductions on the real Llama2-7B shapes.
+        let desc = llama2_7b();
+        for (label, expect, layers) in table4_presets() {
+            let cfg = preset_config(&layers);
+            let red = param_reduction_pct(&desc, &cfg);
+            assert!(
+                (red - expect).abs() < 3.0,
+                "preset {label}: computed {red:.1}% vs published {expect}%"
+            );
+        }
+    }
+
+    #[test]
+    fn table4_has_ten_rows_ascending() {
+        let presets = table4_presets();
+        assert_eq!(presets.len(), 10);
+        for w in presets.windows(2) {
+            assert!(w[0].1 < w[1].1);
+            assert!(w[0].2.len() <= w[1].2.len());
+        }
+    }
+
+    #[test]
+    fn table4_layers_in_range() {
+        for (_, _, layers) in table4_presets() {
+            assert!(layers.iter().all(|&l| l < 32));
+            // No duplicates.
+            let set: std::collections::BTreeSet<_> = layers.iter().collect();
+            assert_eq!(set.len(), layers.len());
+        }
+    }
+
+    #[test]
+    fn spread_layers_cover_range() {
+        let l = spread_layers(32, 5);
+        assert_eq!(l.first(), Some(&0));
+        assert_eq!(l.last(), Some(&31));
+        assert_eq!(l.len(), 5);
+        for w in l.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn spread_single_layer_is_middle() {
+        assert_eq!(spread_layers(32, 1), vec![16]);
+    }
+
+    #[test]
+    fn consecutive_and_strided() {
+        assert_eq!(consecutive_layers(4, 3), vec![4, 5, 6]);
+        assert_eq!(strided_layers(32, 2, 6, 5), vec![2, 8, 14, 20, 26]);
+        // Clipped at the end.
+        assert_eq!(strided_layers(10, 0, 4, 5), vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn middle_spread_avoids_edges() {
+        let l = middle_spread_layers(32, 5, 2, 1);
+        assert!(l.iter().all(|&x| (2..31).contains(&x)), "{l:?}");
+        assert_eq!(l.len(), 5);
+    }
+
+    #[test]
+    fn tensor_groups_partition_the_layer() {
+        let attn = attention_tensors();
+        let mlp = llama_mlp_tensors();
+        let all = all_llama_tensors();
+        let mut combined = attn.clone();
+        combined.extend(mlp.clone());
+        assert_eq!(combined, all, "attention + MLP groups must cover all Llama tensors");
+        let mut bert = attention_tensors();
+        bert.extend(bert_mlp_tensors());
+        assert_eq!(bert, all_bert_tensors());
+    }
+
+    #[test]
+    fn greater_stride_increases_min_distance() {
+        let near = strided_layers(32, 4, 1, 4);
+        let far = strided_layers(32, 4, 6, 4);
+        let min_gap = |v: &[usize]| v.windows(2).map(|w| w[1] - w[0]).min().unwrap();
+        assert!(min_gap(&far) > min_gap(&near));
+    }
+}

@@ -1,0 +1,337 @@
+//! The decomposition design space (§3.1 of the paper).
+//!
+//! Implements Definitions 2–5, the validity check of Proposition 3.1 and
+//! the design-space size of Theorem 3.2.
+
+use lrd_models::descriptor::TransformerDescriptor;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Definition 3: the pruned ranks — a map from `(layer, tensor)` to the
+/// rank retained after pruning.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PrunedRanks {
+    ranks: BTreeMap<(usize, usize), usize>,
+}
+
+impl PrunedRanks {
+    /// Empty rank assignment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pruned rank for `(layer, tensor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank == 0` (Definition 3 requires `0 < p`).
+    pub fn set(&mut self, layer: usize, tensor: usize, rank: usize) {
+        assert!(rank > 0, "pruned rank must be positive (Definition 3)");
+        self.ranks.insert((layer, tensor), rank);
+    }
+
+    /// The pruned rank for `(layer, tensor)`, if assigned.
+    pub fn get(&self, layer: usize, tensor: usize) -> Option<usize> {
+        self.ranks.get(&(layer, tensor)).copied()
+    }
+
+    /// Number of `(layer, tensor, rank)` triples.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether no ranks are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Iterates `(layer, tensor, rank)` triples in order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.ranks.iter().map(|(&(l, k), &p)| (l, k, p))
+    }
+}
+
+/// Definition 4: a complete decomposition configuration γ =
+/// (PR, Decomp_Layers, Decomp_Tensors).
+///
+/// The empty configuration (no layers, no tensors, no ranks) denotes the
+/// original, undecomposed model.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DecompositionConfig {
+    /// Definition 2: indices of decomposed layers.
+    pub layers: BTreeSet<usize>,
+    /// Definition 2: indices of decomposed tensors within each decomposed
+    /// layer (indices into
+    /// [`TransformerDescriptor::layer_tensors`]).
+    pub tensors: BTreeSet<usize>,
+    /// Definition 3: the pruned ranks.
+    pub ranks: PrunedRanks,
+}
+
+impl DecompositionConfig {
+    /// The undecomposed configuration.
+    pub fn original() -> Self {
+        Self::default()
+    }
+
+    /// A homogeneous configuration (the paper's scheme): the same tensors
+    /// and the same uniform rank in every selected layer.
+    pub fn uniform(layers: &[usize], tensors: &[usize], rank: usize) -> Self {
+        let mut cfg = DecompositionConfig {
+            layers: layers.iter().copied().collect(),
+            tensors: tensors.iter().copied().collect(),
+            ranks: PrunedRanks::new(),
+        };
+        for &l in &cfg.layers {
+            for &t in &cfg.tensors {
+                cfg.ranks.set(l, t, rank);
+            }
+        }
+        cfg
+    }
+
+    /// Whether this is the undecomposed configuration.
+    pub fn is_original(&self) -> bool {
+        self.layers.is_empty() && self.tensors.is_empty() && self.ranks.is_empty()
+    }
+
+    /// Proposition 3.1 validity check against a model descriptor:
+    /// layer/tensor indices in range, every `(layer, tensor)` pair covered
+    /// by exactly one rank triple, every rank within the tensor's rank
+    /// bound.
+    ///
+    /// (The paper's cardinality condition reads
+    /// `|PR| = (|DL|−1)(|DT|−1)+1`; the condition actually required for the
+    /// per-pair coverage it describes — and the one enforced here — is
+    /// `|PR| = |DL|·|DT|`.)
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// condition.
+    pub fn validate(&self, desc: &TransformerDescriptor) -> Result<(), String> {
+        let tensors = desc.layer_tensors();
+        if self.is_original() {
+            return Ok(());
+        }
+        if self.layers.is_empty() || self.tensors.is_empty() {
+            return Err("non-empty configuration must select layers and tensors".into());
+        }
+        for &l in &self.layers {
+            if l >= desc.n_layers {
+                return Err(format!("layer {l} out of range (model has {})", desc.n_layers));
+            }
+        }
+        for &t in &self.tensors {
+            if t >= tensors.len() {
+                return Err(format!("tensor {t} out of range (layer has {})", tensors.len()));
+            }
+        }
+        if self.ranks.len() != self.layers.len() * self.tensors.len() {
+            return Err(format!(
+                "pruned ranks must cover all {} (layer, tensor) pairs, got {}",
+                self.layers.len() * self.tensors.len(),
+                self.ranks.len()
+            ));
+        }
+        for (l, t, p) in self.ranks.iter() {
+            if !self.layers.contains(&l) || !self.tensors.contains(&t) {
+                return Err(format!("rank triple ({l},{t},{p}) outside selected layers/tensors"));
+            }
+            let max = tensors[t].max_rank();
+            if p > max {
+                return Err(format!(
+                    "rank {p} exceeds max rank {max} of tensor {} in layer {l}",
+                    tensors[t].name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DecompositionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_original() {
+            return write!(f, "γ(original)");
+        }
+        let ranks: BTreeSet<usize> = self.ranks.iter().map(|(_, _, p)| p).collect();
+        write!(
+            f,
+            "γ(layers={:?}, tensors={:?}, ranks={:?})",
+            self.layers.iter().collect::<Vec<_>>(),
+            self.tensors.iter().collect::<Vec<_>>(),
+            ranks.iter().collect::<Vec<_>>()
+        )
+    }
+}
+
+/// The size of the design space per Theorem 3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignSpaceSize {
+    /// Exact count `(2^L − 1)(2^K − 1)·rank + 1` (Theorem 3.2), saturating
+    /// at `u128::MAX` for models beyond 120 layers+tensors.
+    pub exact: u128,
+    /// The paper's Table 2 scale exponent: `L + K` (layer/tensor choices
+    /// alone, as in "O(2^37) for Llama2-7B").
+    pub scale_log2: u32,
+}
+
+impl fmt::Display for DesignSpaceSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O(2^{})", self.scale_log2)
+    }
+}
+
+/// Theorem 3.2: the size of the decomposition design space of a model,
+/// using the uniform per-tensor rank bound `rank(l, k) = max_rank` of the
+/// largest decomposable tensor.
+pub fn design_space_size(desc: &TransformerDescriptor) -> DesignSpaceSize {
+    let l = desc.n_layers as u32;
+    let k = desc.table2_tensor_count as u32;
+    let rank = desc.layer_tensors().iter().map(|t| t.max_rank()).max().unwrap_or(1) as u128;
+    let exact = (pow2_saturating(l) - 1)
+        .saturating_mul(pow2_saturating(k) - 1)
+        .saturating_mul(rank)
+        .saturating_add(1);
+    DesignSpaceSize { exact, scale_log2: l + k }
+}
+
+fn pow2_saturating(e: u32) -> u128 {
+    if e >= 127 {
+        u128::MAX
+    } else {
+        1u128 << e
+    }
+}
+
+/// One row of the paper's Table 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Model name.
+    pub model: &'static str,
+    /// Number of layers.
+    pub n_layers: usize,
+    /// Number of decomposable tensors (as published).
+    pub n_tensors: usize,
+    /// Design-space scale.
+    pub scale: DesignSpaceSize,
+}
+
+/// Computes all rows of Table 2.
+pub fn table2() -> Vec<Table2Row> {
+    lrd_models::zoo::table2_models()
+        .into_iter()
+        .map(|d| Table2Row {
+            model: d.name,
+            n_layers: d.n_layers,
+            n_tensors: d.table2_tensor_count,
+            scale: design_space_size(&d),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_models::zoo::{bert_base, llama2_7b};
+
+    #[test]
+    fn uniform_config_covers_all_pairs() {
+        let cfg = DecompositionConfig::uniform(&[0, 2], &[1, 3, 5], 1);
+        assert_eq!(cfg.ranks.len(), 6);
+        assert_eq!(cfg.ranks.get(2, 3), Some(1));
+        assert_eq!(cfg.ranks.get(1, 3), None);
+    }
+
+    #[test]
+    fn original_config_is_valid() {
+        let cfg = DecompositionConfig::original();
+        assert!(cfg.is_original());
+        assert!(cfg.validate(&llama2_7b()).is_ok());
+    }
+
+    #[test]
+    fn valid_uniform_config() {
+        let cfg = DecompositionConfig::uniform(&[2, 17, 31], &[0, 1, 2, 3, 4, 5, 6], 1);
+        assert!(cfg.validate(&llama2_7b()).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_layer_rejected() {
+        let cfg = DecompositionConfig::uniform(&[32], &[0], 1);
+        assert!(cfg.validate(&llama2_7b()).unwrap_err().contains("layer 32"));
+    }
+
+    #[test]
+    fn out_of_range_tensor_rejected() {
+        let cfg = DecompositionConfig::uniform(&[0], &[7], 1);
+        assert!(cfg.validate(&llama2_7b()).unwrap_err().contains("tensor 7"));
+    }
+
+    #[test]
+    fn excessive_rank_rejected() {
+        // W_Q of Llama2-7B is 4096×4096 → max rank 4096.
+        let cfg = DecompositionConfig::uniform(&[0], &[0], 4097);
+        assert!(cfg.validate(&llama2_7b()).unwrap_err().contains("exceeds max rank"));
+    }
+
+    #[test]
+    fn incomplete_rank_coverage_rejected() {
+        let mut cfg = DecompositionConfig::uniform(&[0, 1], &[0], 1);
+        // Remove one triple by rebuilding with a stray extra pair.
+        cfg.ranks = PrunedRanks::new();
+        cfg.ranks.set(0, 0, 1);
+        assert!(cfg.validate(&llama2_7b()).unwrap_err().contains("cover all"));
+    }
+
+    #[test]
+    fn rank_triple_outside_selection_rejected() {
+        let mut cfg = DecompositionConfig::uniform(&[0], &[0], 1);
+        cfg.ranks = PrunedRanks::new();
+        cfg.ranks.set(5, 0, 1); // layer 5 not selected
+        let err = cfg.validate(&llama2_7b()).unwrap_err();
+        assert!(err.contains("outside selected"), "{err}");
+    }
+
+    #[test]
+    fn theorem_size_llama7b_matches_table2() {
+        let s = design_space_size(&llama2_7b());
+        // Paper: O(2^37) — 32 layers + 5 tensors.
+        assert_eq!(s.scale_log2, 37);
+        // Exact: (2^32−1)(2^5−1)·11008 + 1 (max rank is W_Down's 4096? No —
+        // max_rank = min(rows, cols); for 4096×11008 it is 4096).
+        let expect = ((1u128 << 32) - 1) * ((1u128 << 5) - 1) * 4096 + 1;
+        assert_eq!(s.exact, expect);
+    }
+
+    #[test]
+    fn theorem_size_bert_base_matches_table2() {
+        let s = design_space_size(&bert_base());
+        assert_eq!(s.scale_log2, 18); // O(2^18)
+    }
+
+    #[test]
+    fn table2_rows_match_paper() {
+        let rows = table2();
+        let scales: Vec<u32> = rows.iter().map(|r| r.scale.scale_log2).collect();
+        assert_eq!(scales, vec![18, 30, 37, 85]);
+        assert_eq!(rows[3].model, "Llama2-70B");
+    }
+
+    #[test]
+    fn display_formats() {
+        let cfg = DecompositionConfig::uniform(&[1], &[0], 3);
+        assert!(cfg.to_string().contains("layers=[1]"));
+        assert_eq!(DecompositionConfig::original().to_string(), "γ(original)");
+        let s = design_space_size(&llama2_7b());
+        assert_eq!(s.to_string(), "O(2^37)");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rank_panics() {
+        let mut pr = PrunedRanks::new();
+        pr.set(0, 0, 0);
+    }
+}

@@ -1,0 +1,545 @@
+//! Characterization and case-study drivers — one per figure of the paper.
+//!
+//! Every driver takes a *trained* base model plus the world it was trained
+//! on, decomposes clones of it according to the axis under study, and
+//! evaluates the benchmark suite. The efficiency drivers run the analytic
+//! hardware simulator on the full-size Llama2-7B descriptor.
+
+use crate::compression::param_reduction_pct;
+use crate::decompose::{decompose_model, descriptor_decomposition};
+use crate::select::{all_llama_tensors, preset_config, strided_layers, table4_presets};
+use crate::space::DecompositionConfig;
+use lrd_eval::harness::{evaluate, EvalOptions};
+use lrd_eval::sample::Benchmark;
+use lrd_eval::{Accuracy, World};
+use lrd_hwsim::device::SystemSpec;
+use lrd_hwsim::report::{simulate_inference, InferenceReport};
+use lrd_models::descriptor::TransformerDescriptor;
+use lrd_nn::TransformerLm;
+
+/// A boxed benchmark usable across threads.
+pub type DynBenchmark = Box<dyn Benchmark + Send + Sync>;
+
+/// One evaluated configuration: the γ under study plus per-benchmark
+/// accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyPoint {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Uniform pruned rank (0 for the undecomposed baseline).
+    pub rank: usize,
+    /// Decomposed layers.
+    pub layers: Vec<usize>,
+    /// Decomposed tensor indices.
+    pub tensors: Vec<usize>,
+    /// Parameter reduction versus the dense model, percent (live count).
+    pub param_reduction_pct: f64,
+    /// `(benchmark, accuracy)` per evaluated benchmark.
+    pub results: Vec<(&'static str, Accuracy)>,
+}
+
+impl StudyPoint {
+    /// Mean accuracy (percent) across all evaluated benchmarks.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results.iter().map(|(_, a)| a.percent()).sum::<f64>() / self.results.len() as f64
+    }
+
+    /// Accuracy (percent) on one benchmark, if evaluated.
+    pub fn accuracy_of(&self, bench: &str) -> Option<f64> {
+        self.results.iter().find(|(n, _)| *n == bench).map(|(_, a)| a.percent())
+    }
+}
+
+/// Decomposes a clone of `base` with `cfg` and evaluates it on `benches`.
+///
+/// # Panics
+///
+/// Panics if the configuration cannot be applied (invalid rank).
+pub fn eval_config(
+    base: &TransformerLm,
+    cfg: &DecompositionConfig,
+    label: impl Into<String>,
+    world: &World,
+    benches: &[DynBenchmark],
+    opts: &EvalOptions,
+) -> StudyPoint {
+    let mut model = base.clone();
+    let rank = cfg.ranks.iter().map(|(_, _, p)| p).next().unwrap_or(0);
+    let reduction = if cfg.is_original() {
+        0.0
+    } else {
+        let report = decompose_model(&mut model, cfg)
+            .unwrap_or_else(|e| panic!("decomposition failed: {e}"));
+        report.reduction_pct()
+    };
+    let results =
+        benches.iter().map(|b| (b.name(), evaluate(&model, b.as_ref(), world, opts))).collect();
+    StudyPoint {
+        label: label.into(),
+        rank,
+        layers: cfg.layers.iter().copied().collect(),
+        tensors: cfg.tensors.iter().copied().collect(),
+        param_reduction_pct: reduction,
+        results,
+    }
+}
+
+/// Baseline accuracies of the undecomposed model.
+pub fn baseline(
+    base: &TransformerLm,
+    world: &World,
+    benches: &[DynBenchmark],
+    opts: &EvalOptions,
+) -> StudyPoint {
+    eval_config(base, &DecompositionConfig::original(), "original", world, benches, opts)
+}
+
+/// Fig. 3: accuracy versus pruned rank. The paper prunes 4096-dim tensors
+/// to ranks {500, 250, 1}; `ranks` carries the equivalents scaled to the
+/// model under test. Each rank is evaluated at each provided layer set.
+pub fn rank_sweep(
+    base: &TransformerLm,
+    world: &World,
+    benches: &[DynBenchmark],
+    opts: &EvalOptions,
+    ranks: &[usize],
+    layer_sets: &[(&str, Vec<usize>)],
+) -> Vec<StudyPoint> {
+    let tensors = all_llama_tensors();
+    let mut out = Vec::new();
+    for (set_label, layers) in layer_sets {
+        for &rank in ranks {
+            let cfg = DecompositionConfig::uniform(layers, &tensors, rank);
+            let label = format!("layers {set_label}, PR={rank}");
+            out.push(eval_config(base, &cfg, label, world, benches, opts));
+        }
+    }
+    out
+}
+
+/// Paper display names (Fig. 4) of a model's per-layer decomposable
+/// tensors, derived from the live model's slot names.
+pub fn layer_tensor_names(base: &TransformerLm) -> Vec<&'static str> {
+    let mut probe = base.clone();
+    probe
+        .visit_linears()
+        .into_iter()
+        .filter(|(layer, _, _)| *layer == 0)
+        .map(|(_, name, _)| match name {
+            "wq" => "W_Q",
+            "wk" => "W_K",
+            "wv" => "W_V",
+            "wo" => "W_SO",
+            "gate" => "W_Gate",
+            "up" => "W_Up",
+            "down" => "W_Down",
+            "intermediate" => "W_Int",
+            "output" => "W_Out",
+            other => other,
+        })
+        .collect()
+}
+
+/// Fig. 5: per-tensor sensitivity — each decomposable tensor factored
+/// (rank 1) either in a single middle layer or in every layer. Works for
+/// both architectures (7 Llama tensors, 6 BERT tensors).
+pub fn tensor_choice(
+    base: &TransformerLm,
+    world: &World,
+    benches: &[DynBenchmark],
+    opts: &EvalOptions,
+) -> Vec<StudyPoint> {
+    let n_layers = base.config().n_layers;
+    let tensor_names = layer_tensor_names(base);
+    let mut out = Vec::new();
+    for (t, name) in tensor_names.iter().enumerate() {
+        let one = DecompositionConfig::uniform(&[n_layers / 2], &[t], 1);
+        out.push(eval_config(base, &one, format!("{name} (one layer)"), world, benches, opts));
+    }
+    for (t, name) in tensor_names.iter().enumerate() {
+        let all_layers: Vec<usize> = (0..n_layers).collect();
+        let all = DecompositionConfig::uniform(&all_layers, &[t], 1);
+        out.push(eval_config(base, &all, format!("{name} (all layers)"), world, benches, opts));
+    }
+    out
+}
+
+/// Fig. 6: one-tensor-in-many-layers versus all-tensors-in-few-layers at a
+/// matched parameter-reduction target.
+///
+/// `single_tensors` lists the tensor indices whose all-layer decomposition
+/// lands near the target; `all_tensor_layers` is the layer set whose
+/// all-tensor decomposition matches it.
+pub fn tensor_vs_layer(
+    base: &TransformerLm,
+    world: &World,
+    benches: &[DynBenchmark],
+    opts: &EvalOptions,
+    single_tensors: &[usize],
+    all_tensor_layers: &[usize],
+) -> Vec<StudyPoint> {
+    let n_layers = base.config().n_layers;
+    let tensor_names = layer_tensor_names(base);
+    let all_layers: Vec<usize> = (0..n_layers).collect();
+    let mut out = Vec::new();
+    for &t in single_tensors {
+        let cfg = DecompositionConfig::uniform(&all_layers, &[t], 1);
+        out.push(eval_config(
+            base,
+            &cfg,
+            format!("{} in all layers", tensor_names[t]),
+            world,
+            benches,
+            opts,
+        ));
+    }
+    let all_tensors: Vec<usize> = (0..tensor_names.len()).collect();
+    let cfg = DecompositionConfig::uniform(all_tensor_layers, &all_tensors, 1);
+    out.push(eval_config(
+        base,
+        &cfg,
+        format!("all tensors in {} layers", all_tensor_layers.len()),
+        world,
+        benches,
+        opts,
+    ));
+    out
+}
+
+/// Fig. 7: per-layer sensitivity — decompose one layer at a time (rank 1,
+/// all tensors) and record the aggregate accuracy.
+pub fn layer_sensitivity(
+    base: &TransformerLm,
+    world: &World,
+    benches: &[DynBenchmark],
+    opts: &EvalOptions,
+) -> Vec<StudyPoint> {
+    let n_layers = base.config().n_layers;
+    let all_tensors: Vec<usize> = (0..layer_tensor_names(base).len()).collect();
+    (0..n_layers)
+        .map(|l| {
+            let cfg = DecompositionConfig::uniform(&[l], &all_tensors, 1);
+            eval_config(base, &cfg, format!("layer {l}"), world, benches, opts)
+        })
+        .collect()
+}
+
+/// Fig. 8: the effect of the distance between decomposed layers — a fixed
+/// number of layers placed at increasing strides.
+pub fn layer_distance(
+    base: &TransformerLm,
+    world: &World,
+    benches: &[DynBenchmark],
+    opts: &EvalOptions,
+    strides: &[usize],
+    count: usize,
+    start: usize,
+) -> Vec<StudyPoint> {
+    let n_layers = base.config().n_layers;
+    let all_tensors: Vec<usize> = (0..layer_tensor_names(base).len()).collect();
+    strides
+        .iter()
+        .map(|&stride| {
+            let layers = strided_layers(n_layers, start, stride, count);
+            let cfg = DecompositionConfig::uniform(&layers, &all_tensors, 1);
+            eval_config(base, &cfg, format!("stride {stride}"), world, benches, opts)
+        })
+        .collect()
+}
+
+/// Fig. 9: the case-study sweep — accuracy at every Table 4 preset.
+pub fn case_study(
+    base: &TransformerLm,
+    world: &World,
+    benches: &[DynBenchmark],
+    opts: &EvalOptions,
+) -> Vec<StudyPoint> {
+    table4_presets()
+        .into_iter()
+        .map(|(label, _, layers)| {
+            let cfg = preset_config(&layers);
+            eval_config(base, &cfg, format!("reduction {label}"), world, benches, opts)
+        })
+        .collect()
+}
+
+/// One point of the efficiency sweep (Figs. 10–12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyPoint {
+    /// Table 4 preset label.
+    pub label: String,
+    /// Parameter reduction, percent (analytic).
+    pub param_reduction_pct: f64,
+    /// Simulated run report.
+    pub report: InferenceReport,
+    /// Speedup versus the dense baseline.
+    pub speedup: f64,
+    /// Energy saving versus dense, percent.
+    pub energy_saving_pct: f64,
+    /// Memory saving versus dense, percent.
+    pub memory_saving_pct: f64,
+}
+
+/// Figs. 10–12: latency/energy/memory across the Table 4 presets on the
+/// simulated 4×A100 node with the full-size Llama2-7B descriptor.
+pub fn efficiency_sweep(
+    system: &SystemSpec,
+    desc: &TransformerDescriptor,
+    batch_per_gpu: usize,
+    seq: usize,
+) -> Vec<EfficiencyPoint> {
+    let dense = simulate_inference(system, desc, &[], batch_per_gpu, seq);
+    let mut out = vec![EfficiencyPoint {
+        label: "0%".into(),
+        param_reduction_pct: 0.0,
+        report: dense,
+        speedup: 1.0,
+        energy_saving_pct: 0.0,
+        memory_saving_pct: 0.0,
+    }];
+    for (label, _, layers) in table4_presets() {
+        let cfg = preset_config(&layers);
+        let decomp = descriptor_decomposition(desc, &cfg);
+        let report = simulate_inference(system, desc, &decomp, batch_per_gpu, seq);
+        out.push(EfficiencyPoint {
+            label: label.into(),
+            param_reduction_pct: param_reduction_pct(desc, &cfg),
+            report,
+            speedup: dense.wall_time_s / report.wall_time_s,
+            energy_saving_pct: 100.0 * (dense.energy_j - report.energy_j) / dense.energy_j,
+            memory_saving_pct: 100.0
+                * (dense.memory.total() as f64 - report.memory.total() as f64)
+                / dense.memory.total() as f64,
+        });
+    }
+    out
+}
+
+/// One point of the decode-phase sweep (extension beyond the paper: the
+/// single-token generation regime where weight streaming dominates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodePoint {
+    /// Table 4 preset label.
+    pub label: String,
+    /// Parameter reduction, percent.
+    pub param_reduction_pct: f64,
+    /// Seconds per decode step (one token per sequence).
+    pub step_time_s: f64,
+    /// Speedup versus the dense baseline.
+    pub speedup: f64,
+}
+
+/// Decode-phase latency across the Table 4 presets: one generated token per
+/// sequence against a KV cache of `past_len`. Decode is deeply
+/// memory-bound, so the *byte* saving tracks the parameter reduction 1:1;
+/// the measured time saving is capped by per-kernel launch overhead (the
+/// factored form triples the kernel count), which the sweep exposes.
+pub fn decode_sweep(
+    system: &SystemSpec,
+    desc: &TransformerDescriptor,
+    batch: usize,
+    past_len: usize,
+) -> Vec<DecodePoint> {
+    use lrd_hwsim::ops::decode_step_ops;
+    use lrd_hwsim::roofline::Roofline;
+    let roof = Roofline::new(system.gpu, lrd_models::descriptor::DType::F16);
+    let dense_t = roof.estimate(&decode_step_ops(desc, batch, past_len, &[])).total();
+    let mut out = vec![DecodePoint {
+        label: "0%".into(),
+        param_reduction_pct: 0.0,
+        step_time_s: dense_t,
+        speedup: 1.0,
+    }];
+    for (label, _, layers) in table4_presets() {
+        let cfg = preset_config(&layers);
+        let decomp = descriptor_decomposition(desc, &cfg);
+        let t = roof.estimate(&decode_step_ops(desc, batch, past_len, &decomp)).total();
+        out.push(DecodePoint {
+            label: label.into(),
+            param_reduction_pct: param_reduction_pct(desc, &cfg),
+            step_time_s: t,
+            speedup: dense_t / t,
+        });
+    }
+    out
+}
+
+/// Definition 1: among evaluated configurations, find the one minimizing
+/// `latency × energy` subject to `max(acc_orig − acc(γ), 0) < τ` (accuracy
+/// compared as the mean over benchmarks).
+///
+/// `accuracy_points` and `efficiency_points` are joined by label order —
+/// pass the Table 4 case study and efficiency sweep (without its dense
+/// first entry misaligning: the dense entry's label is `"0%"` and the
+/// baseline StudyPoint should be passed separately).
+pub fn optimize_design_goal<'a>(
+    baseline_acc: f64,
+    accuracy_points: &'a [StudyPoint],
+    efficiency_points: &'a [EfficiencyPoint],
+    tau_pct: f64,
+) -> Option<(&'a StudyPoint, &'a EfficiencyPoint)> {
+    let mut best: Option<(&StudyPoint, &EfficiencyPoint, f64)> = None;
+    for sp in accuracy_points {
+        // Join on the preset token (the last whitespace-separated word of
+        // the study label, e.g. "reduction 15%" ↔ "15%").
+        let key = sp.label.rsplit(' ').next().unwrap_or(&sp.label);
+        let Some(ep) = efficiency_points.iter().find(|e| e.label == key) else {
+            continue;
+        };
+        let drop = (baseline_acc - sp.mean_accuracy()).max(0.0);
+        if drop >= tau_pct {
+            continue;
+        }
+        let edp = ep.report.wall_time_s * ep.report.energy_j;
+        if best.is_none_or(|(_, _, b)| edp < b) {
+            best = Some((sp, ep, edp));
+        }
+    }
+    best.map(|(s, e, _)| (s, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_eval::tasks::{ArcEasy, WinoGrande};
+    use lrd_models::zoo::llama2_7b;
+    use lrd_nn::{ArchKind, TransformerConfig};
+    use lrd_tensor::rng::Rng64;
+
+    fn quick_model() -> TransformerLm {
+        let cfg = TransformerConfig {
+            kind: ArchKind::Decoder,
+            vocab_size: 256,
+            d_model: 16,
+            n_layers: 4,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 32,
+            max_seq: 64,
+        };
+        TransformerLm::new(cfg, &mut Rng64::new(9))
+    }
+
+    fn quick_benches() -> Vec<DynBenchmark> {
+        vec![Box::new(ArcEasy), Box::new(WinoGrande)]
+    }
+
+    fn quick_opts() -> EvalOptions {
+        EvalOptions { n_samples: 20, seed: 3, batch_size: 32, threads: 2 }
+    }
+
+    #[test]
+    fn eval_config_baseline_has_zero_reduction() {
+        let m = quick_model();
+        let w = World::new(1);
+        let p = baseline(&m, &w, &quick_benches(), &quick_opts());
+        assert_eq!(p.param_reduction_pct, 0.0);
+        assert_eq!(p.results.len(), 2);
+        assert!(p.mean_accuracy() >= 0.0);
+    }
+
+    #[test]
+    fn layer_sensitivity_covers_all_layers() {
+        let m = quick_model();
+        let w = World::new(1);
+        let pts = layer_sensitivity(&m, &w, &quick_benches(), &quick_opts());
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[2].layers, vec![2]);
+        // Single-layer rank-1 reduction ≈ layer share of params.
+        assert!(pts[0].param_reduction_pct > 0.0);
+    }
+
+    #[test]
+    fn rank_sweep_labels_and_reductions() {
+        let m = quick_model();
+        let w = World::new(1);
+        let pts = rank_sweep(
+            &m,
+            &w,
+            &quick_benches(),
+            &quick_opts(),
+            &[1, 2],
+            &[("mid", vec![1, 2])],
+        );
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].param_reduction_pct > pts[1].param_reduction_pct, "rank 1 reduces more");
+        assert!(pts[0].label.contains("PR=1"));
+    }
+
+    #[test]
+    fn efficiency_sweep_monotone() {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        let pts = efficiency_sweep(&sys, &desc, 64, 128);
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[1].param_reduction_pct > w[0].param_reduction_pct);
+            assert!(w[1].speedup >= w[0].speedup - 1e-9, "speedup must not regress");
+            assert!(w[1].memory_saving_pct >= w[0].memory_saving_pct - 1e-9);
+        }
+        // Paper's headline: ~9% params → ~4% latency, ~5% energy savings.
+        let nine = &pts[2];
+        assert!((nine.param_reduction_pct - 9.0).abs() < 1.0);
+        let lat_saving = 100.0 * (1.0 - 1.0 / nine.speedup);
+        assert!((2.0..8.0).contains(&lat_saving), "latency saving {lat_saving}%");
+    }
+
+    #[test]
+    fn decode_sweep_savings_approach_param_reduction() {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        let pts = decode_sweep(&sys, &desc, 8, 512);
+        assert_eq!(pts.len(), 11);
+        // At the 48% preset the weight-streaming saving is ~1:1 with
+        // parameters but the tripled kernel count claws some back; the net
+        // saving must still be substantial.
+        let p48 = pts.iter().find(|p| (p.param_reduction_pct - 48.0).abs() < 1.0).unwrap();
+        let saving = 100.0 * (1.0 - 1.0 / p48.speedup);
+        assert!(
+            saving > 0.35 * p48.param_reduction_pct,
+            "decode saving {saving}% at {}% params",
+            p48.param_reduction_pct
+        );
+        // Monotone speedup.
+        for w in pts.windows(2) {
+            assert!(w[1].speedup >= w[0].speedup - 1e-9);
+        }
+    }
+
+    #[test]
+    fn optimizer_respects_accuracy_constraint() {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        let eff = efficiency_sweep(&sys, &desc, 64, 128);
+        // Fabricate accuracy points: accuracy collapses beyond 15%.
+        let acc: Vec<StudyPoint> = table4_presets()
+            .into_iter()
+            .map(|(label, red, layers)| StudyPoint {
+                label: format!("reduction {label}"),
+                rank: 1,
+                layers,
+                tensors: (0..7).collect(),
+                param_reduction_pct: red,
+                results: vec![(
+                    "ARC Easy",
+                    if red <= 15.0 {
+                        Accuracy { correct: 70, total: 100 }
+                    } else {
+                        Accuracy { correct: 30, total: 100 }
+                    },
+                )],
+            })
+            .collect();
+        let best = optimize_design_goal(72.0, &acc, &eff, 5.0).expect("feasible point");
+        // 15% is the largest reduction within τ and minimizes EDP.
+        assert_eq!(best.0.param_reduction_pct, 15.0);
+        // With τ = 50 everything is feasible: picks the largest reduction.
+        let loose = optimize_design_goal(72.0, &acc, &eff, 50.0).unwrap();
+        assert_eq!(loose.0.param_reduction_pct, 96.0);
+        // Infeasible τ: none.
+        assert!(optimize_design_goal(72.0, &acc, &eff, 0.0).is_none());
+    }
+}

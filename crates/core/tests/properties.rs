@@ -1,0 +1,133 @@
+//! Property-based tests for the design-space formalization and the
+//! decomposer.
+
+use lrd_core::compression::{decomposed_params, param_reduction_pct, tensor_compression_ratio};
+use lrd_core::decompose::decompose_model;
+use lrd_core::select::{spread_layers, strided_layers};
+use lrd_core::space::DecompositionConfig;
+use lrd_models::zoo::llama2_7b;
+use lrd_nn::{ArchKind, TransformerConfig, TransformerLm};
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::tucker::break_even_rank;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_layers() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::btree_set(0usize..32, 1..6).prop_map(|s| s.into_iter().collect())
+}
+
+fn arb_tensors() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::btree_set(0usize..7, 1..4).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn uniform_configs_validate(layers in arb_layers(), tensors in arb_tensors(), rank in 1usize..256) {
+        let cfg = DecompositionConfig::uniform(&layers, &tensors, rank);
+        prop_assert!(cfg.validate(&llama2_7b()).is_ok());
+    }
+
+    #[test]
+    fn param_reduction_in_unit_range(layers in arb_layers(), tensors in arb_tensors()) {
+        let cfg = DecompositionConfig::uniform(&layers, &tensors, 1);
+        let red = param_reduction_pct(&llama2_7b(), &cfg);
+        prop_assert!((0.0..=100.0).contains(&red));
+    }
+
+    #[test]
+    fn reduction_monotone_in_layer_count(tensors in arb_tensors(), rank in 1usize..64) {
+        let desc = llama2_7b();
+        let mut prev = 0.0f64;
+        for n in 1..=4usize {
+            let layers: Vec<usize> = (0..n).collect();
+            let cfg = DecompositionConfig::uniform(&layers, &tensors, rank);
+            let red = param_reduction_pct(&desc, &cfg);
+            prop_assert!(red >= prev - 1e-9, "adding a layer must not reduce savings");
+            prev = red;
+        }
+    }
+
+    #[test]
+    fn reduction_antitone_in_rank(layers in arb_layers(), tensors in arb_tensors()) {
+        let desc = llama2_7b();
+        let r1 = param_reduction_pct(&desc, &DecompositionConfig::uniform(&layers, &tensors, 1));
+        let r64 = param_reduction_pct(&desc, &DecompositionConfig::uniform(&layers, &tensors, 64));
+        prop_assert!(r1 >= r64);
+    }
+
+    #[test]
+    fn compression_ratio_vs_break_even(h in 4usize..512, w in 4usize..512) {
+        let be = break_even_rank(h, w);
+        let below = (be * 0.5).max(1.0) as usize;
+        prop_assert!(tensor_compression_ratio(h, w, below) > 1.0);
+        let above = (be * 1.5) as usize;
+        if above <= h.min(w) {
+            prop_assert!(tensor_compression_ratio(h, w, above) < 1.0);
+        }
+    }
+
+    #[test]
+    fn decomposed_params_consistent_with_reduction(layers in arb_layers(), rank in 1usize..8) {
+        let desc = llama2_7b();
+        let tensors: Vec<usize> = (0..7).collect();
+        let cfg = DecompositionConfig::uniform(&layers, &tensors, rank);
+        let params = decomposed_params(&desc, &cfg) as f64;
+        let red = param_reduction_pct(&desc, &cfg);
+        let recomputed = 100.0 * (desc.total_params() as f64 - params) / desc.total_params() as f64;
+        prop_assert!((red - recomputed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spread_layers_distinct_and_in_range(n in 2usize..64, count in 1usize..10) {
+        prop_assume!(count <= n);
+        let l = spread_layers(n, count);
+        prop_assert_eq!(l.len(), count);
+        let set: BTreeSet<_> = l.iter().collect();
+        prop_assert_eq!(set.len(), count, "duplicates in {:?}", l);
+        prop_assert!(l.iter().all(|&x| x < n));
+    }
+
+    #[test]
+    fn strided_layers_respect_bounds(start in 0usize..8, stride in 1usize..8, count in 1usize..8) {
+        let l = strided_layers(32, start, stride, count);
+        prop_assert!(l.iter().all(|&x| x < 32));
+        for w in l.windows(2) {
+            prop_assert_eq!(w[1] - w[0], stride);
+        }
+    }
+}
+
+#[test]
+fn random_configs_apply_cleanly_to_live_model() {
+    // Fuzz the decomposer against a live model with random configurations.
+    let cfg = TransformerConfig {
+        kind: ArchKind::Decoder,
+        vocab_size: 64,
+        d_model: 16,
+        n_layers: 4,
+        n_heads: 2,
+        n_kv_heads: 2,
+        d_ff: 32,
+        max_seq: 32,
+    };
+    let base = TransformerLm::new(cfg, &mut Rng64::new(77));
+    let mut rng = Rng64::new(99);
+    for _ in 0..25 {
+        let n_l = 1 + rng.below(4);
+        let layers: BTreeSet<usize> = (0..n_l).map(|_| rng.below(4)).collect();
+        let n_t = 1 + rng.below(7);
+        let tensors: BTreeSet<usize> = (0..n_t).map(|_| rng.below(7)).collect();
+        let rank = 1 + rng.below(16);
+        let layers: Vec<usize> = layers.into_iter().collect();
+        let tensors: Vec<usize> = tensors.into_iter().collect();
+        let gamma = DecompositionConfig::uniform(&layers, &tensors, rank);
+        let mut m = base.clone();
+        let report = decompose_model(&mut m, &gamma).expect("valid config applies");
+        assert!(report.params_after <= report.params_before + 17 * 17 * 7 * 4);
+        // Model still runs.
+        let logits = m.logits(&[1, 2, 3], 1);
+        assert!(logits.data().iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,390 @@
+//! Training-corpus builder.
+//!
+//! The corpus realizes each benchmark's difficulty profile through mixing
+//! weights: heavily repeated single-hop facts (ARC-Easy), skewed per-domain
+//! exposure (MMLU), rare 2-hop statements (ARC-Challenge), misconceptions
+//! stated more often than truths (TruthfulQA), context-dependent selection
+//! patterns (WinoGrande), stories (HellaSwag), and modular arithmetic with
+//! held-out pairs (GSM8K).
+
+use crate::tasks::{Gsm8k, HellaSwag};
+use crate::vocab::{self, N_DOMAINS, N_ENTITIES, N_ENTITY_RELATIONS, N_RELATIONS};
+use crate::world::World;
+use lrd_nn::train::Batch;
+use lrd_tensor::rng::Rng64;
+
+/// Kinds of training statements and their mixing weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatementKind {
+    /// Single-hop fact in query form, for a specific domain.
+    FactQuery(usize),
+    /// Single-hop fact in plain declarative form, for a specific domain.
+    FactPlain(usize),
+    /// Entity-to-entity hop statement (first hop of 2-hop queries).
+    EntityHop,
+    /// Full 2-hop query statement (rare — ARC-Challenge difficulty).
+    TwoHopQuery,
+    /// HellaSwag-style two-fact story.
+    Story,
+    /// WinoGrande-style property-selection statement.
+    Wino,
+    /// GSM8K-style arithmetic example.
+    Arithmetic,
+}
+
+/// Per-domain fact exposure weights (domain 0 is the ARC-Easy domain).
+const DOMAIN_WEIGHTS: [u32; N_DOMAINS] = [10, 6, 5, 3, 2, 1];
+
+/// Remaining statement weights.
+const ENTITY_HOP_WEIGHT: u32 = 5;
+const TWO_HOP_WEIGHT: u32 = 2;
+const STORY_WEIGHT: u32 = 5;
+const WINO_WEIGHT: u32 = 6;
+// Arithmetic needs an order of magnitude more exposures per item than
+// fact recall (digit tokens serve operand and answer roles), so it gets
+// the largest share.
+const ARITH_WEIGHT: u32 = 30;
+
+/// Probability (out of 4) that a contested fact is stated as its popular
+/// misconception rather than the truth.
+const LIE_NUMERATOR: usize = 3;
+
+/// Deterministic training-corpus generator for a [`World`].
+#[derive(Debug, Clone)]
+pub struct CorpusBuilder {
+    world: World,
+    rng: Rng64,
+    /// Sequence length of emitted training sequences (+1 for the shifted
+    /// target).
+    pub seq_len: usize,
+    kinds: Vec<(StatementKind, u32)>,
+    total_weight: u32,
+}
+
+impl CorpusBuilder {
+    /// Creates a corpus builder with the standard mixing weights.
+    pub fn new(world: World, seed: u64, seq_len: usize) -> Self {
+        let mut kinds = Vec::new();
+        for (d, &w) in DOMAIN_WEIGHTS.iter().enumerate() {
+            // Split each domain's exposure between query and plain forms so
+            // the model sees the benchmark prompt format.
+            kinds.push((StatementKind::FactQuery(d), w));
+            kinds.push((StatementKind::FactPlain(d), w.div_ceil(2)));
+        }
+        kinds.push((StatementKind::EntityHop, ENTITY_HOP_WEIGHT));
+        kinds.push((StatementKind::TwoHopQuery, TWO_HOP_WEIGHT));
+        kinds.push((StatementKind::Story, STORY_WEIGHT));
+        kinds.push((StatementKind::Wino, WINO_WEIGHT));
+        kinds.push((StatementKind::Arithmetic, ARITH_WEIGHT));
+        let total_weight = kinds.iter().map(|&(_, w)| w).sum();
+        CorpusBuilder { world, rng: Rng64::new(seed ^ 0xC0B5_0521), seq_len, kinds, total_weight }
+    }
+
+    fn draw_kind(&mut self) -> StatementKind {
+        let mut pick = (self.rng.next_u64() % self.total_weight as u64) as u32;
+        for &(kind, w) in &self.kinds {
+            if pick < w {
+                return kind;
+            }
+            pick -= w;
+        }
+        self.kinds[0].0
+    }
+
+    fn relation_in_domain(&mut self, domain: usize) -> usize {
+        loop {
+            let r = N_ENTITY_RELATIONS + self.rng.below(N_RELATIONS - N_ENTITY_RELATIONS);
+            if vocab::domain_of_relation(r) == domain {
+                return r;
+            }
+        }
+    }
+
+    /// The value stated for `(e, r)` in the corpus: truth for ordinary
+    /// facts, the popular misconception ¾ of the time for contested ones.
+    fn stated_value(&mut self, e: usize, r: usize) -> usize {
+        if self.world.is_contested(e, r) && self.rng.below(4) < LIE_NUMERATOR {
+            self.world.misconception(e, r)
+        } else {
+            self.world.value_fact(e, r)
+        }
+    }
+
+    /// Emits one training statement.
+    fn statement(&mut self) -> Vec<usize> {
+        match self.draw_kind() {
+            StatementKind::FactQuery(d) => {
+                let e = self.rng.below(N_ENTITIES);
+                let r = self.relation_in_domain(d);
+                let v = self.stated_value(e, r);
+                vec![
+                    vocab::BOS,
+                    vocab::QUERY,
+                    vocab::entity(e),
+                    vocab::relation(r),
+                    vocab::SEP,
+                    vocab::value(v),
+                    vocab::EOS,
+                ]
+            }
+            StatementKind::FactPlain(d) => {
+                let e = self.rng.below(N_ENTITIES);
+                let r = self.relation_in_domain(d);
+                let v = self.stated_value(e, r);
+                vec![
+                    vocab::BOS,
+                    vocab::entity(e),
+                    vocab::relation(r),
+                    vocab::SEP,
+                    vocab::value(v),
+                    vocab::EOS,
+                ]
+            }
+            StatementKind::EntityHop => {
+                let e = self.rng.below(N_ENTITIES);
+                let r = self.rng.below(N_ENTITY_RELATIONS);
+                self.world.entity_statement(e, r)
+            }
+            StatementKind::TwoHopQuery => {
+                let e = self.rng.below(N_ENTITIES);
+                let r1 = self.rng.below(N_ENTITY_RELATIONS);
+                let r2 = N_ENTITY_RELATIONS + self.rng.below(N_RELATIONS - N_ENTITY_RELATIONS);
+                let v = self.world.two_hop_fact(e, r1, r2);
+                vec![
+                    vocab::BOS,
+                    vocab::QUERY,
+                    vocab::entity(e),
+                    vocab::relation(r1),
+                    vocab::relation(r2),
+                    vocab::SEP,
+                    vocab::value(v),
+                    vocab::EOS,
+                ]
+            }
+            StatementKind::Story => {
+                let e = self.rng.below(N_ENTITIES);
+                let ra = self.relation_in_domain(1);
+                let rb = self.relation_in_domain(2);
+                let mut s = vec![
+                    vocab::BOS,
+                    vocab::entity(e),
+                    vocab::relation(ra),
+                    vocab::relation(rb),
+                    vocab::SEP,
+                ];
+                s.extend(HellaSwag::continuation(&self.world, e, ra, rb));
+                s
+            }
+            StatementKind::Wino => {
+                let r = self.rng.below(N_ENTITY_RELATIONS);
+                let e_yes = loop {
+                    let e = self.rng.below(N_ENTITIES);
+                    if self.world.has_property(e, r) {
+                        break e;
+                    }
+                };
+                let e_no = loop {
+                    let e = self.rng.below(N_ENTITIES);
+                    if e != e_yes && !self.world.has_property(e, r) {
+                        break e;
+                    }
+                };
+                let yes_first = self.rng.below(2) == 0;
+                let (e1, e2) = if yes_first { (e_yes, e_no) } else { (e_no, e_yes) };
+                vec![
+                    vocab::BOS,
+                    vocab::entity(e1),
+                    vocab::entity(e2),
+                    vocab::relation(r),
+                    vocab::SEP,
+                    vocab::entity(e_yes),
+                    vocab::EOS,
+                ]
+            }
+            StatementKind::Arithmetic => {
+                // Only non-held-out pairs appear in training.
+                let (a, b) = loop {
+                    let (a, b) = (self.rng.below(10), self.rng.below(10));
+                    if !self.world.arithmetic_holdout(a, b) {
+                        break (a, b);
+                    }
+                };
+                Gsm8k::shot(a, b)
+            }
+        }
+    }
+
+    /// Emits one fixed-length training sequence (`seq_len + 1` tokens, so
+    /// [`Batch::next_token`] yields `seq_len` positions) by packing
+    /// statements back to back.
+    pub fn sequence(&mut self) -> Vec<usize> {
+        let mut seq = Vec::with_capacity(self.seq_len + 8);
+        while seq.len() < self.seq_len + 1 {
+            seq.extend(self.statement());
+        }
+        seq.truncate(self.seq_len + 1);
+        seq
+    }
+
+    /// Emits a next-token training batch of `batch_size` sequences.
+    pub fn batch(&mut self, batch_size: usize) -> Batch {
+        let seqs: Vec<Vec<usize>> = (0..batch_size).map(|_| self.sequence()).collect();
+        Batch::next_token(&seqs)
+    }
+
+    /// Emits a masked-language-model batch (BERT-style pre-training):
+    /// `mask_prob` of positions are replaced by [`vocab::MASK`] and become
+    /// the only loss targets.
+    pub fn mlm_batch(&mut self, batch_size: usize, mask_prob: f64) -> Batch {
+        let seqs: Vec<Vec<usize>> = (0..batch_size).map(|_| self.sequence()).collect();
+        let mut rng = self.rng.fork();
+        Batch::masked_lm(&seqs, vocab::MASK, mask_prob, &mut rng)
+    }
+
+    /// Emits a cloze-style MLM batch: only *answer slots* (the token
+    /// following each [`vocab::SEP`]) are candidates for masking, each
+    /// masked with probability ½. This is the span-focused objective BERT
+    /// fine-tuning uses in practice (predicting answers, not arbitrary
+    /// tokens) and is what the cloze probe evaluates.
+    pub fn cloze_batch(&mut self, batch_size: usize) -> Batch {
+        let seqs: Vec<Vec<usize>> = (0..batch_size).map(|_| self.sequence()).collect();
+        let mut rng = self.rng.fork();
+        let seq_len = seqs[0].len();
+        let mut tokens = Vec::with_capacity(batch_size * seq_len);
+        let mut targets = Vec::with_capacity(batch_size * seq_len);
+        for s in &seqs {
+            let base = tokens.len();
+            let mut masked_any = false;
+            for (i, &t) in s.iter().enumerate() {
+                let answer_slot = i > 0 && s[i - 1] == vocab::SEP;
+                if answer_slot && rng.below(2) == 0 {
+                    tokens.push(vocab::MASK);
+                    targets.push(t);
+                    masked_any = true;
+                } else {
+                    tokens.push(t);
+                    targets.push(lrd_nn::act::IGNORE_INDEX);
+                }
+            }
+            if !masked_any {
+                // Force-mask the first answer slot (or the middle token if
+                // the packing window contains no SEP).
+                let pos = s
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                    .find(|&(i, _)| s[i - 1] == vocab::SEP)
+                    .map(|(i, _)| i)
+                    .unwrap_or(seq_len / 2);
+                targets[base + pos] = tokens[base + pos];
+                tokens[base + pos] = vocab::MASK;
+            }
+        }
+        Batch { tokens, targets, batch: batch_size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_have_fixed_length() {
+        let mut c = CorpusBuilder::new(World::new(1), 2, 48);
+        for _ in 0..10 {
+            assert_eq!(c.sequence().len(), 49);
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let mut a = CorpusBuilder::new(World::new(1), 7, 32);
+        let mut b = CorpusBuilder::new(World::new(1), 7, 32);
+        for _ in 0..5 {
+            assert_eq!(a.sequence(), b.sequence());
+        }
+    }
+
+    #[test]
+    fn all_tokens_in_vocab() {
+        let mut c = CorpusBuilder::new(World::new(3), 5, 64);
+        for _ in 0..50 {
+            for &t in &c.sequence() {
+                assert!(t < vocab::VOCAB_SIZE);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_layout() {
+        let mut c = CorpusBuilder::new(World::new(4), 9, 24);
+        let b = c.batch(4);
+        assert_eq!(b.batch, 4);
+        assert_eq!(b.tokens.len(), 4 * 24);
+        assert_eq!(b.targets.len(), 4 * 24);
+    }
+
+    #[test]
+    fn cloze_batch_masks_only_answer_slots() {
+        let mut c = CorpusBuilder::new(World::new(9), 3, 40);
+        let b = c.cloze_batch(6);
+        // Sequences carry seq_len + 1 tokens (no next-token shift in MLM).
+        assert_eq!(b.tokens.len(), 6 * 41);
+        let mut masked = 0;
+        for (i, (&tok, &tgt)) in b.tokens.iter().zip(&b.targets).enumerate() {
+            if tok == vocab::MASK {
+                masked += 1;
+                assert_ne!(tgt, lrd_nn::act::IGNORE_INDEX);
+            } else if i % 41 != 0 {
+                // Unmasked non-boundary positions carry no target.
+                assert_eq!(tgt, lrd_nn::act::IGNORE_INDEX);
+            }
+        }
+        assert!(masked >= 6, "each sequence masks at least one slot, got {masked}");
+    }
+
+    #[test]
+    fn contested_facts_lean_toward_misconception() {
+        // Count stated values over many samples for contested pairs.
+        let world = World::new(5);
+        let mut c = CorpusBuilder::new(world, 6, 32);
+        let (e, r) = {
+            let mut found = (0, N_ENTITY_RELATIONS);
+            'outer: for e in 0..N_ENTITIES {
+                for r in N_ENTITY_RELATIONS..N_RELATIONS {
+                    if world.is_contested(e, r) {
+                        found = (e, r);
+                        break 'outer;
+                    }
+                }
+            }
+            found
+        };
+        let mut lies = 0;
+        let mut truths = 0;
+        for _ in 0..400 {
+            let v = c.stated_value(e, r);
+            if v == world.misconception(e, r) {
+                lies += 1;
+            } else if v == world.value_fact(e, r) {
+                truths += 1;
+            }
+        }
+        assert!(lies > truths, "lies {lies} vs truths {truths}");
+    }
+
+    #[test]
+    fn held_out_arithmetic_never_trained() {
+        let world = World::new(6);
+        let mut c = CorpusBuilder::new(world, 8, 64);
+        for _ in 0..300 {
+            let s = c.statement();
+            // Arithmetic statements have the form [a, +, b, =, s, SEP].
+            if s.len() == 6 && s[1] == vocab::PLUS {
+                let a = s[0] - vocab::DIGIT_BASE;
+                let b = s[2] - vocab::DIGIT_BASE;
+                assert!(!world.arithmetic_holdout(a, b));
+            }
+        }
+    }
+}

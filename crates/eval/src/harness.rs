@@ -1,0 +1,429 @@
+//! lm-eval-style evaluation harness.
+//!
+//! Multiple-choice benchmarks are scored by length-normalized
+//! log-likelihood (the lm-evaluation-harness `acc_norm` convention);
+//! generation benchmarks by greedy decoding and exact match. Scoring is
+//! batched (right-padded within each batch) and parallelized across CPU
+//! threads, the stand-in for the paper's throughput-oriented max-batch GPU
+//! evaluation.
+
+use crate::sample::{Benchmark, Sample, ScoringMode};
+use crate::vocab;
+use crate::world::World;
+use lrd_nn::act::log_softmax_rows;
+use lrd_nn::TransformerLm;
+
+/// An accuracy measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Accuracy {
+    /// Correctly answered samples.
+    pub correct: usize,
+    /// Total samples evaluated.
+    pub total: usize,
+}
+
+impl Accuracy {
+    /// Accuracy in percent (0 for an empty evaluation).
+    pub fn percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Binomial standard error of the accuracy estimate, in percentage
+    /// points (the lm-eval-harness `acc_stderr` convention).
+    pub fn stderr(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let p = self.correct as f64 / self.total as f64;
+        100.0 * (p * (1.0 - p) / self.total as f64).sqrt()
+    }
+}
+
+impl std::fmt::Display for Accuracy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}% ({}/{})", self.percent(), self.correct, self.total)
+    }
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Number of samples to draw.
+    pub n_samples: usize,
+    /// Sampling seed (evaluation sets are deterministic per seed).
+    pub seed: u64,
+    /// Rows per scoring batch.
+    pub batch_size: usize,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { n_samples: 200, seed: 17, batch_size: 64, threads: 0 }
+    }
+}
+
+impl EvalOptions {
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+        }
+    }
+}
+
+/// One scoring row: a full (prompt ++ choice) sequence.
+struct Row {
+    sample: usize,
+    choice: usize,
+    tokens: Vec<usize>,
+    prefix_len: usize,
+}
+
+/// Evaluates `bench` on `model` and returns the accuracy.
+///
+/// # Panics
+///
+/// Panics if a sample exceeds the model's maximum sequence length.
+pub fn evaluate(
+    model: &TransformerLm,
+    bench: &dyn Benchmark,
+    world: &World,
+    opts: &EvalOptions,
+) -> Accuracy {
+    let samples = bench.samples(world, opts.n_samples, opts.seed);
+    match bench.scoring() {
+        ScoringMode::MultipleChoice => evaluate_multiple_choice(model, &samples, opts),
+        ScoringMode::ExactMatch => evaluate_exact_match(model, &samples, opts),
+        ScoringMode::Cloze => evaluate_cloze(model, &samples, opts),
+    }
+}
+
+/// Cloze scoring for encoder models: one forward pass per batch of
+/// equal-length prompts; each sample is answered by the choice token with
+/// the highest logit at its masked position.
+///
+/// # Panics
+///
+/// Panics if prompts have differing lengths (bidirectional attention would
+/// see padding), a prompt lacks a [`vocab::MASK`], or a choice is not a
+/// single token.
+fn evaluate_cloze(model: &TransformerLm, samples: &[Sample], opts: &EvalOptions) -> Accuracy {
+    if samples.is_empty() {
+        return Accuracy::default();
+    }
+    let seq = samples[0].prompt.len();
+    for s in samples {
+        assert_eq!(s.prompt.len(), seq, "cloze prompts must share one length");
+        assert!(s.choices.iter().all(|c| c.len() == 1), "cloze choices must be single tokens");
+    }
+    let per_batch = opts.batch_size.max(1);
+    let chunks: Vec<&[Sample]> = samples.chunks(per_batch).collect();
+    let correct = std::sync::atomic::AtomicUsize::new(0);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = opts.effective_threads().min(chunks.len());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let ci = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if ci >= chunks.len() {
+                    break;
+                }
+                let chunk = chunks[ci];
+                let flat: Vec<usize> =
+                    chunk.iter().flat_map(|s| s.prompt.iter().copied()).collect();
+                let logits = model.logits(&flat, chunk.len());
+                for (i, s) in chunk.iter().enumerate() {
+                    let mask_pos = s
+                        .prompt
+                        .iter()
+                        .position(|&t| t == vocab::MASK)
+                        .expect("cloze prompt must contain MASK");
+                    let row = logits.row(i * seq + mask_pos);
+                    let best = s
+                        .choices
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| {
+                            row[a.1[0]]
+                                .partial_cmp(&row[b.1[0]])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                        .map(|(j, _)| j)
+                        .unwrap_or(0);
+                    if best == s.answer {
+                        correct.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    Accuracy { correct: correct.into_inner(), total: samples.len() }
+}
+
+fn evaluate_multiple_choice(
+    model: &TransformerLm,
+    samples: &[Sample],
+    opts: &EvalOptions,
+) -> Accuracy {
+    // Flatten every (sample, choice) into a scoring row.
+    let mut rows = Vec::new();
+    for (si, s) in samples.iter().enumerate() {
+        for (ci, c) in s.choices.iter().enumerate() {
+            let mut tokens = s.prompt.clone();
+            tokens.extend_from_slice(c);
+            rows.push(Row { sample: si, choice: ci, tokens, prefix_len: s.prompt.len() });
+        }
+    }
+    let chunks: Vec<&[Row]> = rows.chunks(opts.batch_size.max(1)).collect();
+    let mut scores: Vec<Vec<(usize, usize, f32)>> = vec![Vec::new(); chunks.len()];
+    let threads = opts.effective_threads().min(chunks.len().max(1));
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    type ChunkScores = Vec<(usize, Vec<(usize, usize, f32)>)>;
+    let results: ChunkScores = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= chunks.len() {
+                            break;
+                        }
+                        local.push((i, score_chunk(model, chunks[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("scoring worker panicked")).collect()
+    });
+    for (i, v) in results {
+        scores[i] = v;
+    }
+
+    // Pick the best choice per sample.
+    let mut best: Vec<(f32, usize)> = vec![(f32::NEG_INFINITY, usize::MAX); samples.len()];
+    for (si, ci, score) in scores.into_iter().flatten() {
+        if score > best[si].0 {
+            best[si] = (score, ci);
+        }
+    }
+    let correct =
+        best.iter().zip(samples).filter(|((_, ci), s)| *ci == s.answer).count();
+    Accuracy { correct, total: samples.len() }
+}
+
+/// Scores every row of a chunk in one padded batch forward pass; returns
+/// `(sample, choice, mean continuation log-probability)` triples.
+fn score_chunk(model: &TransformerLm, chunk: &[Row]) -> Vec<(usize, usize, f32)> {
+    let max_len = chunk.iter().map(|r| r.tokens.len()).max().unwrap_or(0);
+    let batch = chunk.len();
+    let mut flat = vec![vocab::PAD; batch * max_len];
+    for (i, row) in chunk.iter().enumerate() {
+        flat[i * max_len..i * max_len + row.tokens.len()].copy_from_slice(&row.tokens);
+    }
+    let logits = model.logits(&flat, batch);
+    let logp = log_softmax_rows(&logits);
+    chunk
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut sum = 0.0f32;
+            let mut count = 0usize;
+            // Position p predicts token p+1; score continuation tokens.
+            for p in (row.prefix_len - 1)..(row.tokens.len() - 1) {
+                sum += logp.get(&[i * max_len + p, row.tokens[p + 1]]);
+                count += 1;
+            }
+            (row.sample, row.choice, sum / count.max(1) as f32)
+        })
+        .collect()
+}
+
+fn evaluate_exact_match(
+    model: &TransformerLm,
+    samples: &[Sample],
+    opts: &EvalOptions,
+) -> Accuracy {
+    let threads = opts.effective_threads().min(samples.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let correct = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= samples.len() {
+                    break;
+                }
+                let s = &samples[i];
+                let generated =
+                    model.generate_greedy(&s.prompt, s.reference.len(), Some(vocab::EOS));
+                if generated == s.reference {
+                    correct.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    Accuracy { correct: correct.into_inner(), total: samples.len() }
+}
+
+/// Evaluates every benchmark in [`crate::tasks::registry`] and returns
+/// `(name, accuracy)` pairs in Table 3 order.
+pub fn evaluate_all(
+    model: &TransformerLm,
+    world: &World,
+    opts: &EvalOptions,
+) -> Vec<(&'static str, Accuracy)> {
+    crate::tasks::registry()
+        .iter()
+        .map(|b| (b.name(), evaluate(model, b.as_ref(), world, opts)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tasks::ArcEasy;
+    use lrd_nn::{ArchKind, TransformerConfig};
+    use lrd_tensor::rng::Rng64;
+
+    fn untrained_model() -> TransformerLm {
+        let cfg = TransformerConfig {
+            kind: ArchKind::Decoder,
+            vocab_size: vocab::VOCAB_SIZE,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 32,
+            max_seq: 64,
+        };
+        TransformerLm::new(cfg, &mut Rng64::new(3))
+    }
+
+    #[test]
+    fn untrained_model_scores_near_chance() {
+        let model = untrained_model();
+        let world = World::new(1);
+        let acc = evaluate(
+            &model,
+            &ArcEasy,
+            &world,
+            &EvalOptions { n_samples: 120, seed: 5, batch_size: 32, threads: 2 },
+        );
+        assert_eq!(acc.total, 120);
+        // 4-way multiple choice: chance = 25%.
+        assert!(
+            (5.0..50.0).contains(&acc.percent()),
+            "untrained accuracy = {acc} (expected near chance)"
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let model = untrained_model();
+        let world = World::new(1);
+        let opts = EvalOptions { n_samples: 60, seed: 9, batch_size: 16, threads: 4 };
+        let a = evaluate(&model, &ArcEasy, &world, &opts);
+        let b = evaluate(&model, &ArcEasy, &world, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batching_does_not_change_results() {
+        let model = untrained_model();
+        let world = World::new(2);
+        let a = evaluate(
+            &model,
+            &ArcEasy,
+            &world,
+            &EvalOptions { n_samples: 40, seed: 3, batch_size: 4, threads: 1 },
+        );
+        let b = evaluate(
+            &model,
+            &ArcEasy,
+            &world,
+            &EvalOptions { n_samples: 40, seed: 3, batch_size: 64, threads: 3 },
+        );
+        assert_eq!(a, b, "batch size must not affect scoring");
+    }
+
+    #[test]
+    fn exact_match_scoring_runs() {
+        let model = untrained_model();
+        let world = World::new(3);
+        let acc = evaluate(
+            &model,
+            &crate::tasks::Gsm8k,
+            &world,
+            &EvalOptions { n_samples: 10, seed: 1, batch_size: 8, threads: 2 },
+        );
+        assert_eq!(acc.total, 10);
+        // Untrained: almost certainly 0–30%.
+        assert!(acc.percent() <= 40.0);
+    }
+
+    #[test]
+    fn cloze_scoring_runs_on_encoder() {
+        let cfg = TransformerConfig {
+            kind: ArchKind::Encoder,
+            vocab_size: vocab::VOCAB_SIZE,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 32,
+            max_seq: 64,
+        };
+        let model = TransformerLm::new(cfg, &mut Rng64::new(6));
+        let world = World::new(4);
+        let opts = EvalOptions { n_samples: 60, seed: 8, batch_size: 16, threads: 2 };
+        let a = evaluate(&model, &crate::tasks::BertCloze, &world, &opts);
+        let b = evaluate(&model, &crate::tasks::BertCloze, &world, &opts);
+        assert_eq!(a, b, "cloze scoring must be deterministic");
+        assert_eq!(a.total, 60);
+        assert!((5.0..55.0).contains(&a.percent()), "untrained cloze near chance: {a}");
+    }
+
+    #[test]
+    fn accuracy_display() {
+        let a = Accuracy { correct: 3, total: 4 };
+        assert_eq!(a.to_string(), "75.0% (3/4)");
+        assert_eq!(Accuracy::default().percent(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_stderr() {
+        // p = 0.5, n = 100 → stderr = 5 percentage points.
+        let a = Accuracy { correct: 50, total: 100 };
+        assert!((a.stderr() - 5.0).abs() < 1e-9);
+        // Shrinks with sample count.
+        let b = Accuracy { correct: 200, total: 400 };
+        assert!(b.stderr() < a.stderr());
+        assert_eq!(Accuracy::default().stderr(), 0.0);
+    }
+
+    #[test]
+    fn mmlu_domain_breakdown_runs() {
+        let model = untrained_model();
+        let world = World::new(5);
+        let opts = EvalOptions { n_samples: 20, seed: 2, batch_size: 16, threads: 1 };
+        for d in 0..lrd_core_domains() {
+            let bench = crate::tasks::MmluDomain(d);
+            let acc = evaluate(&model, &bench, &world, &opts);
+            assert_eq!(acc.total, 20);
+        }
+    }
+
+    fn lrd_core_domains() -> usize {
+        crate::vocab::N_DOMAINS
+    }
+}

@@ -1,0 +1,542 @@
+//! The seven benchmark generators (Table 3 of the paper).
+//!
+//! Each generator mirrors the *format and difficulty mechanism* of its
+//! namesake benchmark; see the crate docs for the mapping rationale.
+
+use crate::sample::{Benchmark, Sample, ScoringMode};
+use crate::vocab::{self, N_DOMAINS, N_ENTITIES, N_ENTITY_RELATIONS, N_RELATIONS, N_VALUES};
+use crate::world::World;
+use lrd_tensor::rng::Rng64;
+
+/// Draws a value relation belonging to `domain`.
+fn relation_in_domain(domain: usize, rng: &mut Rng64) -> usize {
+    loop {
+        let r = N_ENTITY_RELATIONS + rng.below(N_RELATIONS - N_ENTITY_RELATIONS);
+        if vocab::domain_of_relation(r) == domain {
+            return r;
+        }
+    }
+}
+
+/// Picks `n` distinct distractor value indices, none equal to `truth`.
+fn value_distractors(truth: usize, n: usize, rng: &mut Rng64) -> Vec<usize> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let v = rng.below(N_VALUES);
+        if v != truth && !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Assembles a 4-way multiple-choice sample from a truth value and
+/// distractor values, shuffling the answer position.
+fn four_way(prompt: Vec<usize>, truth: usize, distractors: Vec<usize>, rng: &mut Rng64) -> Sample {
+    let mut values = vec![truth];
+    values.extend(distractors);
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    rng.shuffle(&mut order);
+    let answer = order.iter().position(|&i| i == 0).expect("truth present");
+    let choices = order.iter().map(|&i| vec![vocab::value(values[i])]).collect();
+    Sample::multiple_choice(prompt, choices, answer)
+}
+
+/// ARC-Easy analog: single-hop fact queries over the most-trained domain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArcEasy;
+
+impl Benchmark for ArcEasy {
+    fn name(&self) -> &'static str {
+        "ARC Easy"
+    }
+
+    fn sample(&self, world: &World, rng: &mut Rng64) -> Sample {
+        // Contested pairs belong to TruthfulQA; ARC-Easy probes facts the
+        // corpus states truthfully.
+        let (e, r) = loop {
+            let e = rng.below(N_ENTITIES);
+            let r = relation_in_domain(0, rng);
+            if !world.is_contested(e, r) {
+                break (e, r);
+            }
+        };
+        let truth = world.value_fact(e, r);
+        let prompt = vec![vocab::BOS, vocab::QUERY, vocab::entity(e), vocab::relation(r), vocab::SEP];
+        four_way(prompt, truth, value_distractors(truth, 3, rng), rng)
+    }
+}
+
+/// ARC-Challenge analog: 2-hop compositional queries; one distractor is the
+/// tempting 1-hop answer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArcChallenge;
+
+impl Benchmark for ArcChallenge {
+    fn name(&self) -> &'static str {
+        "ARC Challenge"
+    }
+
+    fn sample(&self, world: &World, rng: &mut Rng64) -> Sample {
+        let e = rng.below(N_ENTITIES);
+        let r1 = rng.below(N_ENTITY_RELATIONS);
+        let r2 = N_ENTITY_RELATIONS + rng.below(N_RELATIONS - N_ENTITY_RELATIONS);
+        let truth = world.two_hop_fact(e, r1, r2);
+        // The 1-hop "trap": applying r2 directly to e.
+        let trap = world.value_fact(e, r2);
+        let mut distractors = vec![];
+        if trap != truth {
+            distractors.push(trap);
+        }
+        let need = 3 - distractors.len();
+        for v in value_distractors(truth, need + 1, rng) {
+            if distractors.len() < 3 && !distractors.contains(&v) {
+                distractors.push(v);
+            }
+        }
+        let prompt = vec![
+            vocab::BOS,
+            vocab::QUERY,
+            vocab::entity(e),
+            vocab::relation(r1),
+            vocab::relation(r2),
+            vocab::SEP,
+        ];
+        four_way(prompt, truth, distractors, rng)
+    }
+}
+
+/// HellaSwag analog: multi-token continuation of a two-fact "story".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HellaSwag;
+
+impl HellaSwag {
+    /// The canonical story continuation `[v_a, v_b, EOS]` for prompt
+    /// `[BOS, e, r_a, r_b, SEP]`.
+    pub fn continuation(world: &World, e: usize, ra: usize, rb: usize) -> Vec<usize> {
+        vec![
+            vocab::value(world.value_fact(e, ra)),
+            vocab::value(world.value_fact(e, rb)),
+            vocab::EOS,
+        ]
+    }
+}
+
+impl Benchmark for HellaSwag {
+    fn name(&self) -> &'static str {
+        "HellaSwag"
+    }
+
+    fn sample(&self, world: &World, rng: &mut Rng64) -> Sample {
+        let (e, ra, rb) = loop {
+            let e = rng.below(N_ENTITIES);
+            let ra = relation_in_domain(1, rng);
+            let rb = relation_in_domain(2, rng);
+            if !world.is_contested(e, ra) && !world.is_contested(e, rb) {
+                break (e, ra, rb);
+            }
+        };
+        let truth = Self::continuation(world, e, ra, rb);
+        let mut choices = vec![truth.clone()];
+        // Distractors corrupt one or both continuation tokens.
+        while choices.len() < 4 {
+            let mut c = truth.clone();
+            let which = rng.below(2);
+            c[which] = vocab::value(rng.below(N_VALUES));
+            if !choices.contains(&c) {
+                choices.push(c);
+            }
+        }
+        let mut order: Vec<usize> = (0..4).collect();
+        rng.shuffle(&mut order);
+        let answer = order.iter().position(|&i| i == 0).expect("truth present");
+        let choices = order.iter().map(|&i| choices[i].clone()).collect();
+        let prompt =
+            vec![vocab::BOS, vocab::entity(e), vocab::relation(ra), vocab::relation(rb), vocab::SEP];
+        Sample::multiple_choice(prompt, choices, answer)
+    }
+}
+
+/// MMLU analog: single-hop queries spread uniformly over all domains, whose
+/// training exposure is heavily skewed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mmlu;
+
+impl Benchmark for Mmlu {
+    fn name(&self) -> &'static str {
+        "MMLU"
+    }
+
+    fn sample(&self, world: &World, rng: &mut Rng64) -> Sample {
+        let (e, r) = loop {
+            let e = rng.below(N_ENTITIES);
+            let domain = rng.below(N_DOMAINS);
+            let r = relation_in_domain(domain, rng);
+            if !world.is_contested(e, r) {
+                break (e, r);
+            }
+        };
+        let truth = world.value_fact(e, r);
+        let prompt = vec![vocab::BOS, vocab::QUERY, vocab::entity(e), vocab::relation(r), vocab::SEP];
+        four_way(prompt, truth, value_distractors(truth, 3, rng), rng)
+    }
+}
+
+/// A single MMLU domain (for the per-domain breakdown the real benchmark
+/// reports per subject).
+#[derive(Debug, Clone, Copy)]
+pub struct MmluDomain(pub usize);
+
+impl Benchmark for MmluDomain {
+    fn name(&self) -> &'static str {
+        // Static names so the `Benchmark` trait's `&'static str` contract
+        // holds; indices map onto the round-robin domain partition.
+        const NAMES: [&str; N_DOMAINS] =
+            ["MMLU/d0", "MMLU/d1", "MMLU/d2", "MMLU/d3", "MMLU/d4", "MMLU/d5"];
+        NAMES[self.0]
+    }
+
+    fn sample(&self, world: &World, rng: &mut Rng64) -> Sample {
+        let (e, r) = loop {
+            let e = rng.below(N_ENTITIES);
+            let r = relation_in_domain(self.0, rng);
+            if !world.is_contested(e, r) {
+                break (e, r);
+            }
+        };
+        let truth = world.value_fact(e, r);
+        let prompt = vec![vocab::BOS, vocab::QUERY, vocab::entity(e), vocab::relation(r), vocab::SEP];
+        four_way(prompt, truth, value_distractors(truth, 3, rng), rng)
+    }
+}
+
+/// TruthfulQA analog: contested facts where training repeats a popular
+/// misconception more often than the truth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TruthfulQa;
+
+impl Benchmark for TruthfulQa {
+    fn name(&self) -> &'static str {
+        "TruthfulQA"
+    }
+
+    fn sample(&self, world: &World, rng: &mut Rng64) -> Sample {
+        // Find a contested (e, r) pair.
+        let (e, r) = loop {
+            let e = rng.below(N_ENTITIES);
+            let r = N_ENTITY_RELATIONS + rng.below(N_RELATIONS - N_ENTITY_RELATIONS);
+            if world.is_contested(e, r) {
+                break (e, r);
+            }
+        };
+        let truth = world.value_fact(e, r);
+        let lie = world.misconception(e, r);
+        let mut distractors = vec![lie];
+        for v in value_distractors(truth, 3, rng) {
+            if distractors.len() < 3 && v != lie {
+                distractors.push(v);
+            }
+        }
+        let prompt = vec![vocab::BOS, vocab::QUERY, vocab::entity(e), vocab::relation(r), vocab::SEP];
+        four_way(prompt, truth, distractors, rng)
+    }
+}
+
+/// WinoGrande analog: two entities, a property relation; the model must
+/// select the entity that has the property (context-dependent copying).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WinoGrande;
+
+impl Benchmark for WinoGrande {
+    fn name(&self) -> &'static str {
+        "WinoGrande"
+    }
+
+    fn sample(&self, world: &World, rng: &mut Rng64) -> Sample {
+        // Properties live on the entity relations only, keeping the
+        // property table small enough to be learned during CPU training.
+        let r = rng.below(N_ENTITY_RELATIONS);
+        // Draw e_yes with the property and e_no without it.
+        let e_yes = loop {
+            let e = rng.below(N_ENTITIES);
+            if world.has_property(e, r) {
+                break e;
+            }
+        };
+        let e_no = loop {
+            let e = rng.below(N_ENTITIES);
+            if e != e_yes && !world.has_property(e, r) {
+                break e;
+            }
+        };
+        let yes_first = rng.below(2) == 0;
+        let (e1, e2) = if yes_first { (e_yes, e_no) } else { (e_no, e_yes) };
+        let prompt = vec![
+            vocab::BOS,
+            vocab::entity(e1),
+            vocab::entity(e2),
+            vocab::relation(r),
+            vocab::SEP,
+        ];
+        let choices = vec![vec![vocab::entity(e1)], vec![vocab::entity(e2)]];
+        Sample::multiple_choice(prompt, choices, if yes_first { 0 } else { 1 })
+    }
+}
+
+/// GSM8K analog: 8-shot modular-addition word problems scored by exact
+/// match, evaluated on arithmetic pairs held out of the training corpus.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gsm8k;
+
+impl Gsm8k {
+    /// Renders one worked example `[d1, +, d2, =, s, SEP]`.
+    pub fn shot(a: usize, b: usize) -> Vec<usize> {
+        vec![
+            vocab::digit(a),
+            vocab::PLUS,
+            vocab::digit(b),
+            vocab::EQUALS,
+            vocab::digit(World::sum_mod10(&[a, b])),
+            vocab::SEP,
+        ]
+    }
+}
+
+impl Benchmark for Gsm8k {
+    fn name(&self) -> &'static str {
+        "GSM8K"
+    }
+
+    fn scoring(&self) -> ScoringMode {
+        ScoringMode::ExactMatch
+    }
+
+    fn sample(&self, world: &World, rng: &mut Rng64) -> Sample {
+        let mut prompt = vec![vocab::BOS];
+        // Eight in-distribution shots.
+        let mut shots = 0;
+        while shots < 8 {
+            let (a, b) = (rng.below(10), rng.below(10));
+            if !world.arithmetic_holdout(a, b) {
+                prompt.extend(Gsm8k::shot(a, b));
+                shots += 1;
+            }
+        }
+        // The query pair is drawn from the full operand space: ~75% were
+        // trained (multi-step recall under few-shot format) and ~25% are
+        // held out (true generalization), mirroring GSM8K's blend of
+        // template familiarity and novel instances.
+        let (a, b) = (rng.below(10), rng.below(10));
+        prompt.extend([vocab::digit(a), vocab::PLUS, vocab::digit(b), vocab::EQUALS]);
+        Sample::exact_match(prompt, vec![vocab::digit(World::sum_mod10(&[a, b]))])
+    }
+}
+
+/// BERT-side cloze probe (the SQuAD-analog accuracy instrument for the
+/// encoder model): a fact statement with its value masked; the model picks
+/// the value whose logit at the masked position is highest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BertCloze;
+
+impl Benchmark for BertCloze {
+    fn name(&self) -> &'static str {
+        "Cloze (BERT)"
+    }
+
+    fn scoring(&self) -> ScoringMode {
+        ScoringMode::Cloze
+    }
+
+    fn sample(&self, world: &World, rng: &mut Rng64) -> Sample {
+        let (e, r) = loop {
+            let e = rng.below(N_ENTITIES);
+            let r = N_ENTITY_RELATIONS + rng.below(N_RELATIONS - N_ENTITY_RELATIONS);
+            if !world.is_contested(e, r) {
+                break (e, r);
+            }
+        };
+        let truth = world.value_fact(e, r);
+        let prompt = vec![
+            vocab::BOS,
+            vocab::entity(e),
+            vocab::relation(r),
+            vocab::SEP,
+            vocab::MASK,
+            vocab::EOS,
+        ];
+        four_way(prompt, truth, value_distractors(truth, 3, rng), rng)
+    }
+}
+
+/// The full benchmark registry in Table 3 order.
+pub fn registry() -> Vec<Box<dyn Benchmark + Send + Sync>> {
+    vec![
+        Box::new(ArcEasy),
+        Box::new(ArcChallenge),
+        Box::new(HellaSwag),
+        Box::new(Mmlu),
+        Box::new(TruthfulQa),
+        Box::new(WinoGrande),
+        Box::new(Gsm8k),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::new(11)
+    }
+
+    #[test]
+    fn registry_matches_table3() {
+        let names: Vec<_> = registry().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "ARC Easy",
+                "ARC Challenge",
+                "HellaSwag",
+                "MMLU",
+                "TruthfulQA",
+                "WinoGrande",
+                "GSM8K"
+            ]
+        );
+    }
+
+    #[test]
+    fn arc_easy_answer_is_correct_fact() {
+        let w = world();
+        let mut rng = Rng64::new(1);
+        for _ in 0..50 {
+            let s = ArcEasy.sample(&w, &mut rng);
+            assert_eq!(s.choices.len(), 4);
+            let e = s.prompt[2] - vocab::ENTITY_BASE;
+            let r = s.prompt[3] - vocab::RELATION_BASE;
+            assert_eq!(s.choices[s.answer][0], vocab::value(w.value_fact(e, r)));
+        }
+    }
+
+    #[test]
+    fn arc_easy_choices_are_distinct() {
+        let w = world();
+        let mut rng = Rng64::new(2);
+        for _ in 0..50 {
+            let s = ArcEasy.sample(&w, &mut rng);
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    assert_ne!(s.choices[i], s.choices[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arc_challenge_contains_two_hop_truth() {
+        let w = world();
+        let mut rng = Rng64::new(3);
+        for _ in 0..50 {
+            let s = ArcChallenge.sample(&w, &mut rng);
+            let e = s.prompt[2] - vocab::ENTITY_BASE;
+            let r1 = s.prompt[3] - vocab::RELATION_BASE;
+            let r2 = s.prompt[4] - vocab::RELATION_BASE;
+            assert_eq!(s.choices[s.answer][0], vocab::value(w.two_hop_fact(e, r1, r2)));
+        }
+    }
+
+    #[test]
+    fn hellaswag_truth_is_canonical_continuation() {
+        let w = world();
+        let mut rng = Rng64::new(4);
+        for _ in 0..30 {
+            let s = HellaSwag.sample(&w, &mut rng);
+            let e = s.prompt[1] - vocab::ENTITY_BASE;
+            let ra = s.prompt[2] - vocab::RELATION_BASE;
+            let rb = s.prompt[3] - vocab::RELATION_BASE;
+            assert_eq!(s.choices[s.answer], HellaSwag::continuation(&w, e, ra, rb));
+        }
+    }
+
+    #[test]
+    fn truthfulqa_includes_misconception_choice() {
+        let w = world();
+        let mut rng = Rng64::new(5);
+        for _ in 0..30 {
+            let s = TruthfulQa.sample(&w, &mut rng);
+            let e = s.prompt[2] - vocab::ENTITY_BASE;
+            let r = s.prompt[3] - vocab::RELATION_BASE;
+            let lie = vocab::value(w.misconception(e, r));
+            assert!(s.choices.iter().any(|c| c[0] == lie), "misconception not offered");
+            assert!(w.is_contested(e, r));
+        }
+    }
+
+    #[test]
+    fn winogrande_answer_has_property() {
+        let w = world();
+        let mut rng = Rng64::new(6);
+        for _ in 0..50 {
+            let s = WinoGrande.sample(&w, &mut rng);
+            assert_eq!(s.choices.len(), 2);
+            let r = s.prompt[3] - vocab::RELATION_BASE;
+            let chosen = s.choices[s.answer][0] - vocab::ENTITY_BASE;
+            let other = s.choices[1 - s.answer][0] - vocab::ENTITY_BASE;
+            assert!(w.has_property(chosen, r));
+            assert!(!w.has_property(other, r));
+        }
+    }
+
+    #[test]
+    fn gsm8k_prompt_fits_max_seq_with_correct_reference() {
+        let w = world();
+        let mut rng = Rng64::new(7);
+        let mut held_out = 0;
+        for _ in 0..60 {
+            let s = Gsm8k.sample(&w, &mut rng);
+            assert!(s.prompt.len() + s.reference.len() <= 64, "prompt too long");
+            let n = s.prompt.len();
+            let a = s.prompt[n - 4] - vocab::DIGIT_BASE;
+            let b = s.prompt[n - 2] - vocab::DIGIT_BASE;
+            if w.arithmetic_holdout(a, b) {
+                held_out += 1;
+            }
+            assert_eq!(s.reference, vec![vocab::digit((a + b) % 10)]);
+            // The 8 shots are always drawn from the trained pairs.
+            for shot in 0..8 {
+                let base = 1 + shot * 6;
+                let sa = s.prompt[base] - vocab::DIGIT_BASE;
+                let sb = s.prompt[base + 2] - vocab::DIGIT_BASE;
+                assert!(!w.arithmetic_holdout(sa, sb));
+            }
+        }
+        assert!(held_out > 5, "query mix should include held-out pairs");
+    }
+
+    #[test]
+    fn bert_cloze_sample_shape() {
+        let w = world();
+        let mut rng = Rng64::new(9);
+        for _ in 0..30 {
+            let s = BertCloze.sample(&w, &mut rng);
+            assert_eq!(s.prompt.len(), 6);
+            assert_eq!(s.prompt[4], vocab::MASK);
+            assert!(s.choices.iter().all(|c| c.len() == 1));
+            let e = s.prompt[1] - vocab::ENTITY_BASE;
+            let r = s.prompt[2] - vocab::RELATION_BASE;
+            assert_eq!(s.choices[s.answer][0], vocab::value(w.value_fact(e, r)));
+        }
+    }
+
+    #[test]
+    fn answer_positions_are_shuffled() {
+        let w = world();
+        let mut rng = Rng64::new(8);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[ArcEasy.sample(&w, &mut rng).answer] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "answer position never varies");
+    }
+}

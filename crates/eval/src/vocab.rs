@@ -1,0 +1,170 @@
+//! Token-id layout of the synthetic language.
+//!
+//! The 256-token vocabulary is partitioned into control tokens, digits,
+//! entities, relations and values. All benchmark prompts and the training
+//! corpus are composed from these ranges.
+
+/// Padding (ignored by causal models when placed after the sequence end).
+pub const PAD: usize = 0;
+/// Beginning-of-sequence marker.
+pub const BOS: usize = 1;
+/// End-of-sequence marker.
+pub const EOS: usize = 2;
+/// Separator between a query and its answer.
+pub const SEP: usize = 3;
+/// Question marker.
+pub const QUERY: usize = 4;
+/// Answer marker.
+pub const ANS: usize = 5;
+/// Addition operator (arithmetic tasks).
+pub const PLUS: usize = 6;
+/// Equality marker (arithmetic tasks).
+pub const EQUALS: usize = 7;
+/// Mask token for BERT-style masked-language-model training and cloze
+/// evaluation.
+pub const MASK: usize = 8;
+
+/// First digit token; digit `d` is `DIGIT_BASE + d`.
+pub const DIGIT_BASE: usize = 10;
+/// Number of digit tokens (0–9).
+pub const N_DIGITS: usize = 10;
+
+/// First entity token.
+pub const ENTITY_BASE: usize = 32;
+/// Number of entity tokens (sized so each fact is revisited often enough
+/// during the tiny models' CPU training budget).
+pub const N_ENTITIES: usize = 48;
+
+/// First relation token.
+pub const RELATION_BASE: usize = 112;
+/// Number of relation tokens.
+pub const N_RELATIONS: usize = 24;
+/// Relations with indices below this map entities to entities (usable as
+/// the first hop of a 2-hop query); the rest map entities to values.
+pub const N_ENTITY_RELATIONS: usize = 6;
+/// Number of MMLU-style domains the value relations are partitioned into.
+pub const N_DOMAINS: usize = 6;
+
+/// First value token.
+pub const VALUE_BASE: usize = 136;
+/// Number of value tokens.
+pub const N_VALUES: usize = 80;
+
+/// Total vocabulary size expected by the tiny models.
+pub const VOCAB_SIZE: usize = 256;
+
+/// Token id of digit `d`.
+///
+/// # Panics
+///
+/// Panics if `d ≥ 10`.
+pub fn digit(d: usize) -> usize {
+    assert!(d < N_DIGITS, "digit {d} out of range");
+    DIGIT_BASE + d
+}
+
+/// Token id of entity `i`.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range.
+pub fn entity(i: usize) -> usize {
+    assert!(i < N_ENTITIES, "entity {i} out of range");
+    ENTITY_BASE + i
+}
+
+/// Token id of relation `i`.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range.
+pub fn relation(i: usize) -> usize {
+    assert!(i < N_RELATIONS, "relation {i} out of range");
+    RELATION_BASE + i
+}
+
+/// Token id of value `i`.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range.
+pub fn value(i: usize) -> usize {
+    assert!(i < N_VALUES, "value {i} out of range");
+    VALUE_BASE + i
+}
+
+/// Whether a token id denotes an entity.
+pub fn is_entity(tok: usize) -> bool {
+    (ENTITY_BASE..ENTITY_BASE + N_ENTITIES).contains(&tok)
+}
+
+/// Whether a token id denotes a value.
+pub fn is_value(tok: usize) -> bool {
+    (VALUE_BASE..VALUE_BASE + N_VALUES).contains(&tok)
+}
+
+/// Whether a token id denotes a digit; returns the digit if so.
+pub fn as_digit(tok: usize) -> Option<usize> {
+    (DIGIT_BASE..DIGIT_BASE + N_DIGITS).contains(&tok).then(|| tok - DIGIT_BASE)
+}
+
+/// The MMLU domain of a value relation (relation indices
+/// `N_ENTITY_RELATIONS..N_RELATIONS` are split round-robin into
+/// [`N_DOMAINS`] domains).
+///
+/// # Panics
+///
+/// Panics if `rel_index` is an entity relation.
+pub fn domain_of_relation(rel_index: usize) -> usize {
+    assert!(
+        (N_ENTITY_RELATIONS..N_RELATIONS).contains(&rel_index),
+        "relation {rel_index} is not a value relation"
+    );
+    (rel_index - N_ENTITY_RELATIONS) % N_DOMAINS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the vocabulary layout
+    fn ranges_do_not_overlap() {
+        assert!(DIGIT_BASE + N_DIGITS <= ENTITY_BASE);
+        assert!(ENTITY_BASE + N_ENTITIES <= RELATION_BASE);
+        assert!(RELATION_BASE + N_RELATIONS <= VALUE_BASE);
+        assert!(VALUE_BASE + N_VALUES <= VOCAB_SIZE);
+    }
+
+    #[test]
+    fn token_constructors() {
+        assert_eq!(digit(7), 17);
+        assert_eq!(entity(0), ENTITY_BASE);
+        assert_eq!(relation(23), RELATION_BASE + 23);
+        assert_eq!(value(79), VALUE_BASE + 79);
+    }
+
+    #[test]
+    fn classifiers() {
+        assert!(is_entity(entity(5)));
+        assert!(!is_entity(value(5)));
+        assert!(is_value(value(0)));
+        assert_eq!(as_digit(digit(3)), Some(3));
+        assert_eq!(as_digit(BOS), None);
+    }
+
+    #[test]
+    fn domains_cover_all_value_relations() {
+        let mut seen = [false; N_DOMAINS];
+        for r in N_ENTITY_RELATIONS..N_RELATIONS {
+            seen[domain_of_relation(r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn digit_bounds_checked() {
+        let _ = digit(10);
+    }
+}

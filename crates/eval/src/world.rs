@@ -1,0 +1,216 @@
+//! The seeded synthetic knowledge world underlying all benchmarks.
+//!
+//! Every "fact" is a deterministic function of the world seed, so the
+//! training corpus and every benchmark sample agree on ground truth without
+//! storing anything.
+
+use crate::vocab::{
+    self, N_ENTITIES, N_ENTITY_RELATIONS, N_RELATIONS, N_VALUES,
+};
+
+/// A deterministic world of entities, relations and facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct World {
+    seed: u64,
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl World {
+    /// Creates a world with the given seed.
+    pub fn new(seed: u64) -> Self {
+        World { seed }
+    }
+
+    /// The world seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn hash(&self, tag: u64, a: usize, b: usize) -> u64 {
+        mix(self.seed ^ tag.wrapping_mul(0x517C_C1B7_2722_0A95)
+            ^ (a as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)
+            ^ (b as u64) << 17)
+    }
+
+    /// Value-fact: the value index (`0..N_VALUES`) that entity `e` has for
+    /// value relation `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` or `r` are out of range or `r` is an entity relation.
+    pub fn value_fact(&self, e: usize, r: usize) -> usize {
+        assert!(e < N_ENTITIES, "entity {e} out of range");
+        assert!((N_ENTITY_RELATIONS..N_RELATIONS).contains(&r), "not a value relation: {r}");
+        (self.hash(1, e, r) % N_VALUES as u64) as usize
+    }
+
+    /// Entity-fact: the entity index that entity `e` maps to under entity
+    /// relation `r` (the first hop of a 2-hop query).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` or `r` are out of range.
+    pub fn entity_fact(&self, e: usize, r: usize) -> usize {
+        assert!(e < N_ENTITIES, "entity {e} out of range");
+        assert!(r < N_ENTITY_RELATIONS, "not an entity relation: {r}");
+        (self.hash(2, e, r) % N_ENTITIES as u64) as usize
+    }
+
+    /// Two-hop fact: `value_fact(entity_fact(e, r1), r2)`.
+    pub fn two_hop_fact(&self, e: usize, r1: usize, r2: usize) -> usize {
+        self.value_fact(self.entity_fact(e, r1), r2)
+    }
+
+    /// WinoGrande-style property: whether entity `e` "has" property
+    /// relation `r` (a balanced predicate).
+    pub fn has_property(&self, e: usize, r: usize) -> bool {
+        self.hash(3, e, r) & 1 == 1
+    }
+
+    /// TruthfulQA-style popular misconception: a *wrong* value index for
+    /// `(e, r)` that the training corpus repeats more often than the truth.
+    /// Guaranteed to differ from [`World::value_fact`].
+    pub fn misconception(&self, e: usize, r: usize) -> usize {
+        let truth = self.value_fact(e, r);
+        let m = (self.hash(4, e, r) % (N_VALUES as u64 - 1)) as usize;
+        if m >= truth {
+            m + 1
+        } else {
+            m
+        }
+    }
+
+    /// Whether `(e, r)` is a "contested" pair carrying a popular
+    /// misconception (about 1 in 4 value pairs).
+    pub fn is_contested(&self, e: usize, r: usize) -> bool {
+        self.hash(5, e, r).is_multiple_of(4)
+    }
+
+    /// Modular-arithmetic ground truth for GSM8K-style chains:
+    /// `(Σ operands) mod 10`.
+    pub fn sum_mod10(operands: &[usize]) -> usize {
+        operands.iter().sum::<usize>() % 10
+    }
+
+    /// Whether an arithmetic triple is held out of the training corpus
+    /// (about 25%) so few-shot evaluation measures generalization.
+    pub fn arithmetic_holdout(&self, a: usize, b: usize) -> bool {
+        self.hash(6, a, b).is_multiple_of(4)
+    }
+
+    /// Renders the canonical single-hop fact statement
+    /// `[BOS, e, r, SEP, v, EOS]`.
+    pub fn fact_statement(&self, e: usize, r: usize) -> Vec<usize> {
+        vec![
+            vocab::BOS,
+            vocab::entity(e),
+            vocab::relation(r),
+            vocab::SEP,
+            vocab::value(self.value_fact(e, r)),
+            vocab::EOS,
+        ]
+    }
+
+    /// Renders the canonical entity-hop statement `[BOS, e, r, SEP, e', EOS]`.
+    pub fn entity_statement(&self, e: usize, r: usize) -> Vec<usize> {
+        vec![
+            vocab::BOS,
+            vocab::entity(e),
+            vocab::relation(r),
+            vocab::SEP,
+            vocab::entity(self.entity_fact(e, r)),
+            vocab::EOS,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_are_deterministic() {
+        let w1 = World::new(9);
+        let w2 = World::new(9);
+        for e in 0..10 {
+            for r in N_ENTITY_RELATIONS..N_RELATIONS {
+                assert_eq!(w1.value_fact(e, r), w2.value_fact(e, r));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_worlds() {
+        let w1 = World::new(1);
+        let w2 = World::new(2);
+        let same = (0..N_ENTITIES)
+            .filter(|&e| w1.value_fact(e, 10) == w2.value_fact(e, 10))
+            .count();
+        assert!(same < N_ENTITIES / 2);
+    }
+
+    #[test]
+    fn misconception_differs_from_truth() {
+        let w = World::new(3);
+        for e in 0..N_ENTITIES {
+            for r in N_ENTITY_RELATIONS..N_RELATIONS {
+                assert_ne!(w.misconception(e, r), w.value_fact(e, r));
+            }
+        }
+    }
+
+    #[test]
+    fn properties_are_roughly_balanced() {
+        let w = World::new(4);
+        let trues = (0..N_ENTITIES)
+            .flat_map(|e| (0..N_RELATIONS).map(move |r| (e, r)))
+            .filter(|&(e, r)| w.has_property(e, r))
+            .count();
+        let total = N_ENTITIES * N_RELATIONS;
+        let frac = trues as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.05, "property fraction {frac}");
+    }
+
+    #[test]
+    fn two_hop_consistency() {
+        let w = World::new(5);
+        let mid = w.entity_fact(7, 2);
+        assert_eq!(w.two_hop_fact(7, 2, 10), w.value_fact(mid, 10));
+    }
+
+    #[test]
+    fn sum_mod10() {
+        assert_eq!(World::sum_mod10(&[3, 4]), 7);
+        assert_eq!(World::sum_mod10(&[7, 8]), 5);
+        assert_eq!(World::sum_mod10(&[9, 9, 9]), 7);
+    }
+
+    #[test]
+    fn fact_statement_layout() {
+        let w = World::new(6);
+        let s = w.fact_statement(0, 10);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[0], vocab::BOS);
+        assert_eq!(s[3], vocab::SEP);
+        assert_eq!(s[5], vocab::EOS);
+        assert!(vocab::is_value(s[4]));
+    }
+
+    #[test]
+    fn contested_fraction_about_quarter() {
+        let w = World::new(7);
+        let n = (0..N_ENTITIES)
+            .flat_map(|e| (N_ENTITY_RELATIONS..N_RELATIONS).map(move |r| (e, r)))
+            .filter(|&(e, r)| w.is_contested(e, r))
+            .count();
+        let total = N_ENTITIES * (N_RELATIONS - N_ENTITY_RELATIONS);
+        let frac = n as f64 / total as f64;
+        assert!((frac - 0.25).abs() < 0.05, "contested fraction {frac}");
+    }
+}

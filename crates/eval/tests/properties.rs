@@ -1,0 +1,91 @@
+//! Property-based tests for the benchmark suite and corpus.
+
+use lrd_eval::corpus::CorpusBuilder;
+use lrd_eval::sample::ScoringMode;
+use lrd_eval::tasks::{registry, Gsm8k};
+use lrd_eval::vocab;
+use lrd_eval::World;
+use lrd_tensor::rng::Rng64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_benchmark_sample_is_well_formed(world_seed in any::<u64>(), sample_seed in any::<u64>()) {
+        let world = World::new(world_seed);
+        let mut rng = Rng64::new(sample_seed);
+        for bench in registry() {
+            let s = bench.sample(&world, &mut rng);
+            // All tokens in vocabulary.
+            for &t in s.prompt.iter().chain(s.choices.iter().flatten()).chain(&s.reference) {
+                prop_assert!(t < vocab::VOCAB_SIZE, "{}: token {t} out of range", bench.name());
+            }
+            match bench.scoring() {
+                ScoringMode::MultipleChoice => {
+                    prop_assert!(s.choices.len() >= 2);
+                    prop_assert!(s.answer < s.choices.len());
+                    // Choices distinct.
+                    for i in 0..s.choices.len() {
+                        for j in (i + 1)..s.choices.len() {
+                            prop_assert_ne!(&s.choices[i], &s.choices[j]);
+                        }
+                    }
+                    // Fits the tiny models' context.
+                    let max_choice = s.choices.iter().map(Vec::len).max().unwrap();
+                    prop_assert!(s.prompt.len() + max_choice <= 64);
+                }
+                ScoringMode::ExactMatch => {
+                    prop_assert!(!s.reference.is_empty());
+                    prop_assert!(s.prompt.len() + s.reference.len() <= 64);
+                }
+                ScoringMode::Cloze => {
+                    prop_assert!(s.prompt.contains(&vocab::MASK));
+                    prop_assert!(s.choices.iter().all(|c| c.len() == 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_sets_are_deterministic(world_seed in any::<u64>(), eval_seed in any::<u64>()) {
+        let world = World::new(world_seed);
+        for bench in registry() {
+            let a = bench.samples(&world, 5, eval_seed);
+            let b = bench.samples(&world, 5, eval_seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn corpus_sequences_are_valid(world_seed in any::<u64>(), corpus_seed in any::<u64>()) {
+        let world = World::new(world_seed);
+        let mut c = CorpusBuilder::new(world, corpus_seed, 48);
+        for _ in 0..5 {
+            let s = c.sequence();
+            prop_assert_eq!(s.len(), 49);
+            prop_assert!(s.iter().all(|&t| t < vocab::VOCAB_SIZE));
+        }
+    }
+
+    #[test]
+    fn gsm8k_shots_are_arithmetically_correct(a in 0usize..10, b in 0usize..10) {
+        let shot = Gsm8k::shot(a, b);
+        prop_assert_eq!(shot.len(), 6);
+        let sum = vocab::as_digit(shot[4]).unwrap();
+        prop_assert_eq!(sum, (a + b) % 10);
+    }
+
+    #[test]
+    fn world_facts_stable_under_repeated_query(seed in any::<u64>(), e in 0usize..vocab::N_ENTITIES) {
+        let w = World::new(seed);
+        for r in vocab::N_ENTITY_RELATIONS..vocab::N_RELATIONS {
+            prop_assert_eq!(w.value_fact(e, r), w.value_fact(e, r));
+            prop_assert!(w.value_fact(e, r) < vocab::N_VALUES);
+            prop_assert_ne!(w.misconception(e, r), w.value_fact(e, r));
+        }
+        for r in 0..vocab::N_ENTITY_RELATIONS {
+            prop_assert!(w.entity_fact(e, r) < vocab::N_ENTITIES);
+        }
+    }
+}

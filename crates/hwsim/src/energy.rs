@@ -1,0 +1,118 @@
+//! Energy model and `nvidia-smi`-style power-trace sampling.
+//!
+//! The paper estimates GPU energy as the area under the power–time curve
+//! sampled by `nvidia-smi`, observing that saturated LLM inference pins the
+//! GPU at maximum power (§4.3.1). We reproduce both the integration method
+//! and the saturation assumption.
+
+use crate::device::SystemSpec;
+
+/// One power sample `(seconds, watts)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Timestamp, seconds since trace start.
+    pub t: f64,
+    /// Instantaneous node power draw, watts.
+    pub watts: f64,
+}
+
+/// A sampled power trace (the `nvidia-smi --loop` analog).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PowerTrace {
+    samples: Vec<PowerSample>,
+}
+
+impl PowerTrace {
+    /// Samples a run: `busy_s` seconds at full power bracketed by
+    /// `idle_pad_s` of idle on each side, at the given sampling interval.
+    pub fn sample_run(system: &SystemSpec, busy_s: f64, idle_pad_s: f64, dt: f64) -> Self {
+        let n_gpus = system.n_gpus as f64;
+        let idle = system.gpu.idle_power_w * n_gpus;
+        let busy = system.gpu.max_power_w * n_gpus;
+        let total = busy_s + 2.0 * idle_pad_s;
+        let mut samples = Vec::new();
+        let mut t = 0.0;
+        while t <= total {
+            let watts =
+                if t >= idle_pad_s && t < idle_pad_s + busy_s { busy } else { idle };
+            samples.push(PowerSample { t, watts });
+            t += dt;
+        }
+        PowerTrace { samples }
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Trapezoidal integral of power over time — joules (the paper's
+    /// "area under the power-time graph").
+    pub fn energy_j(&self) -> f64 {
+        self.samples
+            .windows(2)
+            .map(|w| 0.5 * (w[0].watts + w[1].watts) * (w[1].t - w[0].t))
+            .sum()
+    }
+
+    /// Mean power over the trace, watts.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.watts).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// Closed-form energy for a saturated run: all GPUs at max power for the
+/// duration (the paper's operating regime).
+pub fn saturated_energy_j(system: &SystemSpec, busy_s: f64) -> f64 {
+    system.gpu.max_power_w * system.n_gpus as f64 * busy_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturated_energy_matches_trace_integral() {
+        let sys = SystemSpec::quad_a100();
+        let busy = 2.0;
+        let closed = saturated_energy_j(&sys, busy);
+        // Dense sampling with no idle padding converges to the closed form.
+        let trace = PowerTrace::sample_run(&sys, busy, 0.0, 1e-3);
+        let integ = trace.energy_j();
+        let rel = (integ - closed).abs() / closed;
+        assert!(rel < 0.01, "integral {integ} vs closed {closed}");
+    }
+
+    #[test]
+    fn energy_scales_with_time() {
+        let sys = SystemSpec::quad_a100();
+        assert!((saturated_energy_j(&sys, 2.0) / saturated_energy_j(&sys, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quad_a100_power_is_1200w() {
+        let sys = SystemSpec::quad_a100();
+        assert_eq!(saturated_energy_j(&sys, 1.0), 1200.0);
+    }
+
+    #[test]
+    fn idle_padding_adds_idle_energy() {
+        let sys = SystemSpec::quad_a100();
+        let with_pad = PowerTrace::sample_run(&sys, 1.0, 0.5, 1e-3).energy_j();
+        let without = PowerTrace::sample_run(&sys, 1.0, 0.0, 1e-3).energy_j();
+        let idle_energy = sys.gpu.idle_power_w * sys.n_gpus as f64 * 1.0;
+        assert!((with_pad - without - idle_energy).abs() / idle_energy < 0.05);
+    }
+
+    #[test]
+    fn mean_power_between_idle_and_max() {
+        let sys = SystemSpec::quad_a100();
+        let trace = PowerTrace::sample_run(&sys, 1.0, 1.0, 1e-2);
+        let mean = trace.mean_power_w();
+        assert!(mean > sys.gpu.idle_power_w * 4.0);
+        assert!(mean < sys.gpu.max_power_w * 4.0);
+    }
+}

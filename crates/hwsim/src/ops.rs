@@ -1,0 +1,358 @@
+//! Operator streams: the unit of work the roofline model times.
+
+use lrd_models::descriptor::{DType, TransformerDescriptor};
+use std::collections::HashMap;
+
+/// A GPU operator with enough information for roofline timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Dense GEMM `C(m×n) = A(m×k) · B(k×n)` where `B` is a resident weight.
+    Gemm {
+        /// Output rows (tokens in a token-parallel linear).
+        m: usize,
+        /// Output columns.
+        n: usize,
+        /// Shared dimension.
+        k: usize,
+    },
+    /// Batched GEMM (attention scores/context), `b` independent products.
+    BatchedGemm {
+        /// Number of independent matmuls.
+        b: usize,
+        /// Rows per matmul.
+        m: usize,
+        /// Columns per matmul.
+        n: usize,
+        /// Shared dimension.
+        k: usize,
+    },
+    /// Streaming elementwise op over `elems` elements (residuals,
+    /// activations, RoPE).
+    Elementwise {
+        /// Elements touched.
+        elems: usize,
+        /// FLOPs per element.
+        flops_per_elem: usize,
+    },
+    /// Row-wise softmax over a `rows × cols` matrix.
+    Softmax {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Row-wise normalization (LayerNorm/RMSNorm) over `rows × cols`.
+    Norm {
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Embedding gather of `tokens` rows of width `width`.
+    Embedding {
+        /// Tokens gathered.
+        tokens: usize,
+        /// Row width.
+        width: usize,
+    },
+}
+
+impl Op {
+    /// Floating-point operations performed.
+    pub fn flops(&self) -> u64 {
+        match *self {
+            Op::Gemm { m, n, k } => 2 * (m as u64) * (n as u64) * (k as u64),
+            Op::BatchedGemm { b, m, n, k } => 2 * (b as u64) * (m as u64) * (n as u64) * (k as u64),
+            Op::Elementwise { elems, flops_per_elem } => (elems * flops_per_elem) as u64,
+            Op::Softmax { rows, cols } => (5 * rows * cols) as u64,
+            Op::Norm { rows, cols } => (6 * rows * cols) as u64,
+            Op::Embedding { .. } => 0,
+        }
+    }
+
+    /// Bytes moved to/from HBM (weights streamed once, activations
+    /// read+written).
+    pub fn bytes(&self, dtype: DType) -> u64 {
+        let e = dtype.bytes();
+        match *self {
+            Op::Gemm { m, n, k } => {
+                // Weight (k×n) streamed + input (m×k) read + output (m×n)
+                // written.
+                e * ((k * n) as u64 + (m * k) as u64 + (m * n) as u64)
+            }
+            Op::BatchedGemm { b, m, n, k } => {
+                e * (b as u64) * ((m * k) as u64 + (k * n) as u64 + (m * n) as u64)
+            }
+            Op::Elementwise { elems, .. } => e * 2 * elems as u64,
+            Op::Softmax { rows, cols } => e * 2 * (rows * cols) as u64,
+            Op::Norm { rows, cols } => e * 2 * (rows * cols) as u64,
+            Op::Embedding { tokens, width } => e * 2 * (tokens * width) as u64,
+        }
+    }
+
+    /// Arithmetic intensity in FLOPs per byte.
+    pub fn intensity(&self, dtype: DType) -> f64 {
+        self.flops() as f64 / self.bytes(dtype).max(1) as f64
+    }
+}
+
+/// A tensor selected for decomposition, identified the way the paper's
+/// design space does: layer index + tensor name + pruned rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecomposedTensor {
+    /// Layer index (0-based).
+    pub layer: usize,
+    /// Tensor name matching
+    /// [`TransformerDescriptor::layer_tensors`] (`"W_Q"`, `"W_Gate"`, …).
+    pub tensor: &'static str,
+    /// Pruned rank.
+    pub rank: usize,
+}
+
+/// Emits the linear ops for one weight tensor, either dense or factored
+/// into the three Tucker-2 GEMMs.
+fn linear_ops(out: &mut Vec<Op>, tokens: usize, rows: usize, cols: usize, rank: Option<usize>) {
+    match rank {
+        None => out.push(Op::Gemm { m: tokens, n: cols, k: rows }),
+        Some(pr) => {
+            // y = ((x · U1) · Γ) · U2
+            out.push(Op::Gemm { m: tokens, n: pr, k: rows });
+            out.push(Op::Gemm { m: tokens, n: pr, k: pr });
+            out.push(Op::Gemm { m: tokens, n: cols, k: pr });
+        }
+    }
+}
+
+/// Builds the full operator stream for one forward pass of a transformer
+/// descriptor over `batch × seq` tokens, honoring the decomposition state.
+///
+/// # Panics
+///
+/// Panics if a [`DecomposedTensor`] references an unknown layer or tensor
+/// name.
+pub fn transformer_ops(
+    desc: &TransformerDescriptor,
+    batch: usize,
+    seq: usize,
+    decomposed: &[DecomposedTensor],
+) -> Vec<Op> {
+    let mut by_slot: HashMap<(usize, &str), usize> = HashMap::new();
+    for d in decomposed {
+        assert!(d.layer < desc.n_layers, "decomposed layer {} out of range", d.layer);
+        assert!(
+            desc.layer_tensors().iter().any(|t| t.name == d.tensor),
+            "unknown tensor name {}",
+            d.tensor
+        );
+        by_slot.insert((d.layer, d.tensor), d.rank);
+    }
+
+    let tokens = batch * seq;
+    let d = desc.d_model;
+    let mut ops = Vec::new();
+    ops.push(Op::Embedding { tokens, width: d });
+    for layer in 0..desc.n_layers {
+        // Pre/post norms (2 per layer).
+        ops.push(Op::Norm { rows: tokens, cols: d });
+        ops.push(Op::Norm { rows: tokens, cols: d });
+        for t in desc.layer_tensors() {
+            let rank = by_slot.get(&(layer, t.name)).copied();
+            linear_ops(&mut ops, tokens, t.rows, t.cols, rank);
+        }
+        // Attention: scores (QKᵀ) and context (PV) batched over batch×heads.
+        let hd = desc.head_dim();
+        ops.push(Op::BatchedGemm { b: batch * desc.n_heads, m: seq, n: seq, k: hd });
+        ops.push(Op::Softmax { rows: batch * desc.n_heads * seq, cols: seq });
+        ops.push(Op::BatchedGemm { b: batch * desc.n_heads, m: seq, n: hd, k: seq });
+        // Residuals + activation functions.
+        ops.push(Op::Elementwise { elems: tokens * d, flops_per_elem: 2 });
+        ops.push(Op::Elementwise { elems: tokens * desc.d_ff, flops_per_elem: 4 });
+    }
+    ops.push(Op::Norm { rows: tokens, cols: d });
+    // LM head.
+    ops.push(Op::Gemm { m: tokens, n: desc.vocab_size, k: d });
+    ops
+}
+
+/// Builds the operator stream for one **decode step**: a single new token
+/// per sequence attending to a KV cache of `past_len` tokens. This is the
+/// regime the paper's memory-bound motivation describes most sharply —
+/// every weight is streamed for one token of work — and where rank-pruned
+/// layers pay off almost 1:1 with their parameter reduction.
+///
+/// # Panics
+///
+/// Panics if a [`DecomposedTensor`] references an unknown layer or tensor
+/// name.
+pub fn decode_step_ops(
+    desc: &TransformerDescriptor,
+    batch: usize,
+    past_len: usize,
+    decomposed: &[DecomposedTensor],
+) -> Vec<Op> {
+    let mut by_slot: HashMap<(usize, &str), usize> = HashMap::new();
+    for d in decomposed {
+        assert!(d.layer < desc.n_layers, "decomposed layer {} out of range", d.layer);
+        assert!(
+            desc.layer_tensors().iter().any(|t| t.name == d.tensor),
+            "unknown tensor name {}",
+            d.tensor
+        );
+        by_slot.insert((d.layer, d.tensor), d.rank);
+    }
+    let d = desc.d_model;
+    let hd = desc.head_dim();
+    let ctx = past_len + 1;
+    let mut ops = Vec::new();
+    ops.push(Op::Embedding { tokens: batch, width: d });
+    for layer in 0..desc.n_layers {
+        ops.push(Op::Norm { rows: batch, cols: d });
+        ops.push(Op::Norm { rows: batch, cols: d });
+        for t in desc.layer_tensors() {
+            let rank = by_slot.get(&(layer, t.name)).copied();
+            linear_ops(&mut ops, batch, t.rows, t.cols, rank);
+        }
+        // Attention against the cache: q(1) · K(ctx)ᵀ and p · V(ctx).
+        ops.push(Op::BatchedGemm { b: batch * desc.n_heads, m: 1, n: ctx, k: hd });
+        ops.push(Op::Softmax { rows: batch * desc.n_heads, cols: ctx });
+        ops.push(Op::BatchedGemm { b: batch * desc.n_heads, m: 1, n: hd, k: ctx });
+        ops.push(Op::Elementwise { elems: batch * d, flops_per_elem: 2 });
+        ops.push(Op::Elementwise { elems: batch * desc.d_ff, flops_per_elem: 4 });
+    }
+    ops.push(Op::Norm { rows: batch, cols: d });
+    ops.push(Op::Gemm { m: batch, n: desc.vocab_size, k: d });
+    ops
+}
+
+/// Total FLOPs of an op stream.
+pub fn total_flops(ops: &[Op]) -> u64 {
+    ops.iter().map(Op::flops).sum()
+}
+
+/// Total bytes of an op stream.
+pub fn total_bytes(ops: &[Op], dtype: DType) -> u64 {
+    ops.iter().map(|o| o.bytes(dtype)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_models::zoo::llama2_7b;
+
+    #[test]
+    fn gemm_flops_and_bytes() {
+        let g = Op::Gemm { m: 10, n: 20, k: 30 };
+        assert_eq!(g.flops(), 2 * 10 * 20 * 30);
+        assert_eq!(g.bytes(DType::F16), 2 * (30 * 20 + 10 * 30 + 10 * 20) as u64);
+    }
+
+    #[test]
+    fn dense_stream_flops_match_descriptor_macs() {
+        // The op stream's GEMM FLOPs should be ≈ 2 × the descriptor's MACs
+        // (elementwise/norm/softmax add a little).
+        let desc = llama2_7b();
+        let ops = transformer_ops(&desc, 1, 128, &[]);
+        let flops = total_flops(&ops) as f64;
+        let macs2 = 2.0 * desc.macs(1, 128) as f64;
+        let rel = (flops - macs2).abs() / macs2;
+        assert!(rel < 0.02, "flops {flops} vs 2·MACs {macs2} (rel {rel})");
+    }
+
+    #[test]
+    fn rank1_decomposition_slashes_layer_flops() {
+        let desc = llama2_7b();
+        let dense = total_flops(&transformer_ops(&desc, 1, 128, &[]));
+        let decomp: Vec<DecomposedTensor> = desc
+            .layer_tensors()
+            .iter()
+            .map(|t| DecomposedTensor { layer: 0, tensor: t.name, rank: 1 })
+            .collect();
+        let fac = total_flops(&transformer_ops(&desc, 1, 128, &decomp));
+        assert!(fac < dense);
+        // One layer of 32 holds ~3% of linear FLOPs.
+        let saved = (dense - fac) as f64 / dense as f64;
+        assert!((0.02..0.04).contains(&saved), "saved fraction {saved}");
+    }
+
+    #[test]
+    fn factored_ops_count() {
+        let desc = llama2_7b();
+        let dense_ops = transformer_ops(&desc, 1, 8, &[]);
+        let decomp: Vec<DecomposedTensor> = desc
+            .layer_tensors()
+            .iter()
+            .map(|t| DecomposedTensor { layer: 3, tensor: t.name, rank: 1 })
+            .collect();
+        let fac_ops = transformer_ops(&desc, 1, 8, &decomp);
+        // Each of the 7 factored tensors adds 2 extra GEMMs.
+        assert_eq!(fac_ops.len(), dense_ops.len() + 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tensor name")]
+    fn unknown_tensor_rejected() {
+        let desc = llama2_7b();
+        let _ = transformer_ops(
+            &desc,
+            1,
+            8,
+            &[DecomposedTensor { layer: 0, tensor: "W_Nope", rank: 1 }],
+        );
+    }
+
+    #[test]
+    fn decode_step_is_deeply_memory_bound() {
+        // Single-token decode: intensity ~1 FLOP/byte per weight — far
+        // below any GPU ridge.
+        let desc = llama2_7b();
+        let ops = decode_step_ops(&desc, 1, 512, &[]);
+        let intensity = total_flops(&ops) as f64 / total_bytes(&ops, DType::F16) as f64;
+        assert!(intensity < 3.0, "decode intensity {intensity}");
+    }
+
+    #[test]
+    fn decode_savings_track_parameter_reduction() {
+        // In the decode regime, weight streaming dominates, so the byte
+        // saving of rank-1 decomposition approaches its parameter saving.
+        let desc = llama2_7b();
+        let layers: Vec<usize> = (0..8).collect();
+        let decomp: Vec<DecomposedTensor> = layers
+            .iter()
+            .flat_map(|&l| {
+                desc.layer_tensors()
+                    .into_iter()
+                    .map(move |t| DecomposedTensor { layer: l, tensor: t.name, rank: 1 })
+            })
+            .collect();
+        let dense = total_bytes(&decode_step_ops(&desc, 1, 256, &[]), DType::F16) as f64;
+        let fac = total_bytes(&decode_step_ops(&desc, 1, 256, &decomp), DType::F16) as f64;
+        let byte_saving = (dense - fac) / dense;
+        // 8 of 32 layers ≈ 24% of params; decode bytes should drop ~20%+.
+        assert!(byte_saving > 0.18, "decode byte saving {byte_saving}");
+    }
+
+    #[test]
+    fn batch1_llama_is_memory_bound() {
+        // At batch 1, weight streaming dominates: intensity below the A100
+        // ridge (~146 FLOPs/byte).
+        let desc = llama2_7b();
+        let ops = transformer_ops(&desc, 1, 128, &[]);
+        let intensity =
+            total_flops(&ops) as f64 / total_bytes(&ops, DType::F16) as f64;
+        assert!(intensity < 146.0, "intensity {intensity}");
+    }
+
+    #[test]
+    fn large_batch_raises_intensity() {
+        let desc = llama2_7b();
+        let i1 = {
+            let ops = transformer_ops(&desc, 1, 128, &[]);
+            total_flops(&ops) as f64 / total_bytes(&ops, DType::F16) as f64
+        };
+        let i64 = {
+            let ops = transformer_ops(&desc, 64, 128, &[]);
+            total_flops(&ops) as f64 / total_bytes(&ops, DType::F16) as f64
+        };
+        assert!(i64 > 5.0 * i1, "batching must amortize weight streaming: {i1} -> {i64}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Multi-GPU execution modeling.
+//!
+//! The paper runs data-parallel evaluation: each of the four A100s holds a
+//! full model replica and processes its own maximum-size batch ("we use the
+//! maximum batch size for each GPU … and utilize all four GPUs in
+//! parallel"). Latency per batch is therefore the single-GPU roofline time;
+//! the node multiplies throughput by four. A tensor-parallel utility is
+//! also provided for completeness (sharded weights + per-layer
+//! all-reduces).
+
+use crate::device::SystemSpec;
+use crate::ops::{transformer_ops, DecomposedTensor};
+use crate::roofline::{Roofline, TimeBreakdown};
+use lrd_models::descriptor::{DType, TransformerDescriptor};
+
+/// Single-GPU roofline time for one data-parallel batch.
+pub fn data_parallel_batch_time(
+    system: &SystemSpec,
+    desc: &TransformerDescriptor,
+    decomposed: &[DecomposedTensor],
+    batch_per_gpu: usize,
+    seq: usize,
+    dtype: DType,
+) -> TimeBreakdown {
+    let ops = transformer_ops(desc, batch_per_gpu, seq, decomposed);
+    Roofline::new(system.gpu, dtype).estimate(&ops)
+}
+
+/// Ring all-reduce time for `bytes` across the node's GPUs.
+pub fn allreduce_time(system: &SystemSpec, bytes: u64) -> f64 {
+    if system.n_gpus <= 1 {
+        return 0.0;
+    }
+    let n = system.n_gpus as f64;
+    2.0 * (n - 1.0) / n * bytes as f64 / system.interconnect_bw
+}
+
+/// Tensor-parallel batch time: compute sharded `n_gpus` ways plus two
+/// all-reduces of the residual stream per layer.
+pub fn tensor_parallel_batch_time(
+    system: &SystemSpec,
+    desc: &TransformerDescriptor,
+    decomposed: &[DecomposedTensor],
+    batch: usize,
+    seq: usize,
+    dtype: DType,
+) -> f64 {
+    let ops = transformer_ops(desc, batch, seq, decomposed);
+    let single = Roofline::new(system.gpu, dtype).estimate(&ops).total();
+    let comm_bytes =
+        (batch * seq * desc.d_model) as u64 * dtype.bytes();
+    let comm = 2.0 * desc.n_layers as f64 * allreduce_time(system, comm_bytes);
+    single / system.n_gpus as f64 + comm
+}
+
+/// Node throughput (samples/s) under data parallelism.
+pub fn data_parallel_throughput(
+    system: &SystemSpec,
+    batch_per_gpu: usize,
+    batch_time_s: f64,
+) -> f64 {
+    system.n_gpus as f64 * batch_per_gpu as f64 / batch_time_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_models::zoo::llama2_7b;
+
+    #[test]
+    fn batch_time_scales_sublinearly_then_linearly() {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        // Short sequences are memory-bound (weight streaming amortizes), so
+        // doubling batch far less than doubles time; large batches are
+        // compute-bound and scale ~linearly.
+        let t1 = data_parallel_batch_time(&sys, &desc, &[], 1, 8, DType::F16).total();
+        let t2 = data_parallel_batch_time(&sys, &desc, &[], 2, 8, DType::F16).total();
+        assert!(t2 < 1.2 * t1, "memory-bound region: {t1} -> {t2}");
+        let t64 = data_parallel_batch_time(&sys, &desc, &[], 64, 128, DType::F16).total();
+        let t128 = data_parallel_batch_time(&sys, &desc, &[], 128, 128, DType::F16).total();
+        assert!(t128 > 1.8 * t64, "compute-bound region: {t64} -> {t128}");
+    }
+
+    #[test]
+    fn allreduce_time_properties() {
+        let sys = SystemSpec::quad_a100();
+        let t = allreduce_time(&sys, 1 << 30);
+        assert!(t > 0.0);
+        let mut single = sys;
+        single.n_gpus = 1;
+        assert_eq!(allreduce_time(&single, 1 << 30), 0.0);
+    }
+
+    #[test]
+    fn tensor_parallel_faster_than_single_gpu_at_scale() {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        let single = data_parallel_batch_time(&sys, &desc, &[], 32, 128, DType::F16).total();
+        let tp = tensor_parallel_batch_time(&sys, &desc, &[], 32, 128, DType::F16);
+        assert!(tp < single, "tp {tp} vs single {single}");
+    }
+
+    #[test]
+    fn throughput_counts_all_gpus() {
+        let sys = SystemSpec::quad_a100();
+        let tput = data_parallel_throughput(&sys, 64, 0.5);
+        assert_eq!(tput, 4.0 * 64.0 / 0.5);
+    }
+}

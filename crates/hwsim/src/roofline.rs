@@ -1,0 +1,222 @@
+//! Roofline timing of operator streams.
+
+use crate::device::GpuSpec;
+use crate::ops::Op;
+use lrd_models::descriptor::DType;
+
+/// Which roof limited an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// Limited by peak arithmetic throughput.
+    Compute,
+    /// Limited by memory bandwidth.
+    Memory,
+    /// Dominated by kernel launch overhead.
+    Launch,
+}
+
+/// Aggregate timing of an op stream on one GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeBreakdown {
+    /// Seconds spent in compute-bound kernels.
+    pub compute_s: f64,
+    /// Seconds spent in memory-bound kernels.
+    pub memory_s: f64,
+    /// Seconds of accumulated kernel launch overhead.
+    pub launch_s: f64,
+}
+
+impl TimeBreakdown {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.compute_s + self.memory_s + self.launch_s
+    }
+}
+
+/// Roofline execution model over one GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// GPU being modeled.
+    pub gpu: GpuSpec,
+    /// Storage format of weights/activations.
+    pub dtype: DType,
+}
+
+impl Roofline {
+    /// Creates a roofline model.
+    pub fn new(gpu: GpuSpec, dtype: DType) -> Self {
+        Roofline { gpu, dtype }
+    }
+
+    /// Time for one operator (excluding launch overhead) and which roof
+    /// bound it.
+    pub fn op_time(&self, op: &Op) -> (f64, Bound) {
+        let compute = op.flops() as f64 / self.gpu.effective_flops();
+        let memory = op.bytes(self.dtype) as f64 / self.gpu.effective_bandwidth();
+        let t = compute.max(memory);
+        let bound = if t <= self.gpu.kernel_overhead_s {
+            Bound::Launch
+        } else if compute >= memory {
+            Bound::Compute
+        } else {
+            Bound::Memory
+        };
+        (t, bound)
+    }
+
+    /// Times a whole op stream, adding per-kernel launch overhead.
+    pub fn estimate(&self, ops: &[Op]) -> TimeBreakdown {
+        let mut out = TimeBreakdown::default();
+        for op in ops {
+            let (t, bound) = self.op_time(op);
+            match bound {
+                Bound::Compute => out.compute_s += t,
+                Bound::Memory => out.memory_s += t,
+                Bound::Launch => out.memory_s += t,
+            }
+            out.launch_s += self.gpu.kernel_overhead_s;
+        }
+        out
+    }
+
+    /// Classifies every operator by its limiting roof, returning kernel
+    /// counts `(compute, memory, launch)` — the analysis behind "rank-1
+    /// factored layers are launch/bandwidth-bound".
+    pub fn bound_histogram(&self, ops: &[Op]) -> BoundHistogram {
+        let mut h = BoundHistogram::default();
+        for op in ops {
+            match self.op_time(op).1 {
+                Bound::Compute => h.compute += 1,
+                Bound::Memory => h.memory += 1,
+                Bound::Launch => h.launch += 1,
+            }
+        }
+        h
+    }
+}
+
+/// Kernel counts per limiting roof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BoundHistogram {
+    /// Kernels limited by arithmetic throughput.
+    pub compute: usize,
+    /// Kernels limited by memory bandwidth.
+    pub memory: usize,
+    /// Kernels dominated by launch overhead.
+    pub launch: usize,
+}
+
+impl BoundHistogram {
+    /// Total kernels classified.
+    pub fn total(&self) -> usize {
+        self.compute + self.memory + self.launch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::transformer_ops;
+    use lrd_models::zoo::llama2_7b;
+
+    fn roofline() -> Roofline {
+        Roofline::new(GpuSpec::a100_80gb(), DType::F16)
+    }
+
+    #[test]
+    fn big_gemm_is_compute_bound() {
+        let r = roofline();
+        let (_, bound) = r.op_time(&Op::Gemm { m: 4096, n: 4096, k: 4096 });
+        assert_eq!(bound, Bound::Compute);
+    }
+
+    #[test]
+    fn skinny_gemm_is_memory_bound() {
+        // The rank-1 factored GEMM: almost no FLOPs, all activation traffic.
+        let r = roofline();
+        let (_, bound) = r.op_time(&Op::Gemm { m: 4096, n: 1, k: 4096 });
+        assert_eq!(bound, Bound::Memory);
+    }
+
+    #[test]
+    fn tiny_op_is_launch_bound() {
+        let r = roofline();
+        let (_, bound) = r.op_time(&Op::Gemm { m: 8, n: 1, k: 1 });
+        assert_eq!(bound, Bound::Launch);
+    }
+
+    #[test]
+    fn time_scales_with_work() {
+        let r = roofline();
+        let (t1, _) = r.op_time(&Op::Gemm { m: 1024, n: 1024, k: 1024 });
+        let (t2, _) = r.op_time(&Op::Gemm { m: 2048, n: 1024, k: 1024 });
+        assert!(t2 > 1.8 * t1);
+    }
+
+    #[test]
+    fn batch1_llama_latency_order_of_magnitude() {
+        // Batch-1, seq-128 prefill on one A100 should land in the tens of
+        // milliseconds (weight streaming of 13.4 GB at ~1.6 TB/s ≈ 8.4 ms,
+        // plus overheads).
+        let desc = llama2_7b();
+        let ops = transformer_ops(&desc, 1, 128, &[]);
+        let t = roofline().estimate(&ops).total();
+        assert!((0.005..0.1).contains(&t), "latency {t} s");
+    }
+
+    #[test]
+    fn decomposition_shifts_kernels_off_the_compute_roof() {
+        // The paper's mechanism made visible: dense layers are
+        // compute-bound at batch 64; their rank-1 replacements are
+        // memory/launch-bound.
+        let desc = llama2_7b();
+        let r = roofline();
+        let dense_ops = transformer_ops(&desc, 64, 128, &[]);
+        let decomp: Vec<_> = (0..32)
+            .flat_map(|l| {
+                desc.layer_tensors()
+                    .into_iter()
+                    .map(move |t| crate::ops::DecomposedTensor { layer: l, tensor: t.name, rank: 1 })
+            })
+            .collect();
+        let fac_ops = transformer_ops(&desc, 64, 128, &decomp);
+        let dense_h = r.bound_histogram(&dense_ops);
+        let fac_h = r.bound_histogram(&fac_ops);
+        assert!(fac_h.total() > dense_h.total(), "factoring adds kernels");
+        assert!(
+            fac_h.compute < dense_h.compute,
+            "compute-bound kernels must drop: {} -> {}",
+            dense_h.compute,
+            fac_h.compute
+        );
+        assert!(fac_h.memory + fac_h.launch > dense_h.memory + dense_h.launch);
+    }
+
+    #[test]
+    fn rank1_saves_less_time_than_flops() {
+        // Decomposing one layer at rank 1 removes ~3% of FLOPs but the
+        // replacement GEMMs are memory/launch-bound, so the latency saving
+        // is smaller than the FLOP saving — the mechanism behind the
+        // paper's 0.5%-latency-per-1%-parameter slope.
+        let desc = llama2_7b();
+        let r = roofline();
+        let dense_ops = transformer_ops(&desc, 8, 128, &[]);
+        let decomp: Vec<_> = desc
+            .layer_tensors()
+            .iter()
+            .map(|t| crate::ops::DecomposedTensor { layer: 5, tensor: t.name, rank: 1 })
+            .collect();
+        let fac_ops = transformer_ops(&desc, 8, 128, &decomp);
+        let t_dense = r.estimate(&dense_ops).total();
+        let t_fac = r.estimate(&fac_ops).total();
+        let time_saving = (t_dense - t_fac) / t_dense;
+        let flop_saving = (crate::ops::total_flops(&dense_ops) as f64
+            - crate::ops::total_flops(&fac_ops) as f64)
+            / crate::ops::total_flops(&dense_ops) as f64;
+        assert!(time_saving > 0.0, "decomposition must not slow down");
+        assert!(
+            time_saving < flop_saving,
+            "time saving {time_saving} should trail FLOP saving {flop_saving}"
+        );
+    }
+}

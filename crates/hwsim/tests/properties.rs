@@ -1,0 +1,93 @@
+//! Property-based tests for the roofline simulator's invariants.
+
+use lrd_hwsim::device::{GpuSpec, SystemSpec};
+use lrd_hwsim::memory::{inference_memory, weight_bytes};
+use lrd_hwsim::ops::{transformer_ops, DecomposedTensor, Op};
+use lrd_hwsim::report::simulate_inference;
+use lrd_hwsim::roofline::Roofline;
+use lrd_models::descriptor::DType;
+use lrd_models::zoo::llama2_7b;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn op_time_is_monotone_in_every_gemm_dim(
+        m in 1usize..512, n in 1usize..512, k in 1usize..512,
+    ) {
+        let r = Roofline::new(GpuSpec::a100_80gb(), DType::F16);
+        let (t, _) = r.op_time(&Op::Gemm { m, n, k });
+        let (t2, _) = r.op_time(&Op::Gemm { m: m * 2, n, k });
+        let (t3, _) = r.op_time(&Op::Gemm { m, n: n * 2, k });
+        prop_assert!(t2 >= t);
+        prop_assert!(t3 >= t);
+        prop_assert!(t > 0.0);
+    }
+
+    #[test]
+    fn flops_and_bytes_positive(m in 1usize..100, n in 1usize..100, k in 1usize..100) {
+        let g = Op::Gemm { m, n, k };
+        prop_assert_eq!(g.flops(), 2 * (m * n * k) as u64);
+        prop_assert!(g.bytes(DType::F16) > 0);
+        prop_assert!(g.bytes(DType::F32) == 2 * g.bytes(DType::F16));
+    }
+
+    #[test]
+    fn decomposition_never_increases_weight_bytes(
+        layer in 0usize..32, rank in 1usize..64,
+    ) {
+        let desc = llama2_7b();
+        let decomp: Vec<DecomposedTensor> = desc
+            .layer_tensors()
+            .iter()
+            .map(|t| DecomposedTensor { layer, tensor: t.name, rank })
+            .collect();
+        let dense = weight_bytes(&desc, &[], DType::F16);
+        let fac = weight_bytes(&desc, &decomp, DType::F16);
+        // Ranks below break-even always shrink the model.
+        prop_assert!(fac < dense);
+    }
+
+    #[test]
+    fn more_decomposed_layers_means_fewer_ops_time(
+        n_layers in 1usize..8,
+    ) {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        let layers: Vec<usize> = (0..n_layers).collect();
+        let decomp: Vec<DecomposedTensor> = layers
+            .iter()
+            .flat_map(|&l| {
+                desc.layer_tensors()
+                    .into_iter()
+                    .map(move |t| DecomposedTensor { layer: l, tensor: t.name, rank: 1 })
+            })
+            .collect();
+        let dense = simulate_inference(&sys, &desc, &[], 16, 64);
+        let fac = simulate_inference(&sys, &desc, &decomp, 16, 64);
+        prop_assert!(fac.wall_time_s <= dense.wall_time_s);
+        prop_assert!(fac.memory.total() < dense.memory.total());
+        prop_assert!(fac.params < dense.params);
+    }
+
+    #[test]
+    fn memory_monotone_in_batch(batch in 1usize..64) {
+        let sys = SystemSpec::quad_a100();
+        let desc = llama2_7b();
+        let a = inference_memory(&sys, &desc, &[], batch, 128, DType::F16);
+        let b = inference_memory(&sys, &desc, &[], batch + 1, 128, DType::F16);
+        prop_assert!(b.total() > a.total());
+        prop_assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn op_stream_nonempty_and_finite(batch in 1usize..4, seq in 1usize..64) {
+        let desc = llama2_7b();
+        let ops = transformer_ops(&desc, batch, seq, &[]);
+        prop_assert!(ops.len() > desc.n_layers * 5);
+        let r = Roofline::new(GpuSpec::a100_80gb(), DType::F16);
+        let t = r.estimate(&ops).total();
+        prop_assert!(t.is_finite() && t > 0.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # lrd-models
+//!
+//! Architecture descriptors and model builders.
+//!
+//! Two views of each model family are provided:
+//!
+//! * **Exact full-size descriptors** ([`zoo`]) — the real shapes of
+//!   BERT-Base/Large, Llama2-7B/70B and ResNet50. These drive every
+//!   analytic computation in the study: parameter counts and FP16 sizes
+//!   (Table 1), MAC counts and compute-to-model-size ratios (Table 1),
+//!   design-space sizes (Table 2), parameter-reduction rates per layer
+//!   choice (Table 4), and the roofline latency/energy/memory simulation
+//!   (Figs. 10–12).
+//! * **Tiny runnable variants** ([`tiny`]) — architecturally faithful
+//!   scaled-down models built on [`lrd_nn`], trained from scratch in this
+//!   workspace, used for the accuracy studies (Figs. 3, 5–9).
+
+pub mod descriptor;
+pub mod tiny;
+pub mod zoo;
+
+pub use descriptor::{CnnDescriptor, ConvLayer, DType, ModelDescriptor, TransformerDescriptor};

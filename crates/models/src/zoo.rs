@@ -1,0 +1,221 @@
+//! Exact descriptors of the models the paper studies.
+
+use crate::descriptor::{
+    CnnDescriptor, ConvLayer, ModelDescriptor, TransformerDescriptor, TransformerFamily,
+};
+
+/// BERT-Base (uncased): 12 layers, d=768, 12 heads, FFN 3072 (~110 M params).
+pub fn bert_base() -> TransformerDescriptor {
+    TransformerDescriptor {
+        name: "BERT-Base",
+        family: TransformerFamily::Bert,
+        vocab_size: 30_522,
+        d_model: 768,
+        n_layers: 12,
+        n_heads: 12,
+        n_kv_heads: 12,
+        d_ff: 3_072,
+        max_seq: 512,
+        table2_tensor_count: 6,
+    }
+}
+
+/// BERT-Large: 24 layers, d=1024, 16 heads, FFN 4096 (~340 M params).
+pub fn bert_large() -> TransformerDescriptor {
+    TransformerDescriptor {
+        name: "BERT-Large",
+        family: TransformerFamily::Bert,
+        vocab_size: 30_522,
+        d_model: 1_024,
+        n_layers: 24,
+        n_heads: 16,
+        n_kv_heads: 16,
+        d_ff: 4_096,
+        max_seq: 512,
+        table2_tensor_count: 6,
+    }
+}
+
+/// Llama 2 7B: 32 layers, d=4096, 32 heads (MHA), FFN 11008.
+pub fn llama2_7b() -> TransformerDescriptor {
+    TransformerDescriptor {
+        name: "Llama2-7B",
+        family: TransformerFamily::Llama,
+        vocab_size: 32_000,
+        d_model: 4_096,
+        n_layers: 32,
+        n_heads: 32,
+        n_kv_heads: 32,
+        d_ff: 11_008,
+        max_seq: 4_096,
+        table2_tensor_count: 5,
+    }
+}
+
+/// Llama 2 70B: 80 layers, d=8192, 64 heads with 8 KV heads (GQA),
+/// FFN 28672.
+pub fn llama2_70b() -> TransformerDescriptor {
+    TransformerDescriptor {
+        name: "Llama2-70B",
+        family: TransformerFamily::Llama,
+        vocab_size: 32_000,
+        d_model: 8_192,
+        n_layers: 80,
+        n_heads: 64,
+        n_kv_heads: 8,
+        d_ff: 28_672,
+        max_seq: 4_096,
+        table2_tensor_count: 5,
+    }
+}
+
+/// ResNet50 at 224×224 input: the Table 1 CNN comparison point.
+///
+/// Bottleneck stages follow the original architecture; each tuple below is
+/// one convolution with its output spatial size.
+pub fn resnet50() -> CnnDescriptor {
+    let mut convs = Vec::new();
+    // Stem: 7×7/2, 3→64, output 112×112.
+    convs.push(ConvLayer { c_in: 3, c_out: 64, kernel: 7, out_hw: 112 });
+
+    // Helper to push one bottleneck block (1×1 reduce, 3×3, 1×1 expand).
+    let mut stage = |n_blocks: usize, c_in: usize, mid: usize, out: usize, hw: usize| {
+        let mut cin = c_in;
+        for b in 0..n_blocks {
+            convs.push(ConvLayer { c_in: cin, c_out: mid, kernel: 1, out_hw: hw });
+            convs.push(ConvLayer { c_in: mid, c_out: mid, kernel: 3, out_hw: hw });
+            convs.push(ConvLayer { c_in: mid, c_out: out, kernel: 1, out_hw: hw });
+            if b == 0 {
+                // Projection shortcut.
+                convs.push(ConvLayer { c_in: cin, c_out: out, kernel: 1, out_hw: hw });
+            }
+            cin = out;
+        }
+    };
+    stage(3, 64, 64, 256, 56);
+    stage(4, 256, 128, 512, 28);
+    stage(6, 512, 256, 1024, 14);
+    stage(3, 1024, 512, 2048, 7);
+
+    // BatchNorm γ/β for every conv output channel, roughly.
+    let norm_params: u64 = 2 * (64u64
+        + 3 * (64 + 64 + 256) as u64
+        + 256
+        + 4 * (128 + 128 + 512) as u64
+        + 512
+        + 6 * (256 + 256 + 1024) as u64
+        + 1024
+        + 3 * (512 + 512 + 2048) as u64
+        + 2048)
+        + 1000; // fc bias
+
+    CnnDescriptor { name: "ResNet50", convs, fc: (2048, 1000), norm_params }
+}
+
+/// All Table 1 rows in paper order.
+pub fn table1_models() -> Vec<ModelDescriptor> {
+    vec![
+        ModelDescriptor::Cnn(resnet50()),
+        ModelDescriptor::Transformer(bert_base()),
+        ModelDescriptor::Transformer(llama2_7b()),
+    ]
+}
+
+/// All Table 2 rows in paper order.
+pub fn table2_models() -> Vec<TransformerDescriptor> {
+    vec![bert_base(), bert_large(), llama2_7b(), llama2_70b()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::DType;
+
+    #[test]
+    fn bert_base_param_count_near_110m() {
+        let p = bert_base().total_params();
+        assert!((100_000_000..125_000_000).contains(&p), "BERT-Base params = {p}");
+    }
+
+    #[test]
+    fn bert_base_size_matches_table1() {
+        // Paper: 219.0 MB in FP16.
+        let mb = bert_base().size_bytes(DType::F16) as f64 / 1e6;
+        assert!((mb - 219.0).abs() < 15.0, "BERT-Base FP16 size = {mb} MB");
+    }
+
+    #[test]
+    fn llama7b_param_count_near_6_7b() {
+        let p = llama2_7b().total_params();
+        assert!((6_500_000_000..7_000_000_000).contains(&p), "Llama2-7B params = {p}");
+    }
+
+    #[test]
+    fn llama7b_size_matches_table1() {
+        // Paper: 13.4 GB in FP16.
+        let gb = llama2_7b().size_bytes(DType::F16) as f64 / 1e9;
+        assert!((gb - 13.4).abs() < 0.3, "Llama2-7B FP16 size = {gb} GB");
+    }
+
+    #[test]
+    fn llama7b_macs_match_table1() {
+        // Paper: 850.0 B MACs at batch 1, seq 128.
+        let b = llama2_7b().macs(1, 128) as f64 / 1e9;
+        assert!((b - 850.0).abs() < 25.0, "Llama2-7B MACs = {b} B");
+    }
+
+    #[test]
+    fn bert_base_macs_match_table1() {
+        // Paper: 11.2 B MACs at batch 1, seq 128.
+        let b = bert_base().macs(1, 128) as f64 / 1e9;
+        assert!((b - 11.2).abs() < 0.8, "BERT-Base MACs = {b} B");
+    }
+
+    #[test]
+    fn resnet50_param_count() {
+        // ~25.6 M parameters.
+        let p = resnet50().total_params();
+        assert!((24_000_000..27_000_000).contains(&p), "ResNet50 params = {p}");
+    }
+
+    #[test]
+    fn resnet50_macs_near_4_1g() {
+        // The architecture performs ~4.1 GMACs at 224² (the paper's Table 1
+        // reports 8.21 B "computations", i.e. 2 FLOPs per MAC).
+        let g = resnet50().macs(1) as f64 / 1e9;
+        assert!((g - 4.1).abs() < 0.3, "ResNet50 MACs = {g} G");
+    }
+
+    #[test]
+    fn compute_to_size_ratio_ordering_matches_table1() {
+        // CNN ratio >> transformer ratios; Llama > BERT (Table 1: 160.7,
+        // 51.1, 63.4 — counting ResNet at 2 FLOPs/MAC).
+        let resnet = 2.0 * resnet50().compute_to_size_ratio(1);
+        let bert = bert_base().compute_to_size_ratio(1, 128);
+        let llama = llama2_7b().compute_to_size_ratio(1, 128);
+        assert!(resnet > 2.0 * bert, "resnet {resnet} vs bert {bert}");
+        assert!(llama > bert);
+        assert!((bert - 51.1).abs() < 4.0, "bert ratio {bert}");
+        assert!((llama - 63.4).abs() < 3.0, "llama ratio {llama}");
+    }
+
+    #[test]
+    fn llama70b_uses_gqa() {
+        let d = llama2_70b();
+        assert_eq!(d.n_kv_heads, 8);
+        let tensors = d.layer_tensors();
+        let wk = tensors.iter().find(|t| t.name == "W_K").unwrap();
+        assert_eq!(wk.cols, 8 * d.head_dim());
+    }
+
+    #[test]
+    fn layer_parameter_reduction_for_table4_baseline() {
+        // Decomposing all 7 tensors of one Llama2-7B layer at rank 1 removes
+        // ≈ 3% of total params; two layers ≈ 6% (Table 4's first row).
+        let d = llama2_7b();
+        let layer = d.layer_params() as f64;
+        let total = d.total_params() as f64;
+        let per_layer_pct = 100.0 * layer / total;
+        assert!((per_layer_pct - 3.0).abs() < 0.3, "per-layer share = {per_layer_pct}%");
+    }
+}

@@ -1,0 +1,533 @@
+//! Multi-head self-attention with manual backpropagation.
+//!
+//! Supports causal (decoder) and bidirectional (encoder) masking, grouped-
+//! query attention, and rotary position embeddings. The four projection
+//! weights `W_Q`, `W_K`, `W_V`, `W_SO` are the attention-side decomposable
+//! tensors of the paper (Fig. 4) and are held in [`AnyLinear`] slots so the
+//! decomposer can factor them in place.
+
+use crate::act::{softmax_rows, softmax_rows_backward};
+use crate::linear::{AnyLinear, AnyLinearCache};
+use crate::param::Param;
+use crate::rope::Rope;
+use lrd_tensor::matmul::{matmul, matmul_transa, matmul_transb};
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::Tensor;
+
+/// Per-layer key/value cache for incremental (single-sequence) decoding.
+///
+/// Rows are appended one per generated token; keys are stored post-RoPE.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KvCache {
+    /// Cached key rows, each `n_kv_heads · head_dim` wide.
+    k_rows: Vec<Vec<f32>>,
+    /// Cached value rows.
+    v_rows: Vec<Vec<f32>>,
+}
+
+impl KvCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.k_rows.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.k_rows.is_empty()
+    }
+
+    fn push(&mut self, k: &[f32], v: &[f32]) {
+        self.k_rows.push(k.to_vec());
+        self.v_rows.push(v.to_vec());
+    }
+
+    fn key_slice(&self, t: usize, kv_head: usize, head_dim: usize) -> &[f32] {
+        &self.k_rows[t][kv_head * head_dim..(kv_head + 1) * head_dim]
+    }
+
+    fn value_slice(&self, t: usize, kv_head: usize, head_dim: usize) -> &[f32] {
+        &self.v_rows[t][kv_head * head_dim..(kv_head + 1) * head_dim]
+    }
+}
+
+/// Multi-head self-attention module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiHeadAttention {
+    /// Query projection, `d × (n_heads · head_dim)`.
+    pub wq: AnyLinear,
+    /// Key projection, `d × (n_kv_heads · head_dim)`.
+    pub wk: AnyLinear,
+    /// Value projection, `d × (n_kv_heads · head_dim)`.
+    pub wv: AnyLinear,
+    /// Output projection, `(n_heads · head_dim) × d`.
+    pub wo: AnyLinear,
+    n_heads: usize,
+    n_kv_heads: usize,
+    head_dim: usize,
+    causal: bool,
+    rope: Option<Rope>,
+}
+
+/// Cached forward state for [`MultiHeadAttention::forward`].
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    q_cache: AnyLinearCache,
+    k_cache: AnyLinearCache,
+    v_cache: AnyLinearCache,
+    o_cache: AnyLinearCache,
+    /// Rotated queries, `(B·T) × (H·hd)`.
+    q: Tensor,
+    /// Rotated keys, `(B·T) × (Hkv·hd)`.
+    k: Tensor,
+    /// Values, `(B·T) × (Hkv·hd)`.
+    v: Tensor,
+    /// Attention probabilities per (batch, head), each `T × T`.
+    probs: Vec<Tensor>,
+    batch: usize,
+    seq: usize,
+}
+
+impl MultiHeadAttention {
+    /// Creates a randomly initialized attention module.
+    ///
+    /// `use_rope = false` corresponds to BERT-style attention whose position
+    /// information comes from learned embeddings at the model level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if head counts are inconsistent.
+    #[allow(clippy::too_many_arguments)] // mirrors the architecture hyper-parameter list
+    pub fn new(
+        d_model: usize,
+        n_heads: usize,
+        n_kv_heads: usize,
+        max_seq: usize,
+        causal: bool,
+        use_rope: bool,
+        bias: bool,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(d_model.is_multiple_of(n_heads), "d_model must divide by n_heads");
+        assert!(n_heads.is_multiple_of(n_kv_heads), "n_kv_heads must divide n_heads");
+        let head_dim = d_model / n_heads;
+        MultiHeadAttention {
+            wq: AnyLinear::dense(d_model, n_heads * head_dim, bias, rng),
+            wk: AnyLinear::dense(d_model, n_kv_heads * head_dim, bias, rng),
+            wv: AnyLinear::dense(d_model, n_kv_heads * head_dim, bias, rng),
+            wo: AnyLinear::dense(n_heads * head_dim, d_model, bias, rng),
+            n_heads,
+            n_kv_heads,
+            head_dim,
+            causal,
+            rope: use_rope.then(|| Rope::new(head_dim, max_seq)),
+        }
+    }
+
+    /// Number of parameters across the four projections.
+    pub fn param_count(&self) -> usize {
+        self.wq.param_count()
+            + self.wk.param_count()
+            + self.wv.param_count()
+            + self.wo.param_count()
+    }
+
+    /// Extracts the `T × head_dim` block for `(batch b, head h)` from a flat
+    /// `(B·T) × (H·hd)` activation.
+    fn head_block(flat: &Tensor, b: usize, h: usize, seq: usize, head_dim: usize) -> Tensor {
+        let mut out = Tensor::zeros(&[seq, head_dim]);
+        for t in 0..seq {
+            let src = &flat.row(b * seq + t)[h * head_dim..(h + 1) * head_dim];
+            out.row_mut(t).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Adds a `T × head_dim` block back into a flat activation gradient.
+    fn add_head_block(
+        flat: &mut Tensor,
+        block: &Tensor,
+        b: usize,
+        h: usize,
+        seq: usize,
+        head_dim: usize,
+    ) {
+        for t in 0..seq {
+            let dst = &mut flat.row_mut(b * seq + t)[h * head_dim..(h + 1) * head_dim];
+            for (d, &s) in dst.iter_mut().zip(block.row(t)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Incremental decode: processes one new token (batch 1) at absolute
+    /// position `pos`, appending its key/value rows to `cache` and
+    /// attending over the whole cache. Returns the attention output
+    /// (`1 × d`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not a single row or `pos` disagrees with the cache
+    /// length.
+    pub fn decode_step(&self, x: &Tensor, pos: usize, cache: &mut KvCache) -> Tensor {
+        assert_eq!(x.rows(), 1, "decode_step processes one token");
+        assert_eq!(pos, cache.len(), "position must equal cached length");
+        let mut q = self.wq.infer(x);
+        let mut k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+        if let Some(rope) = &self.rope {
+            let qrow = q.row_mut(0);
+            for h in 0..self.n_heads {
+                rope.apply(&mut qrow[h * self.head_dim..(h + 1) * self.head_dim], pos);
+            }
+            let krow = k.row_mut(0);
+            for h in 0..self.n_kv_heads {
+                rope.apply(&mut krow[h * self.head_dim..(h + 1) * self.head_dim], pos);
+            }
+        }
+        cache.push(k.row(0), v.row(0));
+
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let group = self.n_heads / self.n_kv_heads;
+        let ctx_len = cache.len();
+        let mut ctx = Tensor::zeros(&[1, self.n_heads * self.head_dim]);
+        for h in 0..self.n_heads {
+            let kv_h = h / group;
+            let qh = &q.row(0)[h * self.head_dim..(h + 1) * self.head_dim];
+            // Scores against every cached key.
+            let mut scores = Vec::with_capacity(ctx_len);
+            for t in 0..ctx_len {
+                let kh = cache.key_slice(t, kv_h, self.head_dim);
+                let dot: f32 = qh.iter().zip(kh).map(|(&a, &b)| a * b).sum();
+                scores.push(dot * scale);
+            }
+            // Softmax.
+            let max = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+            let mut sum = 0.0f32;
+            for s in &mut scores {
+                *s = (*s - max).exp();
+                sum += *s;
+            }
+            for s in &mut scores {
+                *s /= sum;
+            }
+            // Weighted value sum.
+            let out = &mut ctx.row_mut(0)[h * self.head_dim..(h + 1) * self.head_dim];
+            for t in 0..ctx_len {
+                let vh = cache.value_slice(t, kv_h, self.head_dim);
+                for (o, &vv) in out.iter_mut().zip(vh) {
+                    *o += scores[t] * vv;
+                }
+            }
+        }
+        self.wo.infer(&ctx)
+    }
+
+    /// Forward pass over `x ((B·T) × d)` laid out batch-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != batch · seq`.
+    pub fn forward(&self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, AttentionCache) {
+        assert_eq!(x.rows(), batch * seq, "attention input rows != batch*seq");
+        let (mut q, q_cache) = self.wq.forward(x);
+        let (mut k, k_cache) = self.wk.forward(x);
+        let (v, v_cache) = self.wv.forward(x);
+
+        if let Some(rope) = &self.rope {
+            for b in 0..batch {
+                for t in 0..seq {
+                    let qrow = q.row_mut(b * seq + t);
+                    for h in 0..self.n_heads {
+                        rope.apply(&mut qrow[h * self.head_dim..(h + 1) * self.head_dim], t);
+                    }
+                    let krow = k.row_mut(b * seq + t);
+                    for h in 0..self.n_kv_heads {
+                        rope.apply(&mut krow[h * self.head_dim..(h + 1) * self.head_dim], t);
+                    }
+                }
+            }
+        }
+
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let group = self.n_heads / self.n_kv_heads;
+        let mut ctx = Tensor::zeros(&[batch * seq, self.n_heads * self.head_dim]);
+        let mut probs = Vec::with_capacity(batch * self.n_heads);
+        for b in 0..batch {
+            for h in 0..self.n_heads {
+                let kv_h = h / group;
+                let qb = Self::head_block(&q, b, h, seq, self.head_dim);
+                let kb = Self::head_block(&k, b, kv_h, seq, self.head_dim);
+                let vb = Self::head_block(&v, b, kv_h, seq, self.head_dim);
+                let mut scores = matmul_transb(&qb, &kb).scale(scale);
+                if self.causal {
+                    for t in 0..seq {
+                        let row = scores.row_mut(t);
+                        for entry in row.iter_mut().take(seq).skip(t + 1) {
+                            *entry = f32::NEG_INFINITY;
+                        }
+                    }
+                }
+                let p = softmax_rows(&scores);
+                let c = matmul(&p, &vb);
+                Self::add_head_block(&mut ctx, &c, b, h, seq, self.head_dim);
+                probs.push(p);
+            }
+        }
+
+        let (y, o_cache) = self.wo.forward(&ctx);
+        (y, AttentionCache { q_cache, k_cache, v_cache, o_cache, q, k, v, probs, batch, seq })
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
+        self.forward(x, batch, seq).0
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(&mut self, cache: &AttentionCache, dy: &Tensor) -> Tensor {
+        let (batch, seq) = (cache.batch, cache.seq);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let group = self.n_heads / self.n_kv_heads;
+
+        let dctx = self.wo.backward(&cache.o_cache, dy);
+
+        let mut dq = Tensor::zeros(&[batch * seq, self.n_heads * self.head_dim]);
+        let mut dk = Tensor::zeros(&[batch * seq, self.n_kv_heads * self.head_dim]);
+        let mut dv = Tensor::zeros(&[batch * seq, self.n_kv_heads * self.head_dim]);
+
+        for b in 0..batch {
+            for h in 0..self.n_heads {
+                let kv_h = h / group;
+                let p = &cache.probs[b * self.n_heads + h];
+                let dcb = Self::head_block(&dctx, b, h, seq, self.head_dim);
+                let kb = Self::head_block(&cache.k, b, kv_h, seq, self.head_dim);
+                let vb = Self::head_block(&cache.v, b, kv_h, seq, self.head_dim);
+                let qb = Self::head_block(&cache.q, b, h, seq, self.head_dim);
+
+                // dP = dC · Vᵀ ; dV = Pᵀ · dC
+                let dp = matmul_transb(&dcb, &vb);
+                let dvb = matmul_transa(p, &dcb);
+                // dS = softmax'(P, dP); masked entries have P = 0 so they
+                // produce zero gradient automatically.
+                let ds = softmax_rows_backward(p, &dp).scale(scale);
+                let dqb = matmul(&ds, &kb);
+                let dkb = matmul_transa(&ds, &qb);
+
+                Self::add_head_block(&mut dq, &dqb, b, h, seq, self.head_dim);
+                Self::add_head_block(&mut dk, &dkb, b, kv_h, seq, self.head_dim);
+                Self::add_head_block(&mut dv, &dvb, b, kv_h, seq, self.head_dim);
+            }
+        }
+
+        if let Some(rope) = &self.rope {
+            for b in 0..batch {
+                for t in 0..seq {
+                    let qrow = dq.row_mut(b * seq + t);
+                    for h in 0..self.n_heads {
+                        rope.apply_inverse(
+                            &mut qrow[h * self.head_dim..(h + 1) * self.head_dim],
+                            t,
+                        );
+                    }
+                    let krow = dk.row_mut(b * seq + t);
+                    for h in 0..self.n_kv_heads {
+                        rope.apply_inverse(
+                            &mut krow[h * self.head_dim..(h + 1) * self.head_dim],
+                            t,
+                        );
+                    }
+                }
+            }
+        }
+
+        let mut dx = self.wq.backward(&cache.q_cache, &dq);
+        dx.axpy(1.0, &self.wk.backward(&cache.k_cache, &dk));
+        dx.axpy(1.0, &self.wv.backward(&cache.v_cache, &dv));
+        dx
+    }
+
+    /// Visits the four projection slots as `(name, slot)` pairs — the hook
+    /// used by the decomposer.
+    pub fn visit_linears<'a>(
+        &'a mut self,
+        out: &mut Vec<(&'static str, &'a mut AnyLinear)>,
+    ) {
+        out.push(("wq", &mut self.wq));
+        out.push(("wk", &mut self.wk));
+        out.push(("wv", &mut self.wv));
+        out.push(("wo", &mut self.wo));
+    }
+
+    /// Visits parameters as `(name, param)` pairs.
+    pub fn visit_params<'a>(&'a mut self, prefix: &str, out: &mut Vec<(String, &'a mut Param)>) {
+        self.wq.visit_params(&format!("{prefix}.wq"), out);
+        self.wk.visit_params(&format!("{prefix}.wk"), out);
+        self.wv.visit_params(&format!("{prefix}.wv"), out);
+        self.wo.visit_params(&format!("{prefix}.wo"), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attn(causal: bool, rope: bool, seed: u64) -> MultiHeadAttention {
+        let mut rng = Rng64::new(seed);
+        MultiHeadAttention::new(8, 2, 2, 16, causal, rope, false, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let a = attn(true, true, 1);
+        let mut rng = Rng64::new(10);
+        let x = Tensor::randn(&[2 * 5, 8], &mut rng);
+        let (y, _) = a.forward(&x, 2, 5);
+        assert_eq!(y.dims(), &[10, 8]);
+    }
+
+    #[test]
+    fn causal_mask_blocks_future() {
+        // Changing a future token must not affect earlier outputs.
+        let a = attn(true, true, 2);
+        let mut rng = Rng64::new(11);
+        let mut x = Tensor::randn(&[6, 8], &mut rng);
+        let (y1, _) = a.forward(&x, 1, 6);
+        // Perturb the last token.
+        for v in x.row_mut(5) {
+            *v += 1.0;
+        }
+        let (y2, _) = a.forward(&x, 1, 6);
+        for t in 0..5 {
+            for j in 0..8 {
+                assert!(
+                    (y1.get(&[t, j]) - y2.get(&[t, j])).abs() < 1e-5,
+                    "future token leaked into position {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bidirectional_attends_everywhere() {
+        let a = attn(false, false, 3);
+        let mut rng = Rng64::new(12);
+        let mut x = Tensor::randn(&[4, 8], &mut rng);
+        let (y1, _) = a.forward(&x, 1, 4);
+        for v in x.row_mut(3) {
+            *v += 1.0;
+        }
+        let (y2, _) = a.forward(&x, 1, 4);
+        // Early positions change in an encoder.
+        let diff: f32 = (0..8).map(|j| (y1.get(&[0, j]) - y2.get(&[0, j])).abs()).sum();
+        assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn batches_are_independent() {
+        let a = attn(true, true, 4);
+        let mut rng = Rng64::new(13);
+        let x1 = Tensor::randn(&[3, 8], &mut rng);
+        let x2 = Tensor::randn(&[3, 8], &mut rng);
+        // Concatenate into a batch of 2.
+        let mut both = Vec::new();
+        both.extend_from_slice(x1.data());
+        both.extend_from_slice(x2.data());
+        let xb = Tensor::from_vec(&[6, 8], both);
+        let (yb, _) = a.forward(&xb, 2, 3);
+        let (y1, _) = a.forward(&x1, 1, 3);
+        for t in 0..3 {
+            for j in 0..8 {
+                assert!((yb.get(&[t, j]) - y1.get(&[t, j])).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_dx_matches_finite_difference() {
+        let mut a = attn(true, true, 5);
+        let mut rng = Rng64::new(14);
+        let x = Tensor::randn(&[4, 8], &mut rng);
+        let dy = Tensor::randn(&[4, 8], &mut rng);
+        let (_, cache) = a.forward(&x, 1, 4);
+        let dx = a.backward(&cache, &dy);
+        let ac = a.clone();
+        let h = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fd = (ac.forward(&xp, 1, 4).0.dot(&dy) - ac.forward(&xm, 1, 4).0.dot(&dy))
+                / (2.0 * h);
+            assert!(
+                (dx.data()[i] - fd).abs() < 3e-2,
+                "dx[{i}]: {} vs {fd}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn backward_weight_grads_match_finite_difference() {
+        let mut a = attn(false, false, 6);
+        let mut rng = Rng64::new(15);
+        let x = Tensor::randn(&[3, 8], &mut rng);
+        let dy = Tensor::randn(&[3, 8], &mut rng);
+        let (_, cache) = a.forward(&x, 1, 3);
+        a.backward(&cache, &dy);
+        // Check a handful of entries of W_Q and W_O.
+        let h = 1e-2;
+        let grads: Vec<f32> = match &a.wq {
+            AnyLinear::Dense(l) => l.w.grad.data().to_vec(),
+            _ => unreachable!(),
+        };
+        for &i in &[0usize, 5, 17, 33] {
+            let mut ap = a.clone();
+            let mut am = a.clone();
+            if let (AnyLinear::Dense(lp), AnyLinear::Dense(lm)) = (&mut ap.wq, &mut am.wq) {
+                lp.w.value.data_mut()[i] += h;
+                lm.w.value.data_mut()[i] -= h;
+            }
+            let fd = (ap.forward(&x, 1, 3).0.dot(&dy) - am.forward(&x, 1, 3).0.dot(&dy))
+                / (2.0 * h);
+            assert!((grads[i] - fd).abs() < 2e-2, "dWq[{i}]: {} vs {fd}", grads[i]);
+        }
+    }
+
+    #[test]
+    fn gqa_shares_kv_heads() {
+        let mut rng = Rng64::new(7);
+        let a = MultiHeadAttention::new(8, 4, 2, 16, true, true, false, &mut rng);
+        assert_eq!(a.wk.fan_out(), 2 * 2); // n_kv_heads * head_dim
+        assert_eq!(a.wq.fan_out(), 4 * 2);
+        let x = Tensor::randn(&[4, 8], &mut rng);
+        let (y, _) = a.forward(&x, 1, 4);
+        assert_eq!(y.dims(), &[4, 8]);
+    }
+
+    #[test]
+    fn gqa_backward_matches_finite_difference() {
+        let mut rng = Rng64::new(8);
+        let mut a = MultiHeadAttention::new(8, 4, 2, 16, true, true, false, &mut rng);
+        let x = Tensor::randn(&[3, 8], &mut rng);
+        let dy = Tensor::randn(&[3, 8], &mut rng);
+        let (_, cache) = a.forward(&x, 1, 3);
+        let dx = a.backward(&cache, &dy);
+        let ac = a.clone();
+        let h = 1e-2;
+        for &i in &[0usize, 7, 13, 20] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fd = (ac.forward(&xp, 1, 3).0.dot(&dy) - ac.forward(&xm, 1, 3).0.dot(&dy))
+                / (2.0 * h);
+            assert!((dx.data()[i] - fd).abs() < 3e-2);
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Transformer blocks: the pre-norm decoder block of Llama 2 and the
+//! post-norm encoder block of BERT.
+
+use crate::attention::{AttentionCache, MultiHeadAttention};
+use crate::config::TransformerConfig;
+use crate::linear::AnyLinear;
+use crate::mlp::{BertMlp, BertMlpCache, SwiGluCache, SwiGluMlp};
+use crate::norm::{LayerNorm, LayerNormCache, RmsNorm, RmsNormCache};
+use crate::param::Param;
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::Tensor;
+
+/// Llama-style pre-norm decoder block:
+/// `h = x + Attn(RMSNorm(x)); y = h + SwiGLU(RMSNorm(h))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecoderBlock {
+    /// Pre-attention RMSNorm.
+    pub norm1: RmsNorm,
+    /// Causal self-attention with RoPE.
+    pub attn: MultiHeadAttention,
+    /// Pre-MLP RMSNorm.
+    pub norm2: RmsNorm,
+    /// SwiGLU feed-forward.
+    pub mlp: SwiGluMlp,
+}
+
+/// Cached forward state for [`DecoderBlock`].
+#[derive(Debug, Clone)]
+pub struct DecoderBlockCache {
+    n1: RmsNormCache,
+    attn: AttentionCache,
+    n2: RmsNormCache,
+    mlp: SwiGluCache,
+}
+
+impl DecoderBlock {
+    /// Randomly initialized decoder block for the given configuration.
+    pub fn new(cfg: &TransformerConfig, rng: &mut Rng64) -> Self {
+        DecoderBlock {
+            norm1: RmsNorm::new(cfg.d_model),
+            attn: MultiHeadAttention::new(
+                cfg.d_model,
+                cfg.n_heads,
+                cfg.n_kv_heads,
+                cfg.max_seq,
+                true,
+                true,
+                false,
+                rng,
+            ),
+            norm2: RmsNorm::new(cfg.d_model),
+            mlp: SwiGluMlp::new(cfg.d_model, cfg.d_ff, rng),
+        }
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.norm1.param_count()
+            + self.attn.param_count()
+            + self.norm2.param_count()
+            + self.mlp.param_count()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, DecoderBlockCache) {
+        let (nx, n1) = self.norm1.forward(x);
+        let (ax, attn) = self.attn.forward(&nx, batch, seq);
+        let h = x.add(&ax).expect("residual shape");
+        let (nh, n2) = self.norm2.forward(&h);
+        let (mx, mlp) = self.mlp.forward(&nh);
+        let y = h.add(&mx).expect("residual shape");
+        (y, DecoderBlockCache { n1, attn, n2, mlp })
+    }
+
+    /// Incremental decode of one token (batch 1) at position `pos`,
+    /// using/extending the layer's KV cache.
+    pub fn decode_step(
+        &self,
+        x: &Tensor,
+        pos: usize,
+        cache: &mut crate::attention::KvCache,
+    ) -> Tensor {
+        let nx = self.norm1.infer(x);
+        let ax = self.attn.decode_step(&nx, pos, cache);
+        let h = x.add(&ax).expect("residual shape");
+        let nh = self.norm2.infer(&h);
+        let mx = self.mlp.infer(&nh);
+        h.add(&mx).expect("residual shape")
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(&mut self, cache: &DecoderBlockCache, dy: &Tensor) -> Tensor {
+        // y = h + mlp(norm2(h))
+        let dmx = self.mlp.backward(&cache.mlp, dy);
+        let dnh = self.norm2.backward(&cache.n2, &dmx);
+        let mut dh = dy.clone();
+        dh.axpy(1.0, &dnh);
+        // h = x + attn(norm1(x))
+        let dax = self.attn.backward(&cache.attn, &dh);
+        let dnx = self.norm1.backward(&cache.n1, &dax);
+        let mut dx = dh;
+        dx.axpy(1.0, &dnx);
+        dx
+    }
+
+    /// Visits the seven decomposable tensors of a Llama layer
+    /// (`wq, wk, wv, wo, gate, up, down`).
+    pub fn visit_linears<'a>(&'a mut self, out: &mut Vec<(&'static str, &'a mut AnyLinear)>) {
+        self.attn.visit_linears(out);
+        self.mlp.visit_linears(out);
+    }
+
+    /// Visits parameters as `(name, param)` pairs.
+    pub fn visit_params<'a>(&'a mut self, prefix: &str, out: &mut Vec<(String, &'a mut Param)>) {
+        self.norm1.visit_params(&format!("{prefix}.norm1"), out);
+        self.attn.visit_params(&format!("{prefix}.attn"), out);
+        self.norm2.visit_params(&format!("{prefix}.norm2"), out);
+        self.mlp.visit_params(&format!("{prefix}.mlp"), out);
+    }
+}
+
+/// BERT-style post-norm encoder block:
+/// `h = LN(x + Attn(x)); y = LN(h + Mlp(h))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncoderBlock {
+    /// Bidirectional self-attention (with biases, like BERT).
+    pub attn: MultiHeadAttention,
+    /// Post-attention LayerNorm.
+    pub norm1: LayerNorm,
+    /// GELU intermediate/output feed-forward.
+    pub mlp: BertMlp,
+    /// Post-MLP LayerNorm.
+    pub norm2: LayerNorm,
+}
+
+/// Cached forward state for [`EncoderBlock`].
+#[derive(Debug, Clone)]
+pub struct EncoderBlockCache {
+    attn: AttentionCache,
+    n1: LayerNormCache,
+    mlp: BertMlpCache,
+    n2: LayerNormCache,
+}
+
+impl EncoderBlock {
+    /// Randomly initialized encoder block for the given configuration.
+    pub fn new(cfg: &TransformerConfig, rng: &mut Rng64) -> Self {
+        EncoderBlock {
+            attn: MultiHeadAttention::new(
+                cfg.d_model,
+                cfg.n_heads,
+                cfg.n_kv_heads,
+                cfg.max_seq,
+                false,
+                false,
+                true,
+                rng,
+            ),
+            norm1: LayerNorm::new(cfg.d_model),
+            mlp: BertMlp::new(cfg.d_model, cfg.d_ff, rng),
+            norm2: LayerNorm::new(cfg.d_model),
+        }
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.attn.param_count()
+            + self.norm1.param_count()
+            + self.mlp.param_count()
+            + self.norm2.param_count()
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, EncoderBlockCache) {
+        let (ax, attn) = self.attn.forward(x, batch, seq);
+        let (h, n1) = self.norm1.forward(&x.add(&ax).expect("residual shape"));
+        let (mx, mlp) = self.mlp.forward(&h);
+        let (y, n2) = self.norm2.forward(&h.add(&mx).expect("residual shape"));
+        (y, EncoderBlockCache { attn, n1, mlp, n2 })
+    }
+
+    /// Backward pass; returns `dx`.
+    pub fn backward(&mut self, cache: &EncoderBlockCache, dy: &Tensor) -> Tensor {
+        let dsum2 = self.norm2.backward(&cache.n2, dy);
+        let dmx = self.mlp.backward(&cache.mlp, &dsum2);
+        let mut dh = dsum2;
+        dh.axpy(1.0, &dmx);
+        let dsum1 = self.norm1.backward(&cache.n1, &dh);
+        let dax = self.attn.backward(&cache.attn, &dsum1);
+        let mut dx = dsum1;
+        dx.axpy(1.0, &dax);
+        dx
+    }
+
+    /// Visits the six decomposable tensors of a BERT layer
+    /// (`wq, wk, wv, wo, intermediate, output`).
+    pub fn visit_linears<'a>(&'a mut self, out: &mut Vec<(&'static str, &'a mut AnyLinear)>) {
+        self.attn.visit_linears(out);
+        self.mlp.visit_linears(out);
+    }
+
+    /// Visits parameters as `(name, param)` pairs.
+    pub fn visit_params<'a>(&'a mut self, prefix: &str, out: &mut Vec<(String, &'a mut Param)>) {
+        self.attn.visit_params(&format!("{prefix}.attn"), out);
+        self.norm1.visit_params(&format!("{prefix}.norm1"), out);
+        self.mlp.visit_params(&format!("{prefix}.mlp"), out);
+        self.norm2.visit_params(&format!("{prefix}.norm2"), out);
+    }
+}
+
+/// Either block kind, so a model can hold a homogeneous `Vec`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformerBlock {
+    /// Llama-style decoder block.
+    Decoder(DecoderBlock),
+    /// BERT-style encoder block.
+    Encoder(EncoderBlock),
+}
+
+/// Cache for [`TransformerBlock::forward`].
+#[derive(Debug, Clone)]
+pub enum BlockCache {
+    /// Decoder cache.
+    Decoder(DecoderBlockCache),
+    /// Encoder cache.
+    Encoder(EncoderBlockCache),
+}
+
+impl TransformerBlock {
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, BlockCache) {
+        match self {
+            TransformerBlock::Decoder(b) => {
+                let (y, c) = b.forward(x, batch, seq);
+                (y, BlockCache::Decoder(c))
+            }
+            TransformerBlock::Encoder(b) => {
+                let (y, c) = b.forward(x, batch, seq);
+                (y, BlockCache::Encoder(c))
+            }
+        }
+    }
+
+    /// Backward pass; returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache variant does not match the block variant.
+    pub fn backward(&mut self, cache: &BlockCache, dy: &Tensor) -> Tensor {
+        match (self, cache) {
+            (TransformerBlock::Decoder(b), BlockCache::Decoder(c)) => b.backward(c, dy),
+            (TransformerBlock::Encoder(b), BlockCache::Encoder(c)) => b.backward(c, dy),
+            _ => panic!("TransformerBlock::backward: cache variant mismatch"),
+        }
+    }
+
+    /// Number of parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            TransformerBlock::Decoder(b) => b.param_count(),
+            TransformerBlock::Encoder(b) => b.param_count(),
+        }
+    }
+
+    /// Visits this layer's decomposable tensors in the paper's order.
+    pub fn visit_linears<'a>(&'a mut self, out: &mut Vec<(&'static str, &'a mut AnyLinear)>) {
+        match self {
+            TransformerBlock::Decoder(b) => b.visit_linears(out),
+            TransformerBlock::Encoder(b) => b.visit_linears(out),
+        }
+    }
+
+    /// Visits parameters as `(name, param)` pairs.
+    pub fn visit_params<'a>(&'a mut self, prefix: &str, out: &mut Vec<(String, &'a mut Param)>) {
+        match self {
+            TransformerBlock::Decoder(b) => b.visit_params(prefix, out),
+            TransformerBlock::Encoder(b) => b.visit_params(prefix, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(kind: crate::ArchKind) -> TransformerConfig {
+        TransformerConfig {
+            kind,
+            vocab_size: 32,
+            d_model: 8,
+            n_layers: 2,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 16,
+            max_seq: 8,
+        }
+    }
+
+    #[test]
+    fn decoder_block_forward_shape() {
+        let mut rng = Rng64::new(1);
+        let b = DecoderBlock::new(&small_cfg(crate::ArchKind::Decoder), &mut rng);
+        let x = Tensor::randn(&[6, 8], &mut rng);
+        let (y, _) = b.forward(&x, 2, 3);
+        assert_eq!(y.dims(), &[6, 8]);
+    }
+
+    #[test]
+    fn decoder_block_backward_matches_fd() {
+        let mut rng = Rng64::new(2);
+        let mut b = DecoderBlock::new(&small_cfg(crate::ArchKind::Decoder), &mut rng);
+        let x = Tensor::randn(&[4, 8], &mut rng);
+        let dy = Tensor::randn(&[4, 8], &mut rng);
+        let (_, c) = b.forward(&x, 1, 4);
+        let dx = b.backward(&c, &dy);
+        let bc = b.clone();
+        let h = 1e-2;
+        for &i in &[0usize, 7, 15, 23, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fd = (bc.forward(&xp, 1, 4).0.dot(&dy) - bc.forward(&xm, 1, 4).0.dot(&dy))
+                / (2.0 * h);
+            assert!((dx.data()[i] - fd).abs() < 5e-2, "dx[{i}]: {} vs {fd}", dx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn encoder_block_backward_matches_fd() {
+        let mut rng = Rng64::new(3);
+        let mut b = EncoderBlock::new(&small_cfg(crate::ArchKind::Encoder), &mut rng);
+        let x = Tensor::randn(&[3, 8], &mut rng);
+        let dy = Tensor::randn(&[3, 8], &mut rng);
+        let (_, c) = b.forward(&x, 1, 3);
+        let dx = b.backward(&c, &dy);
+        let bc = b.clone();
+        let h = 1e-2;
+        for &i in &[0usize, 5, 11, 17, 23] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fd = (bc.forward(&xp, 1, 3).0.dot(&dy) - bc.forward(&xm, 1, 3).0.dot(&dy))
+                / (2.0 * h);
+            assert!((dx.data()[i] - fd).abs() < 5e-2, "dx[{i}]");
+        }
+    }
+
+    #[test]
+    fn decoder_has_seven_decomposable_tensors() {
+        let mut rng = Rng64::new(4);
+        let mut b = DecoderBlock::new(&small_cfg(crate::ArchKind::Decoder), &mut rng);
+        let mut slots = Vec::new();
+        b.visit_linears(&mut slots);
+        let names: Vec<_> = slots.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["wq", "wk", "wv", "wo", "gate", "up", "down"]);
+    }
+
+    #[test]
+    fn encoder_has_six_decomposable_tensors() {
+        let mut rng = Rng64::new(5);
+        let mut b = EncoderBlock::new(&small_cfg(crate::ArchKind::Encoder), &mut rng);
+        let mut slots = Vec::new();
+        b.visit_linears(&mut slots);
+        assert_eq!(slots.len(), 6);
+    }
+
+    #[test]
+    fn param_count_consistency() {
+        let mut rng = Rng64::new(6);
+        let mut b = DecoderBlock::new(&small_cfg(crate::ArchKind::Decoder), &mut rng);
+        let mut params = Vec::new();
+        b.visit_params("blk", &mut params);
+        let total: usize = params.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(total, b.param_count());
+    }
+}

@@ -1,0 +1,226 @@
+//! Binary checkpointing of model weights.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "LRDCKPT1" (8 bytes)
+//! config: kind(u8) vocab d_model n_layers n_heads n_kv_heads d_ff max_seq (u32 each)
+//! n_params (u32)
+//! per param: name_len(u32) name(utf8) n_dims(u32) dims(u32 each) data(f32 each)
+//! ```
+//!
+//! Checkpoints are written for *dense* models (the trained baselines);
+//! decomposition is applied after loading. Saving a model with factored
+//! layers is rejected.
+
+use crate::config::{ArchKind, TransformerConfig};
+use crate::model::TransformerLm;
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::Tensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LRDCKPT1";
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Saves a dense model's weights to `path`.
+///
+/// # Errors
+///
+/// Returns an I/O error on filesystem failure, or `InvalidInput` if the
+/// model contains factored layers.
+pub fn save_model(path: impl AsRef<Path>, model: &mut TransformerLm) -> io::Result<()> {
+    if model.visit_linears().iter().any(|(_, _, slot)| slot.is_factored()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "cannot checkpoint a model with factored layers; checkpoint before decomposing",
+        ));
+    }
+    let cfg = model.config().clone();
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    w.write_all(&[match cfg.kind {
+        ArchKind::Encoder => 0u8,
+        ArchKind::Decoder => 1u8,
+    }])?;
+    for v in [
+        cfg.vocab_size,
+        cfg.d_model,
+        cfg.n_layers,
+        cfg.n_heads,
+        cfg.n_kv_heads,
+        cfg.d_ff,
+        cfg.max_seq,
+    ] {
+        write_u32(&mut w, v as u32)?;
+    }
+    let params = model.visit_params();
+    write_u32(&mut w, params.len() as u32)?;
+    for (name, p) in params {
+        write_u32(&mut w, name.len() as u32)?;
+        w.write_all(name.as_bytes())?;
+        write_u32(&mut w, p.value.dims().len() as u32)?;
+        for &d in p.value.dims() {
+            write_u32(&mut w, d as u32)?;
+        }
+        for &x in p.value.data() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Loads a model saved by [`save_model`].
+///
+/// # Errors
+///
+/// Returns an I/O error on filesystem failure or a malformed file
+/// (`InvalidData`).
+pub fn load_model(path: impl AsRef<Path>) -> io::Result<TransformerLm> {
+    let file = File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+    }
+    let mut kind_byte = [0u8; 1];
+    r.read_exact(&mut kind_byte)?;
+    let kind = match kind_byte[0] {
+        0 => ArchKind::Encoder,
+        1 => ArchKind::Decoder,
+        k => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad arch kind byte {k}"),
+            ))
+        }
+    };
+    let mut vals = [0usize; 7];
+    for v in &mut vals {
+        *v = read_u32(&mut r)? as usize;
+    }
+    let cfg = TransformerConfig {
+        kind,
+        vocab_size: vals[0],
+        d_model: vals[1],
+        n_layers: vals[2],
+        n_heads: vals[3],
+        n_kv_heads: vals[4],
+        d_ff: vals[5],
+        max_seq: vals[6],
+    };
+    // Build a structurally identical model, then overwrite weights by name.
+    let mut model = TransformerLm::new(cfg, &mut Rng64::new(0));
+    let n_params = read_u32(&mut r)? as usize;
+    let mut loaded: std::collections::HashMap<String, Tensor> =
+        std::collections::HashMap::with_capacity(n_params);
+    for _ in 0..n_params {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name_buf = vec![0u8; name_len];
+        r.read_exact(&mut name_buf)?;
+        let name = String::from_utf8(name_buf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let n_dims = read_u32(&mut r)? as usize;
+        let mut dims = Vec::with_capacity(n_dims);
+        for _ in 0..n_dims {
+            dims.push(read_u32(&mut r)? as usize);
+        }
+        let len: usize = dims.iter().product();
+        let mut data = vec![0f32; len];
+        let mut buf = [0u8; 4];
+        for x in &mut data {
+            r.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        loaded.insert(name, Tensor::from_vec(&dims, data));
+    }
+    for (name, p) in model.visit_params() {
+        let t = loaded.remove(&name).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("missing parameter {name}"))
+        })?;
+        if t.dims() != p.value.dims() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("shape mismatch for {name}"),
+            ));
+        }
+        p.value = t;
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::{AnyLinear, FactoredLinear};
+    use lrd_tensor::tucker::tucker2;
+
+    fn tiny_model(seed: u64) -> TransformerLm {
+        let cfg = TransformerConfig {
+            kind: ArchKind::Decoder,
+            vocab_size: 10,
+            d_model: 8,
+            n_layers: 2,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 16,
+            max_seq: 8,
+        };
+        TransformerLm::new(cfg, &mut Rng64::new(seed))
+    }
+
+    #[test]
+    fn roundtrip_preserves_outputs() {
+        let dir = std::env::temp_dir().join("lrd_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m1.bin");
+        let mut model = tiny_model(5);
+        save_model(&path, &mut model).unwrap();
+        let loaded = load_model(&path).unwrap();
+        let tokens = [1usize, 2, 3, 4];
+        assert!(model.logits(&tokens, 1).approx_eq(&loaded.logits(&tokens, 1), 1e-6));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_factored_models() {
+        let dir = std::env::temp_dir().join("lrd_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m2.bin");
+        let mut model = tiny_model(6);
+        {
+            let mut slots = model.visit_linears();
+            let (_, _, slot) = &mut slots[0];
+            let w = slot.effective_weight();
+            **slot = AnyLinear::Factored(FactoredLinear::from_tucker(
+                tucker2(&w, 1).unwrap(),
+                None,
+            ));
+        }
+        let err = save_model(&path, &mut model).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn rejects_corrupt_magic() {
+        let dir = std::env::temp_dir().join("lrd_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m3.bin");
+        std::fs::write(&path, b"NOTACKPT____").unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,110 @@
+//! Model architecture configuration.
+
+/// The two transformer families studied by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchKind {
+    /// Bidirectional encoder (BERT): LayerNorm, learned positions, GELU
+    /// intermediate/output MLP, post-norm residuals.
+    Encoder,
+    /// Causal decoder (Llama 2): RMSNorm, rotary positions, SwiGLU MLP,
+    /// pre-norm residuals.
+    Decoder,
+}
+
+/// Hyper-parameters of a [`crate::TransformerLm`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TransformerConfig {
+    /// Encoder (BERT-style) or decoder (Llama-style).
+    pub kind: ArchKind,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Hidden width.
+    pub d_model: usize,
+    /// Number of transformer blocks.
+    pub n_layers: usize,
+    /// Number of attention heads (`d_model` must be divisible by it).
+    pub n_heads: usize,
+    /// Number of key/value heads (grouped-query attention when smaller
+    /// than `n_heads`; must divide `n_heads`).
+    pub n_kv_heads: usize,
+    /// Feed-forward inner width.
+    pub d_ff: usize,
+    /// Maximum sequence length.
+    pub max_seq: usize,
+}
+
+impl TransformerConfig {
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Validates divisibility constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent configuration; called by the model
+    /// constructor.
+    pub fn validate(&self) {
+        assert!(self.d_model.is_multiple_of(self.n_heads), "d_model must divide by n_heads");
+        assert!(self.n_heads.is_multiple_of(self.n_kv_heads), "n_kv_heads must divide n_heads");
+        assert!(self.head_dim().is_multiple_of(2), "head_dim must be even for RoPE");
+        assert!(self.vocab_size > 0 && self.n_layers > 0 && self.max_seq > 0);
+    }
+
+    /// A Llama-2-style decoder scaled down for CPU training; 32 layers to
+    /// mirror Llama2-7B's layer count (the layer-choice studies sweep all
+    /// 32 positions).
+    pub fn tiny_llama() -> Self {
+        TransformerConfig {
+            kind: ArchKind::Decoder,
+            vocab_size: 256,
+            d_model: 40,
+            n_layers: 32,
+            n_heads: 4,
+            n_kv_heads: 4,
+            d_ff: 112,
+            max_seq: 64,
+        }
+    }
+
+    /// A BERT-style encoder scaled down for CPU training; 12 layers to
+    /// mirror BERT-Base.
+    pub fn tiny_bert() -> Self {
+        TransformerConfig {
+            kind: ArchKind::Encoder,
+            vocab_size: 256,
+            d_model: 40,
+            n_layers: 12,
+            n_heads: 4,
+            n_kv_heads: 4,
+            d_ff: 160,
+            max_seq: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_configs_validate() {
+        TransformerConfig::tiny_llama().validate();
+        TransformerConfig::tiny_bert().validate();
+    }
+
+    #[test]
+    fn head_dim() {
+        let c = TransformerConfig::tiny_llama();
+        assert_eq!(c.head_dim(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_model must divide")]
+    fn invalid_heads_rejected() {
+        let mut c = TransformerConfig::tiny_llama();
+        c.n_heads = 7;
+        c.validate();
+    }
+}

@@ -1,0 +1,469 @@
+//! Dense and low-rank-factored linear layers.
+//!
+//! [`FactoredLinear`] is the deployed form of the paper's Tucker-decomposed
+//! weight: a dense `in × out` matrix is replaced by
+//! `U1 (in × pr) · Γ (pr × pr) · U2 (pr × out)`, turning one GEMM into three
+//! smaller ones (§2.3). [`AnyLinear`] lets a model hold either form in the
+//! same slot, which is how the decomposer swaps tensors in place.
+
+use crate::param::Param;
+use lrd_tensor::matmul::{matmul, matmul_transa, matmul_transb};
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::tucker::Tucker2;
+use lrd_tensor::Tensor;
+
+/// A dense affine layer `y = x·W (+ b)` with `W (in × out)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    /// Weight matrix, `in × out`.
+    pub w: Param,
+    /// Optional bias, length `out`.
+    pub b: Option<Param>,
+}
+
+/// Cached forward state for [`Linear::forward`].
+#[derive(Debug, Clone)]
+pub struct LinearCache {
+    x: Tensor,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new(fan_in: usize, fan_out: usize, bias: bool, rng: &mut Rng64) -> Self {
+        Linear {
+            w: Param::xavier(fan_in, fan_out, rng),
+            b: bias.then(|| Param::zeros(&[fan_out])),
+        }
+    }
+
+    /// Builds a layer from an existing weight matrix (no bias).
+    pub fn from_weight(w: Tensor) -> Self {
+        Linear { w: Param::new(w), b: None }
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.w.value.rows()
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.w.value.cols()
+    }
+
+    /// Number of stored parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.as_ref().map_or(0, Param::len)
+    }
+
+    /// Forward pass for a batch of rows `x (m × in)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != fan_in`.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, LinearCache) {
+        let mut y = matmul(x, &self.w.value);
+        if let Some(b) = &self.b {
+            let bias = b.value.data();
+            for i in 0..y.rows() {
+                let row = y.row_mut(i);
+                for (v, &bj) in row.iter_mut().zip(bias) {
+                    *v += bj;
+                }
+            }
+        }
+        (y, LinearCache { x: x.clone() })
+    }
+
+    /// Inference-only forward (no cache allocation).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.forward(x).0
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns `dx`.
+    pub fn backward(&mut self, cache: &LinearCache, dy: &Tensor) -> Tensor {
+        let dw = matmul_transa(&cache.x, dy);
+        self.w.accumulate(&dw);
+        if let Some(b) = &mut self.b {
+            let mut db = Tensor::zeros(&[dy.cols()]);
+            for i in 0..dy.rows() {
+                for (j, &g) in dy.row(i).iter().enumerate() {
+                    db.data_mut()[j] += g;
+                }
+            }
+            b.accumulate(&db);
+        }
+        matmul_transb(dy, &self.w.value)
+    }
+
+    /// Visits parameters as `(name, param)` pairs.
+    pub fn visit_params<'a>(&'a mut self, prefix: &str, out: &mut Vec<(String, &'a mut Param)>) {
+        out.push((format!("{prefix}.w"), &mut self.w));
+        if let Some(b) = &mut self.b {
+            out.push((format!("{prefix}.b"), b));
+        }
+    }
+}
+
+/// The factored (decomposed) linear layer `y = ((x·U1)·Γ)·U2 (+ b)`.
+///
+/// Replaces a dense `in × out` weight with three factors of pruned rank
+/// `pr`, storing `in·pr + pr² + pr·out` weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactoredLinear {
+    /// Left factor, `in × pr`.
+    pub u1: Param,
+    /// Core, `pr × pr`.
+    pub core: Param,
+    /// Right factor, `pr × out`.
+    pub u2: Param,
+    /// Optional bias carried over from the dense layer.
+    pub b: Option<Param>,
+}
+
+/// Cached forward state for [`FactoredLinear::forward`].
+#[derive(Debug, Clone)]
+pub struct FactoredCache {
+    x: Tensor,
+    h1: Tensor,
+    h2: Tensor,
+}
+
+impl FactoredLinear {
+    /// Builds the factored layer from a Tucker-2 factorization of a dense
+    /// weight, carrying over the dense layer's bias.
+    pub fn from_tucker(t: Tucker2, bias: Option<Param>) -> Self {
+        FactoredLinear {
+            u1: Param::new(t.u1),
+            core: Param::new(t.core),
+            u2: Param::new(t.u2),
+            b: bias,
+        }
+    }
+
+    /// The pruned rank.
+    pub fn rank(&self) -> usize {
+        self.core.value.rows()
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.u1.value.rows()
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.u2.value.cols()
+    }
+
+    /// Number of stored parameters.
+    pub fn param_count(&self) -> usize {
+        self.u1.len() + self.core.len() + self.u2.len() + self.b.as_ref().map_or(0, Param::len)
+    }
+
+    /// Reconstructs the equivalent dense weight `U1·Γ·U2`.
+    pub fn reconstruct_weight(&self) -> Tensor {
+        matmul(&matmul(&self.u1.value, &self.core.value), &self.u2.value)
+    }
+
+    /// Forward pass `y = ((x·U1)·Γ)·U2 (+ b)`.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, FactoredCache) {
+        let h1 = matmul(x, &self.u1.value);
+        let h2 = matmul(&h1, &self.core.value);
+        let mut y = matmul(&h2, &self.u2.value);
+        if let Some(b) = &self.b {
+            let bias = b.value.data();
+            for i in 0..y.rows() {
+                for (v, &bj) in y.row_mut(i).iter_mut().zip(bias) {
+                    *v += bj;
+                }
+            }
+        }
+        (y, FactoredCache { x: x.clone(), h1, h2 })
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.forward(x).0
+    }
+
+    /// Backward pass through all three factors; returns `dx`.
+    pub fn backward(&mut self, cache: &FactoredCache, dy: &Tensor) -> Tensor {
+        if let Some(b) = &mut self.b {
+            let mut db = Tensor::zeros(&[dy.cols()]);
+            for i in 0..dy.rows() {
+                for (j, &g) in dy.row(i).iter().enumerate() {
+                    db.data_mut()[j] += g;
+                }
+            }
+            b.accumulate(&db);
+        }
+        let du2 = matmul_transa(&cache.h2, dy);
+        self.u2.accumulate(&du2);
+        let dh2 = matmul_transb(dy, &self.u2.value);
+        let dcore = matmul_transa(&cache.h1, &dh2);
+        self.core.accumulate(&dcore);
+        let dh1 = matmul_transb(&dh2, &self.core.value);
+        let du1 = matmul_transa(&cache.x, &dh1);
+        self.u1.accumulate(&du1);
+        matmul_transb(&dh1, &self.u1.value)
+    }
+
+    /// Visits parameters as `(name, param)` pairs.
+    pub fn visit_params<'a>(&'a mut self, prefix: &str, out: &mut Vec<(String, &'a mut Param)>) {
+        out.push((format!("{prefix}.u1"), &mut self.u1));
+        out.push((format!("{prefix}.core"), &mut self.core));
+        out.push((format!("{prefix}.u2"), &mut self.u2));
+        if let Some(b) = &mut self.b {
+            out.push((format!("{prefix}.b"), b));
+        }
+    }
+}
+
+/// A linear slot that is either dense or factored — the unit of replacement
+/// for the decomposer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyLinear {
+    /// Original dense layer.
+    Dense(Linear),
+    /// Tucker-decomposed layer.
+    Factored(FactoredLinear),
+}
+
+/// Cache for [`AnyLinear::forward`].
+#[derive(Debug, Clone)]
+pub enum AnyLinearCache {
+    /// Cache of the dense branch.
+    Dense(LinearCache),
+    /// Cache of the factored branch.
+    Factored(FactoredCache),
+}
+
+impl AnyLinear {
+    /// Xavier-initialized dense layer.
+    pub fn dense(fan_in: usize, fan_out: usize, bias: bool, rng: &mut Rng64) -> Self {
+        AnyLinear::Dense(Linear::new(fan_in, fan_out, bias, rng))
+    }
+
+    /// Whether the slot currently holds a factored layer.
+    pub fn is_factored(&self) -> bool {
+        matches!(self, AnyLinear::Factored(_))
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        match self {
+            AnyLinear::Dense(l) => l.fan_in(),
+            AnyLinear::Factored(f) => f.fan_in(),
+        }
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        match self {
+            AnyLinear::Dense(l) => l.fan_out(),
+            AnyLinear::Factored(f) => f.fan_out(),
+        }
+    }
+
+    /// Number of stored parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            AnyLinear::Dense(l) => l.param_count(),
+            AnyLinear::Factored(f) => f.param_count(),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Tensor) -> (Tensor, AnyLinearCache) {
+        match self {
+            AnyLinear::Dense(l) => {
+                let (y, c) = l.forward(x);
+                (y, AnyLinearCache::Dense(c))
+            }
+            AnyLinear::Factored(f) => {
+                let (y, c) = f.forward(x);
+                (y, AnyLinearCache::Factored(c))
+            }
+        }
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        match self {
+            AnyLinear::Dense(l) => l.infer(x),
+            AnyLinear::Factored(f) => f.infer(x),
+        }
+    }
+
+    /// Backward pass; returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache variant does not match the layer variant.
+    pub fn backward(&mut self, cache: &AnyLinearCache, dy: &Tensor) -> Tensor {
+        match (self, cache) {
+            (AnyLinear::Dense(l), AnyLinearCache::Dense(c)) => l.backward(c, dy),
+            (AnyLinear::Factored(f), AnyLinearCache::Factored(c)) => f.backward(c, dy),
+            _ => panic!("AnyLinear::backward: cache variant mismatch"),
+        }
+    }
+
+    /// Visits parameters as `(name, param)` pairs.
+    pub fn visit_params<'a>(&'a mut self, prefix: &str, out: &mut Vec<(String, &'a mut Param)>) {
+        match self {
+            AnyLinear::Dense(l) => l.visit_params(prefix, out),
+            AnyLinear::Factored(f) => f.visit_params(prefix, out),
+        }
+    }
+
+    /// The dense weight this slot represents (reconstructed if factored).
+    pub fn effective_weight(&self) -> Tensor {
+        match self {
+            AnyLinear::Dense(l) => l.w.value.clone(),
+            AnyLinear::Factored(f) => f.reconstruct_weight(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numerical_dx(
+        f: &dyn Fn(&Tensor) -> Tensor,
+        x: &Tensor,
+        dy: &Tensor,
+        h: f32,
+    ) -> Tensor {
+        let mut dx = Tensor::zeros(x.dims());
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fp = f(&xp).dot(dy);
+            let fm = f(&xm).dot(dy);
+            dx.data_mut()[i] = (fp - fm) / (2.0 * h);
+        }
+        dx
+    }
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let mut rng = Rng64::new(1);
+        let mut l = Linear::new(4, 3, true, &mut rng);
+        l.b.as_mut().unwrap().value.data_mut()[1] = 2.0;
+        let x = Tensor::zeros(&[5, 4]);
+        let (y, _) = l.forward(&x);
+        assert_eq!(y.dims(), &[5, 3]);
+        assert_eq!(y.get(&[2, 1]), 2.0);
+    }
+
+    #[test]
+    fn linear_backward_dx_matches_finite_difference() {
+        let mut rng = Rng64::new(2);
+        let mut l = Linear::new(4, 3, true, &mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let dy = Tensor::randn(&[2, 3], &mut rng);
+        let (_, cache) = l.forward(&x);
+        let dx = l.backward(&cache, &dy);
+        let lc = l.clone();
+        let fd = numerical_dx(&|x| lc.forward(x).0, &x, &dy, 1e-2);
+        assert!(dx.approx_eq(&fd, 1e-2), "dx mismatch");
+    }
+
+    #[test]
+    fn linear_backward_dw_matches_finite_difference() {
+        let mut rng = Rng64::new(3);
+        let mut l = Linear::new(3, 2, false, &mut rng);
+        let x = Tensor::randn(&[4, 3], &mut rng);
+        let dy = Tensor::randn(&[4, 2], &mut rng);
+        let (_, cache) = l.forward(&x);
+        l.backward(&cache, &dy);
+        let h = 1e-2;
+        for i in 0..l.w.len() {
+            let mut lp = l.clone();
+            lp.w.value.data_mut()[i] += h;
+            let mut lm = l.clone();
+            lm.w.value.data_mut()[i] -= h;
+            let fd = (lp.forward(&x).0.dot(&dy) - lm.forward(&x).0.dot(&dy)) / (2.0 * h);
+            assert!((l.w.grad.data()[i] - fd).abs() < 1e-2, "dw[{i}]");
+        }
+    }
+
+    #[test]
+    fn factored_equals_dense_at_full_rank() {
+        let mut rng = Rng64::new(4);
+        let dense = Linear::new(6, 5, false, &mut rng);
+        let fac = FactoredLinear::from_tucker(
+            lrd_tensor::tucker::tucker2(&dense.w.value, 5).unwrap(),
+            None,
+        );
+        let x = Tensor::randn(&[3, 6], &mut rng);
+        let yd = dense.infer(&x);
+        let yf = fac.infer(&x);
+        assert!(yd.approx_eq(&yf, 1e-3));
+    }
+
+    #[test]
+    fn factored_backward_matches_finite_difference() {
+        let mut rng = Rng64::new(5);
+        let w = Tensor::randn(&[5, 4], &mut rng);
+        let mut fac =
+            FactoredLinear::from_tucker(lrd_tensor::tucker::tucker2(&w, 2).unwrap(), None);
+        let x = Tensor::randn(&[3, 5], &mut rng);
+        let dy = Tensor::randn(&[3, 4], &mut rng);
+        let (_, cache) = fac.forward(&x);
+        let dx = fac.backward(&cache, &dy);
+        let fc = fac.clone();
+        let fd = numerical_dx(&|x| fc.forward(x).0, &x, &dy, 1e-2);
+        assert!(dx.approx_eq(&fd, 1e-2));
+        // Core gradient check.
+        let h = 1e-2;
+        for i in 0..fac.core.len() {
+            let mut fp = fac.clone();
+            fp.core.value.data_mut()[i] += h;
+            let mut fm = fac.clone();
+            fm.core.value.data_mut()[i] -= h;
+            let fd = (fp.forward(&x).0.dot(&dy) - fm.forward(&x).0.dot(&dy)) / (2.0 * h);
+            assert!((fac.core.grad.data()[i] - fd).abs() < 2e-2, "dcore[{i}]");
+        }
+    }
+
+    #[test]
+    fn factored_param_count() {
+        let mut rng = Rng64::new(6);
+        let w = Tensor::randn(&[10, 8], &mut rng);
+        let fac = FactoredLinear::from_tucker(lrd_tensor::tucker::tucker2(&w, 1).unwrap(), None);
+        assert_eq!(fac.param_count(), 10 + 1 + 8);
+        assert_eq!(fac.rank(), 1);
+        assert_eq!(fac.fan_in(), 10);
+        assert_eq!(fac.fan_out(), 8);
+    }
+
+    #[test]
+    fn any_linear_swap_preserves_shapes() {
+        let mut rng = Rng64::new(7);
+        let slot = AnyLinear::dense(6, 4, false, &mut rng);
+        let w = slot.effective_weight();
+        let fac = AnyLinear::Factored(FactoredLinear::from_tucker(
+            lrd_tensor::tucker::tucker2(&w, 1).unwrap(),
+            None,
+        ));
+        assert_eq!(slot.fan_in(), fac.fan_in());
+        assert_eq!(slot.fan_out(), fac.fan_out());
+        assert!(fac.is_factored() && !slot.is_factored());
+        assert!(fac.param_count() < slot.param_count());
+    }
+
+    #[test]
+    fn visit_params_names() {
+        let mut rng = Rng64::new(8);
+        let mut l = AnyLinear::dense(3, 3, true, &mut rng);
+        let mut out = Vec::new();
+        l.visit_params("blk0.q", &mut out);
+        let names: Vec<_> = out.iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(names, vec!["blk0.q.w", "blk0.q.b"]);
+    }
+}

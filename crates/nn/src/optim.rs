@@ -1,0 +1,238 @@
+//! Optimizers: AdamW and SGD with momentum, plus global gradient clipping.
+
+use crate::param::Param;
+use lrd_tensor::Tensor;
+use std::collections::HashMap;
+
+/// AdamW (Adam with decoupled weight decay).
+#[derive(Debug, Clone)]
+pub struct AdamW {
+    /// Learning rate (can be reassigned per step by a schedule).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight-decay coefficient.
+    pub weight_decay: f32,
+    t: u64,
+    state: HashMap<String, (Tensor, Tensor)>,
+}
+
+impl AdamW {
+    /// Creates an AdamW optimizer with standard betas.
+    pub fn new(lr: f32) -> Self {
+        AdamW { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, state: HashMap::new() }
+    }
+
+    /// Sets the weight-decay coefficient (builder style).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Applies one update step to the given named parameters and zeroes
+    /// their gradients.
+    pub fn step(&mut self, params: &mut [(String, &mut Param)]) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (name, p) in params.iter_mut() {
+            let entry = self.state.entry(name.clone()).or_insert_with(|| {
+                (Tensor::zeros(p.value.dims()), Tensor::zeros(p.value.dims()))
+            });
+            let (m, v) = entry;
+            let g = p.grad.data();
+            let mv = m.data_mut();
+            let vv = v.data_mut();
+            let w = p.value.data_mut();
+            for i in 0..g.len() {
+                mv[i] = self.beta1 * mv[i] + (1.0 - self.beta1) * g[i];
+                vv[i] = self.beta2 * vv[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = mv[i] / bc1;
+                let vhat = vv[i] / bc2;
+                w[i] -= self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * w[i]);
+            }
+            p.zero_grad();
+        }
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    state: HashMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, state: HashMap::new() }
+    }
+
+    /// Applies one update step and zeroes gradients.
+    pub fn step(&mut self, params: &mut [(String, &mut Param)]) {
+        for (name, p) in params.iter_mut() {
+            if self.momentum > 0.0 {
+                let buf = self
+                    .state
+                    .entry(name.clone())
+                    .or_insert_with(|| Tensor::zeros(p.value.dims()));
+                let bd = buf.data_mut();
+                let g = p.grad.data();
+                let w = p.value.data_mut();
+                for i in 0..g.len() {
+                    bd[i] = self.momentum * bd[i] + g[i];
+                    w[i] -= self.lr * bd[i];
+                }
+            } else {
+                let g = p.grad.data();
+                let w = p.value.data_mut();
+                for i in 0..g.len() {
+                    w[i] -= self.lr * g[i];
+                }
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Clips gradients to a maximum global L2 norm; returns the pre-clip norm.
+pub fn clip_global_norm(params: &mut [(String, &mut Param)], max_norm: f32) -> f32 {
+    let total: f64 = params
+        .iter()
+        .map(|(_, p)| {
+            let n = p.grad_norm() as f64;
+            n * n
+        })
+        .sum();
+    let norm = total.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for (_, p) in params.iter_mut() {
+            for g in p.grad.data_mut() {
+                *g *= scale;
+            }
+        }
+    }
+    norm
+}
+
+/// Cosine learning-rate schedule with linear warmup.
+pub fn cosine_schedule(step: usize, warmup: usize, total: usize, base_lr: f32) -> f32 {
+    if step < warmup {
+        return base_lr * (step + 1) as f32 / warmup as f32;
+    }
+    let progress = (step - warmup) as f32 / (total.saturating_sub(warmup)).max(1) as f32;
+    let progress = progress.min(1.0);
+    0.5 * base_lr * (1.0 + (std::f32::consts::PI * progress).cos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param() -> Param {
+        Param::new(Tensor::from_vec(&[2], vec![5.0, -3.0]))
+    }
+
+    #[test]
+    fn adamw_minimizes_quadratic() {
+        // f(w) = ½‖w‖² ⇒ grad = w. AdamW should drive w toward 0.
+        let mut p = quadratic_param();
+        let mut opt = AdamW::new(0.1);
+        for _ in 0..200 {
+            let g = p.value.clone();
+            p.accumulate(&g);
+            let mut params = vec![("w".to_string(), &mut p)];
+            opt.step(&mut params);
+        }
+        assert!(p.value.max_abs() < 0.05, "w = {:?}", p.value.data());
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut p = quadratic_param();
+        let mut opt = Sgd::new(0.1, 0.9);
+        for _ in 0..100 {
+            let g = p.value.clone();
+            p.accumulate(&g);
+            let mut params = vec![("w".to_string(), &mut p)];
+            opt.step(&mut params);
+        }
+        assert!(p.value.max_abs() < 0.05);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = quadratic_param();
+        p.accumulate(&Tensor::full(&[2], 1.0));
+        let mut opt = AdamW::new(0.01);
+        let mut params = vec![("w".to_string(), &mut p)];
+        opt.step(&mut params);
+        assert_eq!(p.grad, Tensor::zeros(&[2]));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = Param::new(Tensor::full(&[4], 1.0));
+        let mut opt = AdamW::new(0.0).with_weight_decay(0.1);
+        // Zero gradient: only decay acts... but lr=0 disables everything, so
+        // use a tiny lr and zero grads.
+        opt.lr = 0.1;
+        let before = p.value.data()[0];
+        let mut params = vec![("w".to_string(), &mut p)];
+        opt.step(&mut params);
+        assert!(p.value.data()[0] < before);
+    }
+
+    #[test]
+    fn clip_reduces_large_gradients() {
+        let mut a = Param::new(Tensor::zeros(&[3]));
+        a.accumulate(&Tensor::full(&[3], 10.0));
+        let mut b = Param::new(Tensor::zeros(&[3]));
+        b.accumulate(&Tensor::full(&[3], 10.0));
+        let mut params = vec![("a".to_string(), &mut a), ("b".to_string(), &mut b)];
+        let norm = clip_global_norm(&mut params, 1.0);
+        assert!(norm > 20.0);
+        let total: f32 = params
+            .iter()
+            .map(|(_, p)| p.grad_norm().powi(2))
+            .sum::<f32>()
+            .sqrt();
+        assert!((total - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients() {
+        let mut a = Param::new(Tensor::zeros(&[2]));
+        a.accumulate(&Tensor::full(&[2], 0.1));
+        let mut params = vec![("a".to_string(), &mut a)];
+        clip_global_norm(&mut params, 5.0);
+        assert!((params[0].1.grad.data()[0] - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_schedule_shape() {
+        let base = 1.0;
+        // Warmup ramps up.
+        assert!(cosine_schedule(0, 10, 100, base) < cosine_schedule(9, 10, 100, base));
+        // Peak at end of warmup.
+        assert!((cosine_schedule(10, 10, 100, base) - base).abs() < 0.01);
+        // Decays to ~0.
+        assert!(cosine_schedule(99, 10, 100, base) < 0.01 * base + 1e-3);
+        // Clamped beyond total.
+        assert!(cosine_schedule(500, 10, 100, base) <= 1e-6);
+    }
+}

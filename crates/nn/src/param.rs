@@ -1,0 +1,111 @@
+//! Trainable parameters: a value tensor paired with a gradient accumulator.
+
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::Tensor;
+
+/// A trainable parameter: the weight values plus an accumulated gradient of
+/// the same shape.
+///
+/// Layers accumulate into [`Param::grad`] during their backward pass; the
+/// optimizer consumes and zeroes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current weight values.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an existing tensor as a parameter with zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+
+    /// Zero-initialized parameter (used for biases).
+    pub fn zeros(dims: &[usize]) -> Self {
+        Param::new(Tensor::zeros(dims))
+    }
+
+    /// Gaussian initialization with explicit standard deviation.
+    pub fn randn(dims: &[usize], std: f32, rng: &mut Rng64) -> Self {
+        Param::new(Tensor::randn_scaled(dims, std, rng))
+    }
+
+    /// Xavier/Glorot initialization for a `fan_in × fan_out` weight matrix:
+    /// `std = sqrt(2 / (fan_in + fan_out))`.
+    pub fn xavier(fan_in: usize, fan_out: usize, rng: &mut Rng64) -> Self {
+        let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+        Param::randn(&[fan_in, fan_out], std, rng)
+    }
+
+    /// Number of scalar weights.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty (never true for constructed params).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate(&mut self, g: &Tensor) {
+        self.grad.axpy(1.0, g);
+    }
+
+    /// The L2 norm of the accumulated gradient.
+    pub fn grad_norm(&self) -> f32 {
+        self.grad.frobenius_norm()
+    }
+}
+
+/// A named view over the mutable parameters of a module, used by optimizers
+/// and checkpointing. Collected via `visit_params`-style methods on layers.
+pub type ParamRefs<'a> = Vec<(&'a str, &'a mut Param)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::full(&[2, 3], 1.5));
+        assert_eq!(p.grad, Tensor::zeros(&[2, 3]));
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::zeros(&[2, 2]);
+        p.accumulate(&Tensor::full(&[2, 2], 2.0));
+        p.accumulate(&Tensor::full(&[2, 2], 1.0));
+        assert_eq!(p.grad, Tensor::full(&[2, 2], 3.0));
+        assert!((p.grad_norm() - 6.0).abs() < 1e-6);
+        p.zero_grad();
+        assert_eq!(p.grad, Tensor::zeros(&[2, 2]));
+    }
+
+    #[test]
+    fn xavier_scale() {
+        let mut rng = Rng64::new(1);
+        let p = Param::xavier(256, 256, &mut rng);
+        let std = (p.value.data().iter().map(|&x| (x as f64).powi(2)).sum::<f64>()
+            / p.len() as f64)
+            .sqrt();
+        let expect = (2.0 / 512.0f64).sqrt();
+        assert!((std - expect).abs() / expect < 0.1, "std {std} vs {expect}");
+    }
+}

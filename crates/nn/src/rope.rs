@@ -1,0 +1,136 @@
+//! Rotary position embeddings (RoPE), as used by Llama 2.
+//!
+//! RoPE rotates each consecutive pair of head-dimension channels of the
+//! query/key vectors by a position-dependent angle. It has no parameters;
+//! its backward pass is a rotation by the negated angles.
+
+/// Precomputed RoPE rotation tables for a head dimension and maximum
+/// sequence length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rope {
+    head_dim: usize,
+    max_seq: usize,
+    /// cos/sin tables, indexed `[pos * head_dim/2 + pair]`.
+    cos: Vec<f32>,
+    sin: Vec<f32>,
+}
+
+impl Rope {
+    /// Builds rotation tables with the standard base of 10 000.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is odd.
+    pub fn new(head_dim: usize, max_seq: usize) -> Self {
+        assert!(head_dim.is_multiple_of(2), "RoPE requires an even head dimension, got {head_dim}");
+        let half = head_dim / 2;
+        let mut cos = Vec::with_capacity(max_seq * half);
+        let mut sin = Vec::with_capacity(max_seq * half);
+        for pos in 0..max_seq {
+            for pair in 0..half {
+                let theta = pos as f64 / 10_000f64.powf(2.0 * pair as f64 / head_dim as f64);
+                cos.push(theta.cos() as f32);
+                sin.push(theta.sin() as f32);
+            }
+        }
+        Rope { head_dim, max_seq, cos, sin }
+    }
+
+    /// The head dimension the tables were built for.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Rotates a single head vector `v` (length `head_dim`) in place for
+    /// token position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos ≥ max_seq` or the vector length mismatches.
+    pub fn apply(&self, v: &mut [f32], pos: usize) {
+        self.rotate(v, pos, 1.0);
+    }
+
+    /// Inverse rotation (the backward pass for gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos ≥ max_seq` or the vector length mismatches.
+    pub fn apply_inverse(&self, v: &mut [f32], pos: usize) {
+        self.rotate(v, pos, -1.0);
+    }
+
+    fn rotate(&self, v: &mut [f32], pos: usize, sign: f32) {
+        assert!(pos < self.max_seq, "position {pos} exceeds RoPE table ({})", self.max_seq);
+        assert_eq!(v.len(), self.head_dim, "RoPE vector length mismatch");
+        let half = self.head_dim / 2;
+        let base = pos * half;
+        for pair in 0..half {
+            let c = self.cos[base + pair];
+            let s = self.sin[base + pair] * sign;
+            let (a, b) = (v[2 * pair], v[2 * pair + 1]);
+            v[2 * pair] = a * c - b * s;
+            v[2 * pair + 1] = a * s + b * c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let rope = Rope::new(8, 16);
+        let mut v: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let orig = v.clone();
+        rope.apply(&mut v, 0);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let rope = Rope::new(8, 32);
+        let mut v: Vec<f32> = (0..8).map(|i| (i as f32) - 3.5).collect();
+        let norm0: f32 = v.iter().map(|x| x * x).sum();
+        rope.apply(&mut v, 13);
+        let norm1: f32 = v.iter().map(|x| x * x).sum();
+        assert!((norm0 - norm1).abs() < 1e-4);
+    }
+
+    #[test]
+    fn inverse_undoes_rotation() {
+        let rope = Rope::new(6, 20);
+        let mut v = vec![1.0f32, -2.0, 0.5, 3.0, -1.5, 0.25];
+        let orig = v.clone();
+        rope.apply(&mut v, 7);
+        rope.apply_inverse(&mut v, 7);
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn relative_position_property() {
+        // The inner product of rotated q, k depends only on the position
+        // difference: <R_m q, R_n k> = <R_{m-n} q, k>.
+        let rope = Rope::new(4, 64);
+        let q = vec![0.3f32, -0.7, 1.1, 0.2];
+        let k = vec![-0.5f32, 0.9, 0.4, -1.0];
+        let dot = |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+        let (m, n) = (11usize, 4usize);
+        let mut qm = q.clone();
+        rope.apply(&mut qm, m);
+        let mut kn = k.clone();
+        rope.apply(&mut kn, n);
+        let mut qd = q.clone();
+        rope.apply(&mut qd, m - n);
+        assert!((dot(&qm, &kn) - dot(&qd, &k)).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "even head dimension")]
+    fn odd_head_dim_rejected() {
+        let _ = Rope::new(5, 8);
+    }
+}

@@ -1,0 +1,291 @@
+//! Mini-batch training loop for [`TransformerLm`].
+
+use crate::act::cross_entropy;
+use crate::model::TransformerLm;
+use crate::optim::{clip_global_norm, cosine_schedule, AdamW};
+
+/// One training batch: batch-major flat `tokens` with per-position integer
+/// `targets` (use [`crate::act::IGNORE_INDEX`] to mask positions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Input token ids, length `batch · seq`.
+    pub tokens: Vec<usize>,
+    /// Target token ids, length `batch · seq`.
+    pub targets: Vec<usize>,
+    /// Number of sequences in the batch.
+    pub batch: usize,
+}
+
+impl Batch {
+    /// Builds a next-token-prediction batch from full sequences: inputs are
+    /// `seq[..n-1]`, targets are `seq[1..]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sequences have differing lengths or fewer than 2 tokens.
+    pub fn next_token(sequences: &[Vec<usize>]) -> Batch {
+        assert!(!sequences.is_empty(), "empty batch");
+        let len = sequences[0].len();
+        assert!(len >= 2, "sequences must have at least 2 tokens");
+        let mut tokens = Vec::with_capacity(sequences.len() * (len - 1));
+        let mut targets = Vec::with_capacity(sequences.len() * (len - 1));
+        for s in sequences {
+            assert_eq!(s.len(), len, "ragged batch");
+            tokens.extend_from_slice(&s[..len - 1]);
+            targets.extend_from_slice(&s[1..]);
+        }
+        Batch { tokens, targets, batch: sequences.len() }
+    }
+
+    /// Builds a masked-language-model batch (BERT-style): each position is
+    /// masked with probability `mask_prob` (replaced by `mask_token`) and
+    /// becomes a prediction target; all other positions are ignored by the
+    /// loss.
+    ///
+    /// At least one position per sequence is always masked so every
+    /// sequence contributes gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sequences are empty or ragged, or `mask_prob` is not in
+    /// `(0, 1]`.
+    pub fn masked_lm(
+        sequences: &[Vec<usize>],
+        mask_token: usize,
+        mask_prob: f64,
+        rng: &mut lrd_tensor::rng::Rng64,
+    ) -> Batch {
+        assert!(!sequences.is_empty(), "empty batch");
+        assert!(mask_prob > 0.0 && mask_prob <= 1.0, "mask_prob must be in (0, 1]");
+        let len = sequences[0].len();
+        assert!(len >= 1, "sequences must be non-empty");
+        let mut tokens = Vec::with_capacity(sequences.len() * len);
+        let mut targets = Vec::with_capacity(sequences.len() * len);
+        for s in sequences {
+            assert_eq!(s.len(), len, "ragged batch");
+            let base = tokens.len();
+            let mut masked_any = false;
+            for &t in s {
+                if rng.uniform() < mask_prob {
+                    tokens.push(mask_token);
+                    targets.push(t);
+                    masked_any = true;
+                } else {
+                    tokens.push(t);
+                    targets.push(crate::act::IGNORE_INDEX);
+                }
+            }
+            if !masked_any {
+                let pos = rng.below(len);
+                targets[base + pos] = tokens[base + pos];
+                tokens[base + pos] = mask_token;
+            }
+        }
+        Batch { tokens, targets, batch: sequences.len() }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Linear warmup steps.
+    pub warmup: usize,
+    /// Total steps (for the cosine decay horizon).
+    pub total_steps: usize,
+    /// Global gradient-norm clip.
+    pub clip: f32,
+    /// AdamW weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { lr: 3e-3, warmup: 100, total_steps: 2000, clip: 1.0, weight_decay: 0.01 }
+    }
+}
+
+/// Stateful trainer wrapping AdamW with a cosine schedule and clipping.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    cfg: TrainConfig,
+    opt: AdamW,
+    step: usize,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given hyper-parameters.
+    pub fn new(cfg: TrainConfig) -> Self {
+        let opt = AdamW::new(cfg.lr).with_weight_decay(cfg.weight_decay);
+        Trainer { cfg, opt, step: 0 }
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+
+    /// Runs one optimization step on `batch`; returns the batch loss.
+    pub fn step(&mut self, model: &mut TransformerLm, batch: &Batch) -> f32 {
+        let (logits, cache) = model.forward(&batch.tokens, batch.batch);
+        let (loss, dlogits) = cross_entropy(&logits, &batch.targets);
+        model.backward(&cache, &dlogits);
+        let mut params = model.visit_params();
+        clip_global_norm(&mut params, self.cfg.clip);
+        self.opt.lr = cosine_schedule(self.step, self.cfg.warmup, self.cfg.total_steps, self.cfg.lr);
+        self.opt.step(&mut params);
+        self.step += 1;
+        loss
+    }
+
+    /// Evaluates mean loss over a batch without updating weights.
+    pub fn eval_loss(&self, model: &TransformerLm, batch: &Batch) -> f32 {
+        let logits = model.logits(&batch.tokens, batch.batch);
+        cross_entropy(&logits, &batch.targets).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArchKind, TransformerConfig};
+    use lrd_tensor::rng::Rng64;
+
+    fn tiny_model(seed: u64) -> TransformerLm {
+        let cfg = TransformerConfig {
+            kind: ArchKind::Decoder,
+            vocab_size: 12,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 32,
+            max_seq: 10,
+        };
+        TransformerLm::new(cfg, &mut Rng64::new(seed))
+    }
+
+    #[test]
+    fn masked_lm_batch_masks_and_targets() {
+        use crate::act::IGNORE_INDEX;
+        let mut rng = lrd_tensor::rng::Rng64::new(4);
+        let seqs = vec![vec![5usize, 6, 7, 8]; 8];
+        let b = Batch::masked_lm(&seqs, 9, 0.25, &mut rng);
+        assert_eq!(b.tokens.len(), 32);
+        let mut masked = 0;
+        for (i, (&tok, &tgt)) in b.tokens.iter().zip(&b.targets).enumerate() {
+            if tok == 9 {
+                masked += 1;
+                assert_eq!(tgt, seqs[i / 4][i % 4], "target must be the original token");
+            } else {
+                assert_eq!(tgt, IGNORE_INDEX);
+                assert_eq!(tok, seqs[i / 4][i % 4]);
+            }
+        }
+        assert!(masked >= 8, "each sequence masks at least one position, got {masked}");
+    }
+
+    #[test]
+    fn masked_lm_always_masks_at_least_one_per_sequence() {
+        let mut rng = lrd_tensor::rng::Rng64::new(5);
+        // With tiny probability, the forced mask still fires.
+        let seqs = vec![vec![1usize, 2, 3]; 16];
+        let b = Batch::masked_lm(&seqs, 9, 0.01, &mut rng);
+        for s in 0..16 {
+            let masked = (0..3).filter(|&i| b.tokens[s * 3 + i] == 9).count();
+            assert!(masked >= 1, "sequence {s} has no masked position");
+        }
+    }
+
+    #[test]
+    fn mlm_training_reduces_loss_on_encoder() {
+        use crate::config::{ArchKind, TransformerConfig};
+        let cfg = TransformerConfig {
+            kind: ArchKind::Encoder,
+            vocab_size: 16,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 32,
+            max_seq: 10,
+        };
+        let mut model = TransformerLm::new(cfg, &mut Rng64::new(3));
+        let mut rng = lrd_tensor::rng::Rng64::new(7);
+        // Deterministic sequences so masked positions are inferable from
+        // bidirectional context.
+        let seqs: Vec<Vec<usize>> =
+            (0..6).map(|s| (0..8).map(|i| (3 + s + i) % 16).collect()).collect();
+        let mut trainer = Trainer::new(TrainConfig {
+            lr: 5e-3,
+            warmup: 5,
+            total_steps: 200,
+            clip: 1.0,
+            weight_decay: 0.0,
+        });
+        let first = Batch::masked_lm(&seqs, 1, 0.3, &mut rng);
+        let initial = trainer.eval_loss(&model, &first);
+        for _ in 0..100 {
+            let b = Batch::masked_lm(&seqs, 1, 0.3, &mut rng);
+            trainer.step(&mut model, &b);
+        }
+        let fin = trainer.eval_loss(&model, &first);
+        assert!(fin < initial * 0.6, "MLM loss did not improve: {initial} -> {fin}");
+    }
+
+    #[test]
+    fn batch_next_token_layout() {
+        let b = Batch::next_token(&[vec![1, 2, 3, 4], vec![5, 6, 7, 8]]);
+        assert_eq!(b.tokens, vec![1, 2, 3, 5, 6, 7]);
+        assert_eq!(b.targets, vec![2, 3, 4, 6, 7, 8]);
+        assert_eq!(b.batch, 2);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_pattern() {
+        // Teach the model a deterministic cyclic sequence; the loss must
+        // drop substantially — end-to-end check that forward+backward+Adam
+        // all cooperate.
+        let mut model = tiny_model(7);
+        let seqs: Vec<Vec<usize>> =
+            (0..4).map(|s| (0..8).map(|i| (s + 2 * i) % 12).collect()).collect();
+        let batch = Batch::next_token(&seqs);
+        let mut trainer = Trainer::new(TrainConfig {
+            lr: 5e-3,
+            warmup: 5,
+            total_steps: 300,
+            clip: 1.0,
+            weight_decay: 0.0,
+        });
+        let initial = trainer.eval_loss(&model, &batch);
+        for _ in 0..120 {
+            trainer.step(&mut model, &batch);
+        }
+        let fin = trainer.eval_loss(&model, &batch);
+        assert!(
+            fin < initial * 0.5,
+            "loss did not improve: {initial} -> {fin}"
+        );
+    }
+
+    #[test]
+    fn eval_loss_does_not_change_weights() {
+        let model = tiny_model(8);
+        let batch = Batch::next_token(&[vec![1, 2, 3, 4]]);
+        let trainer = Trainer::new(TrainConfig::default());
+        let before = model.clone();
+        let _ = trainer.eval_loss(&model, &batch);
+        assert_eq!(model, before);
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut model = tiny_model(9);
+        let batch = Batch::next_token(&[vec![1, 2, 3]]);
+        let mut trainer = Trainer::new(TrainConfig::default());
+        trainer.step(&mut model, &batch);
+        trainer.step(&mut model, &batch);
+        assert_eq!(trainer.steps(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the transformer stack.
+
+use lrd_nn::act::{cross_entropy, log_softmax_rows, softmax_rows};
+use lrd_nn::linear::{FactoredLinear, Linear};
+use lrd_nn::norm::{LayerNorm, RmsNorm};
+use lrd_nn::rope::Rope;
+use lrd_nn::{ArchKind, TransformerConfig, TransformerLm};
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::tucker::tucker2;
+use lrd_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_cfg(n_layers: usize, d_model: usize, vocab: usize) -> TransformerConfig {
+    TransformerConfig {
+        kind: ArchKind::Decoder,
+        vocab_size: vocab,
+        d_model,
+        n_layers,
+        n_heads: 2,
+        n_kv_heads: 2,
+        d_ff: d_model * 2,
+        max_seq: 16,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn model_logits_shape_for_any_tokens(
+        seed in any::<u64>(),
+        n_layers in 1usize..3,
+        seq in 1usize..8,
+        batch in 1usize..3,
+    ) {
+        let cfg = small_cfg(n_layers, 8, 32);
+        let model = TransformerLm::new(cfg, &mut Rng64::new(seed));
+        let mut rng = Rng64::new(seed ^ 1);
+        let tokens: Vec<usize> = (0..batch * seq).map(|_| rng.below(32)).collect();
+        let logits = model.logits(&tokens, batch);
+        prop_assert_eq!(logits.dims(), &[batch * seq, 32]);
+        prop_assert!(logits.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn factored_equals_dense_at_full_rank_any_shape(
+        seed in any::<u64>(),
+        fan_in in 2usize..12,
+        fan_out in 2usize..12,
+    ) {
+        let mut rng = Rng64::new(seed);
+        let dense = Linear::new(fan_in, fan_out, false, &mut rng);
+        let rank = fan_in.min(fan_out);
+        let fac = FactoredLinear::from_tucker(
+            tucker2(&dense.w.value, rank).unwrap(),
+            None,
+        );
+        let x = Tensor::randn(&[3, fan_in], &mut rng);
+        let d = dense.infer(&x).sub(&fac.infer(&x)).unwrap().max_abs();
+        prop_assert!(d < 1e-2, "full-rank mismatch {d}");
+    }
+
+    #[test]
+    fn factored_param_count_below_dense_at_rank_1(
+        fan_in in 3usize..64,
+        fan_out in 3usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let dense = Linear::new(fan_in, fan_out, false, &mut rng);
+        let fac = FactoredLinear::from_tucker(tucker2(&dense.w.value, 1).unwrap(), None);
+        // Rank 1 is always below break-even for dims ≥ 3.
+        prop_assert!(fac.param_count() < dense.param_count());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(seed in any::<u64>(), m in 1usize..6, n in 2usize..10) {
+        let mut rng = Rng64::new(seed);
+        let x = Tensor::randn_scaled(&[m, n], 5.0, &mut rng);
+        let p = softmax_rows(&x);
+        for i in 0..m {
+            let s: f32 = p.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let x = Tensor::randn(&[2, 6], &mut rng);
+        let p = softmax_rows(&x);
+        let lp = log_softmax_rows(&x);
+        for i in 0..x.len() {
+            prop_assert!((lp.data()[i].exp() - p.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_bounded(seed in any::<u64>(), v in 2usize..12) {
+        let mut rng = Rng64::new(seed);
+        let logits = Tensor::randn_scaled(&[3, v], 2.0, &mut rng);
+        let targets: Vec<usize> = (0..3).map(|_| rng.below(v)).collect();
+        let (loss, grad) = cross_entropy(&logits, &targets);
+        prop_assert!(loss >= 0.0);
+        // Gradient rows sum to ~0 (softmax minus one-hot, scaled).
+        for i in 0..3 {
+            let s: f32 = grad.row(i).iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layernorm_output_standardized(seed in any::<u64>(), d in 4usize..32) {
+        let mut rng = Rng64::new(seed);
+        let ln = LayerNorm::new(d);
+        let x = Tensor::randn_scaled(&[3, d], 4.0, &mut rng);
+        let (y, _) = ln.forward(&x);
+        for i in 0..3 {
+            let mean: f32 = y.row(i).iter().sum::<f32>() / d as f32;
+            prop_assert!(mean.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rmsnorm_output_unit_rms(seed in any::<u64>(), d in 4usize..32) {
+        let mut rng = Rng64::new(seed);
+        let rn = RmsNorm::new(d);
+        let x = Tensor::randn_scaled(&[2, d], 3.0, &mut rng);
+        let (y, _) = rn.forward(&x);
+        for i in 0..2 {
+            let ms: f32 = y.row(i).iter().map(|&v| v * v).sum::<f32>() / d as f32;
+            prop_assert!((ms - 1.0).abs() < 0.05, "rms² {ms}");
+        }
+    }
+
+    #[test]
+    fn rope_preserves_norm_at_any_position(seed in any::<u64>(), pos in 0usize..32) {
+        let rope = Rope::new(8, 32);
+        let mut rng = Rng64::new(seed);
+        let mut v: Vec<f32> = (0..8).map(|_| rng.normal(0.0, 1.0)).collect();
+        let n0: f32 = v.iter().map(|x| x * x).sum();
+        rope.apply(&mut v, pos);
+        let n1: f32 = v.iter().map(|x| x * x).sum();
+        prop_assert!((n0 - n1).abs() < 1e-3 * (1.0 + n0));
+    }
+
+    #[test]
+    fn generation_never_exceeds_max_seq(seed in any::<u64>()) {
+        let cfg = small_cfg(1, 8, 16);
+        let model = TransformerLm::new(cfg, &mut Rng64::new(seed));
+        let out = model.generate_greedy(&[1, 2, 3], 100, None);
+        prop_assert!(3 + out.len() <= 16);
+    }
+
+    #[test]
+    fn score_continuation_is_sum_of_token_logprobs(seed in any::<u64>()) {
+        let cfg = small_cfg(1, 8, 16);
+        let model = TransformerLm::new(cfg, &mut Rng64::new(seed));
+        let prefix = [1usize, 2];
+        let cont = [3usize, 4];
+        let (lp, n) = model.score_continuation(&prefix, &cont);
+        prop_assert_eq!(n, 2);
+        // Manual recomputation from logits.
+        let tokens = [1usize, 2, 3, 4];
+        let logits = model.logits(&tokens, 1);
+        let lsm = log_softmax_rows(&logits);
+        let manual = lsm.get(&[1, 3]) + lsm.get(&[2, 4]);
+        prop_assert!((lp - manual).abs() < 1e-4);
+    }
+}

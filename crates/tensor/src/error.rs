@@ -1,0 +1,86 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by fallible tensor and decomposition operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to be compatible are not.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// The shape the operation expected.
+        expected: Vec<usize>,
+        /// The shape it received.
+        got: Vec<usize>,
+    },
+    /// A requested decomposition rank is out of the valid range
+    /// `1..=min(dims)`.
+    InvalidRank {
+        /// The requested rank.
+        rank: usize,
+        /// The maximum rank valid for the operand.
+        max: usize,
+    },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NotConverged {
+        /// The algorithm that failed.
+        algorithm: &'static str,
+        /// The number of iterations that were attempted.
+        iterations: usize,
+    },
+    /// An argument was structurally invalid (empty tensor, zero dimension, …).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, expected, got } => {
+                write!(f, "shape mismatch in {op}: expected {expected:?}, got {got:?}")
+            }
+            TensorError::InvalidRank { rank, max } => {
+                write!(f, "invalid decomposition rank {rank}, valid range is 1..={max}")
+            }
+            TensorError::NotConverged { algorithm, iterations } => {
+                write!(f, "{algorithm} did not converge within {iterations} iterations")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch { op: "matmul", expected: vec![2, 3], got: vec![4, 5] };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn display_invalid_rank() {
+        let e = TensorError::InvalidRank { rank: 9, max: 4 };
+        assert_eq!(e.to_string(), "invalid decomposition rank 9, valid range is 1..=4");
+    }
+
+    #[test]
+    fn display_not_converged() {
+        let e = TensorError::NotConverged { algorithm: "jacobi-svd", iterations: 30 };
+        assert!(e.to_string().contains("jacobi-svd"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

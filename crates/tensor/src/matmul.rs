@@ -1,0 +1,350 @@
+//! Matrix multiplication kernels.
+//!
+//! The evaluation pipeline runs many real transformer forward/backward
+//! passes, so the GEMM here is cache-blocked and multi-threaded
+//! (`std::thread::scope` over row bands) while staying dependency-free.
+
+use crate::Tensor;
+
+/// Problems smaller than this many MACs run single-threaded.
+const PARALLEL_THRESHOLD: usize = 1 << 20;
+
+/// Inner blocking factor along the shared (k) dimension.
+const KC: usize = 256;
+
+/// Raw single-threaded GEMM: `c[m×n] += a[m×k] · b[k×n]`.
+///
+/// `c` must be pre-zeroed by the caller if plain assignment is wanted.
+fn gemm_band(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    // i-k-j loop order with k-blocking: streams through b rows, accumulates
+    // into the c row that stays hot in cache.
+    for kb in (0..k).step_by(KC) {
+        let kend = (kb + KC).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for kk in kb..kend {
+                let aik = arow[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    crow[j] += aik * brow[j];
+                }
+            }
+        }
+    }
+}
+
+/// Number of worker threads to use for a problem of `macs` multiply-adds.
+fn thread_count(macs: usize, rows: usize) -> usize {
+    if macs < PARALLEL_THRESHOLD {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.clamp(1, 16).min(rows).max(1)
+}
+
+/// Computes `a · b` for matrices `a (m×k)` and `b (k×n)`.
+///
+/// # Panics
+///
+/// Panics if the operands are not order-2 or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use lrd_tensor::{matmul::matmul, Tensor};
+///
+/// let a = Tensor::from_vec(&[2, 2], vec![1., 2., 3., 4.]);
+/// let b = Tensor::eye(2);
+/// assert_eq!(matmul(&a, &b), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {}×{} · {}×{}", m, k, k2, n);
+    let mut c = Tensor::zeros(&[m, n]);
+    let threads = thread_count(m * n * k, m);
+    if threads <= 1 {
+        gemm_band(m, n, k, a.data(), b.data(), c.data_mut());
+        return c;
+    }
+    let band = m.div_ceil(threads);
+    let a_data = a.data();
+    let b_data = b.data();
+    let c_data = c.data_mut();
+    std::thread::scope(|scope| {
+        let mut rest = c_data;
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows = band.min(m - row0);
+            let (mine, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let a_band = &a_data[row0 * k..(row0 + rows) * k];
+            scope.spawn(move || gemm_band(rows, n, k, a_band, b_data, mine));
+            row0 += rows;
+        }
+    });
+    c
+}
+
+/// Computes `a · bᵀ` for `a (m×k)`, `b (n×k)` without materializing `bᵀ`.
+///
+/// # Panics
+///
+/// Panics if the operands are not order-2 or the shared dimensions disagree.
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, k2) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul_transb shared dimension mismatch");
+    let mut c = Tensor::zeros(&[m, n]);
+    let a_data = a.data();
+    let b_data = b.data();
+    let threads = thread_count(m * n * k, m);
+    let band = m.div_ceil(threads.max(1));
+    let n_cols = n;
+    let work = |row0: usize, rows: usize, cband: &mut [f32]| {
+        for i in 0..rows {
+            let arow = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
+            for j in 0..n_cols {
+                let brow = &b_data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += arow[kk] * brow[kk];
+                }
+                cband[i * n_cols + j] = acc;
+            }
+        }
+    };
+    if threads <= 1 {
+        work(0, m, c.data_mut());
+        return c;
+    }
+    let c_data = c.data_mut();
+    std::thread::scope(|scope| {
+        let mut rest = c_data;
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows = band.min(m - row0);
+            let (mine, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            scope.spawn(move || work(row0, rows, mine));
+            row0 += rows;
+        }
+    });
+    c
+}
+
+/// Computes `aᵀ · b` for `a (k×m)`, `b (k×n)` without materializing `aᵀ`.
+///
+/// # Panics
+///
+/// Panics if the operands are not order-2 or the shared dimensions disagree.
+pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
+    assert_eq!(k, k2, "matmul_transa shared dimension mismatch");
+    let mut c = Tensor::zeros(&[m, n]);
+    let cd = c.data_mut();
+    for kk in 0..k {
+        let arow = &a.data()[kk * m..(kk + 1) * m];
+        let brow = &b.data()[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let aki = arow[i];
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aki * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// Matrix–vector product `a (m×k) · x (k)`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
+    let (m, k) = (a.rows(), a.cols());
+    assert_eq!(k, x.len(), "matvec dimension mismatch");
+    (0..m)
+        .map(|i| {
+            let row = &a.data()[i * k..(i + 1) * k];
+            row.iter().zip(x).map(|(&a, &b)| a * b).sum()
+        })
+        .collect()
+}
+
+/// Batched GEMM for order-3 tensors: `(B, m, k) · (B, k, n) → (B, m, n)`.
+///
+/// # Panics
+///
+/// Panics if operands are not order-3 or dimensions disagree.
+pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().order(), 3, "batched_matmul expects order-3 lhs");
+    assert_eq!(b.shape().order(), 3, "batched_matmul expects order-3 rhs");
+    let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+    let (bb, k2, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
+    assert_eq!(ba, bb, "batched_matmul batch mismatch");
+    assert_eq!(k, k2, "batched_matmul inner dimension mismatch");
+    let mut c = Tensor::zeros(&[ba, m, n]);
+    for bi in 0..ba {
+        let a_sl = &a.data()[bi * m * k..(bi + 1) * m * k];
+        let b_sl = &b.data()[bi * k * n..(bi + 1) * k * n];
+        let c_sl = &mut c.data_mut()[bi * m * n..(bi + 1) * m * n];
+        gemm_band(m, n, k, a_sl, b_sl, c_sl);
+    }
+    c
+}
+
+/// Mode-`n` tensor–matrix product: contracts mode `mode` of `t` with the
+/// columns of `m (rows × t.dims[mode])`, producing a tensor whose `mode`
+/// dimension becomes `m.rows()`.
+///
+/// This is the `×_n` operator of Tucker decomposition (§2.1 of the paper).
+///
+/// # Panics
+///
+/// Panics if `m` is not order-2 or its column count differs from
+/// `t.dims()[mode]`.
+pub fn mode_n_product(t: &Tensor, m: &Tensor, mode: usize) -> Tensor {
+    let unfolded = t.unfold(mode);
+    assert_eq!(
+        m.cols(),
+        unfolded.rows(),
+        "mode_n_product: matrix cols {} != tensor mode-{mode} dim {}",
+        m.cols(),
+        unfolded.rows()
+    );
+    let product = matmul(m, &unfolded);
+    let mut new_dims = t.dims().to_vec();
+    new_dims[mode] = m.rows();
+    Tensor::fold(&product, mode, &new_dims)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.get(&[i, kk]) * b.get(&[kk, j]);
+                }
+                c.set(&[i, j], acc);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_naive_small() {
+        let mut rng = Rng64::new(1);
+        let a = Tensor::randn(&[7, 5], &mut rng);
+        let b = Tensor::randn(&[5, 9], &mut rng);
+        assert!(matmul(&a, &b).approx_eq(&naive_matmul(&a, &b), 1e-4));
+    }
+
+    #[test]
+    fn matches_naive_threaded_path() {
+        let mut rng = Rng64::new(2);
+        // Big enough to cross PARALLEL_THRESHOLD.
+        let a = Tensor::randn(&[130, 120], &mut rng);
+        let b = Tensor::randn(&[120, 90], &mut rng);
+        let got = matmul(&a, &b);
+        let want = naive_matmul(&a, &b);
+        let diff = got.sub(&want).unwrap().max_abs();
+        assert!(diff < 1e-3, "max diff {diff}");
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng64::new(3);
+        let a = Tensor::randn(&[6, 6], &mut rng);
+        assert!(matmul(&a, &Tensor::eye(6)).approx_eq(&a, 1e-6));
+        assert!(matmul(&Tensor::eye(6), &a).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn transb_matches_explicit_transpose() {
+        let mut rng = Rng64::new(4);
+        let a = Tensor::randn(&[8, 5], &mut rng);
+        let b = Tensor::randn(&[7, 5], &mut rng);
+        assert!(matmul_transb(&a, &b).approx_eq(&matmul(&a, &b.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn transa_matches_explicit_transpose() {
+        let mut rng = Rng64::new(5);
+        let a = Tensor::randn(&[5, 8], &mut rng);
+        let b = Tensor::randn(&[5, 7], &mut rng);
+        assert!(matmul_transa(&a, &b).approx_eq(&matmul(&a.transpose(), &b), 1e-4));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = Rng64::new(6);
+        let a = Tensor::randn(&[4, 6], &mut rng);
+        let x = Tensor::randn(&[6, 1], &mut rng);
+        let via_mm = matmul(&a, &x);
+        let via_mv = matvec(&a, x.data());
+        for i in 0..4 {
+            assert!((via_mm.get(&[i, 0]) - via_mv[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batched_matches_per_slice() {
+        let mut rng = Rng64::new(7);
+        let a = Tensor::randn(&[3, 4, 5], &mut rng);
+        let b = Tensor::randn(&[3, 5, 6], &mut rng);
+        let c = batched_matmul(&a, &b);
+        for bi in 0..3 {
+            let asl = Tensor::from_vec(&[4, 5], a.data()[bi * 20..(bi + 1) * 20].to_vec());
+            let bsl = Tensor::from_vec(&[5, 6], b.data()[bi * 30..(bi + 1) * 30].to_vec());
+            let csl = Tensor::from_vec(&[4, 6], c.data()[bi * 24..(bi + 1) * 24].to_vec());
+            assert!(csl.approx_eq(&matmul(&asl, &bsl), 1e-4));
+        }
+    }
+
+    #[test]
+    fn mode_n_product_matches_matrix_product() {
+        // For an order-2 tensor, mode-0 product with M equals M · T.
+        let mut rng = Rng64::new(8);
+        let t = Tensor::randn(&[4, 6], &mut rng);
+        let m = Tensor::randn(&[3, 4], &mut rng);
+        assert!(mode_n_product(&t, &m, 0).approx_eq(&matmul(&m, &t), 1e-4));
+        // Mode-1 product equals T · Mᵀ.
+        let m2 = Tensor::randn(&[5, 6], &mut rng);
+        assert!(mode_n_product(&t, &m2, 1).approx_eq(&matmul(&t, &m2.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn mode_n_product_changes_only_target_dim() {
+        let mut rng = Rng64::new(9);
+        let t = Tensor::randn(&[3, 4, 5], &mut rng);
+        let m = Tensor::randn(&[2, 4], &mut rng);
+        let out = mode_n_product(&t, &m, 1);
+        assert_eq!(out.dims(), &[3, 2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+}

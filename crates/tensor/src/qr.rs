@@ -1,0 +1,200 @@
+//! Householder QR factorization (thin form).
+//!
+//! Used by the randomized truncated SVD to orthonormalize range sketches,
+//! and directly tested against the orthogonality invariants required by
+//! Algorithm 1 (HOI) of the paper.
+
+use crate::Tensor;
+
+/// Thin QR factorization `a = q · r` with `q (m×k)` having orthonormal
+/// columns and `r (k×n)` upper-triangular, where `k = min(m, n)`.
+///
+/// # Panics
+///
+/// Panics if `a` is not order-2.
+///
+/// # Example
+///
+/// ```
+/// use lrd_tensor::{matmul::matmul, qr::qr_thin, rng::Rng64, Tensor};
+///
+/// let mut rng = Rng64::new(3);
+/// let a = Tensor::randn(&[6, 4], &mut rng);
+/// let (q, r) = qr_thin(&a);
+/// assert!(matmul(&q, &r).approx_eq(&a, 1e-4));
+/// ```
+pub fn qr_thin(a: &Tensor) -> (Tensor, Tensor) {
+    let (m, n) = (a.rows(), a.cols());
+    let k = m.min(n);
+    // Work in f64 for numerical headroom; weights are f32 but reflector
+    // accumulation benefits from the extra precision.
+    let mut r: Vec<f64> = a.data().iter().map(|&x| x as f64).collect();
+    // Householder vectors, one per column, each of length m (zero-padded
+    // above the pivot).
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+    for j in 0..k {
+        // x = R[j.., j]
+        let mut norm_x = 0.0f64;
+        for i in j..m {
+            let x = r[i * n + j];
+            norm_x += x * x;
+        }
+        norm_x = norm_x.sqrt();
+        let x0 = r[j * n + j];
+        let mut v = vec![0.0f64; m];
+        if norm_x == 0.0 {
+            // Zero column: identity reflector.
+            vs.push(v);
+            continue;
+        }
+        let alpha = if x0 >= 0.0 { -norm_x } else { norm_x };
+        for i in j..m {
+            v[i] = r[i * n + j];
+        }
+        v[j] -= alpha;
+        let vnorm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if vnorm > 0.0 {
+            for vi in &mut v {
+                *vi /= vnorm;
+            }
+        }
+        // Apply H = I - 2 v vᵀ to R[j.., j..].
+        for col in j..n {
+            let mut dot = 0.0f64;
+            for i in j..m {
+                dot += v[i] * r[i * n + col];
+            }
+            let two_dot = 2.0 * dot;
+            for i in j..m {
+                r[i * n + col] -= two_dot * v[i];
+            }
+        }
+        vs.push(v);
+    }
+
+    // Build thin Q by applying reflectors in reverse order to the first k
+    // columns of the identity.
+    let mut q = vec![0.0f64; m * k];
+    for j in 0..k {
+        q[j * k + j] = 1.0;
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        for col in 0..k {
+            let mut dot = 0.0f64;
+            for i in j..m {
+                dot += v[i] * q[i * k + col];
+            }
+            let two_dot = 2.0 * dot;
+            for i in j..m {
+                q[i * k + col] -= two_dot * v[i];
+            }
+        }
+    }
+
+    let q_t = Tensor::from_vec(&[m, k], q.iter().map(|&x| x as f32).collect());
+    // Extract the upper-triangular k×n block of R, zeroing round-off below
+    // the diagonal.
+    let mut r_out = Tensor::zeros(&[k, n]);
+    for i in 0..k {
+        for jj in i..n {
+            r_out.set(&[i, jj], r[i * n + jj] as f32);
+        }
+    }
+    (q_t, r_out)
+}
+
+/// Returns the maximum deviation of `qᵀq` from the identity — a measure of
+/// the orthonormality of `q`'s columns.
+pub fn orthonormality_error(q: &Tensor) -> f32 {
+    let gram = crate::matmul::matmul_transa(q, q);
+    let k = gram.rows();
+    let mut err = 0.0f32;
+    for i in 0..k {
+        for j in 0..k {
+            let target = if i == j { 1.0 } else { 0.0 };
+            err = err.max((gram.get(&[i, j]) - target).abs());
+        }
+    }
+    err
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn reconstructs_tall_matrix() {
+        let mut rng = Rng64::new(1);
+        let a = Tensor::randn(&[10, 4], &mut rng);
+        let (q, r) = qr_thin(&a);
+        assert_eq!(q.dims(), &[10, 4]);
+        assert_eq!(r.dims(), &[4, 4]);
+        assert!(matmul(&q, &r).approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn reconstructs_wide_matrix() {
+        let mut rng = Rng64::new(2);
+        let a = Tensor::randn(&[4, 10], &mut rng);
+        let (q, r) = qr_thin(&a);
+        assert_eq!(q.dims(), &[4, 4]);
+        assert_eq!(r.dims(), &[4, 10]);
+        assert!(matmul(&q, &r).approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let mut rng = Rng64::new(3);
+        let a = Tensor::randn(&[20, 7], &mut rng);
+        let (q, _) = qr_thin(&a);
+        assert!(orthonormality_error(&q) < 1e-4);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = Rng64::new(4);
+        let a = Tensor::randn(&[8, 8], &mut rng);
+        let (_, r) = qr_thin(&a);
+        for i in 0..8 {
+            for j in 0..i {
+                assert_eq!(r.get(&[i, j]), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn handles_rank_deficient_input() {
+        // Two identical columns: QR must still produce orthonormal Q and
+        // reconstruct the input.
+        let col = [1.0f32, 2.0, 3.0, 4.0];
+        let mut data = Vec::new();
+        for i in 0..4 {
+            data.push(col[i]);
+            data.push(col[i]);
+            data.push(col[i] * 2.0);
+        }
+        let a = Tensor::from_vec(&[4, 3], data);
+        let (q, r) = qr_thin(&a);
+        assert!(matmul(&q, &r).approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn handles_zero_matrix() {
+        let a = Tensor::zeros(&[5, 3]);
+        let (q, r) = qr_thin(&a);
+        assert!(matmul(&q, &r).approx_eq(&a, 1e-6));
+    }
+
+    #[test]
+    fn identity_input_gives_identity_q() {
+        let a = Tensor::eye(5);
+        let (q, r) = qr_thin(&a);
+        assert!(matmul(&q, &r).approx_eq(&a, 1e-5));
+        assert!(orthonormality_error(&q) < 1e-5);
+    }
+}

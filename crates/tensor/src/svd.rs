@@ -1,0 +1,409 @@
+//! Truncated singular value decomposition.
+//!
+//! Two engines are provided:
+//!
+//! * **One-sided Jacobi** ([`svd_jacobi`]) — high-accuracy full SVD, used for
+//!   small/medium matrices and as the base-case solver.
+//! * **Randomized subspace iteration** ([`truncated_svd`] for large inputs) —
+//!   Halko–Martinsson–Tropp sketching with power iterations, used when only a
+//!   small leading rank is needed from a large weight matrix (the common case
+//!   when rank-pruning transformer weights).
+//!
+//! Both are deterministic: the randomized path derives its sketch from a
+//! seed computed from the problem dimensions.
+
+use crate::matmul::{matmul, matmul_transa, matmul_transb};
+use crate::qr::qr_thin;
+use crate::rng::Rng64;
+use crate::{Tensor, TensorError};
+
+/// A (possibly truncated) singular value decomposition `a ≈ u · diag(s) · vt`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    /// Left singular vectors, `m × k`.
+    pub u: Tensor,
+    /// Singular values in non-increasing order, length `k`.
+    pub s: Vec<f32>,
+    /// Right singular vectors transposed, `k × n`.
+    pub vt: Tensor,
+}
+
+impl Svd {
+    /// The retained rank `k`.
+    pub fn rank(&self) -> usize {
+        self.s.len()
+    }
+
+    /// Reconstructs the (approximated) matrix `u · diag(s) · vt`.
+    pub fn reconstruct(&self) -> Tensor {
+        let k = self.rank();
+        let m = self.u.rows();
+        // Scale columns of u by s, then multiply by vt.
+        let mut us = Tensor::zeros(&[m, k]);
+        for i in 0..m {
+            for j in 0..k {
+                us.set(&[i, j], self.u.get(&[i, j]) * self.s[j]);
+            }
+        }
+        matmul(&us, &self.vt)
+    }
+
+    /// Returns a copy truncated to the leading `k` singular triplets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidRank`] if `k` is zero or exceeds the
+    /// stored rank.
+    pub fn truncate(&self, k: usize) -> Result<Svd, TensorError> {
+        if k == 0 || k > self.rank() {
+            return Err(TensorError::InvalidRank { rank: k, max: self.rank() });
+        }
+        let m = self.u.rows();
+        let n = self.vt.cols();
+        let mut u = Tensor::zeros(&[m, k]);
+        for i in 0..m {
+            for j in 0..k {
+                u.set(&[i, j], self.u.get(&[i, j]));
+            }
+        }
+        let mut vt = Tensor::zeros(&[k, n]);
+        for i in 0..k {
+            vt.row_mut(i).copy_from_slice(self.vt.row(i));
+        }
+        Ok(Svd { u, s: self.s[..k].to_vec(), vt })
+    }
+}
+
+/// Maximum Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 60;
+
+/// Convergence threshold on normalized off-diagonal inner products.
+const JACOBI_EPS: f64 = 1e-12;
+
+/// Full SVD via one-sided Jacobi rotations.
+///
+/// Accurate to near machine precision for well-conditioned inputs; intended
+/// for matrices up to a few hundred rows/columns.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NotConverged`] if the sweep budget is exhausted
+/// (does not happen for finite inputs in practice).
+///
+/// # Panics
+///
+/// Panics if `a` is not order-2.
+pub fn svd_jacobi(a: &Tensor) -> Result<Svd, TensorError> {
+    let (m, n) = (a.rows(), a.cols());
+    if m < n {
+        // Work on the transpose and swap factors.
+        let t = svd_jacobi(&a.transpose())?;
+        return Ok(Svd { u: t.vt.transpose(), s: t.s, vt: t.u.transpose() });
+    }
+    // Columns of `work` are rotated until mutually orthogonal.
+    let mut work: Vec<f64> = a.data().iter().map(|&x| x as f64).collect();
+    // Accumulate right rotations into v (n×n).
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let col_dot = |w: &[f64], p: usize, q: usize| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..m {
+            acc += w[i * n + p] * w[i * n + q];
+        }
+        acc
+    };
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let app = col_dot(&work, p, p);
+                let aqq = col_dot(&work, q, q);
+                let apq = col_dot(&work, p, q);
+                if apq.abs() <= JACOBI_EPS * (app * aqq).sqrt().max(f64::MIN_POSITIVE) {
+                    continue;
+                }
+                off = off.max(apq.abs() / (app * aqq).sqrt().max(f64::MIN_POSITIVE));
+                // Jacobi rotation zeroing the (p,q) entry of the implicit
+                // Gram matrix.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let wp = work[i * n + p];
+                    let wq = work[i * n + q];
+                    work[i * n + p] = c * wp - s * wq;
+                    work[i * n + q] = s * wp + c * wq;
+                }
+                for i in 0..n {
+                    let vp = v[i * n + p];
+                    let vq = v[i * n + q];
+                    v[i * n + p] = c * vp - s * vq;
+                    v[i * n + q] = s * vp + c * vq;
+                }
+            }
+        }
+        if off < 1e-10 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(TensorError::NotConverged { algorithm: "jacobi-svd", iterations: MAX_SWEEPS });
+    }
+
+    // Singular values = column norms; left vectors = normalized columns.
+    let mut triples: Vec<(f64, usize)> = (0..n)
+        .map(|j| {
+            let norm = (0..m).map(|i| work[i * n + j] * work[i * n + j]).sum::<f64>().sqrt();
+            (norm, j)
+        })
+        .collect();
+    triples.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut u = Tensor::zeros(&[m, n]);
+    let mut s_out = Vec::with_capacity(n);
+    let mut vt = Tensor::zeros(&[n, n]);
+    for (out_j, &(sigma, j)) in triples.iter().enumerate() {
+        s_out.push(sigma as f32);
+        if sigma > 0.0 {
+            for i in 0..m {
+                u.set(&[i, out_j], (work[i * n + j] / sigma) as f32);
+            }
+        }
+        for i in 0..n {
+            vt.set(&[out_j, i], v[i * n + j] as f32);
+        }
+    }
+    Ok(Svd { u, s: s_out, vt })
+}
+
+/// Size threshold below which [`truncated_svd`] uses the Jacobi engine
+/// directly.
+const JACOBI_DIRECT_LIMIT: usize = 96;
+
+/// Oversampling columns for the randomized sketch.
+const OVERSAMPLE: usize = 8;
+
+/// Power iterations for the randomized sketch (improves spectral separation).
+const POWER_ITERS: usize = 2;
+
+/// Rank-`k` truncated SVD of `a`.
+///
+/// Chooses between exact Jacobi (small matrices) and randomized subspace
+/// iteration (large matrices) automatically. Deterministic for a given input
+/// shape and rank.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidRank`] if `k` is zero or exceeds
+/// `min(m, n)`, or [`TensorError::NotConverged`] if the base solver fails.
+///
+/// # Example
+///
+/// ```
+/// use lrd_tensor::{rng::Rng64, svd::truncated_svd, Tensor};
+///
+/// # fn main() -> Result<(), lrd_tensor::TensorError> {
+/// let mut rng = Rng64::new(11);
+/// let a = Tensor::randn(&[40, 30], &mut rng);
+/// let svd = truncated_svd(&a, 5)?;
+/// assert_eq!(svd.rank(), 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn truncated_svd(a: &Tensor, k: usize) -> Result<Svd, TensorError> {
+    let (m, n) = (a.rows(), a.cols());
+    let min_dim = m.min(n);
+    if k == 0 || k > min_dim {
+        return Err(TensorError::InvalidRank { rank: k, max: min_dim });
+    }
+    if min_dim <= JACOBI_DIRECT_LIMIT || k * 2 >= min_dim {
+        return svd_jacobi(a)?.truncate(k);
+    }
+    randomized_svd(a, k)
+}
+
+/// Randomized truncated SVD (Halko et al. 2011) with power iteration.
+fn randomized_svd(a: &Tensor, k: usize) -> Result<Svd, TensorError> {
+    let (m, n) = (a.rows(), a.cols());
+    let l = (k + OVERSAMPLE).min(m.min(n));
+    // Deterministic sketch seed derived from problem dimensions.
+    let mut rng = Rng64::new(0xC0FF_EE00 ^ ((m as u64) << 32) ^ ((n as u64) << 8) ^ k as u64);
+    let omega = Tensor::randn(&[n, l], &mut rng);
+    // Y = A Ω, then power iterations with re-orthogonalization.
+    let mut y = matmul(a, &omega);
+    for _ in 0..POWER_ITERS {
+        let (q, _) = qr_thin(&y);
+        let z = matmul_transa(a, &q); // n × l
+        let (qz, _) = qr_thin(&z);
+        y = matmul(a, &qz);
+    }
+    let (q, _) = qr_thin(&y); // m × l
+    let b = matmul_transa(&q, a); // l × n
+    let small = svd_jacobi(&b)?;
+    let truncated = small.truncate(k)?;
+    Ok(Svd { u: matmul(&q, &truncated.u), s: truncated.s, vt: truncated.vt })
+}
+
+/// Computes the relative approximation error `‖a − approx‖_F / ‖a‖_F`.
+///
+/// Returns 0 for a zero matrix approximated by anything with zero error.
+pub fn relative_error(a: &Tensor, approx: &Tensor) -> f32 {
+    let denom = a.frobenius_norm();
+    if denom == 0.0 {
+        return approx.frobenius_norm();
+    }
+    let diff = a.sub(approx).expect("relative_error shape mismatch");
+    diff.frobenius_norm() / denom
+}
+
+/// Builds a matrix with a prescribed singular-value spectrum (useful for
+/// tests and for synthesizing weight matrices with LLM-like spectral decay).
+pub fn matrix_with_spectrum(m: usize, n: usize, spectrum: &[f32], rng: &mut Rng64) -> Tensor {
+    let k = spectrum.len().min(m).min(n);
+    let (qu, _) = qr_thin(&Tensor::randn(&[m, k], rng));
+    let (qv, _) = qr_thin(&Tensor::randn(&[n, k], rng));
+    let mut us = Tensor::zeros(&[m, k]);
+    for i in 0..m {
+        for (j, &sigma) in spectrum.iter().enumerate().take(k) {
+            us.set(&[i, j], qu.get(&[i, j]) * sigma);
+        }
+    }
+    matmul_transb(&us, &qv)
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::qr::orthonormality_error;
+
+    #[test]
+    fn jacobi_reconstructs_exactly() {
+        let mut rng = Rng64::new(1);
+        let a = Tensor::randn(&[12, 8], &mut rng);
+        let svd = svd_jacobi(&a).unwrap();
+        assert!(relative_error(&a, &svd.reconstruct()) < 1e-5);
+    }
+
+    #[test]
+    fn jacobi_wide_matrix() {
+        let mut rng = Rng64::new(2);
+        let a = Tensor::randn(&[5, 13], &mut rng);
+        let svd = svd_jacobi(&a).unwrap();
+        assert!(relative_error(&a, &svd.reconstruct()) < 1e-5);
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative() {
+        let mut rng = Rng64::new(3);
+        let a = Tensor::randn(&[10, 10], &mut rng);
+        let svd = svd_jacobi(&a).unwrap();
+        for w in svd.s.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(svd.s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let mut rng = Rng64::new(4);
+        let a = Tensor::randn(&[15, 9], &mut rng);
+        let svd = svd_jacobi(&a).unwrap();
+        assert!(orthonormality_error(&svd.u) < 1e-4);
+        assert!(orthonormality_error(&svd.vt.transpose()) < 1e-4);
+    }
+
+    #[test]
+    fn recovers_known_spectrum() {
+        let mut rng = Rng64::new(5);
+        let spectrum = [10.0, 5.0, 2.0, 1.0];
+        let a = matrix_with_spectrum(20, 16, &spectrum, &mut rng);
+        let svd = svd_jacobi(&a).unwrap();
+        for (i, &want) in spectrum.iter().enumerate() {
+            assert!((svd.s[i] - want).abs() < 1e-3, "σ{i}: got {}, want {want}", svd.s[i]);
+        }
+        // Remaining singular values are ~0.
+        assert!(svd.s[4..].iter().all(|&s| s < 1e-3));
+    }
+
+    #[test]
+    fn truncation_error_matches_tail_energy() {
+        // Eckart–Young: ‖A − A_k‖_F² = Σ_{i>k} σ_i².
+        let mut rng = Rng64::new(6);
+        let spectrum = [8.0, 4.0, 2.0, 1.0, 0.5];
+        let a = matrix_with_spectrum(24, 18, &spectrum, &mut rng);
+        let k = 2;
+        let svd = truncated_svd(&a, k).unwrap();
+        let err = a.sub(&svd.reconstruct()).unwrap().frobenius_norm();
+        let tail: f32 =
+            spectrum[k..].iter().map(|s| s * s).sum::<f32>().sqrt();
+        assert!((err - tail).abs() < 1e-2, "err {err} vs tail {tail}");
+    }
+
+    #[test]
+    fn randomized_path_matches_jacobi_on_low_rank_input() {
+        let mut rng = Rng64::new(7);
+        // 150×120 forces the randomized path (JACOBI_DIRECT_LIMIT = 96).
+        let spectrum: Vec<f32> = (0..10).map(|i| 2.0f32.powi(6 - i)).collect();
+        let a = matrix_with_spectrum(150, 120, &spectrum, &mut rng);
+        let svd = truncated_svd(&a, 6).unwrap();
+        for i in 0..6 {
+            assert!(
+                (svd.s[i] - spectrum[i]).abs() / spectrum[i] < 0.01,
+                "σ{i}: got {}, want {}",
+                svd.s[i],
+                spectrum[i]
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_rank_validation() {
+        let a = Tensor::eye(4);
+        assert!(matches!(truncated_svd(&a, 0), Err(TensorError::InvalidRank { .. })));
+        assert!(matches!(truncated_svd(&a, 5), Err(TensorError::InvalidRank { .. })));
+        assert!(truncated_svd(&a, 4).is_ok());
+    }
+
+    #[test]
+    fn rank_one_truncation_of_identity() {
+        let a = Tensor::eye(6);
+        let svd = truncated_svd(&a, 1).unwrap();
+        assert_eq!(svd.rank(), 1);
+        // Identity has all σ = 1; rank-1 approx captures exactly 1/6 energy.
+        let err = relative_error(&a, &svd.reconstruct());
+        assert!((err - (5.0f32 / 6.0).sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_matrix_svd() {
+        let a = Tensor::zeros(&[6, 4]);
+        let svd = svd_jacobi(&a).unwrap();
+        assert!(svd.s.iter().all(|&s| s == 0.0));
+        assert!(svd.reconstruct().approx_eq(&a, 1e-7));
+    }
+
+    #[test]
+    fn diagonal_matrix_spectrum() {
+        let mut a = Tensor::zeros(&[4, 4]);
+        for (i, &d) in [3.0f32, 7.0, 1.0, 5.0].iter().enumerate() {
+            a.set(&[i, i], d);
+        }
+        let svd = svd_jacobi(&a).unwrap();
+        assert!((svd.s[0] - 7.0).abs() < 1e-5);
+        assert!((svd.s[1] - 5.0).abs() < 1e-5);
+        assert!((svd.s[2] - 3.0).abs() < 1e-5);
+        assert!((svd.s[3] - 1.0).abs() < 1e-5);
+    }
+}

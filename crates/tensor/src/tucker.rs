@@ -1,0 +1,402 @@
+//! Tucker decomposition via Higher-Order Orthogonal Iteration (HOI).
+//!
+//! Implements Algorithm 1 of the paper for arbitrary-order tensors
+//! ([`tucker_hoi`]), plus the specialized order-2 form used to factor
+//! transformer weight matrices ([`tucker2`]):
+//!
+//! ```text
+//! T(n1, n2) ≈ U1(n1, pr) · Γ(pr, pr) · U2(pr, n2)
+//! ```
+//!
+//! where `pr` is the *pruned rank*. The order-2 case reduces to a truncated
+//! SVD with the singular values folded into the core `Γ`, which is exactly
+//! how the paper deploys decomposed fully-connected layers (three smaller
+//! matmuls replacing one).
+
+use crate::matmul::{matmul, mode_n_product};
+use crate::svd::{truncated_svd, Svd};
+use crate::{Tensor, TensorError};
+
+/// Result of an order-N Tucker decomposition: a core tensor and one factor
+/// matrix per mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tucker {
+    /// The core tensor `Γ` with dimensions equal to the decomposition ranks.
+    pub core: Tensor,
+    /// Factor matrices, `factors[i]` of shape `n_i × r_i` with orthonormal
+    /// columns.
+    pub factors: Vec<Tensor>,
+}
+
+impl Tucker {
+    /// Reconstructs the approximated tensor `Γ ×_1 U¹ ×_2 U² …`.
+    pub fn reconstruct(&self) -> Tensor {
+        let mut t = self.core.clone();
+        for (mode, u) in self.factors.iter().enumerate() {
+            t = mode_n_product(&t, u, mode);
+        }
+        t
+    }
+
+    /// The decomposition ranks (core dimensions).
+    pub fn ranks(&self) -> Vec<usize> {
+        self.core.dims().to_vec()
+    }
+
+    /// Total number of parameters stored by the decomposition.
+    pub fn param_count(&self) -> usize {
+        self.core.len() + self.factors.iter().map(Tensor::len).sum::<usize>()
+    }
+
+    /// Relative reconstruction error `‖T − K‖_F / ‖T‖_F` against the
+    /// original tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original`'s shape differs from the reconstruction's.
+    pub fn relative_error(&self, original: &Tensor) -> f32 {
+        let rec = self.reconstruct();
+        let diff = original.sub(&rec).expect("relative_error: shape mismatch");
+        let denom = original.frobenius_norm();
+        if denom == 0.0 {
+            rec.frobenius_norm()
+        } else {
+            diff.frobenius_norm() / denom
+        }
+    }
+}
+
+/// Options controlling the HOI iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoiOptions {
+    /// Maximum alternating-least-squares iterations.
+    pub max_iters: usize,
+    /// Stop when the relative change in fit falls below this.
+    pub tol: f32,
+}
+
+impl Default for HoiOptions {
+    fn default() -> Self {
+        HoiOptions { max_iters: 25, tol: 1e-6 }
+    }
+}
+
+/// Tucker decomposition of `t` with per-mode ranks `ranks`, via HOSVD
+/// initialization followed by Higher-Order Orthogonal Iteration
+/// (Algorithm 1 of the paper).
+///
+/// Ranks are clamped to the feasible region `r_i ≤ Π_{j≠i} r_j`; the actual
+/// ranks used are reported by [`Tucker::ranks`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidRank`] if `ranks` has the wrong arity or a
+/// rank is zero / exceeds its mode dimension, and propagates SVD failures.
+///
+/// # Example
+///
+/// ```
+/// use lrd_tensor::{rng::Rng64, Tensor};
+/// use lrd_tensor::tucker::{tucker_hoi, HoiOptions};
+///
+/// # fn main() -> Result<(), lrd_tensor::TensorError> {
+/// let mut rng = Rng64::new(1);
+/// let t = Tensor::randn(&[8, 9, 10], &mut rng);
+/// let dec = tucker_hoi(&t, &[8, 9, 10], HoiOptions::default())?;
+/// // Full-rank decomposition is exact.
+/// assert!(dec.relative_error(&t) < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn tucker_hoi(t: &Tensor, ranks: &[usize], opts: HoiOptions) -> Result<Tucker, TensorError> {
+    let order = t.shape().order();
+    if ranks.len() != order {
+        return Err(TensorError::InvalidArgument(format!(
+            "expected {order} ranks for an order-{order} tensor, got {}",
+            ranks.len()
+        )));
+    }
+    for (mode, (&r, &n)) in ranks.iter().zip(t.dims()).enumerate() {
+        if r == 0 || r > n {
+            return Err(TensorError::InvalidRank { rank: r, max: t.dims()[mode] });
+        }
+    }
+
+    // A mode's rank cannot exceed the product of the other modes' ranks
+    // (the core would have linearly dependent slices); clamp to the feasible
+    // region, iterating to a fixpoint since clamping one mode can tighten
+    // the bound for another.
+    let mut ranks = ranks.to_vec();
+    loop {
+        let mut changed = false;
+        for i in 0..order {
+            let others: usize =
+                (0..order).filter(|&j| j != i).map(|j| ranks[j]).product::<usize>().max(1);
+            if ranks[i] > others {
+                ranks[i] = others;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // HOSVD initialization: factor i = leading left singular vectors of the
+    // mode-i unfolding.
+    let mut factors: Vec<Tensor> = Vec::with_capacity(order);
+    for (mode, &r) in ranks.iter().enumerate() {
+        let unfolded = t.unfold(mode);
+        let svd = truncated_svd(&unfolded, r)?;
+        factors.push(svd.u);
+    }
+
+    let t_norm = t.frobenius_norm() as f64;
+    let mut prev_fit = f64::NEG_INFINITY;
+    for iter in 0..opts.max_iters {
+        for mode in 0..order {
+            // P = T ×_{j≠mode} (U^j)ᵀ — project all other modes down.
+            let mut p = t.clone();
+            for (j, factor) in factors.iter().enumerate() {
+                if j != mode {
+                    p = mode_n_product(&p, &factor.transpose(), j);
+                }
+            }
+            let svd = truncated_svd(&p.unfold(mode), ranks[mode])?;
+            factors[mode] = svd.u;
+        }
+        // Fit via core norm: ‖Γ‖² = captured energy (factors orthonormal).
+        let core = project_core(t, &factors);
+        let fit = if t_norm == 0.0 {
+            1.0
+        } else {
+            (core.frobenius_norm() as f64 / t_norm).min(1.0)
+        };
+        if (fit - prev_fit).abs() < opts.tol as f64 && iter > 0 {
+            prev_fit = fit;
+            break;
+        }
+        prev_fit = fit;
+    }
+    let _ = prev_fit;
+
+    let core = project_core(t, &factors);
+    Ok(Tucker { core, factors })
+}
+
+/// Computes the optimal core `Γ = T ×_1 (U¹)ᵀ ×_2 (U²)ᵀ …` for the given
+/// orthonormal factors (line 10 of Algorithm 1).
+fn project_core(t: &Tensor, factors: &[Tensor]) -> Tensor {
+    let mut core = t.clone();
+    for (mode, u) in factors.iter().enumerate() {
+        core = mode_n_product(&core, &u.transpose(), mode);
+    }
+    core
+}
+
+/// The order-2 Tucker factorization `T ≈ U1 · Γ · U2` deployed for
+/// decomposed fully-connected layers (§2.3 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tucker2 {
+    /// Left factor, `n1 × pr`.
+    pub u1: Tensor,
+    /// Core, `pr × pr`.
+    pub core: Tensor,
+    /// Right factor, `pr × n2`.
+    pub u2: Tensor,
+}
+
+impl Tucker2 {
+    /// The pruned rank.
+    pub fn rank(&self) -> usize {
+        self.core.rows()
+    }
+
+    /// Reconstructs the full matrix `U1 · Γ · U2`.
+    pub fn reconstruct(&self) -> Tensor {
+        matmul(&matmul(&self.u1, &self.core), &self.u2)
+    }
+
+    /// Number of parameters after decomposition:
+    /// `n1·pr + pr·pr + pr·n2` (§2.3).
+    pub fn param_count(&self) -> usize {
+        self.u1.len() + self.core.len() + self.u2.len()
+    }
+
+    /// Compression ratio versus the dense matrix, `H·W / (H·pr + pr² + pr·W)`.
+    pub fn compression_ratio(&self) -> f64 {
+        let dense = (self.u1.rows() * self.u2.cols()) as f64;
+        dense / self.param_count() as f64
+    }
+
+    /// Relative reconstruction error against the original matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn relative_error(&self, original: &Tensor) -> f32 {
+        let diff = original.sub(&self.reconstruct()).expect("relative_error: shape mismatch");
+        let denom = original.frobenius_norm();
+        if denom == 0.0 {
+            self.reconstruct().frobenius_norm()
+        } else {
+            diff.frobenius_norm() / denom
+        }
+    }
+}
+
+impl From<Svd> for Tucker2 {
+    /// Converts a truncated SVD into the Tucker-2 layout by folding the
+    /// singular values into a diagonal core.
+    fn from(svd: Svd) -> Self {
+        let k = svd.rank();
+        let mut core = Tensor::zeros(&[k, k]);
+        for i in 0..k {
+            core.set(&[i, i], svd.s[i]);
+        }
+        Tucker2 { u1: svd.u, core, u2: svd.vt }
+    }
+}
+
+/// Rank-`pr` order-2 Tucker decomposition of a matrix (the paper's §2.3
+/// form), computed via truncated SVD — the optimal order-2 solution.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidRank`] if `pr` is zero or exceeds
+/// `min(n1, n2)`, and propagates SVD failures.
+pub fn tucker2(t: &Tensor, pr: usize) -> Result<Tucker2, TensorError> {
+    Ok(truncated_svd(t, pr)?.into())
+}
+
+/// The break-even pruned rank below which the factored form is strictly
+/// smaller than the dense `h × w` matrix:
+/// `PR < (√((H+W)² + 4HW) − (H+W)) / 2` (§2.3).
+pub fn break_even_rank(h: usize, w: usize) -> f64 {
+    let (h, w) = (h as f64, w as f64);
+    (((h + w) * (h + w) + 4.0 * h * w).sqrt() - (h + w)) / 2.0
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+    use crate::svd::matrix_with_spectrum;
+
+    #[test]
+    fn full_rank_tucker_is_exact_order3() {
+        let mut rng = Rng64::new(1);
+        let t = Tensor::randn(&[5, 6, 7], &mut rng);
+        let dec = tucker_hoi(&t, &[5, 6, 7], HoiOptions::default()).unwrap();
+        assert!(dec.relative_error(&t) < 1e-4);
+    }
+
+    #[test]
+    fn factors_have_orthonormal_columns() {
+        let mut rng = Rng64::new(2);
+        let t = Tensor::randn(&[6, 7, 8], &mut rng);
+        let dec = tucker_hoi(&t, &[3, 3, 3], HoiOptions::default()).unwrap();
+        for u in &dec.factors {
+            assert!(crate::qr::orthonormality_error(u) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_rank() {
+        let mut rng = Rng64::new(3);
+        let t = Tensor::randn(&[8, 8, 8], &mut rng);
+        let mut prev = f32::INFINITY;
+        for r in [1, 2, 4, 6, 8] {
+            let dec = tucker_hoi(&t, &[r, r, r], HoiOptions::default()).unwrap();
+            let err = dec.relative_error(&t);
+            assert!(err <= prev + 1e-5, "rank {r}: error {err} > previous {prev}");
+            prev = err;
+        }
+        assert!(prev < 1e-4, "full-rank error should vanish, got {prev}");
+    }
+
+    #[test]
+    fn recovers_exact_low_rank_tensor() {
+        // Build a tensor that is exactly rank (2,2,2) and verify HOI finds it.
+        let mut rng = Rng64::new(4);
+        let core = Tensor::randn(&[2, 2, 2], &mut rng);
+        let u1 = crate::qr::qr_thin(&Tensor::randn(&[7, 2], &mut rng)).0;
+        let u2 = crate::qr::qr_thin(&Tensor::randn(&[8, 2], &mut rng)).0;
+        let u3 = crate::qr::qr_thin(&Tensor::randn(&[9, 2], &mut rng)).0;
+        let t = Tucker { core, factors: vec![u1, u2, u3] }.reconstruct();
+        let dec = tucker_hoi(&t, &[2, 2, 2], HoiOptions::default()).unwrap();
+        assert!(dec.relative_error(&t) < 1e-4);
+    }
+
+    #[test]
+    fn tucker2_matches_truncated_svd_error() {
+        let mut rng = Rng64::new(5);
+        let spectrum = [6.0, 3.0, 1.5, 0.7, 0.3];
+        let a = matrix_with_spectrum(20, 15, &spectrum, &mut rng);
+        let dec = tucker2(&a, 2).unwrap();
+        let err = a.sub(&dec.reconstruct()).unwrap().frobenius_norm();
+        let tail: f32 = spectrum[2..].iter().map(|s| s * s).sum::<f32>().sqrt();
+        assert!((err - tail).abs() < 1e-2);
+    }
+
+    #[test]
+    fn tucker2_param_count_formula() {
+        let mut rng = Rng64::new(6);
+        let a = Tensor::randn(&[32, 24], &mut rng);
+        let dec = tucker2(&a, 4).unwrap();
+        assert_eq!(dec.param_count(), 32 * 4 + 4 * 4 + 4 * 24);
+        assert!(dec.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn rank_one_is_maximal_compression() {
+        let mut rng = Rng64::new(7);
+        let a = Tensor::randn(&[16, 16], &mut rng);
+        let dec = tucker2(&a, 1).unwrap();
+        assert_eq!(dec.param_count(), 16 + 1 + 16);
+        // Compression ratio = 256/33 ≈ 7.76.
+        assert!((dec.compression_ratio() - 256.0 / 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hoi_order2_agrees_with_tucker2() {
+        let mut rng = Rng64::new(8);
+        let a = matrix_with_spectrum(18, 14, &[5.0, 2.0, 1.0, 0.5], &mut rng);
+        let via_hoi = tucker_hoi(&a, &[2, 2], HoiOptions::default()).unwrap();
+        let via_svd = tucker2(&a, 2).unwrap();
+        let e1 = via_hoi.relative_error(&a);
+        let e2 = via_svd.relative_error(&a);
+        assert!((e1 - e2).abs() < 1e-3, "HOI {e1} vs SVD {e2}");
+    }
+
+    #[test]
+    fn break_even_rank_matches_paper_formula() {
+        // For a square H = W = n matrix: PR < (√(8n²) − 2n)/2 = n(√2 − 1).
+        let n = 4096.0f64;
+        let expect = n * (2.0f64.sqrt() - 1.0);
+        assert!((break_even_rank(4096, 4096) - expect).abs() < 1e-6);
+        // Parameter count at the break-even rank equals the dense count.
+        let pr = break_even_rank(100, 60);
+        let dense = 100.0 * 60.0;
+        let fac = 100.0 * pr + pr * pr + pr * 60.0;
+        assert!((dense - fac).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_ranks_rejected() {
+        let t = Tensor::zeros(&[4, 5, 6]);
+        assert!(tucker_hoi(&t, &[4, 5], HoiOptions::default()).is_err());
+        assert!(tucker_hoi(&t, &[0, 5, 6], HoiOptions::default()).is_err());
+        assert!(tucker_hoi(&t, &[4, 5, 7], HoiOptions::default()).is_err());
+    }
+
+    #[test]
+    fn tucker_param_count_order3() {
+        let mut rng = Rng64::new(9);
+        let t = Tensor::randn(&[6, 7, 8], &mut rng);
+        let dec = tucker_hoi(&t, &[2, 3, 4], HoiOptions::default()).unwrap();
+        assert_eq!(dec.param_count(), 2 * 3 * 4 + 6 * 2 + 7 * 3 + 8 * 4);
+        assert_eq!(dec.ranks(), vec![2, 3, 4]);
+    }
+}

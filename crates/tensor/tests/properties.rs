@@ -1,0 +1,165 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use lrd_tensor::matmul::{matmul, matmul_transa, matmul_transb, mode_n_product};
+use lrd_tensor::qr::{orthonormality_error, qr_thin};
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::svd::{svd_jacobi, truncated_svd};
+use lrd_tensor::tucker::{tucker2, tucker_hoi, HoiOptions};
+use lrd_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with bounded dimensions, generated through the
+/// workspace RNG from a proptest-chosen seed so shrinking stays meaningful.
+fn matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(m, n, seed)| {
+        let mut rng = Rng64::new(seed);
+        Tensor::randn(&[m, n], &mut rng)
+    })
+}
+
+fn tensor3(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (2..=max_dim, 2..=max_dim, 2..=max_dim, any::<u64>()).prop_map(|(a, b, c, seed)| {
+        let mut rng = Rng64::new(seed);
+        Tensor::randn(&[a, b, c], &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_associates_with_identity(a in matrix(12)) {
+        let i = Tensor::eye(a.cols());
+        prop_assert!(matmul(&a, &i).approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::randn(&[6, 5], &mut rng);
+        let b = Tensor::randn(&[5, 7], &mut rng);
+        let c = Tensor::randn(&[5, 7], &mut rng);
+        let lhs = matmul(&a, &b.add(&c).unwrap());
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c)).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn transpose_of_product_is_reversed_product(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::randn(&[4, 6], &mut rng);
+        let b = Tensor::randn(&[6, 5], &mut rng);
+        let lhs = matmul(&a, &b).transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-4));
+    }
+
+    #[test]
+    fn trans_variants_agree(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::randn(&[5, 7], &mut rng);
+        let b = Tensor::randn(&[4, 7], &mut rng);
+        prop_assert!(matmul_transb(&a, &b).approx_eq(&matmul(&a, &b.transpose()), 1e-4));
+        let c = Tensor::randn(&[5, 6], &mut rng);
+        prop_assert!(matmul_transa(&a, &c).approx_eq(&matmul(&a.transpose(), &c), 1e-4));
+    }
+
+    #[test]
+    fn qr_reconstructs_and_orthogonal(a in matrix(16)) {
+        let (q, r) = qr_thin(&a);
+        prop_assert!(matmul(&q, &r).approx_eq(&a, 1e-3));
+        prop_assert!(orthonormality_error(&q) < 1e-3);
+    }
+
+    #[test]
+    fn svd_reconstruction_is_exact_at_full_rank(a in matrix(14)) {
+        let svd = svd_jacobi(&a).unwrap();
+        let err = a.sub(&svd.reconstruct()).unwrap().frobenius_norm();
+        prop_assert!(err < 1e-3 * (1.0 + a.frobenius_norm()));
+    }
+
+    #[test]
+    fn svd_singular_values_sorted(a in matrix(14)) {
+        let svd = svd_jacobi(&a).unwrap();
+        for w in svd.s.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn truncated_svd_error_is_monotone_in_rank(a in matrix(10)) {
+        let maxk = a.rows().min(a.cols());
+        let mut prev = f32::INFINITY;
+        for k in 1..=maxk {
+            let svd = truncated_svd(&a, k).unwrap();
+            let err = a.sub(&svd.reconstruct()).unwrap().frobenius_norm();
+            prop_assert!(err <= prev + 1e-3);
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn eckart_young_tail_energy(a in matrix(12)) {
+        // Truncation error equals the energy of the discarded singular values.
+        let full = svd_jacobi(&a).unwrap();
+        let maxk = full.rank();
+        let k = 1.max(maxk / 2);
+        let trunc = full.truncate(k).unwrap();
+        let err = a.sub(&trunc.reconstruct()).unwrap().frobenius_norm();
+        let tail: f32 = full.s[k..].iter().map(|s| s * s).sum::<f32>().sqrt();
+        prop_assert!((err - tail).abs() < 1e-2 * (1.0 + tail));
+    }
+
+    #[test]
+    fn tucker2_error_bounded_by_one_for_centered_input(a in matrix(12)) {
+        // ‖T − K‖ ≤ ε‖T‖ with ε ≤ 1 since K is the optimal projection.
+        let dec = tucker2(&a, 1).unwrap();
+        prop_assert!(dec.relative_error(&a) <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn tucker2_param_formula(a in matrix(16)) {
+        let maxk = a.rows().min(a.cols());
+        let k = 1.max(maxk / 3);
+        let dec = tucker2(&a, k).unwrap();
+        let (h, w) = (a.rows(), a.cols());
+        prop_assert_eq!(dec.param_count(), h * k + k * k + k * w);
+    }
+
+    #[test]
+    fn unfold_fold_roundtrip(t in tensor3(6)) {
+        for mode in 0..3 {
+            let u = t.unfold(mode);
+            prop_assert_eq!(Tensor::fold(&u, mode, t.dims()), t.clone());
+        }
+    }
+
+    #[test]
+    fn mode_product_with_identity_is_noop(t in tensor3(6)) {
+        for mode in 0..3 {
+            let i = Tensor::eye(t.dims()[mode]);
+            prop_assert!(mode_n_product(&t, &i, mode).approx_eq(&t, 1e-5));
+        }
+    }
+
+    #[test]
+    fn tucker_hoi_error_at_most_hosvd_bound(t in tensor3(5)) {
+        // Tucker relative error is within [0, 1] and full rank is exact.
+        let dims = t.dims().to_vec();
+        let dec = tucker_hoi(&t, &dims, HoiOptions::default()).unwrap();
+        prop_assert!(dec.relative_error(&t) < 1e-3);
+        let ranks: Vec<usize> = dims.iter().map(|&d| 1.max(d / 2)).collect();
+        let dec2 = tucker_hoi(&t, &ranks, HoiOptions::default()).unwrap();
+        let e = dec2.relative_error(&t);
+        prop_assert!((0.0..=1.0 + 1e-4).contains(&e));
+    }
+
+    #[test]
+    fn frobenius_norm_is_unitarily_invariant(a in matrix(10)) {
+        // Multiplying by an orthonormal factor preserves the norm.
+        let (q, _) = qr_thin(&a);
+        let prod = matmul(&q.transpose(), &a);
+        prop_assert!((prod.frobenius_norm() - matmul(&q, &prod).frobenius_norm()).abs()
+            < 1e-3 * (1.0 + a.frobenius_norm()));
+    }
+}

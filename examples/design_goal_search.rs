@@ -1,0 +1,55 @@
+//! Definition 1 in action: search the decomposition design space for the
+//! minimum energy–delay-product configuration under an accuracy-drop
+//! tolerance, using a Fig. 7-shaped sensitivity profile and the simulated
+//! 4×A100 node. Runs instantly (no training).
+//!
+//! ```sh
+//! cargo run --release --example design_goal_search
+//! ```
+
+use lrd_core::search::{greedy_search, random_search, SensitivityModel};
+use lrd_hwsim::device::SystemSpec;
+use lrd_models::zoo::llama2_7b;
+
+fn main() {
+    let system = SystemSpec::quad_a100();
+    let desc = llama2_7b();
+
+    // Sensitivity profile shaped like the paper's Fig. 7: the first two and
+    // last layers are expensive to decompose, the middle is cheap.
+    let drops: Vec<f64> = (0..desc.n_layers)
+        .map(|l| {
+            let edge = l.min(desc.n_layers - 1 - l);
+            match edge {
+                0 => 7.0,
+                1 => 3.5,
+                _ => 0.6,
+            }
+        })
+        .collect();
+    let sens = SensitivityModel::new(drops);
+
+    println!("τ (%p) | layers | param-red % | pred. drop | EDP (J·s) | vs random");
+    for tau in [2.0, 5.0, 10.0, 20.0, 40.0] {
+        let greedy = greedy_search(&system, &desc, &sens, tau, 64, 128);
+        let random = random_search(&system, &desc, &sens, tau, 40, 11, 64, 128);
+        match (greedy, random) {
+            (Some(g), Some(r)) => println!(
+                "{tau:>6} | {:>6} | {:>11.1} | {:>10.1} | {:>9.1} | {:+.1}%",
+                g.layers.len(),
+                g.param_reduction_pct,
+                g.predicted_drop,
+                g.edp,
+                100.0 * (g.edp / r.edp - 1.0),
+            ),
+            (Some(g), None) => println!(
+                "{tau:>6} | {:>6} | {:>11.1} | {:>10.1} | {:>9.1} | (random infeasible)",
+                g.layers.len(),
+                g.param_reduction_pct,
+                g.predicted_drop,
+                g.edp,
+            ),
+            _ => println!("{tau:>6} | infeasible"),
+        }
+    }
+}

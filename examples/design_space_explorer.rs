@@ -1,0 +1,61 @@
+//! Explore the decomposition design space analytically: Theorem 3.2 sizes,
+//! configuration validity, and the parameter reduction of every Table 4
+//! preset — no training required, instant.
+//!
+//! ```sh
+//! cargo run --release --example design_space_explorer
+//! ```
+
+use lrd_core::compression::{param_reduction_pct, tensor_compression_ratio};
+use lrd_core::select::{preset_config, table4_presets};
+use lrd_core::space::{design_space_size, table2, DecompositionConfig};
+use lrd_models::zoo::llama2_7b;
+use lrd_tensor::tucker::break_even_rank;
+
+fn main() {
+    println!("== Table 2: design-space sizes (Theorem 3.2) ==");
+    for row in table2() {
+        println!(
+            "  {:<11} layers={:<3} tensors={}  scale={}  exact={:.3e}",
+            row.model,
+            row.n_layers,
+            row.n_tensors,
+            row.scale,
+            row.scale.exact as f64
+        );
+    }
+
+    let desc = llama2_7b();
+    println!("\n== Llama2-7B: {} ==", design_space_size(&desc));
+
+    println!("\n== per-tensor compression at rank 1 ==");
+    for t in desc.layer_tensors() {
+        println!(
+            "  {:<7} {:>5}x{:<5} ratio {:>7.1}x  break-even rank {:.0}",
+            t.name,
+            t.rows,
+            t.cols,
+            tensor_compression_ratio(t.rows, t.cols, 1),
+            break_even_rank(t.rows, t.cols),
+        );
+    }
+
+    println!("\n== Table 4 presets (rank 1, all tensors) ==");
+    for (label, published, layers) in table4_presets() {
+        let cfg = preset_config(&layers);
+        println!(
+            "  target {label:<4} computed {:.1}%  ({} layers)",
+            param_reduction_pct(&desc, &cfg),
+            layers.len()
+        );
+        assert!(cfg.validate(&desc).is_ok());
+        let _ = published;
+    }
+
+    // Validity demonstrations.
+    println!("\n== validity (Proposition 3.1) ==");
+    let bad = DecompositionConfig::uniform(&[99], &[0], 1);
+    println!("  layers=[99]: {:?}", bad.validate(&desc).unwrap_err());
+    let bad_rank = DecompositionConfig::uniform(&[0], &[0], 5000);
+    println!("  rank=5000:   {:?}", bad_rank.validate(&desc).unwrap_err());
+}

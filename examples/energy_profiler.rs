@@ -1,0 +1,59 @@
+//! Profile the simulated 4×A100 node: latency, power trace, energy and
+//! memory for dense vs decomposed Llama2-7B — the instrument behind
+//! Figs. 10–12.
+//!
+//! ```sh
+//! cargo run --release --example energy_profiler
+//! ```
+
+use lrd_core::decompose::descriptor_decomposition;
+use lrd_core::select::{preset_config, table4_presets};
+use lrd_hwsim::device::SystemSpec;
+use lrd_hwsim::energy::PowerTrace;
+use lrd_hwsim::report::simulate_inference;
+use lrd_models::zoo::llama2_7b;
+
+fn main() {
+    let system = SystemSpec::quad_a100();
+    let desc = llama2_7b();
+    let (batch, seq) = (64, 128);
+
+    let dense = simulate_inference(&system, &desc, &[], batch, seq);
+    println!("== dense Llama2-7B, batch/GPU {batch}, seq {seq} ==");
+    println!("  gpu time   {:>8.4} s/batch", dense.gpu_time_s);
+    println!("  wall time  {:>8.4} s/batch", dense.wall_time_s);
+    println!("  energy     {:>8.0} J/batch", dense.energy_j);
+    println!(
+        "  memory     {:>8.1} GB/GPU (weights {:.1} + act {:.1} + kv {:.1} + fw {:.1})",
+        dense.memory.total() as f64 / 1e9,
+        dense.memory.weights as f64 / 1e9,
+        dense.memory.activations as f64 / 1e9,
+        dense.memory.kv_cache as f64 / 1e9,
+        dense.memory.framework as f64 / 1e9,
+    );
+    println!("  throughput {:>8.1} samples/s", dense.throughput);
+
+    // nvidia-smi style power trace of one batch.
+    let trace = PowerTrace::sample_run(&system, dense.wall_time_s, 0.2, 0.05);
+    println!(
+        "\n  power trace: {} samples, mean {:.0} W, integral {:.0} J",
+        trace.samples().len(),
+        trace.mean_power_w(),
+        trace.energy_j()
+    );
+
+    println!("\n== decomposed presets ==");
+    for (label, _, layers) in table4_presets() {
+        let decomp = descriptor_decomposition(&desc, &preset_config(&layers));
+        let r = simulate_inference(&system, &desc, &decomp, batch, seq);
+        println!(
+            "  {label:>4}: wall {:.4} s ({:+.1}%), energy {:.0} J ({:+.1}%), mem {:.1} GB ({:+.1}%)",
+            r.wall_time_s,
+            100.0 * (r.wall_time_s / dense.wall_time_s - 1.0),
+            r.energy_j,
+            100.0 * (r.energy_j / dense.energy_j - 1.0),
+            r.memory.total() as f64 / 1e9,
+            100.0 * (r.memory.total() as f64 / dense.memory.total() as f64 - 1.0),
+        );
+    }
+}

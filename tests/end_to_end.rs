@@ -1,0 +1,128 @@
+//! End-to-end integration: train a small model on the synthetic world,
+//! decompose it at increasing aggressiveness, and verify the accuracy
+//! trade-off machinery works across all crates.
+
+use lrd_core::decompose::decompose_model;
+use lrd_core::space::DecompositionConfig;
+use lrd_eval::corpus::CorpusBuilder;
+use lrd_eval::harness::{evaluate, EvalOptions};
+use lrd_eval::tasks::{ArcEasy, WinoGrande};
+use lrd_eval::World;
+use lrd_nn::train::{TrainConfig, Trainer};
+use lrd_nn::{ArchKind, TransformerConfig, TransformerLm};
+use lrd_tensor::rng::Rng64;
+
+fn train_small(world: &World, steps: usize) -> TransformerLm {
+    let cfg = TransformerConfig {
+        kind: ArchKind::Decoder,
+        vocab_size: 256,
+        d_model: 32,
+        n_layers: 4,
+        n_heads: 4,
+        n_kv_heads: 4,
+        d_ff: 96,
+        max_seq: 64,
+    };
+    let mut model = TransformerLm::new(cfg, &mut Rng64::new(123));
+    let mut corpus = CorpusBuilder::new(*world, 1, 40);
+    let mut trainer = Trainer::new(TrainConfig {
+        lr: 4e-3,
+        warmup: 15,
+        total_steps: steps,
+        clip: 1.0,
+        weight_decay: 0.01,
+    });
+    for _ in 0..steps {
+        trainer.step(&mut model, &corpus.batch(12));
+    }
+    model
+}
+
+#[test]
+fn trained_model_beats_chance_and_decomposition_degrades_gracefully() {
+    let world = World::new(31);
+    let model = train_small(&world, 500);
+    let opts = EvalOptions { n_samples: 150, seed: 4, batch_size: 64, threads: 0 };
+
+    // Above chance after training (4-way MC chance = 25%).
+    let base = evaluate(&model, &ArcEasy, &world, &opts);
+    assert!(
+        base.percent() > 40.0,
+        "training failed to beat chance: {base}"
+    );
+
+    // Decompose one layer: mild drop at most.
+    let mut mild = model.clone();
+    decompose_model(&mut mild, &DecompositionConfig::uniform(&[2], &[0, 1, 2, 3, 4, 5, 6], 1))
+        .unwrap();
+    let mild_acc = evaluate(&mild, &ArcEasy, &world, &opts);
+
+    // Decompose everything: should fall toward chance.
+    let mut severe = model.clone();
+    decompose_model(
+        &mut severe,
+        &DecompositionConfig::uniform(&[0, 1, 2, 3], &[0, 1, 2, 3, 4, 5, 6], 1),
+    )
+    .unwrap();
+    let severe_acc = evaluate(&severe, &ArcEasy, &world, &opts);
+
+    assert!(
+        severe_acc.percent() <= mild_acc.percent() + 8.0,
+        "severe decomposition ({severe_acc}) should not beat mild ({mild_acc})"
+    );
+    assert!(
+        severe_acc.percent() < base.percent(),
+        "full rank-1 decomposition must hurt: base {base}, severe {severe_acc}"
+    );
+}
+
+#[test]
+fn winogrande_above_chance_after_training() {
+    let world = World::new(32);
+    let model = train_small(&world, 300);
+    let opts = EvalOptions { n_samples: 150, seed: 9, batch_size: 64, threads: 0 };
+    let acc = evaluate(&model, &WinoGrande, &world, &opts);
+    // Binary task: chance 50%.
+    assert!(acc.percent() > 55.0, "WinoGrande at {acc} (chance 50%)");
+}
+
+#[test]
+fn live_and_analytic_param_accounting_agree() {
+    let world = World::new(33);
+    let model = train_small(&world, 5);
+    // Build a descriptor matching the test model.
+    let desc = lrd_models::descriptor::TransformerDescriptor {
+        name: "test",
+        family: lrd_models::descriptor::TransformerFamily::Llama,
+        vocab_size: 256,
+        d_model: 32,
+        n_layers: 4,
+        n_heads: 4,
+        n_kv_heads: 4,
+        d_ff: 96,
+        max_seq: 64,
+        table2_tensor_count: 5,
+    };
+    let cfg = DecompositionConfig::uniform(&[1, 3], &[0, 1, 2, 3, 4, 5, 6], 1);
+    let analytic = lrd_core::compression::param_reduction_pct(&desc, &cfg);
+    let mut m = model.clone();
+    let live = decompose_model(&mut m, &cfg).unwrap().reduction_pct();
+    assert!(
+        (analytic - live).abs() < 0.5,
+        "analytic {analytic:.2}% vs live {live:.2}%"
+    );
+}
+
+#[test]
+fn decomposition_is_idempotent_on_param_count() {
+    // Re-decomposing an already-factored slot at the same rank must not
+    // change parameter counts (the decomposer reconstructs then refactors).
+    let world = World::new(34);
+    let model = train_small(&world, 5);
+    let cfg = DecompositionConfig::uniform(&[0], &[0], 1);
+    let mut once = model.clone();
+    decompose_model(&mut once, &cfg).unwrap();
+    let count_once = once.param_count();
+    decompose_model(&mut once, &cfg).unwrap();
+    assert_eq!(once.param_count(), count_once);
+}

@@ -1,0 +1,122 @@
+//! Quantitative paper claims that must hold analytically — the assertions
+//! behind Tables 1, 2, 4 and the efficiency slopes of Figs. 10–12.
+
+use lrd_core::compression::param_reduction_pct;
+use lrd_core::select::{preset_config, table4_presets};
+use lrd_core::space::{design_space_size, table2};
+use lrd_core::study::efficiency_sweep;
+use lrd_hwsim::device::SystemSpec;
+use lrd_models::descriptor::DType;
+use lrd_models::zoo::{bert_base, llama2_7b, resnet50};
+
+#[test]
+fn table1_sizes_match_paper() {
+    // Paper: ResNet50 51.1 MB, BERT-Base 219.0 MB, Llama2-7B 13.4 GB (FP16).
+    assert!((resnet50().size_bytes(DType::F16) as f64 / 1e6 - 51.1).abs() < 2.0);
+    assert!((bert_base().size_bytes(DType::F16) as f64 / 1e6 - 219.0).abs() < 10.0);
+    assert!((llama2_7b().size_bytes(DType::F16) as f64 / 1e9 - 13.4).abs() < 0.3);
+}
+
+#[test]
+fn table1_macs_match_paper() {
+    // Paper: BERT-Base 11.2 B, Llama2-7B 850.0 B (batch 1, seq 128).
+    assert!((bert_base().macs(1, 128) as f64 / 1e9 - 11.2).abs() < 0.8);
+    assert!((llama2_7b().macs(1, 128) as f64 / 1e9 - 850.0).abs() < 25.0);
+}
+
+#[test]
+fn table1_ratios_match_paper() {
+    // Paper ratios: BERT 51.1, Llama 63.4 (MACs per FP16 byte).
+    assert!((bert_base().compute_to_size_ratio(1, 128) - 51.1).abs() < 4.0);
+    assert!((llama2_7b().compute_to_size_ratio(1, 128) - 63.4).abs() < 3.0);
+}
+
+#[test]
+fn table2_scales_match_paper() {
+    let scales: Vec<u32> = table2().iter().map(|r| r.scale.scale_log2).collect();
+    assert_eq!(scales, vec![18, 30, 37, 85]);
+}
+
+#[test]
+fn theorem_formula_overflow_safety() {
+    // Llama2-70B: (2^80−1)(2^5−1)·8192+1 must not overflow u128.
+    let s = design_space_size(&lrd_models::zoo::llama2_70b());
+    assert!(s.exact > 1u128 << 97);
+}
+
+#[test]
+fn table4_published_reductions_reproduce() {
+    // Every Table 4 preset's computed reduction matches its published label
+    // within 3 percentage points on the real Llama2-7B shapes.
+    let desc = llama2_7b();
+    for (label, published, layers) in table4_presets() {
+        let red = param_reduction_pct(&desc, &preset_config(&layers));
+        assert!(
+            (red - published).abs() < 3.0,
+            "preset {label}: computed {red:.1}% vs published {published}%"
+        );
+    }
+}
+
+#[test]
+fn headline_claim_9pct_params_4pct_latency_5pct_energy() {
+    // Abstract: "9% model size reduction … 4% latency and 5% energy
+    // savings". Require the simulator to land within ±2.5 points.
+    let sys = SystemSpec::quad_a100();
+    let desc = llama2_7b();
+    let points = efficiency_sweep(&sys, &desc, 64, 128);
+    let nine = points
+        .iter()
+        .find(|p| (p.param_reduction_pct - 9.0).abs() < 1.0)
+        .expect("9% preset present");
+    let latency_saving = 100.0 * (1.0 - 1.0 / nine.speedup);
+    assert!(
+        (latency_saving - 4.0).abs() < 2.5,
+        "latency saving at 9% params: {latency_saving:.1}% (paper: ~4%)"
+    );
+    assert!(
+        (nine.energy_saving_pct - 5.0).abs() < 2.5,
+        "energy saving at 9% params: {:.1}% (paper: ~5%)",
+        nine.energy_saving_pct
+    );
+}
+
+#[test]
+fn efficiency_slopes_match_insights() {
+    // §4.4: every 1% parameter reduction ⇒ ~0.5% latency, ~0.5% energy,
+    // ~0.4% memory. Check the regression slope over the full sweep.
+    let sys = SystemSpec::quad_a100();
+    let desc = llama2_7b();
+    let points = efficiency_sweep(&sys, &desc, 64, 128);
+    let slope = |xs: &[f64], ys: &[f64]| -> f64 {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let var: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        cov / var
+    };
+    let x: Vec<f64> = points.iter().map(|p| p.param_reduction_pct).collect();
+    let lat: Vec<f64> = points.iter().map(|p| 100.0 * (1.0 - 1.0 / p.speedup)).collect();
+    let energy: Vec<f64> = points.iter().map(|p| p.energy_saving_pct).collect();
+    let mem: Vec<f64> = points.iter().map(|p| p.memory_saving_pct).collect();
+    let s_lat = slope(&x, &lat);
+    let s_en = slope(&x, &energy);
+    let s_mem = slope(&x, &mem);
+    assert!((0.30..0.70).contains(&s_lat), "latency slope {s_lat:.2} (paper ~0.5)");
+    assert!((0.30..0.70).contains(&s_en), "energy slope {s_en:.2} (paper ~0.5)");
+    assert!((0.25..0.60).contains(&s_mem), "memory slope {s_mem:.2} (paper ~0.4)");
+}
+
+#[test]
+fn energy_equals_power_times_time_at_saturation() {
+    // §4.3.1: GPUs pinned at max power ⇒ energy strictly proportional to
+    // wall time across all presets.
+    let sys = SystemSpec::quad_a100();
+    let desc = llama2_7b();
+    let points = efficiency_sweep(&sys, &desc, 64, 128);
+    for p in &points {
+        let expect = sys.gpu.max_power_w * sys.n_gpus as f64 * p.report.wall_time_s;
+        assert!((p.report.energy_j - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,100 @@
+//! Cross-crate consistency: checkpointing, full-rank equivalence,
+//! harness determinism and the analytic/live agreement of the studies.
+
+use lrd_core::decompose::{decompose_model, descriptor_decomposition};
+use lrd_core::select::{preset_config, table4_presets};
+use lrd_core::space::DecompositionConfig;
+use lrd_eval::harness::{evaluate, EvalOptions};
+use lrd_eval::tasks::{registry, ArcEasy};
+use lrd_eval::World;
+use lrd_hwsim::memory::decomposed_param_count;
+use lrd_models::zoo::llama2_7b;
+use lrd_nn::checkpoint::{load_model, save_model};
+use lrd_nn::{ArchKind, TransformerConfig, TransformerLm};
+use lrd_tensor::rng::Rng64;
+
+fn small_model(seed: u64) -> TransformerLm {
+    let cfg = TransformerConfig {
+        kind: ArchKind::Decoder,
+        vocab_size: 256,
+        d_model: 24,
+        n_layers: 3,
+        n_heads: 2,
+        n_kv_heads: 2,
+        d_ff: 48,
+        max_seq: 64,
+    };
+    TransformerLm::new(cfg, &mut Rng64::new(seed))
+}
+
+#[test]
+fn checkpoint_then_decompose_matches_decompose_directly() {
+    let dir = std::env::temp_dir().join("lrd_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pipeline.ckpt");
+    let mut model = small_model(50);
+    save_model(&path, &mut model).unwrap();
+    let mut loaded = load_model(&path).unwrap();
+    let cfg = DecompositionConfig::uniform(&[0, 2], &[0, 1, 2, 3, 4, 5, 6], 1);
+    let mut direct = model.clone();
+    decompose_model(&mut direct, &cfg).unwrap();
+    decompose_model(&mut loaded, &cfg).unwrap();
+    let tokens = [1usize, 5, 9, 13];
+    assert!(direct.logits(&tokens, 1).approx_eq(&loaded.logits(&tokens, 1), 1e-5));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn full_rank_whole_model_decomposition_is_lossless() {
+    let mut model = small_model(51);
+    let orig = model.clone();
+    // Full rank for every slot: min(rows, cols) = 24 for every tensor
+    // except gate/up/down whose min is 24 too (24×48).
+    let cfg = DecompositionConfig::uniform(&[0, 1, 2], &[0, 1, 2, 3, 4, 5, 6], 24);
+    decompose_model(&mut model, &cfg).unwrap();
+    let tokens = [3usize, 7, 11];
+    let diff = orig.logits(&tokens, 1).sub(&model.logits(&tokens, 1)).unwrap().max_abs();
+    assert!(diff < 0.05, "full-rank decomposition drifted by {diff}");
+}
+
+#[test]
+fn harness_determinism_across_thread_counts() {
+    let model = small_model(52);
+    let world = World::new(9);
+    let mut results = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let opts = EvalOptions { n_samples: 60, seed: 5, batch_size: 16, threads };
+        results.push(evaluate(&model, &ArcEasy, &world, &opts));
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+#[test]
+fn all_benchmarks_run_on_decomposed_model() {
+    let mut model = small_model(53);
+    decompose_model(
+        &mut model,
+        &DecompositionConfig::uniform(&[1], &[0, 1, 2, 3, 4, 5, 6], 1),
+    )
+    .unwrap();
+    let world = World::new(10);
+    let opts = EvalOptions { n_samples: 12, seed: 2, batch_size: 16, threads: 2 };
+    for bench in registry() {
+        let acc = evaluate(&model, bench.as_ref(), &world, &opts);
+        assert_eq!(acc.total, 12, "{} did not evaluate all samples", bench.name());
+    }
+}
+
+#[test]
+fn core_compression_matches_hwsim_accounting() {
+    // Two independent implementations of the same parameter math must
+    // agree: lrd-core's config accounting and lrd-hwsim's memory model.
+    let desc = llama2_7b();
+    for (_, _, layers) in table4_presets() {
+        let cfg = preset_config(&layers);
+        let via_core = lrd_core::compression::decomposed_params(&desc, &cfg);
+        let via_hwsim = decomposed_param_count(&desc, &descriptor_decomposition(&desc, &cfg));
+        assert_eq!(via_core, via_hwsim);
+    }
+}
