@@ -30,9 +30,10 @@ fn bench_decompose_model(c: &mut Criterion) {
     let base = model();
     let all_t: Vec<usize> = (0..7).collect();
     let mut group = c.benchmark_group("decompose_model_8layer");
-    for (label, layers) in
-        [("2_layers", vec![1usize, 6]), ("8_layers", (0..8).collect::<Vec<_>>())]
-    {
+    for (label, layers) in [
+        ("2_layers", vec![1usize, 6]),
+        ("8_layers", (0..8).collect::<Vec<_>>()),
+    ] {
         let cfg = DecompositionConfig::uniform(&layers, &all_t, 1);
         group.bench_function(label, |b| {
             b.iter_batched(

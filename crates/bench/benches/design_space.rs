@@ -44,5 +44,10 @@ fn bench_table4_reductions(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_design_space_size, bench_validation, bench_table4_reductions);
+criterion_group!(
+    benches,
+    bench_design_space_size,
+    bench_validation,
+    bench_table4_reductions
+);
 criterion_main!(benches);

@@ -27,7 +27,12 @@ fn model() -> TransformerLm {
 fn bench_multiple_choice(c: &mut Criterion) {
     let m = model();
     let w = World::new(1);
-    let opts = EvalOptions { n_samples: 40, seed: 5, batch_size: 64, threads: 0 };
+    let opts = EvalOptions {
+        n_samples: 40,
+        seed: 5,
+        batch_size: 64,
+        threads: 0,
+    };
     c.bench_function("evaluate_arc_easy_40", |b| {
         b.iter(|| evaluate(black_box(&m), &ArcEasy, &w, &opts))
     });
@@ -36,7 +41,12 @@ fn bench_multiple_choice(c: &mut Criterion) {
 fn bench_exact_match(c: &mut Criterion) {
     let m = model();
     let w = World::new(1);
-    let opts = EvalOptions { n_samples: 8, seed: 5, batch_size: 8, threads: 0 };
+    let opts = EvalOptions {
+        n_samples: 8,
+        seed: 5,
+        batch_size: 8,
+        threads: 0,
+    };
     c.bench_function("evaluate_gsm8k_8", |b| {
         b.iter(|| evaluate(black_box(&m), &Gsm8k, &w, &opts))
     });

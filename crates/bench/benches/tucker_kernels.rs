@@ -46,7 +46,10 @@ fn bench_hoi_order3(c: &mut Criterion) {
                 tucker_hoi(
                     black_box(&t),
                     &[6, 6, 6],
-                    HoiOptions { max_iters: iters, tol: 0.0 },
+                    HoiOptions {
+                        max_iters: iters,
+                        tol: 0.0,
+                    },
                 )
                 .unwrap()
             })
@@ -63,8 +66,15 @@ fn bench_cp_vs_tucker(c: &mut Criterion) {
     let mut group = c.benchmark_group("cp_vs_tucker_20x20x20_rank4");
     group.bench_function("tucker_hoi", |b| {
         b.iter(|| {
-            tucker_hoi(black_box(&t), &[4, 4, 4], HoiOptions { max_iters: 10, tol: 1e-6 })
-                .unwrap()
+            tucker_hoi(
+                black_box(&t),
+                &[4, 4, 4],
+                HoiOptions {
+                    max_iters: 10,
+                    tol: 1e-6,
+                },
+            )
+            .unwrap()
         })
     });
     group.bench_function("cp_als", |b| {
@@ -72,7 +82,11 @@ fn bench_cp_vs_tucker(c: &mut Criterion) {
             lrd_tensor::cp::cp_als(
                 black_box(&t),
                 4,
-                lrd_tensor::cp::CpOptions { max_iters: 10, tol: 1e-6, seed: 1 },
+                lrd_tensor::cp::CpOptions {
+                    max_iters: 10,
+                    tol: 1e-6,
+                    seed: 1,
+                },
             )
             .unwrap()
         })

@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro <command> [--fast] [--samples N] [--steps N]
+//! repro <command> [--fast] [--samples N] [--steps N] [--workers N] [--no-cache]
 //!
 //! commands:
 //!   train      (re)train the tiny-Llama baseline and print its benchmark scores
@@ -24,17 +24,12 @@
 //!   all        everything above
 //! ```
 
-use lrd_bench::{
-    pretrained_tiny_llama, render_table, write_csv, PretrainOptions, WORLD_SEED,
-};
-use lrd_core::decompose::decompose_model;
+use lrd_bench::{pretrained_tiny_llama, render_table, write_csv, PretrainOptions, WORLD_SEED};
+use lrd_core::executor::CacheStats;
 use lrd_core::recovery::{recover, RecoveryOptions};
 use lrd_core::select::{middle_spread_layers, preset_config, table4_presets};
 use lrd_core::space::table2;
-use lrd_core::study::{
-    self, baseline, case_study, efficiency_sweep, layer_distance, layer_sensitivity, rank_sweep,
-    tensor_choice, tensor_vs_layer, DynBenchmark, StudyPoint,
-};
+use lrd_core::study::{self, efficiency_sweep, DynBenchmark, StudyExecutor, StudyPoint};
 use lrd_eval::harness::{evaluate_all, EvalOptions};
 use lrd_eval::tasks;
 use lrd_eval::World;
@@ -50,6 +45,10 @@ struct Args {
     steps: usize,
     seq: usize,
     batch_per_gpu: usize,
+    /// Sweep worker-pool size (0 = derive from the thread budget).
+    workers: usize,
+    /// Disables the decomposition cache (A/B the sequential seed path).
+    no_cache: bool,
 }
 
 fn parse_args() -> Args {
@@ -57,6 +56,8 @@ fn parse_args() -> Args {
     let mut command = String::new();
     let mut samples = 200usize;
     let mut steps = 2500usize;
+    let mut workers = 0usize;
+    let mut no_cache = false;
     let mut fast = false;
     let mut i = 0;
     while i < argv.len() {
@@ -70,6 +71,11 @@ fn parse_args() -> Args {
                 i += 1;
                 steps = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(steps);
             }
+            "--workers" => {
+                i += 1;
+                workers = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(workers);
+            }
+            "--no-cache" => no_cache = true,
             c if command.is_empty() && !c.starts_with('-') => command = c.to_string(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -85,11 +91,24 @@ fn parse_args() -> Args {
     if command.is_empty() {
         command = "all".into();
     }
-    Args { command, samples, steps, seq: 128, batch_per_gpu: 64 }
+    Args {
+        command,
+        samples,
+        steps,
+        seq: 128,
+        batch_per_gpu: 64,
+        workers,
+        no_cache,
+    }
 }
 
 fn eval_opts(args: &Args) -> EvalOptions {
-    EvalOptions { n_samples: args.samples, seed: 1234, batch_size: 64, threads: 0 }
+    EvalOptions {
+        n_samples: args.samples,
+        seed: 1234,
+        batch_size: 64,
+        threads: 0,
+    }
 }
 
 /// The six multiple-choice benchmarks (the paper's characterization set).
@@ -129,7 +148,9 @@ fn print_study(title: &str, csv: &str, points: &[StudyPoint], benches: &[DynBenc
             let mut row = vec![p.label.clone(), format!("{:.1}", p.param_reduction_pct)];
             for n in &names {
                 row.push(
-                    p.accuracy_of(n).map(|a| format!("{a:.1}")).unwrap_or_else(|| "-".into()),
+                    p.accuracy_of(n)
+                        .map(|a| format!("{a:.1}"))
+                        .unwrap_or_else(|| "-".into()),
                 );
             }
             row.push(format!("{:.1}", p.mean_accuracy()));
@@ -219,27 +240,42 @@ fn cmd_table4() {
 }
 
 fn load_model(args: &Args) -> (TransformerLm, World) {
-    let opts = PretrainOptions { steps: args.steps, ..PretrainOptions::default() };
+    let opts = PretrainOptions {
+        steps: args.steps,
+        ..PretrainOptions::default()
+    };
     pretrained_tiny_llama(&opts)
 }
 
-fn cmd_train(args: &Args) {
-    let (model, world) = load_model(args);
+/// Builds the shared sweep executor for a loaded model. One executor (and
+/// therefore one decomposition cache) serves every figure of a run, so
+/// presets repeated across figures reuse their factor pairs.
+fn executor<'a>(model: &'a TransformerLm, world: &'a World, args: &Args) -> StudyExecutor<'a> {
+    StudyExecutor::new(model, world, &eval_opts(args))
+        .with_workers(args.workers)
+        .with_cache(!args.no_cache)
+}
+
+fn cmd_train(args: &Args, exec: &StudyExecutor) {
     println!("\n=== Baseline tiny-Llama benchmark scores ===");
-    let results = evaluate_all(&model, &world, &eval_opts(args));
+    let results = evaluate_all(exec.base(), exec.world(), &eval_opts(args));
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|(n, a)| vec![n.to_string(), format!("{:.1}", a.percent()), format!("{}/{}", a.correct, a.total)])
+        .map(|(n, a)| {
+            vec![
+                n.to_string(),
+                format!("{:.1}", a.percent()),
+                format!("{}/{}", a.correct, a.total),
+            ]
+        })
         .collect();
     let headers = ["Benchmark", "Accuracy %", "Correct"];
     print!("{}", render_table(&headers, &rows));
     write_csv("baseline.csv", &headers, &rows);
 }
 
-fn cmd_fig3(args: &Args) {
-    let (model, world) = load_model(args);
+fn cmd_fig3(_args: &Args, exec: &StudyExecutor) {
     let benches = mc_benches();
-    let opts = eval_opts(args);
     // Paper ranks {500, 250, 1} out of 4096 ≈ {5, 2, 1} out of the tiny
     // model's 40.
     let presets = table4_presets();
@@ -248,57 +284,70 @@ fn cmd_fig3(args: &Args) {
         ("15%", presets[2].2.clone()),
         ("33%", presets[4].2.clone()),
     ];
-    let mut points = vec![baseline(&model, &world, &benches, &opts)];
-    points.extend(rank_sweep(&model, &world, &benches, &opts, &[5, 2, 1], &layer_sets));
-    print_study("Fig. 3: accuracy vs pruned rank", "fig3.csv", &points, &benches);
+    let mut points = vec![exec.baseline(&benches)];
+    points.extend(exec.rank_sweep(&benches, &[5, 2, 1], &layer_sets));
+    print_study(
+        "Fig. 3: accuracy vs pruned rank",
+        "fig3.csv",
+        &points,
+        &benches,
+    );
 }
 
-fn cmd_fig5(args: &Args) {
-    let (model, world) = load_model(args);
+fn cmd_fig5(_args: &Args, exec: &StudyExecutor) {
     let benches = mc_benches();
-    let opts = eval_opts(args);
-    let mut points = vec![baseline(&model, &world, &benches, &opts)];
-    points.extend(tensor_choice(&model, &world, &benches, &opts));
-    print_study("Fig. 5: accuracy vs decomposed tensor choice", "fig5.csv", &points, &benches);
+    let mut points = vec![exec.baseline(&benches)];
+    points.extend(exec.tensor_choice(&benches));
+    print_study(
+        "Fig. 5: accuracy vs decomposed tensor choice",
+        "fig5.csv",
+        &points,
+        &benches,
+    );
 }
 
-fn cmd_fig6(args: &Args) {
-    let (model, world) = load_model(args);
+fn cmd_fig6(_args: &Args, exec: &StudyExecutor) {
     let benches = mc_benches();
-    let opts = eval_opts(args);
-    let n_layers = model.config().n_layers;
+    let n_layers = exec.base().config().n_layers;
     // Case 1 (~8%): one attention tensor in all layers vs all tensors in 3
     // spread layers.
     // Spread the all-tensor layers through the middle of the stack (the
     // paper's own presets avoid the sensitive first/last layers).
-    let case1 = tensor_vs_layer(
-        &model,
-        &world,
+    let case1 = exec.tensor_vs_layer(
         &benches,
-        &opts,
         &[0, 1, 2, 3],
         &middle_spread_layers(n_layers, 3, 2, 1),
     );
-    print_study("Fig. 6a: matched ~8% parameter reduction", "fig6a.csv", &case1, &benches);
+    print_study(
+        "Fig. 6a: matched ~8% parameter reduction",
+        "fig6a.csv",
+        &case1,
+        &benches,
+    );
     // Case 2 (~21%): one MLP tensor in all layers vs all tensors in 7
     // spread layers.
-    let case2 = tensor_vs_layer(
-        &model,
-        &world,
+    let case2 = exec.tensor_vs_layer(
         &benches,
-        &opts,
         &[4, 5, 6],
         &middle_spread_layers(n_layers, 7, 2, 1),
     );
-    print_study("Fig. 6b: matched ~21% parameter reduction", "fig6b.csv", &case2, &benches);
+    print_study(
+        "Fig. 6b: matched ~21% parameter reduction",
+        "fig6b.csv",
+        &case2,
+        &benches,
+    );
 }
 
-fn cmd_fig7(args: &Args) {
-    let (model, world) = load_model(args);
+fn cmd_fig7(_args: &Args, exec: &StudyExecutor) {
     let benches = mc_benches();
-    let opts = eval_opts(args);
-    let points = layer_sensitivity(&model, &world, &benches, &opts);
-    print_study("Fig. 7: per-layer sensitivity", "fig7.csv", &points, &benches);
+    let points = exec.layer_sensitivity(&benches);
+    print_study(
+        "Fig. 7: per-layer sensitivity",
+        "fig7.csv",
+        &points,
+        &benches,
+    );
     // Aggregate view (the paper plots the cross-benchmark aggregate).
     println!("aggregate accuracy by decomposed layer:");
     for p in &points {
@@ -306,20 +355,21 @@ fn cmd_fig7(args: &Args) {
     }
 }
 
-fn cmd_fig8(args: &Args) {
-    let (model, world) = load_model(args);
+fn cmd_fig8(_args: &Args, exec: &StudyExecutor) {
     let benches = mc_benches();
-    let opts = eval_opts(args);
-    let points = layer_distance(&model, &world, &benches, &opts, &[1, 2, 3, 6], 5, 4);
-    print_study("Fig. 8: distance between decomposed layers", "fig8.csv", &points, &benches);
+    let points = exec.layer_distance(&benches, &[1, 2, 3, 6], 5, 4);
+    print_study(
+        "Fig. 8: distance between decomposed layers",
+        "fig8.csv",
+        &points,
+        &benches,
+    );
 }
 
-fn cmd_fig9(args: &Args) {
-    let (model, world) = load_model(args);
+fn cmd_fig9(_args: &Args, exec: &StudyExecutor) {
     let benches = all_benches();
-    let opts = eval_opts(args);
-    let mut points = vec![baseline(&model, &world, &benches, &opts)];
-    points.extend(case_study(&model, &world, &benches, &opts));
+    let mut points = vec![exec.baseline(&benches)];
+    points.extend(exec.case_study(&benches));
     print_study(
         "Fig. 9: accuracy vs parameter reduction (case study)",
         "fig9.csv",
@@ -364,7 +414,10 @@ fn cmd_efficiency(args: &Args, which: &str) {
     print!("{}", render_table(&headers, &rows));
     write_csv(&format!("{which}.csv"), &headers, &rows);
     // Per-percent slopes (the paper's headline ~0.5/0.5/0.4).
-    if let Some(last) = points.iter().find(|p| (p.param_reduction_pct - 9.0).abs() < 1.5) {
+    if let Some(last) = points
+        .iter()
+        .find(|p| (p.param_reduction_pct - 9.0).abs() < 1.5)
+    {
         let lat = 100.0 * (1.0 - 1.0 / last.speedup) / last.param_reduction_pct;
         let en = last.energy_saving_pct / last.param_reduction_pct;
         let mem = last.memory_saving_pct / last.param_reduction_pct;
@@ -378,32 +431,42 @@ fn cmd_efficiency(args: &Args, which: &str) {
 /// BERT-side characterization (the BERT panels of Figs. 5/6): per-tensor
 /// sensitivity of the MLM-trained encoder on the cloze probe. The paper's
 /// observation to reproduce: `W_Int` is the most sensitive BERT tensor.
-fn cmd_bert(args: &Args) {
+fn cmd_bert(args: &Args) -> (CacheStats, usize) {
     // The 12-layer encoder converges in roughly half the decoder's budget.
-    let opts = PretrainOptions { steps: (args.steps / 2).max(300), ..PretrainOptions::default() };
+    let opts = PretrainOptions {
+        steps: (args.steps / 2).max(300),
+        ..PretrainOptions::default()
+    };
     let (model, world) = lrd_bench::pretrained_tiny_bert(&opts);
     let benches: Vec<DynBenchmark> = vec![Box::new(tasks::BertCloze)];
-    let eopts = eval_opts(args);
-    let mut points = vec![baseline(&model, &world, &benches, &eopts)];
-    points.extend(tensor_choice(&model, &world, &benches, &eopts));
+    let exec = executor(&model, &world, args);
+    let mut points = vec![exec.baseline(&benches)];
+    points.extend(exec.tensor_choice(&benches));
     print_study(
         "Fig. 5/6 (BERT): per-tensor sensitivity on the cloze probe",
         "bert_tensor_choice.csv",
         &points,
         &benches,
     );
+    (exec.cache_stats(), exec.cached_factors())
 }
 
 /// Spectral analysis of the trained weights: why rank-1 works (Fig. 3's
 /// explanation). Prints per-tensor-kind mean energy captured at small
 /// ranks and the effective rank.
-fn cmd_spectra(args: &Args) {
-    let (model, _world) = load_model(args);
+fn cmd_spectra(_args: &Args, exec: &StudyExecutor) {
     eprintln!("[spectra] computing SVDs of all decomposable tensors…");
-    let spectra = lrd_core::spectra::weight_spectra(&model);
+    let spectra = lrd_core::spectra::weight_spectra(exec.base());
     let names = ["wq", "wk", "wv", "wo", "gate", "up", "down"];
     println!("\n=== Weight spectra of the trained tiny-Llama ===");
-    let headers = ["Tensor", "E@rank1", "E@rank2", "E@rank5", "mean eff. rank", "max rank"];
+    let headers = [
+        "Tensor",
+        "E@rank1",
+        "E@rank2",
+        "E@rank5",
+        "mean eff. rank",
+        "max rank",
+    ];
     let rows: Vec<Vec<String>> = names
         .iter()
         .map(|&n| {
@@ -412,9 +475,18 @@ fn cmd_spectra(args: &Args) {
             let maxr = group[0].singular_values.len();
             vec![
                 n.to_string(),
-                format!("{:.3}", lrd_core::spectra::mean_energy_by_tensor(&spectra, n, 1)),
-                format!("{:.3}", lrd_core::spectra::mean_energy_by_tensor(&spectra, n, 2)),
-                format!("{:.3}", lrd_core::spectra::mean_energy_by_tensor(&spectra, n, 5)),
+                format!(
+                    "{:.3}",
+                    lrd_core::spectra::mean_energy_by_tensor(&spectra, n, 1)
+                ),
+                format!(
+                    "{:.3}",
+                    lrd_core::spectra::mean_energy_by_tensor(&spectra, n, 2)
+                ),
+                format!(
+                    "{:.3}",
+                    lrd_core::spectra::mean_energy_by_tensor(&spectra, n, 5)
+                ),
                 format!("{eff:.1}"),
                 format!("{maxr}"),
             ]
@@ -435,7 +507,13 @@ fn cmd_decode(args: &Args) {
         "\n=== Decode-phase sweep (batch {}, KV cache 512 tokens) ===",
         args.batch_per_gpu
     );
-    let headers = ["Preset", "param-red %", "ms/token", "speedup", "latency-save %"];
+    let headers = [
+        "Preset",
+        "param-red %",
+        "ms/token",
+        "speedup",
+        "latency-save %",
+    ];
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -455,35 +533,50 @@ fn cmd_decode(args: &Args) {
 /// Compression-family ablation: rank-1 Tucker vs int8/int4 quantization vs
 /// magnitude pruning at comparable size reductions, on the same trained
 /// model.
-fn cmd_baselines(args: &Args) {
-    let (model, world) = load_model(args);
+fn cmd_baselines(args: &Args, exec: &StudyExecutor) {
     let benches = mc_benches();
     let opts = eval_opts(args);
+    let world = exec.world();
     let mean_acc = |m: &TransformerLm| -> f64 {
         let accs: Vec<f64> = benches
             .iter()
-            .map(|b| lrd_eval::evaluate(m, b.as_ref(), &world, &opts).percent())
+            .map(|b| lrd_eval::evaluate(m, b.as_ref(), world, &opts).percent())
             .collect();
         accs.iter().sum::<f64>() / accs.len() as f64
     };
     println!("\n=== Compression-family comparison (mean accuracy over 6 MC benchmarks) ===");
     let mut rows: Vec<Vec<String>> = Vec::new();
-    rows.push(vec!["original (FP32/FP16)".into(), "0.0".into(), format!("{:.1}", mean_acc(&model))]);
+    rows.push(vec![
+        "original (FP32/FP16)".into(),
+        "0.0".into(),
+        format!("{:.1}", mean_acc(exec.base())),
+    ]);
 
-    // Low-rank: Table 4 presets at 9% and 48%.
-    for idx in [1usize, 5] {
-        let (label, _, layers) = &table4_presets()[idx];
-        let mut m = model.clone();
-        let report = decompose_model(&mut m, &preset_config(layers)).expect("decompose");
+    // Low-rank: Table 4 presets at 9% and 48%, via the cached executor.
+    let presets = table4_presets();
+    let tucker = exec.run(
+        &benches,
+        [1usize, 5]
+            .iter()
+            .map(|&idx| {
+                let (label, _, layers) = &presets[idx];
+                (
+                    format!("Tucker rank-1 ({label} params)"),
+                    preset_config(layers),
+                )
+            })
+            .collect(),
+    );
+    for p in &tucker {
         rows.push(vec![
-            format!("Tucker rank-1 ({label} params)"),
-            format!("{:.1}", report.reduction_pct()),
-            format!("{:.1}", mean_acc(&m)),
+            p.label.clone(),
+            format!("{:.1}", p.param_reduction_pct),
+            format!("{:.1}", p.mean_accuracy()),
         ]);
     }
     // Quantization.
     for bits in [8u32, 4] {
-        let mut m = model.clone();
+        let mut m = exec.base().clone();
         let report = lrd_core::baselines::quantize_model(&mut m, bits);
         rows.push(vec![
             format!("int{bits} quantization"),
@@ -493,7 +586,7 @@ fn cmd_baselines(args: &Args) {
     }
     // Magnitude pruning.
     for sparsity in [0.25f64, 0.5] {
-        let mut m = model.clone();
+        let mut m = exec.base().clone();
         let report = lrd_core::baselines::prune_model(&mut m, sparsity);
         rows.push(vec![
             format!("magnitude pruning {:.0}%", sparsity * 100.0),
@@ -509,20 +602,26 @@ fn cmd_baselines(args: &Args) {
 /// Definition 1 end to end: measure Fig. 7 sensitivities, build the
 /// additive predictor, and search the layer space for the minimum-EDP
 /// configuration within an accuracy-drop tolerance τ.
-fn cmd_optimize(args: &Args) {
-    let (model, world) = load_model(args);
+fn cmd_optimize(args: &Args, exec: &StudyExecutor) {
     let benches = mc_benches();
-    let opts = eval_opts(args);
     println!("\n=== Definition 1: design-goal optimization ===");
-    let base = baseline(&model, &world, &benches, &opts);
+    let base = exec.baseline(&benches);
     eprintln!("[optimize] measuring per-layer sensitivities (Fig. 7 pass)…");
-    let sens_points = layer_sensitivity(&model, &world, &benches, &opts);
-    let drops: Vec<f64> =
-        sens_points.iter().map(|p| (base.mean_accuracy() - p.mean_accuracy()).max(0.0)).collect();
+    let sens_points = exec.layer_sensitivity(&benches);
+    let drops: Vec<f64> = sens_points
+        .iter()
+        .map(|p| (base.mean_accuracy() - p.mean_accuracy()).max(0.0))
+        .collect();
     let sens = lrd_core::search::SensitivityModel::new(drops);
     let sys = SystemSpec::quad_a100();
     let desc = llama2_7b();
-    let headers = ["tau (%p)", "chosen layers", "param-red %", "pred. drop %p", "EDP (J·s)"];
+    let headers = [
+        "tau (%p)",
+        "chosen layers",
+        "param-red %",
+        "pred. drop %p",
+        "EDP (J·s)",
+    ];
     let mut rows = Vec::new();
     for tau in [2.0f64, 5.0, 10.0, 20.0] {
         match lrd_core::search::greedy_search(&sys, &desc, &sens, tau, args.batch_per_gpu, args.seq)
@@ -534,54 +633,73 @@ fn cmd_optimize(args: &Args) {
                 format!("{:.1}", res.predicted_drop),
                 format!("{:.1}", res.edp),
             ]),
-            None => rows.push(vec![format!("{tau}"), "infeasible".into(), "-".into(), "-".into(), "-".into()]),
+            None => rows.push(vec![
+                format!("{tau}"),
+                "infeasible".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     print!("{}", render_table(&headers, &rows));
     write_csv("optimize.csv", &headers, &rows);
 }
 
-fn cmd_recovery(args: &Args) {
-    let (model, world) = load_model(args);
+fn cmd_recovery(args: &Args, exec: &StudyExecutor) {
     let benches = mc_benches();
     let opts = eval_opts(args);
+    let world = exec.world();
     let presets = table4_presets();
     println!("\n=== §6: recovery fine-tuning (15% model recovered toward 9% accuracy) ===");
-    let base = baseline(&model, &world, &benches, &opts);
+    let base = exec.baseline(&benches);
     // 9% reference.
-    let nine = study::eval_config(
-        &model,
-        &preset_config(&presets[1].2),
-        "9% (no recovery)",
-        &world,
-        &benches,
-        &opts,
-    );
+    let nine = exec
+        .run(
+            &benches,
+            vec![("9% (no recovery)".into(), preset_config(&presets[1].2))],
+        )
+        .pop()
+        .expect("9% reference point");
     // 15% decomposed, before and after recovery.
-    let mut m15 = model.clone();
-    decompose_model(&mut m15, &preset_config(&presets[2].2)).expect("decompose 15%");
+    let (mut m15, _) = exec.decompose_clone(&preset_config(&presets[2].2));
     let before: Vec<(&'static str, lrd_eval::Accuracy)> = benches
         .iter()
-        .map(|b| (b.name(), lrd_eval::evaluate(&m15, b.as_ref(), &world, &opts)))
+        .map(|b| (b.name(), lrd_eval::evaluate(&m15, b.as_ref(), world, &opts)))
         .collect();
     let steps = (args.steps / 4).max(100);
     let report = recover(
         &mut m15,
-        &world,
-        &RecoveryOptions { steps, batch: 16, lr: 1e-3, seq_len: 48, corpus_seed: 0xF1E7 },
+        world,
+        &RecoveryOptions {
+            steps,
+            batch: 16,
+            lr: 1e-3,
+            seq_len: 48,
+            corpus_seed: 0xF1E7,
+        },
     );
     let after: Vec<(&'static str, lrd_eval::Accuracy)> = benches
         .iter()
-        .map(|b| (b.name(), lrd_eval::evaluate(&m15, b.as_ref(), &world, &opts)))
+        .map(|b| (b.name(), lrd_eval::evaluate(&m15, b.as_ref(), world, &opts)))
         .collect();
     let mean = |v: &[(&str, lrd_eval::Accuracy)]| {
         v.iter().map(|(_, a)| a.percent()).sum::<f64>() / v.len() as f64
     };
     let headers = ["Configuration", "Mean accuracy %"];
     let rows = vec![
-        vec!["original".to_string(), format!("{:.1}", base.mean_accuracy())],
-        vec!["9% (no recovery)".to_string(), format!("{:.1}", nine.mean_accuracy())],
-        vec!["15% (no recovery)".to_string(), format!("{:.1}", mean(&before))],
+        vec![
+            "original".to_string(),
+            format!("{:.1}", base.mean_accuracy()),
+        ],
+        vec![
+            "9% (no recovery)".to_string(),
+            format!("{:.1}", nine.mean_accuracy()),
+        ],
+        vec![
+            "15% (no recovery)".to_string(),
+            format!("{:.1}", mean(&before)),
+        ],
         vec![
             format!("15% + recovery ({steps} steps)"),
             format!("{:.1}", mean(&after)),
@@ -595,50 +713,129 @@ fn cmd_recovery(args: &Args) {
     write_csv("recovery.csv", &headers, &rows);
 }
 
+/// Aggregated decomposition-cache counters across every executor a run
+/// creates (the tiny-Llama executor plus BERT's).
+#[derive(Default)]
+struct CacheAgg {
+    hits: usize,
+    misses: usize,
+    factors: usize,
+}
+
+impl CacheAgg {
+    fn add(&mut self, (stats, factors): (CacheStats, usize)) {
+        self.hits += stats.hits;
+        self.misses += stats.misses;
+        self.factors += factors;
+    }
+
+    fn add_exec(&mut self, exec: &StudyExecutor) {
+        self.add((exec.cache_stats(), exec.cached_factors()));
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Records the suite's wall clock and cache effectiveness for the perf
+/// trajectory (`BENCH_suite.json` at the invocation directory).
+fn write_bench_suite(args: &Args, wall_s: f64, agg: &CacheAgg) {
+    let json = format!(
+        "{{\n  \"command\": \"{}\",\n  \"wall_s\": {:.3},\n  \"workers\": {},\n  \
+         \"samples\": {},\n  \"steps\": {},\n  \"cache\": {{ \"hits\": {}, \"misses\": {}, \
+         \"hit_rate\": {:.4}, \"distinct_factors\": {} }}\n}}\n",
+        args.command,
+        wall_s,
+        args.workers,
+        args.samples,
+        args.steps,
+        agg.hits,
+        agg.misses,
+        agg.hit_rate(),
+        agg.factors,
+    );
+    match std::fs::write("BENCH_suite.json", &json) {
+        Ok(()) => eprintln!(
+            "[repro] wrote BENCH_suite.json (wall {wall_s:.1}s, cache hit rate {:.0}%)",
+            agg.hit_rate() * 100.0
+        ),
+        Err(e) => eprintln!("[repro] failed to write BENCH_suite.json: {e}"),
+    }
+}
+
 fn main() {
     let args = parse_args();
     eprintln!(
-        "[repro] command={} samples={} steps={} (world seed {WORLD_SEED})",
-        args.command, args.samples, args.steps
+        "[repro] command={} samples={} steps={} workers={} (world seed {WORLD_SEED})",
+        args.command,
+        args.samples,
+        args.steps,
+        if args.workers == 0 {
+            "auto".into()
+        } else {
+            args.workers.to_string()
+        },
     );
     let t0 = std::time::Instant::now();
+    let mut agg = CacheAgg::default();
     match args.command.as_str() {
-        "train" => cmd_train(&args),
         "table1" => cmd_table1(),
         "table2" => cmd_table2(),
         "table4" => cmd_table4(),
-        "fig3" => cmd_fig3(&args),
-        "fig5" => cmd_fig5(&args),
-        "fig6" => cmd_fig6(&args),
-        "fig7" => cmd_fig7(&args),
-        "fig8" => cmd_fig8(&args),
-        "fig9" => cmd_fig9(&args),
         "fig10" | "fig11" | "fig12" => cmd_efficiency(&args, &args.command),
-        "bert" => cmd_bert(&args),
-        "spectra" => cmd_spectra(&args),
         "decode" => cmd_decode(&args),
-        "baselines" => cmd_baselines(&args),
-        "optimize" => cmd_optimize(&args),
-        "recovery" => cmd_recovery(&args),
+        "bert" => agg.add(cmd_bert(&args)),
         "all" => {
             cmd_table1();
             cmd_table2();
             cmd_table4();
-            cmd_train(&args);
-            cmd_fig3(&args);
-            cmd_fig5(&args);
-            cmd_fig6(&args);
-            cmd_fig7(&args);
-            cmd_fig8(&args);
-            cmd_fig9(&args);
+            // One model, one executor, one cache for every tiny-Llama
+            // figure — presets shared between figures hit the cache.
+            let (model, world) = load_model(&args);
+            let exec = executor(&model, &world, &args);
+            cmd_train(&args, &exec);
+            cmd_fig3(&args, &exec);
+            cmd_fig5(&args, &exec);
+            cmd_fig6(&args, &exec);
+            cmd_fig7(&args, &exec);
+            cmd_fig8(&args, &exec);
+            cmd_fig9(&args, &exec);
             cmd_efficiency(&args, "fig10");
-            cmd_bert(&args);
-            cmd_recovery(&args);
+            agg.add(cmd_bert(&args));
+            cmd_recovery(&args, &exec);
+            agg.add_exec(&exec);
+        }
+        cmd @ ("train" | "fig3" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "spectra"
+        | "baselines" | "optimize" | "recovery") => {
+            let (model, world) = load_model(&args);
+            let exec = executor(&model, &world, &args);
+            match cmd {
+                "train" => cmd_train(&args, &exec),
+                "fig3" => cmd_fig3(&args, &exec),
+                "fig5" => cmd_fig5(&args, &exec),
+                "fig6" => cmd_fig6(&args, &exec),
+                "fig7" => cmd_fig7(&args, &exec),
+                "fig8" => cmd_fig8(&args, &exec),
+                "fig9" => cmd_fig9(&args, &exec),
+                "spectra" => cmd_spectra(&args, &exec),
+                "baselines" => cmd_baselines(&args, &exec),
+                "optimize" => cmd_optimize(&args, &exec),
+                _ => cmd_recovery(&args, &exec),
+            }
+            agg.add_exec(&exec);
         }
         other => {
             eprintln!("unknown command: {other}");
             std::process::exit(2);
         }
     }
-    eprintln!("[repro] done in {:.1}s", t0.elapsed().as_secs_f32());
+    let wall_s = t0.elapsed().as_secs_f64();
+    eprintln!("[repro] done in {wall_s:.1}s");
+    write_bench_suite(&args, wall_s, &agg);
 }

@@ -29,7 +29,12 @@ pub struct PretrainOptions {
 
 impl Default for PretrainOptions {
     fn default() -> Self {
-        PretrainOptions { steps: 2500, batch: 16, seq_len: 48, lr: 4e-3 }
+        PretrainOptions {
+            steps: 2500,
+            batch: 16,
+            seq_len: 48,
+            lr: 4e-3,
+        }
     }
 }
 

@@ -146,8 +146,11 @@ mod tests {
         let frac = zeros as f64 / p.len() as f64;
         assert!((frac - 0.6).abs() < 0.03, "sparsity {frac}");
         // Survivors are the large entries.
-        let min_kept =
-            p.data().iter().filter(|&&x| x != 0.0).fold(f32::INFINITY, |m, &x| m.min(x.abs()));
+        let min_kept = p
+            .data()
+            .iter()
+            .filter(|&&x| x != 0.0)
+            .fold(f32::INFINITY, |m, &x| m.min(x.abs()));
         let max_cut = t
             .data()
             .iter()

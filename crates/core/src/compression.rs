@@ -15,7 +15,8 @@ pub fn tensor_compression_ratio(h: usize, w: usize, pr: usize) -> f64 {
 ///
 /// Panics if the configuration is invalid for the descriptor.
 pub fn decomposed_params(desc: &TransformerDescriptor, cfg: &DecompositionConfig) -> u64 {
-    cfg.validate(desc).unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+    cfg.validate(desc)
+        .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
     let tensors = desc.layer_tensors();
     let mut params = desc.total_params() as i64;
     for (_, t_idx, rank) in cfg.ranks.iter() {
@@ -63,7 +64,10 @@ mod tests {
     #[test]
     fn original_config_reduces_nothing() {
         let desc = llama2_7b();
-        assert_eq!(param_reduction_pct(&desc, &DecompositionConfig::original()), 0.0);
+        assert_eq!(
+            param_reduction_pct(&desc, &DecompositionConfig::original()),
+            0.0
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * an **analytic descriptor** ([`descriptor_decomposition`]) — the same
 //!   γ expressed as the hardware simulator's tensor list.
 
+use crate::executor::{CachedFactor, DecompositionCache};
 use crate::space::DecompositionConfig;
 use lrd_hwsim::ops::DecomposedTensor;
 use lrd_models::descriptor::TransformerDescriptor;
@@ -32,8 +33,7 @@ pub struct DecompositionReport {
 impl DecompositionReport {
     /// Parameter reduction, percent.
     pub fn reduction_pct(&self) -> f64 {
-        100.0 * (self.params_before as f64 - self.params_after as f64)
-            / self.params_before as f64
+        100.0 * (self.params_before as f64 - self.params_after as f64) / self.params_before as f64
     }
 
     /// Mean relative reconstruction error across decomposed tensors.
@@ -41,8 +41,7 @@ impl DecompositionReport {
         if self.tensor_errors.is_empty() {
             return 0.0;
         }
-        self.tensor_errors.iter().map(|(_, _, e)| e).sum::<f32>()
-            / self.tensor_errors.len() as f32
+        self.tensor_errors.iter().map(|(_, _, e)| e).sum::<f32>() / self.tensor_errors.len() as f32
     }
 }
 
@@ -61,6 +60,30 @@ pub fn decompose_model(
     model: &mut TransformerLm,
     cfg: &DecompositionConfig,
 ) -> Result<DecompositionReport, TensorError> {
+    decompose_model_impl(model, cfg, None)
+}
+
+/// Like [`decompose_model`], but memoizes factor pairs in `cache`.
+///
+/// The cache key is (layer index, tensor slot name, pruned rank), so this is
+/// only sound when every call decomposes a clone of the same frozen base
+/// model — the contract of sweep execution, where the factors are a pure
+/// function of the base weights. Output is bit-identical to
+/// [`decompose_model`]: cache hits return the same deterministic `tucker2`
+/// result the uncached path would recompute.
+pub fn decompose_model_cached(
+    model: &mut TransformerLm,
+    cfg: &DecompositionConfig,
+    cache: &DecompositionCache,
+) -> Result<DecompositionReport, TensorError> {
+    decompose_model_impl(model, cfg, Some(cache))
+}
+
+fn decompose_model_impl(
+    model: &mut TransformerLm,
+    cfg: &DecompositionConfig,
+    cache: Option<&DecompositionCache>,
+) -> Result<DecompositionReport, TensorError> {
     let params_before = model.param_count();
     // Stage all factorizations before mutating any slot.
     let mut staged: Vec<(usize, &'static str, usize, FactoredLinear, f32)> = Vec::new();
@@ -77,14 +100,36 @@ pub fn decompose_model(
                 per_layer_idx += 1;
             }
             if let Some(rank) = cfg.ranks.get(*layer, per_layer_idx) {
-                let w = slot.effective_weight();
-                let fac = tucker2(&w, rank)?;
-                let err = fac.relative_error(&w);
+                let factor = |slot: &AnyLinear| -> Result<CachedFactor, TensorError> {
+                    let w = slot.effective_weight();
+                    let fac = tucker2(&w, rank)?;
+                    let err = fac.relative_error(&w);
+                    Ok(CachedFactor {
+                        factor: fac,
+                        error: err,
+                    })
+                };
+                let (fac, err) = match cache {
+                    Some(cache) => {
+                        let cached = cache.get_or_compute((*layer, name, rank), || factor(slot))?;
+                        (cached.factor.clone(), cached.error)
+                    }
+                    None => {
+                        let f = factor(slot)?;
+                        (f.factor, f.error)
+                    }
+                };
                 let bias = match &**slot {
                     AnyLinear::Dense(l) => l.b.clone(),
                     AnyLinear::Factored(f) => f.b.clone(),
                 };
-                staged.push((slot_pos, name, *layer, FactoredLinear::from_tucker(fac, bias), err));
+                staged.push((
+                    slot_pos,
+                    name,
+                    *layer,
+                    FactoredLinear::from_tucker(fac, bias),
+                    err,
+                ));
             }
         }
     }
@@ -113,7 +158,8 @@ pub fn descriptor_decomposition(
     desc: &TransformerDescriptor,
     cfg: &DecompositionConfig,
 ) -> Vec<DecomposedTensor> {
-    cfg.validate(desc).unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+    cfg.validate(desc)
+        .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
     let tensors = desc.layer_tensors();
     cfg.ranks
         .iter()
@@ -191,7 +237,11 @@ mod tests {
         let report = decompose_model(&mut m, &cfg).unwrap();
         assert!(report.mean_error() > 0.1, "rank-1 must lose information");
         let tokens = [1usize, 2, 3];
-        let diff = orig.logits(&tokens, 1).sub(&m.logits(&tokens, 1)).unwrap().max_abs();
+        let diff = orig
+            .logits(&tokens, 1)
+            .sub(&m.logits(&tokens, 1))
+            .unwrap()
+            .max_abs();
         assert!(diff > 1e-3);
     }
 
@@ -214,7 +264,10 @@ mod tests {
         let analytic = crate::compression::param_reduction_pct(&desc, &cfg);
         let report = decompose_model(&mut m, &cfg).unwrap();
         let live = report.reduction_pct();
-        assert!((analytic - live).abs() < 0.2, "analytic {analytic}% vs live {live}%");
+        assert!(
+            (analytic - live).abs() < 0.2,
+            "analytic {analytic}% vs live {live}%"
+        );
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Sweep-level execution: a bounded worker pool for independent study
+//! evaluations plus a memoized decomposition cache.
+//!
+//! Study drivers enumerate many [`crate::space::DecompositionConfig`]s and
+//! evaluate each one on a clone of the same base model. Two observations make
+//! that embarrassingly parallel *and* redundant:
+//!
+//! 1. Every sweep point is independent: it clones the base model, decomposes
+//!    it, and scores it on fixed-seed benchmarks. [`run_jobs`] runs those
+//!    points across a bounded pool of scoped worker threads and writes each
+//!    result into its original index slot, so the output order (and therefore
+//!    every downstream reduction) is identical to the sequential path.
+//! 2. Sweep points overlap heavily in the factorizations they need: the
+//!    Tucker-2 factors of a tensor slot depend only on (layer index, tensor
+//!    slot name, pruned rank) because every point starts from the same frozen
+//!    base weights. [`DecompositionCache`] memoizes the factor pair and its
+//!    reconstruction error under that key so repeated sweep points skip the
+//!    SVD entirely.
+//!
+//! Thread budgeting composes with the per-eval thread budget in
+//! `EvalOptions`: the total budget (``opts.threads``, or available
+//! parallelism when 0) is split as ``workers × per-eval threads``, and while
+//! a multi-worker pool is active the process-global GEMM thread limit in
+//! `lrd-tensor` is pinned to 1 so nested matmul parallelism cannot
+//! oversubscribe the host.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use lrd_tensor::error::TensorError;
+use lrd_tensor::tucker::Tucker2;
+
+/// Ceiling on pool size, mirroring the GEMM thread cap in `lrd-tensor`.
+const MAX_WORKERS: usize = 16;
+
+/// How a total thread budget is split across a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerBudget {
+    /// Number of sweep-point workers to spawn.
+    pub workers: usize,
+    /// Threads each worker may use inside one evaluation.
+    pub eval_threads: usize,
+}
+
+/// Splits a total thread budget between sweep workers and per-eval threads.
+///
+/// `budget` is the total thread allowance (0 means "use available
+/// parallelism"), `requested_workers` is an explicit pool size (0 means
+/// auto), and `n_jobs` bounds the useful pool size. The product
+/// `workers * eval_threads` never exceeds the budget.
+pub fn worker_budget(budget: usize, requested_workers: usize, n_jobs: usize) -> WorkerBudget {
+    let budget = if budget == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        budget
+    }
+    .clamp(1, MAX_WORKERS);
+    let workers = if requested_workers == 0 {
+        budget
+    } else {
+        requested_workers
+    }
+    .clamp(1, MAX_WORKERS)
+    .min(n_jobs.max(1));
+    WorkerBudget {
+        workers,
+        eval_threads: (budget / workers).max(1),
+    }
+}
+
+/// Runs `jobs` on a pool of `workers` scoped threads and returns results in
+/// job order.
+///
+/// Jobs are claimed from a shared atomic cursor (dynamic load balancing) and
+/// each result is written to the slot matching its job index, so the returned
+/// vector is byte-identical to running the jobs sequentially. With
+/// `workers <= 1` the jobs run inline on the caller's thread. A panicking job
+/// propagates the panic to the caller when the scope joins.
+pub fn run_jobs<T, F>(jobs: Vec<F>, workers: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return jobs.into_iter().map(|job| job()).collect();
+    }
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("job claimed twice");
+                let out = job();
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("job did not run")
+        })
+        .collect()
+}
+
+/// Memoized Tucker-2 factors for one tensor slot of the base model.
+#[derive(Debug, Clone)]
+pub struct CachedFactor {
+    /// The truncated factor pair `U1 · Γ · U2`.
+    pub factor: Tucker2,
+    /// Relative reconstruction error against the original weight.
+    pub error: f32,
+}
+
+/// Key identifying one factorization of the frozen base model.
+pub type FactorKey = (usize, &'static str, usize);
+
+type Slot = Arc<OnceLock<Result<Arc<CachedFactor>, TensorError>>>;
+
+/// Cache hit/miss counters snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a previously computed factor pair.
+    pub hits: usize,
+    /// Lookups that had to run the SVD.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memoization of Tucker-2 decompositions keyed by
+/// (layer index, tensor slot name, pruned rank).
+///
+/// Correctness rests on every sweep point decomposing a clone of the *same*
+/// base model: `tucker2` is deterministic, so the factor pair for a key is a
+/// pure function of the frozen base weights and can be shared across points
+/// and across study drivers. Each key is computed at most once even under
+/// concurrent lookups — losers of the insertion race block on the winner's
+/// `OnceLock` rather than redoing the SVD.
+#[derive(Debug, Default)]
+pub struct DecompositionCache {
+    map: Mutex<HashMap<FactorKey, Slot>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl DecompositionCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the memoized factor pair for `key`, computing it with
+    /// `compute` on first use.
+    pub fn get_or_compute<F>(
+        &self,
+        key: FactorKey,
+        compute: F,
+    ) -> Result<Arc<CachedFactor>, TensorError>
+    where
+        F: FnOnce() -> Result<CachedFactor, TensorError>,
+    {
+        let slot = {
+            let mut map = self.map.lock().expect("decomposition cache poisoned");
+            if let Some(slot) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(slot)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let slot: Slot = Arc::new(OnceLock::new());
+                map.insert(key, Arc::clone(&slot));
+                slot
+            }
+        };
+        slot.get_or_init(|| compute().map(Arc::new)).clone()
+    }
+
+    /// Number of distinct factorizations currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("decomposition cache poisoned").len()
+    }
+
+    /// Whether the cache holds no factorizations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrd_tensor::tensor::Tensor;
+    use lrd_tensor::tucker::tucker2;
+
+    #[test]
+    fn run_jobs_preserves_order() {
+        for workers in [1, 2, 4, 9] {
+            let jobs: Vec<_> = (0..23usize).map(|i| move || i * i).collect();
+            let out = run_jobs(jobs, workers);
+            assert_eq!(out, (0..23usize).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_jobs_empty_and_oversized_pool() {
+        let out: Vec<usize> = run_jobs(Vec::<fn() -> usize>::new(), 8);
+        assert!(out.is_empty());
+        let out = run_jobs(vec![|| 7usize], 64);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn worker_budget_composes() {
+        let b = worker_budget(8, 0, 100);
+        assert_eq!(
+            b,
+            WorkerBudget {
+                workers: 8,
+                eval_threads: 1
+            }
+        );
+        let b = worker_budget(8, 2, 100);
+        assert_eq!(
+            b,
+            WorkerBudget {
+                workers: 2,
+                eval_threads: 4
+            }
+        );
+        // Pool never exceeds the number of jobs.
+        let b = worker_budget(8, 0, 3);
+        assert_eq!(b.workers, 3);
+        assert!(b.workers * b.eval_threads <= 8);
+        // Degenerate budgets stay sane.
+        let b = worker_budget(1, 0, 100);
+        assert_eq!(
+            b,
+            WorkerBudget {
+                workers: 1,
+                eval_threads: 1
+            }
+        );
+    }
+
+    #[test]
+    fn cache_computes_each_key_once() {
+        let cache = DecompositionCache::new();
+        let w = Tensor::from_vec(&[6, 4], (0..24).map(|v| v as f32 * 0.25 - 1.0).collect());
+        let count = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let got = cache
+                .get_or_compute((0, "wq", 2), || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    let fac = tucker2(&w, 2)?;
+                    let err = fac.relative_error(&w);
+                    Ok(CachedFactor {
+                        factor: fac,
+                        error: err,
+                    })
+                })
+                .unwrap();
+            assert!(got.error.is_finite());
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (4, 1));
+        assert!((stats.hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_is_consistent_under_concurrent_lookups() {
+        let cache = DecompositionCache::new();
+        let w = Tensor::from_vec(&[8, 8], (0..64).map(|v| ((v % 17) as f32).sin()).collect());
+        let computed = AtomicUsize::new(0);
+        let factors: Vec<Arc<CachedFactor>> = run_jobs(
+            (0..12)
+                .map(|_| {
+                    let cache = &cache;
+                    let w = &w;
+                    let computed = &computed;
+                    move || {
+                        cache
+                            .get_or_compute((3, "wo", 4), || {
+                                computed.fetch_add(1, Ordering::Relaxed);
+                                let fac = tucker2(w, 4)?;
+                                let err = fac.relative_error(w);
+                                Ok(CachedFactor {
+                                    factor: fac,
+                                    error: err,
+                                })
+                            })
+                            .unwrap()
+                    }
+                })
+                .collect(),
+            4,
+        );
+        assert_eq!(computed.load(Ordering::Relaxed), 1);
+        let first = &factors[0];
+        for f in &factors[1..] {
+            assert!(Arc::ptr_eq(first, f));
+        }
+        assert_eq!(cache.stats().hits + cache.stats().misses, 12);
+    }
+}

@@ -35,6 +35,7 @@
 pub mod baselines;
 pub mod compression;
 pub mod decompose;
+pub mod executor;
 pub mod recovery;
 pub mod search;
 pub mod select;

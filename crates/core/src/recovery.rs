@@ -29,7 +29,13 @@ pub struct RecoveryOptions {
 
 impl Default for RecoveryOptions {
     fn default() -> Self {
-        RecoveryOptions { steps: 150, batch: 8, lr: 1e-3, seq_len: 48, corpus_seed: 0xF1E7 }
+        RecoveryOptions {
+            steps: 150,
+            batch: 8,
+            lr: 1e-3,
+            seq_len: 48,
+            corpus_seed: 0xF1E7,
+        }
     }
 }
 
@@ -61,10 +67,18 @@ pub fn recover(model: &mut TransformerLm, world: &World, opts: &RecoveryOptions)
     let loss_before = trainer.eval_loss(model, &first);
     let mut loss_after = loss_before;
     for step in 0..opts.steps {
-        let batch = if step == 0 { first.clone() } else { corpus.batch(opts.batch) };
+        let batch = if step == 0 {
+            first.clone()
+        } else {
+            corpus.batch(opts.batch)
+        };
         loss_after = trainer.step(model, &batch);
     }
-    RecoveryReport { loss_before, loss_after, steps: opts.steps }
+    RecoveryReport {
+        loss_before,
+        loss_after,
+        steps: opts.steps,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +127,13 @@ mod tests {
         let report = recover(
             &mut model,
             &world,
-            &RecoveryOptions { steps: 80, batch: 8, lr: 1e-3, seq_len: 32, corpus_seed: 99 },
+            &RecoveryOptions {
+                steps: 80,
+                batch: 8,
+                lr: 1e-3,
+                seq_len: 32,
+                corpus_seed: 99,
+            },
         );
         assert!(
             report.loss_after < report.loss_before,
@@ -138,7 +158,13 @@ mod tests {
         recover(
             &mut model,
             &world,
-            &RecoveryOptions { steps: 10, batch: 4, lr: 1e-3, seq_len: 32, corpus_seed: 7 },
+            &RecoveryOptions {
+                steps: 10,
+                batch: 4,
+                lr: 1e-3,
+                seq_len: 32,
+                corpus_seed: 7,
+            },
         );
         let factored_after: Vec<_> = model
             .visit_linears()

@@ -29,7 +29,9 @@ impl SensitivityModel {
     /// Builds the predictor from Fig. 7 single-layer measurements
     /// (`baseline_acc − acc_with_layer_l_decomposed`, clamped at 0).
     pub fn new(per_layer_drops: Vec<f64>) -> Self {
-        SensitivityModel { drops: per_layer_drops.into_iter().map(|d| d.max(0.0)).collect() }
+        SensitivityModel {
+            drops: per_layer_drops.into_iter().map(|d| d.max(0.0)).collect(),
+        }
     }
 
     /// Number of layers covered.
@@ -39,7 +41,10 @@ impl SensitivityModel {
 
     /// Predicted accuracy drop for decomposing `layers` together.
     pub fn predict_drop(&self, layers: &[usize]) -> f64 {
-        layers.iter().map(|&l| self.drops.get(l).copied().unwrap_or(0.0)).sum()
+        layers
+            .iter()
+            .map(|&l| self.drops.get(l).copied().unwrap_or(0.0))
+            .sum()
     }
 }
 
@@ -105,11 +110,17 @@ pub fn greedy_search(
     batch: usize,
     seq: usize,
 ) -> Option<SearchResult> {
-    assert_eq!(sens.n_layers(), desc.n_layers, "sensitivity/descriptor layer mismatch");
+    assert_eq!(
+        sens.n_layers(),
+        desc.n_layers,
+        "sensitivity/descriptor layer mismatch"
+    );
     // Cheapest layers first.
     let mut order: Vec<usize> = (0..desc.n_layers).collect();
     order.sort_by(|&a, &b| {
-        sens.drops[a].partial_cmp(&sens.drops[b]).unwrap_or(std::cmp::Ordering::Equal)
+        sens.drops[a]
+            .partial_cmp(&sens.drops[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut chosen: Vec<usize> = Vec::new();
     let mut total_drop = 0.0;
@@ -122,7 +133,7 @@ pub fn greedy_search(
         chosen.sort_unstable();
         total_drop += sens.drops[l];
         let candidate = result_for(system, desc, sens, chosen.clone(), batch, seq);
-        if best.as_ref().map_or(true, |b| candidate.edp < b.edp) {
+        if best.as_ref().is_none_or(|b| candidate.edp < b.edp) {
             best = Some(candidate);
         }
     }
@@ -132,6 +143,7 @@ pub fn greedy_search(
 /// Random-subset baseline: samples `trials` random layer subsets, keeps the
 /// feasible one with the lowest EDP. Exists to quantify how much the greedy
 /// characterization-guided search beats unguided sampling.
+#[allow(clippy::too_many_arguments)]
 pub fn random_search(
     system: &SystemSpec,
     desc: &TransformerDescriptor,
@@ -154,7 +166,7 @@ pub fn random_search(
             continue;
         }
         let candidate = result_for(system, desc, sens, layers, batch, seq);
-        if best.as_ref().map_or(true, |b| candidate.edp < b.edp) {
+        if best.as_ref().is_none_or(|b| candidate.edp < b.edp) {
             best = Some(candidate);
         }
     }
@@ -203,7 +215,10 @@ mod tests {
         assert!(!res.layers.contains(&0));
         assert!(!res.layers.contains(&31));
         assert!(res.predicted_drop < 10.0);
-        assert!(res.param_reduction_pct > 5.0, "should decompose several layers");
+        assert!(
+            res.param_reduction_pct > 5.0,
+            "should decompose several layers"
+        );
     }
 
     #[test]

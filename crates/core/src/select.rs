@@ -25,22 +25,24 @@ pub fn table4_presets() -> Vec<(&'static str, f64, Vec<usize>)> {
         (
             "60%",
             60.0,
-            zb(&[2, 4, 6, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 21, 23, 25, 27, 29, 31]),
+            zb(&[
+                2, 4, 6, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 21, 23, 25, 27, 29, 31,
+            ]),
         ),
         (
             "75%",
             75.0,
             zb(&[
-                2, 4, 6, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26,
-                27, 28, 29, 30,
+                2, 4, 6, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27,
+                28, 29, 30,
             ]),
         ),
         (
             "84%",
             84.0,
             zb(&[
-                1, 3, 5, 7, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
-                26, 27, 28, 29, 30, 31, 32,
+                1, 3, 5, 7, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26,
+                27, 28, 29, 30, 31, 32,
             ]),
         ),
         ("96%", 96.0, (1..=32).map(|l| l - 1).collect()),
@@ -78,7 +80,10 @@ pub fn bert_mlp_tensors() -> Vec<usize> {
 /// `count` layers spread as far apart as possible across `n_layers`
 /// (§3.4: "decompose layers uniformly spread apart").
 pub fn spread_layers(n_layers: usize, count: usize) -> Vec<usize> {
-    assert!(count <= n_layers, "cannot select {count} of {n_layers} layers");
+    assert!(
+        count <= n_layers,
+        "cannot select {count} of {n_layers} layers"
+    );
     if count == 0 {
         return Vec::new();
     }
@@ -99,7 +104,10 @@ pub fn consecutive_layers(start: usize, count: usize) -> Vec<usize> {
 /// Every `stride`-th layer starting at `start` (Fig. 8's distance study).
 pub fn strided_layers(n_layers: usize, start: usize, stride: usize, count: usize) -> Vec<usize> {
     assert!(stride >= 1);
-    (0..count).map(|i| start + i * stride).filter(|&l| l < n_layers).collect()
+    (0..count)
+        .map(|i| start + i * stride)
+        .filter(|&l| l < n_layers)
+        .collect()
 }
 
 /// §3.4: avoid the sensitive first `head` and last `tail` layers; spread
@@ -109,8 +117,14 @@ pub fn middle_spread_layers(n_layers: usize, count: usize, head: usize, tail: us
     let hi = n_layers.saturating_sub(tail);
     assert!(hi > lo, "no layers left after exclusions");
     let region = hi - lo;
-    assert!(count <= region, "cannot fit {count} layers in region of {region}");
-    spread_layers(region, count).into_iter().map(|l| l + lo).collect()
+    assert!(
+        count <= region,
+        "cannot fit {count} layers in region of {region}"
+    );
+    spread_layers(region, count)
+        .into_iter()
+        .map(|l| l + lo)
+        .collect()
 }
 
 /// Builds the paper's recommended configuration for a parameter-reduction
@@ -198,7 +212,10 @@ mod tests {
         let all = all_llama_tensors();
         let mut combined = attn.clone();
         combined.extend(mlp.clone());
-        assert_eq!(combined, all, "attention + MLP groups must cover all Llama tensors");
+        assert_eq!(
+            combined, all,
+            "attention + MLP groups must cover all Llama tensors"
+        );
         let mut bert = attention_tensors();
         bert.extend(bert_mlp_tensors());
         assert_eq!(bert, all_bert_tensors());

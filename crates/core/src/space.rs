@@ -119,12 +119,18 @@ impl DecompositionConfig {
         }
         for &l in &self.layers {
             if l >= desc.n_layers {
-                return Err(format!("layer {l} out of range (model has {})", desc.n_layers));
+                return Err(format!(
+                    "layer {l} out of range (model has {})",
+                    desc.n_layers
+                ));
             }
         }
         for &t in &self.tensors {
             if t >= tensors.len() {
-                return Err(format!("tensor {t} out of range (layer has {})", tensors.len()));
+                return Err(format!(
+                    "tensor {t} out of range (layer has {})",
+                    tensors.len()
+                ));
             }
         }
         if self.ranks.len() != self.layers.len() * self.tensors.len() {
@@ -136,7 +142,9 @@ impl DecompositionConfig {
         }
         for (l, t, p) in self.ranks.iter() {
             if !self.layers.contains(&l) || !self.tensors.contains(&t) {
-                return Err(format!("rank triple ({l},{t},{p}) outside selected layers/tensors"));
+                return Err(format!(
+                    "rank triple ({l},{t},{p}) outside selected layers/tensors"
+                ));
             }
             let max = tensors[t].max_rank();
             if p > max {
@@ -189,12 +197,20 @@ impl fmt::Display for DesignSpaceSize {
 pub fn design_space_size(desc: &TransformerDescriptor) -> DesignSpaceSize {
     let l = desc.n_layers as u32;
     let k = desc.table2_tensor_count as u32;
-    let rank = desc.layer_tensors().iter().map(|t| t.max_rank()).max().unwrap_or(1) as u128;
+    let rank = desc
+        .layer_tensors()
+        .iter()
+        .map(|t| t.max_rank())
+        .max()
+        .unwrap_or(1) as u128;
     let exact = (pow2_saturating(l) - 1)
         .saturating_mul(pow2_saturating(k) - 1)
         .saturating_mul(rank)
         .saturating_add(1);
-    DesignSpaceSize { exact, scale_log2: l + k }
+    DesignSpaceSize {
+        exact,
+        scale_log2: l + k,
+    }
 }
 
 fn pow2_saturating(e: u32) -> u128 {
@@ -273,7 +289,10 @@ mod tests {
     fn excessive_rank_rejected() {
         // W_Q of Llama2-7B is 4096×4096 → max rank 4096.
         let cfg = DecompositionConfig::uniform(&[0], &[0], 4097);
-        assert!(cfg.validate(&llama2_7b()).unwrap_err().contains("exceeds max rank"));
+        assert!(cfg
+            .validate(&llama2_7b())
+            .unwrap_err()
+            .contains("exceeds max rank"));
     }
 
     #[test]
@@ -282,7 +301,10 @@ mod tests {
         // Remove one triple by rebuilding with a stray extra pair.
         cfg.ranks = PrunedRanks::new();
         cfg.ranks.set(0, 0, 1);
-        assert!(cfg.validate(&llama2_7b()).unwrap_err().contains("cover all"));
+        assert!(cfg
+            .validate(&llama2_7b())
+            .unwrap_err()
+            .contains("cover all"));
     }
 
     #[test]

@@ -25,7 +25,11 @@ impl TensorSpectrum {
     /// Fraction of squared Frobenius energy captured by the leading
     /// `rank` singular values.
     pub fn energy_captured(&self, rank: usize) -> f64 {
-        let total: f64 = self.singular_values.iter().map(|&s| (s as f64).powi(2)).sum();
+        let total: f64 = self
+            .singular_values
+            .iter()
+            .map(|&s| (s as f64).powi(2))
+            .sum();
         if total == 0.0 {
             return 1.0;
         }
@@ -41,7 +45,11 @@ impl TensorSpectrum {
     /// Effective rank: `exp(H(p))` with `p_i = σ_i² / Σσ²` — the
     /// entropy-based count of "really used" directions.
     pub fn effective_rank(&self) -> f64 {
-        let total: f64 = self.singular_values.iter().map(|&s| (s as f64).powi(2)).sum();
+        let total: f64 = self
+            .singular_values
+            .iter()
+            .map(|&s| (s as f64).powi(2))
+            .sum();
         if total == 0.0 {
             return 0.0;
         }
@@ -68,19 +76,18 @@ pub fn weight_spectra(model: &TransformerLm) -> Vec<TensorSpectrum> {
         .map(|(layer, tensor, slot)| {
             let w = slot.effective_weight();
             let svd = svd_jacobi(&w).expect("SVD of a finite weight matrix");
-            TensorSpectrum { layer, tensor, singular_values: svd.s }
+            TensorSpectrum {
+                layer,
+                tensor,
+                singular_values: svd.s,
+            }
         })
         .collect()
 }
 
 /// Mean energy captured at `rank` across all tensors sharing a slot name.
-pub fn mean_energy_by_tensor(
-    spectra: &[TensorSpectrum],
-    tensor: &str,
-    rank: usize,
-) -> f64 {
-    let group: Vec<&TensorSpectrum> =
-        spectra.iter().filter(|s| s.tensor == tensor).collect();
+pub fn mean_energy_by_tensor(spectra: &[TensorSpectrum], tensor: &str, rank: usize) -> f64 {
+    let group: Vec<&TensorSpectrum> = spectra.iter().filter(|s| s.tensor == tensor).collect();
     if group.is_empty() {
         return 0.0;
     }

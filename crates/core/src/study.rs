@@ -6,7 +6,8 @@
 //! hardware simulator on the full-size Llama2-7B descriptor.
 
 use crate::compression::param_reduction_pct;
-use crate::decompose::{decompose_model, descriptor_decomposition};
+use crate::decompose::{decompose_model, decompose_model_cached, descriptor_decomposition};
+use crate::executor::{run_jobs, worker_budget, CacheStats, DecompositionCache};
 use crate::select::{all_llama_tensors, preset_config, strided_layers, table4_presets};
 use crate::space::DecompositionConfig;
 use lrd_eval::harness::{evaluate, EvalOptions};
@@ -49,7 +50,10 @@ impl StudyPoint {
 
     /// Accuracy (percent) on one benchmark, if evaluated.
     pub fn accuracy_of(&self, bench: &str) -> Option<f64> {
-        self.results.iter().find(|(n, _)| *n == bench).map(|(_, a)| a.percent())
+        self.results
+            .iter()
+            .find(|(n, _)| *n == bench)
+            .map(|(_, a)| a.percent())
     }
 }
 
@@ -75,8 +79,10 @@ pub fn eval_config(
             .unwrap_or_else(|e| panic!("decomposition failed: {e}"));
         report.reduction_pct()
     };
-    let results =
-        benches.iter().map(|b| (b.name(), evaluate(&model, b.as_ref(), world, opts))).collect();
+    let results = benches
+        .iter()
+        .map(|b| (b.name(), evaluate(&model, b.as_ref(), world, opts)))
+        .collect();
     StudyPoint {
         label: label.into(),
         rank,
@@ -94,7 +100,313 @@ pub fn baseline(
     benches: &[DynBenchmark],
     opts: &EvalOptions,
 ) -> StudyPoint {
-    eval_config(base, &DecompositionConfig::original(), "original", world, benches, opts)
+    eval_config(
+        base,
+        &DecompositionConfig::original(),
+        "original",
+        world,
+        benches,
+        opts,
+    )
+}
+
+/// A labelled configuration awaiting evaluation.
+pub type StudySpec = (String, DecompositionConfig);
+
+/// Restores the GEMM thread limit when a worker pool winds down, even if a
+/// sweep point panics.
+struct ThreadLimitGuard(usize);
+
+impl Drop for ThreadLimitGuard {
+    fn drop(&mut self) {
+        lrd_tensor::matmul::set_thread_limit(self.0);
+    }
+}
+
+/// Sweep-level study runner: a bounded worker pool over independent
+/// [`StudyPoint`] evaluations sharing one [`DecompositionCache`].
+///
+/// The executor borrows the frozen base model and world, so every sweep
+/// point decomposes a clone of identical weights — the invariant that makes
+/// the (layer, tensor, rank)-keyed cache sound and lets it persist across
+/// drivers (one executor can serve Figs. 3 and 5–9 back to back, reusing
+/// factor pairs between figures).
+///
+/// Results are bit-identical to the sequential drivers at any pool size:
+/// jobs land in index-ordered slots, `tucker2` is deterministic, and
+/// evaluation is deterministic in its thread count.
+pub struct StudyExecutor<'a> {
+    base: &'a TransformerLm,
+    world: &'a World,
+    opts: EvalOptions,
+    workers: usize,
+    use_cache: bool,
+    cache: DecompositionCache,
+}
+
+impl<'a> StudyExecutor<'a> {
+    /// Creates an executor over a trained base model with an empty cache
+    /// and automatic pool sizing.
+    pub fn new(base: &'a TransformerLm, world: &'a World, opts: &EvalOptions) -> Self {
+        StudyExecutor {
+            base,
+            world,
+            opts: *opts,
+            workers: 0,
+            use_cache: true,
+            cache: DecompositionCache::new(),
+        }
+    }
+
+    /// Overrides the worker-pool size (0 = derive from the thread budget).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables or disables factor memoization (on by default). Exists to
+    /// A/B the cache against the recompute-every-point path; results are
+    /// identical either way.
+    pub fn with_cache(mut self, use_cache: bool) -> Self {
+        self.use_cache = use_cache;
+        self
+    }
+
+    /// The frozen base model under study.
+    pub fn base(&self) -> &TransformerLm {
+        self.base
+    }
+
+    /// The world the base model was trained on.
+    pub fn world(&self) -> &World {
+        self.world
+    }
+
+    /// The per-evaluation options (thread field is the *total* budget).
+    pub fn opts(&self) -> &EvalOptions {
+        &self.opts
+    }
+
+    /// Decomposition-cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of distinct factor pairs memoized so far.
+    pub fn cached_factors(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Evaluates every spec on `benches`, in spec order.
+    ///
+    /// The total thread budget (`opts.threads`, or available parallelism
+    /// when 0) is split as workers × per-eval threads; while more than one
+    /// worker is live the GEMM thread limit is pinned to 1 so nested matmul
+    /// parallelism cannot oversubscribe the host.
+    pub fn run(&self, benches: &[DynBenchmark], specs: Vec<StudySpec>) -> Vec<StudyPoint> {
+        let n = specs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let budget = worker_budget(self.opts.threads, self.workers, n);
+        if budget.workers == 1 {
+            return specs
+                .into_iter()
+                .map(|(label, cfg)| self.eval_point(benches, label, &cfg, &self.opts))
+                .collect();
+        }
+        let inner = EvalOptions {
+            threads: budget.eval_threads,
+            ..self.opts
+        };
+        let _guard = ThreadLimitGuard(lrd_tensor::matmul::set_thread_limit(1));
+        run_jobs(
+            specs
+                .into_iter()
+                .map(|(label, cfg)| move || self.eval_point(benches, label, &cfg, &inner))
+                .collect(),
+            budget.workers,
+        )
+    }
+
+    fn eval_point(
+        &self,
+        benches: &[DynBenchmark],
+        label: String,
+        cfg: &DecompositionConfig,
+        opts: &EvalOptions,
+    ) -> StudyPoint {
+        let mut model = self.base.clone();
+        let rank = cfg.ranks.iter().map(|(_, _, p)| p).next().unwrap_or(0);
+        let reduction = if cfg.is_original() {
+            0.0
+        } else {
+            self.decompose_in_place(&mut model, cfg).reduction_pct()
+        };
+        let results = benches
+            .iter()
+            .map(|b| (b.name(), evaluate(&model, b.as_ref(), self.world, opts)))
+            .collect();
+        StudyPoint {
+            label,
+            rank,
+            layers: cfg.layers.iter().copied().collect(),
+            tensors: cfg.tensors.iter().copied().collect(),
+            param_reduction_pct: reduction,
+            results,
+        }
+    }
+
+    fn decompose_in_place(
+        &self,
+        model: &mut TransformerLm,
+        cfg: &DecompositionConfig,
+    ) -> crate::decompose::DecompositionReport {
+        let result = if self.use_cache {
+            decompose_model_cached(model, cfg, &self.cache)
+        } else {
+            decompose_model(model, cfg)
+        };
+        result.unwrap_or_else(|e| panic!("decomposition failed: {e}"))
+    }
+
+    /// Decomposes a clone of the base model through the shared cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot be applied (invalid rank).
+    pub fn decompose_clone(
+        &self,
+        cfg: &DecompositionConfig,
+    ) -> (TransformerLm, crate::decompose::DecompositionReport) {
+        let mut model = self.base.clone();
+        let report = self.decompose_in_place(&mut model, cfg);
+        (model, report)
+    }
+
+    /// Baseline accuracies of the undecomposed model.
+    pub fn baseline(&self, benches: &[DynBenchmark]) -> StudyPoint {
+        let mut pts = self.run(
+            benches,
+            vec![("original".into(), DecompositionConfig::original())],
+        );
+        pts.pop().expect("baseline evaluation produced no point")
+    }
+
+    /// Fig. 3 sweep (see [`rank_sweep`]).
+    pub fn rank_sweep(
+        &self,
+        benches: &[DynBenchmark],
+        ranks: &[usize],
+        layer_sets: &[(&str, Vec<usize>)],
+    ) -> Vec<StudyPoint> {
+        let tensors = all_llama_tensors();
+        let mut specs = Vec::new();
+        for (set_label, layers) in layer_sets {
+            for &rank in ranks {
+                specs.push((
+                    format!("layers {set_label}, PR={rank}"),
+                    DecompositionConfig::uniform(layers, &tensors, rank),
+                ));
+            }
+        }
+        self.run(benches, specs)
+    }
+
+    /// Fig. 5 sweep (see [`tensor_choice`]).
+    pub fn tensor_choice(&self, benches: &[DynBenchmark]) -> Vec<StudyPoint> {
+        let n_layers = self.base.config().n_layers;
+        let tensor_names = layer_tensor_names(self.base);
+        let mut specs = Vec::new();
+        for (t, name) in tensor_names.iter().enumerate() {
+            specs.push((
+                format!("{name} (one layer)"),
+                DecompositionConfig::uniform(&[n_layers / 2], &[t], 1),
+            ));
+        }
+        let all_layers: Vec<usize> = (0..n_layers).collect();
+        for (t, name) in tensor_names.iter().enumerate() {
+            specs.push((
+                format!("{name} (all layers)"),
+                DecompositionConfig::uniform(&all_layers, &[t], 1),
+            ));
+        }
+        self.run(benches, specs)
+    }
+
+    /// Fig. 6 sweep (see [`tensor_vs_layer`]).
+    pub fn tensor_vs_layer(
+        &self,
+        benches: &[DynBenchmark],
+        single_tensors: &[usize],
+        all_tensor_layers: &[usize],
+    ) -> Vec<StudyPoint> {
+        let n_layers = self.base.config().n_layers;
+        let tensor_names = layer_tensor_names(self.base);
+        let all_layers: Vec<usize> = (0..n_layers).collect();
+        let mut specs: Vec<StudySpec> = single_tensors
+            .iter()
+            .map(|&t| {
+                (
+                    format!("{} in all layers", tensor_names[t]),
+                    DecompositionConfig::uniform(&all_layers, &[t], 1),
+                )
+            })
+            .collect();
+        let all_tensors: Vec<usize> = (0..tensor_names.len()).collect();
+        specs.push((
+            format!("all tensors in {} layers", all_tensor_layers.len()),
+            DecompositionConfig::uniform(all_tensor_layers, &all_tensors, 1),
+        ));
+        self.run(benches, specs)
+    }
+
+    /// Fig. 7 sweep (see [`layer_sensitivity`]).
+    pub fn layer_sensitivity(&self, benches: &[DynBenchmark]) -> Vec<StudyPoint> {
+        let n_layers = self.base.config().n_layers;
+        let all_tensors: Vec<usize> = (0..layer_tensor_names(self.base).len()).collect();
+        let specs = (0..n_layers)
+            .map(|l| {
+                (
+                    format!("layer {l}"),
+                    DecompositionConfig::uniform(&[l], &all_tensors, 1),
+                )
+            })
+            .collect();
+        self.run(benches, specs)
+    }
+
+    /// Fig. 8 sweep (see [`layer_distance`]).
+    pub fn layer_distance(
+        &self,
+        benches: &[DynBenchmark],
+        strides: &[usize],
+        count: usize,
+        start: usize,
+    ) -> Vec<StudyPoint> {
+        let n_layers = self.base.config().n_layers;
+        let all_tensors: Vec<usize> = (0..layer_tensor_names(self.base).len()).collect();
+        let specs = strides
+            .iter()
+            .map(|&stride| {
+                let layers = strided_layers(n_layers, start, stride, count);
+                (
+                    format!("stride {stride}"),
+                    DecompositionConfig::uniform(&layers, &all_tensors, 1),
+                )
+            })
+            .collect();
+        self.run(benches, specs)
+    }
+
+    /// Fig. 9 sweep (see [`case_study`]).
+    pub fn case_study(&self, benches: &[DynBenchmark]) -> Vec<StudyPoint> {
+        let specs = table4_presets()
+            .into_iter()
+            .map(|(label, _, layers)| (format!("reduction {label}"), preset_config(&layers)))
+            .collect();
+        self.run(benches, specs)
+    }
 }
 
 /// Fig. 3: accuracy versus pruned rank. The paper prunes 4096-dim tensors
@@ -108,16 +420,7 @@ pub fn rank_sweep(
     ranks: &[usize],
     layer_sets: &[(&str, Vec<usize>)],
 ) -> Vec<StudyPoint> {
-    let tensors = all_llama_tensors();
-    let mut out = Vec::new();
-    for (set_label, layers) in layer_sets {
-        for &rank in ranks {
-            let cfg = DecompositionConfig::uniform(layers, &tensors, rank);
-            let label = format!("layers {set_label}, PR={rank}");
-            out.push(eval_config(base, &cfg, label, world, benches, opts));
-        }
-    }
-    out
+    StudyExecutor::new(base, world, opts).rank_sweep(benches, ranks, layer_sets)
 }
 
 /// Paper display names (Fig. 4) of a model's per-layer decomposable
@@ -152,19 +455,7 @@ pub fn tensor_choice(
     benches: &[DynBenchmark],
     opts: &EvalOptions,
 ) -> Vec<StudyPoint> {
-    let n_layers = base.config().n_layers;
-    let tensor_names = layer_tensor_names(base);
-    let mut out = Vec::new();
-    for (t, name) in tensor_names.iter().enumerate() {
-        let one = DecompositionConfig::uniform(&[n_layers / 2], &[t], 1);
-        out.push(eval_config(base, &one, format!("{name} (one layer)"), world, benches, opts));
-    }
-    for (t, name) in tensor_names.iter().enumerate() {
-        let all_layers: Vec<usize> = (0..n_layers).collect();
-        let all = DecompositionConfig::uniform(&all_layers, &[t], 1);
-        out.push(eval_config(base, &all, format!("{name} (all layers)"), world, benches, opts));
-    }
-    out
+    StudyExecutor::new(base, world, opts).tensor_choice(benches)
 }
 
 /// Fig. 6: one-tensor-in-many-layers versus all-tensors-in-few-layers at a
@@ -181,32 +472,11 @@ pub fn tensor_vs_layer(
     single_tensors: &[usize],
     all_tensor_layers: &[usize],
 ) -> Vec<StudyPoint> {
-    let n_layers = base.config().n_layers;
-    let tensor_names = layer_tensor_names(base);
-    let all_layers: Vec<usize> = (0..n_layers).collect();
-    let mut out = Vec::new();
-    for &t in single_tensors {
-        let cfg = DecompositionConfig::uniform(&all_layers, &[t], 1);
-        out.push(eval_config(
-            base,
-            &cfg,
-            format!("{} in all layers", tensor_names[t]),
-            world,
-            benches,
-            opts,
-        ));
-    }
-    let all_tensors: Vec<usize> = (0..tensor_names.len()).collect();
-    let cfg = DecompositionConfig::uniform(all_tensor_layers, &all_tensors, 1);
-    out.push(eval_config(
-        base,
-        &cfg,
-        format!("all tensors in {} layers", all_tensor_layers.len()),
-        world,
+    StudyExecutor::new(base, world, opts).tensor_vs_layer(
         benches,
-        opts,
-    ));
-    out
+        single_tensors,
+        all_tensor_layers,
+    )
 }
 
 /// Fig. 7: per-layer sensitivity — decompose one layer at a time (rank 1,
@@ -217,14 +487,7 @@ pub fn layer_sensitivity(
     benches: &[DynBenchmark],
     opts: &EvalOptions,
 ) -> Vec<StudyPoint> {
-    let n_layers = base.config().n_layers;
-    let all_tensors: Vec<usize> = (0..layer_tensor_names(base).len()).collect();
-    (0..n_layers)
-        .map(|l| {
-            let cfg = DecompositionConfig::uniform(&[l], &all_tensors, 1);
-            eval_config(base, &cfg, format!("layer {l}"), world, benches, opts)
-        })
-        .collect()
+    StudyExecutor::new(base, world, opts).layer_sensitivity(benches)
 }
 
 /// Fig. 8: the effect of the distance between decomposed layers — a fixed
@@ -238,16 +501,7 @@ pub fn layer_distance(
     count: usize,
     start: usize,
 ) -> Vec<StudyPoint> {
-    let n_layers = base.config().n_layers;
-    let all_tensors: Vec<usize> = (0..layer_tensor_names(base).len()).collect();
-    strides
-        .iter()
-        .map(|&stride| {
-            let layers = strided_layers(n_layers, start, stride, count);
-            let cfg = DecompositionConfig::uniform(&layers, &all_tensors, 1);
-            eval_config(base, &cfg, format!("stride {stride}"), world, benches, opts)
-        })
-        .collect()
+    StudyExecutor::new(base, world, opts).layer_distance(benches, strides, count, start)
 }
 
 /// Fig. 9: the case-study sweep — accuracy at every Table 4 preset.
@@ -257,13 +511,7 @@ pub fn case_study(
     benches: &[DynBenchmark],
     opts: &EvalOptions,
 ) -> Vec<StudyPoint> {
-    table4_presets()
-        .into_iter()
-        .map(|(label, _, layers)| {
-            let cfg = preset_config(&layers);
-            eval_config(base, &cfg, format!("reduction {label}"), world, benches, opts)
-        })
-        .collect()
+    StudyExecutor::new(base, world, opts).case_study(benches)
 }
 
 /// One point of the efficiency sweep (Figs. 10–12).
@@ -292,6 +540,8 @@ pub fn efficiency_sweep(
     seq: usize,
 ) -> Vec<EfficiencyPoint> {
     let dense = simulate_inference(system, desc, &[], batch_per_gpu, seq);
+    let presets = table4_presets();
+    let workers = worker_budget(0, 0, presets.len()).workers;
     let mut out = vec![EfficiencyPoint {
         label: "0%".into(),
         param_reduction_pct: 0.0,
@@ -300,21 +550,30 @@ pub fn efficiency_sweep(
         energy_saving_pct: 0.0,
         memory_saving_pct: 0.0,
     }];
-    for (label, _, layers) in table4_presets() {
-        let cfg = preset_config(&layers);
-        let decomp = descriptor_decomposition(desc, &cfg);
-        let report = simulate_inference(system, desc, &decomp, batch_per_gpu, seq);
-        out.push(EfficiencyPoint {
-            label: label.into(),
-            param_reduction_pct: param_reduction_pct(desc, &cfg),
-            report,
-            speedup: dense.wall_time_s / report.wall_time_s,
-            energy_saving_pct: 100.0 * (dense.energy_j - report.energy_j) / dense.energy_j,
-            memory_saving_pct: 100.0
-                * (dense.memory.total() as f64 - report.memory.total() as f64)
-                / dense.memory.total() as f64,
-        });
-    }
+    out.extend(run_jobs(
+        presets
+            .into_iter()
+            .map(|(label, _, layers)| {
+                move || {
+                    let cfg = preset_config(&layers);
+                    let decomp = descriptor_decomposition(desc, &cfg);
+                    let report = simulate_inference(system, desc, &decomp, batch_per_gpu, seq);
+                    EfficiencyPoint {
+                        label: label.into(),
+                        param_reduction_pct: param_reduction_pct(desc, &cfg),
+                        report,
+                        speedup: dense.wall_time_s / report.wall_time_s,
+                        energy_saving_pct: 100.0 * (dense.energy_j - report.energy_j)
+                            / dense.energy_j,
+                        memory_saving_pct: 100.0
+                            * (dense.memory.total() as f64 - report.memory.total() as f64)
+                            / dense.memory.total() as f64,
+                    }
+                }
+            })
+            .collect(),
+        workers,
+    ));
     out
 }
 
@@ -346,24 +605,39 @@ pub fn decode_sweep(
     use lrd_hwsim::ops::decode_step_ops;
     use lrd_hwsim::roofline::Roofline;
     let roof = Roofline::new(system.gpu, lrd_models::descriptor::DType::F16);
-    let dense_t = roof.estimate(&decode_step_ops(desc, batch, past_len, &[])).total();
+    let dense_t = roof
+        .estimate(&decode_step_ops(desc, batch, past_len, &[]))
+        .total();
+    let presets = table4_presets();
+    let workers = worker_budget(0, 0, presets.len()).workers;
     let mut out = vec![DecodePoint {
         label: "0%".into(),
         param_reduction_pct: 0.0,
         step_time_s: dense_t,
         speedup: 1.0,
     }];
-    for (label, _, layers) in table4_presets() {
-        let cfg = preset_config(&layers);
-        let decomp = descriptor_decomposition(desc, &cfg);
-        let t = roof.estimate(&decode_step_ops(desc, batch, past_len, &decomp)).total();
-        out.push(DecodePoint {
-            label: label.into(),
-            param_reduction_pct: param_reduction_pct(desc, &cfg),
-            step_time_s: t,
-            speedup: dense_t / t,
-        });
-    }
+    out.extend(run_jobs(
+        presets
+            .into_iter()
+            .map(|(label, _, layers)| {
+                let roof = &roof;
+                move || {
+                    let cfg = preset_config(&layers);
+                    let decomp = descriptor_decomposition(desc, &cfg);
+                    let t = roof
+                        .estimate(&decode_step_ops(desc, batch, past_len, &decomp))
+                        .total();
+                    DecodePoint {
+                        label: label.into(),
+                        param_reduction_pct: param_reduction_pct(desc, &cfg),
+                        step_time_s: t,
+                        speedup: dense_t / t,
+                    }
+                }
+            })
+            .collect(),
+        workers,
+    ));
     out
 }
 
@@ -428,7 +702,12 @@ mod tests {
     }
 
     fn quick_opts() -> EvalOptions {
-        EvalOptions { n_samples: 20, seed: 3, batch_size: 32, threads: 2 }
+        EvalOptions {
+            n_samples: 20,
+            seed: 3,
+            batch_size: 32,
+            threads: 2,
+        }
     }
 
     #[test]
@@ -465,7 +744,10 @@ mod tests {
             &[("mid", vec![1, 2])],
         );
         assert_eq!(pts.len(), 2);
-        assert!(pts[0].param_reduction_pct > pts[1].param_reduction_pct, "rank 1 reduces more");
+        assert!(
+            pts[0].param_reduction_pct > pts[1].param_reduction_pct,
+            "rank 1 reduces more"
+        );
         assert!(pts[0].label.contains("PR=1"));
     }
 
@@ -477,14 +759,20 @@ mod tests {
         assert_eq!(pts.len(), 11);
         for w in pts.windows(2) {
             assert!(w[1].param_reduction_pct > w[0].param_reduction_pct);
-            assert!(w[1].speedup >= w[0].speedup - 1e-9, "speedup must not regress");
+            assert!(
+                w[1].speedup >= w[0].speedup - 1e-9,
+                "speedup must not regress"
+            );
             assert!(w[1].memory_saving_pct >= w[0].memory_saving_pct - 1e-9);
         }
         // Paper's headline: ~9% params → ~4% latency, ~5% energy savings.
         let nine = &pts[2];
         assert!((nine.param_reduction_pct - 9.0).abs() < 1.0);
         let lat_saving = 100.0 * (1.0 - 1.0 / nine.speedup);
-        assert!((2.0..8.0).contains(&lat_saving), "latency saving {lat_saving}%");
+        assert!(
+            (2.0..8.0).contains(&lat_saving),
+            "latency saving {lat_saving}%"
+        );
     }
 
     #[test]
@@ -496,7 +784,10 @@ mod tests {
         // At the 48% preset the weight-streaming saving is ~1:1 with
         // parameters but the tripled kernel count claws some back; the net
         // saving must still be substantial.
-        let p48 = pts.iter().find(|p| (p.param_reduction_pct - 48.0).abs() < 1.0).unwrap();
+        let p48 = pts
+            .iter()
+            .find(|p| (p.param_reduction_pct - 48.0).abs() < 1.0)
+            .unwrap();
         let saving = 100.0 * (1.0 - 1.0 / p48.speedup);
         assert!(
             saving > 0.35 * p48.param_reduction_pct,
@@ -526,9 +817,15 @@ mod tests {
                 results: vec![(
                     "ARC Easy",
                     if red <= 15.0 {
-                        Accuracy { correct: 70, total: 100 }
+                        Accuracy {
+                            correct: 70,
+                            total: 100,
+                        }
                     } else {
-                        Accuracy { correct: 30, total: 100 }
+                        Accuracy {
+                            correct: 30,
+                            total: 100,
+                        }
                     },
                 )],
             })

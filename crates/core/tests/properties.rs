@@ -2,9 +2,14 @@
 //! decomposer.
 
 use lrd_core::compression::{decomposed_params, param_reduction_pct, tensor_compression_ratio};
-use lrd_core::decompose::decompose_model;
+use lrd_core::decompose::{decompose_model, decompose_model_cached};
+use lrd_core::executor::DecompositionCache;
 use lrd_core::select::{spread_layers, strided_layers};
 use lrd_core::space::DecompositionConfig;
+use lrd_core::study::{DynBenchmark, StudyExecutor};
+use lrd_eval::harness::EvalOptions;
+use lrd_eval::tasks::{ArcEasy, WinoGrande};
+use lrd_eval::World;
 use lrd_models::zoo::llama2_7b;
 use lrd_nn::{ArchKind, TransformerConfig, TransformerLm};
 use lrd_tensor::rng::Rng64;
@@ -96,6 +101,81 @@ proptest! {
         for w in l.windows(2) {
             prop_assert_eq!(w[1] - w[0], stride);
         }
+    }
+}
+
+fn probe_model() -> TransformerLm {
+    let cfg = TransformerConfig {
+        kind: ArchKind::Decoder,
+        vocab_size: 256,
+        d_model: 16,
+        n_layers: 4,
+        n_heads: 2,
+        n_kv_heads: 2,
+        d_ff: 32,
+        max_seq: 64,
+    };
+    TransformerLm::new(cfg, &mut Rng64::new(77))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The memoized decomposition path must be bit-identical to the
+    /// uncached one — both for cold lookups (first use of a key) and warm
+    /// lookups (the second application replays cached factor pairs).
+    #[test]
+    fn cached_decomposition_is_bit_identical(
+        layers in proptest::collection::btree_set(0usize..4, 1..4),
+        tensors in proptest::collection::btree_set(0usize..7, 1..4),
+        rank in 1usize..8,
+    ) {
+        let base = probe_model();
+        let layers: Vec<usize> = layers.into_iter().collect();
+        let tensors: Vec<usize> = tensors.into_iter().collect();
+        let gamma = DecompositionConfig::uniform(&layers, &tensors, rank);
+
+        let mut plain = base.clone();
+        let plain_report = decompose_model(&mut plain, &gamma).expect("uncached applies");
+
+        let cache = DecompositionCache::new();
+        for pass in 0..2 {
+            let mut cached = base.clone();
+            let cached_report =
+                decompose_model_cached(&mut cached, &gamma, &cache).expect("cached applies");
+            prop_assert_eq!(&plain, &cached, "models diverge on pass {}", pass);
+            prop_assert_eq!(&plain_report, &cached_report);
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.hits > 0, "second pass must hit the cache");
+        prop_assert_eq!(stats.misses, cache.len());
+    }
+}
+
+/// Study results must not depend on the worker-pool size: any pool must
+/// reproduce the sequential (1-worker) sweep bit for bit.
+#[test]
+fn study_results_independent_of_worker_pool_size() {
+    let base = probe_model();
+    let world = World::new(1);
+    let benches: Vec<DynBenchmark> = vec![Box::new(ArcEasy), Box::new(WinoGrande)];
+    let opts = EvalOptions {
+        n_samples: 16,
+        seed: 3,
+        batch_size: 8,
+        threads: 4,
+    };
+    let reference = StudyExecutor::new(&base, &world, &opts)
+        .with_workers(1)
+        .rank_sweep(&benches, &[1, 2], &[("lo", vec![0, 1]), ("hi", vec![2, 3])]);
+    for workers in [2usize, 3, 8] {
+        let got = StudyExecutor::new(&base, &world, &opts)
+            .with_workers(workers)
+            .rank_sweep(&benches, &[1, 2], &[("lo", vec![0, 1]), ("hi", vec![2, 3])]);
+        assert_eq!(
+            reference, got,
+            "{workers}-worker sweep diverged from sequential"
+        );
     }
 }
 

@@ -77,7 +77,13 @@ impl CorpusBuilder {
         kinds.push((StatementKind::Wino, WINO_WEIGHT));
         kinds.push((StatementKind::Arithmetic, ARITH_WEIGHT));
         let total_weight = kinds.iter().map(|&(_, w)| w).sum();
-        CorpusBuilder { world, rng: Rng64::new(seed ^ 0xC0B5_0521), seq_len, kinds, total_weight }
+        CorpusBuilder {
+            world,
+            rng: Rng64::new(seed ^ 0xC0B5_0521),
+            seq_len,
+            kinds,
+            total_weight,
+        }
     }
 
     fn draw_kind(&mut self) -> StatementKind {
@@ -190,7 +196,11 @@ impl CorpusBuilder {
                     }
                 };
                 let yes_first = self.rng.below(2) == 0;
-                let (e1, e2) = if yes_first { (e_yes, e_no) } else { (e_no, e_yes) };
+                let (e1, e2) = if yes_first {
+                    (e_yes, e_no)
+                } else {
+                    (e_no, e_yes)
+                };
                 vec![
                     vocab::BOS,
                     vocab::entity(e1),
@@ -280,7 +290,11 @@ impl CorpusBuilder {
                 tokens[base + pos] = vocab::MASK;
             }
         }
-        Batch { tokens, targets, batch: batch_size }
+        Batch {
+            tokens,
+            targets,
+            batch: batch_size,
+        }
     }
 }
 
@@ -340,7 +354,10 @@ mod tests {
                 assert_eq!(tgt, lrd_nn::act::IGNORE_INDEX);
             }
         }
-        assert!(masked >= 6, "each sequence masks at least one slot, got {masked}");
+        assert!(
+            masked >= 6,
+            "each sequence masks at least one slot, got {masked}"
+        );
     }
 
     #[test]

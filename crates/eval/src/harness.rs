@@ -45,7 +45,13 @@ impl Accuracy {
 
 impl std::fmt::Display for Accuracy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.1}% ({}/{})", self.percent(), self.correct, self.total)
+        write!(
+            f,
+            "{:.1}% ({}/{})",
+            self.percent(),
+            self.correct,
+            self.total
+        )
     }
 }
 
@@ -64,7 +70,12 @@ pub struct EvalOptions {
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { n_samples: 200, seed: 17, batch_size: 64, threads: 0 }
+        EvalOptions {
+            n_samples: 200,
+            seed: 17,
+            batch_size: 64,
+            threads: 0,
+        }
     }
 }
 
@@ -73,7 +84,10 @@ impl EvalOptions {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
         }
     }
 }
@@ -121,7 +135,10 @@ fn evaluate_cloze(model: &TransformerLm, samples: &[Sample], opts: &EvalOptions)
     let seq = samples[0].prompt.len();
     for s in samples {
         assert_eq!(s.prompt.len(), seq, "cloze prompts must share one length");
-        assert!(s.choices.iter().all(|c| c.len() == 1), "cloze choices must be single tokens");
+        assert!(
+            s.choices.iter().all(|c| c.len() == 1),
+            "cloze choices must be single tokens"
+        );
     }
     let per_batch = opts.batch_size.max(1);
     let chunks: Vec<&[Sample]> = samples.chunks(per_batch).collect();
@@ -136,8 +153,10 @@ fn evaluate_cloze(model: &TransformerLm, samples: &[Sample], opts: &EvalOptions)
                     break;
                 }
                 let chunk = chunks[ci];
-                let flat: Vec<usize> =
-                    chunk.iter().flat_map(|s| s.prompt.iter().copied()).collect();
+                let flat: Vec<usize> = chunk
+                    .iter()
+                    .flat_map(|s| s.prompt.iter().copied())
+                    .collect();
                 let logits = model.logits(&flat, chunk.len());
                 for (i, s) in chunk.iter().enumerate() {
                     let mask_pos = s
@@ -164,7 +183,10 @@ fn evaluate_cloze(model: &TransformerLm, samples: &[Sample], opts: &EvalOptions)
             });
         }
     });
-    Accuracy { correct: correct.into_inner(), total: samples.len() }
+    Accuracy {
+        correct: correct.into_inner(),
+        total: samples.len(),
+    }
 }
 
 fn evaluate_multiple_choice(
@@ -178,7 +200,12 @@ fn evaluate_multiple_choice(
         for (ci, c) in s.choices.iter().enumerate() {
             let mut tokens = s.prompt.clone();
             tokens.extend_from_slice(c);
-            rows.push(Row { sample: si, choice: ci, tokens, prefix_len: s.prompt.len() });
+            rows.push(Row {
+                sample: si,
+                choice: ci,
+                tokens,
+                prefix_len: s.prompt.len(),
+            });
         }
     }
     let chunks: Vec<&[Row]> = rows.chunks(opts.batch_size.max(1)).collect();
@@ -203,7 +230,10 @@ fn evaluate_multiple_choice(
                 })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("scoring worker panicked")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scoring worker panicked"))
+            .collect()
     });
     for (i, v) in results {
         scores[i] = v;
@@ -216,9 +246,15 @@ fn evaluate_multiple_choice(
             best[si] = (score, ci);
         }
     }
-    let correct =
-        best.iter().zip(samples).filter(|((_, ci), s)| *ci == s.answer).count();
-    Accuracy { correct, total: samples.len() }
+    let correct = best
+        .iter()
+        .zip(samples)
+        .filter(|((_, ci), s)| *ci == s.answer)
+        .count();
+    Accuracy {
+        correct,
+        total: samples.len(),
+    }
 }
 
 /// Scores every row of a chunk in one padded batch forward pass; returns
@@ -248,11 +284,7 @@ fn score_chunk(model: &TransformerLm, chunk: &[Row]) -> Vec<(usize, usize, f32)>
         .collect()
 }
 
-fn evaluate_exact_match(
-    model: &TransformerLm,
-    samples: &[Sample],
-    opts: &EvalOptions,
-) -> Accuracy {
+fn evaluate_exact_match(model: &TransformerLm, samples: &[Sample], opts: &EvalOptions) -> Accuracy {
     let threads = opts.effective_threads().min(samples.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let correct = std::sync::atomic::AtomicUsize::new(0);
@@ -272,7 +304,10 @@ fn evaluate_exact_match(
             });
         }
     });
-    Accuracy { correct: correct.into_inner(), total: samples.len() }
+    Accuracy {
+        correct: correct.into_inner(),
+        total: samples.len(),
+    }
 }
 
 /// Evaluates every benchmark in [`crate::tasks::registry`] and returns
@@ -317,7 +352,12 @@ mod tests {
             &model,
             &ArcEasy,
             &world,
-            &EvalOptions { n_samples: 120, seed: 5, batch_size: 32, threads: 2 },
+            &EvalOptions {
+                n_samples: 120,
+                seed: 5,
+                batch_size: 32,
+                threads: 2,
+            },
         );
         assert_eq!(acc.total, 120);
         // 4-way multiple choice: chance = 25%.
@@ -331,7 +371,12 @@ mod tests {
     fn evaluation_is_deterministic() {
         let model = untrained_model();
         let world = World::new(1);
-        let opts = EvalOptions { n_samples: 60, seed: 9, batch_size: 16, threads: 4 };
+        let opts = EvalOptions {
+            n_samples: 60,
+            seed: 9,
+            batch_size: 16,
+            threads: 4,
+        };
         let a = evaluate(&model, &ArcEasy, &world, &opts);
         let b = evaluate(&model, &ArcEasy, &world, &opts);
         assert_eq!(a, b);
@@ -345,13 +390,23 @@ mod tests {
             &model,
             &ArcEasy,
             &world,
-            &EvalOptions { n_samples: 40, seed: 3, batch_size: 4, threads: 1 },
+            &EvalOptions {
+                n_samples: 40,
+                seed: 3,
+                batch_size: 4,
+                threads: 1,
+            },
         );
         let b = evaluate(
             &model,
             &ArcEasy,
             &world,
-            &EvalOptions { n_samples: 40, seed: 3, batch_size: 64, threads: 3 },
+            &EvalOptions {
+                n_samples: 40,
+                seed: 3,
+                batch_size: 64,
+                threads: 3,
+            },
         );
         assert_eq!(a, b, "batch size must not affect scoring");
     }
@@ -364,7 +419,12 @@ mod tests {
             &model,
             &crate::tasks::Gsm8k,
             &world,
-            &EvalOptions { n_samples: 10, seed: 1, batch_size: 8, threads: 2 },
+            &EvalOptions {
+                n_samples: 10,
+                seed: 1,
+                batch_size: 8,
+                threads: 2,
+            },
         );
         assert_eq!(acc.total, 10);
         // Untrained: almost certainly 0–30%.
@@ -385,17 +445,28 @@ mod tests {
         };
         let model = TransformerLm::new(cfg, &mut Rng64::new(6));
         let world = World::new(4);
-        let opts = EvalOptions { n_samples: 60, seed: 8, batch_size: 16, threads: 2 };
+        let opts = EvalOptions {
+            n_samples: 60,
+            seed: 8,
+            batch_size: 16,
+            threads: 2,
+        };
         let a = evaluate(&model, &crate::tasks::BertCloze, &world, &opts);
         let b = evaluate(&model, &crate::tasks::BertCloze, &world, &opts);
         assert_eq!(a, b, "cloze scoring must be deterministic");
         assert_eq!(a.total, 60);
-        assert!((5.0..55.0).contains(&a.percent()), "untrained cloze near chance: {a}");
+        assert!(
+            (5.0..55.0).contains(&a.percent()),
+            "untrained cloze near chance: {a}"
+        );
     }
 
     #[test]
     fn accuracy_display() {
-        let a = Accuracy { correct: 3, total: 4 };
+        let a = Accuracy {
+            correct: 3,
+            total: 4,
+        };
         assert_eq!(a.to_string(), "75.0% (3/4)");
         assert_eq!(Accuracy::default().percent(), 0.0);
     }
@@ -403,10 +474,16 @@ mod tests {
     #[test]
     fn accuracy_stderr() {
         // p = 0.5, n = 100 → stderr = 5 percentage points.
-        let a = Accuracy { correct: 50, total: 100 };
+        let a = Accuracy {
+            correct: 50,
+            total: 100,
+        };
         assert!((a.stderr() - 5.0).abs() < 1e-9);
         // Shrinks with sample count.
-        let b = Accuracy { correct: 200, total: 400 };
+        let b = Accuracy {
+            correct: 200,
+            total: 400,
+        };
         assert!(b.stderr() < a.stderr());
         assert_eq!(Accuracy::default().stderr(), 0.0);
     }
@@ -415,7 +492,12 @@ mod tests {
     fn mmlu_domain_breakdown_runs() {
         let model = untrained_model();
         let world = World::new(5);
-        let opts = EvalOptions { n_samples: 20, seed: 2, batch_size: 16, threads: 1 };
+        let opts = EvalOptions {
+            n_samples: 20,
+            seed: 2,
+            batch_size: 16,
+            threads: 1,
+        };
         for d in 0..lrd_core_domains() {
             let bench = crate::tasks::MmluDomain(d);
             let acc = evaluate(&model, &bench, &world, &opts);

@@ -39,7 +39,12 @@ impl Sample {
     pub fn multiple_choice(prompt: Vec<usize>, choices: Vec<Vec<usize>>, answer: usize) -> Self {
         assert!(answer < choices.len(), "answer index out of range");
         assert!(choices.iter().all(|c| !c.is_empty()), "empty choice");
-        Sample { prompt, choices, answer, reference: Vec::new() }
+        Sample {
+            prompt,
+            choices,
+            answer,
+            reference: Vec::new(),
+        }
     }
 
     /// Builds an exact-match generation sample.
@@ -49,7 +54,12 @@ impl Sample {
     /// Panics if the reference is empty.
     pub fn exact_match(prompt: Vec<usize>, reference: Vec<usize>) -> Self {
         assert!(!reference.is_empty(), "empty reference");
-        Sample { prompt, choices: Vec::new(), answer: 0, reference }
+        Sample {
+            prompt,
+            choices: Vec::new(),
+            answer: 0,
+            reference,
+        }
     }
 }
 

@@ -38,7 +38,10 @@ fn four_way(prompt: Vec<usize>, truth: usize, distractors: Vec<usize>, rng: &mut
     let mut order: Vec<usize> = (0..values.len()).collect();
     rng.shuffle(&mut order);
     let answer = order.iter().position(|&i| i == 0).expect("truth present");
-    let choices = order.iter().map(|&i| vec![vocab::value(values[i])]).collect();
+    let choices = order
+        .iter()
+        .map(|&i| vec![vocab::value(values[i])])
+        .collect();
     Sample::multiple_choice(prompt, choices, answer)
 }
 
@@ -62,7 +65,13 @@ impl Benchmark for ArcEasy {
             }
         };
         let truth = world.value_fact(e, r);
-        let prompt = vec![vocab::BOS, vocab::QUERY, vocab::entity(e), vocab::relation(r), vocab::SEP];
+        let prompt = vec![
+            vocab::BOS,
+            vocab::QUERY,
+            vocab::entity(e),
+            vocab::relation(r),
+            vocab::SEP,
+        ];
         four_way(prompt, truth, value_distractors(truth, 3, rng), rng)
     }
 }
@@ -151,8 +160,13 @@ impl Benchmark for HellaSwag {
         rng.shuffle(&mut order);
         let answer = order.iter().position(|&i| i == 0).expect("truth present");
         let choices = order.iter().map(|&i| choices[i].clone()).collect();
-        let prompt =
-            vec![vocab::BOS, vocab::entity(e), vocab::relation(ra), vocab::relation(rb), vocab::SEP];
+        let prompt = vec![
+            vocab::BOS,
+            vocab::entity(e),
+            vocab::relation(ra),
+            vocab::relation(rb),
+            vocab::SEP,
+        ];
         Sample::multiple_choice(prompt, choices, answer)
     }
 }
@@ -177,7 +191,13 @@ impl Benchmark for Mmlu {
             }
         };
         let truth = world.value_fact(e, r);
-        let prompt = vec![vocab::BOS, vocab::QUERY, vocab::entity(e), vocab::relation(r), vocab::SEP];
+        let prompt = vec![
+            vocab::BOS,
+            vocab::QUERY,
+            vocab::entity(e),
+            vocab::relation(r),
+            vocab::SEP,
+        ];
         four_way(prompt, truth, value_distractors(truth, 3, rng), rng)
     }
 }
@@ -191,8 +211,9 @@ impl Benchmark for MmluDomain {
     fn name(&self) -> &'static str {
         // Static names so the `Benchmark` trait's `&'static str` contract
         // holds; indices map onto the round-robin domain partition.
-        const NAMES: [&str; N_DOMAINS] =
-            ["MMLU/d0", "MMLU/d1", "MMLU/d2", "MMLU/d3", "MMLU/d4", "MMLU/d5"];
+        const NAMES: [&str; N_DOMAINS] = [
+            "MMLU/d0", "MMLU/d1", "MMLU/d2", "MMLU/d3", "MMLU/d4", "MMLU/d5",
+        ];
         NAMES[self.0]
     }
 
@@ -205,7 +226,13 @@ impl Benchmark for MmluDomain {
             }
         };
         let truth = world.value_fact(e, r);
-        let prompt = vec![vocab::BOS, vocab::QUERY, vocab::entity(e), vocab::relation(r), vocab::SEP];
+        let prompt = vec![
+            vocab::BOS,
+            vocab::QUERY,
+            vocab::entity(e),
+            vocab::relation(r),
+            vocab::SEP,
+        ];
         four_way(prompt, truth, value_distractors(truth, 3, rng), rng)
     }
 }
@@ -237,7 +264,13 @@ impl Benchmark for TruthfulQa {
                 distractors.push(v);
             }
         }
-        let prompt = vec![vocab::BOS, vocab::QUERY, vocab::entity(e), vocab::relation(r), vocab::SEP];
+        let prompt = vec![
+            vocab::BOS,
+            vocab::QUERY,
+            vocab::entity(e),
+            vocab::relation(r),
+            vocab::SEP,
+        ];
         four_way(prompt, truth, distractors, rng)
     }
 }
@@ -270,7 +303,11 @@ impl Benchmark for WinoGrande {
             }
         };
         let yes_first = rng.below(2) == 0;
-        let (e1, e2) = if yes_first { (e_yes, e_no) } else { (e_no, e_yes) };
+        let (e1, e2) = if yes_first {
+            (e_yes, e_no)
+        } else {
+            (e_no, e_yes)
+        };
         let prompt = vec![
             vocab::BOS,
             vocab::entity(e1),
@@ -442,7 +479,10 @@ mod tests {
             let e = s.prompt[2] - vocab::ENTITY_BASE;
             let r1 = s.prompt[3] - vocab::RELATION_BASE;
             let r2 = s.prompt[4] - vocab::RELATION_BASE;
-            assert_eq!(s.choices[s.answer][0], vocab::value(w.two_hop_fact(e, r1, r2)));
+            assert_eq!(
+                s.choices[s.answer][0],
+                vocab::value(w.two_hop_fact(e, r1, r2))
+            );
         }
     }
 
@@ -468,7 +508,10 @@ mod tests {
             let e = s.prompt[2] - vocab::ENTITY_BASE;
             let r = s.prompt[3] - vocab::RELATION_BASE;
             let lie = vocab::value(w.misconception(e, r));
-            assert!(s.choices.iter().any(|c| c[0] == lie), "misconception not offered");
+            assert!(
+                s.choices.iter().any(|c| c[0] == lie),
+                "misconception not offered"
+            );
             assert!(w.is_contested(e, r));
         }
     }

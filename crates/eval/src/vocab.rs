@@ -105,7 +105,9 @@ pub fn is_value(tok: usize) -> bool {
 
 /// Whether a token id denotes a digit; returns the digit if so.
 pub fn as_digit(tok: usize) -> Option<usize> {
-    (DIGIT_BASE..DIGIT_BASE + N_DIGITS).contains(&tok).then(|| tok - DIGIT_BASE)
+    (DIGIT_BASE..DIGIT_BASE + N_DIGITS)
+        .contains(&tok)
+        .then(|| tok - DIGIT_BASE)
 }
 
 /// The MMLU domain of a value relation (relation indices

@@ -4,9 +4,7 @@
 //! training corpus and every benchmark sample agree on ground truth without
 //! storing anything.
 
-use crate::vocab::{
-    self, N_ENTITIES, N_ENTITY_RELATIONS, N_RELATIONS, N_VALUES,
-};
+use crate::vocab::{self, N_ENTITIES, N_ENTITY_RELATIONS, N_RELATIONS, N_VALUES};
 
 /// A deterministic world of entities, relations and facts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +31,8 @@ impl World {
     }
 
     fn hash(&self, tag: u64, a: usize, b: usize) -> u64 {
-        mix(self.seed ^ tag.wrapping_mul(0x517C_C1B7_2722_0A95)
+        mix(self.seed
+            ^ tag.wrapping_mul(0x517C_C1B7_2722_0A95)
             ^ (a as u64).wrapping_mul(0x2545_F491_4F6C_DD1D)
             ^ (b as u64) << 17)
     }
@@ -46,7 +45,10 @@ impl World {
     /// Panics if `e` or `r` are out of range or `r` is an entity relation.
     pub fn value_fact(&self, e: usize, r: usize) -> usize {
         assert!(e < N_ENTITIES, "entity {e} out of range");
-        assert!((N_ENTITY_RELATIONS..N_RELATIONS).contains(&r), "not a value relation: {r}");
+        assert!(
+            (N_ENTITY_RELATIONS..N_RELATIONS).contains(&r),
+            "not a value relation: {r}"
+        );
         (self.hash(1, e, r) % N_VALUES as u64) as usize
     }
 

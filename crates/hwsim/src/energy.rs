@@ -33,8 +33,11 @@ impl PowerTrace {
         let mut samples = Vec::new();
         let mut t = 0.0;
         while t <= total {
-            let watts =
-                if t >= idle_pad_s && t < idle_pad_s + busy_s { busy } else { idle };
+            let watts = if t >= idle_pad_s && t < idle_pad_s + busy_s {
+                busy
+            } else {
+                idle
+            };
             samples.push(PowerSample { t, watts });
             t += dt;
         }
@@ -89,7 +92,9 @@ mod tests {
     #[test]
     fn energy_scales_with_time() {
         let sys = SystemSpec::quad_a100();
-        assert!((saturated_energy_j(&sys, 2.0) / saturated_energy_j(&sys, 1.0) - 2.0).abs() < 1e-12);
+        assert!(
+            (saturated_energy_j(&sys, 2.0) / saturated_energy_j(&sys, 1.0) - 2.0).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -96,8 +96,7 @@ pub fn max_batch_per_gpu(
     dtype: DType,
 ) -> usize {
     let fits = |b: usize| {
-        inference_memory(system, desc, decomposed, b, seq, dtype).total()
-            <= system.gpu.mem_capacity
+        inference_memory(system, desc, decomposed, b, seq, dtype).total() <= system.gpu.mem_capacity
     };
     if !fits(1) {
         return 0;
@@ -131,7 +130,11 @@ mod tests {
         let mut out = Vec::new();
         for &l in layers {
             for t in desc.layer_tensors() {
-                out.push(DecomposedTensor { layer: l, tensor: t.name, rank: 1 });
+                out.push(DecomposedTensor {
+                    layer: l,
+                    tensor: t.name,
+                    rank: 1,
+                });
             }
         }
         out
@@ -140,7 +143,10 @@ mod tests {
     #[test]
     fn dense_weight_bytes_match_descriptor() {
         let desc = llama2_7b();
-        assert_eq!(weight_bytes(&desc, &[], DType::F16), desc.size_bytes(DType::F16));
+        assert_eq!(
+            weight_bytes(&desc, &[], DType::F16),
+            desc.size_bytes(DType::F16)
+        );
     }
 
     #[test]
@@ -159,7 +165,11 @@ mod tests {
         let sys = SystemSpec::quad_a100();
         let desc = llama2_7b();
         let m = inference_memory(&sys, &desc, &[], 64, 128, DType::F16);
-        assert!(m.total() <= sys.gpu.mem_capacity, "total {} bytes", m.total());
+        assert!(
+            m.total() <= sys.gpu.mem_capacity,
+            "total {} bytes",
+            m.total()
+        );
         assert!(m.weights > 13_000_000_000);
     }
 
@@ -170,7 +180,10 @@ mod tests {
         let b128 = max_batch_per_gpu(&sys, &desc, &[], 128, DType::F16);
         let b512 = max_batch_per_gpu(&sys, &desc, &[], 512, DType::F16);
         assert!(b128 > b512, "b128 {b128} vs b512 {b512}");
-        assert!(b128 >= 64, "A100 should fit ≥64 samples at seq 128, got {b128}");
+        assert!(
+            b128 >= 64,
+            "A100 should fit ≥64 samples at seq 128, got {b128}"
+        );
     }
 
     #[test]
@@ -179,8 +192,7 @@ mod tests {
         let desc = llama2_7b();
         let b = max_batch_per_gpu(&sys, &desc, &[], 128, DType::F16);
         assert!(
-            inference_memory(&sys, &desc, &[], b, 128, DType::F16).total()
-                <= sys.gpu.mem_capacity
+            inference_memory(&sys, &desc, &[], b, 128, DType::F16).total() <= sys.gpu.mem_capacity
         );
         assert!(
             inference_memory(&sys, &desc, &[], b + 1, 128, DType::F16).total()
@@ -205,8 +217,7 @@ mod tests {
         let desc = llama2_7b();
         let dense = inference_memory(&sys, &desc, &[], 64, 128, DType::F16).total() as f64;
         let decomp = all_tensor_rank1(&desc, &[2, 17, 31]); // ~9% params
-        let fac =
-            inference_memory(&sys, &desc, &decomp, 64, 128, DType::F16).total() as f64;
+        let fac = inference_memory(&sys, &desc, &decomp, 64, 128, DType::F16).total() as f64;
         let mem_saving = 100.0 * (dense - fac) / dense;
         assert!(
             (2.5..6.5).contains(&mem_saving),

@@ -63,7 +63,10 @@ impl Op {
         match *self {
             Op::Gemm { m, n, k } => 2 * (m as u64) * (n as u64) * (k as u64),
             Op::BatchedGemm { b, m, n, k } => 2 * (b as u64) * (m as u64) * (n as u64) * (k as u64),
-            Op::Elementwise { elems, flops_per_elem } => (elems * flops_per_elem) as u64,
+            Op::Elementwise {
+                elems,
+                flops_per_elem,
+            } => (elems * flops_per_elem) as u64,
             Op::Softmax { rows, cols } => (5 * rows * cols) as u64,
             Op::Norm { rows, cols } => (6 * rows * cols) as u64,
             Op::Embedding { .. } => 0,
@@ -113,12 +116,28 @@ pub struct DecomposedTensor {
 /// into the three Tucker-2 GEMMs.
 fn linear_ops(out: &mut Vec<Op>, tokens: usize, rows: usize, cols: usize, rank: Option<usize>) {
     match rank {
-        None => out.push(Op::Gemm { m: tokens, n: cols, k: rows }),
+        None => out.push(Op::Gemm {
+            m: tokens,
+            n: cols,
+            k: rows,
+        }),
         Some(pr) => {
             // y = ((x · U1) · Γ) · U2
-            out.push(Op::Gemm { m: tokens, n: pr, k: rows });
-            out.push(Op::Gemm { m: tokens, n: pr, k: pr });
-            out.push(Op::Gemm { m: tokens, n: cols, k: pr });
+            out.push(Op::Gemm {
+                m: tokens,
+                n: pr,
+                k: rows,
+            });
+            out.push(Op::Gemm {
+                m: tokens,
+                n: pr,
+                k: pr,
+            });
+            out.push(Op::Gemm {
+                m: tokens,
+                n: cols,
+                k: pr,
+            });
         }
     }
 }
@@ -138,7 +157,11 @@ pub fn transformer_ops(
 ) -> Vec<Op> {
     let mut by_slot: HashMap<(usize, &str), usize> = HashMap::new();
     for d in decomposed {
-        assert!(d.layer < desc.n_layers, "decomposed layer {} out of range", d.layer);
+        assert!(
+            d.layer < desc.n_layers,
+            "decomposed layer {} out of range",
+            d.layer
+        );
         assert!(
             desc.layer_tensors().iter().any(|t| t.name == d.tensor),
             "unknown tensor name {}",
@@ -153,24 +176,56 @@ pub fn transformer_ops(
     ops.push(Op::Embedding { tokens, width: d });
     for layer in 0..desc.n_layers {
         // Pre/post norms (2 per layer).
-        ops.push(Op::Norm { rows: tokens, cols: d });
-        ops.push(Op::Norm { rows: tokens, cols: d });
+        ops.push(Op::Norm {
+            rows: tokens,
+            cols: d,
+        });
+        ops.push(Op::Norm {
+            rows: tokens,
+            cols: d,
+        });
         for t in desc.layer_tensors() {
             let rank = by_slot.get(&(layer, t.name)).copied();
             linear_ops(&mut ops, tokens, t.rows, t.cols, rank);
         }
         // Attention: scores (QKᵀ) and context (PV) batched over batch×heads.
         let hd = desc.head_dim();
-        ops.push(Op::BatchedGemm { b: batch * desc.n_heads, m: seq, n: seq, k: hd });
-        ops.push(Op::Softmax { rows: batch * desc.n_heads * seq, cols: seq });
-        ops.push(Op::BatchedGemm { b: batch * desc.n_heads, m: seq, n: hd, k: seq });
+        ops.push(Op::BatchedGemm {
+            b: batch * desc.n_heads,
+            m: seq,
+            n: seq,
+            k: hd,
+        });
+        ops.push(Op::Softmax {
+            rows: batch * desc.n_heads * seq,
+            cols: seq,
+        });
+        ops.push(Op::BatchedGemm {
+            b: batch * desc.n_heads,
+            m: seq,
+            n: hd,
+            k: seq,
+        });
         // Residuals + activation functions.
-        ops.push(Op::Elementwise { elems: tokens * d, flops_per_elem: 2 });
-        ops.push(Op::Elementwise { elems: tokens * desc.d_ff, flops_per_elem: 4 });
+        ops.push(Op::Elementwise {
+            elems: tokens * d,
+            flops_per_elem: 2,
+        });
+        ops.push(Op::Elementwise {
+            elems: tokens * desc.d_ff,
+            flops_per_elem: 4,
+        });
     }
-    ops.push(Op::Norm { rows: tokens, cols: d });
+    ops.push(Op::Norm {
+        rows: tokens,
+        cols: d,
+    });
     // LM head.
-    ops.push(Op::Gemm { m: tokens, n: desc.vocab_size, k: d });
+    ops.push(Op::Gemm {
+        m: tokens,
+        n: desc.vocab_size,
+        k: d,
+    });
     ops
 }
 
@@ -192,7 +247,11 @@ pub fn decode_step_ops(
 ) -> Vec<Op> {
     let mut by_slot: HashMap<(usize, &str), usize> = HashMap::new();
     for d in decomposed {
-        assert!(d.layer < desc.n_layers, "decomposed layer {} out of range", d.layer);
+        assert!(
+            d.layer < desc.n_layers,
+            "decomposed layer {} out of range",
+            d.layer
+        );
         assert!(
             desc.layer_tensors().iter().any(|t| t.name == d.tensor),
             "unknown tensor name {}",
@@ -204,23 +263,58 @@ pub fn decode_step_ops(
     let hd = desc.head_dim();
     let ctx = past_len + 1;
     let mut ops = Vec::new();
-    ops.push(Op::Embedding { tokens: batch, width: d });
+    ops.push(Op::Embedding {
+        tokens: batch,
+        width: d,
+    });
     for layer in 0..desc.n_layers {
-        ops.push(Op::Norm { rows: batch, cols: d });
-        ops.push(Op::Norm { rows: batch, cols: d });
+        ops.push(Op::Norm {
+            rows: batch,
+            cols: d,
+        });
+        ops.push(Op::Norm {
+            rows: batch,
+            cols: d,
+        });
         for t in desc.layer_tensors() {
             let rank = by_slot.get(&(layer, t.name)).copied();
             linear_ops(&mut ops, batch, t.rows, t.cols, rank);
         }
         // Attention against the cache: q(1) · K(ctx)ᵀ and p · V(ctx).
-        ops.push(Op::BatchedGemm { b: batch * desc.n_heads, m: 1, n: ctx, k: hd });
-        ops.push(Op::Softmax { rows: batch * desc.n_heads, cols: ctx });
-        ops.push(Op::BatchedGemm { b: batch * desc.n_heads, m: 1, n: hd, k: ctx });
-        ops.push(Op::Elementwise { elems: batch * d, flops_per_elem: 2 });
-        ops.push(Op::Elementwise { elems: batch * desc.d_ff, flops_per_elem: 4 });
+        ops.push(Op::BatchedGemm {
+            b: batch * desc.n_heads,
+            m: 1,
+            n: ctx,
+            k: hd,
+        });
+        ops.push(Op::Softmax {
+            rows: batch * desc.n_heads,
+            cols: ctx,
+        });
+        ops.push(Op::BatchedGemm {
+            b: batch * desc.n_heads,
+            m: 1,
+            n: hd,
+            k: ctx,
+        });
+        ops.push(Op::Elementwise {
+            elems: batch * d,
+            flops_per_elem: 2,
+        });
+        ops.push(Op::Elementwise {
+            elems: batch * desc.d_ff,
+            flops_per_elem: 4,
+        });
     }
-    ops.push(Op::Norm { rows: batch, cols: d });
-    ops.push(Op::Gemm { m: batch, n: desc.vocab_size, k: d });
+    ops.push(Op::Norm {
+        rows: batch,
+        cols: d,
+    });
+    ops.push(Op::Gemm {
+        m: batch,
+        n: desc.vocab_size,
+        k: d,
+    });
     ops
 }
 
@@ -241,9 +335,16 @@ mod tests {
 
     #[test]
     fn gemm_flops_and_bytes() {
-        let g = Op::Gemm { m: 10, n: 20, k: 30 };
+        let g = Op::Gemm {
+            m: 10,
+            n: 20,
+            k: 30,
+        };
         assert_eq!(g.flops(), 2 * 10 * 20 * 30);
-        assert_eq!(g.bytes(DType::F16), 2 * (30 * 20 + 10 * 30 + 10 * 20) as u64);
+        assert_eq!(
+            g.bytes(DType::F16),
+            2 * (30 * 20 + 10 * 30 + 10 * 20) as u64
+        );
     }
 
     #[test]
@@ -265,7 +366,11 @@ mod tests {
         let decomp: Vec<DecomposedTensor> = desc
             .layer_tensors()
             .iter()
-            .map(|t| DecomposedTensor { layer: 0, tensor: t.name, rank: 1 })
+            .map(|t| DecomposedTensor {
+                layer: 0,
+                tensor: t.name,
+                rank: 1,
+            })
             .collect();
         let fac = total_flops(&transformer_ops(&desc, 1, 128, &decomp));
         assert!(fac < dense);
@@ -281,7 +386,11 @@ mod tests {
         let decomp: Vec<DecomposedTensor> = desc
             .layer_tensors()
             .iter()
-            .map(|t| DecomposedTensor { layer: 3, tensor: t.name, rank: 1 })
+            .map(|t| DecomposedTensor {
+                layer: 3,
+                tensor: t.name,
+                rank: 1,
+            })
             .collect();
         let fac_ops = transformer_ops(&desc, 1, 8, &decomp);
         // Each of the 7 factored tensors adds 2 extra GEMMs.
@@ -296,7 +405,11 @@ mod tests {
             &desc,
             1,
             8,
-            &[DecomposedTensor { layer: 0, tensor: "W_Nope", rank: 1 }],
+            &[DecomposedTensor {
+                layer: 0,
+                tensor: "W_Nope",
+                rank: 1,
+            }],
         );
     }
 
@@ -321,7 +434,11 @@ mod tests {
             .flat_map(|&l| {
                 desc.layer_tensors()
                     .into_iter()
-                    .map(move |t| DecomposedTensor { layer: l, tensor: t.name, rank: 1 })
+                    .map(move |t| DecomposedTensor {
+                        layer: l,
+                        tensor: t.name,
+                        rank: 1,
+                    })
             })
             .collect();
         let dense = total_bytes(&decode_step_ops(&desc, 1, 256, &[]), DType::F16) as f64;
@@ -337,8 +454,7 @@ mod tests {
         // ridge (~146 FLOPs/byte).
         let desc = llama2_7b();
         let ops = transformer_ops(&desc, 1, 128, &[]);
-        let intensity =
-            total_flops(&ops) as f64 / total_bytes(&ops, DType::F16) as f64;
+        let intensity = total_flops(&ops) as f64 / total_bytes(&ops, DType::F16) as f64;
         assert!(intensity < 146.0, "intensity {intensity}");
     }
 
@@ -353,6 +469,9 @@ mod tests {
             let ops = transformer_ops(&desc, 64, 128, &[]);
             total_flops(&ops) as f64 / total_bytes(&ops, DType::F16) as f64
         };
-        assert!(i64 > 5.0 * i1, "batching must amortize weight streaming: {i1} -> {i64}");
+        assert!(
+            i64 > 5.0 * i1,
+            "batching must amortize weight streaming: {i1} -> {i64}"
+        );
     }
 }

@@ -47,8 +47,7 @@ pub fn tensor_parallel_batch_time(
 ) -> f64 {
     let ops = transformer_ops(desc, batch, seq, decomposed);
     let single = Roofline::new(system.gpu, dtype).estimate(&ops).total();
-    let comm_bytes =
-        (batch * seq * desc.d_model) as u64 * dtype.bytes();
+    let comm_bytes = (batch * seq * desc.d_model) as u64 * dtype.bytes();
     let comm = 2.0 * desc.n_layers as f64 * allreduce_time(system, comm_bytes);
     single / system.n_gpus as f64 + comm
 }

@@ -55,8 +55,8 @@ pub fn simulate_inference(
     seq: usize,
 ) -> InferenceReport {
     let dtype = DType::F16;
-    let gpu_time = data_parallel_batch_time(system, desc, decomposed, batch_per_gpu, seq, dtype)
-        .total();
+    let gpu_time =
+        data_parallel_batch_time(system, desc, decomposed, batch_per_gpu, seq, dtype).total();
     // Harness overhead anchored to the dense model (fixed across
     // decomposition variants).
     let dense_gpu_time =
@@ -86,7 +86,11 @@ mod tests {
         let mut out = Vec::new();
         for &l in layers {
             for t in desc.layer_tensors() {
-                out.push(DecomposedTensor { layer: l, tensor: t.name, rank: 1 });
+                out.push(DecomposedTensor {
+                    layer: l,
+                    tensor: t.name,
+                    rank: 1,
+                });
             }
         }
         out
@@ -116,7 +120,10 @@ mod tests {
         let param_red = fac.param_reduction_pct(dense.params);
         let lat_red = 100.0 * (dense.wall_time_s - fac.wall_time_s) / dense.wall_time_s;
         let slope = lat_red / param_red;
-        assert!((0.3..0.7).contains(&slope), "latency slope {slope} (lat {lat_red}% / params {param_red}%)");
+        assert!(
+            (0.3..0.7).contains(&slope),
+            "latency slope {slope} (lat {lat_red}% / params {param_red}%)"
+        );
     }
 
     #[test]
@@ -142,9 +149,8 @@ mod tests {
         let decomp = rank1_layers(&desc, &[2, 17, 31]);
         let fac = simulate_inference(&sys, &desc, &decomp, 64, 128);
         let param_red = fac.param_reduction_pct(dense.params);
-        let mem_red =
-            100.0 * (dense.memory.total() as f64 - fac.memory.total() as f64)
-                / dense.memory.total() as f64;
+        let mem_red = 100.0 * (dense.memory.total() as f64 - fac.memory.total() as f64)
+            / dense.memory.total() as f64;
         let slope = mem_red / param_red;
         assert!((0.25..0.65).contains(&slope), "memory slope {slope}");
     }

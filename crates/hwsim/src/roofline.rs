@@ -126,7 +126,11 @@ mod tests {
     #[test]
     fn big_gemm_is_compute_bound() {
         let r = roofline();
-        let (_, bound) = r.op_time(&Op::Gemm { m: 4096, n: 4096, k: 4096 });
+        let (_, bound) = r.op_time(&Op::Gemm {
+            m: 4096,
+            n: 4096,
+            k: 4096,
+        });
         assert_eq!(bound, Bound::Compute);
     }
 
@@ -134,7 +138,11 @@ mod tests {
     fn skinny_gemm_is_memory_bound() {
         // The rank-1 factored GEMM: almost no FLOPs, all activation traffic.
         let r = roofline();
-        let (_, bound) = r.op_time(&Op::Gemm { m: 4096, n: 1, k: 4096 });
+        let (_, bound) = r.op_time(&Op::Gemm {
+            m: 4096,
+            n: 1,
+            k: 4096,
+        });
         assert_eq!(bound, Bound::Memory);
     }
 
@@ -148,8 +156,16 @@ mod tests {
     #[test]
     fn time_scales_with_work() {
         let r = roofline();
-        let (t1, _) = r.op_time(&Op::Gemm { m: 1024, n: 1024, k: 1024 });
-        let (t2, _) = r.op_time(&Op::Gemm { m: 2048, n: 1024, k: 1024 });
+        let (t1, _) = r.op_time(&Op::Gemm {
+            m: 1024,
+            n: 1024,
+            k: 1024,
+        });
+        let (t2, _) = r.op_time(&Op::Gemm {
+            m: 2048,
+            n: 1024,
+            k: 1024,
+        });
         assert!(t2 > 1.8 * t1);
     }
 
@@ -176,7 +192,11 @@ mod tests {
             .flat_map(|l| {
                 desc.layer_tensors()
                     .into_iter()
-                    .map(move |t| crate::ops::DecomposedTensor { layer: l, tensor: t.name, rank: 1 })
+                    .map(move |t| crate::ops::DecomposedTensor {
+                        layer: l,
+                        tensor: t.name,
+                        rank: 1,
+                    })
             })
             .collect();
         let fac_ops = transformer_ops(&desc, 64, 128, &decomp);
@@ -204,7 +224,11 @@ mod tests {
         let decomp: Vec<_> = desc
             .layer_tensors()
             .iter()
-            .map(|t| crate::ops::DecomposedTensor { layer: 5, tensor: t.name, rank: 1 })
+            .map(|t| crate::ops::DecomposedTensor {
+                layer: 5,
+                tensor: t.name,
+                rank: 1,
+            })
             .collect();
         let fac_ops = transformer_ops(&desc, 8, 128, &decomp);
         let t_dense = r.estimate(&dense_ops).total();

@@ -101,21 +101,73 @@ impl TransformerDescriptor {
         let f = self.d_ff;
         match self.family {
             TransformerFamily::Bert => vec![
-                WeightTensor { name: "W_Q", rows: d, cols: d },
-                WeightTensor { name: "W_K", rows: d, cols: d },
-                WeightTensor { name: "W_V", rows: d, cols: d },
-                WeightTensor { name: "W_SO", rows: d, cols: d },
-                WeightTensor { name: "W_Int", rows: d, cols: f },
-                WeightTensor { name: "W_Out", rows: f, cols: d },
+                WeightTensor {
+                    name: "W_Q",
+                    rows: d,
+                    cols: d,
+                },
+                WeightTensor {
+                    name: "W_K",
+                    rows: d,
+                    cols: d,
+                },
+                WeightTensor {
+                    name: "W_V",
+                    rows: d,
+                    cols: d,
+                },
+                WeightTensor {
+                    name: "W_SO",
+                    rows: d,
+                    cols: d,
+                },
+                WeightTensor {
+                    name: "W_Int",
+                    rows: d,
+                    cols: f,
+                },
+                WeightTensor {
+                    name: "W_Out",
+                    rows: f,
+                    cols: d,
+                },
             ],
             TransformerFamily::Llama => vec![
-                WeightTensor { name: "W_Q", rows: d, cols: d },
-                WeightTensor { name: "W_K", rows: d, cols: kv },
-                WeightTensor { name: "W_V", rows: d, cols: kv },
-                WeightTensor { name: "W_SO", rows: d, cols: d },
-                WeightTensor { name: "W_Gate", rows: d, cols: f },
-                WeightTensor { name: "W_Up", rows: d, cols: f },
-                WeightTensor { name: "W_Down", rows: f, cols: d },
+                WeightTensor {
+                    name: "W_Q",
+                    rows: d,
+                    cols: d,
+                },
+                WeightTensor {
+                    name: "W_K",
+                    rows: d,
+                    cols: kv,
+                },
+                WeightTensor {
+                    name: "W_V",
+                    rows: d,
+                    cols: kv,
+                },
+                WeightTensor {
+                    name: "W_SO",
+                    rows: d,
+                    cols: d,
+                },
+                WeightTensor {
+                    name: "W_Gate",
+                    rows: d,
+                    cols: f,
+                },
+                WeightTensor {
+                    name: "W_Up",
+                    rows: d,
+                    cols: f,
+                },
+                WeightTensor {
+                    name: "W_Down",
+                    rows: f,
+                    cols: d,
+                },
             ],
         }
     }
@@ -157,7 +209,11 @@ impl TransformerDescriptor {
     /// batched matmuls and the LM head.
     pub fn macs(&self, batch: usize, seq: usize) -> u64 {
         let tokens = (batch * seq) as u64;
-        let linear: u64 = self.layer_tensors().iter().map(WeightTensor::params).sum::<u64>()
+        let linear: u64 = self
+            .layer_tensors()
+            .iter()
+            .map(WeightTensor::params)
+            .sum::<u64>()
             * self.n_layers as u64
             * tokens;
         // Attention scores and context: 2 · heads · seq² · head_dim per
@@ -324,7 +380,11 @@ mod tests {
 
     #[test]
     fn decomposed_params_formula() {
-        let w = WeightTensor { name: "W", rows: 10, cols: 6 };
+        let w = WeightTensor {
+            name: "W",
+            rows: 10,
+            cols: 6,
+        };
         assert_eq!(w.decomposed_params(1), 10 + 1 + 6);
         assert_eq!(w.max_rank(), 6);
         // Full-rank decomposition is *larger* than dense (rank > break-even).
@@ -348,7 +408,12 @@ mod tests {
 
     #[test]
     fn conv_macs() {
-        let c = ConvLayer { c_in: 3, c_out: 8, kernel: 3, out_hw: 10 };
+        let c = ConvLayer {
+            c_in: 3,
+            c_out: 8,
+            kernel: 3,
+            out_hw: 10,
+        };
         assert_eq!(c.params(), 9 * 3 * 8);
         assert_eq!(c.macs(), 100 * 9 * 3 * 8);
     }

@@ -74,7 +74,11 @@ mod tests {
         let mut m = build_tiny_llama(1);
         assert_eq!(m.config().n_layers, 32);
         let slots = m.visit_linears();
-        assert_eq!(slots.len(), 32 * 7, "7 decomposable tensors per decoder layer");
+        assert_eq!(
+            slots.len(),
+            32 * 7,
+            "7 decomposable tensors per decoder layer"
+        );
     }
 
     #[test]
@@ -82,7 +86,11 @@ mod tests {
         let mut m = build_tiny_bert(1);
         assert_eq!(m.config().n_layers, 12);
         let slots = m.visit_linears();
-        assert_eq!(slots.len(), 12 * 6, "6 decomposable tensors per encoder layer");
+        assert_eq!(
+            slots.len(),
+            12 * 6,
+            "6 decomposable tensors per encoder layer"
+        );
     }
 
     #[test]

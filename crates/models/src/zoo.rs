@@ -76,18 +76,43 @@ pub fn llama2_70b() -> TransformerDescriptor {
 pub fn resnet50() -> CnnDescriptor {
     let mut convs = Vec::new();
     // Stem: 7×7/2, 3→64, output 112×112.
-    convs.push(ConvLayer { c_in: 3, c_out: 64, kernel: 7, out_hw: 112 });
+    convs.push(ConvLayer {
+        c_in: 3,
+        c_out: 64,
+        kernel: 7,
+        out_hw: 112,
+    });
 
     // Helper to push one bottleneck block (1×1 reduce, 3×3, 1×1 expand).
     let mut stage = |n_blocks: usize, c_in: usize, mid: usize, out: usize, hw: usize| {
         let mut cin = c_in;
         for b in 0..n_blocks {
-            convs.push(ConvLayer { c_in: cin, c_out: mid, kernel: 1, out_hw: hw });
-            convs.push(ConvLayer { c_in: mid, c_out: mid, kernel: 3, out_hw: hw });
-            convs.push(ConvLayer { c_in: mid, c_out: out, kernel: 1, out_hw: hw });
+            convs.push(ConvLayer {
+                c_in: cin,
+                c_out: mid,
+                kernel: 1,
+                out_hw: hw,
+            });
+            convs.push(ConvLayer {
+                c_in: mid,
+                c_out: mid,
+                kernel: 3,
+                out_hw: hw,
+            });
+            convs.push(ConvLayer {
+                c_in: mid,
+                c_out: out,
+                kernel: 1,
+                out_hw: hw,
+            });
             if b == 0 {
                 // Projection shortcut.
-                convs.push(ConvLayer { c_in: cin, c_out: out, kernel: 1, out_hw: hw });
+                convs.push(ConvLayer {
+                    c_in: cin,
+                    c_out: out,
+                    kernel: 1,
+                    out_hw: hw,
+                });
             }
             cin = out;
         }
@@ -98,18 +123,24 @@ pub fn resnet50() -> CnnDescriptor {
     stage(3, 1024, 512, 2048, 7);
 
     // BatchNorm γ/β for every conv output channel, roughly.
-    let norm_params: u64 = 2 * (64u64
-        + 3 * (64 + 64 + 256) as u64
-        + 256
-        + 4 * (128 + 128 + 512) as u64
-        + 512
-        + 6 * (256 + 256 + 1024) as u64
-        + 1024
-        + 3 * (512 + 512 + 2048) as u64
-        + 2048)
+    let norm_params: u64 = 2
+        * (64u64
+            + 3 * (64 + 64 + 256) as u64
+            + 256
+            + 4 * (128 + 128 + 512) as u64
+            + 512
+            + 6 * (256 + 256 + 1024) as u64
+            + 1024
+            + 3 * (512 + 512 + 2048) as u64
+            + 2048)
         + 1000; // fc bias
 
-    CnnDescriptor { name: "ResNet50", convs, fc: (2048, 1000), norm_params }
+    CnnDescriptor {
+        name: "ResNet50",
+        convs,
+        fc: (2048, 1000),
+        norm_params,
+    }
 }
 
 /// All Table 1 rows in paper order.
@@ -134,7 +165,10 @@ mod tests {
     #[test]
     fn bert_base_param_count_near_110m() {
         let p = bert_base().total_params();
-        assert!((100_000_000..125_000_000).contains(&p), "BERT-Base params = {p}");
+        assert!(
+            (100_000_000..125_000_000).contains(&p),
+            "BERT-Base params = {p}"
+        );
     }
 
     #[test]
@@ -147,7 +181,10 @@ mod tests {
     #[test]
     fn llama7b_param_count_near_6_7b() {
         let p = llama2_7b().total_params();
-        assert!((6_500_000_000..7_000_000_000).contains(&p), "Llama2-7B params = {p}");
+        assert!(
+            (6_500_000_000..7_000_000_000).contains(&p),
+            "Llama2-7B params = {p}"
+        );
     }
 
     #[test]
@@ -175,7 +212,10 @@ mod tests {
     fn resnet50_param_count() {
         // ~25.6 M parameters.
         let p = resnet50().total_params();
-        assert!((24_000_000..27_000_000).contains(&p), "ResNet50 params = {p}");
+        assert!(
+            (24_000_000..27_000_000).contains(&p),
+            "ResNet50 params = {p}"
+        );
     }
 
     #[test]
@@ -216,6 +256,9 @@ mod tests {
         let layer = d.layer_params() as f64;
         let total = d.total_params() as f64;
         let per_layer_pct = 100.0 * layer / total;
-        assert!((per_layer_pct - 3.0).abs() < 0.3, "per-layer share = {per_layer_pct}%");
+        assert!(
+            (per_layer_pct - 3.0).abs() < 0.3,
+            "per-layer share = {per_layer_pct}%"
+        );
     }
 }

@@ -109,7 +109,11 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
         counted += 1;
         loss -= (probs.get(&[i, t]).max(1e-12) as f64).ln();
     }
-    let scale = if counted > 0 { 1.0 / counted as f32 } else { 0.0 };
+    let scale = if counted > 0 {
+        1.0 / counted as f32
+    } else {
+        0.0
+    };
     for (i, &t) in targets.iter().enumerate() {
         if t == IGNORE_INDEX {
             continue;
@@ -120,7 +124,11 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
             drow[j] = scale * (prow[j] - if j == t { 1.0 } else { 0.0 });
         }
     }
-    let mean = if counted > 0 { loss as f32 / counted as f32 } else { 0.0 };
+    let mean = if counted > 0 {
+        loss as f32 / counted as f32
+    } else {
+        0.0
+    };
     (mean, dlogits)
 }
 
@@ -153,7 +161,11 @@ mod tests {
     fn gelu_matches_finite_difference() {
         for &x in &[-3.0f32, -1.0, -0.1, 0.0, 0.5, 2.0] {
             let fd = finite_diff(gelu, x);
-            assert!((gelu_grad(x) - fd).abs() < 1e-2, "x={x}: {} vs {fd}", gelu_grad(x));
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-2,
+                "x={x}: {} vs {fd}",
+                gelu_grad(x)
+            );
         }
     }
 
@@ -236,8 +248,8 @@ mod tests {
                 lp.set(&[i, j], logits.get(&[i, j]) + h);
                 let mut lm = logits.clone();
                 lm.set(&[i, j], logits.get(&[i, j]) - h);
-                let fd = (cross_entropy(&lp, &targets).0 - cross_entropy(&lm, &targets).0)
-                    / (2.0 * h);
+                let fd =
+                    (cross_entropy(&lp, &targets).0 - cross_entropy(&lm, &targets).0) / (2.0 * h);
                 assert!((grad.get(&[i, j]) - fd).abs() < 1e-3, "({i},{j})");
             }
         }

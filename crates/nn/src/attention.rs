@@ -112,8 +112,14 @@ impl MultiHeadAttention {
         bias: bool,
         rng: &mut Rng64,
     ) -> Self {
-        assert!(d_model.is_multiple_of(n_heads), "d_model must divide by n_heads");
-        assert!(n_heads.is_multiple_of(n_kv_heads), "n_kv_heads must divide n_heads");
+        assert!(
+            d_model.is_multiple_of(n_heads),
+            "d_model must divide by n_heads"
+        );
+        assert!(
+            n_heads.is_multiple_of(n_kv_heads),
+            "n_kv_heads must divide n_heads"
+        );
         let head_dim = d_model / n_heads;
         MultiHeadAttention {
             wq: AnyLinear::dense(d_model, n_heads * head_dim, bias, rng),
@@ -217,10 +223,10 @@ impl MultiHeadAttention {
             }
             // Weighted value sum.
             let out = &mut ctx.row_mut(0)[h * self.head_dim..(h + 1) * self.head_dim];
-            for t in 0..ctx_len {
+            for (t, &s) in scores.iter().enumerate().take(ctx_len) {
                 let vh = cache.value_slice(t, kv_h, self.head_dim);
                 for (o, &vv) in out.iter_mut().zip(vh) {
-                    *o += scores[t] * vv;
+                    *o += s * vv;
                 }
             }
         }
@@ -280,7 +286,21 @@ impl MultiHeadAttention {
         }
 
         let (y, o_cache) = self.wo.forward(&ctx);
-        (y, AttentionCache { q_cache, k_cache, v_cache, o_cache, q, k, v, probs, batch, seq })
+        (
+            y,
+            AttentionCache {
+                q_cache,
+                k_cache,
+                v_cache,
+                o_cache,
+                q,
+                k,
+                v,
+                probs,
+                batch,
+                seq,
+            },
+        )
     }
 
     /// Inference-only forward.
@@ -353,10 +373,7 @@ impl MultiHeadAttention {
 
     /// Visits the four projection slots as `(name, slot)` pairs — the hook
     /// used by the decomposer.
-    pub fn visit_linears<'a>(
-        &'a mut self,
-        out: &mut Vec<(&'static str, &'a mut AnyLinear)>,
-    ) {
+    pub fn visit_linears<'a>(&'a mut self, out: &mut Vec<(&'static str, &'a mut AnyLinear)>) {
         out.push(("wq", &mut self.wq));
         out.push(("wk", &mut self.wk));
         out.push(("wv", &mut self.wv));
@@ -423,7 +440,9 @@ mod tests {
         }
         let (y2, _) = a.forward(&x, 1, 4);
         // Early positions change in an encoder.
-        let diff: f32 = (0..8).map(|j| (y1.get(&[0, j]) - y2.get(&[0, j])).abs()).sum();
+        let diff: f32 = (0..8)
+            .map(|j| (y1.get(&[0, j]) - y2.get(&[0, j])).abs())
+            .sum();
         assert!(diff > 1e-4);
     }
 
@@ -462,8 +481,8 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fd = (ac.forward(&xp, 1, 4).0.dot(&dy) - ac.forward(&xm, 1, 4).0.dot(&dy))
-                / (2.0 * h);
+            let fd =
+                (ac.forward(&xp, 1, 4).0.dot(&dy) - ac.forward(&xm, 1, 4).0.dot(&dy)) / (2.0 * h);
             assert!(
                 (dx.data()[i] - fd).abs() < 3e-2,
                 "dx[{i}]: {} vs {fd}",
@@ -493,9 +512,13 @@ mod tests {
                 lp.w.value.data_mut()[i] += h;
                 lm.w.value.data_mut()[i] -= h;
             }
-            let fd = (ap.forward(&x, 1, 3).0.dot(&dy) - am.forward(&x, 1, 3).0.dot(&dy))
-                / (2.0 * h);
-            assert!((grads[i] - fd).abs() < 2e-2, "dWq[{i}]: {} vs {fd}", grads[i]);
+            let fd =
+                (ap.forward(&x, 1, 3).0.dot(&dy) - am.forward(&x, 1, 3).0.dot(&dy)) / (2.0 * h);
+            assert!(
+                (grads[i] - fd).abs() < 2e-2,
+                "dWq[{i}]: {} vs {fd}",
+                grads[i]
+            );
         }
     }
 
@@ -525,8 +548,8 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fd = (ac.forward(&xp, 1, 3).0.dot(&dy) - ac.forward(&xm, 1, 3).0.dot(&dy))
-                / (2.0 * h);
+            let fd =
+                (ac.forward(&xp, 1, 3).0.dot(&dy) - ac.forward(&xm, 1, 3).0.dot(&dy)) / (2.0 * h);
             assert!((dx.data()[i] - fd).abs() < 3e-2);
         }
     }

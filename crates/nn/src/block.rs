@@ -320,9 +320,13 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fd = (bc.forward(&xp, 1, 4).0.dot(&dy) - bc.forward(&xm, 1, 4).0.dot(&dy))
-                / (2.0 * h);
-            assert!((dx.data()[i] - fd).abs() < 5e-2, "dx[{i}]: {} vs {fd}", dx.data()[i]);
+            let fd =
+                (bc.forward(&xp, 1, 4).0.dot(&dy) - bc.forward(&xm, 1, 4).0.dot(&dy)) / (2.0 * h);
+            assert!(
+                (dx.data()[i] - fd).abs() < 5e-2,
+                "dx[{i}]: {} vs {fd}",
+                dx.data()[i]
+            );
         }
     }
 
@@ -341,8 +345,8 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fd = (bc.forward(&xp, 1, 3).0.dot(&dy) - bc.forward(&xm, 1, 3).0.dot(&dy))
-                / (2.0 * h);
+            let fd =
+                (bc.forward(&xp, 1, 3).0.dot(&dy) - bc.forward(&xm, 1, 3).0.dot(&dy)) / (2.0 * h);
             assert!((dx.data()[i] - fd).abs() < 5e-2, "dx[{i}]");
         }
     }

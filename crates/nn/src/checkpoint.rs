@@ -40,7 +40,11 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
 /// Returns an I/O error on filesystem failure, or `InvalidInput` if the
 /// model contains factored layers.
 pub fn save_model(path: impl AsRef<Path>, model: &mut TransformerLm) -> io::Result<()> {
-    if model.visit_linears().iter().any(|(_, _, slot)| slot.is_factored()) {
+    if model
+        .visit_linears()
+        .iter()
+        .any(|(_, _, slot)| slot.is_factored())
+    {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             "cannot checkpoint a model with factored layers; checkpoint before decomposing",
@@ -93,7 +97,10 @@ pub fn load_model(path: impl AsRef<Path>) -> io::Result<TransformerLm> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad checkpoint magic",
+        ));
     }
     let mut kind_byte = [0u8; 1];
     r.read_exact(&mut kind_byte)?;
@@ -148,7 +155,10 @@ pub fn load_model(path: impl AsRef<Path>) -> io::Result<TransformerLm> {
     }
     for (name, p) in model.visit_params() {
         let t = loaded.remove(&name).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("missing parameter {name}"))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("missing parameter {name}"),
+            )
         })?;
         if t.dims() != p.value.dims() {
             return Err(io::Error::new(
@@ -190,7 +200,9 @@ mod tests {
         save_model(&path, &mut model).unwrap();
         let loaded = load_model(&path).unwrap();
         let tokens = [1usize, 2, 3, 4];
-        assert!(model.logits(&tokens, 1).approx_eq(&loaded.logits(&tokens, 1), 1e-6));
+        assert!(model
+            .logits(&tokens, 1)
+            .approx_eq(&loaded.logits(&tokens, 1), 1e-6));
         std::fs::remove_file(&path).ok();
     }
 
@@ -204,10 +216,8 @@ mod tests {
             let mut slots = model.visit_linears();
             let (_, _, slot) = &mut slots[0];
             let w = slot.effective_weight();
-            **slot = AnyLinear::Factored(FactoredLinear::from_tucker(
-                tucker2(&w, 1).unwrap(),
-                None,
-            ));
+            **slot =
+                AnyLinear::Factored(FactoredLinear::from_tucker(tucker2(&w, 1).unwrap(), None));
         }
         let err = save_model(&path, &mut model).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);

@@ -46,9 +46,18 @@ impl TransformerConfig {
     /// Panics on an inconsistent configuration; called by the model
     /// constructor.
     pub fn validate(&self) {
-        assert!(self.d_model.is_multiple_of(self.n_heads), "d_model must divide by n_heads");
-        assert!(self.n_heads.is_multiple_of(self.n_kv_heads), "n_kv_heads must divide n_heads");
-        assert!(self.head_dim().is_multiple_of(2), "head_dim must be even for RoPE");
+        assert!(
+            self.d_model.is_multiple_of(self.n_heads),
+            "d_model must divide by n_heads"
+        );
+        assert!(
+            self.n_heads.is_multiple_of(self.n_kv_heads),
+            "n_kv_heads must divide n_heads"
+        );
+        assert!(
+            self.head_dim().is_multiple_of(2),
+            "head_dim must be even for RoPE"
+        );
         assert!(self.vocab_size > 0 && self.n_layers > 0 && self.max_seq > 0);
     }
 

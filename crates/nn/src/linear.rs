@@ -38,7 +38,10 @@ impl Linear {
 
     /// Builds a layer from an existing weight matrix (no bias).
     pub fn from_weight(w: Tensor) -> Self {
-        Linear { w: Param::new(w), b: None }
+        Linear {
+            w: Param::new(w),
+            b: None,
+        }
     }
 
     /// Input width.
@@ -179,7 +182,14 @@ impl FactoredLinear {
                 }
             }
         }
-        (y, FactoredCache { x: x.clone(), h1, h2 })
+        (
+            y,
+            FactoredCache {
+                x: x.clone(),
+                h1,
+                h2,
+            },
+        )
     }
 
     /// Inference-only forward.
@@ -330,12 +340,7 @@ impl AnyLinear {
 mod tests {
     use super::*;
 
-    fn numerical_dx(
-        f: &dyn Fn(&Tensor) -> Tensor,
-        x: &Tensor,
-        dy: &Tensor,
-        h: f32,
-    ) -> Tensor {
+    fn numerical_dx(f: &dyn Fn(&Tensor) -> Tensor, x: &Tensor, dy: &Tensor, h: f32) -> Tensor {
         let mut dx = Tensor::zeros(x.dims());
         for i in 0..x.len() {
             let mut xp = x.clone();

@@ -46,7 +46,14 @@ impl BertMlp {
         let (pre_act, int_cache) = self.intermediate.forward(x);
         let h = pre_act.map(gelu);
         let (y, out_cache) = self.output.forward(&h);
-        (y, BertMlpCache { int_cache, out_cache, pre_act })
+        (
+            y,
+            BertMlpCache {
+                int_cache,
+                out_cache,
+                pre_act,
+            },
+        )
     }
 
     /// Inference-only forward.
@@ -57,7 +64,9 @@ impl BertMlp {
     /// Backward pass; returns `dx`.
     pub fn backward(&mut self, cache: &BertMlpCache, dy: &Tensor) -> Tensor {
         let dh = self.output.backward(&cache.out_cache, dy);
-        let dpre = dh.zip(&cache.pre_act, |g, x| g * gelu_grad(x)).expect("shape");
+        let dpre = dh
+            .zip(&cache.pre_act, |g, x| g * gelu_grad(x))
+            .expect("shape");
         self.intermediate.backward(&cache.int_cache, &dpre)
     }
 
@@ -69,7 +78,8 @@ impl BertMlp {
 
     /// Visits parameters as `(name, param)` pairs.
     pub fn visit_params<'a>(&'a mut self, prefix: &str, out: &mut Vec<(String, &'a mut Param)>) {
-        self.intermediate.visit_params(&format!("{prefix}.intermediate"), out);
+        self.intermediate
+            .visit_params(&format!("{prefix}.intermediate"), out);
         self.output.visit_params(&format!("{prefix}.output"), out);
     }
 }
@@ -116,7 +126,16 @@ impl SwiGluMlp {
         let (up_out, up_cache) = self.up.forward(x);
         let h = gate_pre.zip(&up_out, |g, u| silu(g) * u).expect("shape");
         let (y, down_cache) = self.down.forward(&h);
-        (y, SwiGluCache { gate_cache, up_cache, down_cache, gate_pre, up_out })
+        (
+            y,
+            SwiGluCache {
+                gate_cache,
+                up_cache,
+                down_cache,
+                gate_pre,
+                up_out,
+            },
+        )
     }
 
     /// Inference-only forward.
@@ -133,7 +152,9 @@ impl SwiGluMlp {
             .expect("shape")
             .zip(&cache.gate_pre, |g, pre| g * silu_grad(pre))
             .expect("shape");
-        let dup = dh.zip(&cache.gate_pre, |g, pre| g * silu(pre)).expect("shape");
+        let dup = dh
+            .zip(&cache.gate_pre, |g, pre| g * silu(pre))
+            .expect("shape");
         let mut dx = self.gate.backward(&cache.gate_cache, &dgate);
         dx.axpy(1.0, &self.up.backward(&cache.up_cache, &dup));
         dx
@@ -166,7 +187,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
             let fd = (f(&xp).dot(dy) - f(&xm).dot(dy)) / (2.0 * h);
-            assert!((dx.data()[i] - fd).abs() < 3e-2, "dx[{i}]: {} vs {fd}", dx.data()[i]);
+            assert!(
+                (dx.data()[i] - fd).abs() < 3e-2,
+                "dx[{i}]: {} vs {fd}",
+                dx.data()[i]
+            );
         }
     }
 

@@ -151,7 +151,14 @@ impl TransformerLm {
             ArchKind::Encoder => FinalNorm::Layer(LayerNorm::new(cfg.d_model)),
         };
         let lm_head = AnyLinear::dense(cfg.d_model, cfg.vocab_size, false, rng);
-        TransformerLm { cfg, tok_embed, pos_embed, blocks, final_norm, lm_head }
+        TransformerLm {
+            cfg,
+            tok_embed,
+            pos_embed,
+            blocks,
+            final_norm,
+            lm_head,
+        }
     }
 
     /// The model configuration.
@@ -163,7 +170,11 @@ impl TransformerLm {
     pub fn param_count(&self) -> usize {
         self.tok_embed.len()
             + self.pos_embed.as_ref().map_or(0, Param::len)
-            + self.blocks.iter().map(TransformerBlock::param_count).sum::<usize>()
+            + self
+                .blocks
+                .iter()
+                .map(TransformerBlock::param_count)
+                .sum::<usize>()
             + self.final_norm.param_count()
             + self.lm_head.param_count()
     }
@@ -195,7 +206,10 @@ impl TransformerLm {
     /// is out of range.
     pub fn forward(&self, tokens: &[usize], batch: usize) -> (Tensor, ModelCache) {
         let seq = tokens.len() / batch.max(1);
-        assert!(seq <= self.cfg.max_seq, "sequence length {seq} exceeds max_seq");
+        assert!(
+            seq <= self.cfg.max_seq,
+            "sequence length {seq} exceeds max_seq"
+        );
         let mut x = self.embed(tokens, batch, seq);
         let mut block_caches = Vec::with_capacity(self.blocks.len());
         for block in &self.blocks {
@@ -280,7 +294,9 @@ impl TransformerLm {
     /// running position.
     pub fn new_decode_state(&self) -> DecodeState {
         DecodeState {
-            caches: (0..self.cfg.n_layers).map(|_| crate::attention::KvCache::new()).collect(),
+            caches: (0..self.cfg.n_layers)
+                .map(|_| crate::attention::KvCache::new())
+                .collect(),
             pos: 0,
         }
     }
@@ -300,7 +316,8 @@ impl TransformerLm {
         assert!(token < self.cfg.vocab_size, "token id {token} out of range");
         assert!(state.pos < self.cfg.max_seq, "KV cache exceeds max_seq");
         let mut x = Tensor::zeros(&[1, self.cfg.d_model]);
-        x.row_mut(0).copy_from_slice(self.tok_embed.value.row(token));
+        x.row_mut(0)
+            .copy_from_slice(self.tok_embed.value.row(token));
         for (block, cache) in self.blocks.iter().zip(&mut state.caches) {
             match block {
                 TransformerBlock::Decoder(b) => x = b.decode_step(&x, state.pos, cache),
@@ -469,7 +486,10 @@ mod tests {
         let total = m.visit_params().len();
         // Every parameter that participates should receive gradient; unused
         // embedding rows keep the tok_embed grad nonzero overall anyway.
-        assert!(nonzero as f32 / total as f32 > 0.95, "{nonzero}/{total} grads nonzero");
+        assert!(
+            nonzero as f32 / total as f32 > 0.95,
+            "{nonzero}/{total} grads nonzero"
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct LayerNormCache {
 impl LayerNorm {
     /// Identity-initialized LayerNorm over feature width `d`.
     pub fn new(d: usize) -> Self {
-        LayerNorm { gamma: Param::new(Tensor::full(&[d], 1.0)), beta: Param::zeros(&[d]) }
+        LayerNorm {
+            gamma: Param::new(Tensor::full(&[d], 1.0)),
+            beta: Param::zeros(&[d]),
+        }
     }
 
     /// Number of parameters (2·d).
@@ -84,8 +87,8 @@ impl LayerNorm {
             let istd = cache.inv_std[i];
             let xrow = dx.row_mut(i);
             for j in 0..d {
-                xrow[j] = istd / d as f32
-                    * (d as f32 * dxhat[j] - sum_dxhat - hrow[j] * sum_dxhat_xhat);
+                xrow[j] =
+                    istd / d as f32 * (d as f32 * dxhat[j] - sum_dxhat - hrow[j] * sum_dxhat_xhat);
             }
         }
         self.gamma.accumulate(&dgamma);
@@ -117,7 +120,9 @@ pub struct RmsNormCache {
 impl RmsNorm {
     /// Identity-initialized RMSNorm over feature width `d`.
     pub fn new(d: usize) -> Self {
-        RmsNorm { gamma: Param::new(Tensor::full(&[d], 1.0)) }
+        RmsNorm {
+            gamma: Param::new(Tensor::full(&[d], 1.0)),
+        }
     }
 
     /// Number of parameters (d).
@@ -141,7 +146,13 @@ impl RmsNorm {
                 orow[j] = row[j] * irms * g[j];
             }
         }
-        (out, RmsNormCache { x: x.clone(), inv_rms })
+        (
+            out,
+            RmsNormCache {
+                x: x.clone(),
+                inv_rms,
+            },
+        )
     }
 
     /// Inference-only forward.
@@ -193,7 +204,12 @@ mod tests {
         let (y, _) = ln.forward(&x);
         for i in 0..4 {
             let mean: f32 = y.row(i).iter().sum::<f32>() / 16.0;
-            let var: f32 = y.row(i).iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            let var: f32 = y
+                .row(i)
+                .iter()
+                .map(|&v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 16.0;
             assert!(mean.abs() < 1e-4);
             assert!((var - 1.0).abs() < 1e-2);
         }
@@ -225,7 +241,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
             let fd = (forward(&xp).dot(dy) - forward(&xm).dot(dy)) / (2.0 * h);
-            assert!((dx.data()[i] - fd).abs() < tol, "dx[{i}]: {} vs {fd}", dx.data()[i]);
+            assert!(
+                (dx.data()[i] - fd).abs() < tol,
+                "dx[{i}]: {} vs {fd}",
+                dx.data()[i]
+            );
         }
     }
 

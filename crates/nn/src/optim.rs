@@ -24,7 +24,15 @@ pub struct AdamW {
 impl AdamW {
     /// Creates an AdamW optimizer with standard betas.
     pub fn new(lr: f32) -> Self {
-        AdamW { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, state: HashMap::new() }
+        AdamW {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            state: HashMap::new(),
+        }
     }
 
     /// Sets the weight-decay coefficient (builder style).
@@ -40,9 +48,10 @@ impl AdamW {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (name, p) in params.iter_mut() {
-            let entry = self.state.entry(name.clone()).or_insert_with(|| {
-                (Tensor::zeros(p.value.dims()), Tensor::zeros(p.value.dims()))
-            });
+            let entry = self
+                .state
+                .entry(name.clone())
+                .or_insert_with(|| (Tensor::zeros(p.value.dims()), Tensor::zeros(p.value.dims())));
             let (m, v) = entry;
             let g = p.grad.data();
             let mv = m.data_mut();
@@ -78,7 +87,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, state: HashMap::new() }
+        Sgd {
+            lr,
+            momentum,
+            state: HashMap::new(),
+        }
     }
 
     /// Applies one update step and zeroes gradients.

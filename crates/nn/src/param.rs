@@ -102,7 +102,12 @@ mod tests {
     fn xavier_scale() {
         let mut rng = Rng64::new(1);
         let p = Param::xavier(256, 256, &mut rng);
-        let std = (p.value.data().iter().map(|&x| (x as f64).powi(2)).sum::<f64>()
+        let std = (p
+            .value
+            .data()
+            .iter()
+            .map(|&x| (x as f64).powi(2))
+            .sum::<f64>()
             / p.len() as f64)
             .sqrt();
         let expect = (2.0 / 512.0f64).sqrt();

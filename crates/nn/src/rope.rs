@@ -22,7 +22,10 @@ impl Rope {
     ///
     /// Panics if `head_dim` is odd.
     pub fn new(head_dim: usize, max_seq: usize) -> Self {
-        assert!(head_dim.is_multiple_of(2), "RoPE requires an even head dimension, got {head_dim}");
+        assert!(
+            head_dim.is_multiple_of(2),
+            "RoPE requires an even head dimension, got {head_dim}"
+        );
         let half = head_dim / 2;
         let mut cos = Vec::with_capacity(max_seq * half);
         let mut sin = Vec::with_capacity(max_seq * half);
@@ -33,7 +36,12 @@ impl Rope {
                 sin.push(theta.sin() as f32);
             }
         }
-        Rope { head_dim, max_seq, cos, sin }
+        Rope {
+            head_dim,
+            max_seq,
+            cos,
+            sin,
+        }
     }
 
     /// The head dimension the tables were built for.
@@ -61,7 +69,11 @@ impl Rope {
     }
 
     fn rotate(&self, v: &mut [f32], pos: usize, sign: f32) {
-        assert!(pos < self.max_seq, "position {pos} exceeds RoPE table ({})", self.max_seq);
+        assert!(
+            pos < self.max_seq,
+            "position {pos} exceeds RoPE table ({})",
+            self.max_seq
+        );
         assert_eq!(v.len(), self.head_dim, "RoPE vector length mismatch");
         let half = self.head_dim / 2;
         let base = pos * half;

@@ -34,7 +34,11 @@ impl Batch {
             tokens.extend_from_slice(&s[..len - 1]);
             targets.extend_from_slice(&s[1..]);
         }
-        Batch { tokens, targets, batch: sequences.len() }
+        Batch {
+            tokens,
+            targets,
+            batch: sequences.len(),
+        }
     }
 
     /// Builds a masked-language-model batch (BERT-style): each position is
@@ -56,7 +60,10 @@ impl Batch {
         rng: &mut lrd_tensor::rng::Rng64,
     ) -> Batch {
         assert!(!sequences.is_empty(), "empty batch");
-        assert!(mask_prob > 0.0 && mask_prob <= 1.0, "mask_prob must be in (0, 1]");
+        assert!(
+            mask_prob > 0.0 && mask_prob <= 1.0,
+            "mask_prob must be in (0, 1]"
+        );
         let len = sequences[0].len();
         assert!(len >= 1, "sequences must be non-empty");
         let mut tokens = Vec::with_capacity(sequences.len() * len);
@@ -81,7 +88,11 @@ impl Batch {
                 tokens[base + pos] = mask_token;
             }
         }
-        Batch { tokens, targets, batch: sequences.len() }
+        Batch {
+            tokens,
+            targets,
+            batch: sequences.len(),
+        }
     }
 }
 
@@ -102,7 +113,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { lr: 3e-3, warmup: 100, total_steps: 2000, clip: 1.0, weight_decay: 0.01 }
+        TrainConfig {
+            lr: 3e-3,
+            warmup: 100,
+            total_steps: 2000,
+            clip: 1.0,
+            weight_decay: 0.01,
+        }
     }
 }
 
@@ -133,7 +150,12 @@ impl Trainer {
         model.backward(&cache, &dlogits);
         let mut params = model.visit_params();
         clip_global_norm(&mut params, self.cfg.clip);
-        self.opt.lr = cosine_schedule(self.step, self.cfg.warmup, self.cfg.total_steps, self.cfg.lr);
+        self.opt.lr = cosine_schedule(
+            self.step,
+            self.cfg.warmup,
+            self.cfg.total_steps,
+            self.cfg.lr,
+        );
         self.opt.step(&mut params);
         self.step += 1;
         loss
@@ -183,7 +205,10 @@ mod tests {
                 assert_eq!(tok, seqs[i / 4][i % 4]);
             }
         }
-        assert!(masked >= 8, "each sequence masks at least one position, got {masked}");
+        assert!(
+            masked >= 8,
+            "each sequence masks at least one position, got {masked}"
+        );
     }
 
     #[test]
@@ -215,8 +240,9 @@ mod tests {
         let mut rng = lrd_tensor::rng::Rng64::new(7);
         // Deterministic sequences so masked positions are inferable from
         // bidirectional context.
-        let seqs: Vec<Vec<usize>> =
-            (0..6).map(|s| (0..8).map(|i| (3 + s + i) % 16).collect()).collect();
+        let seqs: Vec<Vec<usize>> = (0..6)
+            .map(|s| (0..8).map(|i| (3 + s + i) % 16).collect())
+            .collect();
         let mut trainer = Trainer::new(TrainConfig {
             lr: 5e-3,
             warmup: 5,
@@ -231,7 +257,10 @@ mod tests {
             trainer.step(&mut model, &b);
         }
         let fin = trainer.eval_loss(&model, &first);
-        assert!(fin < initial * 0.6, "MLM loss did not improve: {initial} -> {fin}");
+        assert!(
+            fin < initial * 0.6,
+            "MLM loss did not improve: {initial} -> {fin}"
+        );
     }
 
     #[test]
@@ -248,8 +277,9 @@ mod tests {
         // drop substantially — end-to-end check that forward+backward+Adam
         // all cooperate.
         let mut model = tiny_model(7);
-        let seqs: Vec<Vec<usize>> =
-            (0..4).map(|s| (0..8).map(|i| (s + 2 * i) % 12).collect()).collect();
+        let seqs: Vec<Vec<usize>> = (0..4)
+            .map(|s| (0..8).map(|i| (s + 2 * i) % 12).collect())
+            .collect();
         let batch = Batch::next_token(&seqs);
         let mut trainer = Trainer::new(TrainConfig {
             lr: 5e-3,

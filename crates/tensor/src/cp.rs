@@ -38,8 +38,11 @@ impl Cp {
 
     /// Reconstructs the full tensor.
     pub fn reconstruct(&self) -> Tensor {
-        let (n1, n2, n3) =
-            (self.factors[0].rows(), self.factors[1].rows(), self.factors[2].rows());
+        let (n1, n2, n3) = (
+            self.factors[0].rows(),
+            self.factors[1].rows(),
+            self.factors[2].rows(),
+        );
         let r = self.rank();
         let mut out = Tensor::zeros(&[n1, n2, n3]);
         let a = &self.factors[0];
@@ -50,10 +53,8 @@ impl Cp {
                 for k in 0..n3 {
                     let mut acc = 0.0f32;
                     for rr in 0..r {
-                        acc += self.lambda[rr]
-                            * a.get(&[i, rr])
-                            * b.get(&[j, rr])
-                            * c.get(&[k, rr]);
+                        acc +=
+                            self.lambda[rr] * a.get(&[i, rr]) * b.get(&[j, rr]) * c.get(&[k, rr]);
                     }
                     out.set(&[i, j, k], acc);
                 }
@@ -92,7 +93,11 @@ pub struct CpOptions {
 
 impl Default for CpOptions {
     fn default() -> Self {
-        CpOptions { max_iters: 60, tol: 1e-6, seed: 0x5EED }
+        CpOptions {
+            max_iters: 60,
+            tol: 1e-6,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -196,7 +201,10 @@ pub fn cp_als(t: &Tensor, rank: usize, opts: CpOptions) -> Result<Cp, TensorErro
         )));
     }
     if rank == 0 {
-        return Err(TensorError::InvalidRank { rank: 0, max: t.dims().iter().copied().max().unwrap_or(0) });
+        return Err(TensorError::InvalidRank {
+            rank: 0,
+            max: t.dims().iter().copied().max().unwrap_or(0),
+        });
     }
     let dims = [t.dims()[0], t.dims()[1], t.dims()[2]];
     let mut rng = Rng64::new(opts.seed);
@@ -227,12 +235,12 @@ pub fn cp_als(t: &Tensor, rank: usize, opts: CpOptions) -> Result<Cp, TensorErro
             let ft = solve_gram(&gram, &mttkrp.transpose());
             let mut f = ft.transpose();
             // Normalize columns into λ.
-            for rr in 0..rank {
+            for (rr, lam) in lambda.iter_mut().enumerate() {
                 let norm = (0..dims[mode])
                     .map(|i| f.get(&[i, rr]).powi(2))
                     .sum::<f32>()
                     .sqrt();
-                lambda[rr] = norm;
+                *lam = norm;
                 if norm > 1e-20 {
                     for i in 0..dims[mode] {
                         let v = f.get(&[i, rr]) / norm;
@@ -243,7 +251,10 @@ pub fn cp_als(t: &Tensor, rank: usize, opts: CpOptions) -> Result<Cp, TensorErro
             factors[mode] = f;
         }
         // λ currently reflects the last-updated mode's scale.
-        let cp = Cp { lambda: lambda.clone(), factors: factors.clone() };
+        let cp = Cp {
+            lambda: lambda.clone(),
+            factors: factors.clone(),
+        };
         let err = cp.relative_error(t);
         let fit = 1.0 - err;
         if (fit - prev_fit).abs() < opts.tol {
@@ -274,10 +285,10 @@ mod tests {
         let b = [0.5f32, -1.5, 2.0, 1.0];
         let c = [3.0f32, 1.0];
         let mut t = Tensor::zeros(&[3, 4, 2]);
-        for i in 0..3 {
-            for j in 0..4 {
-                for k in 0..2 {
-                    t.set(&[i, j, k], a[i] * b[j] * c[k]);
+        for (i, &av) in a.iter().enumerate() {
+            for (j, &bv) in b.iter().enumerate() {
+                for (k, &cv) in c.iter().enumerate() {
+                    t.set(&[i, j, k], av * bv * cv);
                 }
             }
         }
@@ -288,7 +299,11 @@ mod tests {
     fn recovers_rank_one_exactly() {
         let t = rank_one_tensor();
         let cp = cp_als(&t, 1, CpOptions::default()).unwrap();
-        assert!(cp.relative_error(&t) < 1e-3, "error {}", cp.relative_error(&t));
+        assert!(
+            cp.relative_error(&t) < 1e-3,
+            "error {}",
+            cp.relative_error(&t)
+        );
     }
 
     #[test]
@@ -310,9 +325,25 @@ mod tests {
         let mut rng = Rng64::new(4);
         let mk = |n: usize, rng: &mut Rng64| Tensor::randn(&[n, 2], rng);
         let (a, b, c) = (mk(6, &mut rng), mk(5, &mut rng), mk(4, &mut rng));
-        let truth = Cp { lambda: vec![2.0, 0.7], factors: [a, b, c] }.reconstruct();
-        let cp = cp_als(&truth, 2, CpOptions { max_iters: 200, ..Default::default() }).unwrap();
-        assert!(cp.relative_error(&truth) < 0.02, "error {}", cp.relative_error(&truth));
+        let truth = Cp {
+            lambda: vec![2.0, 0.7],
+            factors: [a, b, c],
+        }
+        .reconstruct();
+        let cp = cp_als(
+            &truth,
+            2,
+            CpOptions {
+                max_iters: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            cp.relative_error(&truth) < 0.02,
+            "error {}",
+            cp.relative_error(&truth)
+        );
     }
 
     #[test]

@@ -38,13 +38,25 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeMismatch { op, expected, got } => {
-                write!(f, "shape mismatch in {op}: expected {expected:?}, got {got:?}")
+                write!(
+                    f,
+                    "shape mismatch in {op}: expected {expected:?}, got {got:?}"
+                )
             }
             TensorError::InvalidRank { rank, max } => {
-                write!(f, "invalid decomposition rank {rank}, valid range is 1..={max}")
+                write!(
+                    f,
+                    "invalid decomposition rank {rank}, valid range is 1..={max}"
+                )
             }
-            TensorError::NotConverged { algorithm, iterations } => {
-                write!(f, "{algorithm} did not converge within {iterations} iterations")
+            TensorError::NotConverged {
+                algorithm,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{algorithm} did not converge within {iterations} iterations"
+                )
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -59,7 +71,11 @@ mod tests {
 
     #[test]
     fn display_shape_mismatch() {
-        let e = TensorError::ShapeMismatch { op: "matmul", expected: vec![2, 3], got: vec![4, 5] };
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            expected: vec![2, 3],
+            got: vec![4, 5],
+        };
         let s = e.to_string();
         assert!(s.contains("matmul"));
         assert!(s.contains("[2, 3]"));
@@ -69,12 +85,18 @@ mod tests {
     #[test]
     fn display_invalid_rank() {
         let e = TensorError::InvalidRank { rank: 9, max: 4 };
-        assert_eq!(e.to_string(), "invalid decomposition rank 9, valid range is 1..=4");
+        assert_eq!(
+            e.to_string(),
+            "invalid decomposition rank 9, valid range is 1..=4"
+        );
     }
 
     #[test]
     fn display_not_converged() {
-        let e = TensorError::NotConverged { algorithm: "jacobi-svd", iterations: 30 };
+        let e = TensorError::NotConverged {
+            algorithm: "jacobi-svd",
+            iterations: 30,
+        };
         assert!(e.to_string().contains("jacobi-svd"));
     }
 

@@ -5,6 +5,7 @@
 //! (`std::thread::scope` over row bands) while staying dependency-free.
 
 use crate::Tensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Problems smaller than this many MACs run single-threaded.
 const PARALLEL_THRESHOLD: usize = 1 << 20;
@@ -12,26 +13,56 @@ const PARALLEL_THRESHOLD: usize = 1 << 20;
 /// Inner blocking factor along the shared (k) dimension.
 const KC: usize = 256;
 
+/// Process-wide GEMM thread budget; 0 means "no limit" (use available
+/// parallelism). Sweep-level executors set this so outer (per-study-point)
+/// and inner (per-GEMM) parallelism compose without oversubscribing the
+/// machine.
+static THREAD_LIMIT: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of threads any single GEMM may spawn; `0` removes the
+/// cap. Returns the previous limit so callers can restore it.
+pub fn set_thread_limit(limit: usize) -> usize {
+    THREAD_LIMIT.swap(limit, Ordering::Relaxed)
+}
+
+/// The current GEMM thread cap (`0` = unlimited).
+pub fn thread_limit() -> usize {
+    THREAD_LIMIT.load(Ordering::Relaxed)
+}
+
 /// Raw single-threaded GEMM: `c[m×n] += a[m×k] · b[k×n]`.
 ///
 /// `c` must be pre-zeroed by the caller if plain assignment is wanted.
 fn gemm_band(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     // i-k-j loop order with k-blocking: streams through b rows, accumulates
-    // into the c row that stays hot in cache.
+    // into the c row that stays hot in cache. The k loop is unrolled by 4
+    // so each pass over the c row does 4 fused multiply-adds per element
+    // (4× fewer c-row load/store sweeps), and the inner loop is branch-free
+    // so it vectorizes cleanly.
     for kb in (0..k).step_by(KC) {
         let kend = (kb + KC).min(k);
         for i in 0..m {
             let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut c[i * n..(i + 1) * n];
-            for kk in kb..kend {
+            let crow = &mut c[i * n..i * n + n];
+            let mut kk = kb;
+            while kk + 4 <= kend {
+                let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+                let b0 = &b[kk * n..kk * n + n];
+                let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+                let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+                let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                }
+                kk += 4;
+            }
+            while kk < kend {
                 let aik = arow[kk];
-                if aik == 0.0 {
-                    continue;
+                let brow = &b[kk * n..kk * n + n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += aik * bv;
                 }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for j in 0..n {
-                    crow[j] += aik * brow[j];
-                }
+                kk += 1;
             }
         }
     }
@@ -42,8 +73,12 @@ fn thread_count(macs: usize, rows: usize) -> usize {
     if macs < PARALLEL_THRESHOLD {
         return 1;
     }
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.clamp(1, 16).min(rows).max(1)
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let limit = thread_limit();
+    let cap = if limit == 0 { 16 } else { limit.min(16) };
+    hw.clamp(1, cap).min(rows).max(1)
 }
 
 /// Computes `a · b` for matrices `a (m×k)` and `b (k×n)`.
@@ -64,7 +99,11 @@ fn thread_count(macs: usize, rows: usize) -> usize {
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
-    assert_eq!(k, k2, "matmul inner dimension mismatch: {}×{} · {}×{}", m, k, k2, n);
+    assert_eq!(
+        k, k2,
+        "matmul inner dimension mismatch: {}×{} · {}×{}",
+        m, k, k2, n
+    );
     let mut c = Tensor::zeros(&[m, n]);
     let threads = thread_count(m * n * k, m);
     if threads <= 1 {

@@ -35,8 +35,16 @@ impl Rng64 {
     /// Creates a generator seeded deterministically from `seed`.
     pub fn new(seed: u64) -> Self {
         let mut s = seed;
-        let state = [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
-        Rng64 { state, gauss_spare: None }
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        Rng64 {
+            state,
+            gauss_spare: None,
+        }
     }
 
     /// Returns the next raw 64-bit output.

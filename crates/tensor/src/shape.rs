@@ -26,8 +26,13 @@ impl Shape {
     ///
     /// Panics if any dimension is zero.
     pub fn new(dims: &[usize]) -> Self {
-        assert!(dims.iter().all(|&d| d > 0), "zero-sized dimension in shape {dims:?}");
-        Shape { dims: dims.to_vec() }
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The dimension sizes.

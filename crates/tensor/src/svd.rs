@@ -56,7 +56,10 @@ impl Svd {
     /// stored rank.
     pub fn truncate(&self, k: usize) -> Result<Svd, TensorError> {
         if k == 0 || k > self.rank() {
-            return Err(TensorError::InvalidRank { rank: k, max: self.rank() });
+            return Err(TensorError::InvalidRank {
+                rank: k,
+                max: self.rank(),
+            });
         }
         let m = self.u.rows();
         let n = self.vt.cols();
@@ -70,7 +73,11 @@ impl Svd {
         for i in 0..k {
             vt.row_mut(i).copy_from_slice(self.vt.row(i));
         }
-        Ok(Svd { u, s: self.s[..k].to_vec(), vt })
+        Ok(Svd {
+            u,
+            s: self.s[..k].to_vec(),
+            vt,
+        })
     }
 }
 
@@ -98,7 +105,11 @@ pub fn svd_jacobi(a: &Tensor) -> Result<Svd, TensorError> {
     if m < n {
         // Work on the transpose and swap factors.
         let t = svd_jacobi(&a.transpose())?;
-        return Ok(Svd { u: t.vt.transpose(), s: t.s, vt: t.u.transpose() });
+        return Ok(Svd {
+            u: t.vt.transpose(),
+            s: t.s,
+            vt: t.u.transpose(),
+        });
     }
     // Columns of `work` are rotated until mutually orthogonal.
     let mut work: Vec<f64> = a.data().iter().map(|&x| x as f64).collect();
@@ -158,13 +169,19 @@ pub fn svd_jacobi(a: &Tensor) -> Result<Svd, TensorError> {
         }
     }
     if !converged {
-        return Err(TensorError::NotConverged { algorithm: "jacobi-svd", iterations: MAX_SWEEPS });
+        return Err(TensorError::NotConverged {
+            algorithm: "jacobi-svd",
+            iterations: MAX_SWEEPS,
+        });
     }
 
     // Singular values = column norms; left vectors = normalized columns.
     let mut triples: Vec<(f64, usize)> = (0..n)
         .map(|j| {
-            let norm = (0..m).map(|i| work[i * n + j] * work[i * n + j]).sum::<f64>().sqrt();
+            let norm = (0..m)
+                .map(|i| work[i * n + j] * work[i * n + j])
+                .sum::<f64>()
+                .sqrt();
             (norm, j)
         })
         .collect();
@@ -225,7 +242,10 @@ pub fn truncated_svd(a: &Tensor, k: usize) -> Result<Svd, TensorError> {
     let (m, n) = (a.rows(), a.cols());
     let min_dim = m.min(n);
     if k == 0 || k > min_dim {
-        return Err(TensorError::InvalidRank { rank: k, max: min_dim });
+        return Err(TensorError::InvalidRank {
+            rank: k,
+            max: min_dim,
+        });
     }
     if min_dim <= JACOBI_DIRECT_LIMIT || k * 2 >= min_dim {
         return svd_jacobi(a)?.truncate(k);
@@ -252,7 +272,11 @@ fn randomized_svd(a: &Tensor, k: usize) -> Result<Svd, TensorError> {
     let b = matmul_transa(&q, a); // l × n
     let small = svd_jacobi(&b)?;
     let truncated = small.truncate(k)?;
-    Ok(Svd { u: matmul(&q, &truncated.u), s: truncated.s, vt: truncated.vt })
+    Ok(Svd {
+        u: matmul(&q, &truncated.u),
+        s: truncated.s,
+        vt: truncated.vt,
+    })
 }
 
 /// Computes the relative approximation error `‖a − approx‖_F / ‖a‖_F`.
@@ -331,7 +355,11 @@ mod tests {
         let a = matrix_with_spectrum(20, 16, &spectrum, &mut rng);
         let svd = svd_jacobi(&a).unwrap();
         for (i, &want) in spectrum.iter().enumerate() {
-            assert!((svd.s[i] - want).abs() < 1e-3, "σ{i}: got {}, want {want}", svd.s[i]);
+            assert!(
+                (svd.s[i] - want).abs() < 1e-3,
+                "σ{i}: got {}, want {want}",
+                svd.s[i]
+            );
         }
         // Remaining singular values are ~0.
         assert!(svd.s[4..].iter().all(|&s| s < 1e-3));
@@ -346,8 +374,7 @@ mod tests {
         let k = 2;
         let svd = truncated_svd(&a, k).unwrap();
         let err = a.sub(&svd.reconstruct()).unwrap().frobenius_norm();
-        let tail: f32 =
-            spectrum[k..].iter().map(|s| s * s).sum::<f32>().sqrt();
+        let tail: f32 = spectrum[k..].iter().map(|s| s * s).sum::<f32>().sqrt();
         assert!((err - tail).abs() < 1e-2, "err {err} vs tail {tail}");
     }
 
@@ -371,8 +398,14 @@ mod tests {
     #[test]
     fn truncated_rank_validation() {
         let a = Tensor::eye(4);
-        assert!(matches!(truncated_svd(&a, 0), Err(TensorError::InvalidRank { .. })));
-        assert!(matches!(truncated_svd(&a, 5), Err(TensorError::InvalidRank { .. })));
+        assert!(matches!(
+            truncated_svd(&a, 0),
+            Err(TensorError::InvalidRank { .. })
+        ));
+        assert!(matches!(
+            truncated_svd(&a, 5),
+            Err(TensorError::InvalidRank { .. })
+        ));
         assert!(truncated_svd(&a, 4).is_ok());
     }
 

@@ -31,14 +31,20 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let len = shape.len();
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Creates a tensor from a flat row-major data vector.
@@ -97,7 +103,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not order-2.
     pub fn rows(&self) -> usize {
-        assert_eq!(self.shape.order(), 2, "rows() requires a matrix, got {}", self.shape);
+        assert_eq!(
+            self.shape.order(),
+            2,
+            "rows() requires a matrix, got {}",
+            self.shape
+        );
         self.shape.dim(0)
     }
 
@@ -107,7 +118,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not order-2.
     pub fn cols(&self) -> usize {
-        assert_eq!(self.shape.order(), 2, "cols() requires a matrix, got {}", self.shape);
+        assert_eq!(
+            self.shape.order(),
+            2,
+            "cols() requires a matrix, got {}",
+            self.shape
+        );
         self.shape.dim(1)
     }
 
@@ -170,7 +186,10 @@ impl Tensor {
                 got: dims.to_vec(),
             });
         }
-        Ok(Tensor { shape: new_shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape: new_shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Matrix transpose.
@@ -221,7 +240,10 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -244,8 +266,16 @@ impl Tensor {
                 got: other.dims().to_vec(),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Element-wise sum.
@@ -285,7 +315,11 @@ impl Tensor {
 
     /// Frobenius norm `sqrt(Σ x²)` computed in f64 for stability.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Sum of all elements (f64 accumulation).
@@ -305,8 +339,11 @@ impl Tensor {
     /// Panics if element counts differ.
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.len(), other.len(), "dot length mismatch");
-        self.data.iter().zip(&other.data).map(|(&a, &b)| (a as f64) * (b as f64)).sum::<f64>()
-            as f32
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum::<f64>() as f32
     }
 
     /// Mode-`n` unfolding (matricization): arranges the tensor as a matrix
@@ -319,7 +356,10 @@ impl Tensor {
     /// Panics if `mode` is out of range.
     pub fn unfold(&self, mode: usize) -> Tensor {
         let order = self.shape.order();
-        assert!(mode < order, "mode {mode} out of range for order-{order} tensor");
+        assert!(
+            mode < order,
+            "mode {mode} out of range for order-{order} tensor"
+        );
         let n_mode = self.shape.dim(mode);
         let n_rest = self.len() / n_mode;
         let mut out = Tensor::zeros(&[n_mode, n_rest]);
@@ -383,14 +423,21 @@ impl Tensor {
     /// Returns `true` if every element differs from `other` by at most `tol`.
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
-            && self.data.iter().zip(&other.data).all(|(&a, &b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 }
 
 impl Default for Tensor {
     /// An empty rank-0 tensor placeholder.
     fn default() -> Self {
-        Tensor { shape: Shape::default(), data: Vec::new() }
+        Tensor {
+            shape: Shape::default(),
+            data: Vec::new(),
+        }
     }
 }
 
@@ -522,6 +569,9 @@ mod tests {
     fn randn_deterministic() {
         let mut r1 = Rng64::new(10);
         let mut r2 = Rng64::new(10);
-        assert_eq!(Tensor::randn(&[4, 4], &mut r1), Tensor::randn(&[4, 4], &mut r2));
+        assert_eq!(
+            Tensor::randn(&[4, 4], &mut r1),
+            Tensor::randn(&[4, 4], &mut r2)
+        );
     }
 }

@@ -77,7 +77,10 @@ pub struct HoiOptions {
 
 impl Default for HoiOptions {
     fn default() -> Self {
-        HoiOptions { max_iters: 25, tol: 1e-6 }
+        HoiOptions {
+            max_iters: 25,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -118,7 +121,10 @@ pub fn tucker_hoi(t: &Tensor, ranks: &[usize], opts: HoiOptions) -> Result<Tucke
     }
     for (mode, (&r, &n)) in ranks.iter().zip(t.dims()).enumerate() {
         if r == 0 || r > n {
-            return Err(TensorError::InvalidRank { rank: r, max: t.dims()[mode] });
+            return Err(TensorError::InvalidRank {
+                rank: r,
+                max: t.dims()[mode],
+            });
         }
     }
 
@@ -130,8 +136,11 @@ pub fn tucker_hoi(t: &Tensor, ranks: &[usize], opts: HoiOptions) -> Result<Tucke
     loop {
         let mut changed = false;
         for i in 0..order {
-            let others: usize =
-                (0..order).filter(|&j| j != i).map(|j| ranks[j]).product::<usize>().max(1);
+            let others: usize = (0..order)
+                .filter(|&j| j != i)
+                .map(|j| ranks[j])
+                .product::<usize>()
+                .max(1);
             if ranks[i] > others {
                 ranks[i] = others;
                 changed = true;
@@ -235,7 +244,9 @@ impl Tucker2 {
     ///
     /// Panics if shapes differ.
     pub fn relative_error(&self, original: &Tensor) -> f32 {
-        let diff = original.sub(&self.reconstruct()).expect("relative_error: shape mismatch");
+        let diff = original
+            .sub(&self.reconstruct())
+            .expect("relative_error: shape mismatch");
         let denom = original.frobenius_norm();
         if denom == 0.0 {
             self.reconstruct().frobenius_norm()
@@ -254,7 +265,11 @@ impl From<Svd> for Tucker2 {
         for i in 0..k {
             core.set(&[i, i], svd.s[i]);
         }
-        Tucker2 { u1: svd.u, core, u2: svd.vt }
+        Tucker2 {
+            u1: svd.u,
+            core,
+            u2: svd.vt,
+        }
     }
 }
 
@@ -310,7 +325,10 @@ mod tests {
         for r in [1, 2, 4, 6, 8] {
             let dec = tucker_hoi(&t, &[r, r, r], HoiOptions::default()).unwrap();
             let err = dec.relative_error(&t);
-            assert!(err <= prev + 1e-5, "rank {r}: error {err} > previous {prev}");
+            assert!(
+                err <= prev + 1e-5,
+                "rank {r}: error {err} > previous {prev}"
+            );
             prev = err;
         }
         assert!(prev < 1e-4, "full-rank error should vanish, got {prev}");
@@ -324,7 +342,11 @@ mod tests {
         let u1 = crate::qr::qr_thin(&Tensor::randn(&[7, 2], &mut rng)).0;
         let u2 = crate::qr::qr_thin(&Tensor::randn(&[8, 2], &mut rng)).0;
         let u3 = crate::qr::qr_thin(&Tensor::randn(&[9, 2], &mut rng)).0;
-        let t = Tucker { core, factors: vec![u1, u2, u3] }.reconstruct();
+        let t = Tucker {
+            core,
+            factors: vec![u1, u2, u3],
+        }
+        .reconstruct();
         let dec = tucker_hoi(&t, &[2, 2, 2], HoiOptions::default()).unwrap();
         assert!(dec.relative_error(&t) < 1e-4);
     }

@@ -17,11 +17,7 @@ fn main() {
     for row in table2() {
         println!(
             "  {:<11} layers={:<3} tensors={}  scale={}  exact={:.3e}",
-            row.model,
-            row.n_layers,
-            row.n_tensors,
-            row.scale,
-            row.scale.exact as f64
+            row.model, row.n_layers, row.n_tensors, row.scale, row.scale.exact as f64
         );
     }
 

@@ -48,7 +48,12 @@ fn main() {
         }
     }
 
-    let opts = EvalOptions { n_samples: 150, seed: 2, batch_size: 64, threads: 0 };
+    let opts = EvalOptions {
+        n_samples: 150,
+        seed: 2,
+        batch_size: 64,
+        threads: 0,
+    };
     let acc = |m: &TransformerLm| evaluate(m, &ArcEasy, &world, &opts).percent();
     let base_acc = acc(&model);
     println!("baseline ARC-Easy accuracy: {base_acc:.1}%");
@@ -67,7 +72,13 @@ fn main() {
     let rec = recover(
         &mut model,
         &world,
-        &RecoveryOptions { steps: 200, batch: 12, lr: 1e-3, seq_len: 48, corpus_seed: 77 },
+        &RecoveryOptions {
+            steps: 200,
+            batch: 12,
+            lr: 1e-3,
+            seq_len: 48,
+            corpus_seed: 77,
+        },
     );
     let recovered_acc = acc(&model);
     println!(

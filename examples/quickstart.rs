@@ -59,7 +59,12 @@ fn main() {
         &model,
         &ArcEasy,
         &world,
-        &EvalOptions { n_samples: 40, seed: 3, batch_size: 32, threads: 0 },
+        &EvalOptions {
+            n_samples: 40,
+            seed: 3,
+            batch_size: 32,
+            threads: 0,
+        },
     );
     println!("untrained decomposed model on ARC-Easy: {acc} (chance is 25%)");
 }

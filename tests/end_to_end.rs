@@ -42,7 +42,12 @@ fn train_small(world: &World, steps: usize) -> TransformerLm {
 fn trained_model_beats_chance_and_decomposition_degrades_gracefully() {
     let world = World::new(31);
     let model = train_small(&world, 500);
-    let opts = EvalOptions { n_samples: 150, seed: 4, batch_size: 64, threads: 0 };
+    let opts = EvalOptions {
+        n_samples: 150,
+        seed: 4,
+        batch_size: 64,
+        threads: 0,
+    };
 
     // Above chance after training (4-way MC chance = 25%).
     let base = evaluate(&model, &ArcEasy, &world, &opts);
@@ -53,8 +58,11 @@ fn trained_model_beats_chance_and_decomposition_degrades_gracefully() {
 
     // Decompose one layer: mild drop at most.
     let mut mild = model.clone();
-    decompose_model(&mut mild, &DecompositionConfig::uniform(&[2], &[0, 1, 2, 3, 4, 5, 6], 1))
-        .unwrap();
+    decompose_model(
+        &mut mild,
+        &DecompositionConfig::uniform(&[2], &[0, 1, 2, 3, 4, 5, 6], 1),
+    )
+    .unwrap();
     let mild_acc = evaluate(&mild, &ArcEasy, &world, &opts);
 
     // Decompose everything: should fall toward chance.
@@ -80,7 +88,12 @@ fn trained_model_beats_chance_and_decomposition_degrades_gracefully() {
 fn winogrande_above_chance_after_training() {
     let world = World::new(32);
     let model = train_small(&world, 300);
-    let opts = EvalOptions { n_samples: 150, seed: 9, batch_size: 64, threads: 0 };
+    let opts = EvalOptions {
+        n_samples: 150,
+        seed: 9,
+        batch_size: 64,
+        threads: 0,
+    };
     let acc = evaluate(&model, &WinoGrande, &world, &opts);
     // Binary task: chance 50%.
     assert!(acc.percent() > 55.0, "WinoGrande at {acc} (chance 50%)");

@@ -97,15 +97,27 @@ fn efficiency_slopes_match_insights() {
         cov / var
     };
     let x: Vec<f64> = points.iter().map(|p| p.param_reduction_pct).collect();
-    let lat: Vec<f64> = points.iter().map(|p| 100.0 * (1.0 - 1.0 / p.speedup)).collect();
+    let lat: Vec<f64> = points
+        .iter()
+        .map(|p| 100.0 * (1.0 - 1.0 / p.speedup))
+        .collect();
     let energy: Vec<f64> = points.iter().map(|p| p.energy_saving_pct).collect();
     let mem: Vec<f64> = points.iter().map(|p| p.memory_saving_pct).collect();
     let s_lat = slope(&x, &lat);
     let s_en = slope(&x, &energy);
     let s_mem = slope(&x, &mem);
-    assert!((0.30..0.70).contains(&s_lat), "latency slope {s_lat:.2} (paper ~0.5)");
-    assert!((0.30..0.70).contains(&s_en), "energy slope {s_en:.2} (paper ~0.5)");
-    assert!((0.25..0.60).contains(&s_mem), "memory slope {s_mem:.2} (paper ~0.4)");
+    assert!(
+        (0.30..0.70).contains(&s_lat),
+        "latency slope {s_lat:.2} (paper ~0.5)"
+    );
+    assert!(
+        (0.30..0.70).contains(&s_en),
+        "energy slope {s_en:.2} (paper ~0.5)"
+    );
+    assert!(
+        (0.25..0.60).contains(&s_mem),
+        "memory slope {s_mem:.2} (paper ~0.4)"
+    );
 }
 
 #[test]

@@ -40,7 +40,9 @@ fn checkpoint_then_decompose_matches_decompose_directly() {
     decompose_model(&mut direct, &cfg).unwrap();
     decompose_model(&mut loaded, &cfg).unwrap();
     let tokens = [1usize, 5, 9, 13];
-    assert!(direct.logits(&tokens, 1).approx_eq(&loaded.logits(&tokens, 1), 1e-5));
+    assert!(direct
+        .logits(&tokens, 1)
+        .approx_eq(&loaded.logits(&tokens, 1), 1e-5));
     std::fs::remove_file(&path).ok();
 }
 
@@ -53,7 +55,11 @@ fn full_rank_whole_model_decomposition_is_lossless() {
     let cfg = DecompositionConfig::uniform(&[0, 1, 2], &[0, 1, 2, 3, 4, 5, 6], 24);
     decompose_model(&mut model, &cfg).unwrap();
     let tokens = [3usize, 7, 11];
-    let diff = orig.logits(&tokens, 1).sub(&model.logits(&tokens, 1)).unwrap().max_abs();
+    let diff = orig
+        .logits(&tokens, 1)
+        .sub(&model.logits(&tokens, 1))
+        .unwrap()
+        .max_abs();
     assert!(diff < 0.05, "full-rank decomposition drifted by {diff}");
 }
 
@@ -63,7 +69,12 @@ fn harness_determinism_across_thread_counts() {
     let world = World::new(9);
     let mut results = Vec::new();
     for threads in [1usize, 2, 8] {
-        let opts = EvalOptions { n_samples: 60, seed: 5, batch_size: 16, threads };
+        let opts = EvalOptions {
+            n_samples: 60,
+            seed: 5,
+            batch_size: 16,
+            threads,
+        };
         results.push(evaluate(&model, &ArcEasy, &world, &opts));
     }
     assert_eq!(results[0], results[1]);
@@ -79,10 +90,20 @@ fn all_benchmarks_run_on_decomposed_model() {
     )
     .unwrap();
     let world = World::new(10);
-    let opts = EvalOptions { n_samples: 12, seed: 2, batch_size: 16, threads: 2 };
+    let opts = EvalOptions {
+        n_samples: 12,
+        seed: 2,
+        batch_size: 16,
+        threads: 2,
+    };
     for bench in registry() {
         let acc = evaluate(&model, bench.as_ref(), &world, &opts);
-        assert_eq!(acc.total, 12, "{} did not evaluate all samples", bench.name());
+        assert_eq!(
+            acc.total,
+            12,
+            "{} did not evaluate all samples",
+            bench.name()
+        );
     }
 }
 
