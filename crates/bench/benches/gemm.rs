@@ -1,7 +1,7 @@
 //! GEMM kernel throughput (the substrate all forward passes stand on).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lrd_tensor::matmul::{batched_matmul, matmul, matmul_transb};
+use lrd_tensor::matmul::{batched_matmul, matmul, matmul_transa, matmul_transb, matvec};
 use lrd_tensor::rng::Rng64;
 use lrd_tensor::Tensor;
 use std::hint::black_box;
@@ -32,6 +32,17 @@ fn bench_token_shapes(c: &mut Criterion) {
     let wt = Tensor::randn(&[112, 40], &mut rng);
     group.bench_function("transb_768x40_x_112x40", |b| {
         b.iter(|| matmul_transb(black_box(&x), black_box(&wt)))
+    });
+    // The fine-tuning-recovery shape: dW = xᵀ · dy.
+    let dy = Tensor::randn(&[768, 112], &mut rng);
+    group.bench_function("transa_768x40_x_768x112", |b| {
+        b.iter(|| matmul_transa(black_box(&x), black_box(&dy)))
+    });
+    // Single-token decode: matrix–vector against the LM head shape.
+    let head = Tensor::randn(&[112, 40], &mut rng);
+    let v: Vec<f32> = (0..40).map(|i| (i as f32 * 0.17).sin()).collect();
+    group.bench_function("matvec_112x40", |b| {
+        b.iter(|| matvec(black_box(&head), black_box(&v)))
     });
     group.finish();
 }

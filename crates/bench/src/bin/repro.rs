@@ -743,13 +743,84 @@ impl CacheAgg {
     }
 }
 
-/// Records the suite's wall clock and cache effectiveness for the perf
-/// trajectory (`BENCH_suite.json` at the invocation directory).
+/// Measures sustained GFLOP/s for each matmul variant on representative
+/// shapes (quick calibration pass, a few hundred milliseconds total).
+fn kernel_gflops() -> Vec<(&'static str, f64)> {
+    use lrd_tensor::matmul::{batched_matmul, matmul, matmul_transa, matmul_transb, matvec};
+    use lrd_tensor::rng::Rng64;
+    use lrd_tensor::Tensor;
+
+    fn time_flops(flops_per_iter: f64, mut f: impl FnMut()) -> f64 {
+        f(); // warm-up (packing buffers, page faults)
+        let mut iters = 0u32;
+        let t0 = std::time::Instant::now();
+        while t0.elapsed().as_millis() < 60 {
+            f();
+            iters += 1;
+        }
+        flops_per_iter * f64::from(iters) / t0.elapsed().as_secs_f64() / 1e9
+    }
+
+    let mut rng = Rng64::new(99);
+    let n = 256usize;
+    let a = Tensor::randn(&[n, n], &mut rng);
+    let b = Tensor::randn(&[n, n], &mut rng);
+    let flops = (2 * n * n * n) as f64;
+    let bat_a = Tensor::randn(&[64, 24, 10], &mut rng);
+    let bat_b = Tensor::randn(&[64, 10, 24], &mut rng);
+    let bat_flops = (64 * 2 * 24 * 10 * 24) as f64;
+    let mv_a = Tensor::randn(&[n, n], &mut rng);
+    let mv_x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).sin()).collect();
+    let mv_flops = (2 * n * n) as f64;
+    vec![
+        (
+            "matmul_256",
+            time_flops(flops, || {
+                std::hint::black_box(matmul(&a, &b));
+            }),
+        ),
+        (
+            "matmul_transb_256",
+            time_flops(flops, || {
+                std::hint::black_box(matmul_transb(&a, &b));
+            }),
+        ),
+        (
+            "matmul_transa_256",
+            time_flops(flops, || {
+                std::hint::black_box(matmul_transa(&a, &b));
+            }),
+        ),
+        (
+            "batched_matmul_64x24x10x24",
+            time_flops(bat_flops, || {
+                std::hint::black_box(batched_matmul(&bat_a, &bat_b));
+            }),
+        ),
+        (
+            "matvec_256",
+            time_flops(mv_flops, || {
+                std::hint::black_box(matvec(&mv_a, &mv_x));
+            }),
+        ),
+    ]
+}
+
+/// Records the suite's wall clock, cache effectiveness, and per-kernel
+/// GFLOP/s for the perf trajectory (`BENCH_suite.json` at the invocation
+/// directory).
 fn write_bench_suite(args: &Args, wall_s: f64, agg: &CacheAgg) {
+    let backend = lrd_tensor::kernel::Backend::active();
+    let kernels = kernel_gflops();
+    let kernel_json: Vec<String> = kernels
+        .iter()
+        .map(|(name, gflops)| format!("    \"{name}\": {gflops:.2}"))
+        .collect();
     let json = format!(
         "{{\n  \"command\": \"{}\",\n  \"wall_s\": {:.3},\n  \"workers\": {},\n  \
          \"samples\": {},\n  \"steps\": {},\n  \"cache\": {{ \"hits\": {}, \"misses\": {}, \
-         \"hit_rate\": {:.4}, \"distinct_factors\": {} }}\n}}\n",
+         \"hit_rate\": {:.4}, \"distinct_factors\": {} }},\n  \
+         \"kernel_backend\": \"{}\",\n  \"kernel_gflops\": {{\n{}\n  }}\n}}\n",
         args.command,
         wall_s,
         args.workers,
@@ -759,6 +830,8 @@ fn write_bench_suite(args: &Args, wall_s: f64, agg: &CacheAgg) {
         agg.misses,
         agg.hit_rate(),
         agg.factors,
+        backend.name(),
+        kernel_json.join(",\n"),
     );
     match std::fs::write("BENCH_suite.json", &json) {
         Ok(()) => eprintln!(

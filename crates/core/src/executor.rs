@@ -31,8 +31,16 @@ use std::sync::{Arc, Mutex, OnceLock};
 use lrd_tensor::error::TensorError;
 use lrd_tensor::tucker::Tucker2;
 
-/// Ceiling on pool size, mirroring the GEMM thread cap in `lrd-tensor`.
-const MAX_WORKERS: usize = 16;
+/// Ceiling on pool size: the host's available parallelism, floored at 16 so
+/// explicit budgets behave identically on small machines while many-core
+/// hosts aren't silently throttled (mirrors the GEMM thread-cap policy in
+/// `lrd-tensor`).
+fn max_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(16)
+}
 
 /// How a total thread budget is split across a sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +58,7 @@ pub struct WorkerBudget {
 /// auto), and `n_jobs` bounds the useful pool size. The product
 /// `workers * eval_threads` never exceeds the budget.
 pub fn worker_budget(budget: usize, requested_workers: usize, n_jobs: usize) -> WorkerBudget {
+    let cap = max_workers();
     let budget = if budget == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -57,13 +66,13 @@ pub fn worker_budget(budget: usize, requested_workers: usize, n_jobs: usize) -> 
     } else {
         budget
     }
-    .clamp(1, MAX_WORKERS);
+    .clamp(1, cap);
     let workers = if requested_workers == 0 {
         budget
     } else {
         requested_workers
     }
-    .clamp(1, MAX_WORKERS)
+    .clamp(1, cap)
     .min(n_jobs.max(1));
     WorkerBudget {
         workers,

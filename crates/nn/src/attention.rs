@@ -303,9 +303,55 @@ impl MultiHeadAttention {
         )
     }
 
-    /// Inference-only forward.
+    /// Inference-only forward: no projection caches, no retained attention
+    /// probabilities — each head's score matrix is dropped as soon as its
+    /// context rows are accumulated.
     pub fn infer(&self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
-        self.forward(x, batch, seq).0
+        assert_eq!(x.rows(), batch * seq, "attention input rows != batch*seq");
+        let mut q = self.wq.infer(x);
+        let mut k = self.wk.infer(x);
+        let v = self.wv.infer(x);
+
+        if let Some(rope) = &self.rope {
+            for b in 0..batch {
+                for t in 0..seq {
+                    let qrow = q.row_mut(b * seq + t);
+                    for h in 0..self.n_heads {
+                        rope.apply(&mut qrow[h * self.head_dim..(h + 1) * self.head_dim], t);
+                    }
+                    let krow = k.row_mut(b * seq + t);
+                    for h in 0..self.n_kv_heads {
+                        rope.apply(&mut krow[h * self.head_dim..(h + 1) * self.head_dim], t);
+                    }
+                }
+            }
+        }
+
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let group = self.n_heads / self.n_kv_heads;
+        let mut ctx = Tensor::zeros(&[batch * seq, self.n_heads * self.head_dim]);
+        for b in 0..batch {
+            for h in 0..self.n_heads {
+                let kv_h = h / group;
+                let qb = Self::head_block(&q, b, h, seq, self.head_dim);
+                let kb = Self::head_block(&k, b, kv_h, seq, self.head_dim);
+                let vb = Self::head_block(&v, b, kv_h, seq, self.head_dim);
+                let mut scores = matmul_transb(&qb, &kb).scale(scale);
+                if self.causal {
+                    for t in 0..seq {
+                        let row = scores.row_mut(t);
+                        for entry in row.iter_mut().take(seq).skip(t + 1) {
+                            *entry = f32::NEG_INFINITY;
+                        }
+                    }
+                }
+                let p = softmax_rows(&scores);
+                let c = matmul(&p, &vb);
+                Self::add_head_block(&mut ctx, &c, b, h, seq, self.head_dim);
+            }
+        }
+
+        self.wo.infer(&ctx)
     }
 
     /// Backward pass; returns `dx`.

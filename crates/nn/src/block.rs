@@ -72,6 +72,16 @@ impl DecoderBlock {
         (y, DecoderBlockCache { n1, attn, n2, mlp })
     }
 
+    /// Inference-only forward: every sub-layer takes its no-cache path.
+    pub fn infer(&self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
+        let nx = self.norm1.infer(x);
+        let ax = self.attn.infer(&nx, batch, seq);
+        let h = x.add(&ax).expect("residual shape");
+        let nh = self.norm2.infer(&h);
+        let mx = self.mlp.infer(&nh);
+        h.add(&mx).expect("residual shape")
+    }
+
     /// Incremental decode of one token (batch 1) at position `pos`,
     /// using/extending the layer's KV cache.
     pub fn decode_step(
@@ -179,6 +189,14 @@ impl EncoderBlock {
         (y, EncoderBlockCache { attn, n1, mlp, n2 })
     }
 
+    /// Inference-only forward: every sub-layer takes its no-cache path.
+    pub fn infer(&self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
+        let ax = self.attn.infer(x, batch, seq);
+        let h = self.norm1.infer(&x.add(&ax).expect("residual shape"));
+        let mx = self.mlp.infer(&h);
+        self.norm2.infer(&h.add(&mx).expect("residual shape"))
+    }
+
     /// Backward pass; returns `dx`.
     pub fn backward(&mut self, cache: &EncoderBlockCache, dy: &Tensor) -> Tensor {
         let dsum2 = self.norm2.backward(&cache.n2, dy);
@@ -238,6 +256,14 @@ impl TransformerBlock {
                 let (y, c) = b.forward(x, batch, seq);
                 (y, BlockCache::Encoder(c))
             }
+        }
+    }
+
+    /// Inference-only forward (no cache allocation in any sub-layer).
+    pub fn infer(&self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
+        match self {
+            TransformerBlock::Decoder(b) => b.infer(x, batch, seq),
+            TransformerBlock::Encoder(b) => b.infer(x, batch, seq),
         }
     }
 

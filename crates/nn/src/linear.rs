@@ -12,6 +12,15 @@ use lrd_tensor::rng::Rng64;
 use lrd_tensor::tucker::Tucker2;
 use lrd_tensor::Tensor;
 
+/// Adds `bias` to every row of `y` in place.
+fn add_bias_rows(y: &mut Tensor, bias: &[f32]) {
+    for i in 0..y.rows() {
+        for (v, &bj) in y.row_mut(i).iter_mut().zip(bias) {
+            *v += bj;
+        }
+    }
+}
+
 /// A dense affine layer `y = x·W (+ b)` with `W (in × out)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Linear {
@@ -67,20 +76,18 @@ impl Linear {
     pub fn forward(&self, x: &Tensor) -> (Tensor, LinearCache) {
         let mut y = matmul(x, &self.w.value);
         if let Some(b) = &self.b {
-            let bias = b.value.data();
-            for i in 0..y.rows() {
-                let row = y.row_mut(i);
-                for (v, &bj) in row.iter_mut().zip(bias) {
-                    *v += bj;
-                }
-            }
+            add_bias_rows(&mut y, b.value.data());
         }
         (y, LinearCache { x: x.clone() })
     }
 
-    /// Inference-only forward (no cache allocation).
+    /// Inference-only forward: no cache is built, so `x` is never cloned.
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        self.forward(x).0
+        let mut y = matmul(x, &self.w.value);
+        if let Some(b) = &self.b {
+            add_bias_rows(&mut y, b.value.data());
+        }
+        y
     }
 
     /// Backward pass: accumulates weight/bias gradients and returns `dx`.
@@ -175,12 +182,7 @@ impl FactoredLinear {
         let h2 = matmul(&h1, &self.core.value);
         let mut y = matmul(&h2, &self.u2.value);
         if let Some(b) = &self.b {
-            let bias = b.value.data();
-            for i in 0..y.rows() {
-                for (v, &bj) in y.row_mut(i).iter_mut().zip(bias) {
-                    *v += bj;
-                }
-            }
+            add_bias_rows(&mut y, b.value.data());
         }
         (
             y,
@@ -192,9 +194,16 @@ impl FactoredLinear {
         )
     }
 
-    /// Inference-only forward.
+    /// Inference-only forward: the `h1`/`h2` intermediates are consumed by
+    /// the next GEMM and dropped, never cloned into a cache.
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        self.forward(x).0
+        let h1 = matmul(x, &self.u1.value);
+        let h2 = matmul(&h1, &self.core.value);
+        let mut y = matmul(&h2, &self.u2.value);
+        if let Some(b) = &self.b {
+            add_bias_rows(&mut y, b.value.data());
+        }
+        y
     }
 
     /// Backward pass through all three factors; returns `dx`.

@@ -56,9 +56,10 @@ impl BertMlp {
         )
     }
 
-    /// Inference-only forward.
+    /// Inference-only forward: intermediates are consumed, not cached.
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        self.forward(x).0
+        let h = self.intermediate.infer(x).map(gelu);
+        self.output.infer(&h)
     }
 
     /// Backward pass; returns `dx`.
@@ -138,9 +139,12 @@ impl SwiGluMlp {
         )
     }
 
-    /// Inference-only forward.
+    /// Inference-only forward: intermediates are consumed, not cached.
     pub fn infer(&self, x: &Tensor) -> Tensor {
-        self.forward(x).0
+        let gate_pre = self.gate.infer(x);
+        let up_out = self.up.infer(x);
+        let h = gate_pre.zip(&up_out, |g, u| silu(g) * u).expect("shape");
+        self.down.infer(&h)
     }
 
     /// Backward pass; returns `dx`.

@@ -41,6 +41,13 @@ impl FinalNorm {
         }
     }
 
+    fn infer(&self, x: &Tensor) -> Tensor {
+        match self {
+            FinalNorm::Rms(n) => n.infer(x),
+            FinalNorm::Layer(n) => n.infer(x),
+        }
+    }
+
     fn backward(&mut self, cache: &FinalNormCache, dy: &Tensor) -> Tensor {
         match (self, cache) {
             (FinalNorm::Rms(n), FinalNormCache::Rms(c)) => n.backward(c, dy),
@@ -232,9 +239,25 @@ impl TransformerLm {
         )
     }
 
-    /// Inference-only logits.
+    /// Inference-only logits: the whole stack takes its no-cache path, so
+    /// evaluation allocates no backward state at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.len() != batch·seq`, `seq > max_seq`, or a token id
+    /// is out of range.
     pub fn logits(&self, tokens: &[usize], batch: usize) -> Tensor {
-        self.forward(tokens, batch).0
+        let seq = tokens.len() / batch.max(1);
+        assert!(
+            seq <= self.cfg.max_seq,
+            "sequence length {seq} exceeds max_seq"
+        );
+        let mut x = self.embed(tokens, batch, seq);
+        for block in &self.blocks {
+            x = block.infer(&x, batch, seq);
+        }
+        let nx = self.final_norm.infer(&x);
+        self.lm_head.infer(&nx)
     }
 
     /// Backward pass from `dlogits`; accumulates gradients into every
@@ -325,7 +348,7 @@ impl TransformerLm {
             }
         }
         state.pos += 1;
-        let (nx, _) = self.final_norm.forward(&x);
+        let nx = self.final_norm.infer(&x);
         self.lm_head.infer(&nx)
     }
 
@@ -461,6 +484,19 @@ mod tests {
         assert_eq!(logits.dims(), &[4, 16]);
         let logits = m.logits(&[1, 2, 3, 4, 5, 6], 2);
         assert_eq!(logits.dims(), &[6, 16]);
+    }
+
+    #[test]
+    fn infer_logits_match_training_forward() {
+        // The no-cache inference path must agree with forward() exactly for
+        // both architectures.
+        for kind in [ArchKind::Decoder, ArchKind::Encoder] {
+            let m = tiny(kind, 2);
+            let tokens = [1usize, 2, 3, 4, 5, 6];
+            let (train, _) = m.forward(&tokens, 2);
+            let infer = m.logits(&tokens, 2);
+            assert_eq!(train, infer, "{kind:?} infer path diverged");
+        }
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Micro-kernels and runtime SIMD dispatch for the packed GEMM engine.
+//!
+//! The engine computes `C += A · B` one `MR × NR` register tile at a time
+//! from panels packed by [`crate::pack`]. Two kernel implementations share
+//! that contract:
+//!
+//! * an explicit AVX2+FMA kernel (`x86_64` only), selected at runtime via
+//!   `is_x86_feature_detected!`, and
+//! * a portable scalar kernel with the identical accumulation order, used
+//!   as the fallback and as the reference side of the scalar-vs-SIMD
+//!   property tests.
+//!
+//! Setting `LRD_FORCE_SCALAR=1` in the environment pins dispatch to the
+//! scalar kernel (CI runs the suite both ways so the portable path cannot
+//! rot).
+
+use std::sync::OnceLock;
+
+/// Micro-tile height: rows of C updated per kernel invocation.
+pub const MR: usize = 6;
+
+/// Micro-tile width: columns of C updated per kernel invocation. Two AVX2
+/// vectors of 8 lanes each.
+pub const NR: usize = 16;
+
+/// Which kernel implementation executes the micro-tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar kernel (always available).
+    Scalar,
+    /// AVX2 + FMA kernel (`x86_64` with runtime feature detection).
+    Avx2Fma,
+}
+
+impl Backend {
+    /// The best SIMD backend the running CPU supports, if any.
+    pub fn detect_simd() -> Option<Backend> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Some(Backend::Avx2Fma);
+            }
+        }
+        None
+    }
+
+    /// The backend every public matmul entry point uses: the detected SIMD
+    /// kernel, unless `LRD_FORCE_SCALAR=1` pins the scalar fallback.
+    /// Resolved once per process.
+    pub fn active() -> Backend {
+        static ACTIVE: OnceLock<Backend> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            let forced = std::env::var("LRD_FORCE_SCALAR")
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(false);
+            if forced {
+                Backend::Scalar
+            } else {
+                Backend::detect_simd().unwrap_or(Backend::Scalar)
+            }
+        })
+    }
+
+    /// Human-readable backend name (benchmark reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+/// Executes one micro-tile: `C[0..MR][0..NR] += Apanel · Bpanel` over `kc`
+/// packed steps, where `c` addresses the tile's top-left element and `ldc`
+/// is C's row stride. The caller guarantees the full tile lies inside C
+/// (edge tiles go through a local buffer with `ldc = NR`).
+///
+/// `a` holds `kc` groups of `MR` values (one A column step per group); `b`
+/// holds `kc` groups of `NR` values (one B row step per group).
+#[inline]
+pub fn microkernel(backend: Backend, kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
+    debug_assert!(a.len() >= kc * MR);
+    debug_assert!(b.len() >= kc * NR);
+    debug_assert!(kc == 0 || c.len() >= (MR - 1) * ldc + NR);
+    match backend {
+        Backend::Scalar => microkernel_scalar(kc, a, b, c, ldc),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever constructed after runtime detection.
+        Backend::Avx2Fma => unsafe { microkernel_avx2(kc, a, b, c, ldc) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2Fma => microkernel_scalar(kc, a, b, c, ldc),
+    }
+}
+
+/// Portable reference micro-kernel. Accumulates each C element over `kc` in
+/// the same order as the SIMD kernel so the two differ only by FMA's
+/// missing intermediate rounding.
+fn microkernel_scalar(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..kc {
+        let ap = &a[kk * MR..kk * MR + MR];
+        let bp = &b[kk * NR..kk * NR + NR];
+        for (accr, &ar) in acc.iter_mut().zip(ap) {
+            for (av, &bv) in accr.iter_mut().zip(bp) {
+                *av += ar * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut c[r * ldc..r * ldc + NR];
+        for (cv, &av) in crow.iter_mut().zip(accr) {
+            *cv += av;
+        }
+    }
+}
+
+/// AVX2+FMA micro-kernel: 12 YMM accumulators (6 rows × 2 vectors), one
+/// broadcast per A element, two loads per B step.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA, and that the slice
+/// bounds documented on [`microkernel`] hold.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
+    use core::arch::x86_64::*;
+    let mut c00 = _mm256_setzero_ps();
+    let mut c01 = _mm256_setzero_ps();
+    let mut c10 = _mm256_setzero_ps();
+    let mut c11 = _mm256_setzero_ps();
+    let mut c20 = _mm256_setzero_ps();
+    let mut c21 = _mm256_setzero_ps();
+    let mut c30 = _mm256_setzero_ps();
+    let mut c31 = _mm256_setzero_ps();
+    let mut c40 = _mm256_setzero_ps();
+    let mut c41 = _mm256_setzero_ps();
+    let mut c50 = _mm256_setzero_ps();
+    let mut c51 = _mm256_setzero_ps();
+    let mut ap = a.as_ptr();
+    let mut bp = b.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        let a0 = _mm256_broadcast_ss(&*ap);
+        c00 = _mm256_fmadd_ps(a0, b0, c00);
+        c01 = _mm256_fmadd_ps(a0, b1, c01);
+        let a1 = _mm256_broadcast_ss(&*ap.add(1));
+        c10 = _mm256_fmadd_ps(a1, b0, c10);
+        c11 = _mm256_fmadd_ps(a1, b1, c11);
+        let a2 = _mm256_broadcast_ss(&*ap.add(2));
+        c20 = _mm256_fmadd_ps(a2, b0, c20);
+        c21 = _mm256_fmadd_ps(a2, b1, c21);
+        let a3 = _mm256_broadcast_ss(&*ap.add(3));
+        c30 = _mm256_fmadd_ps(a3, b0, c30);
+        c31 = _mm256_fmadd_ps(a3, b1, c31);
+        let a4 = _mm256_broadcast_ss(&*ap.add(4));
+        c40 = _mm256_fmadd_ps(a4, b0, c40);
+        c41 = _mm256_fmadd_ps(a4, b1, c41);
+        let a5 = _mm256_broadcast_ss(&*ap.add(5));
+        c50 = _mm256_fmadd_ps(a5, b0, c50);
+        c51 = _mm256_fmadd_ps(a5, b1, c51);
+        ap = ap.add(MR);
+        bp = bp.add(NR);
+    }
+    let cp = c.as_mut_ptr();
+    let rows = [
+        (c00, c01),
+        (c10, c11),
+        (c20, c21),
+        (c30, c31),
+        (c40, c41),
+        (c50, c51),
+    ];
+    for (r, (lo, hi)) in rows.into_iter().enumerate() {
+        let dst = cp.add(r * ldc);
+        _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), lo));
+        _mm256_storeu_ps(dst.add(8), _mm256_add_ps(_mm256_loadu_ps(dst.add(8)), hi));
+    }
+}
+
+/// Dot product `a · b` on the dispatched backend — the GEMV kernel.
+#[inline]
+pub fn dot(backend: Backend, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match backend {
+        Backend::Scalar => dot_scalar(a, b),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever constructed after runtime detection.
+        Backend::Avx2Fma => unsafe { dot_avx2(a, b) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2Fma => dot_scalar(a, b),
+    }
+}
+
+/// Portable dot product with 4 independent accumulation lanes (matches the
+/// lane-then-reduce order of the SIMD kernel closely enough for the shared
+/// tolerance).
+fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        for l in 0..4 {
+            acc[l] += a[i * 4 + l] * b[i * 4 + l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for i in chunks * 4..a.len() {
+        tail += a[i] * b[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// AVX2+FMA dot product: two 8-lane accumulators, horizontal reduction at
+/// the end.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA and `a.len() == b.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    use core::arch::x86_64::*;
+    let n = a.len();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(ap.add(i + 8)),
+            _mm256_loadu_ps(bp.add(i + 8)),
+            acc1,
+        );
+        i += 16;
+    }
+    while i + 8 <= n {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+        i += 8;
+    }
+    let acc = _mm256_add_ps(acc0, acc1);
+    let hi = _mm256_extractf128_ps(acc, 1);
+    let lo = _mm256_castps256_ps128(acc);
+    let sum4 = _mm_add_ps(lo, hi);
+    let sum2 = _mm_add_ps(sum4, _mm_movehl_ps(sum4, sum4));
+    let sum1 = _mm_add_ss(sum2, _mm_shuffle_ps(sum2, sum2, 0x1));
+    let mut total = _mm_cvtss_f32(sum1);
+    while i < n {
+        total += *ap.add(i) * *bp.add(i);
+        i += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_tile(kc: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; MR * NR];
+        for kk in 0..kc {
+            for r in 0..MR {
+                for j in 0..NR {
+                    c[r * NR + j] += a[kk * MR + r] * b[kk * NR + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn packed_inputs(kc: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..kc * MR)
+            .map(|i| ((i * 7 % 23) as f32) * 0.13 - 1.0)
+            .collect();
+        let b: Vec<f32> = (0..kc * NR)
+            .map(|i| ((i * 5 % 19) as f32) * 0.11 - 0.9)
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn scalar_kernel_matches_naive() {
+        for kc in [0usize, 1, 3, 17, 64] {
+            let (a, b) = packed_inputs(kc.max(1));
+            let mut c = vec![0.0f32; MR * NR];
+            microkernel(Backend::Scalar, kc, &a, &b, &mut c, NR);
+            let want = naive_tile(kc, &a, &b);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_kernel_matches_scalar() {
+        let Some(simd) = Backend::detect_simd() else {
+            return;
+        };
+        for kc in [1usize, 2, 7, 40, 256] {
+            let (a, b) = packed_inputs(kc);
+            let mut cs = vec![0.5f32; MR * NR];
+            let mut cv = vec![0.5f32; MR * NR];
+            microkernel(Backend::Scalar, kc, &a, &b, &mut cs, NR);
+            microkernel(simd, kc, &a, &b, &mut cv, NR);
+            for (x, y) in cs.iter().zip(&cv) {
+                assert!((x - y).abs() <= 1e-4 * (1.0 + x.abs()), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_respects_row_stride() {
+        let (a, b) = packed_inputs(5);
+        let ldc = NR + 3;
+        let mut c = vec![0.0f32; MR * ldc];
+        microkernel(Backend::Scalar, 5, &a, &b, &mut c, ldc);
+        let want = naive_tile(5, &a, &b);
+        for r in 0..MR {
+            for j in 0..NR {
+                assert!((c[r * ldc + j] - want[r * NR + j]).abs() < 1e-4);
+            }
+            for j in NR..ldc.min(NR + 3) {
+                if r * ldc + j < c.len() {
+                    assert_eq!(c[r * ldc + j], 0.0, "stride gap must stay untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_kernels_agree() {
+        let a: Vec<f32> = (0..103).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..103).map(|i| (i as f32 * 0.21).cos()).collect();
+        let s = dot(Backend::Scalar, &a, &b);
+        let naive: f32 = a.iter().zip(&b).map(|(&x, &y)| x * y).sum();
+        assert!((s - naive).abs() < 1e-3);
+        if let Some(simd) = Backend::detect_simd() {
+            let v = dot(simd, &a, &b);
+            assert!((s - v).abs() <= 1e-4 * (1.0 + s.abs()));
+        }
+    }
+
+    #[test]
+    fn active_backend_is_stable() {
+        assert_eq!(Backend::active(), Backend::active());
+    }
+
+    #[test]
+    fn backend_names() {
+        assert_eq!(Backend::Scalar.name(), "scalar");
+        assert_eq!(Backend::Avx2Fma.name(), "avx2+fma");
+    }
+}

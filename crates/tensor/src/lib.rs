@@ -9,7 +9,9 @@
 //! * [`Tensor`] — a row-major dense `f32` n-dimensional array with mode-`n`
 //!   unfolding/folding (matricization), the core primitive of tensor
 //!   decomposition.
-//! * [`matmul`] — blocked, multi-threaded GEMM / GEMV / batched GEMM.
+//! * [`matmul`] — packed, multi-threaded GEMM / GEMV / batched GEMM; every
+//!   variant routes through one BLIS-style blocked engine ([`pack`]) with an
+//!   explicit runtime-dispatched SIMD micro-kernel ([`kernel`]).
 //! * [`qr`] — Householder QR (thin form), used by the randomized SVD.
 //! * [`svd`] — truncated singular value decomposition (one-sided Jacobi for
 //!   small problems, randomized subspace iteration for large ones).
@@ -41,7 +43,9 @@
 
 pub mod cp;
 pub mod error;
+pub mod kernel;
 pub mod matmul;
+pub mod pack;
 pub mod qr;
 pub mod rng;
 pub mod shape;

@@ -1,17 +1,36 @@
-//! Matrix multiplication kernels.
+//! Matrix multiplication: one packed GEMM engine for every variant.
 //!
-//! The evaluation pipeline runs many real transformer forward/backward
-//! passes, so the GEMM here is cache-blocked and multi-threaded
-//! (`std::thread::scope` over row bands) while staying dependency-free.
+//! All entry points — [`matmul`], [`matmul_transa`], [`matmul_transb`],
+//! [`batched_matmul`], and (via the shared dot kernel) [`matvec`] — route
+//! through a single BLIS-style blocked engine: operand panels are packed
+//! into contiguous micro-kernel-aligned buffers ([`crate::pack`]) and
+//! executed by an explicit SIMD micro-kernel with runtime dispatch and a
+//! portable scalar fallback ([`crate::kernel`]). Transposed variants differ
+//! only in how their panels are packed, so blocking, threading, and SIMD
+//! come for free instead of through divergent hand-written loops.
+//!
+//! Large problems are threaded with `std::thread::scope` over row bands of
+//! C. Results are deterministic: each C element's accumulation order over k
+//! is fixed by the KC blocking and is independent of the band split, so any
+//! thread count (and any [`set_thread_limit`]) produces bit-identical
+//! output for a given backend.
 
+use crate::kernel::{self, Backend, MR, NR};
+use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len, MatRef};
 use crate::Tensor;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Problems smaller than this many MACs run single-threaded.
 const PARALLEL_THRESHOLD: usize = 1 << 20;
 
-/// Inner blocking factor along the shared (k) dimension.
+/// Cache blocking: rows of A packed per block (multiple of `MR`).
+const MC: usize = 120;
+
+/// Cache blocking: shared-dimension depth per packed panel.
 const KC: usize = 256;
+
+/// Cache blocking: columns of B packed per block (multiple of `NR`).
+const NC: usize = 1024;
 
 /// Process-wide GEMM thread budget; 0 means "no limit" (use available
 /// parallelism). Sweep-level executors set this so outer (per-study-point)
@@ -30,45 +49,10 @@ pub fn thread_limit() -> usize {
     THREAD_LIMIT.load(Ordering::Relaxed)
 }
 
-/// Raw single-threaded GEMM: `c[m×n] += a[m×k] · b[k×n]`.
-///
-/// `c` must be pre-zeroed by the caller if plain assignment is wanted.
-fn gemm_band(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    // i-k-j loop order with k-blocking: streams through b rows, accumulates
-    // into the c row that stays hot in cache. The k loop is unrolled by 4
-    // so each pass over the c row does 4 fused multiply-adds per element
-    // (4× fewer c-row load/store sweeps), and the inner loop is branch-free
-    // so it vectorizes cleanly.
-    for kb in (0..k).step_by(KC) {
-        let kend = (kb + KC).min(k);
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut c[i * n..i * n + n];
-            let mut kk = kb;
-            while kk + 4 <= kend {
-                let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
-                let b0 = &b[kk * n..kk * n + n];
-                let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
-                let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
-                let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
-                for (j, cv) in crow.iter_mut().enumerate() {
-                    *cv += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-                }
-                kk += 4;
-            }
-            while kk < kend {
-                let aik = arow[kk];
-                let brow = &b[kk * n..kk * n + n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += aik * bv;
-                }
-                kk += 1;
-            }
-        }
-    }
-}
-
-/// Number of worker threads to use for a problem of `macs` multiply-adds.
+/// Number of worker threads to use for a problem of `macs` multiply-adds
+/// split across `rows` independent bands. The ceiling is the host's
+/// available parallelism (not a hardcoded constant, so many-core machines
+/// aren't silently throttled), further capped by [`set_thread_limit`].
 fn thread_count(macs: usize, rows: usize) -> usize {
     if macs < PARALLEL_THRESHOLD {
         return 1;
@@ -77,8 +61,83 @@ fn thread_count(macs: usize, rows: usize) -> usize {
         .map(|n| n.get())
         .unwrap_or(1);
     let limit = thread_limit();
-    let cap = if limit == 0 { 16 } else { limit.min(16) };
-    hw.clamp(1, cap).min(rows).max(1)
+    let cap = if limit == 0 { hw } else { limit };
+    hw.min(cap).min(rows).max(1)
+}
+
+/// Serial packed GEMM over one row band: `C[i0..i0+m][..] += A · B`, where
+/// `c_band` holds rows `i0..i0+m` of C (row stride `b.cols()`). Degenerate
+/// dimensions (`m`, `n`, or `k` of zero) are no-ops.
+fn gemm_block(backend: Backend, a: &MatRef, b: &MatRef, i0: usize, m: usize, c_band: &mut [f32]) {
+    let (n, k) = (b.cols(), a.cols());
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let kc_bound = KC.min(k);
+    let mut bpack = vec![0.0f32; packed_b_len(kc_bound, NC.min(n))];
+    let mut apack = vec![0.0f32; packed_a_len(MC.min(m), kc_bound)];
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(&mut bpack, b, pc, kc, jc, nc);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(&mut apack, a, i0 + ic, mc, pc, kc);
+                for jr in (0..nc).step_by(NR) {
+                    let nr = NR.min(nc - jr);
+                    let bpanel = &bpack[(jr / NR) * NR * kc..][..NR * kc];
+                    for ir in (0..mc).step_by(MR) {
+                        let mr = MR.min(mc - ir);
+                        let apanel = &apack[(ir / MR) * MR * kc..][..MR * kc];
+                        if mr == MR && nr == NR {
+                            let off = (ic + ir) * n + jc + jr;
+                            kernel::microkernel(backend, kc, apanel, bpanel, &mut c_band[off..], n);
+                        } else {
+                            // Edge tile: compute into a local buffer, add
+                            // only the valid region back.
+                            let mut tile = [0.0f32; MR * NR];
+                            kernel::microkernel(backend, kc, apanel, bpanel, &mut tile, NR);
+                            for r in 0..mr {
+                                let off = (ic + ir + r) * n + jc + jr;
+                                for (cv, &tv) in
+                                    c_band[off..off + nr].iter_mut().zip(&tile[r * NR..])
+                                {
+                                    *cv += tv;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Threaded driver: splits C's rows into bands and runs [`gemm_block`] per
+/// band, or inline when one thread suffices.
+fn gemm_driver(backend: Backend, a: &MatRef, b: &MatRef, c: &mut Tensor) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    let threads = thread_count(m * n * k, m);
+    let c_data = c.data_mut();
+    if threads <= 1 {
+        gemm_block(backend, a, b, 0, m, c_data);
+        return;
+    }
+    let band = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = c_data;
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows = band.min(m - row0);
+            let (mine, tail) = rest.split_at_mut(rows * n);
+            rest = tail;
+            let (a, b) = (*a, *b);
+            scope.spawn(move || gemm_block(backend, &a, &b, row0, rows, mine));
+            row0 += rows;
+        }
+    });
 }
 
 /// Computes `a · b` for matrices `a (m×k)` and `b (k×n)`.
@@ -97,6 +156,11 @@ fn thread_count(macs: usize, rows: usize) -> usize {
 /// assert_eq!(matmul(&a, &b), a);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_on(Backend::active(), a, b)
+}
+
+/// [`matmul`] on an explicit kernel backend (scalar-vs-SIMD testing hook).
+pub fn matmul_on(backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(
@@ -105,127 +169,89 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
         m, k, k2, n
     );
     let mut c = Tensor::zeros(&[m, n]);
-    let threads = thread_count(m * n * k, m);
-    if threads <= 1 {
-        gemm_band(m, n, k, a.data(), b.data(), c.data_mut());
-        return c;
-    }
-    let band = m.div_ceil(threads);
-    let a_data = a.data();
-    let b_data = b.data();
-    let c_data = c.data_mut();
-    std::thread::scope(|scope| {
-        let mut rest = c_data;
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows = band.min(m - row0);
-            let (mine, tail) = rest.split_at_mut(rows * n);
-            rest = tail;
-            let a_band = &a_data[row0 * k..(row0 + rows) * k];
-            scope.spawn(move || gemm_band(rows, n, k, a_band, b_data, mine));
-            row0 += rows;
-        }
-    });
+    gemm_driver(
+        backend,
+        &MatRef::new(a.data(), m, k),
+        &MatRef::new(b.data(), k, n),
+        &mut c,
+    );
     c
 }
 
-/// Computes `a · bᵀ` for `a (m×k)`, `b (n×k)` without materializing `bᵀ`.
+/// Computes `a · bᵀ` for `a (m×k)`, `b (n×k)` without materializing `bᵀ`
+/// (the transpose happens at pack time).
 ///
 /// # Panics
 ///
 /// Panics if the operands are not order-2 or the shared dimensions disagree.
 pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_transb_on(Backend::active(), a, b)
+}
+
+/// [`matmul_transb`] on an explicit kernel backend.
+pub fn matmul_transb_on(backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (n, k2) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_transb shared dimension mismatch");
     let mut c = Tensor::zeros(&[m, n]);
-    let a_data = a.data();
-    let b_data = b.data();
-    let threads = thread_count(m * n * k, m);
-    let band = m.div_ceil(threads.max(1));
-    let n_cols = n;
-    let work = |row0: usize, rows: usize, cband: &mut [f32]| {
-        for i in 0..rows {
-            let arow = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
-            for j in 0..n_cols {
-                let brow = &b_data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for kk in 0..k {
-                    acc += arow[kk] * brow[kk];
-                }
-                cband[i * n_cols + j] = acc;
-            }
-        }
-    };
-    if threads <= 1 {
-        work(0, m, c.data_mut());
-        return c;
-    }
-    let c_data = c.data_mut();
-    std::thread::scope(|scope| {
-        let mut rest = c_data;
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows = band.min(m - row0);
-            let (mine, tail) = rest.split_at_mut(rows * n);
-            rest = tail;
-            scope.spawn(move || work(row0, rows, mine));
-            row0 += rows;
-        }
-    });
+    gemm_driver(
+        backend,
+        &MatRef::new(a.data(), m, k),
+        &MatRef::transposed(b.data(), k, n),
+        &mut c,
+    );
     c
 }
 
-/// Computes `aᵀ · b` for `a (k×m)`, `b (k×n)` without materializing `aᵀ`.
+/// Computes `aᵀ · b` for `a (k×m)`, `b (k×n)` without materializing `aᵀ`
+/// (the transpose happens at pack time, so this path gets the same
+/// blocking, SIMD, and row-band threading as plain [`matmul`]).
 ///
 /// # Panics
 ///
 /// Panics if the operands are not order-2 or the shared dimensions disagree.
 pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_transa_on(Backend::active(), a, b)
+}
+
+/// [`matmul_transa`] on an explicit kernel backend.
+pub fn matmul_transa_on(backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_transa shared dimension mismatch");
     let mut c = Tensor::zeros(&[m, n]);
-    let cd = c.data_mut();
-    for kk in 0..k {
-        let arow = &a.data()[kk * m..(kk + 1) * m];
-        let brow = &b.data()[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let aki = arow[i];
-            if aki == 0.0 {
-                continue;
-            }
-            let crow = &mut cd[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += aki * brow[j];
-            }
-        }
-    }
+    gemm_driver(
+        backend,
+        &MatRef::transposed(a.data(), m, k),
+        &MatRef::new(b.data(), k, n),
+        &mut c,
+    );
     c
 }
 
-/// Matrix–vector product `a (m×k) · x (k)`.
+/// Matrix–vector product `a (m×k) · x (k)` via the engine's SIMD dot
+/// kernel.
 ///
 /// # Panics
 ///
 /// Panics if shapes disagree.
 pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
+    let backend = Backend::active();
     let (m, k) = (a.rows(), a.cols());
     assert_eq!(k, x.len(), "matvec dimension mismatch");
     (0..m)
-        .map(|i| {
-            let row = &a.data()[i * k..(i + 1) * k];
-            row.iter().zip(x).map(|(&a, &b)| a * b).sum()
-        })
+        .map(|i| kernel::dot(backend, &a.data()[i * k..(i + 1) * k], x))
         .collect()
 }
 
-/// Batched GEMM for order-3 tensors: `(B, m, k) · (B, k, n) → (B, m, n)`.
+/// Batched GEMM for order-3 tensors: `(B, m, k) · (B, k, n) → (B, m, n)`,
+/// each slice through the packed engine, threaded across batch entries.
 ///
 /// # Panics
 ///
 /// Panics if operands are not order-3 or dimensions disagree.
 pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let backend = Backend::active();
     assert_eq!(a.shape().order(), 3, "batched_matmul expects order-3 lhs");
     assert_eq!(b.shape().order(), 3, "batched_matmul expects order-3 rhs");
     let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
@@ -233,12 +259,43 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(ba, bb, "batched_matmul batch mismatch");
     assert_eq!(k, k2, "batched_matmul inner dimension mismatch");
     let mut c = Tensor::zeros(&[ba, m, n]);
-    for bi in 0..ba {
-        let a_sl = &a.data()[bi * m * k..(bi + 1) * m * k];
-        let b_sl = &b.data()[bi * k * n..(bi + 1) * k * n];
-        let c_sl = &mut c.data_mut()[bi * m * n..(bi + 1) * m * n];
-        gemm_band(m, n, k, a_sl, b_sl, c_sl);
+    let threads = thread_count(ba * m * n * k, ba);
+    let a_data = a.data();
+    let b_data = b.data();
+    let c_data = c.data_mut();
+    let run_slices = |b0: usize, count: usize, c_chunk: &mut [f32]| {
+        for (si, c_sl) in c_chunk.chunks_mut(m * n).enumerate() {
+            let bi = b0 + si;
+            debug_assert!(si < count);
+            let a_sl = &a_data[bi * m * k..(bi + 1) * m * k];
+            let b_sl = &b_data[bi * k * n..(bi + 1) * k * n];
+            gemm_block(
+                backend,
+                &MatRef::new(a_sl, m, k),
+                &MatRef::new(b_sl, k, n),
+                0,
+                m,
+                c_sl,
+            );
+        }
+    };
+    if threads <= 1 {
+        run_slices(0, ba, c_data);
+        return c;
     }
+    let band = ba.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = c_data;
+        let mut b0 = 0usize;
+        while b0 < ba {
+            let count = band.min(ba - b0);
+            let (mine, tail) = rest.split_at_mut(count * m * n);
+            rest = tail;
+            let run = &run_slices;
+            scope.spawn(move || run(b0, count, mine));
+            b0 += count;
+        }
+    });
     c
 }
 
@@ -309,6 +366,26 @@ mod tests {
     }
 
     #[test]
+    fn matches_naive_across_blocking_boundaries() {
+        // Shapes straddling MC/KC/NC and micro-tile edges.
+        let mut rng = Rng64::new(20);
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (MR, 3, NR),
+            (MR + 1, 2, NR + 1),
+            (MC - 1, KC + 5, 33),
+            (MC + 7, 40, NR * 2 + 3),
+        ] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            let got = matmul(&a, &b);
+            let want = naive_matmul(&a, &b);
+            let diff = got.sub(&want).unwrap().max_abs();
+            assert!(diff < 2e-3, "({m},{k},{n}) max diff {diff}");
+        }
+    }
+
+    #[test]
     fn identity_is_neutral() {
         let mut rng = Rng64::new(3);
         let a = Tensor::randn(&[6, 6], &mut rng);
@@ -333,6 +410,72 @@ mod tests {
     }
 
     #[test]
+    fn transa_threaded_path_matches() {
+        // Cross PARALLEL_THRESHOLD so the (previously single-threaded)
+        // transa variant exercises the band split.
+        let mut rng = Rng64::new(21);
+        let a = Tensor::randn(&[90, 140], &mut rng);
+        let b = Tensor::randn(&[90, 110], &mut rng);
+        let got = matmul_transa(&a, &b);
+        let want = matmul(&a.transpose(), &b);
+        assert!(got.approx_eq(&want, 1e-3));
+    }
+
+    #[test]
+    fn scalar_and_simd_backends_agree() {
+        let Some(simd) = Backend::detect_simd() else {
+            return;
+        };
+        let mut rng = Rng64::new(22);
+        let a = Tensor::randn(&[37, 29], &mut rng);
+        let b = Tensor::randn(&[29, 41], &mut rng);
+        let s = matmul_on(Backend::Scalar, &a, &b);
+        let v = matmul_on(simd, &a, &b);
+        let rel = s.sub(&v).unwrap().max_abs() / (1.0 + s.max_abs());
+        assert!(rel <= 1e-4, "scalar vs simd rel diff {rel}");
+    }
+
+    #[test]
+    fn results_identical_across_thread_limits() {
+        // Determinism: band splits must not change accumulation order.
+        let mut rng = Rng64::new(23);
+        let a = Tensor::randn(&[128, 100], &mut rng);
+        let b = Tensor::randn(&[100, 96], &mut rng);
+        let prev = set_thread_limit(1);
+        let one = matmul(&a, &b);
+        set_thread_limit(4);
+        let four = matmul(&a, &b);
+        set_thread_limit(prev);
+        assert_eq!(one, four, "thread count changed the bits");
+    }
+
+    #[test]
+    fn engine_handles_degenerate_dims() {
+        // Tensor can't represent zero-sized dims, so exercise the engine
+        // directly: empty operands must be a clean no-op.
+        let data: Vec<f32> = vec![1.0; 16];
+        let mut c = vec![0.0f32; 0];
+        gemm_block(
+            Backend::Scalar,
+            &MatRef::new(&data, 0, 4),
+            &MatRef::new(&data, 4, 4),
+            0,
+            0,
+            &mut c,
+        );
+        let mut c2 = vec![0.0f32; 8];
+        gemm_block(
+            Backend::Scalar,
+            &MatRef::new(&data, 2, 0),
+            &MatRef::new(&data, 0, 4),
+            0,
+            2,
+            &mut c2,
+        );
+        assert!(c2.iter().all(|&v| v == 0.0), "k=0 must leave C zero");
+    }
+
+    #[test]
     fn matvec_matches_matmul() {
         let mut rng = Rng64::new(6);
         let a = Tensor::randn(&[4, 6], &mut rng);
@@ -354,6 +497,20 @@ mod tests {
             let asl = Tensor::from_vec(&[4, 5], a.data()[bi * 20..(bi + 1) * 20].to_vec());
             let bsl = Tensor::from_vec(&[5, 6], b.data()[bi * 30..(bi + 1) * 30].to_vec());
             let csl = Tensor::from_vec(&[4, 6], c.data()[bi * 24..(bi + 1) * 24].to_vec());
+            assert!(csl.approx_eq(&matmul(&asl, &bsl), 1e-4));
+        }
+    }
+
+    #[test]
+    fn batched_threaded_path_matches() {
+        let mut rng = Rng64::new(24);
+        let a = Tensor::randn(&[48, 20, 40], &mut rng);
+        let b = Tensor::randn(&[48, 40, 30], &mut rng);
+        let c = batched_matmul(&a, &b);
+        for bi in [0usize, 17, 47] {
+            let asl = Tensor::from_vec(&[20, 40], a.data()[bi * 800..(bi + 1) * 800].to_vec());
+            let bsl = Tensor::from_vec(&[40, 30], b.data()[bi * 1200..(bi + 1) * 1200].to_vec());
+            let csl = Tensor::from_vec(&[20, 30], c.data()[bi * 600..(bi + 1) * 600].to_vec());
             assert!(csl.approx_eq(&matmul(&asl, &bsl), 1e-4));
         }
     }

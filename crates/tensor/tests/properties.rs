@@ -1,6 +1,10 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use lrd_tensor::matmul::{matmul, matmul_transa, matmul_transb, mode_n_product};
+use lrd_tensor::kernel::{Backend, NR};
+use lrd_tensor::matmul::{
+    matmul, matmul_on, matmul_transa, matmul_transa_on, matmul_transb, matmul_transb_on, matvec,
+    mode_n_product, set_thread_limit,
+};
 use lrd_tensor::qr::{orthonormality_error, qr_thin};
 use lrd_tensor::rng::Rng64;
 use lrd_tensor::svd::{svd_jacobi, truncated_svd};
@@ -21,6 +25,30 @@ fn tensor3(max_dim: usize) -> impl Strategy<Value = Tensor> {
     (2..=max_dim, 2..=max_dim, 2..=max_dim, any::<u64>()).prop_map(|(a, b, c, seed)| {
         let mut rng = Rng64::new(seed);
         Tensor::randn(&[a, b, c], &mut rng)
+    })
+}
+
+/// Strategy: adversarial GEMM shapes `(m, k, n, seed)` — single-row inputs,
+/// `k < 4`, and `n` straddling the micro-kernel width — alongside general
+/// small shapes.
+fn adversarial_shape() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (any::<u64>(), any::<u64>()).prop_map(|(pick, seed)| {
+        let r = |lo: usize, hi: usize, x: u64| lo + (x as usize) % (hi - lo + 1);
+        match pick % 3 {
+            0 => (1, r(1, 3, pick >> 2), r(1, 2 * NR + 1, pick >> 8), seed),
+            1 => (
+                r(1, 8, pick >> 2),
+                r(1, 3, pick >> 8),
+                r(NR - 1, NR + 1, pick >> 16),
+                seed,
+            ),
+            _ => (
+                r(1, 20, pick >> 2),
+                r(1, 24, pick >> 8),
+                r(1, 40, pick >> 16),
+                seed,
+            ),
+        }
     })
 }
 
@@ -152,6 +180,69 @@ proptest! {
         let dec2 = tucker_hoi(&t, &ranks, HoiOptions::default()).unwrap();
         let e = dec2.relative_error(&t);
         prop_assert!((0.0..=1.0 + 1e-4).contains(&e));
+    }
+
+    #[test]
+    fn scalar_and_simd_agree_on_adversarial_shapes(case in adversarial_shape()) {
+        let (m, k, n, seed) = case;
+        let Some(simd) = Backend::detect_simd() else { return Ok(()) };
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let s = matmul_on(Backend::Scalar, &a, &b);
+        let v = matmul_on(simd, &a, &b);
+        let rel = s.sub(&v).unwrap().max_abs() / (1.0 + s.max_abs());
+        prop_assert!(rel <= 1e-4, "({m},{k},{n}) rel diff {rel}");
+    }
+
+    #[test]
+    fn scalar_and_simd_agree_on_transpose_variants(seed in any::<u64>()) {
+        let Some(simd) = Backend::detect_simd() else { return Ok(()) };
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::randn(&[9, 13], &mut rng);
+        let b = Tensor::randn(&[11, 13], &mut rng);
+        let s = matmul_transb_on(Backend::Scalar, &a, &b);
+        let v = matmul_transb_on(simd, &a, &b);
+        let rel = s.sub(&v).unwrap().max_abs() / (1.0 + s.max_abs());
+        prop_assert!(rel <= 1e-4, "transb rel diff {rel}");
+        let c = Tensor::randn(&[9, 17], &mut rng);
+        let s = matmul_transa_on(Backend::Scalar, &a, &c);
+        let v = matmul_transa_on(simd, &a, &c);
+        let rel = s.sub(&v).unwrap().max_abs() / (1.0 + s.max_abs());
+        prop_assert!(rel <= 1e-4, "transa rel diff {rel}");
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical(seed in any::<u64>()) {
+        // Same binary, same inputs → identical bits, for every variant and
+        // regardless of the thread budget (band splits must not change each
+        // element's accumulation order).
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::randn(&[70, 50], &mut rng);
+        let b = Tensor::randn(&[50, 60], &mut rng);
+        prop_assert_eq!(matmul(&a, &b), matmul(&a, &b));
+        let bt = Tensor::randn(&[60, 50], &mut rng);
+        prop_assert_eq!(matmul_transb(&a, &bt), matmul_transb(&a, &bt));
+        let c = Tensor::randn(&[70, 40], &mut rng);
+        prop_assert_eq!(matmul_transa(&a, &c), matmul_transa(&a, &c));
+        let prev = set_thread_limit(1);
+        let serial = matmul(&a, &b);
+        set_thread_limit(3);
+        let banded = matmul(&a, &b);
+        set_thread_limit(prev);
+        prop_assert_eq!(serial, banded);
+    }
+
+    #[test]
+    fn matvec_matches_single_column_matmul(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let a = Tensor::randn(&[7, 19], &mut rng);
+        let x = Tensor::randn(&[19, 1], &mut rng);
+        let via_mm = matmul(&a, &x);
+        let via_mv = matvec(&a, x.data());
+        for (i, &v) in via_mv.iter().enumerate() {
+            prop_assert!((via_mm.get(&[i, 0]) - v).abs() <= 1e-4 * (1.0 + v.abs()));
+        }
     }
 
     #[test]
