@@ -1,0 +1,158 @@
+//! Validates a metrics document written by `repro --metrics <path>`.
+//!
+//! ```text
+//! metrics_check <path>
+//! ```
+//!
+//! Checks the schema identity and version, the presence and finiteness of
+//! every required number, that every named counter appears, and the cache
+//! invariant `hits + misses == lookups`. Exits non-zero with a message on
+//! the first violation — CI runs this against a fresh `fig9 --fast` run.
+
+use lrd_trace::json::{parse, Json};
+use lrd_trace::report::{SCHEMA_NAME, SCHEMA_VERSION};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("metrics_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// A finite number at `key` of `obj`, or die.
+fn require_num(obj: &Json, section: &str, key: &str) -> f64 {
+    match obj.get(key).and_then(|v| v.as_num()) {
+        Some(n) => n,
+        None => fail(&format!("{section}.{key} missing or not a finite number")),
+    }
+}
+
+fn require_str<'a>(obj: &'a Json, section: &str, key: &str) -> &'a str {
+    match obj.get(key).and_then(|v| v.as_str()) {
+        Some(s) => s,
+        None => fail(&format!("{section}.{key} missing or not a string")),
+    }
+}
+
+fn require_obj<'a>(doc: &'a Json, key: &str) -> &'a Json {
+    match doc.get(key) {
+        Some(v) if v.as_obj().is_some() => v,
+        _ => fail(&format!("top-level object \"{key}\" missing")),
+    }
+}
+
+fn require_arr<'a>(doc: &'a Json, key: &str) -> &'a [Json] {
+    match doc.get(key).and_then(|v| v.as_arr()) {
+        Some(v) => v,
+        None => fail(&format!("top-level array \"{key}\" missing")),
+    }
+}
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: metrics_check <metrics.json>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("{path} is not valid JSON: {e}")),
+    };
+
+    // Schema identity.
+    if require_str(&doc, "$", "schema") != SCHEMA_NAME {
+        fail(&format!("schema is not \"{SCHEMA_NAME}\""));
+    }
+    let version = require_num(&doc, "$", "schema_version");
+    if version != SCHEMA_VERSION as f64 {
+        fail(&format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+
+    // Run section: all numbers finite, wall clock positive.
+    let run = require_obj(&doc, "run");
+    require_str(run, "run", "command");
+    require_str(run, "run", "kernel_backend");
+    let wall_s = require_num(run, "run", "wall_s");
+    if wall_s <= 0.0 {
+        fail("run.wall_s must be positive");
+    }
+    for key in ["workers", "samples", "steps", "kernel_gflops"] {
+        require_num(run, "run", key);
+    }
+
+    // Cache section and its defining invariant.
+    let cache = require_obj(&doc, "cache");
+    let hits = require_num(cache, "cache", "hits");
+    let misses = require_num(cache, "cache", "misses");
+    let lookups = require_num(cache, "cache", "lookups");
+    let hit_rate = require_num(cache, "cache", "hit_rate");
+    require_num(cache, "cache", "distinct_factors");
+    if hits + misses != lookups {
+        fail(&format!(
+            "cache invariant violated: hits {hits} + misses {misses} != lookups {lookups}"
+        ));
+    }
+    if !(0.0..=1.0).contains(&hit_rate) {
+        fail(&format!("cache.hit_rate {hit_rate} outside [0, 1]"));
+    }
+
+    // Every named counter must be present and finite.
+    let counters = require_obj(&doc, "counters");
+    for c in lrd_trace::counters::ALL {
+        require_num(counters, "counters", c.name());
+    }
+
+    // GEMM cells: finite calls/flops, known shape.
+    let gemm = require_arr(&doc, "gemm");
+    for (i, cell) in gemm.iter().enumerate() {
+        let section = format!("gemm[{i}]");
+        require_str(cell, &section, "variant");
+        require_str(cell, &section, "backend");
+        if require_num(cell, &section, "calls") <= 0.0 {
+            fail(&format!("{section}.calls must be positive"));
+        }
+        require_num(cell, &section, "flops");
+    }
+
+    // Spans: finite timing fields that fit inside the run.
+    let spans = require_arr(&doc, "spans");
+    for (i, span) in spans.iter().enumerate() {
+        let section = format!("spans[{i}]");
+        require_str(span, &section, "name");
+        require_num(span, &section, "id");
+        let start_us = require_num(span, &section, "start_us");
+        let dur_us = require_num(span, &section, "dur_us");
+        if start_us + dur_us > wall_s * 1.1e6 + 1e6 {
+            fail(&format!("{section} extends past the run's wall clock"));
+        }
+    }
+
+    // Events: every field after name/label must be a finite number.
+    let events = require_arr(&doc, "events");
+    for (i, event) in events.iter().enumerate() {
+        let section = format!("events[{i}]");
+        require_str(event, &section, "name");
+        for (key, value) in event.as_obj().expect("events hold objects") {
+            if key == "name" || key == "label" {
+                continue;
+            }
+            if value.as_num().is_none() {
+                fail(&format!("{section}.{key} is not a finite number"));
+            }
+        }
+    }
+
+    println!(
+        "metrics_check: OK ({} counters, {} gemm cells, {} spans, {} events, wall {wall_s:.1}s)",
+        lrd_trace::counters::ALL.len(),
+        gemm.len(),
+        spans.len(),
+        events.len()
+    );
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <command> [--fast] [--samples N] [--steps N] [--workers N] [--no-cache]
+//!                 [--metrics PATH]
 //!
 //! commands:
 //!   train      (re)train the tiny-Llama baseline and print its benchmark scores
@@ -49,6 +50,9 @@ struct Args {
     workers: usize,
     /// Disables the decomposition cache (A/B the sequential seed path).
     no_cache: bool,
+    /// Where to write the full telemetry document (spans, counters, GEMM
+    /// matrix), if requested.
+    metrics: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +62,7 @@ fn parse_args() -> Args {
     let mut steps = 2500usize;
     let mut workers = 0usize;
     let mut no_cache = false;
+    let mut metrics = None;
     let mut fast = false;
     let mut i = 0;
     while i < argv.len() {
@@ -76,6 +81,16 @@ fn parse_args() -> Args {
                 workers = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(workers);
             }
             "--no-cache" => no_cache = true,
+            "--metrics" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => metrics = Some(std::path::PathBuf::from(p)),
+                    None => {
+                        eprintln!("--metrics requires a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             c if command.is_empty() && !c.starts_with('-') => command = c.to_string(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -99,6 +114,7 @@ fn parse_args() -> Args {
         batch_per_gpu: 64,
         workers,
         no_cache,
+        metrics,
     }
 }
 
@@ -134,8 +150,14 @@ fn bench_names(benches: &[DynBenchmark]) -> Vec<&'static str> {
     benches.iter().map(|b| b.name()).collect()
 }
 
+/// Set when a printed figure had *every* point fail; drives the process
+/// exit code (individual failed points are reported but non-fatal).
+static FIGURE_ALL_FAILED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
 /// Prints a study as a table with one row per configuration and one column
-/// per benchmark; returns the rows for CSV reuse.
+/// per benchmark; returns the rows for CSV reuse. Failed points render as
+/// `FAILED` rows (with the error echoed below the table) and count toward
+/// the all-points-failed exit condition.
 fn print_study(title: &str, csv: &str, points: &[StudyPoint], benches: &[DynBenchmark]) {
     println!("\n=== {title} ===");
     let mut headers: Vec<&str> = vec!["config", "param-red %"];
@@ -145,7 +167,12 @@ fn print_study(title: &str, csv: &str, points: &[StudyPoint], benches: &[DynBenc
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            let mut row = vec![p.label.clone(), format!("{:.1}", p.param_reduction_pct)];
+            let mut row = vec![p.label.clone()];
+            row.push(if p.is_failed() {
+                "-".into()
+            } else {
+                format!("{:.1}", p.param_reduction_pct)
+            });
             for n in &names {
                 row.push(
                     p.accuracy_of(n)
@@ -153,11 +180,26 @@ fn print_study(title: &str, csv: &str, points: &[StudyPoint], benches: &[DynBenc
                         .unwrap_or_else(|| "-".into()),
                 );
             }
-            row.push(format!("{:.1}", p.mean_accuracy()));
+            row.push(if p.is_failed() {
+                "FAILED".into()
+            } else {
+                format!("{:.1}", p.mean_accuracy())
+            });
             row
         })
         .collect();
     print!("{}", render_table(&headers, &rows));
+    for p in points.iter().filter(|p| p.is_failed()) {
+        eprintln!(
+            "[repro] warning: point \"{}\" failed: {}",
+            p.label,
+            p.error.as_deref().unwrap_or("unknown error")
+        );
+    }
+    if !points.is_empty() && points.iter().all(|p| p.is_failed()) {
+        eprintln!("[repro] error: every point of \"{title}\" failed");
+        FIGURE_ALL_FAILED.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
     let path = write_csv(csv, &headers, &rows);
     println!("[csv] {}", path.display());
 }
@@ -662,7 +704,13 @@ fn cmd_recovery(args: &Args, exec: &StudyExecutor) {
         .pop()
         .expect("9% reference point");
     // 15% decomposed, before and after recovery.
-    let (mut m15, _) = exec.decompose_clone(&preset_config(&presets[2].2));
+    let (mut m15, _) = match exec.decompose_clone(&preset_config(&presets[2].2)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[repro] recovery skipped: 15% decomposition failed: {e}");
+            return;
+        }
+    };
     let before: Vec<(&'static str, lrd_eval::Accuracy)> = benches
         .iter()
         .map(|b| (b.name(), lrd_eval::evaluate(&m15, b.as_ref(), world, &opts)))
@@ -808,37 +856,71 @@ fn kernel_gflops() -> Vec<(&'static str, f64)> {
 
 /// Records the suite's wall clock, cache effectiveness, and per-kernel
 /// GFLOP/s for the perf trajectory (`BENCH_suite.json` at the invocation
-/// directory).
+/// directory), and — when `--metrics` was given — the full telemetry
+/// document (spans, counters, GEMM matrix, events) via `lrd-trace`.
 fn write_bench_suite(args: &Args, wall_s: f64, agg: &CacheAgg) {
+    use lrd_trace::json::Json;
     let backend = lrd_tensor::kernel::Backend::active();
     let kernels = kernel_gflops();
-    let kernel_json: Vec<String> = kernels
-        .iter()
-        .map(|(name, gflops)| format!("    \"{name}\": {gflops:.2}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"command\": \"{}\",\n  \"wall_s\": {:.3},\n  \"workers\": {},\n  \
-         \"samples\": {},\n  \"steps\": {},\n  \"cache\": {{ \"hits\": {}, \"misses\": {}, \
-         \"hit_rate\": {:.4}, \"distinct_factors\": {} }},\n  \
-         \"kernel_backend\": \"{}\",\n  \"kernel_gflops\": {{\n{}\n  }}\n}}\n",
-        args.command,
-        wall_s,
-        args.workers,
-        args.samples,
-        args.steps,
-        agg.hits,
-        agg.misses,
-        agg.hit_rate(),
-        agg.factors,
-        backend.name(),
-        kernel_json.join(",\n"),
-    );
-    match std::fs::write("BENCH_suite.json", &json) {
+    let round2 = |g: f64| (g * 100.0).round() / 100.0;
+    let doc = Json::obj([
+        ("schema", Json::str("lrd-bench-suite")),
+        (
+            "schema_version",
+            Json::uint(lrd_trace::report::SCHEMA_VERSION),
+        ),
+        ("command", Json::str(args.command.clone())),
+        ("wall_s", Json::num((wall_s * 1000.0).round() / 1000.0)),
+        ("workers", Json::uint(args.workers as u64)),
+        ("samples", Json::uint(args.samples as u64)),
+        ("steps", Json::uint(args.steps as u64)),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::uint(agg.hits as u64)),
+                ("misses", Json::uint(agg.misses as u64)),
+                ("hit_rate", Json::num(round2(agg.hit_rate()))),
+                ("distinct_factors", Json::uint(agg.factors as u64)),
+            ]),
+        ),
+        ("kernel_backend", Json::str(backend.name())),
+        (
+            "kernel_gflops",
+            Json::Obj(
+                kernels
+                    .iter()
+                    .map(|(name, g)| (name.to_string(), Json::num(round2(*g))))
+                    .collect(),
+            ),
+        ),
+    ]);
+    match std::fs::write("BENCH_suite.json", doc.render()) {
         Ok(()) => eprintln!(
             "[repro] wrote BENCH_suite.json (wall {wall_s:.1}s, cache hit rate {:.0}%)",
             agg.hit_rate() * 100.0
         ),
         Err(e) => eprintln!("[repro] failed to write BENCH_suite.json: {e}"),
+    }
+    if let Some(path) = &args.metrics {
+        let run = lrd_trace::report::RunInfo {
+            command: args.command.clone(),
+            wall_s,
+            workers: args.workers as u64,
+            samples: args.samples as u64,
+            steps: args.steps as u64,
+            kernel_backend: backend.name().into(),
+            // Headline throughput: the square matmul calibration shape.
+            kernel_gflops: kernels.first().map(|(_, g)| *g).unwrap_or(0.0),
+        };
+        let cache = lrd_trace::report::CacheInfo {
+            hits: agg.hits as u64,
+            misses: agg.misses as u64,
+            distinct_factors: agg.factors as u64,
+        };
+        match lrd_trace::report::write_metrics(path, &run, &cache) {
+            Ok(()) => eprintln!("[repro] wrote metrics document to {}", path.display()),
+            Err(e) => eprintln!("[repro] failed to write metrics to {}: {e}", path.display()),
+        }
     }
 }
 
@@ -911,4 +993,8 @@ fn main() {
     let wall_s = t0.elapsed().as_secs_f64();
     eprintln!("[repro] done in {wall_s:.1}s");
     write_bench_suite(&args, wall_s, &agg);
+    if FIGURE_ALL_FAILED.load(std::sync::atomic::Ordering::Relaxed) {
+        eprintln!("[repro] exiting non-zero: at least one figure lost every point");
+        std::process::exit(1);
+    }
 }

@@ -56,7 +56,9 @@ pub struct WorkerBudget {
 /// `budget` is the total thread allowance (0 means "use available
 /// parallelism"), `requested_workers` is an explicit pool size (0 means
 /// auto), and `n_jobs` bounds the useful pool size. The product
-/// `workers * eval_threads` never exceeds the budget.
+/// `workers * eval_threads` never exceeds the budget: an explicit worker
+/// request above the budget is clamped down rather than silently
+/// oversubscribing the host with `workers × 1` threads.
 pub fn worker_budget(budget: usize, requested_workers: usize, n_jobs: usize) -> WorkerBudget {
     let cap = max_workers();
     let budget = if budget == 0 {
@@ -73,6 +75,7 @@ pub fn worker_budget(budget: usize, requested_workers: usize, n_jobs: usize) -> 
         requested_workers
     }
     .clamp(1, cap)
+    .min(budget)
     .min(n_jobs.max(1));
     WorkerBudget {
         workers,
@@ -97,9 +100,29 @@ where
     if n == 0 {
         return Vec::new();
     }
+    lrd_trace::counters::add(lrd_trace::Counter::ExecutorJobs, n as u64);
+    // Queue wait = time from pool start until a worker claims the job;
+    // run time = the job body itself. Jobs are sweep-point granularity, so
+    // two `Instant` reads per job are noise.
+    let pool_start = std::time::Instant::now();
     let workers = workers.clamp(1, n);
     if workers == 1 {
-        return jobs.into_iter().map(|job| job()).collect();
+        return jobs
+            .into_iter()
+            .map(|job| {
+                lrd_trace::counters::add(
+                    lrd_trace::Counter::ExecutorQueueWaitUs,
+                    pool_start.elapsed().as_micros() as u64,
+                );
+                let run_start = std::time::Instant::now();
+                let out = job();
+                lrd_trace::counters::add(
+                    lrd_trace::Counter::ExecutorRunUs,
+                    run_start.elapsed().as_micros() as u64,
+                );
+                out
+            })
+            .collect();
     }
     let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
     let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -116,7 +139,16 @@ where
                     .expect("job slot poisoned")
                     .take()
                     .expect("job claimed twice");
+                lrd_trace::counters::add(
+                    lrd_trace::Counter::ExecutorQueueWaitUs,
+                    pool_start.elapsed().as_micros() as u64,
+                );
+                let run_start = std::time::Instant::now();
                 let out = job();
+                lrd_trace::counters::add(
+                    lrd_trace::Counter::ExecutorRunUs,
+                    run_start.elapsed().as_micros() as u64,
+                );
                 *results[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
@@ -202,9 +234,11 @@ impl DecompositionCache {
             let mut map = self.map.lock().expect("decomposition cache poisoned");
             if let Some(slot) = map.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                lrd_trace::counters::add(lrd_trace::Counter::CacheHits, 1);
                 Arc::clone(slot)
             } else {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                lrd_trace::counters::add(lrd_trace::Counter::CacheMisses, 1);
                 let slot: Slot = Arc::new(OnceLock::new());
                 map.insert(key, Arc::clone(&slot));
                 slot
@@ -277,6 +311,16 @@ mod tests {
         let b = worker_budget(8, 0, 3);
         assert_eq!(b.workers, 3);
         assert!(b.workers * b.eval_threads <= 8);
+        // An explicit worker request above the budget is clamped down
+        // instead of oversubscribing (8 workers × 1 thread on budget 2).
+        let b = worker_budget(2, 8, 100);
+        assert_eq!(
+            b,
+            WorkerBudget {
+                workers: 2,
+                eval_threads: 1
+            }
+        );
         // Degenerate budgets stay sane.
         let b = worker_budget(1, 0, 100);
         assert_eq!(

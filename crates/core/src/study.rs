@@ -37,9 +37,18 @@ pub struct StudyPoint {
     pub param_reduction_pct: f64,
     /// `(benchmark, accuracy)` per evaluated benchmark.
     pub results: Vec<(&'static str, Accuracy)>,
+    /// Why the point's decomposition failed, if it did. A failed point
+    /// carries no results and is skipped by downstream reductions; the
+    /// rest of the sweep still runs.
+    pub error: Option<String>,
 }
 
 impl StudyPoint {
+    /// Whether this point's decomposition failed.
+    pub fn is_failed(&self) -> bool {
+        self.error.is_some()
+    }
+
     /// Mean accuracy (percent) across all evaluated benchmarks.
     pub fn mean_accuracy(&self) -> f64 {
         if self.results.is_empty() {
@@ -57,11 +66,31 @@ impl StudyPoint {
     }
 }
 
+/// Builds the [`StudyPoint`] recording a failed decomposition: the error is
+/// carried in the point (and counted via telemetry) instead of killing the
+/// sweep, so the remaining points still run.
+fn failed_point(
+    label: String,
+    rank: usize,
+    cfg: &DecompositionConfig,
+    err: impl std::fmt::Display,
+) -> StudyPoint {
+    lrd_trace::counters::add(lrd_trace::Counter::SweepPointsFailed, 1);
+    StudyPoint {
+        label,
+        rank,
+        layers: cfg.layers.iter().copied().collect(),
+        tensors: cfg.tensors.iter().copied().collect(),
+        param_reduction_pct: 0.0,
+        results: Vec::new(),
+        error: Some(err.to_string()),
+    }
+}
+
 /// Decomposes a clone of `base` with `cfg` and evaluates it on `benches`.
 ///
-/// # Panics
-///
-/// Panics if the configuration cannot be applied (invalid rank).
+/// A configuration that cannot be applied (invalid rank) yields a failed
+/// point ([`StudyPoint::is_failed`]) rather than a panic.
 pub fn eval_config(
     base: &TransformerLm,
     cfg: &DecompositionConfig,
@@ -70,26 +99,33 @@ pub fn eval_config(
     benches: &[DynBenchmark],
     opts: &EvalOptions,
 ) -> StudyPoint {
+    let label = label.into();
+    let _point = lrd_trace::span("point", label.clone());
+    lrd_trace::counters::add(lrd_trace::Counter::SweepPoints, 1);
     let mut model = base.clone();
     let rank = cfg.ranks.iter().map(|(_, _, p)| p).next().unwrap_or(0);
     let reduction = if cfg.is_original() {
         0.0
     } else {
-        let report = decompose_model(&mut model, cfg)
-            .unwrap_or_else(|e| panic!("decomposition failed: {e}"));
-        report.reduction_pct()
+        let _decompose = lrd_trace::span("decompose", label.clone());
+        match decompose_model(&mut model, cfg) {
+            Ok(report) => report.reduction_pct(),
+            Err(e) => return failed_point(label, rank, cfg, e),
+        }
     };
+    let _eval = lrd_trace::span("eval", label.clone());
     let results = benches
         .iter()
         .map(|b| (b.name(), evaluate(&model, b.as_ref(), world, opts)))
         .collect();
     StudyPoint {
-        label: label.into(),
+        label,
         rank,
         layers: cfg.layers.iter().copied().collect(),
         tensors: cfg.tensors.iter().copied().collect(),
         param_reduction_pct: reduction,
         results,
+        error: None,
     }
 }
 
@@ -236,13 +272,20 @@ impl<'a> StudyExecutor<'a> {
         cfg: &DecompositionConfig,
         opts: &EvalOptions,
     ) -> StudyPoint {
+        let _point = lrd_trace::span("point", label.clone());
+        lrd_trace::counters::add(lrd_trace::Counter::SweepPoints, 1);
         let mut model = self.base.clone();
         let rank = cfg.ranks.iter().map(|(_, _, p)| p).next().unwrap_or(0);
         let reduction = if cfg.is_original() {
             0.0
         } else {
-            self.decompose_in_place(&mut model, cfg).reduction_pct()
+            let _decompose = lrd_trace::span("decompose", label.clone());
+            match self.decompose_in_place(&mut model, cfg) {
+                Ok(report) => report.reduction_pct(),
+                Err(e) => return failed_point(label, rank, cfg, e),
+            }
         };
+        let _eval = lrd_trace::span("eval", label.clone());
         let results = benches
             .iter()
             .map(|b| (b.name(), evaluate(&model, b.as_ref(), self.world, opts)))
@@ -254,6 +297,7 @@ impl<'a> StudyExecutor<'a> {
             tensors: cfg.tensors.iter().copied().collect(),
             param_reduction_pct: reduction,
             results,
+            error: None,
         }
     }
 
@@ -261,27 +305,30 @@ impl<'a> StudyExecutor<'a> {
         &self,
         model: &mut TransformerLm,
         cfg: &DecompositionConfig,
-    ) -> crate::decompose::DecompositionReport {
-        let result = if self.use_cache {
+    ) -> Result<crate::decompose::DecompositionReport, lrd_tensor::error::TensorError> {
+        if self.use_cache {
             decompose_model_cached(model, cfg, &self.cache)
         } else {
             decompose_model(model, cfg)
-        };
-        result.unwrap_or_else(|e| panic!("decomposition failed: {e}"))
+        }
     }
 
     /// Decomposes a clone of the base model through the shared cache.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration cannot be applied (invalid rank).
+    /// Returns the decomposition error if the configuration cannot be
+    /// applied (invalid rank).
     pub fn decompose_clone(
         &self,
         cfg: &DecompositionConfig,
-    ) -> (TransformerLm, crate::decompose::DecompositionReport) {
+    ) -> Result<
+        (TransformerLm, crate::decompose::DecompositionReport),
+        lrd_tensor::error::TensorError,
+    > {
         let mut model = self.base.clone();
-        let report = self.decompose_in_place(&mut model, cfg);
-        (model, report)
+        let report = self.decompose_in_place(&mut model, cfg)?;
+        Ok((model, report))
     }
 
     /// Baseline accuracies of the undecomposed model.
@@ -657,6 +704,9 @@ pub fn optimize_design_goal<'a>(
 ) -> Option<(&'a StudyPoint, &'a EfficiencyPoint)> {
     let mut best: Option<(&StudyPoint, &EfficiencyPoint, f64)> = None;
     for sp in accuracy_points {
+        if sp.is_failed() {
+            continue;
+        }
         // Join on the preset token (the last whitespace-separated word of
         // the study label, e.g. "reduction 15%" ↔ "15%").
         let key = sp.label.rsplit(' ').next().unwrap_or(&sp.label);
@@ -828,6 +878,7 @@ mod tests {
                         }
                     },
                 )],
+                error: None,
             })
             .collect();
         let best = optimize_design_goal(72.0, &acc, &eff, 5.0).expect("feasible point");

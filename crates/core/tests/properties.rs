@@ -3,10 +3,10 @@
 
 use lrd_core::compression::{decomposed_params, param_reduction_pct, tensor_compression_ratio};
 use lrd_core::decompose::{decompose_model, decompose_model_cached};
-use lrd_core::executor::DecompositionCache;
+use lrd_core::executor::{worker_budget, DecompositionCache};
 use lrd_core::select::{spread_layers, strided_layers};
 use lrd_core::space::DecompositionConfig;
-use lrd_core::study::{DynBenchmark, StudyExecutor};
+use lrd_core::study::{DynBenchmark, StudyExecutor, StudySpec};
 use lrd_eval::harness::EvalOptions;
 use lrd_eval::tasks::{ArcEasy, WinoGrande};
 use lrd_eval::World;
@@ -102,6 +102,35 @@ proptest! {
             prop_assert_eq!(w[1] - w[0], stride);
         }
     }
+
+    /// The split never oversubscribes: `workers × eval_threads` stays
+    /// within the explicit thread budget, no matter how many workers the
+    /// caller asks for (the oversubscription regression was
+    /// `worker_budget(2, 8, _)` handing out 8×1 threads on a budget of 2).
+    #[test]
+    fn worker_budget_never_oversubscribes(
+        budget in 0usize..=64,
+        requested in 0usize..=64,
+        n_jobs in 0usize..=128,
+    ) {
+        let b = worker_budget(budget, requested, n_jobs);
+        prop_assert!(b.workers >= 1);
+        prop_assert!(b.eval_threads >= 1);
+        let effective = if budget == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            budget
+        };
+        prop_assert!(
+            b.workers * b.eval_threads <= effective.max(1),
+            "workers {} × eval_threads {} exceeds budget {}",
+            b.workers,
+            b.eval_threads,
+            effective,
+        );
+        // A pool larger than the job list is pure overhead.
+        prop_assert!(b.workers <= n_jobs.max(1));
+    }
 }
 
 fn probe_model() -> TransformerLm {
@@ -176,6 +205,64 @@ fn study_results_independent_of_worker_pool_size() {
             reference, got,
             "{workers}-worker sweep diverged from sequential"
         );
+    }
+}
+
+/// A decomposition failure on one sweep point must not kill the sweep:
+/// the bad point comes back labelled with its error, every other point
+/// still carries results, and the failure counter ticks.
+#[test]
+fn sweep_survives_injected_decomposition_failure() {
+    let base = probe_model();
+    let world = World::new(1);
+    let benches: Vec<DynBenchmark> = vec![Box::new(ArcEasy)];
+    let opts = EvalOptions {
+        n_samples: 8,
+        seed: 3,
+        batch_size: 8,
+        threads: 2,
+    };
+    let layers = vec![0usize, 1];
+    let tensors = vec![0usize, 1];
+    // Rank 9999 exceeds every dimension of the 16-wide probe model, so the
+    // middle point's decomposition returns InvalidRank.
+    let specs: Vec<StudySpec> = vec![
+        (
+            "ok-lo".into(),
+            DecompositionConfig::uniform(&layers, &tensors, 2),
+        ),
+        (
+            "poisoned".into(),
+            DecompositionConfig::uniform(&layers, &tensors, 9999),
+        ),
+        (
+            "ok-hi".into(),
+            DecompositionConfig::uniform(&layers, &tensors, 4),
+        ),
+    ];
+    let failed_before = lrd_trace::counters::get(lrd_trace::Counter::SweepPointsFailed);
+    let exec = StudyExecutor::new(&base, &world, &opts).with_workers(2);
+    let points = exec.run(&benches, specs);
+
+    assert_eq!(points.len(), 3, "failure must not drop sweep points");
+    assert_eq!(points[0].label, "ok-lo");
+    assert!(!points[0].is_failed());
+    assert!(!points[0].results.is_empty());
+    assert!(
+        points[1].is_failed(),
+        "invalid rank must mark the point failed"
+    );
+    assert!(points[1].results.is_empty());
+    let err = points[1]
+        .error
+        .as_deref()
+        .expect("failed point carries its error");
+    assert!(!err.is_empty());
+    assert!(!points[2].is_failed());
+    assert!(!points[2].results.is_empty());
+    if lrd_trace::enabled() {
+        let failed_after = lrd_trace::counters::get(lrd_trace::Counter::SweepPointsFailed);
+        assert!(failed_after > failed_before);
     }
 }
 

@@ -111,24 +111,36 @@ pub fn evaluate(
     world: &World,
     opts: &EvalOptions,
 ) -> Accuracy {
+    let _score = lrd_trace::span("score", bench.name());
     let samples = bench.samples(world, opts.n_samples, opts.seed);
-    match bench.scoring() {
+    let acc = match bench.scoring() {
         ScoringMode::MultipleChoice => evaluate_multiple_choice(model, &samples, opts),
         ScoringMode::ExactMatch => evaluate_exact_match(model, &samples, opts),
-        ScoringMode::Cloze => evaluate_cloze(model, &samples, opts),
-    }
+        ScoringMode::Cloze => evaluate_cloze(model, bench.name(), &samples, opts),
+    };
+    lrd_trace::counters::add(lrd_trace::Counter::EvalSamplesScored, acc.total as u64);
+    acc
 }
 
 /// Cloze scoring for encoder models: one forward pass per batch of
 /// equal-length prompts; each sample is answered by the choice token with
 /// the highest logit at its masked position.
 ///
+/// A prompt without a [`vocab::MASK`] token cannot be scored; such samples
+/// are skipped (with a warning naming the task and the first offending
+/// sample index, counted in telemetry) instead of panicking the scoring
+/// worker and killing the whole harness.
+///
 /// # Panics
 ///
 /// Panics if prompts have differing lengths (bidirectional attention would
-/// see padding), a prompt lacks a [`vocab::MASK`], or a choice is not a
-/// single token.
-fn evaluate_cloze(model: &TransformerLm, samples: &[Sample], opts: &EvalOptions) -> Accuracy {
+/// see padding) or a choice is not a single token.
+fn evaluate_cloze(
+    model: &TransformerLm,
+    task: &'static str,
+    samples: &[Sample],
+    opts: &EvalOptions,
+) -> Accuracy {
     if samples.is_empty() {
         return Accuracy::default();
     }
@@ -143,6 +155,8 @@ fn evaluate_cloze(model: &TransformerLm, samples: &[Sample], opts: &EvalOptions)
     let per_batch = opts.batch_size.max(1);
     let chunks: Vec<&[Sample]> = samples.chunks(per_batch).collect();
     let correct = std::sync::atomic::AtomicUsize::new(0);
+    let skipped = std::sync::atomic::AtomicUsize::new(0);
+    let first_skipped = std::sync::atomic::AtomicUsize::new(usize::MAX);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let threads = opts.effective_threads().min(chunks.len());
     std::thread::scope(|scope| {
@@ -159,11 +173,12 @@ fn evaluate_cloze(model: &TransformerLm, samples: &[Sample], opts: &EvalOptions)
                     .collect();
                 let logits = model.logits(&flat, chunk.len());
                 for (i, s) in chunk.iter().enumerate() {
-                    let mask_pos = s
-                        .prompt
-                        .iter()
-                        .position(|&t| t == vocab::MASK)
-                        .expect("cloze prompt must contain MASK");
+                    let Some(mask_pos) = s.prompt.iter().position(|&t| t == vocab::MASK) else {
+                        skipped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        first_skipped
+                            .fetch_min(ci * per_batch + i, std::sync::atomic::Ordering::Relaxed);
+                        continue;
+                    };
                     let row = logits.row(i * seq + mask_pos);
                     let best = s
                         .choices
@@ -183,9 +198,18 @@ fn evaluate_cloze(model: &TransformerLm, samples: &[Sample], opts: &EvalOptions)
             });
         }
     });
+    let skipped = skipped.into_inner();
+    if skipped > 0 {
+        lrd_trace::counters::add(lrd_trace::Counter::EvalClozeMissingMask, skipped as u64);
+        eprintln!(
+            "warning: {task}: skipped {skipped} cloze prompt(s) without a MASK token \
+             (first at sample index {})",
+            first_skipped.into_inner()
+        );
+    }
     Accuracy {
         correct: correct.into_inner(),
-        total: samples.len(),
+        total: samples.len() - skipped,
     }
 }
 
@@ -459,6 +483,68 @@ mod tests {
             (5.0..55.0).contains(&a.percent()),
             "untrained cloze near chance: {a}"
         );
+    }
+
+    /// Cloze task that omits the MASK token from every third prompt —
+    /// regression input for the skip-instead-of-panic path.
+    struct PartialMaskCloze;
+    impl Benchmark for PartialMaskCloze {
+        fn name(&self) -> &'static str {
+            "PartialMaskCloze"
+        }
+        fn scoring(&self) -> ScoringMode {
+            ScoringMode::Cloze
+        }
+        fn sample(&self, _world: &World, rng: &mut Rng64) -> Sample {
+            let has_mask = rng.below(3) != 0;
+            let mut prompt = vec![1usize; 8];
+            if has_mask {
+                prompt[3] = vocab::MASK;
+            }
+            Sample::multiple_choice(prompt, vec![vec![5], vec![6]], rng.below(2))
+        }
+    }
+
+    #[test]
+    fn cloze_without_mask_skips_instead_of_panicking() {
+        let cfg = TransformerConfig {
+            kind: ArchKind::Encoder,
+            vocab_size: vocab::VOCAB_SIZE,
+            d_model: 16,
+            n_layers: 2,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 32,
+            max_seq: 64,
+        };
+        let model = TransformerLm::new(cfg, &mut Rng64::new(6));
+        let world = World::new(4);
+        let opts = EvalOptions {
+            n_samples: 30,
+            seed: 11,
+            batch_size: 8,
+            threads: 2,
+        };
+        let masked = PartialMaskCloze
+            .samples(&world, opts.n_samples, opts.seed)
+            .iter()
+            .filter(|s| s.prompt.contains(&vocab::MASK))
+            .count();
+        assert!(
+            masked < opts.n_samples,
+            "seed must produce MASK-less prompts"
+        );
+        let skipped_before = lrd_trace::counters::get(lrd_trace::Counter::EvalClozeMissingMask);
+        let acc = evaluate(&model, &PartialMaskCloze, &world, &opts);
+        assert_eq!(acc.total, masked, "total counts only scoreable samples");
+        assert!(acc.correct <= acc.total);
+        if lrd_trace::enabled() {
+            let skipped_after = lrd_trace::counters::get(lrd_trace::Counter::EvalClozeMissingMask);
+            assert!(
+                skipped_after - skipped_before >= (opts.n_samples - masked) as u64,
+                "skipped prompts must be counted"
+            );
+        }
     }
 
     #[test]

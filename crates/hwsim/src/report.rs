@@ -54,6 +54,8 @@ pub fn simulate_inference(
     batch_per_gpu: usize,
     seq: usize,
 ) -> InferenceReport {
+    let _sim = lrd_trace::span("hwsim", desc.name);
+    lrd_trace::counters::add(lrd_trace::Counter::HwsimSimulations, 1);
     let dtype = DType::F16;
     let gpu_time =
         data_parallel_batch_time(system, desc, decomposed, batch_per_gpu, seq, dtype).total();
@@ -65,6 +67,17 @@ pub fn simulate_inference(
     let wall = gpu_time + overhead;
     let energy = saturated_energy_j(system, wall);
     let memory = inference_memory(system, desc, decomposed, batch_per_gpu, seq, dtype);
+    lrd_trace::event(
+        "hwsim_report",
+        desc.name,
+        vec![
+            ("gpu_time_s", gpu_time),
+            ("wall_time_s", wall),
+            ("energy_j", energy),
+            ("memory_bytes", memory.total() as f64),
+            ("decomposed_tensors", decomposed.len() as f64),
+        ],
+    );
     InferenceReport {
         batch_per_gpu,
         seq,

@@ -18,6 +18,7 @@
 use crate::kernel::{self, Backend, MR, NR};
 use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len, MatRef};
 use crate::Tensor;
+use lrd_trace::counters::{record_gemm, GemmVariant};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Problems smaller than this many MACs run single-threaded.
@@ -168,6 +169,7 @@ pub fn matmul_on(backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
         "matmul inner dimension mismatch: {}×{} · {}×{}",
         m, k, k2, n
     );
+    record_gemm(GemmVariant::Matmul, backend.name(), 2 * (m * n * k) as u64);
     let mut c = Tensor::zeros(&[m, n]);
     gemm_driver(
         backend,
@@ -193,6 +195,11 @@ pub fn matmul_transb_on(backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (n, k2) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_transb shared dimension mismatch");
+    record_gemm(
+        GemmVariant::MatmulTransB,
+        backend.name(),
+        2 * (m * n * k) as u64,
+    );
     let mut c = Tensor::zeros(&[m, n]);
     gemm_driver(
         backend,
@@ -219,6 +226,11 @@ pub fn matmul_transa_on(backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_transa shared dimension mismatch");
+    record_gemm(
+        GemmVariant::MatmulTransA,
+        backend.name(),
+        2 * (m * n * k) as u64,
+    );
     let mut c = Tensor::zeros(&[m, n]);
     gemm_driver(
         backend,
@@ -239,6 +251,7 @@ pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
     let backend = Backend::active();
     let (m, k) = (a.rows(), a.cols());
     assert_eq!(k, x.len(), "matvec dimension mismatch");
+    record_gemm(GemmVariant::Matvec, backend.name(), 2 * (m * k) as u64);
     (0..m)
         .map(|i| kernel::dot(backend, &a.data()[i * k..(i + 1) * k], x))
         .collect()
@@ -258,6 +271,11 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (bb, k2, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
     assert_eq!(ba, bb, "batched_matmul batch mismatch");
     assert_eq!(k, k2, "batched_matmul inner dimension mismatch");
+    record_gemm(
+        GemmVariant::Batched,
+        backend.name(),
+        2 * (ba * m * n * k) as u64,
+    );
     let mut c = Tensor::zeros(&[ba, m, n]);
     let threads = thread_count(ba * m * n * k, ba);
     let a_data = a.data();

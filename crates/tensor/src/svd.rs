@@ -111,6 +111,8 @@ pub fn svd_jacobi(a: &Tensor) -> Result<Svd, TensorError> {
             vt: t.u.transpose(),
         });
     }
+    // Count only the executing orientation (the m<n wrapper above recurses).
+    lrd_trace::counters::add(lrd_trace::Counter::SvdJacobiCalls, 1);
     // Columns of `work` are rotated until mutually orthogonal.
     let mut work: Vec<f64> = a.data().iter().map(|&x| x as f64).collect();
     // Accumulate right rotations into v (n×n).
@@ -129,6 +131,7 @@ pub fn svd_jacobi(a: &Tensor) -> Result<Svd, TensorError> {
 
     let mut converged = false;
     for _sweep in 0..MAX_SWEEPS {
+        lrd_trace::counters::add(lrd_trace::Counter::SvdJacobiSweeps, 1);
         let mut off = 0.0f64;
         for p in 0..n {
             for q in (p + 1)..n {
@@ -255,6 +258,7 @@ pub fn truncated_svd(a: &Tensor, k: usize) -> Result<Svd, TensorError> {
 
 /// Randomized truncated SVD (Halko et al. 2011) with power iteration.
 fn randomized_svd(a: &Tensor, k: usize) -> Result<Svd, TensorError> {
+    lrd_trace::counters::add(lrd_trace::Counter::SvdRandomizedCalls, 1);
     let (m, n) = (a.rows(), a.cols());
     let l = (k + OVERSAMPLE).min(m.min(n));
     // Deterministic sketch seed derived from problem dimensions.

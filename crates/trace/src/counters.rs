@@ -1,0 +1,307 @@
+//! Monotonic telemetry counters.
+//!
+//! Two shapes of counter live here:
+//!
+//! * a fixed set of named scalar counters ([`Counter`]), one relaxed
+//!   `AtomicU64` each — cheap enough for per-call accounting anywhere in
+//!   the workspace;
+//! * the GEMM matrix ([`record_gemm`]): calls and FLOPs keyed by
+//!   (variant, kernel backend), static atomics so the matmul dispatch hot
+//!   path never touches a lock.
+//!
+//! Counters are process-global and monotone: they only ever increase, so
+//! readers take deltas (`get` before / after) rather than resetting.
+
+#[cfg(feature = "collect")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "collect")]
+use std::sync::OnceLock;
+
+/// The workspace's named scalar counters.
+///
+/// To add one: add a variant here, give it a stable snake_case name in
+/// [`Counter::name`], extend [`ALL`], and bump nothing else — it appears in
+/// the metrics document automatically (see `DESIGN.md` §8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// One-sided Jacobi SVD invocations (the executing orientation only).
+    SvdJacobiCalls,
+    /// Total Jacobi sweeps (iterations) across all invocations.
+    SvdJacobiSweeps,
+    /// Randomized subspace-iteration SVD invocations.
+    SvdRandomizedCalls,
+    /// Decomposition-cache lookups served from a memoized factor.
+    CacheHits,
+    /// Decomposition-cache lookups that ran the SVD.
+    CacheMisses,
+    /// Benchmark samples scored by the eval harness.
+    EvalSamplesScored,
+    /// Cloze samples skipped because the prompt had no MASK token.
+    EvalClozeMissingMask,
+    /// Sweep points evaluated by study executors (including failed ones).
+    SweepPoints,
+    /// Sweep points whose decomposition failed (recorded, not fatal).
+    SweepPointsFailed,
+    /// Jobs submitted to `run_jobs` worker pools.
+    ExecutorJobs,
+    /// Total µs jobs spent queued before a worker claimed them.
+    ExecutorQueueWaitUs,
+    /// Total µs workers spent running job bodies.
+    ExecutorRunUs,
+    /// Hardware-simulator inference simulations.
+    HwsimSimulations,
+}
+
+/// Every counter, in metrics-document order.
+pub const ALL: [Counter; 13] = [
+    Counter::SvdJacobiCalls,
+    Counter::SvdJacobiSweeps,
+    Counter::SvdRandomizedCalls,
+    Counter::CacheHits,
+    Counter::CacheMisses,
+    Counter::EvalSamplesScored,
+    Counter::EvalClozeMissingMask,
+    Counter::SweepPoints,
+    Counter::SweepPointsFailed,
+    Counter::ExecutorJobs,
+    Counter::ExecutorQueueWaitUs,
+    Counter::ExecutorRunUs,
+    Counter::HwsimSimulations,
+];
+
+impl Counter {
+    /// Stable snake_case name used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SvdJacobiCalls => "svd_jacobi_calls",
+            Counter::SvdJacobiSweeps => "svd_jacobi_sweeps",
+            Counter::SvdRandomizedCalls => "svd_randomized_calls",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::EvalSamplesScored => "eval_samples_scored",
+            Counter::EvalClozeMissingMask => "eval_cloze_missing_mask",
+            Counter::SweepPoints => "sweep_points",
+            Counter::SweepPointsFailed => "sweep_points_failed",
+            Counter::ExecutorJobs => "executor_jobs",
+            Counter::ExecutorQueueWaitUs => "executor_queue_wait_us",
+            Counter::ExecutorRunUs => "executor_run_us",
+            Counter::HwsimSimulations => "hwsim_simulations",
+        }
+    }
+
+    #[cfg(feature = "collect")]
+    fn index(self) -> usize {
+        ALL.iter().position(|c| *c == self).expect("counter in ALL")
+    }
+}
+
+#[cfg(feature = "collect")]
+static SCALARS: [AtomicU64; ALL.len()] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    [ZERO; ALL.len()]
+};
+
+/// Adds `delta` to a scalar counter.
+#[inline]
+pub fn add(counter: Counter, delta: u64) {
+    #[cfg(feature = "collect")]
+    SCALARS[counter.index()].fetch_add(delta, Ordering::Relaxed);
+    #[cfg(not(feature = "collect"))]
+    let _ = (counter, delta);
+}
+
+/// Current value of a scalar counter (0 when collection is compiled out).
+#[inline]
+pub fn get(counter: Counter) -> u64 {
+    #[cfg(feature = "collect")]
+    return SCALARS[counter.index()].load(Ordering::Relaxed);
+    #[cfg(not(feature = "collect"))]
+    {
+        let _ = counter;
+        0
+    }
+}
+
+/// Snapshot of every scalar counter as `(name, value)` pairs.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    ALL.iter().map(|&c| (c.name(), get(c))).collect()
+}
+
+/// GEMM entry points instrumented by `lrd-tensor::matmul`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmVariant {
+    /// Plain `A · B`.
+    Matmul,
+    /// `Aᵀ · B` (pack-time transposition).
+    MatmulTransA,
+    /// `A · Bᵀ` (pack-time transposition).
+    MatmulTransB,
+    /// Batched order-3 GEMM.
+    Batched,
+    /// Matrix–vector product via the dot kernel.
+    Matvec,
+}
+
+/// Every GEMM variant, in metrics-document order.
+pub const GEMM_VARIANTS: [GemmVariant; 5] = [
+    GemmVariant::Matmul,
+    GemmVariant::MatmulTransA,
+    GemmVariant::MatmulTransB,
+    GemmVariant::Batched,
+    GemmVariant::Matvec,
+];
+
+impl GemmVariant {
+    /// Stable name used as the JSON value.
+    pub fn name(self) -> &'static str {
+        match self {
+            GemmVariant::Matmul => "matmul",
+            GemmVariant::MatmulTransA => "matmul_transa",
+            GemmVariant::MatmulTransB => "matmul_transb",
+            GemmVariant::Batched => "batched_matmul",
+            GemmVariant::Matvec => "matvec",
+        }
+    }
+
+    #[cfg(feature = "collect")]
+    fn index(self) -> usize {
+        GEMM_VARIANTS
+            .iter()
+            .position(|v| *v == self)
+            .expect("variant in GEMM_VARIANTS")
+    }
+}
+
+/// Calls and FLOPs of one (variant, backend) GEMM cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmCounter {
+    /// GEMM entry-point name.
+    pub variant: &'static str,
+    /// Kernel backend name (`"scalar"` or the SIMD dispatch name).
+    pub backend: &'static str,
+    /// Number of calls.
+    pub calls: u64,
+    /// Total floating-point operations (2 per multiply-add).
+    pub flops: u64,
+}
+
+// Backend axis: the kernel dispatch is resolved once per process, so at
+// most two backends exist — the scalar reference and one SIMD kernel.
+#[cfg(feature = "collect")]
+static SIMD_BACKEND_NAME: OnceLock<&'static str> = OnceLock::new();
+
+#[cfg(feature = "collect")]
+struct GemmCell {
+    calls: AtomicU64,
+    flops: AtomicU64,
+}
+
+#[cfg(feature = "collect")]
+static GEMM: [[GemmCell; 2]; GEMM_VARIANTS.len()] = {
+    #[allow(clippy::declare_interior_mutable_const)]
+    const CELL: GemmCell = GemmCell {
+        calls: AtomicU64::new(0),
+        flops: AtomicU64::new(0),
+    };
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ROW: [GemmCell; 2] = [CELL; 2];
+    [ROW; GEMM_VARIANTS.len()]
+};
+
+/// Records one GEMM call of `flops` floating-point operations on the named
+/// kernel backend. Lock-free; intended for the dispatch hot path.
+#[inline]
+pub fn record_gemm(variant: GemmVariant, backend: &'static str, flops: u64) {
+    #[cfg(feature = "collect")]
+    {
+        let b = if backend == "scalar" {
+            0
+        } else {
+            SIMD_BACKEND_NAME.get_or_init(|| backend);
+            1
+        };
+        let cell = &GEMM[variant.index()][b];
+        cell.calls.fetch_add(1, Ordering::Relaxed);
+        cell.flops.fetch_add(flops, Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "collect"))]
+    let _ = (variant, backend, flops);
+}
+
+/// Snapshot of every non-empty (variant, backend) GEMM cell.
+pub fn gemm_snapshot() -> Vec<GemmCounter> {
+    #[cfg(feature = "collect")]
+    {
+        let mut out = Vec::new();
+        for &variant in &GEMM_VARIANTS {
+            for (b, backend) in [
+                (0usize, "scalar"),
+                (1, SIMD_BACKEND_NAME.get().copied().unwrap_or("simd")),
+            ] {
+                let cell = &GEMM[variant.index()][b];
+                let calls = cell.calls.load(Ordering::Relaxed);
+                if calls > 0 {
+                    out.push(GemmCounter {
+                        variant: variant.name(),
+                        backend,
+                        calls,
+                        flops: cell.flops.load(Ordering::Relaxed),
+                    });
+                }
+            }
+        }
+        out
+    }
+    #[cfg(not(feature = "collect"))]
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_counters_are_monotone() {
+        let before = get(Counter::SweepPoints);
+        add(Counter::SweepPoints, 3);
+        add(Counter::SweepPoints, 2);
+        let after = get(Counter::SweepPoints);
+        if crate::enabled() {
+            assert!(after >= before + 5);
+        } else {
+            assert_eq!(after, 0);
+        }
+        assert_eq!(snapshot().len(), ALL.len());
+    }
+
+    #[test]
+    fn gemm_cells_accumulate_by_variant_and_backend() {
+        let before: u64 = gemm_snapshot()
+            .iter()
+            .filter(|g| g.variant == "matvec" && g.backend == "scalar")
+            .map(|g| g.calls)
+            .sum();
+        record_gemm(GemmVariant::Matvec, "scalar", 128);
+        record_gemm(GemmVariant::Matvec, "scalar", 64);
+        let cell: Vec<_> = gemm_snapshot()
+            .into_iter()
+            .filter(|g| g.variant == "matvec" && g.backend == "scalar")
+            .collect();
+        if crate::enabled() {
+            assert_eq!(cell.len(), 1);
+            assert!(cell[0].calls >= before + 2);
+            assert!(cell[0].flops >= 192);
+        } else {
+            assert!(cell.is_empty());
+        }
+    }
+
+    #[test]
+    fn counter_names_are_unique() {
+        let mut names: Vec<_> = ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

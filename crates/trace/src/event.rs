@@ -1,0 +1,70 @@
+//! One-shot structured records: a name, a label, and numeric fields.
+//!
+//! Events carry measurements that are neither durations (spans) nor
+//! monotone counts (counters) — e.g. the hardware simulator's per-run
+//! latency/energy/memory breakdown. They land in the same metrics
+//! document as everything else.
+
+#[cfg(feature = "collect")]
+use std::sync::Mutex;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event kind (`"hwsim_report"`, …).
+    pub name: &'static str,
+    /// Free-form instance label.
+    pub label: String,
+    /// Named numeric payload.
+    pub fields: Vec<(&'static str, f64)>,
+}
+
+#[cfg(feature = "collect")]
+static EVENTS: Mutex<Vec<EventRecord>> = Mutex::new(Vec::new());
+
+/// Records one event.
+pub fn event(name: &'static str, label: impl Into<String>, fields: Vec<(&'static str, f64)>) {
+    #[cfg(feature = "collect")]
+    EVENTS
+        .lock()
+        .expect("event collector poisoned")
+        .push(EventRecord {
+            name,
+            label: label.into(),
+            fields,
+        });
+    #[cfg(not(feature = "collect"))]
+    let _ = (name, label.into(), fields);
+}
+
+/// Snapshot of every recorded event, in record order.
+pub fn snapshot() -> Vec<EventRecord> {
+    #[cfg(feature = "collect")]
+    return EVENTS.lock().expect("event collector poisoned").clone();
+    #[cfg(not(feature = "collect"))]
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_record_fields() {
+        let before = snapshot().len();
+        event("unit_test_event", "lbl", vec![("x", 1.5), ("y", 2.0)]);
+        let events = snapshot();
+        if crate::enabled() {
+            assert!(events.len() > before);
+            let e = events
+                .iter()
+                .rev()
+                .find(|e| e.name == "unit_test_event")
+                .unwrap();
+            assert_eq!(e.label, "lbl");
+            assert_eq!(e.fields, vec![("x", 1.5), ("y", 2.0)]);
+        } else {
+            assert!(events.is_empty());
+        }
+    }
+}

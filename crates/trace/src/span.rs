@@ -1,0 +1,196 @@
+//! Hierarchical RAII timing spans.
+//!
+//! A span measures one phase of work: create a guard with [`span`], and the
+//! interval from creation to drop is recorded into a process-global
+//! collector. Spans nest per thread — a span opened while another is live
+//! on the same thread records that span as its parent — so the collector
+//! reconstructs the sweep → point → phase tree without any explicit
+//! context passing. Worker threads simply start their own roots.
+//!
+//! Spans are intended for sweep/point/phase granularity (tens to thousands
+//! per run), not per-kernel events; the per-span cost is one `Instant`
+//! read at open and a mutex push at close.
+
+#[cfg(feature = "collect")]
+use std::cell::RefCell;
+#[cfg(feature = "collect")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "collect")]
+use std::sync::{Mutex, OnceLock};
+#[cfg(feature = "collect")]
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the process.
+    pub id: u64,
+    /// Id of the span that was live on the same thread at open time.
+    pub parent: Option<u64>,
+    /// Phase name (`"point"`, `"decompose"`, `"eval"`, …).
+    pub name: &'static str,
+    /// Free-form instance label (sweep-point label, benchmark name, …).
+    pub label: String,
+    /// Start offset from the process trace epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+#[cfg(feature = "collect")]
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+#[cfg(feature = "collect")]
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+#[cfg(feature = "collect")]
+static COMPLETED: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+#[cfg(feature = "collect")]
+thread_local! {
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard: the span runs from construction to drop.
+#[must_use = "a span measures until the guard is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    #[cfg(feature = "collect")]
+    inner: Option<SpanInner>,
+}
+
+#[cfg(feature = "collect")]
+#[derive(Debug)]
+struct SpanInner {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    label: String,
+    start: Instant,
+}
+
+/// Opens a span named `name` with a per-instance `label`.
+///
+/// ```
+/// let _point = lrd_trace::span("decompose", "layer 3");
+/// // … timed work …
+/// ```
+pub fn span(name: &'static str, label: impl Into<String>) -> SpanGuard {
+    #[cfg(feature = "collect")]
+    {
+        let _ = EPOCH.get_or_init(Instant::now);
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        SpanGuard {
+            inner: Some(SpanInner {
+                id,
+                parent,
+                name,
+                label: label.into(),
+                start: Instant::now(),
+            }),
+        }
+    }
+    #[cfg(not(feature = "collect"))]
+    {
+        let _ = (name, label.into());
+        SpanGuard {}
+    }
+}
+
+#[cfg(feature = "collect")]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let dur_us = inner.start.elapsed().as_micros() as u64;
+        let epoch = EPOCH.get_or_init(Instant::now);
+        let start_us = inner.start.saturating_duration_since(*epoch).as_micros() as u64;
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if let Some(pos) = s.iter().rposition(|&id| id == inner.id) {
+                s.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: inner.id,
+            parent: inner.parent,
+            name: inner.name,
+            label: inner.label,
+            start_us,
+            dur_us,
+        };
+        COMPLETED
+            .lock()
+            .expect("span collector poisoned")
+            .push(record);
+    }
+}
+
+/// Snapshot of every completed span, in completion order.
+pub fn snapshot() -> Vec<SpanRecord> {
+    #[cfg(feature = "collect")]
+    return COMPLETED.lock().expect("span collector poisoned").clone();
+    #[cfg(not(feature = "collect"))]
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_duration() {
+        let before = snapshot().len();
+        {
+            let _outer = span("outer_test_span", "o");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("inner_test_span", "i");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        let spans = snapshot();
+        if !crate::enabled() {
+            assert!(spans.is_empty());
+            return;
+        }
+        assert!(spans.len() >= before + 2);
+        let inner = spans
+            .iter()
+            .rev()
+            .find(|s| s.name == "inner_test_span")
+            .expect("inner recorded");
+        let outer = spans
+            .iter()
+            .rev()
+            .find(|s| s.name == "outer_test_span")
+            .expect("outer recorded");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(outer.dur_us >= inner.dur_us);
+        assert!(inner.start_us >= outer.start_us);
+        assert_eq!(outer.label, "o");
+    }
+
+    #[test]
+    fn sibling_threads_get_independent_roots() {
+        if !crate::enabled() {
+            return;
+        }
+        let handle = std::thread::spawn(|| {
+            let _s = span("thread_root_span", "worker");
+        });
+        handle.join().unwrap();
+        let spans = snapshot();
+        let root = spans
+            .iter()
+            .rev()
+            .find(|s| s.name == "thread_root_span")
+            .expect("worker span recorded");
+        assert_eq!(root.parent, None);
+    }
+}
