@@ -1,13 +1,16 @@
 //! Validates a metrics document written by `repro --metrics <path>`.
 //!
 //! ```text
-//! metrics_check <path>
+//! metrics_check <path> [--require-nonzero counter1,counter2,...]
 //! ```
 //!
 //! Checks the schema identity and version, the presence and finiteness of
 //! every required number, that every named counter appears, and the cache
-//! invariant `hits + misses == lookups`. Exits non-zero with a message on
-//! the first violation — CI runs this against a fresh `fig9 --fast` run.
+//! invariant `hits + misses == lookups`. With `--require-nonzero`, the
+//! named counters must additionally be strictly positive — the chaos CI
+//! job uses this to prove faults were actually injected and retried.
+//! Exits non-zero with a message on the first violation — CI runs this
+//! against a fresh `fig9 --fast` run.
 
 use lrd_trace::json::{parse, Json};
 use lrd_trace::report::{SCHEMA_NAME, SCHEMA_VERSION};
@@ -47,13 +50,46 @@ fn require_arr<'a>(doc: &'a Json, key: &str) -> &'a [Json] {
 }
 
 fn main() {
-    let path = match std::env::args().nth(1) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut require_nonzero: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--require-nonzero" => {
+                i += 1;
+                let list = argv.get(i).map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("--require-nonzero requires a comma-separated counter list");
+                    std::process::exit(2);
+                });
+                require_nonzero.extend(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                );
+            }
+            p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let path = match path {
         Some(p) => p,
         None => {
-            eprintln!("usage: metrics_check <metrics.json>");
+            eprintln!("usage: metrics_check <metrics.json> [--require-nonzero c1,c2,...]");
             std::process::exit(2);
         }
     };
+    for name in &require_nonzero {
+        if !lrd_trace::counters::ALL.iter().any(|c| c.name() == name) {
+            eprintln!("--require-nonzero names unknown counter {name:?}");
+            std::process::exit(2);
+        }
+    }
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => fail(&format!("cannot read {path}: {e}")),
@@ -106,6 +142,13 @@ fn main() {
     let counters = require_obj(&doc, "counters");
     for c in lrd_trace::counters::ALL {
         require_num(counters, "counters", c.name());
+    }
+    for name in &require_nonzero {
+        if require_num(counters, "counters", name) <= 0.0 {
+            fail(&format!(
+                "counters.{name} must be nonzero (--require-nonzero)"
+            ));
+        }
     }
 
     // GEMM cells: finite calls/flops, known shape.

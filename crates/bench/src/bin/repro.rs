@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro <command> [--fast] [--samples N] [--steps N] [--workers N] [--no-cache]
-//!                 [--metrics PATH]
+//!                 [--metrics PATH] [--journal PATH] [--resume] [--faults SPEC]
+//!                 [--retries N] [--deadline-s SECS]
 //!
 //! commands:
 //!   train      (re)train the tiny-Llama baseline and print its benchmark scores
@@ -23,10 +24,24 @@
 //!   optimize   Definition 1 design-goal search over the layer space
 //!   recovery   §6 fine-tuning recovery experiment
 //!   all        everything above
+//!
+//! robustness flags:
+//!   --journal PATH    append every settled sweep point to a durable JSONL
+//!                     checkpoint (schema lrd-journal v1)
+//!   --resume          with --journal: restore journaled points instead of
+//!                     recomputing them (bit-identical to an uninterrupted run)
+//!   --faults SPEC     deterministic fault injection, e.g. svd:0.05,panic:0.01,
+//!                     nan:0.02,seed:42 (also readable from LRD_FAULTS /
+//!                     LRD_FAULTS_SEED)
+//!   --retries N       per-point retry budget for transient failures (default 2)
+//!   --deadline-s S    per-point soft deadline; overrunning points settle as
+//!                     timed out (default off)
 //! ```
 
 use lrd_bench::{pretrained_tiny_llama, render_table, write_csv, PretrainOptions, WORLD_SEED};
 use lrd_core::executor::CacheStats;
+use lrd_core::faults::{FaultPlan, FAULTS_ENV, FAULTS_SEED_ENV};
+use lrd_core::journal::Journal;
 use lrd_core::recovery::{recover, RecoveryOptions};
 use lrd_core::select::{middle_spread_layers, preset_config, table4_presets};
 use lrd_core::space::table2;
@@ -53,6 +68,34 @@ struct Args {
     /// Where to write the full telemetry document (spans, counters, GEMM
     /// matrix), if requested.
     metrics: Option<std::path::PathBuf>,
+    /// Durable JSONL journal of settled sweep points, if requested.
+    journal: Option<std::path::PathBuf>,
+    /// Restore journaled points instead of recomputing them.
+    resume: bool,
+    /// Deterministic fault-injection plan (no-fault by default).
+    faults: FaultPlan,
+    /// Per-point retry budget for transient failures.
+    retries: u32,
+    /// Per-point soft deadline.
+    deadline: Option<std::time::Duration>,
+}
+
+/// Takes the value following `flag`, exiting with an error if it is absent.
+fn flag_value<'v>(argv: &'v [String], i: usize, flag: &str) -> &'v str {
+    argv.get(i).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
+/// Strictly parses a flag's value: a malformed value is an error naming
+/// the flag and the offending text, never a silent fall-back to the
+/// default.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {value:?}");
+        std::process::exit(2);
+    })
 }
 
 fn parse_args() -> Args {
@@ -64,32 +107,53 @@ fn parse_args() -> Args {
     let mut no_cache = false;
     let mut metrics = None;
     let mut fast = false;
+    let mut journal = None;
+    let mut resume = false;
+    let mut faults_spec: Option<String> = None;
+    let mut retries = 2u32;
+    let mut deadline = None;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--fast" => fast = true,
             "--samples" => {
                 i += 1;
-                samples = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(samples);
+                samples = parse_value("--samples", flag_value(&argv, i, "--samples"));
             }
             "--steps" => {
                 i += 1;
-                steps = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(steps);
+                steps = parse_value("--steps", flag_value(&argv, i, "--steps"));
             }
             "--workers" => {
                 i += 1;
-                workers = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(workers);
+                workers = parse_value("--workers", flag_value(&argv, i, "--workers"));
             }
             "--no-cache" => no_cache = true,
             "--metrics" => {
                 i += 1;
-                match argv.get(i) {
-                    Some(p) => metrics = Some(std::path::PathBuf::from(p)),
-                    None => {
-                        eprintln!("--metrics requires a path");
-                        std::process::exit(2);
-                    }
+                metrics = Some(std::path::PathBuf::from(flag_value(&argv, i, "--metrics")));
+            }
+            "--journal" => {
+                i += 1;
+                journal = Some(std::path::PathBuf::from(flag_value(&argv, i, "--journal")));
+            }
+            "--resume" => resume = true,
+            "--faults" => {
+                i += 1;
+                faults_spec = Some(flag_value(&argv, i, "--faults").to_string());
+            }
+            "--retries" => {
+                i += 1;
+                retries = parse_value("--retries", flag_value(&argv, i, "--retries"));
+            }
+            "--deadline-s" => {
+                i += 1;
+                let secs: f64 = parse_value("--deadline-s", flag_value(&argv, i, "--deadline-s"));
+                if !(secs > 0.0 && secs.is_finite()) {
+                    eprintln!("invalid value for --deadline-s: {secs} (must be positive)");
+                    std::process::exit(2);
                 }
+                deadline = Some(std::time::Duration::from_secs_f64(secs));
             }
             c if command.is_empty() && !c.starts_with('-') => command = c.to_string(),
             other => {
@@ -99,6 +163,28 @@ fn parse_args() -> Args {
         }
         i += 1;
     }
+    if resume && journal.is_none() {
+        eprintln!("--resume requires --journal <path>");
+        std::process::exit(2);
+    }
+    // Resolve the fault plan up front so a typo'd spec aborts the run
+    // instead of silently disabling (or mis-shaping) the chaos test.
+    let faults = match &faults_spec {
+        Some(spec) => {
+            let mut plan = FaultPlan::parse(spec).unwrap_or_else(|e| {
+                eprintln!("invalid value for --faults: {e}");
+                std::process::exit(2);
+            });
+            if let Ok(seed) = std::env::var(FAULTS_SEED_ENV) {
+                plan.seed = parse_value(FAULTS_SEED_ENV, &seed);
+            }
+            plan
+        }
+        None => FaultPlan::from_env().unwrap_or_else(|e| {
+            eprintln!("invalid {FAULTS_ENV}: {e}");
+            std::process::exit(2);
+        }),
+    };
     if fast {
         samples = samples.min(80);
         steps = steps.min(600);
@@ -115,6 +201,11 @@ fn parse_args() -> Args {
         workers,
         no_cache,
         metrics,
+        journal,
+        resume,
+        faults,
+        retries,
+        deadline,
     }
 }
 
@@ -291,11 +382,52 @@ fn load_model(args: &Args) -> (TransformerLm, World) {
 
 /// Builds the shared sweep executor for a loaded model. One executor (and
 /// therefore one decomposition cache) serves every figure of a run, so
-/// presets repeated across figures reuse their factor pairs.
-fn executor<'a>(model: &'a TransformerLm, world: &'a World, args: &Args) -> StudyExecutor<'a> {
-    StudyExecutor::new(model, world, &eval_opts(args))
+/// presets repeated across figures reuse their factor pairs. The executor
+/// carries the run's robustness policy: fault plan, retry budget, soft
+/// deadline, and (optionally) the durable journal.
+fn executor<'a>(
+    model: &'a TransformerLm,
+    world: &'a World,
+    args: &Args,
+    journal: Option<&'a Journal>,
+) -> StudyExecutor<'a> {
+    let mut exec = StudyExecutor::new(model, world, &eval_opts(args))
         .with_workers(args.workers)
         .with_cache(!args.no_cache)
+        .with_faults(args.faults)
+        .with_retries(args.retries)
+        .with_deadline(args.deadline);
+    if let Some(journal) = journal {
+        exec = exec.with_journal(journal);
+    }
+    exec
+}
+
+/// Opens (or resumes) the durable journal if `--journal` was given.
+fn open_journal(args: &Args) -> Option<Journal> {
+    let path = args.journal.as_ref()?;
+    let journal = if args.resume {
+        Journal::resume(path)
+    } else {
+        Journal::create(path)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("[repro] cannot open journal {}: {e}", path.display());
+        std::process::exit(2);
+    });
+    if args.resume {
+        eprintln!(
+            "[repro] resuming from {}: {} settled point(s) loaded{}",
+            path.display(),
+            journal.len(),
+            if journal.dropped_lines() > 0 {
+                format!(", {} torn/foreign line(s) dropped", journal.dropped_lines())
+            } else {
+                String::new()
+            }
+        );
+    }
+    Some(journal)
 }
 
 fn cmd_train(args: &Args, exec: &StudyExecutor) {
@@ -317,6 +449,7 @@ fn cmd_train(args: &Args, exec: &StudyExecutor) {
 }
 
 fn cmd_fig3(_args: &Args, exec: &StudyExecutor) {
+    exec.set_figure("fig3");
     let benches = mc_benches();
     // Paper ranks {500, 250, 1} out of 4096 ≈ {5, 2, 1} out of the tiny
     // model's 40.
@@ -337,6 +470,7 @@ fn cmd_fig3(_args: &Args, exec: &StudyExecutor) {
 }
 
 fn cmd_fig5(_args: &Args, exec: &StudyExecutor) {
+    exec.set_figure("fig5");
     let benches = mc_benches();
     let mut points = vec![exec.baseline(&benches)];
     points.extend(exec.tensor_choice(&benches));
@@ -349,6 +483,7 @@ fn cmd_fig5(_args: &Args, exec: &StudyExecutor) {
 }
 
 fn cmd_fig6(_args: &Args, exec: &StudyExecutor) {
+    exec.set_figure("fig6");
     let benches = mc_benches();
     let n_layers = exec.base().config().n_layers;
     // Case 1 (~8%): one attention tensor in all layers vs all tensors in 3
@@ -382,6 +517,7 @@ fn cmd_fig6(_args: &Args, exec: &StudyExecutor) {
 }
 
 fn cmd_fig7(_args: &Args, exec: &StudyExecutor) {
+    exec.set_figure("fig7");
     let benches = mc_benches();
     let points = exec.layer_sensitivity(&benches);
     print_study(
@@ -398,6 +534,7 @@ fn cmd_fig7(_args: &Args, exec: &StudyExecutor) {
 }
 
 fn cmd_fig8(_args: &Args, exec: &StudyExecutor) {
+    exec.set_figure("fig8");
     let benches = mc_benches();
     let points = exec.layer_distance(&benches, &[1, 2, 3, 6], 5, 4);
     print_study(
@@ -409,6 +546,7 @@ fn cmd_fig8(_args: &Args, exec: &StudyExecutor) {
 }
 
 fn cmd_fig9(_args: &Args, exec: &StudyExecutor) {
+    exec.set_figure("fig9");
     let benches = all_benches();
     let mut points = vec![exec.baseline(&benches)];
     points.extend(exec.case_study(&benches));
@@ -473,7 +611,7 @@ fn cmd_efficiency(args: &Args, which: &str) {
 /// BERT-side characterization (the BERT panels of Figs. 5/6): per-tensor
 /// sensitivity of the MLM-trained encoder on the cloze probe. The paper's
 /// observation to reproduce: `W_Int` is the most sensitive BERT tensor.
-fn cmd_bert(args: &Args) -> (CacheStats, usize) {
+fn cmd_bert(args: &Args, journal: Option<&Journal>) -> (CacheStats, usize) {
     // The 12-layer encoder converges in roughly half the decoder's budget.
     let opts = PretrainOptions {
         steps: (args.steps / 2).max(300),
@@ -481,7 +619,8 @@ fn cmd_bert(args: &Args) -> (CacheStats, usize) {
     };
     let (model, world) = lrd_bench::pretrained_tiny_bert(&opts);
     let benches: Vec<DynBenchmark> = vec![Box::new(tasks::BertCloze)];
-    let exec = executor(&model, &world, args);
+    let exec = executor(&model, &world, args, journal);
+    exec.set_figure("bert");
     let mut points = vec![exec.baseline(&benches)];
     points.extend(exec.tensor_choice(&benches));
     print_study(
@@ -576,6 +715,7 @@ fn cmd_decode(args: &Args) {
 /// magnitude pruning at comparable size reductions, on the same trained
 /// model.
 fn cmd_baselines(args: &Args, exec: &StudyExecutor) {
+    exec.set_figure("baselines");
     let benches = mc_benches();
     let opts = eval_opts(args);
     let world = exec.world();
@@ -645,6 +785,7 @@ fn cmd_baselines(args: &Args, exec: &StudyExecutor) {
 /// additive predictor, and search the layer space for the minimum-EDP
 /// configuration within an accuracy-drop tolerance τ.
 fn cmd_optimize(args: &Args, exec: &StudyExecutor) {
+    exec.set_figure("optimize");
     let benches = mc_benches();
     println!("\n=== Definition 1: design-goal optimization ===");
     let base = exec.baseline(&benches);
@@ -689,20 +830,43 @@ fn cmd_optimize(args: &Args, exec: &StudyExecutor) {
 }
 
 fn cmd_recovery(args: &Args, exec: &StudyExecutor) {
+    exec.set_figure("recovery");
     let benches = mc_benches();
     let opts = eval_opts(args);
     let world = exec.world();
     let presets = table4_presets();
     println!("\n=== §6: recovery fine-tuning (15% model recovered toward 9% accuracy) ===");
     let base = exec.baseline(&benches);
-    // 9% reference.
-    let nine = exec
+    // 9% reference. A failed reference point renders the figure as failed
+    // instead of aborting the whole run.
+    let nine = match exec
         .run(
             &benches,
             vec![("9% (no recovery)".into(), preset_config(&presets[1].2))],
         )
         .pop()
-        .expect("9% reference point");
+    {
+        Some(p) if !p.is_failed() => p,
+        Some(p) => {
+            eprintln!(
+                "[repro] recovery skipped: the \"9% (no recovery)\" reference point failed: {}",
+                p.error.as_deref().unwrap_or("unknown error")
+            );
+            print_study(
+                "§6: recovery fine-tuning (reference point failed)",
+                "recovery.csv",
+                &[p],
+                &benches,
+            );
+            return;
+        }
+        None => {
+            eprintln!(
+                "[repro] recovery skipped: the \"9% (no recovery)\" reference point was not produced"
+            );
+            return;
+        }
+    };
     // 15% decomposed, before and after recovery.
     let (mut m15, _) = match exec.decompose_clone(&preset_config(&presets[2].2)) {
         Ok(v) => v,
@@ -938,6 +1102,7 @@ fn main() {
         },
     );
     let t0 = std::time::Instant::now();
+    let journal = open_journal(&args);
     let mut agg = CacheAgg::default();
     match args.command.as_str() {
         "table1" => cmd_table1(),
@@ -945,7 +1110,7 @@ fn main() {
         "table4" => cmd_table4(),
         "fig10" | "fig11" | "fig12" => cmd_efficiency(&args, &args.command),
         "decode" => cmd_decode(&args),
-        "bert" => agg.add(cmd_bert(&args)),
+        "bert" => agg.add(cmd_bert(&args, journal.as_ref())),
         "all" => {
             cmd_table1();
             cmd_table2();
@@ -953,7 +1118,7 @@ fn main() {
             // One model, one executor, one cache for every tiny-Llama
             // figure — presets shared between figures hit the cache.
             let (model, world) = load_model(&args);
-            let exec = executor(&model, &world, &args);
+            let exec = executor(&model, &world, &args, journal.as_ref());
             cmd_train(&args, &exec);
             cmd_fig3(&args, &exec);
             cmd_fig5(&args, &exec);
@@ -962,14 +1127,14 @@ fn main() {
             cmd_fig8(&args, &exec);
             cmd_fig9(&args, &exec);
             cmd_efficiency(&args, "fig10");
-            agg.add(cmd_bert(&args));
+            agg.add(cmd_bert(&args, journal.as_ref()));
             cmd_recovery(&args, &exec);
             agg.add_exec(&exec);
         }
         cmd @ ("train" | "fig3" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "spectra"
         | "baselines" | "optimize" | "recovery") => {
             let (model, world) = load_model(&args);
-            let exec = executor(&model, &world, &args);
+            let exec = executor(&model, &world, &args, journal.as_ref());
             match cmd {
                 "train" => cmd_train(&args, &exec),
                 "fig3" => cmd_fig3(&args, &exec),

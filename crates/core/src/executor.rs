@@ -25,11 +25,19 @@
 //! oversubscribe the host.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 use lrd_tensor::error::TensorError;
 use lrd_tensor::tucker::Tucker2;
+
+/// Locks a mutex, tolerating poison: with panic isolation enabled a worker
+/// can die between lock acquisitions without invalidating the shared state
+/// (every slot is written exactly once, after the fallible work finished).
+fn lock_tolerant<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Ceiling on pool size: the host's available parallelism, floored at 16 so
 /// explicit budgets behave identically on small machines while many-core
@@ -163,6 +171,159 @@ where
         .collect()
 }
 
+/// How one job of [`run_jobs_isolated`] settled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome<T> {
+    /// The job returned normally.
+    Done(T),
+    /// The job panicked; the payload's message is carried along.
+    Panicked(String),
+    /// The job overran the soft deadline and its result was discarded.
+    TimedOut,
+}
+
+impl<T> JobOutcome<T> {
+    /// The result, if the job completed normally.
+    pub fn into_done(self) -> Option<T> {
+        match self {
+            JobOutcome::Done(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`) as the
+/// human-readable message it almost always carries.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// Per-job lifecycle for the isolated pool. Settling transitions
+// (RUNNING→DONE by the worker, RUNNING→TIMED_OUT by the watchdog) race
+// through compare-exchange: exactly one side wins and writes the slot.
+const JOB_QUEUED: u8 = 0;
+const JOB_RUNNING: u8 = 1;
+const JOB_DONE: u8 = 2;
+const JOB_TIMED_OUT: u8 = 3;
+
+/// Fault-isolating variant of [`run_jobs`]: every job runs under
+/// `catch_unwind`, so one panicking job yields a [`JobOutcome::Panicked`]
+/// entry instead of tearing down the whole sweep, and an optional per-job
+/// *soft deadline* marks overrunning jobs [`JobOutcome::TimedOut`].
+///
+/// Deadline semantics (the honest kind): safe Rust cannot kill a thread,
+/// so a job that overruns keeps its worker busy until it finishes on its
+/// own — the watchdog only settles the job's *outcome* early (its eventual
+/// result is discarded) so downstream consumers stop waiting on it
+/// logically. The pool itself still joins every worker before returning.
+/// With `deadline = None` and no panics the returned outcomes are exactly
+/// `run_jobs`'s results wrapped in [`JobOutcome::Done`], in job order.
+pub fn run_jobs_isolated<T, F>(
+    jobs: Vec<F>,
+    workers: usize,
+    deadline: Option<Duration>,
+) -> Vec<JobOutcome<T>>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    lrd_trace::counters::add(lrd_trace::Counter::ExecutorJobs, n as u64);
+    let workers = workers.clamp(1, n);
+    if workers == 1 && deadline.is_none() {
+        // Inline path: isolation without a pool (bit-identical scheduling).
+        return jobs
+            .into_iter()
+            .map(
+                |job| match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+                    Ok(v) => JobOutcome::Done(v),
+                    Err(payload) => JobOutcome::Panicked(panic_message(payload)),
+                },
+            )
+            .collect();
+    }
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
+    let results: Vec<Mutex<Option<JobOutcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let states: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(JOB_QUEUED)).collect();
+    let starts: Vec<Mutex<Option<Instant>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let unsettled = AtomicUsize::new(n);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = lock_tolerant(&jobs[i]).take().expect("job claimed twice");
+                *lock_tolerant(&starts[i]) = Some(Instant::now());
+                states[i].store(JOB_RUNNING, Ordering::Release);
+                let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
+                    Ok(v) => JobOutcome::Done(v),
+                    Err(payload) => JobOutcome::Panicked(panic_message(payload)),
+                };
+                if states[i]
+                    .compare_exchange(JOB_RUNNING, JOB_DONE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    *lock_tolerant(&results[i]) = Some(outcome);
+                    unsettled.fetch_sub(1, Ordering::AcqRel);
+                }
+                // Else the watchdog timed this job out first; the late
+                // result is discarded.
+            });
+        }
+        if let Some(deadline) = deadline {
+            let (states, starts, results, unsettled) = (&states, &starts, &results, &unsettled);
+            scope.spawn(move || {
+                let tick =
+                    (deadline / 20).clamp(Duration::from_millis(1), Duration::from_millis(50));
+                while unsettled.load(Ordering::Acquire) > 0 {
+                    for i in 0..n {
+                        if states[i].load(Ordering::Acquire) != JOB_RUNNING {
+                            continue;
+                        }
+                        let overran = lock_tolerant(&starts[i])
+                            .map(|start| start.elapsed() > deadline)
+                            .unwrap_or(false);
+                        if overran
+                            && states[i]
+                                .compare_exchange(
+                                    JOB_RUNNING,
+                                    JOB_TIMED_OUT,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok()
+                        {
+                            *lock_tolerant(&results[i]) = Some(JobOutcome::TimedOut);
+                            unsettled.fetch_sub(1, Ordering::AcqRel);
+                        }
+                    }
+                    std::thread::sleep(tick);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("job did not settle")
+        })
+        .collect()
+}
+
 /// Memoized Tucker-2 factors for one tensor slot of the base model.
 #[derive(Debug, Clone)]
 pub struct CachedFactor {
@@ -222,6 +383,10 @@ impl DecompositionCache {
 
     /// Returns the memoized factor pair for `key`, computing it with
     /// `compute` on first use.
+    ///
+    /// Errors are *not* memoized: a failed computation (transient SVD
+    /// non-convergence, an injected fault) evicts its slot so a later
+    /// retry recomputes instead of replaying the cached failure forever.
     pub fn get_or_compute<F>(
         &self,
         key: FactorKey,
@@ -231,7 +396,7 @@ impl DecompositionCache {
         F: FnOnce() -> Result<CachedFactor, TensorError>,
     {
         let slot = {
-            let mut map = self.map.lock().expect("decomposition cache poisoned");
+            let mut map = lock_tolerant(&self.map);
             if let Some(slot) = map.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 lrd_trace::counters::add(lrd_trace::Counter::CacheHits, 1);
@@ -244,12 +409,21 @@ impl DecompositionCache {
                 slot
             }
         };
-        slot.get_or_init(|| compute().map(Arc::new)).clone()
+        let result = slot.get_or_init(|| compute().map(Arc::new)).clone();
+        if result.is_err() {
+            // Evict *this* slot only — a concurrent retry may already have
+            // installed a fresh slot under the same key.
+            let mut map = lock_tolerant(&self.map);
+            if map.get(&key).is_some_and(|cur| Arc::ptr_eq(cur, &slot)) {
+                map.remove(&key);
+            }
+        }
+        result
     }
 
     /// Number of distinct factorizations currently memoized.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("decomposition cache poisoned").len()
+        lock_tolerant(&self.map).len()
     }
 
     /// Whether the cache holds no factorizations.
@@ -330,6 +504,93 @@ mod tests {
                 eval_threads: 1
             }
         );
+    }
+
+    #[test]
+    fn isolated_pool_contains_panics() {
+        for workers in [1, 4] {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..9usize)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 4 {
+                            panic!("injected panic at job {i}");
+                        }
+                        i * 10
+                    }) as Box<dyn FnOnce() -> usize + Send>
+                })
+                .collect();
+            let out = run_jobs_isolated(jobs, workers, None);
+            assert_eq!(out.len(), 9);
+            for (i, outcome) in out.iter().enumerate() {
+                if i == 4 {
+                    assert_eq!(
+                        outcome,
+                        &JobOutcome::Panicked("injected panic at job 4".into())
+                    );
+                } else {
+                    assert_eq!(outcome, &JobOutcome::Done(i * 10));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_pool_matches_run_jobs_when_quiet() {
+        let jobs: Vec<_> = (0..17usize).map(|i| move || i * 3 + 1).collect();
+        let out = run_jobs_isolated(jobs, 4, None);
+        let expected: Vec<JobOutcome<usize>> =
+            (0..17usize).map(|i| JobOutcome::Done(i * 3 + 1)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn watchdog_times_out_overrunning_jobs() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| {
+                std::thread::sleep(Duration::from_millis(400));
+                2
+            }),
+            Box::new(|| 3),
+        ];
+        let out = run_jobs_isolated(jobs, 2, Some(Duration::from_millis(40)));
+        assert_eq!(out[0], JobOutcome::Done(1));
+        assert_eq!(out[1], JobOutcome::TimedOut);
+        assert_eq!(out[2], JobOutcome::Done(3));
+        assert_eq!(out[1].clone().into_done(), None);
+    }
+
+    #[test]
+    fn cache_error_is_not_memoized() {
+        let cache = DecompositionCache::new();
+        let w = Tensor::from_vec(&[6, 4], (0..24).map(|v| v as f32 * 0.25 - 1.0).collect());
+        let attempts = AtomicUsize::new(0);
+        let flaky = |w: &Tensor, attempts: &AtomicUsize| {
+            let n = attempts.fetch_add(1, Ordering::Relaxed);
+            if n == 0 {
+                Err(TensorError::NotConverged {
+                    algorithm: "svd (injected fault)",
+                    iterations: 0,
+                })
+            } else {
+                let fac = tucker2(w, 2)?;
+                let err = fac.relative_error(w);
+                Ok(CachedFactor {
+                    factor: fac,
+                    error: err,
+                })
+            }
+        };
+        assert!(cache
+            .get_or_compute((1, "wq", 2), || flaky(&w, &attempts))
+            .is_err());
+        assert_eq!(cache.len(), 0, "failed slot must be evicted");
+        let got = cache
+            .get_or_compute((1, "wq", 2), || flaky(&w, &attempts))
+            .expect("retry recomputes instead of replaying the cached error");
+        assert!(got.error.is_finite());
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

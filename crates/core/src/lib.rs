@@ -16,6 +16,10 @@
 //!   presets, spread-apart placement, first/last-layer avoidance.
 //! * [`study`] — experiment drivers for Figs. 3, 5–12 and the Definition 1
 //!   design-goal optimizer.
+//! * [`journal`] — durable JSONL run journal: crash-safe checkpointing of
+//!   settled sweep points and bit-identical `--resume`.
+//! * [`faults`] — deterministic fault injection (`LRD_FAULTS`) at the
+//!   decomposition boundary for chaos-testing the sweep runtime.
 //! * [`recovery`] — §6 future work: post-decomposition recovery
 //!   fine-tuning.
 //!
@@ -36,6 +40,8 @@ pub mod baselines;
 pub mod compression;
 pub mod decompose;
 pub mod executor;
+pub mod faults;
+pub mod journal;
 pub mod recovery;
 pub mod search;
 pub mod select;

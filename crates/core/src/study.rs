@@ -7,7 +7,12 @@
 
 use crate::compression::param_reduction_pct;
 use crate::decompose::{decompose_model, decompose_model_cached, descriptor_decomposition};
-use crate::executor::{run_jobs, worker_budget, CacheStats, DecompositionCache};
+use crate::executor::{
+    panic_message, run_jobs, run_jobs_isolated, worker_budget, CacheStats, DecompositionCache,
+    JobOutcome,
+};
+use crate::faults::{injected_nan_error, FaultKind, FaultPlan, FAULTS_ENV};
+use crate::journal::{fingerprint, Journal, JournalRecord};
 use crate::select::{all_llama_tensors, preset_config, strided_layers, table4_presets};
 use crate::space::DecompositionConfig;
 use lrd_eval::harness::{evaluate, EvalOptions};
@@ -17,6 +22,9 @@ use lrd_hwsim::device::SystemSpec;
 use lrd_hwsim::report::{simulate_inference, InferenceReport};
 use lrd_models::descriptor::TransformerDescriptor;
 use lrd_nn::TransformerLm;
+use lrd_tensor::error::TensorError;
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// A boxed benchmark usable across threads.
 pub type DynBenchmark = Box<dyn Benchmark + Send + Sync>;
@@ -41,6 +49,10 @@ pub struct StudyPoint {
     /// carries no results and is skipped by downstream reductions; the
     /// rest of the sweep still runs.
     pub error: Option<String>,
+    /// Retries this point consumed before settling (0 on a clean first
+    /// attempt; equal to the executor's retry budget when it failed for
+    /// good on a transient error).
+    pub retries: u32,
 }
 
 impl StudyPoint {
@@ -74,6 +86,7 @@ fn failed_point(
     rank: usize,
     cfg: &DecompositionConfig,
     err: impl std::fmt::Display,
+    retries: u32,
 ) -> StudyPoint {
     lrd_trace::counters::add(lrd_trace::Counter::SweepPointsFailed, 1);
     StudyPoint {
@@ -84,6 +97,7 @@ fn failed_point(
         param_reduction_pct: 0.0,
         results: Vec::new(),
         error: Some(err.to_string()),
+        retries,
     }
 }
 
@@ -110,7 +124,7 @@ pub fn eval_config(
         let _decompose = lrd_trace::span("decompose", label.clone());
         match decompose_model(&mut model, cfg) {
             Ok(report) => report.reduction_pct(),
-            Err(e) => return failed_point(label, rank, cfg, e),
+            Err(e) => return failed_point(label, rank, cfg, e, 0),
         }
     };
     let _eval = lrd_trace::span("eval", label.clone());
@@ -126,6 +140,7 @@ pub fn eval_config(
         param_reduction_pct: reduction,
         results,
         error: None,
+        retries: 0,
     }
 }
 
@@ -149,6 +164,23 @@ pub fn baseline(
 /// A labelled configuration awaiting evaluation.
 pub type StudySpec = (String, DecompositionConfig);
 
+/// Backoff before retry `attempt` (1-based): the base delay scaled
+/// linearly by the attempt number, plus a deterministic per-point jitter
+/// in `[0, base)` hashed from the label and attempt — staggered enough
+/// that retried workers don't stampede in lockstep, yet a pure function
+/// of its inputs so runs stay reproducible.
+fn backoff_delay(base_ms: u64, label: &str, attempt: u32) -> Duration {
+    if base_ms == 0 {
+        return Duration::ZERO;
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.bytes().chain(attempt.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    Duration::from_millis(base_ms * u64::from(attempt) + h % base_ms)
+}
+
 /// Restores the GEMM thread limit when a worker pool winds down, even if a
 /// sweep point panics.
 struct ThreadLimitGuard(usize);
@@ -171,6 +203,19 @@ impl Drop for ThreadLimitGuard {
 /// Results are bit-identical to the sequential drivers at any pool size:
 /// jobs land in index-ordered slots, `tucker2` is deterministic, and
 /// evaluation is deterministic in its thread count.
+///
+/// The executor is also the crash-safety boundary of the sweep runtime:
+///
+/// * every point runs under panic isolation with a bounded retry budget
+///   for *transient* failures ([`TensorError::is_transient`] plus panics),
+///   with deterministic jittered backoff between attempts;
+/// * an optional soft deadline marks overrunning points as timed out
+///   instead of stalling the sweep's results;
+/// * an attached [`Journal`] records every settled point durably and
+///   [`StudyExecutor::run`] skips points already journaled under the same
+///   `(figure, fingerprint)` key, restoring them bit-identically;
+/// * a [`FaultPlan`] (from `LRD_FAULTS` by default) injects deterministic
+///   failures at the decomposition boundary to exercise all of the above.
 pub struct StudyExecutor<'a> {
     base: &'a TransformerLm,
     world: &'a World,
@@ -178,12 +223,24 @@ pub struct StudyExecutor<'a> {
     workers: usize,
     use_cache: bool,
     cache: DecompositionCache,
+    retries: u32,
+    backoff_ms: u64,
+    deadline: Option<Duration>,
+    faults: FaultPlan,
+    journal: Option<&'a Journal>,
+    figure: Mutex<String>,
 }
 
 impl<'a> StudyExecutor<'a> {
     /// Creates an executor over a trained base model with an empty cache
-    /// and automatic pool sizing.
+    /// and automatic pool sizing. The fault plan is read from `LRD_FAULTS`
+    /// (a malformed spec is reported and ignored here — the `repro` CLI
+    /// validates it up front and exits instead).
     pub fn new(base: &'a TransformerLm, world: &'a World, opts: &EvalOptions) -> Self {
+        let faults = FaultPlan::from_env().unwrap_or_else(|e| {
+            eprintln!("warning: ignoring {FAULTS_ENV}: {e}");
+            FaultPlan::default()
+        });
         StudyExecutor {
             base,
             world,
@@ -191,6 +248,12 @@ impl<'a> StudyExecutor<'a> {
             workers: 0,
             use_cache: true,
             cache: DecompositionCache::new(),
+            retries: 2,
+            backoff_ms: 25,
+            deadline: None,
+            faults,
+            journal: None,
+            figure: Mutex::new("study".to_string()),
         }
     }
 
@@ -206,6 +269,53 @@ impl<'a> StudyExecutor<'a> {
     pub fn with_cache(mut self, use_cache: bool) -> Self {
         self.use_cache = use_cache;
         self
+    }
+
+    /// Sets the per-point retry budget for transient failures (default 2).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the base backoff delay between retry attempts in milliseconds
+    /// (default 25; 0 disables sleeping). The actual delay grows linearly
+    /// with the attempt number plus a deterministic per-point jitter, so
+    /// retried points don't stampede in lockstep yet stay reproducible.
+    pub fn with_backoff_ms(mut self, backoff_ms: u64) -> Self {
+        self.backoff_ms = backoff_ms;
+        self
+    }
+
+    /// Sets the per-point soft deadline (default none). An overrunning
+    /// point is settled as timed out — see [`run_jobs_isolated`] for the
+    /// exact (soft) semantics.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Replaces the fault-injection plan (default: from `LRD_FAULTS`).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attaches a durable journal: every settled point is appended, and
+    /// [`StudyExecutor::run`] resumes journaled points instead of
+    /// recomputing them.
+    pub fn with_journal(mut self, journal: &'a Journal) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Names the figure/driver for journal keying (`"fig9"`, `"bert"`, …).
+    /// Takes `&self` so one executor can serve several figures back to
+    /// back, re-labelling between them.
+    pub fn set_figure(&self, figure: &str) {
+        *self
+            .figure
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = figure.to_string();
     }
 
     /// The frozen base model under study.
@@ -239,32 +349,122 @@ impl<'a> StudyExecutor<'a> {
     /// when 0) is split as workers × per-eval threads; while more than one
     /// worker is live the GEMM thread limit is pinned to 1 so nested matmul
     /// parallelism cannot oversubscribe the host.
+    ///
+    /// With a journal attached, points already journaled under the current
+    /// figure and matching fingerprint are restored instead of recomputed
+    /// and the rest are appended as they settle — interrupting a sweep and
+    /// re-running it with the same journal yields the same vector as an
+    /// uninterrupted run, bit for bit. Panicked and timed-out points are
+    /// *not* journaled (they never settled normally) and surface as failed
+    /// points in the output.
     pub fn run(&self, benches: &[DynBenchmark], specs: Vec<StudySpec>) -> Vec<StudyPoint> {
         let n = specs.len();
         if n == 0 {
             return Vec::new();
         }
-        let budget = worker_budget(self.opts.threads, self.workers, n);
-        if budget.workers == 1 {
-            return specs
-                .into_iter()
-                .map(|(label, cfg)| self.eval_point(benches, label, &cfg, &self.opts))
-                .collect();
+        let figure = self
+            .figure
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        let keys: Vec<u64> = specs
+            .iter()
+            .map(|(label, cfg)| fingerprint(label, cfg, benches, &self.opts))
+            .collect();
+        let mut slots: Vec<Option<StudyPoint>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<(usize, StudySpec)> = Vec::new();
+        for (i, spec) in specs.into_iter().enumerate() {
+            let resumed = self
+                .journal
+                .and_then(|j| j.lookup(&figure, keys[i]))
+                .and_then(|record| record.to_point(benches));
+            match resumed {
+                Some(point) => {
+                    lrd_trace::counters::add(lrd_trace::Counter::JournalPointsResumed, 1);
+                    slots[i] = Some(point);
+                }
+                None => pending.push((i, spec)),
+            }
         }
-        let inner = EvalOptions {
-            threads: budget.eval_threads,
-            ..self.opts
-        };
-        let _guard = ThreadLimitGuard(lrd_tensor::matmul::set_thread_limit(1));
-        run_jobs(
-            specs
-                .into_iter()
-                .map(|(label, cfg)| move || self.eval_point(benches, label, &cfg, &inner))
-                .collect(),
-            budget.workers,
-        )
+        if !pending.is_empty() {
+            let budget = worker_budget(self.opts.threads, self.workers, pending.len());
+            let run_one = |label: &str, cfg: &DecompositionConfig, key: u64, opts: &EvalOptions| {
+                let point = self.eval_point(benches, label.to_string(), cfg, opts);
+                if let Some(journal) = self.journal {
+                    let record = JournalRecord::from_point(&figure, key, &point);
+                    if let Err(e) = journal.append(record) {
+                        eprintln!(
+                            "warning: journal append failed for {:?}: {e}",
+                            journal.path()
+                        );
+                    }
+                }
+                point
+            };
+            let outcomes: Vec<JobOutcome<StudyPoint>> =
+                if budget.workers == 1 && self.deadline.is_none() {
+                    // Inline path: eval_point already isolates panics, so
+                    // run the jobs on the caller's thread.
+                    pending
+                        .iter()
+                        .map(|(i, (label, cfg))| {
+                            JobOutcome::Done(run_one(label, cfg, keys[*i], &self.opts))
+                        })
+                        .collect()
+                } else {
+                    let inner = EvalOptions {
+                        threads: budget.eval_threads,
+                        ..self.opts
+                    };
+                    let _guard = ThreadLimitGuard(lrd_tensor::matmul::set_thread_limit(1));
+                    let keys = &keys;
+                    run_jobs_isolated(
+                        pending
+                            .iter()
+                            .map(|(i, (label, cfg))| {
+                                let run_one = &run_one;
+                                let inner = &inner;
+                                move || run_one(label, cfg, keys[*i], inner)
+                            })
+                            .collect(),
+                        budget.workers,
+                        self.deadline,
+                    )
+                };
+            for ((i, (label, cfg)), outcome) in pending.into_iter().zip(outcomes) {
+                slots[i] = Some(match outcome {
+                    JobOutcome::Done(point) => point,
+                    JobOutcome::Panicked(msg) => {
+                        let rank = cfg.ranks.iter().map(|(_, _, p)| p).next().unwrap_or(0);
+                        failed_point(label, rank, &cfg, format!("panic: {msg}"), self.retries)
+                    }
+                    JobOutcome::TimedOut => {
+                        lrd_trace::counters::add(lrd_trace::Counter::SweepPointsTimedOut, 1);
+                        let rank = cfg.ranks.iter().map(|(_, _, p)| p).next().unwrap_or(0);
+                        let deadline = self.deadline.unwrap_or_default();
+                        failed_point(
+                            label,
+                            rank,
+                            &cfg,
+                            format!("timed out after soft deadline of {deadline:?}"),
+                            0,
+                        )
+                    }
+                });
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every sweep slot settles"))
+            .collect()
     }
 
+    /// Evaluates one point under the executor's robustness policy: up to
+    /// `retries` extra attempts on transient failures (non-converged SVD,
+    /// non-finite factors, injected faults, panics), with deterministic
+    /// jittered backoff between attempts. Permanent errors (invalid rank,
+    /// shape mismatch) fail immediately — they would fail identically on
+    /// every attempt.
     fn eval_point(
         &self,
         benches: &[DynBenchmark],
@@ -274,31 +474,86 @@ impl<'a> StudyExecutor<'a> {
     ) -> StudyPoint {
         let _point = lrd_trace::span("point", label.clone());
         lrd_trace::counters::add(lrd_trace::Counter::SweepPoints, 1);
+        let rank = cfg.ranks.iter().map(|(_, _, p)| p).next().unwrap_or(0);
+        let mut last_error = String::new();
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                lrd_trace::counters::add(lrd_trace::Counter::SweepRetries, 1);
+                let delay = backoff_delay(self.backoff_ms, &label, attempt);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+            }
+            let attempt_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.try_point(benches, &label, cfg, opts, attempt)
+            }));
+            match attempt_result {
+                Ok(Ok(mut point)) => {
+                    point.retries = attempt;
+                    return point;
+                }
+                Ok(Err(e)) => {
+                    if !e.is_transient() {
+                        return failed_point(label, rank, cfg, e, attempt);
+                    }
+                    last_error = e.to_string();
+                }
+                // A panic is treated as transient: with fault injection it
+                // is one by construction, and a real one is worth a second
+                // look before the point is written off.
+                Err(payload) => last_error = format!("panic: {}", panic_message(payload)),
+            }
+        }
+        failed_point(label, rank, cfg, last_error, self.retries)
+    }
+
+    /// One attempt at a point: fault-injection rolls, decomposition, and
+    /// evaluation. Rolls key on the point label and attempt number, so the
+    /// injected failure set is a pure function of the fault plan — the
+    /// same at every pool size and on every run.
+    fn try_point(
+        &self,
+        benches: &[DynBenchmark],
+        label: &str,
+        cfg: &DecompositionConfig,
+        opts: &EvalOptions,
+        attempt: u32,
+    ) -> Result<StudyPoint, TensorError> {
+        if self.faults.roll(FaultKind::Panic, label, attempt) {
+            panic!("injected panic at {label:?} (attempt {attempt})");
+        }
+        if self.faults.roll(FaultKind::Svd, label, attempt) {
+            return Err(TensorError::NotConverged {
+                algorithm: "svd (injected fault)",
+                iterations: 0,
+            });
+        }
         let mut model = self.base.clone();
         let rank = cfg.ranks.iter().map(|(_, _, p)| p).next().unwrap_or(0);
         let reduction = if cfg.is_original() {
             0.0
         } else {
-            let _decompose = lrd_trace::span("decompose", label.clone());
-            match self.decompose_in_place(&mut model, cfg) {
-                Ok(report) => report.reduction_pct(),
-                Err(e) => return failed_point(label, rank, cfg, e),
-            }
+            let _decompose = lrd_trace::span("decompose", label.to_string());
+            self.decompose_in_place(&mut model, cfg)?.reduction_pct()
         };
-        let _eval = lrd_trace::span("eval", label.clone());
+        if self.faults.roll(FaultKind::Nan, label, attempt) {
+            return Err(injected_nan_error());
+        }
+        let _eval = lrd_trace::span("eval", label.to_string());
         let results = benches
             .iter()
             .map(|b| (b.name(), evaluate(&model, b.as_ref(), self.world, opts)))
             .collect();
-        StudyPoint {
-            label,
+        Ok(StudyPoint {
+            label: label.to_string(),
             rank,
             layers: cfg.layers.iter().copied().collect(),
             tensors: cfg.tensors.iter().copied().collect(),
             param_reduction_pct: reduction,
             results,
             error: None,
-        }
+            retries: 0,
+        })
     }
 
     fn decompose_in_place(
@@ -761,6 +1016,118 @@ mod tests {
     }
 
     #[test]
+    fn injected_svd_fault_fails_points_after_retries() {
+        let m = quick_model();
+        let w = World::new(1);
+        let exec = StudyExecutor::new(&m, &w, &quick_opts())
+            .with_faults(FaultPlan::parse("svd:1,seed:5").unwrap())
+            .with_retries(1)
+            .with_backoff_ms(0)
+            .with_workers(1);
+        let pts = exec.layer_sensitivity(&quick_benches());
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.is_failed(), "rate-1 fault must fail every point");
+            assert!(p.error.as_deref().unwrap().contains("did not converge"));
+            assert_eq!(p.retries, 1, "the full retry budget was consumed");
+        }
+    }
+
+    #[test]
+    fn injected_panics_are_isolated_and_deterministic_across_pools() {
+        let m = quick_model();
+        let w = World::new(1);
+        let plan = FaultPlan::parse("panic:0.6,seed:11").unwrap();
+        let run_with = |workers: usize| {
+            let exec = StudyExecutor::new(&m, &w, &quick_opts())
+                .with_faults(plan)
+                .with_retries(1)
+                .with_backoff_ms(0)
+                .with_workers(workers);
+            exec.layer_sensitivity(&quick_benches())
+        };
+        let solo = run_with(1);
+        let pooled = run_with(2);
+        assert_eq!(solo, pooled, "fault decisions must not depend on pool size");
+        assert!(
+            solo.iter().any(|p| p.is_failed()),
+            "rate 0.6 with 1 retry should fail at least one of 4 points"
+        );
+        for p in solo.iter().filter(|p| p.is_failed()) {
+            assert!(p.error.as_deref().unwrap().contains("injected panic"));
+        }
+    }
+
+    #[test]
+    fn transient_faults_recover_within_retry_budget() {
+        let m = quick_model();
+        let w = World::new(1);
+        // With a modest rate and enough retries every point should settle
+        // ok (an attempt sequence all-faulted has probability rate^4).
+        let exec = StudyExecutor::new(&m, &w, &quick_opts())
+            .with_faults(FaultPlan::parse("nan:0.4,seed:2").unwrap())
+            .with_retries(3)
+            .with_backoff_ms(0)
+            .with_workers(1);
+        let pts = exec.layer_sensitivity(&quick_benches());
+        assert!(pts.iter().all(|p| !p.is_failed()), "all points recover");
+        assert!(
+            pts.iter().any(|p| p.retries > 0),
+            "rate 0.4 should force at least one retry across 4 points"
+        );
+        // And the recovered results match a fault-free run exactly.
+        let clean = StudyExecutor::new(&m, &w, &quick_opts())
+            .with_faults(FaultPlan::default())
+            .with_workers(1)
+            .layer_sensitivity(&quick_benches());
+        for (a, b) in pts.iter().zip(&clean) {
+            assert_eq!(a.results, b.results);
+            assert_eq!(
+                a.param_reduction_pct.to_bits(),
+                b.param_reduction_pct.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn journal_resume_skips_and_restores_points() {
+        let m = quick_model();
+        let w = World::new(1);
+        let path =
+            std::env::temp_dir().join(format!("lrd-study-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create(&path).unwrap();
+        let exec = StudyExecutor::new(&m, &w, &quick_opts())
+            .with_faults(FaultPlan::default())
+            .with_workers(1)
+            .with_journal(&journal);
+        exec.set_figure("fig7");
+        let first = exec.layer_sensitivity(&quick_benches());
+        assert_eq!(journal.len(), 4);
+
+        // Resume from disk: every point restores without recomputation.
+        let resumed_journal = Journal::resume(&path).unwrap();
+        let resumed_before = lrd_trace::counters::get(lrd_trace::Counter::JournalPointsResumed);
+        let exec2 = StudyExecutor::new(&m, &w, &quick_opts())
+            .with_faults(FaultPlan::default())
+            .with_workers(1)
+            .with_journal(&resumed_journal);
+        exec2.set_figure("fig7");
+        let second = exec2.layer_sensitivity(&quick_benches());
+        assert_eq!(first, second, "resumed run must be bit-identical");
+        assert!(
+            lrd_trace::counters::get(lrd_trace::Counter::JournalPointsResumed)
+                >= resumed_before + 4
+        );
+
+        // A different figure key does not match the journaled records.
+        exec2.set_figure("fig3");
+        let other = exec2.layer_sensitivity(&quick_benches());
+        assert_eq!(first, other, "recomputation still gives the same data");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn eval_config_baseline_has_zero_reduction() {
         let m = quick_model();
         let w = World::new(1);
@@ -879,6 +1246,7 @@ mod tests {
                     },
                 )],
                 error: None,
+                retries: 0,
             })
             .collect();
         let best = optimize_design_goal(72.0, &acc, &eff, 5.0).expect("feasible point");

@@ -32,6 +32,27 @@ pub enum TensorError {
     },
     /// An argument was structurally invalid (empty tensor, zero dimension, …).
     InvalidArgument(String),
+    /// A numeric-health guard found a non-finite value (NaN or ±∞) where
+    /// the operation requires finite data — e.g. a poisoned SVD factor.
+    /// Surfacing this as a structured error keeps bad numerics from
+    /// silently corrupting downstream accuracy figures.
+    NonFinite {
+        /// The operation (or boundary) whose guard fired.
+        op: &'static str,
+    },
+}
+
+impl TensorError {
+    /// Whether a failure of this kind is *transient* — worth retrying with
+    /// the same inputs (iterative non-convergence, numeric flakes and
+    /// injected faults) — as opposed to *permanent* shape/rank errors that
+    /// will fail identically on every attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            TensorError::NotConverged { .. } | TensorError::NonFinite { .. }
+        )
+    }
 }
 
 impl fmt::Display for TensorError {
@@ -59,6 +80,9 @@ impl fmt::Display for TensorError {
                 )
             }
             TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            TensorError::NonFinite { op } => {
+                write!(f, "non-finite value (NaN or infinity) detected in {op}")
+            }
         }
     }
 }
@@ -98,6 +122,22 @@ mod tests {
             iterations: 30,
         };
         assert!(e.to_string().contains("jacobi-svd"));
+    }
+
+    #[test]
+    fn display_non_finite_and_transience() {
+        let e = TensorError::NonFinite {
+            op: "truncated_svd",
+        };
+        assert!(e.to_string().contains("truncated_svd"));
+        assert!(e.is_transient());
+        assert!(TensorError::NotConverged {
+            algorithm: "jacobi-svd",
+            iterations: 3
+        }
+        .is_transient());
+        assert!(!TensorError::InvalidRank { rank: 9, max: 4 }.is_transient());
+        assert!(!TensorError::InvalidArgument("x".into()).is_transient());
     }
 
     #[test]

@@ -217,16 +217,39 @@ const OVERSAMPLE: usize = 8;
 /// Power iterations for the randomized sketch (improves spectral separation).
 const POWER_ITERS: usize = 2;
 
+/// Checks every value yielded by `values` for NaN/±∞.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NonFinite`] naming `op` on the first non-finite
+/// value. Used as the numeric-health guard at decomposition boundaries: a
+/// poisoned factor must surface as a structured error, never silently
+/// corrupt downstream accuracy numbers.
+pub fn ensure_finite<'a>(
+    op: &'static str,
+    values: impl IntoIterator<Item = &'a f32>,
+) -> Result<(), TensorError> {
+    if values.into_iter().all(|v| v.is_finite()) {
+        Ok(())
+    } else {
+        Err(TensorError::NonFinite { op })
+    }
+}
+
 /// Rank-`k` truncated SVD of `a`.
 ///
 /// Chooses between exact Jacobi (small matrices) and randomized subspace
 /// iteration (large matrices) automatically. Deterministic for a given input
-/// shape and rank.
+/// shape and rank. Both the input and the computed factors are guarded for
+/// numeric health: non-finite values yield [`TensorError::NonFinite`]
+/// instead of a silently poisoned factorization.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::InvalidRank`] if `k` is zero or exceeds
-/// `min(m, n)`, or [`TensorError::NotConverged`] if the base solver fails.
+/// `min(m, n)`, [`TensorError::NotConverged`] if the base solver fails, or
+/// [`TensorError::NonFinite`] if the input or a computed factor contains
+/// NaN/±∞.
 ///
 /// # Example
 ///
@@ -250,10 +273,18 @@ pub fn truncated_svd(a: &Tensor, k: usize) -> Result<Svd, TensorError> {
             max: min_dim,
         });
     }
-    if min_dim <= JACOBI_DIRECT_LIMIT || k * 2 >= min_dim {
-        return svd_jacobi(a)?.truncate(k);
-    }
-    randomized_svd(a, k)
+    ensure_finite("truncated_svd input", a.data())?;
+    let svd = if min_dim <= JACOBI_DIRECT_LIMIT || k * 2 >= min_dim {
+        svd_jacobi(a)?.truncate(k)?
+    } else {
+        randomized_svd(a, k)?
+    };
+    ensure_finite("truncated_svd factors", svd.u.data())?;
+    ensure_finite(
+        "truncated_svd singular values",
+        svd.s.iter().chain(svd.vt.data()),
+    )?;
+    Ok(svd)
 }
 
 /// Randomized truncated SVD (Halko et al. 2011) with power iteration.
@@ -421,6 +452,32 @@ mod tests {
         // Identity has all σ = 1; rank-1 approx captures exactly 1/6 energy.
         let err = relative_error(&a, &svd.reconstruct());
         assert!((err - (5.0f32 / 6.0).sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn non_finite_input_yields_structured_error() {
+        let mut rng = Rng64::new(21);
+        let mut a = Tensor::randn(&[12, 9], &mut rng);
+        a.set(&[3, 4], f32::NAN);
+        match truncated_svd(&a, 2) {
+            Err(TensorError::NonFinite { op }) => assert!(op.contains("input")),
+            other => panic!("expected NonFinite error, got {other:?}"),
+        }
+        let mut b = Tensor::randn(&[12, 9], &mut rng);
+        b.set(&[0, 0], f32::INFINITY);
+        assert!(matches!(
+            truncated_svd(&b, 2),
+            Err(TensorError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn ensure_finite_guard() {
+        assert!(ensure_finite("test", &[1.0f32, -2.0, 0.0]).is_ok());
+        assert_eq!(
+            ensure_finite("test-op", &[1.0f32, f32::NEG_INFINITY]),
+            Err(TensorError::NonFinite { op: "test-op" })
+        );
     }
 
     #[test]

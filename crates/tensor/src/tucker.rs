@@ -14,7 +14,7 @@
 //! matmuls replacing one).
 
 use crate::matmul::{matmul, mode_n_product};
-use crate::svd::{truncated_svd, Svd};
+use crate::svd::{ensure_finite, truncated_svd, Svd};
 use crate::{Tensor, TensorError};
 
 /// Result of an order-N Tucker decomposition: a core tensor and one factor
@@ -190,6 +190,7 @@ pub fn tucker_hoi(t: &Tensor, ranks: &[usize], opts: HoiOptions) -> Result<Tucke
     let _ = prev_fit;
 
     let core = project_core(t, &factors);
+    ensure_finite("tucker core", core.data())?;
     Ok(Tucker { core, factors })
 }
 
@@ -238,6 +239,19 @@ impl Tucker2 {
         dense / self.param_count() as f64
     }
 
+    /// Numeric-health guard: verifies every stored factor value is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NonFinite`] if any factor or core entry is
+    /// NaN/±∞ — the failure mode of a poisoned decomposition, which must be
+    /// reported rather than silently degrade downstream accuracy.
+    pub fn validate_finite(&self) -> Result<(), TensorError> {
+        ensure_finite("tucker2 left factor", self.u1.data())?;
+        ensure_finite("tucker2 core", self.core.data())?;
+        ensure_finite("tucker2 right factor", self.u2.data())
+    }
+
     /// Relative reconstruction error against the original matrix.
     ///
     /// # Panics
@@ -279,9 +293,12 @@ impl From<Svd> for Tucker2 {
 /// # Errors
 ///
 /// Returns [`TensorError::InvalidRank`] if `pr` is zero or exceeds
-/// `min(n1, n2)`, and propagates SVD failures.
+/// `min(n1, n2)`, [`TensorError::NonFinite`] if the input or the computed
+/// factors contain NaN/±∞, and propagates SVD failures.
 pub fn tucker2(t: &Tensor, pr: usize) -> Result<Tucker2, TensorError> {
-    Ok(truncated_svd(t, pr)?.into())
+    let fac: Tucker2 = truncated_svd(t, pr)?.into();
+    fac.validate_finite()?;
+    Ok(fac)
 }
 
 /// The break-even pruned rank below which the factored form is strictly
@@ -403,6 +420,33 @@ mod tests {
         let dense = 100.0 * 60.0;
         let fac = 100.0 * pr + pr * pr + pr * 60.0;
         assert!((dense - fac).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poisoned_input_is_caught_by_guards() {
+        let mut rng = Rng64::new(31);
+        let mut a = Tensor::randn(&[10, 8], &mut rng);
+        a.set(&[2, 2], f32::NAN);
+        assert!(matches!(tucker2(&a, 2), Err(TensorError::NonFinite { .. })));
+        let mut t3 = Tensor::randn(&[4, 5, 6], &mut rng);
+        t3.set(&[1, 1, 1], f32::INFINITY);
+        assert!(matches!(
+            tucker_hoi(&t3, &[2, 2, 2], HoiOptions::default()),
+            Err(TensorError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_finite_flags_poisoned_factor() {
+        let mut rng = Rng64::new(32);
+        let a = Tensor::randn(&[8, 8], &mut rng);
+        let mut dec = tucker2(&a, 2).unwrap();
+        assert!(dec.validate_finite().is_ok());
+        dec.core.set(&[0, 0], f32::NAN);
+        assert_eq!(
+            dec.validate_finite(),
+            Err(TensorError::NonFinite { op: "tucker2 core" })
+        );
     }
 
     #[test]

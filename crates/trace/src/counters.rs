@@ -42,6 +42,14 @@ pub enum Counter {
     SweepPoints,
     /// Sweep points whose decomposition failed (recorded, not fatal).
     SweepPointsFailed,
+    /// Transient-failure retries attempted by the sweep runtime.
+    SweepRetries,
+    /// Sweep points marked timed-out by the executor watchdog.
+    SweepPointsTimedOut,
+    /// Faults injected by the deterministic fault-injection layer.
+    FaultsInjected,
+    /// Sweep points restored from a journal instead of recomputed.
+    JournalPointsResumed,
     /// Jobs submitted to `run_jobs` worker pools.
     ExecutorJobs,
     /// Total µs jobs spent queued before a worker claimed them.
@@ -53,7 +61,7 @@ pub enum Counter {
 }
 
 /// Every counter, in metrics-document order.
-pub const ALL: [Counter; 13] = [
+pub const ALL: [Counter; 17] = [
     Counter::SvdJacobiCalls,
     Counter::SvdJacobiSweeps,
     Counter::SvdRandomizedCalls,
@@ -63,6 +71,10 @@ pub const ALL: [Counter; 13] = [
     Counter::EvalClozeMissingMask,
     Counter::SweepPoints,
     Counter::SweepPointsFailed,
+    Counter::SweepRetries,
+    Counter::SweepPointsTimedOut,
+    Counter::FaultsInjected,
+    Counter::JournalPointsResumed,
     Counter::ExecutorJobs,
     Counter::ExecutorQueueWaitUs,
     Counter::ExecutorRunUs,
@@ -82,6 +94,10 @@ impl Counter {
             Counter::EvalClozeMissingMask => "eval_cloze_missing_mask",
             Counter::SweepPoints => "sweep_points",
             Counter::SweepPointsFailed => "sweep_points_failed",
+            Counter::SweepRetries => "sweep_retries",
+            Counter::SweepPointsTimedOut => "sweep_points_timed_out",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::JournalPointsResumed => "journal_points_resumed",
             Counter::ExecutorJobs => "executor_jobs",
             Counter::ExecutorQueueWaitUs => "executor_queue_wait_us",
             Counter::ExecutorRunUs => "executor_run_us",

@@ -96,6 +96,44 @@ impl Json {
         out
     }
 
+    /// Renders the value as single-line compact JSON (no whitespace), the
+    /// form used for JSONL records where one value must occupy one line.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.render_compact_into(&mut out);
+        out
+    }
+
+    fn render_compact_into(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => {
+                self.render_into(out, 0);
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(out, k);
+                    out.push(':');
+                    v.render_compact_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn render_into(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -365,6 +403,20 @@ mod tests {
         let text = doc.render();
         let back = parse(&text).expect("parses");
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn compact_rendering_round_trips_on_one_line() {
+        let doc = Json::obj([
+            ("label", Json::str("reduction 9%")),
+            ("results", Json::Arr(vec![Json::str("x"), Json::uint(3)])),
+            ("error", Json::Null),
+            ("nested", Json::obj([("k", Json::num(0.5))])),
+        ]);
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "compact output must be one line");
+        assert!(!line.contains(": "), "compact output has no pretty spacing");
+        assert_eq!(parse(&line).expect("parses"), doc);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   "run":      { command, wall_s, workers, samples, steps,
 //!                 kernel_backend, kernel_gflops },
 //!   "cache":    { hits, misses, lookups, hit_rate, distinct_factors },
-//!   "counters": { <name>: <u64>, … },                 // all 13, always
+//!   "counters": { <name>: <u64>, … },                 // every ALL name, always
 //!   "gemm":     [ { variant, backend, calls, flops }, … ],
 //!   "spans":    [ { id, parent, name, label, start_us, dur_us }, … ],
 //!   "events":   [ { name, label, <field>: <f64>, … }, … ]

@@ -1,0 +1,188 @@
+//! Crash-safety of the sweep runtime: kill-and-resume bit-identity of the
+//! JSONL journal (including a torn final line), proof that resumed points
+//! are restored rather than recomputed, and determinism of the injected
+//! fault set across worker-pool shapes and repeated runs.
+
+use lrd_core::faults::FaultPlan;
+use lrd_core::journal::Journal;
+use lrd_core::study::{DynBenchmark, StudyExecutor, StudyPoint};
+use lrd_eval::harness::EvalOptions;
+use lrd_eval::tasks::{ArcEasy, WinoGrande};
+use lrd_eval::World;
+use lrd_nn::{ArchKind, TransformerConfig, TransformerLm};
+use lrd_tensor::rng::Rng64;
+
+fn quick_model() -> TransformerLm {
+    let cfg = TransformerConfig {
+        kind: ArchKind::Decoder,
+        vocab_size: 256,
+        d_model: 16,
+        n_layers: 4,
+        n_heads: 2,
+        n_kv_heads: 2,
+        d_ff: 32,
+        max_seq: 64,
+    };
+    TransformerLm::new(cfg, &mut Rng64::new(9))
+}
+
+fn quick_benches() -> Vec<DynBenchmark> {
+    vec![Box::new(ArcEasy), Box::new(WinoGrande)]
+}
+
+fn quick_opts() -> EvalOptions {
+    EvalOptions {
+        n_samples: 20,
+        seed: 3,
+        batch_size: 32,
+        threads: 2,
+    }
+}
+
+fn temp_journal(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lrd-crash-{tag}-{}.jsonl", std::process::id()))
+}
+
+/// An interrupted run leaves a journal whose final line may be torn in
+/// half; resuming from it must reproduce the uninterrupted run's points
+/// bit for bit.
+#[test]
+fn kill_and_resume_is_bit_identical() {
+    let m = quick_model();
+    let w = World::new(1);
+    let path = temp_journal("resume");
+    let _ = std::fs::remove_file(&path);
+
+    // Uninterrupted reference run, journaled.
+    let journal = Journal::create(&path).unwrap();
+    let exec = StudyExecutor::new(&m, &w, &quick_opts())
+        .with_faults(FaultPlan::default())
+        .with_workers(2)
+        .with_journal(&journal);
+    exec.set_figure("fig7");
+    let reference = exec.layer_sensitivity(&quick_benches());
+    assert_eq!(journal.len(), 4);
+
+    // Simulate a kill mid-append: keep two whole records and half of the
+    // third; the fourth is lost entirely.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4);
+    let torn = format!(
+        "{}\n{}\n{}\n",
+        lines[0],
+        lines[1],
+        &lines[2][..lines[2].len() / 2]
+    );
+    std::fs::write(&path, torn).unwrap();
+
+    // Resume: the torn line is dropped, two points restore, two recompute.
+    let resumed = Journal::resume(&path).unwrap();
+    assert_eq!(resumed.len(), 2);
+    assert_eq!(resumed.dropped_lines(), 1);
+    let exec2 = StudyExecutor::new(&m, &w, &quick_opts())
+        .with_faults(FaultPlan::default())
+        .with_workers(2)
+        .with_journal(&resumed);
+    exec2.set_figure("fig7");
+    let merged = exec2.layer_sensitivity(&quick_benches());
+    assert_eq!(reference, merged, "resumed sweep must be bit-identical");
+    for (a, b) in reference.iter().zip(&merged) {
+        assert_eq!(
+            a.param_reduction_pct.to_bits(),
+            b.param_reduction_pct.to_bits()
+        );
+        for ((_, x), (_, y)) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.percent().to_bits(), y.percent().to_bits());
+        }
+    }
+    // After the resumed run the journal holds all four points again.
+    assert_eq!(resumed.len(), 4);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Resumed points come from the journal, not from a recomputation that
+/// happens to agree: tampering with a journaled value must surface in the
+/// resumed output.
+#[test]
+fn resume_restores_journaled_values_verbatim() {
+    let m = quick_model();
+    let w = World::new(1);
+    let path = temp_journal("tamper");
+    let _ = std::fs::remove_file(&path);
+
+    let journal = Journal::create(&path).unwrap();
+    let exec = StudyExecutor::new(&m, &w, &quick_opts())
+        .with_faults(FaultPlan::default())
+        .with_workers(1)
+        .with_journal(&journal);
+    exec.set_figure("fig7");
+    exec.layer_sensitivity(&quick_benches());
+
+    // Plant a sentinel reduction in the second record. The fingerprint
+    // keys on the spec, not the outcome, so the record still matches.
+    const SENTINEL: f64 = 77.25;
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<String> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            if i != 1 {
+                return line.to_string();
+            }
+            let key = "\"param_reduction_pct\":";
+            let start = line.find(key).expect("record carries a reduction") + key.len();
+            let end = start + line[start..].find(',').expect("field is not last");
+            format!("{}{SENTINEL}{}", &line[..start], &line[end..])
+        })
+        .collect();
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+    let resumed = Journal::resume(&path).unwrap();
+    let exec2 = StudyExecutor::new(&m, &w, &quick_opts())
+        .with_faults(FaultPlan::default())
+        .with_workers(1)
+        .with_journal(&resumed);
+    exec2.set_figure("fig7");
+    let points = exec2.layer_sensitivity(&quick_benches());
+    assert_eq!(
+        points[1].param_reduction_pct, SENTINEL,
+        "resumed point must carry the journaled value, proving no recompute"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The set of injected failures and consumed retries is a pure function of
+/// (spec, seed): identical across repeated runs and across worker counts.
+#[test]
+fn fault_set_is_deterministic_across_runs_and_workers() {
+    let m = quick_model();
+    let w = World::new(1);
+    let plan = FaultPlan::parse("svd:0.8,seed:23").unwrap();
+
+    let outcome = |workers: usize| -> Vec<(String, Option<String>, u32)> {
+        let exec = StudyExecutor::new(&m, &w, &quick_opts())
+            .with_faults(plan)
+            .with_retries(1)
+            .with_backoff_ms(0)
+            .with_workers(workers);
+        exec.layer_sensitivity(&quick_benches())
+            .into_iter()
+            .map(|p: StudyPoint| (p.label, p.error, p.retries))
+            .collect()
+    };
+
+    let serial = outcome(1);
+    let serial_again = outcome(1);
+    let pooled = outcome(4);
+    assert_eq!(serial, serial_again, "same seed, same run → same outcome");
+    assert_eq!(serial, pooled, "worker count must not change fault rolls");
+    assert!(
+        serial.iter().any(|(_, err, _)| err.is_some()),
+        "a 50% svd fault rate must fail at least one point at retries=1"
+    );
+    assert!(
+        serial.iter().any(|(_, _, retries)| *retries > 0),
+        "some point must have consumed a retry"
+    );
+}
