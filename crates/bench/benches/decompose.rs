@@ -40,7 +40,7 @@ fn bench_decompose_model(c: &mut Criterion) {
                 || base.clone(),
                 |mut m| decompose_model(&mut m, black_box(&cfg)).unwrap(),
                 criterion::BatchSize::LargeInput,
-            )
+            );
         });
     }
     group.finish();
@@ -50,7 +50,7 @@ fn bench_efficiency_sweep(c: &mut Criterion) {
     let sys = SystemSpec::quad_a100();
     let desc = llama2_7b();
     c.bench_function("efficiency_sweep_table4", |b| {
-        b.iter(|| efficiency_sweep(black_box(&sys), black_box(&desc), 64, 128))
+        b.iter(|| efficiency_sweep(black_box(&sys), black_box(&desc), 64, 128));
     });
 }
 

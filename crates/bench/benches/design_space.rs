@@ -13,10 +13,10 @@ fn bench_design_space_size(c: &mut Criterion) {
     let d7 = llama2_7b();
     let d70 = llama2_70b();
     c.bench_function("design_space_size_llama7b", |b| {
-        b.iter(|| design_space_size(black_box(&d7)))
+        b.iter(|| design_space_size(black_box(&d7)));
     });
     c.bench_function("design_space_size_llama70b", |b| {
-        b.iter(|| design_space_size(black_box(&d70)))
+        b.iter(|| design_space_size(black_box(&d70)));
     });
     c.bench_function("table2_all_rows", |b| b.iter(table2));
 }
@@ -27,7 +27,7 @@ fn bench_validation(c: &mut Criterion) {
     let all_l: Vec<usize> = (0..32).collect();
     let cfg = DecompositionConfig::uniform(&all_l, &all_t, 1);
     c.bench_function("validate_full_config", |b| {
-        b.iter(|| cfg.validate(black_box(&desc)).unwrap())
+        b.iter(|| cfg.validate(black_box(&desc)).unwrap());
     });
 }
 
@@ -40,7 +40,7 @@ fn bench_table4_reductions(c: &mut Criterion) {
                 .iter()
                 .map(|(_, _, layers)| param_reduction_pct(&desc, &preset_config(layers)))
                 .sum::<f64>()
-        })
+        });
     });
 }
 

@@ -34,7 +34,7 @@ fn bench_multiple_choice(c: &mut Criterion) {
         threads: 0,
     };
     c.bench_function("evaluate_arc_easy_40", |b| {
-        b.iter(|| evaluate(black_box(&m), &ArcEasy, &w, &opts))
+        b.iter(|| evaluate(black_box(&m), &ArcEasy, &w, &opts));
     });
 }
 
@@ -48,7 +48,7 @@ fn bench_exact_match(c: &mut Criterion) {
         threads: 0,
     };
     c.bench_function("evaluate_gsm8k_8", |b| {
-        b.iter(|| evaluate(black_box(&m), &Gsm8k, &w, &opts))
+        b.iter(|| evaluate(black_box(&m), &Gsm8k, &w, &opts));
     });
 }
 

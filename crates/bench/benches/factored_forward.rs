@@ -18,7 +18,7 @@ fn bench_dense_vs_factored(c: &mut Criterion) {
     for rank in [1usize, 16, 64, 128, 256] {
         let fac = FactoredLinear::from_tucker(tucker2(&dense.w.value, rank).unwrap(), None);
         group.bench_with_input(BenchmarkId::new("factored", rank), &rank, |b, _| {
-            b.iter(|| fac.infer(black_box(&x)))
+            b.iter(|| fac.infer(black_box(&x)));
         });
     }
     group.finish();
@@ -39,7 +39,7 @@ fn bench_backward(c: &mut Criterion) {
                 l.backward(&cache, black_box(&dy))
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     group.bench_function("factored_rank4", |b| {
         b.iter_batched(
@@ -49,7 +49,7 @@ fn bench_backward(c: &mut Criterion) {
                 l.backward(&cache, black_box(&dy))
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     group.finish();
 }

@@ -14,7 +14,7 @@ fn bench_square(c: &mut Criterion) {
         let b = Tensor::randn(&[n, n], &mut rng);
         group.throughput(Throughput::Elements((2 * n * n * n) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| matmul(black_box(&a), black_box(&b)))
+            bch.iter(|| matmul(black_box(&a), black_box(&b)));
         });
     }
     group.finish();
@@ -27,22 +27,22 @@ fn bench_token_shapes(c: &mut Criterion) {
     let w = Tensor::randn(&[40, 112], &mut rng);
     let mut group = c.benchmark_group("gemm_transformer_shapes");
     group.bench_function("768x40_x_40x112", |b| {
-        b.iter(|| matmul(black_box(&x), black_box(&w)))
+        b.iter(|| matmul(black_box(&x), black_box(&w)));
     });
     let wt = Tensor::randn(&[112, 40], &mut rng);
     group.bench_function("transb_768x40_x_112x40", |b| {
-        b.iter(|| matmul_transb(black_box(&x), black_box(&wt)))
+        b.iter(|| matmul_transb(black_box(&x), black_box(&wt)));
     });
     // The fine-tuning-recovery shape: dW = xᵀ · dy.
     let dy = Tensor::randn(&[768, 112], &mut rng);
     group.bench_function("transa_768x40_x_768x112", |b| {
-        b.iter(|| matmul_transa(black_box(&x), black_box(&dy)))
+        b.iter(|| matmul_transa(black_box(&x), black_box(&dy)));
     });
     // Single-token decode: matrix–vector against the LM head shape.
     let head = Tensor::randn(&[112, 40], &mut rng);
     let v: Vec<f32> = (0..40).map(|i| (i as f32 * 0.17).sin()).collect();
     group.bench_function("matvec_112x40", |b| {
-        b.iter(|| matvec(black_box(&head), black_box(&v)))
+        b.iter(|| matvec(black_box(&head), black_box(&v)));
     });
     group.finish();
 }
@@ -52,7 +52,7 @@ fn bench_batched(c: &mut Criterion) {
     let a = Tensor::randn(&[64, 24, 10], &mut rng);
     let b = Tensor::randn(&[64, 10, 24], &mut rng);
     c.bench_function("batched_matmul_64x24x10x24", |bch| {
-        bch.iter(|| batched_matmul(black_box(&a), black_box(&b)))
+        bch.iter(|| batched_matmul(black_box(&a), black_box(&b)));
     });
 }
 

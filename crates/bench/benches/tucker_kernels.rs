@@ -15,7 +15,7 @@ fn bench_tucker2_ranks(c: &mut Criterion) {
     let mut group = c.benchmark_group("tucker2_256x256");
     for rank in [1usize, 8, 32, 96] {
         group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, &r| {
-            b.iter(|| tucker2(black_box(&w), r).unwrap())
+            b.iter(|| tucker2(black_box(&w), r).unwrap());
         });
     }
     group.finish();
@@ -28,10 +28,10 @@ fn bench_svd_engines(c: &mut Criterion) {
     let w = Tensor::randn(&[160, 160], &mut rng);
     let mut group = c.benchmark_group("svd_engines_160x160_rank8");
     group.bench_function("randomized", |b| {
-        b.iter(|| truncated_svd(black_box(&w), 8).unwrap())
+        b.iter(|| truncated_svd(black_box(&w), 8).unwrap());
     });
     group.bench_function("jacobi_full", |b| {
-        b.iter(|| svd_jacobi(black_box(&w)).unwrap().truncate(8).unwrap())
+        b.iter(|| svd_jacobi(black_box(&w)).unwrap().truncate(8).unwrap());
     });
     group.finish();
 }
@@ -52,7 +52,7 @@ fn bench_hoi_order3(c: &mut Criterion) {
                     },
                 )
                 .unwrap()
-            })
+            });
         });
     }
     group.finish();
@@ -75,7 +75,7 @@ fn bench_cp_vs_tucker(c: &mut Criterion) {
                 },
             )
             .unwrap()
-        })
+        });
     });
     group.bench_function("cp_als", |b| {
         b.iter(|| {
@@ -89,7 +89,7 @@ fn bench_cp_vs_tucker(c: &mut Criterion) {
                 },
             )
             .unwrap()
-        })
+        });
     });
     group.finish();
 }

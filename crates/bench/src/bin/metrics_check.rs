@@ -22,7 +22,7 @@ fn fail(msg: &str) -> ! {
 
 /// A finite number at `key` of `obj`, or die.
 fn require_num(obj: &Json, section: &str, key: &str) -> f64 {
-    match obj.get(key).and_then(|v| v.as_num()) {
+    match obj.get(key).and_then(lrd_trace::json::Json::as_num) {
         Some(n) => n,
         None => fail(&format!("{section}.{key} missing or not a finite number")),
     }
@@ -77,12 +77,9 @@ fn main() {
         }
         i += 1;
     }
-    let path = match path {
-        Some(p) => p,
-        None => {
-            eprintln!("usage: metrics_check <metrics.json> [--require-nonzero c1,c2,...]");
-            std::process::exit(2);
-        }
+    let Some(path) = path else {
+        eprintln!("usage: metrics_check <metrics.json> [--require-nonzero c1,c2,...]");
+        std::process::exit(2);
     };
     for name in &require_nonzero {
         if !lrd_trace::counters::ALL.iter().any(|c| c.name() == name) {

@@ -287,7 +287,7 @@ fn print_study(title: &str, csv: &str, points: &[StudyPoint], benches: &[DynBenc
             p.error.as_deref().unwrap_or("unknown error")
         );
     }
-    if !points.is_empty() && points.iter().all(|p| p.is_failed()) {
+    if !points.is_empty() && points.iter().all(lrd_core::study::StudyPoint::is_failed) {
         eprintln!("[repro] error: every point of \"{title}\" failed");
         FIGURE_ALL_FAILED.store(true, std::sync::atomic::Ordering::Relaxed);
     }
@@ -1028,7 +1028,7 @@ fn write_bench_suite(args: &Args, wall_s: f64, agg: &CacheAgg) {
     let kernels = kernel_gflops();
     let round2 = |g: f64| (g * 100.0).round() / 100.0;
     let doc = Json::obj([
-        ("schema", Json::str("lrd-bench-suite")),
+        ("schema", Json::str(lrd_bench::SUITE_SCHEMA_NAME)),
         (
             "schema_version",
             Json::uint(lrd_trace::report::SCHEMA_VERSION),

@@ -8,6 +8,9 @@ use lrd_nn::train::{TrainConfig, Trainer};
 use lrd_nn::TransformerLm;
 use std::path::{Path, PathBuf};
 
+/// Schema identifier of the `BENCH_suite.json` document `repro` emits.
+pub const SUITE_SCHEMA_NAME: &str = "lrd-bench-suite";
+
 /// The world seed every experiment shares.
 pub const WORLD_SEED: u64 = 2024;
 

@@ -16,6 +16,7 @@ pub fn tensor_compression_ratio(h: usize, w: usize, pr: usize) -> f64 {
 /// Panics if the configuration is invalid for the descriptor.
 pub fn decomposed_params(desc: &TransformerDescriptor, cfg: &DecompositionConfig) -> u64 {
     cfg.validate(desc)
+        // lrd-lint: allow(no-panic, "documented `# Panics` contract: an invalid γ is a caller bug, not a sweep fault")
         .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
     let tensors = desc.layer_tensors();
     let mut params = desc.total_params() as i64;

@@ -159,6 +159,7 @@ pub fn descriptor_decomposition(
     cfg: &DecompositionConfig,
 ) -> Vec<DecomposedTensor> {
     cfg.validate(desc)
+        // lrd-lint: allow(no-panic, "documented `# Panics` contract: an invalid γ is a caller bug, not a sweep fault")
         .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
     let tensors = desc.layer_tensors();
     cfg.ranks

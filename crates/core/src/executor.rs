@@ -44,8 +44,9 @@ fn lock_tolerant<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// hosts aren't silently throttled (mirrors the GEMM thread-cap policy in
 /// `lrd-tensor`).
 fn max_workers() -> usize {
+    // lrd-lint: allow(determinism, "pool-size ceiling only; results are worker-count independent (pinned by the executor order tests)")
     std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1)
         .max(16)
 }
@@ -70,8 +71,9 @@ pub struct WorkerBudget {
 pub fn worker_budget(budget: usize, requested_workers: usize, n_jobs: usize) -> WorkerBudget {
     let cap = max_workers();
     let budget = if budget == 0 {
+        // lrd-lint: allow(determinism, "thread-budget default only; workers×eval_threads never changes results (proptest invariant)")
         std::thread::available_parallelism()
-            .map(|n| n.get())
+            .map(std::num::NonZero::get)
             .unwrap_or(1)
     } else {
         budget
@@ -112,6 +114,7 @@ where
     // Queue wait = time from pool start until a worker claims the job;
     // run time = the job body itself. Jobs are sweep-point granularity, so
     // two `Instant` reads per job are noise.
+    // lrd-lint: allow(determinism, "queue-wait/run-time telemetry counters only; never reaches a result")
     let pool_start = std::time::Instant::now();
     let workers = workers.clamp(1, n);
     if workers == 1 {
@@ -122,6 +125,7 @@ where
                     lrd_trace::Counter::ExecutorQueueWaitUs,
                     pool_start.elapsed().as_micros() as u64,
                 );
+                // lrd-lint: allow(determinism, "run-time telemetry counter only; never reaches a result")
                 let run_start = std::time::Instant::now();
                 let out = job();
                 lrd_trace::counters::add(
@@ -142,22 +146,22 @@ where
                 if i >= n {
                     break;
                 }
-                let job = jobs[i]
-                    .lock()
-                    .expect("job slot poisoned")
+                let job = lock_tolerant(&jobs[i])
                     .take()
+                    // lrd-lint: allow(no-panic, "cursor fetch_add hands each index to exactly one worker; a slot is taken at most once")
                     .expect("job claimed twice");
                 lrd_trace::counters::add(
                     lrd_trace::Counter::ExecutorQueueWaitUs,
                     pool_start.elapsed().as_micros() as u64,
                 );
+                // lrd-lint: allow(determinism, "run-time telemetry counter only; never reaches a result")
                 let run_start = std::time::Instant::now();
                 let out = job();
                 lrd_trace::counters::add(
                     lrd_trace::Counter::ExecutorRunUs,
                     run_start.elapsed().as_micros() as u64,
                 );
-                *results[i].lock().expect("result slot poisoned") = Some(out);
+                *lock_tolerant(&results[i]) = Some(out);
             });
         }
     });
@@ -165,7 +169,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
+                // lrd-lint: allow(no-panic, "scope join propagates worker panics; on the surviving path every claimed job wrote its slot")
                 .expect("job did not run")
         })
         .collect()
@@ -264,7 +269,11 @@ where
                 if i >= n {
                     break;
                 }
-                let job = lock_tolerant(&jobs[i]).take().expect("job claimed twice");
+                let job = lock_tolerant(&jobs[i])
+                    .take()
+                    // lrd-lint: allow(no-panic, "cursor fetch_add hands each index to exactly one worker; a slot is taken at most once")
+                    .expect("job claimed twice");
+                // lrd-lint: allow(determinism, "watchdog clock; only active under an explicit --deadline-s, whose soft-deadline semantics are documented as wall-clock dependent")
                 *lock_tolerant(&starts[i]) = Some(Instant::now());
                 states[i].store(JOB_RUNNING, Ordering::Release);
                 let outcome = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)) {
@@ -319,6 +328,7 @@ where
         .map(|slot| {
             slot.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
+                // lrd-lint: allow(no-panic, "unsettled never hits zero until worker or watchdog wrote every slot; the scope joins both")
                 .expect("job did not settle")
         })
         .collect()

@@ -200,7 +200,7 @@ pub fn design_space_size(desc: &TransformerDescriptor) -> DesignSpaceSize {
     let rank = desc
         .layer_tensors()
         .iter()
-        .map(|t| t.max_rank())
+        .map(lrd_models::descriptor::WeightTensor::max_rank)
         .max()
         .unwrap_or(1) as u128;
     let exact = (pow2_saturating(l) - 1)

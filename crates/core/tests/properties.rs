@@ -117,7 +117,7 @@ proptest! {
         prop_assert!(b.workers >= 1);
         prop_assert!(b.eval_threads >= 1);
         let effective = if budget == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1)
         } else {
             budget
         };

@@ -84,8 +84,9 @@ impl EvalOptions {
         if self.threads > 0 {
             self.threads
         } else {
+            // lrd-lint: allow(determinism, "thread count only partitions independent per-sample scoring; results are order-invariant and pinned by determinism tests")
             std::thread::available_parallelism()
-                .map(|n| n.get())
+                .map(std::num::NonZero::get)
                 .unwrap_or(1)
                 .min(16)
         }
@@ -201,11 +202,11 @@ fn evaluate_cloze(
     let skipped = skipped.into_inner();
     if skipped > 0 {
         lrd_trace::counters::add(lrd_trace::Counter::EvalClozeMissingMask, skipped as u64);
-        eprintln!(
-            "warning: {task}: skipped {skipped} cloze prompt(s) without a MASK token \
+        lrd_trace::warn(format!(
+            "{task}: skipped {skipped} cloze prompt(s) without a MASK token \
              (first at sample index {})",
             first_skipped.into_inner()
-        );
+        ));
     }
     Accuracy {
         correct: correct.into_inner(),
@@ -256,6 +257,7 @@ fn evaluate_multiple_choice(
             .collect();
         handles
             .into_iter()
+            // lrd-lint: allow(no-panic, "join fails only when a scoring worker panicked; re-raising that panic is the correct propagation")
             .flat_map(|h| h.join().expect("scoring worker panicked"))
             .collect()
     });

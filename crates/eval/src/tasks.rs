@@ -37,6 +37,7 @@ fn four_way(prompt: Vec<usize>, truth: usize, distractors: Vec<usize>, rng: &mut
     values.extend(distractors);
     let mut order: Vec<usize> = (0..values.len()).collect();
     rng.shuffle(&mut order);
+    // lrd-lint: allow(no-panic, "`order` is a shuffled permutation of 0..n, so index 0 is always present")
     let answer = order.iter().position(|&i| i == 0).expect("truth present");
     let choices = order
         .iter()
@@ -158,6 +159,7 @@ impl Benchmark for HellaSwag {
         }
         let mut order: Vec<usize> = (0..4).collect();
         rng.shuffle(&mut order);
+        // lrd-lint: allow(no-panic, "`order` is a shuffled permutation of 0..4, so index 0 is always present")
         let answer = order.iter().position(|&i| i == 0).expect("truth present");
         let choices = order.iter().map(|&i| choices[i].clone()).collect();
         let prompt = vec![

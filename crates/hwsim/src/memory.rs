@@ -41,6 +41,7 @@ pub fn weight_bytes(
             .layer_tensors()
             .into_iter()
             .find(|t| t.name == d.tensor)
+            // lrd-lint: allow(no-panic, "a decomposed-tensor name outside the descriptor is a caller contract violation; no recovery is meaningful")
             .unwrap_or_else(|| panic!("unknown tensor {}", d.tensor));
         params -= t.params() as i64;
         params += t.decomposed_params(d.rank) as i64;

@@ -1,0 +1,385 @@
+//! A small hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The lexer understands exactly the constructs that make naive
+//! regex-grepping unsound on Rust source:
+//!
+//! * line comments (`//`, `///`, `//!`) and *nested* block comments;
+//! * string literals with escapes, byte strings, and raw strings with an
+//!   arbitrary number of `#` guards (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! * char literals versus lifetimes (`'a'` versus `'a`);
+//! * numeric literals (so `0.1e5` never reads as a method call).
+//!
+//! It does **not** parse: lints work on the token stream plus brace
+//! depth, which is enough for every invariant we enforce. Comments are
+//! kept as tokens because two lints ([`safety-comment`] and the
+//! suppression directives) read them.
+//!
+//! [`safety-comment`]: crate::lints
+
+/// What a token is, coarsely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `fn`, …).
+    Ident,
+    /// Any single punctuation byte (`.`, `!`, `{`, …).
+    Punct,
+    /// `"…"`, `b"…"` — cooked string literal; `text` is the *contents*.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br"…"` — raw string literal; `text` is the contents.
+    RawStr,
+    /// `'x'` char (or byte char) literal, escapes included.
+    Char,
+    /// Numeric literal, suffixes and all (`0x1f`, `1_000u64`, `1.5e-3`).
+    Num,
+    /// `'a`, `'static` — lifetime or loop label.
+    Lifetime,
+    /// `// …` including doc comments; `text` excludes the newline.
+    LineComment,
+    /// `/* … */` including doc block comments, nesting collapsed.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Coarse classification.
+    pub kind: TokenKind,
+    /// The token text. For [`TokenKind::Str`]/[`TokenKind::RawStr`] this is
+    /// the literal's *contents* (quotes and guards stripped, escapes left
+    /// verbatim); for everything else it is the raw source slice.
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True for both comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// True if this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this is the punctuation byte `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == 1
+            && self.text.as_bytes()[0] as char == c
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated constructs
+/// degrade to a token running to end-of-file, which is good enough for
+/// linting (rustc will reject the file anyway).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        bytes: src.as_bytes(),
+        src,
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start_line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start_line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start_line),
+                b'"' => self.cooked_string(start_line),
+                b'r' if self.raw_string_ahead(0) => self.raw_string(start_line, 1),
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.cooked_string(start_line);
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(1) => {
+                    self.raw_string(start_line, 2);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_or_lifetime(start_line);
+                }
+                b'\'' => self.char_or_lifetime(start_line),
+                _ if b.is_ascii_digit() => self.number(start_line),
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => self.ident(start_line),
+                _ => {
+                    self.push(TokenKind::Punct, self.pos, self.pos + 1, start_line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, end: usize, line: usize) {
+        self.out.push(Token {
+            kind,
+            text: self.src[start..end].to_string(),
+            line,
+        });
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, self.pos, line);
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        let start = self.pos;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::BlockComment, start, self.pos, line);
+    }
+
+    fn cooked_string(&mut self, line: usize) {
+        // self.pos is at the opening quote.
+        self.pos += 1;
+        let content_start = self.pos;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => break,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let content_end = self.pos.min(self.bytes.len());
+        self.pos = (self.pos + 1).min(self.bytes.len());
+        self.push(TokenKind::Str, content_start, content_end, line);
+    }
+
+    /// Is `r#*"` next, starting `skip` bytes past `pos`? (`skip` covers the
+    /// `b` of `br`.)
+    fn raw_string_ahead(&self, skip: usize) -> bool {
+        let mut i = self.pos + skip + 1;
+        while self.bytes.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.bytes.get(i) == Some(&b'"')
+    }
+
+    fn raw_string(&mut self, line: usize, prefix: usize) {
+        self.pos += prefix; // past `r` or `br`
+        let mut guards = 0usize;
+        while self.peek(0) == Some(b'#') {
+            guards += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        let content_start = self.pos;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', guards))
+            .collect();
+        let mut content_end = self.bytes.len();
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            if self.bytes[self.pos..].starts_with(&closer) {
+                content_end = self.pos;
+                self.pos += closer.len();
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::RawStr, content_start, content_end, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: usize) {
+        // self.pos is at the `'`.
+        let start = self.pos;
+        let next = self.peek(1);
+        // `'a` / `'static` — a lifetime if an ident follows and the char
+        // after the ident run is not a closing quote.
+        if next.map(|b| b == b'_' || b.is_ascii_alphabetic()) == Some(true) {
+            let mut i = self.pos + 1;
+            while self
+                .bytes
+                .get(i)
+                .map(|b| *b == b'_' || b.is_ascii_alphanumeric())
+                == Some(true)
+            {
+                i += 1;
+            }
+            if self.bytes.get(i) != Some(&b'\'') {
+                self.push(TokenKind::Lifetime, start, i, line);
+                self.pos = i;
+                return;
+            }
+        }
+        // Char literal: consume to the closing quote, honoring escapes.
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    // Unterminated; treat the lone quote as punctuation so
+                    // the rest of the file still lexes.
+                    self.push(TokenKind::Punct, start, start + 1, line);
+                    self.pos = start + 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::Char, start, self.pos, line);
+    }
+
+    fn number(&mut self, line: usize) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let more = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || b == b'.'
+                    // `1..n` is a range, not a float; `1.max(2)` is a call.
+                    && self.peek(1).map(|n| n.is_ascii_digit()) == Some(true)
+                || (b == b'+' || b == b'-')
+                    && matches!(self.bytes.get(self.pos - 1), Some(b'e') | Some(b'E'));
+            if !more {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokenKind::Num, start, self.pos, line);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, start, self.pos, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_code_separate() {
+        let toks = kinds("let x = \"unwrap()\"; // unwrap()\nx.unwrap();");
+        assert!(toks.contains(&(TokenKind::Str, "unwrap()".into())));
+        assert!(toks.contains(&(TokenKind::LineComment, "// unwrap()".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap".into())));
+        // Exactly one code-position `unwrap` identifier.
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Ident && t == "unwrap")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let toks = kinds(r####"let s = r#"he said "hi""#; let t = r"x";"####);
+        assert!(toks.contains(&(TokenKind::RawStr, "he said \"hi\"".into())));
+        assert!(toks.contains(&(TokenKind::RawStr, "x".into())));
+    }
+
+    #[test]
+    fn nested_block_comment_swallows_code() {
+        let toks = kinds("/* a /* b */ still comment */ fn f() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks.contains(&(TokenKind::Ident, "fn".into())));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'b' }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'b'".into())));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let toks = kinds(r#"let s = "a\"b"; x.unwrap();"#);
+        assert!(toks.contains(&(TokenKind::Str, r#"a\"b"#.into())));
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn float_method_calls_do_not_eat_idents() {
+        let toks = kinds("let y = 1.5e-3; let z = 1.max(2); let r = 0..10;");
+        assert!(toks.contains(&(TokenKind::Num, "1.5e-3".into())));
+        assert!(toks.contains(&(TokenKind::Ident, "max".into())));
+        assert!(toks.contains(&(TokenKind::Num, "10".into())));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "a\n/* x\ny */\n\"s\ntring\"\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 6);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x'; let r = br"raw";"#);
+        assert!(toks.contains(&(TokenKind::Str, "bytes".into())));
+        assert!(toks.contains(&(TokenKind::RawStr, "raw".into())));
+    }
+}

@@ -1,0 +1,202 @@
+//! `counter-hygiene`: the telemetry counter registry stays live and
+//! documented.
+//!
+//! Cross-file check over `crates/trace/src/counters.rs`:
+//!
+//! 1. every `Counter` variant has a stable name in `Counter::name`;
+//! 2. every variant is *incremented* somewhere in non-test workspace code
+//!    (an `add(… Counter::X …)` call) — a declared-but-never-bumped
+//!    counter reports a permanent zero that looks like a real measurement;
+//! 3. every counter name is listed in `DESIGN.md`'s metrics-schema
+//!    section, so the documented schema cannot rot behind the code.
+//!
+//! Findings anchor to the variant's declaration line in `counters.rs`.
+
+use super::{emit, Lint};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::{Finding, Workspace};
+
+/// See module docs.
+pub struct CounterHygiene;
+
+const COUNTERS_RS: &str = "crates/trace/src/counters.rs";
+
+impl Lint for CounterHygiene {
+    fn name(&self) -> &'static str {
+        "counter-hygiene"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every declared counter is incremented somewhere and documented in DESIGN.md"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(registry) = ws.file(COUNTERS_RS) else {
+            return; // single-file fixture workspaces
+        };
+        let variants = enum_variants(registry, "Counter");
+        let names = name_arms(registry, "Counter");
+        let section = ws.design_md.as_deref().map(metrics_section);
+
+        for (variant, line) in &variants {
+            if !names.iter().any(|(v, _)| v == variant) {
+                emit(
+                    registry,
+                    self.name(),
+                    *line,
+                    format!(
+                        "counter `{variant}` has no `Counter::name` arm — it can never be reported"
+                    ),
+                    out,
+                );
+                continue;
+            }
+            if !incremented_somewhere(ws, variant) {
+                emit(
+                    registry,
+                    self.name(),
+                    *line,
+                    format!(
+                        "counter `{variant}` is declared but never incremented — \
+                         remove it or add the `counters::add` call its subsystem owes"
+                    ),
+                    out,
+                );
+            }
+        }
+        if let Some(Some(section)) = section {
+            for (variant, name) in &names {
+                if !section.contains(name.as_str()) {
+                    let line = variants
+                        .iter()
+                        .find(|(v, _)| v == variant)
+                        .map(|(_, l)| *l)
+                        .unwrap_or(1);
+                    emit(
+                        registry,
+                        self.name(),
+                        line,
+                        format!(
+                            "counter `{name}` is missing from DESIGN.md's \
+                             metrics-schema counter catalog"
+                        ),
+                        out,
+                    );
+                }
+            }
+        } else if ws.design_md.is_some() {
+            emit(
+                registry,
+                self.name(),
+                1,
+                "DESIGN.md has no metrics-schema section to document counters in".to_string(),
+                out,
+            );
+        }
+    }
+}
+
+/// `(variant, line)` pairs of `pub enum <name> { … }`.
+fn enum_variants(file: &SourceFile, name: &str) -> Vec<(String, usize)> {
+    let code: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_ident("enum") && code.get(i + 1).is_some_and(|t| t.is_ident(name)) {
+            // Find the block and collect idents directly after `{` or `,`.
+            let mut j = i + 2;
+            while j < code.len() && !code[j].is_punct('{') {
+                j += 1;
+            }
+            let mut depth = 0usize;
+            while j < code.len() {
+                let t = code[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if depth == 1
+                    && t.kind == TokenKind::Ident
+                    && (code[j - 1].is_punct('{') || code[j - 1].is_punct(','))
+                {
+                    out.push((t.text.clone(), t.line));
+                }
+                j += 1;
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `(variant, string)` pairs from `<enum>::<Variant> => "string"` match arms.
+fn name_arms(file: &SourceFile, enum_name: &str) -> Vec<(String, String)> {
+    let code: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if code[i].is_ident(enum_name)
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.kind == TokenKind::Ident)
+            && code.get(i + 4).is_some_and(|t| t.is_punct('='))
+            && code.get(i + 5).is_some_and(|t| t.is_punct('>'))
+            && code.get(i + 6).is_some_and(|t| t.kind == TokenKind::Str)
+        {
+            out.push((code[i + 3].text.clone(), code[i + 6].text.clone()));
+        }
+    }
+    out
+}
+
+/// Does any non-test, non-registry file call `add(… Counter::<variant> …)`?
+fn incremented_somewhere(ws: &Workspace, variant: &str) -> bool {
+    for file in &ws.files {
+        if file.rel == COUNTERS_RS {
+            continue;
+        }
+        let code: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+        for i in 0..code.len() {
+            if code[i].is_ident(variant)
+                && i >= 3
+                && code[i - 1].is_punct(':')
+                && code[i - 2].is_punct(':')
+                && code[i - 3].is_ident("Counter")
+                && !file.is_test_line(code[i].line)
+            {
+                // Look a few tokens back for the `add(` call this variant
+                // feeds; `get(Counter::X)` reads don't keep a counter alive.
+                let lo = i.saturating_sub(8);
+                if code[lo..i].iter().any(|t| t.is_ident("add")) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The metrics-schema section of DESIGN.md: from the `## …metrics schema…`
+/// heading to the next `## ` heading.
+fn metrics_section(design: &str) -> Option<String> {
+    let mut in_section = false;
+    let mut out = String::new();
+    for line in design.lines() {
+        if line.starts_with("## ") {
+            if in_section {
+                break;
+            }
+            in_section = line.to_lowercase().contains("metrics schema");
+            continue;
+        }
+        if in_section {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    in_section.then_some(out)
+}

@@ -1,0 +1,83 @@
+//! `determinism`: no ambient time or parallelism reads outside approved
+//! modules.
+//!
+//! The journal fingerprints, fault-injection rolls, and sweep outputs are
+//! all pure functions of (inputs, seed) — that is what makes kill-and-
+//! resume bit-identity and cross-`--workers` reproducibility provable.
+//! An ad-hoc `Instant::now()` used in a result, or an
+//! `available_parallelism()` call that changes work partitioning in a
+//! value-affecting way, silently breaks that contract. Reads that are
+//! genuinely value-neutral (telemetry timestamps, worker-pool sizing
+//! pinned by determinism tests) carry inline allows naming that proof;
+//! the span clock in `lrd-trace` is allowlisted wholesale as the one
+//! sanctioned timing substrate.
+
+use super::{emit, Lint};
+use crate::source::FileKind;
+use crate::{Finding, Workspace, DETERMINISM_ALLOWLIST};
+
+/// See module docs.
+pub struct Determinism;
+
+/// The bench harness measures wall-clock by design.
+const EXEMPT_CRATES: [&str; 1] = ["bench"];
+
+impl Lint for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no SystemTime::now/Instant::now/available_parallelism outside approved modules"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            let exempt = file
+                .crate_name
+                .as_deref()
+                .is_none_or(|c| EXEMPT_CRATES.contains(&c))
+                || DETERMINISM_ALLOWLIST.contains(&file.rel.as_str());
+            if exempt || !matches!(file.kind, FileKind::Lib | FileKind::Bin) {
+                continue;
+            }
+            let code: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+            for (i, t) in code.iter().enumerate() {
+                if file.is_test_line(t.line) {
+                    continue;
+                }
+                // `Instant::now` / `SystemTime::now` (any path prefix).
+                if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+                    && code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                    && code.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                    && code.get(i + 3).is_some_and(|n| n.is_ident("now"))
+                {
+                    emit(
+                        file,
+                        self.name(),
+                        t.line,
+                        format!(
+                            "`{}::now` outside approved modules — ambient time \
+                             must not reach sweep results; use the span clock or \
+                             prove value-neutrality in an allow",
+                            t.text
+                        ),
+                        out,
+                    );
+                }
+                if t.is_ident("available_parallelism") {
+                    emit(
+                        file,
+                        self.name(),
+                        t.line,
+                        "`available_parallelism` outside approved modules — \
+                         host-dependent partitioning must be pinned value-neutral \
+                         by a determinism test and carry an allow"
+                            .to_string(),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

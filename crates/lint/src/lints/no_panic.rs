@@ -1,0 +1,86 @@
+//! `no-panic`: runtime crates must not contain panicking constructs in
+//! non-test code.
+//!
+//! The sweep runtime survives worker panics only because `catch_unwind`
+//! fences every job (`lrd-core::executor::run_jobs_isolated`) — but a
+//! panic still voids the point it interrupts, and panics on the
+//! orchestration side (journal, study drivers) kill whole sweeps. PR 4's
+//! `.expect("9% reference point")` bug is the canonical instance: one
+//! optimistic lookup took down an entire recovery figure. Errors must be
+//! propagated as values; where a panic is provably unreachable, say so
+//! with `// lrd-lint: allow(no-panic, "<proof>")`.
+
+use super::{emit, Lint};
+use crate::{Finding, Workspace, RUNTIME_CRATES};
+
+/// See module docs.
+pub struct NoPanic;
+
+/// Macros whose expansion aborts the current thread.
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+impl Lint for NoPanic {
+    fn name(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no .unwrap()/.expect()/panic! in non-test code of runtime crates"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            let runtime = file
+                .crate_name
+                .as_deref()
+                .is_some_and(|c| RUNTIME_CRATES.contains(&c));
+            if !runtime || !file.is_crate_code() {
+                continue;
+            }
+            let code: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+            for (i, t) in code.iter().enumerate() {
+                if file.is_test_line(t.line) {
+                    continue;
+                }
+                // `.unwrap(` / `.expect(` — the panicking method calls.
+                // (`unwrap_or*`, `expect_err` etc. are distinct idents and
+                // never match.)
+                if (t.is_ident("unwrap") || t.is_ident("expect"))
+                    && i > 0
+                    && code[i - 1].is_punct('.')
+                    && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+                {
+                    emit(
+                        file,
+                        self.name(),
+                        t.line,
+                        format!(
+                            "`.{}()` in runtime-crate code — propagate the error \
+                             (`?`, `ok_or`, `match`) or add a documented allow",
+                            t.text
+                        ),
+                        out,
+                    );
+                }
+                // `panic!(…)` and friends.
+                if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+                    && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                // `core::panic!` matches; `std::panic::catch_unwind`
+                // has no `!` and does not.
+                {
+                    emit(
+                        file,
+                        self.name(),
+                        t.line,
+                        format!(
+                            "`{}!` in runtime-crate code — return an error instead \
+                             of aborting the sweep",
+                            t.text
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! `no-print`: library crates never write to stdout/stderr directly.
+//!
+//! Console output belongs to the binaries (`repro`, `metrics_check`) and
+//! the bench harness. Library code must either return values or route
+//! diagnostics through `lrd_trace::warn` / the event layer, so that a
+//! sweep's output is a deliberate report, not interleaved noise from six
+//! crates — and so tests can assert on what was emitted. The single
+//! sanctioned stderr choke point (inside `lrd-trace` itself) carries an
+//! inline allow.
+
+use super::{emit, Lint};
+use crate::source::FileKind;
+use crate::{Finding, Workspace};
+
+/// See module docs.
+pub struct NoPrint;
+
+/// Crates whose `src/` is console-facing by design.
+const EXEMPT_CRATES: [&str; 1] = ["bench"];
+
+const PRINT_MACROS: [&str; 5] = ["println", "eprintln", "print", "eprint", "dbg"];
+
+impl Lint for NoPrint {
+    fn name(&self) -> &'static str {
+        "no-print"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no println!/eprintln!/dbg! in library crates; route through lrd-trace"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            let exempt = file
+                .crate_name
+                .as_deref()
+                .is_none_or(|c| EXEMPT_CRATES.contains(&c));
+            // Binaries own their stdout; only library sources are checked.
+            if exempt || file.kind != FileKind::Lib {
+                continue;
+            }
+            let code: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+            for (i, t) in code.iter().enumerate() {
+                if file.is_test_line(t.line) {
+                    continue;
+                }
+                if PRINT_MACROS.iter().any(|m| t.is_ident(m))
+                    && code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+                {
+                    emit(
+                        file,
+                        self.name(),
+                        t.line,
+                        format!(
+                            "`{}!` in library code — return the text or use \
+                             `lrd_trace::warn`/events so output stays assertable",
+                            t.text
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! `safety-comment`: every `unsafe` block, function, or impl must carry
+//! an adjacent justification.
+//!
+//! Accepted forms:
+//!
+//! * a `// SAFETY: …` (or `/* SAFETY: … */`) comment on the same line or
+//!   in the contiguous comment/attribute run directly above;
+//! * for `unsafe fn`/`unsafe impl`, a doc comment containing `# Safety`
+//!   in that same run (rustdoc's conventional safety section).
+//!
+//! The run-walk tolerates attribute lines (`#[target_feature(...)]`)
+//! between the comment and the `unsafe` token, because that is exactly
+//! how the AVX2 kernels in `lrd-tensor` are written. A blank line or any
+//! other code breaks the run — a stale SAFETY comment three functions up
+//! must not vouch for new unsafe code.
+
+use super::{emit, Lint};
+use crate::lexer::Token;
+use crate::source::SourceFile;
+use crate::{Finding, Workspace};
+
+/// See module docs.
+pub struct SafetyComment;
+
+impl Lint for SafetyComment {
+    fn name(&self) -> &'static str {
+        "safety-comment"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every unsafe block/fn/impl requires an adjacent SAFETY justification"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            let lines = LineIndex::new(file);
+            let code: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+            for (i, t) in code.iter().enumerate() {
+                if !t.is_ident("unsafe") {
+                    continue;
+                }
+                // What follows tells us which justification forms apply.
+                let next = code.get(i + 1);
+                let is_item = next
+                    .is_some_and(|n| n.is_ident("fn") || n.is_ident("impl") || n.is_ident("trait"));
+                if justified(&lines, t.line, is_item) {
+                    continue;
+                }
+                let what = match next {
+                    Some(n) if n.is_ident("fn") => "unsafe fn",
+                    Some(n) if n.is_ident("impl") => "unsafe impl",
+                    Some(n) if n.is_ident("trait") => "unsafe trait",
+                    _ => "unsafe block",
+                };
+                emit(
+                    file,
+                    self.name(),
+                    t.line,
+                    format!(
+                        "{what} without an adjacent `// SAFETY:` comment{}",
+                        if is_item {
+                            " (a doc `# Safety` section also satisfies this)"
+                        } else {
+                            ""
+                        }
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+/// Per-line view: does the line hold code, and what comment text is on it?
+struct LineIndex {
+    has_code: Vec<bool>,
+    starts_with_attr: Vec<bool>,
+    comments: Vec<String>,
+    has_any: Vec<bool>,
+}
+
+impl LineIndex {
+    fn new(file: &SourceFile) -> LineIndex {
+        let n = file
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .max()
+            .unwrap_or(0)
+            .max(file.test_lines.len());
+        let mut idx = LineIndex {
+            has_code: vec![false; n + 1],
+            starts_with_attr: vec![false; n + 1],
+            comments: vec![String::new(); n + 1],
+            has_any: vec![false; n + 1],
+        };
+        let mut first_code_on_line: Vec<Option<&Token>> = vec![None; n + 1];
+        for t in &file.tokens {
+            idx.has_any[t.line] = true;
+            if t.is_comment() {
+                idx.comments[t.line].push_str(&t.text);
+            } else {
+                idx.has_code[t.line] = true;
+                let slot = &mut first_code_on_line[t.line];
+                if slot.is_none() {
+                    *slot = Some(t);
+                }
+            }
+        }
+        for (line, tok) in first_code_on_line.iter().enumerate() {
+            idx.starts_with_attr[line] = tok.is_some_and(|t| t.is_punct('#'));
+        }
+        idx
+    }
+}
+
+/// Walks the contiguous comment/attribute run at and above `line` looking
+/// for a safety marker.
+fn justified(lines: &LineIndex, line: usize, is_item: bool) -> bool {
+    let marker = |text: &str| text.contains("SAFETY:") || (is_item && text.contains("# Safety"));
+    if marker(&lines.comments[line]) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if marker(&lines.comments[l]) {
+            return true;
+        }
+        let comment_only = lines.has_any[l] && !lines.has_code[l];
+        let attr_line = lines.has_code[l] && lines.starts_with_attr[l];
+        if !(comment_only || attr_line) {
+            return false; // blank line or unrelated code breaks the run
+        }
+    }
+    false
+}

@@ -1,0 +1,80 @@
+//! `schema-const`: schema identifier strings are single-sourced.
+//!
+//! Three documents cross process boundaries — the metrics report
+//! (`"lrd-metrics"`), the sweep journal (`"lrd-journal"`), and the bench
+//! suite (`"lrd-bench-suite"`). Each identifier must exist in exactly one
+//! place in non-test code: a `const` declaration. A re-typed literal is a
+//! fork waiting to happen — writer and parser drift one typo apart and
+//! resume silently stops matching. Tests may spell literals out freely
+//! (asserting on the wire format is their job).
+
+use super::{emit, Lint};
+use crate::lexer::TokenKind;
+use crate::{Finding, Workspace, SCHEMA_STRINGS};
+
+/// See module docs.
+pub struct SchemaConst;
+
+impl Lint for SchemaConst {
+    fn name(&self) -> &'static str {
+        "schema-const"
+    }
+
+    fn summary(&self) -> &'static str {
+        "schema strings live in exactly one const; re-typed literals are findings"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for schema in SCHEMA_STRINGS {
+            // (file index, token line, is the literal a const initializer?)
+            let mut sites = Vec::new();
+            for (fi, file) in ws.files.iter().enumerate() {
+                // The lint crate itself names the policed strings in its
+                // `SCHEMA_STRINGS` registry — the police may quote the law.
+                if !file.is_crate_code() || file.crate_name.as_deref() == Some("lint") {
+                    continue;
+                }
+                let code: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();
+                for (i, t) in code.iter().enumerate() {
+                    if matches!(t.kind, TokenKind::Str | TokenKind::RawStr)
+                        && t.text == schema
+                        && !file.is_test_line(t.line)
+                    {
+                        // `const NAME: &str = "…"` — scan a few tokens back
+                        // for the `const` keyword.
+                        let lo = i.saturating_sub(7);
+                        let is_const = code[lo..i].iter().any(|p| p.is_ident("const"));
+                        sites.push((fi, t.line, is_const));
+                    }
+                }
+            }
+            let n_consts = sites.iter().filter(|(_, _, c)| *c).count();
+            for &(fi, line, is_const) in &sites {
+                let file = &ws.files[fi];
+                if !is_const {
+                    emit(
+                        file,
+                        self.name(),
+                        line,
+                        format!(
+                            "re-typed schema literal \"{schema}\" — reference its \
+                             `const` instead (one writer, one spelling)"
+                        ),
+                        out,
+                    );
+                } else if n_consts > 1 {
+                    emit(
+                        file,
+                        self.name(),
+                        line,
+                        format!(
+                            "\"{schema}\" is declared `const` in {n_consts} places — \
+                             keep a single source of truth"
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! `lrd-lint` CLI.
+//!
+//! ```text
+//! lrd-lint --workspace [--root DIR] [--json] [--list]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed findings, `2` usage or I/O
+//! error. `--json` prints the machine-readable report (schema
+//! `"lrd-lint"`, v1) for CI; the human format is `path:line: [lint] msg`.
+
+use lrd_lint::{lints, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("lrd-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut json = false;
+    let mut list = false;
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--workspace" => workspace = true,
+            "--root" => {
+                root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: lrd-lint --workspace [--root DIR] [--json] [--list]\n\
+                     \n\
+                     Checks the LRD workspace invariants (see DESIGN.md §11).\n\
+                     exit 0: clean   exit 1: findings   exit 2: error"
+                );
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if list {
+        for lint in lints::registry() {
+            println!("{:<22} {}", lint.name(), lint.summary());
+        }
+        println!(
+            "{:<22} every suppression directive is well-formed, known, and used",
+            lints::SUPPRESSION_HYGIENE
+        );
+        return Ok(true);
+    }
+    if !workspace {
+        return Err("nothing to do: pass --workspace (or --list)".into());
+    }
+    let root = match root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    let ws = Workspace::load(&root).map_err(|e| format!("loading {}: {e}", root.display()))?;
+    let report = lrd_lint::run(&ws);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{}", f.render());
+        }
+        println!(
+            "lrd-lint: {} file(s), {} lint(s), {} finding(s)",
+            report.files_checked,
+            report.lints.len(),
+            report.findings.len()
+        );
+    }
+    Ok(report.clean())
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml above the current directory; pass --root".into());
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Source model: lexed files plus the classification lints key off —
+//! which crate a file belongs to, whether it is library or test code,
+//! which *lines* are test-only, and the explicit suppression directives.
+
+use crate::lexer::{self, Token, TokenKind};
+use std::cell::Cell;
+use std::path::PathBuf;
+
+/// Coarse role of a file within the workspace, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `crates/<c>/src/**` excluding `src/bin` — library code.
+    Lib,
+    /// `crates/<c>/src/bin/**` — binary targets (CLIs).
+    Bin,
+    /// Integration tests: any `tests/` directory.
+    Test,
+    /// `benches/` targets.
+    Bench,
+    /// `examples/` targets.
+    Example,
+}
+
+/// One `// lrd-lint: allow(<lint>, "<reason>")` directive.
+///
+/// A *trailing* directive (sharing its line with code) suppresses findings
+/// on that line; a *standalone* directive suppresses findings on the next
+/// line that holds any non-comment token.
+#[derive(Debug)]
+pub struct Suppression {
+    /// Lint name the directive names.
+    pub lint: String,
+    /// Mandatory free-text justification.
+    pub reason: String,
+    /// 1-based line of the directive itself.
+    pub line: usize,
+    /// 1-based line the directive applies to.
+    pub target_line: usize,
+    /// Set when a finding was actually suppressed; unused directives are
+    /// themselves reported by the `suppression-hygiene` lint.
+    pub used: Cell<bool>,
+}
+
+/// A directive that could not be parsed; reported, never silently ignored.
+#[derive(Debug)]
+pub struct MalformedSuppression {
+    /// 1-based line of the broken directive.
+    pub line: usize,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// One lexed, classified source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute (or workspace-joined) path, for diagnostics.
+    pub path: PathBuf,
+    /// Workspace-relative path with `/` separators — the classification key.
+    pub rel: String,
+    /// Short crate directory name (`core`, `tensor`, …) when under `crates/`.
+    pub crate_name: Option<String>,
+    /// Role derived from `rel`.
+    pub kind: FileKind,
+    /// Token stream (comments included).
+    pub tokens: Vec<Token>,
+    /// `test_lines[line - 1]` is true when the line sits inside a
+    /// `#[cfg(test)]` module or a `#[test]`/`proptest!` item.
+    pub test_lines: Vec<bool>,
+    /// Parsed suppression directives.
+    pub suppressions: Vec<Suppression>,
+    /// Unparsable directives.
+    pub malformed: Vec<MalformedSuppression>,
+}
+
+impl SourceFile {
+    /// Lexes and classifies `text` under the workspace-relative path `rel`.
+    pub fn parse(path: PathBuf, rel: String, text: &str) -> SourceFile {
+        let tokens = lexer::lex(text);
+        let n_lines = text.lines().count().max(1);
+        let kind = classify(&rel);
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .map(str::to_string);
+        let test_lines = if kind == FileKind::Test {
+            vec![true; n_lines]
+        } else {
+            mark_test_lines(&tokens, n_lines)
+        };
+        let (suppressions, malformed) = parse_suppressions(&tokens, n_lines);
+        SourceFile {
+            path,
+            rel,
+            crate_name,
+            kind,
+            tokens,
+            test_lines,
+            suppressions,
+            malformed,
+        }
+    }
+
+    /// Is 1-based `line` inside test-only code?
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines
+            .get(line.saturating_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Library/binary code of a `crates/<name>` member? (The code lints
+    /// apply here; tests, benches and examples are exempt by kind.)
+    pub fn is_crate_code(&self) -> bool {
+        matches!(self.kind, FileKind::Lib | FileKind::Bin)
+    }
+
+    /// Finds a directive for `lint` targeting `line` and marks it used.
+    pub fn suppressed(&self, lint: &str, line: usize) -> bool {
+        let hit = self
+            .suppressions
+            .iter()
+            .find(|s| s.lint == lint && s.target_line == line);
+        if let Some(s) = hit {
+            s.used.set(true);
+            return true;
+        }
+        false
+    }
+}
+
+fn classify(rel: &str) -> FileKind {
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts.contains(&"tests") {
+        FileKind::Test
+    } else if parts.contains(&"benches") {
+        FileKind::Bench
+    } else if parts.contains(&"examples") {
+        FileKind::Example
+    } else if parts.contains(&"bin") || parts.last() == Some(&"main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Marks lines belonging to `#[cfg(test)]` / `#[test]`-attributed items.
+///
+/// Strategy: walk the token stream; on a test-marking attribute, skip any
+/// further attributes and doc comments, then extend the mark over the next
+/// item — everything up to the matching close of the first `{` opened (or
+/// a bare `;` for declarations like `mod tests;`).
+fn mark_test_lines(tokens: &[Token], n_lines: usize) -> Vec<bool> {
+    let mut marked = vec![false; n_lines];
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut i = 0usize;
+    while i < code.len() {
+        if let Some(after_attr) = test_attribute(&code, i) {
+            // Cover the attribute itself plus the item that follows.
+            let start_line = code[i].line;
+            let mut j = after_attr;
+            // Skip any stacked attributes (test ones or not) between the
+            // marker and the item.
+            while j < code.len() && code[j].is_punct('#') {
+                j = skip_attribute(&code, j);
+            }
+            // Find the item's body: first `{` before a top-level `;`.
+            let mut depth = 0usize;
+            let mut end_line = code.get(j).map(|t| t.line).unwrap_or(start_line);
+            while j < code.len() {
+                let t = code[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = t.line;
+                        j += 1;
+                        break;
+                    }
+                } else if t.is_punct(';') && depth == 0 {
+                    end_line = t.line;
+                    j += 1;
+                    break;
+                }
+                end_line = t.line;
+                j += 1;
+            }
+            for line in start_line..=end_line {
+                if let Some(slot) = marked.get_mut(line - 1) {
+                    *slot = true;
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    marked
+}
+
+/// If `code[i]` opens a test-marking attribute (`#[test]`, `#[cfg(test)]`,
+/// `#[cfg(any(test, …))]`, `#[proptest]`, `#[bench]`), returns the index
+/// just past its closing `]`.
+fn test_attribute(code: &[&Token], i: usize) -> Option<usize> {
+    if !code[i].is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    // Inner attributes (`#![…]`) never mark test items.
+    if code.get(j).map(|t| t.is_punct('!')) == Some(true) {
+        return None;
+    }
+    if code.get(j).map(|t| t.is_punct('[')) != Some(true) {
+        return None;
+    }
+    j += 1;
+    let mut depth = 1usize;
+    let mut is_cfg = false;
+    let mut saw_test = false;
+    let mut first = true;
+    while j < code.len() && depth > 0 {
+        let t = code[j];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+        } else if first && t.kind == TokenKind::Ident {
+            first = false;
+            match t.text.as_str() {
+                "test" | "bench" | "proptest" => saw_test = true,
+                "cfg" => is_cfg = true,
+                _ => {}
+            }
+        } else if is_cfg && t.is_ident("test") {
+            saw_test = true;
+        }
+        j += 1;
+    }
+    if saw_test {
+        Some(j)
+    } else {
+        None
+    }
+}
+
+/// Steps past the attribute opening at `code[i]` (`#`), returning the index
+/// after its `]`.
+fn skip_attribute(code: &[&Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if code.get(j).map(|t| t.is_punct('!')) == Some(true) {
+        j += 1;
+    }
+    if code.get(j).map(|t| t.is_punct('[')) != Some(true) {
+        return j;
+    }
+    j += 1;
+    let mut depth = 1usize;
+    while j < code.len() && depth > 0 {
+        if code[j].is_punct('[') {
+            depth += 1;
+        } else if code[j].is_punct(']') {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    j
+}
+
+const DIRECTIVE: &str = "lrd-lint:";
+
+fn parse_suppressions(
+    tokens: &[Token],
+    n_lines: usize,
+) -> (Vec<Suppression>, Vec<MalformedSuppression>) {
+    // Lines holding at least one non-comment token, for standalone targets.
+    let mut code_lines = vec![false; n_lines];
+    for t in tokens.iter().filter(|t| !t.is_comment()) {
+        if let Some(slot) = code_lines.get_mut(t.line - 1) {
+            *slot = true;
+        }
+    }
+    let mut out = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        // A directive must be the comment's leading content — mentions in
+        // running prose (docs quoting the syntax) are not directives.
+        let stripped = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches(['!', '*'])
+            .trim_start();
+        let Some(body) = stripped.strip_prefix(DIRECTIVE) else {
+            continue;
+        };
+        let body = body.trim();
+        match parse_allow(body) {
+            Ok((lint, reason)) => {
+                let target_line = if code_lines.get(t.line - 1) == Some(&true) {
+                    t.line
+                } else {
+                    ((t.line + 1)..=n_lines)
+                        .find(|l| code_lines[l - 1])
+                        .unwrap_or(t.line)
+                };
+                out.push(Suppression {
+                    lint,
+                    reason,
+                    line: t.line,
+                    target_line,
+                    used: Cell::new(false),
+                });
+            }
+            Err(problem) => bad.push(MalformedSuppression {
+                line: t.line,
+                problem,
+            }),
+        }
+    }
+    (out, bad)
+}
+
+/// Parses `allow(<lint>, "<reason>")`. The reason is mandatory and must be
+/// non-empty — suppressions are audit records, not escape hatches.
+fn parse_allow(body: &str) -> Result<(String, String), String> {
+    let rest = body
+        .strip_prefix("allow")
+        .ok_or_else(|| format!("expected `allow(<lint>, \"<reason>\")`, got `{body}`"))?
+        .trim_start();
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+        .ok_or("directive is missing parentheses")?;
+    let (lint, reason_part) = inner
+        .split_once(',')
+        .ok_or("directive is missing the mandatory \", \\\"reason\\\"\" argument")?;
+    let lint = lint.trim();
+    if lint.is_empty() || !lint.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+        return Err(format!("`{lint}` is not a lint name"));
+    }
+    let reason = reason_part.trim();
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or("reason must be a quoted string")?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    Ok((lint.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from(rel), rel.to_string(), src)
+    }
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(file("crates/core/src/study.rs", "").kind, FileKind::Lib);
+        assert_eq!(
+            file("crates/bench/src/bin/repro.rs", "").kind,
+            FileKind::Bin
+        );
+        assert_eq!(file("tests/end_to_end.rs", "").kind, FileKind::Test);
+        assert_eq!(
+            file("crates/nn/tests/properties.rs", "").kind,
+            FileKind::Test
+        );
+        assert_eq!(
+            file("crates/bench/benches/gemm.rs", "").kind,
+            FileKind::Bench
+        );
+        assert_eq!(file("examples/quickstart.rs", "").kind, FileKind::Example);
+        assert_eq!(
+            file("crates/core/src/study.rs", "").crate_name.as_deref(),
+            Some("core")
+        );
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_marked() {
+        let src = "\
+fn live() {}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() { x.unwrap(); }\n\
+}\n\
+fn also_live() {}\n";
+        let f = file("crates/core/src/x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(5));
+        assert!(f.is_test_line(6));
+        assert!(!f.is_test_line(7));
+    }
+
+    #[test]
+    fn test_fn_outside_module_is_marked() {
+        let src = "#[test]\nfn t() {\n  boom();\n}\nfn live() {}\n";
+        let f = file("crates/core/src/x.rs", src);
+        assert!(f.is_test_line(3));
+        assert!(!f.is_test_line(5));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_marked() {
+        let f = file(
+            "crates/core/src/x.rs",
+            "#[cfg(feature = \"collect\")]\nfn live() {}\n",
+        );
+        assert!(!f.is_test_line(2));
+    }
+
+    #[test]
+    fn stacked_attributes_before_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n  fn f() {}\n}\n";
+        let f = file("crates/core/src/x.rs", src);
+        assert!(f.is_test_line(4));
+    }
+
+    #[test]
+    fn suppression_trailing_and_standalone() {
+        let src = "\
+let a = x.unwrap(); // lrd-lint: allow(no-panic, \"proven non-empty\")\n\
+// lrd-lint: allow(determinism, \"telemetry only\")\n\
+let t = Instant::now();\n";
+        let f = file("crates/core/src/x.rs", src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].target_line, 1);
+        assert_eq!(f.suppressions[1].target_line, 3);
+        assert!(f.suppressed("no-panic", 1));
+        assert!(!f.suppressed("no-panic", 3));
+        assert!(f.suppressed("determinism", 3));
+    }
+
+    #[test]
+    fn malformed_suppressions_are_reported() {
+        let src = "\
+// lrd-lint: allow(no-panic)\n\
+// lrd-lint: allow(no-panic, \"\")\n\
+// lrd-lint: deny(no-panic, \"x\")\n";
+        let f = file("crates/core/src/x.rs", src);
+        assert_eq!(f.suppressions.len(), 0);
+        assert_eq!(f.malformed.len(), 3);
+    }
+}

@@ -1,0 +1,14 @@
+//! Known-bad: `counter-hygiene` — a counter that is declared and named
+//! but never incremented anywhere and missing from the design catalog.
+
+pub enum Counter {
+    OrphanCount,
+}
+
+impl Counter {
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::OrphanCount => "orphan_count",
+        }
+    }
+}

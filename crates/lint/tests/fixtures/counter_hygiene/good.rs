@@ -1,0 +1,16 @@
+//! Known-good: the counter is named, incremented elsewhere, and listed in
+//! the design catalog.
+
+pub enum Counter {
+    OrphanCount,
+}
+
+impl Counter {
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::OrphanCount => "orphan_count",
+        }
+    }
+}
+
+pub fn add(_counter: Counter, _delta: u64) {}

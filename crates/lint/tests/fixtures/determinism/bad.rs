@@ -1,0 +1,11 @@
+//! Known-bad: `determinism` — ambient clock and parallelism reads.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn width() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+}

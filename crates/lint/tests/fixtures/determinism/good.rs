@@ -1,0 +1,13 @@
+//! Known-good: an explicitly-configured width, with the ambient fallback
+//! carrying a value-neutrality allow.
+
+pub fn width(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        // lrd-lint: allow(determinism, "fixture: width only partitions independent work; outputs are pinned by determinism tests")
+        std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(1)
+    }
+}

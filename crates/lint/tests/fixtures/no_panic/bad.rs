@@ -1,0 +1,13 @@
+//! Known-bad: `no-panic` — unwrap/expect/panic in non-test runtime code.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn boom() {
+    panic!("unconditional");
+}

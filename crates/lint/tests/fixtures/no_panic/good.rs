@@ -1,0 +1,18 @@
+//! Known-good: propagation, test-only unwraps, and a documented allow.
+
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn sanctioned(v: Option<u32>) -> u32 {
+    // lrd-lint: allow(no-panic, "fixture: the caller guarantees presence")
+    v.expect("present")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

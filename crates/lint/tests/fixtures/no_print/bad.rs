@@ -1,0 +1,6 @@
+//! Known-bad: `no-print` — ad-hoc stdout/stderr in library code.
+
+pub fn report(x: u32) {
+    println!("x = {x}");
+    eprintln!("x = {x}");
+}

@@ -1,0 +1,13 @@
+//! Known-good: libraries return text; tests may print freely.
+
+pub fn report(x: u32) -> String {
+    format!("x = {x}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("debugging output");
+    }
+}

@@ -1,0 +1,5 @@
+//! Known-bad: `safety-comment` — unsafe without an adjacent SAFETY note.
+
+pub fn read_first(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}

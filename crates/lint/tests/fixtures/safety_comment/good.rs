@@ -1,0 +1,17 @@
+//! Known-good: justified unsafe in every accepted form.
+
+pub fn read_first(v: &[u32]) -> u32 {
+    // SAFETY: the caller passes a non-empty slice, so its data pointer is
+    // valid for one read.
+    unsafe { *v.as_ptr() }
+}
+
+/// Reads through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn deref(p: *const u32) -> u32 {
+    // SAFETY: contract forwarded to the caller.
+    unsafe { *p }
+}

@@ -1,0 +1,10 @@
+//! Known-bad: `schema-const` — the schema identifier re-typed as bare
+//! literals in two places.
+
+pub fn header() -> String {
+    format!("{{\"schema\":\"{}\"}}", "lrd-metrics")
+}
+
+pub fn is_metrics(s: &str) -> bool {
+    s == "lrd-metrics"
+}

@@ -1,0 +1,18 @@
+//! Known-good: one `const` source of truth; tests may spell the literal.
+
+/// Schema identifier of the fixture document.
+pub const SCHEMA_NAME: &str = "lrd-metrics";
+
+pub fn header() -> String {
+    format!("{{\"schema\":\"{}\"}}", SCHEMA_NAME)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_format_is_stable() {
+        assert!(header().contains("lrd-metrics"));
+    }
+}

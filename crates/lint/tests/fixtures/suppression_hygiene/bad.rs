@@ -1,0 +1,17 @@
+//! Known-bad: `suppression-hygiene` — unused, unknown-lint, and
+//! reason-less directives.
+
+// lrd-lint: allow(no-panic, "nothing on the next line panics")
+pub fn fine() -> u32 {
+    7
+}
+
+// lrd-lint: allow(imaginary-lint, "no such lint exists")
+pub fn also_fine() -> u32 {
+    8
+}
+
+// lrd-lint: allow(no-print)
+pub fn still_fine() -> u32 {
+    9
+}

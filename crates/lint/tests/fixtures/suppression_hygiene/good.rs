@@ -1,0 +1,6 @@
+//! Known-good: every directive is well-formed, known, and earns its keep.
+
+pub fn sanctioned(v: Option<u32>) -> u32 {
+    // lrd-lint: allow(no-panic, "fixture: the caller guarantees presence")
+    v.expect("present")
+}

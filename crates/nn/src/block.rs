@@ -10,6 +10,12 @@ use crate::param::Param;
 use lrd_tensor::rng::Rng64;
 use lrd_tensor::Tensor;
 
+/// Residual connection `a + b`.
+fn residual(a: &Tensor, b: &Tensor) -> Tensor {
+    // lrd-lint: allow(no-panic, "sub-layers preserve activation shape, so residual operands always agree; a mismatch is an internal bug worth aborting on")
+    a.add(b).expect("residual shape")
+}
+
 /// Llama-style pre-norm decoder block:
 /// `h = x + Attn(RMSNorm(x)); y = h + SwiGLU(RMSNorm(h))`.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,10 +71,10 @@ impl DecoderBlock {
     pub fn forward(&self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, DecoderBlockCache) {
         let (nx, n1) = self.norm1.forward(x);
         let (ax, attn) = self.attn.forward(&nx, batch, seq);
-        let h = x.add(&ax).expect("residual shape");
+        let h = residual(x, &ax);
         let (nh, n2) = self.norm2.forward(&h);
         let (mx, mlp) = self.mlp.forward(&nh);
-        let y = h.add(&mx).expect("residual shape");
+        let y = residual(&h, &mx);
         (y, DecoderBlockCache { n1, attn, n2, mlp })
     }
 
@@ -76,10 +82,10 @@ impl DecoderBlock {
     pub fn infer(&self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
         let nx = self.norm1.infer(x);
         let ax = self.attn.infer(&nx, batch, seq);
-        let h = x.add(&ax).expect("residual shape");
+        let h = residual(x, &ax);
         let nh = self.norm2.infer(&h);
         let mx = self.mlp.infer(&nh);
-        h.add(&mx).expect("residual shape")
+        residual(&h, &mx)
     }
 
     /// Incremental decode of one token (batch 1) at position `pos`,
@@ -92,10 +98,10 @@ impl DecoderBlock {
     ) -> Tensor {
         let nx = self.norm1.infer(x);
         let ax = self.attn.decode_step(&nx, pos, cache);
-        let h = x.add(&ax).expect("residual shape");
+        let h = residual(x, &ax);
         let nh = self.norm2.infer(&h);
         let mx = self.mlp.infer(&nh);
-        h.add(&mx).expect("residual shape")
+        residual(&h, &mx)
     }
 
     /// Backward pass; returns `dx`.
@@ -183,18 +189,18 @@ impl EncoderBlock {
     /// Forward pass.
     pub fn forward(&self, x: &Tensor, batch: usize, seq: usize) -> (Tensor, EncoderBlockCache) {
         let (ax, attn) = self.attn.forward(x, batch, seq);
-        let (h, n1) = self.norm1.forward(&x.add(&ax).expect("residual shape"));
+        let (h, n1) = self.norm1.forward(&residual(x, &ax));
         let (mx, mlp) = self.mlp.forward(&h);
-        let (y, n2) = self.norm2.forward(&h.add(&mx).expect("residual shape"));
+        let (y, n2) = self.norm2.forward(&residual(&h, &mx));
         (y, EncoderBlockCache { attn, n1, mlp, n2 })
     }
 
     /// Inference-only forward: every sub-layer takes its no-cache path.
     pub fn infer(&self, x: &Tensor, batch: usize, seq: usize) -> Tensor {
         let ax = self.attn.infer(x, batch, seq);
-        let h = self.norm1.infer(&x.add(&ax).expect("residual shape"));
+        let h = self.norm1.infer(&residual(x, &ax));
         let mx = self.mlp.infer(&h);
-        self.norm2.infer(&h.add(&mx).expect("residual shape"))
+        self.norm2.infer(&residual(&h, &mx))
     }
 
     /// Backward pass; returns `dx`.
@@ -276,6 +282,7 @@ impl TransformerBlock {
         match (self, cache) {
             (TransformerBlock::Decoder(b), BlockCache::Decoder(c)) => b.backward(c, dy),
             (TransformerBlock::Encoder(b), BlockCache::Encoder(c)) => b.backward(c, dy),
+            // lrd-lint: allow(no-panic, "documented `# Panics` contract: pairing a cache with the wrong block variant is a caller bug")
             _ => panic!("TransformerBlock::backward: cache variant mismatch"),
         }
     }

@@ -324,6 +324,7 @@ impl AnyLinear {
         match (self, cache) {
             (AnyLinear::Dense(l), AnyLinearCache::Dense(c)) => l.backward(c, dy),
             (AnyLinear::Factored(f), AnyLinearCache::Factored(c)) => f.backward(c, dy),
+            // lrd-lint: allow(no-panic, "documented `# Panics` contract: pairing a cache with the wrong layer variant is a caller bug")
             _ => panic!("AnyLinear::backward: cache variant mismatch"),
         }
     }

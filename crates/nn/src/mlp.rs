@@ -10,6 +10,12 @@ use crate::param::Param;
 use lrd_tensor::rng::Rng64;
 use lrd_tensor::Tensor;
 
+/// Element-wise combine of two same-shaped activation tensors.
+fn ew(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+    // lrd-lint: allow(no-panic, "both operands come from projections of the same input rows, so shapes always agree; a mismatch is an internal bug worth aborting on")
+    a.zip(b, f).expect("shape")
+}
+
 /// BERT-style MLP: `y = W_O · gelu(W_Int · x)`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BertMlp {
@@ -65,9 +71,7 @@ impl BertMlp {
     /// Backward pass; returns `dx`.
     pub fn backward(&mut self, cache: &BertMlpCache, dy: &Tensor) -> Tensor {
         let dh = self.output.backward(&cache.out_cache, dy);
-        let dpre = dh
-            .zip(&cache.pre_act, |g, x| g * gelu_grad(x))
-            .expect("shape");
+        let dpre = ew(&dh, &cache.pre_act, |g, x| g * gelu_grad(x));
         self.intermediate.backward(&cache.int_cache, &dpre)
     }
 
@@ -125,7 +129,7 @@ impl SwiGluMlp {
     pub fn forward(&self, x: &Tensor) -> (Tensor, SwiGluCache) {
         let (gate_pre, gate_cache) = self.gate.forward(x);
         let (up_out, up_cache) = self.up.forward(x);
-        let h = gate_pre.zip(&up_out, |g, u| silu(g) * u).expect("shape");
+        let h = ew(&gate_pre, &up_out, |g, u| silu(g) * u);
         let (y, down_cache) = self.down.forward(&h);
         (
             y,
@@ -143,7 +147,7 @@ impl SwiGluMlp {
     pub fn infer(&self, x: &Tensor) -> Tensor {
         let gate_pre = self.gate.infer(x);
         let up_out = self.up.infer(x);
-        let h = gate_pre.zip(&up_out, |g, u| silu(g) * u).expect("shape");
+        let h = ew(&gate_pre, &up_out, |g, u| silu(g) * u);
         self.down.infer(&h)
     }
 
@@ -151,14 +155,12 @@ impl SwiGluMlp {
     pub fn backward(&mut self, cache: &SwiGluCache, dy: &Tensor) -> Tensor {
         let dh = self.down.backward(&cache.down_cache, dy);
         // h = silu(g) ⊙ u  ⇒  dg = dh ⊙ u ⊙ silu'(g),  du = dh ⊙ silu(g)
-        let dgate = dh
-            .zip(&cache.up_out, |g, u| g * u)
-            .expect("shape")
-            .zip(&cache.gate_pre, |g, pre| g * silu_grad(pre))
-            .expect("shape");
-        let dup = dh
-            .zip(&cache.gate_pre, |g, pre| g * silu(pre))
-            .expect("shape");
+        let dgate = ew(
+            &ew(&dh, &cache.up_out, |g, u| g * u),
+            &cache.gate_pre,
+            |g, pre| g * silu_grad(pre),
+        );
+        let dup = ew(&dh, &cache.gate_pre, |g, pre| g * silu(pre));
         let mut dx = self.gate.backward(&cache.gate_cache, &dgate);
         dx.axpy(1.0, &self.up.backward(&cache.up_cache, &dup));
         dx

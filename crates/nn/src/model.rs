@@ -52,6 +52,7 @@ impl FinalNorm {
         match (self, cache) {
             (FinalNorm::Rms(n), FinalNormCache::Rms(c)) => n.backward(c, dy),
             (FinalNorm::Layer(n), FinalNormCache::Layer(c)) => n.backward(c, dy),
+            // lrd-lint: allow(no-panic, "pairing a cache with the wrong norm variant is an internal bug; no recovery is meaningful")
             _ => panic!("FinalNorm::backward: cache variant mismatch"),
         }
     }
@@ -344,6 +345,7 @@ impl TransformerLm {
         for (block, cache) in self.blocks.iter().zip(&mut state.caches) {
             match block {
                 TransformerBlock::Decoder(b) => x = b.decode_step(&x, state.pos, cache),
+                // lrd-lint: allow(no-panic, "the decoder-only assert at function entry already rejected encoder blocks")
                 TransformerBlock::Encoder(_) => unreachable!("checked above"),
             }
         }

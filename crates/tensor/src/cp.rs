@@ -70,6 +70,7 @@ impl Cp {
     /// Panics if shapes differ.
     pub fn relative_error(&self, original: &Tensor) -> f32 {
         let rec = self.reconstruct();
+        // lrd-lint: allow(no-panic, "documented `# Panics` contract: comparing against a differently-shaped original is a caller bug")
         let diff = original.sub(&rec).expect("relative_error: shape mismatch");
         let denom = original.frobenius_norm();
         if denom == 0.0 {
@@ -184,6 +185,7 @@ fn solve_gram(g: &Tensor, y: &Tensor) -> Tensor {
 
 /// Element-wise (Hadamard) product of two matrices.
 fn hadamard(a: &Tensor, b: &Tensor) -> Tensor {
+    // lrd-lint: allow(no-panic, "ALS only multiplies r×r Gram matrices of the same rank; a mismatch is an internal bug")
     a.zip(b, |x, y| x * y).expect("hadamard shape mismatch")
 }
 

@@ -127,57 +127,62 @@ fn microkernel_scalar(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn microkernel_avx2(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
     use core::arch::x86_64::*;
-    let mut c00 = _mm256_setzero_ps();
-    let mut c01 = _mm256_setzero_ps();
-    let mut c10 = _mm256_setzero_ps();
-    let mut c11 = _mm256_setzero_ps();
-    let mut c20 = _mm256_setzero_ps();
-    let mut c21 = _mm256_setzero_ps();
-    let mut c30 = _mm256_setzero_ps();
-    let mut c31 = _mm256_setzero_ps();
-    let mut c40 = _mm256_setzero_ps();
-    let mut c41 = _mm256_setzero_ps();
-    let mut c50 = _mm256_setzero_ps();
-    let mut c51 = _mm256_setzero_ps();
-    let mut ap = a.as_ptr();
-    let mut bp = b.as_ptr();
-    for _ in 0..kc {
-        let b0 = _mm256_loadu_ps(bp);
-        let b1 = _mm256_loadu_ps(bp.add(8));
-        let a0 = _mm256_broadcast_ss(&*ap);
-        c00 = _mm256_fmadd_ps(a0, b0, c00);
-        c01 = _mm256_fmadd_ps(a0, b1, c01);
-        let a1 = _mm256_broadcast_ss(&*ap.add(1));
-        c10 = _mm256_fmadd_ps(a1, b0, c10);
-        c11 = _mm256_fmadd_ps(a1, b1, c11);
-        let a2 = _mm256_broadcast_ss(&*ap.add(2));
-        c20 = _mm256_fmadd_ps(a2, b0, c20);
-        c21 = _mm256_fmadd_ps(a2, b1, c21);
-        let a3 = _mm256_broadcast_ss(&*ap.add(3));
-        c30 = _mm256_fmadd_ps(a3, b0, c30);
-        c31 = _mm256_fmadd_ps(a3, b1, c31);
-        let a4 = _mm256_broadcast_ss(&*ap.add(4));
-        c40 = _mm256_fmadd_ps(a4, b0, c40);
-        c41 = _mm256_fmadd_ps(a4, b1, c41);
-        let a5 = _mm256_broadcast_ss(&*ap.add(5));
-        c50 = _mm256_fmadd_ps(a5, b0, c50);
-        c51 = _mm256_fmadd_ps(a5, b1, c51);
-        ap = ap.add(MR);
-        bp = bp.add(NR);
-    }
-    let cp = c.as_mut_ptr();
-    let rows = [
-        (c00, c01),
-        (c10, c11),
-        (c20, c21),
-        (c30, c31),
-        (c40, c41),
-        (c50, c51),
-    ];
-    for (r, (lo, hi)) in rows.into_iter().enumerate() {
-        let dst = cp.add(r * ldc);
-        _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), lo));
-        _mm256_storeu_ps(dst.add(8), _mm256_add_ps(_mm256_loadu_ps(dst.add(8)), hi));
+    // SAFETY: the caller upholds this fn's contract — AVX2+FMA are
+    // present and the slice bounds documented on `microkernel` hold — so
+    // every pointer formed below stays inside `a`, `b`, or `c`.
+    unsafe {
+        let mut c00 = _mm256_setzero_ps();
+        let mut c01 = _mm256_setzero_ps();
+        let mut c10 = _mm256_setzero_ps();
+        let mut c11 = _mm256_setzero_ps();
+        let mut c20 = _mm256_setzero_ps();
+        let mut c21 = _mm256_setzero_ps();
+        let mut c30 = _mm256_setzero_ps();
+        let mut c31 = _mm256_setzero_ps();
+        let mut c40 = _mm256_setzero_ps();
+        let mut c41 = _mm256_setzero_ps();
+        let mut c50 = _mm256_setzero_ps();
+        let mut c51 = _mm256_setzero_ps();
+        let mut ap = a.as_ptr();
+        let mut bp = b.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm256_loadu_ps(bp);
+            let b1 = _mm256_loadu_ps(bp.add(8));
+            let a0 = _mm256_broadcast_ss(&*ap);
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            let a1 = _mm256_broadcast_ss(&*ap.add(1));
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            let a2 = _mm256_broadcast_ss(&*ap.add(2));
+            c20 = _mm256_fmadd_ps(a2, b0, c20);
+            c21 = _mm256_fmadd_ps(a2, b1, c21);
+            let a3 = _mm256_broadcast_ss(&*ap.add(3));
+            c30 = _mm256_fmadd_ps(a3, b0, c30);
+            c31 = _mm256_fmadd_ps(a3, b1, c31);
+            let a4 = _mm256_broadcast_ss(&*ap.add(4));
+            c40 = _mm256_fmadd_ps(a4, b0, c40);
+            c41 = _mm256_fmadd_ps(a4, b1, c41);
+            let a5 = _mm256_broadcast_ss(&*ap.add(5));
+            c50 = _mm256_fmadd_ps(a5, b0, c50);
+            c51 = _mm256_fmadd_ps(a5, b1, c51);
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        let cp = c.as_mut_ptr();
+        let rows = [
+            (c00, c01),
+            (c10, c11),
+            (c20, c21),
+            (c30, c31),
+            (c40, c41),
+            (c50, c51),
+        ];
+        for (r, (lo, hi)) in rows.into_iter().enumerate() {
+            let dst = cp.add(r * ldc);
+            _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), lo));
+            _mm256_storeu_ps(dst.add(8), _mm256_add_ps(_mm256_loadu_ps(dst.add(8)), hi));
+        }
     }
 }
 
@@ -223,37 +228,42 @@ fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
 #[target_feature(enable = "avx2", enable = "fma")]
 unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
     use core::arch::x86_64::*;
-    let n = a.len();
-    let mut acc0 = _mm256_setzero_ps();
-    let mut acc1 = _mm256_setzero_ps();
-    let ap = a.as_ptr();
-    let bp = b.as_ptr();
-    let mut i = 0usize;
-    while i + 16 <= n {
-        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
-        acc1 = _mm256_fmadd_ps(
-            _mm256_loadu_ps(ap.add(i + 8)),
-            _mm256_loadu_ps(bp.add(i + 8)),
-            acc1,
-        );
-        i += 16;
+    // SAFETY: the caller upholds this fn's contract — AVX2+FMA are
+    // present and `a.len() == b.len()` — so every `i` indexed below is
+    // in bounds for both slices.
+    unsafe {
+        let n = a.len();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(ap.add(i + 8)),
+                _mm256_loadu_ps(bp.add(i + 8)),
+                acc1,
+            );
+            i += 16;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
+            i += 8;
+        }
+        let acc = _mm256_add_ps(acc0, acc1);
+        let hi = _mm256_extractf128_ps(acc, 1);
+        let lo = _mm256_castps256_ps128(acc);
+        let sum4 = _mm_add_ps(lo, hi);
+        let sum2 = _mm_add_ps(sum4, _mm_movehl_ps(sum4, sum4));
+        let sum1 = _mm_add_ss(sum2, _mm_shuffle_ps(sum2, sum2, 0x1));
+        let mut total = _mm_cvtss_f32(sum1);
+        while i < n {
+            total += *ap.add(i) * *bp.add(i);
+            i += 1;
+        }
+        total
     }
-    while i + 8 <= n {
-        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)), acc0);
-        i += 8;
-    }
-    let acc = _mm256_add_ps(acc0, acc1);
-    let hi = _mm256_extractf128_ps(acc, 1);
-    let lo = _mm256_castps256_ps128(acc);
-    let sum4 = _mm_add_ps(lo, hi);
-    let sum2 = _mm_add_ps(sum4, _mm_movehl_ps(sum4, sum4));
-    let sum1 = _mm_add_ss(sum2, _mm_shuffle_ps(sum2, sum2, 0x1));
-    let mut total = _mm_cvtss_f32(sum1);
-    while i < n {
-        total += *ap.add(i) * *bp.add(i);
-        i += 1;
-    }
-    total
 }
 
 #[cfg(test)]

@@ -58,8 +58,9 @@ fn thread_count(macs: usize, rows: usize) -> usize {
     if macs < PARALLEL_THRESHOLD {
         return 1;
     }
+    // lrd-lint: allow(determinism, "thread count only bands independent output rows; each f32 cell is produced by exactly one worker, so results are bit-identical at any width")
     let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     let limit = thread_limit();
     let cap = if limit == 0 { hw } else { limit };

@@ -56,6 +56,7 @@ impl Tucker {
     /// Panics if `original`'s shape differs from the reconstruction's.
     pub fn relative_error(&self, original: &Tensor) -> f32 {
         let rec = self.reconstruct();
+        // lrd-lint: allow(no-panic, "documented `# Panics` contract: comparing against a differently-shaped original is a caller bug")
         let diff = original.sub(&rec).expect("relative_error: shape mismatch");
         let denom = original.frobenius_norm();
         if denom == 0.0 {
@@ -260,6 +261,7 @@ impl Tucker2 {
     pub fn relative_error(&self, original: &Tensor) -> f32 {
         let diff = original
             .sub(&self.reconstruct())
+            // lrd-lint: allow(no-panic, "documented `# Panics` contract: comparing against a differently-shaped original is a caller bug")
             .expect("relative_error: shape mismatch");
         let denom = original.frobenius_norm();
         if denom == 0.0 {

@@ -58,10 +58,13 @@ pub enum Counter {
     ExecutorRunUs,
     /// Hardware-simulator inference simulations.
     HwsimSimulations,
+    /// Warnings routed through `lrd_trace::warn` (the sanctioned stderr
+    /// choke point).
+    WarningsEmitted,
 }
 
 /// Every counter, in metrics-document order.
-pub const ALL: [Counter; 17] = [
+pub const ALL: [Counter; 18] = [
     Counter::SvdJacobiCalls,
     Counter::SvdJacobiSweeps,
     Counter::SvdRandomizedCalls,
@@ -79,6 +82,7 @@ pub const ALL: [Counter; 17] = [
     Counter::ExecutorQueueWaitUs,
     Counter::ExecutorRunUs,
     Counter::HwsimSimulations,
+    Counter::WarningsEmitted,
 ];
 
 impl Counter {
@@ -102,6 +106,7 @@ impl Counter {
             Counter::ExecutorQueueWaitUs => "executor_queue_wait_us",
             Counter::ExecutorRunUs => "executor_run_us",
             Counter::HwsimSimulations => "hwsim_simulations",
+            Counter::WarningsEmitted => "warnings_emitted",
         }
     }
 

@@ -317,12 +317,21 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Consume one UTF-8 scalar (the input came from &str, so
-                // boundaries are valid).
-                let rest = &bytes[*pos..];
-                let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                let c = s.chars().next().expect("non-empty");
+            Some(&b) => {
+                // Consume one UTF-8 scalar. The input came from &str, so
+                // boundaries are valid — but decode checked anyway so the
+                // parser holds no unsafe.
+                let len = match b {
+                    b if b < 0x80 => 1,
+                    b if b >= 0xF0 => 4,
+                    b if b >= 0xE0 => 3,
+                    _ => 2,
+                };
+                let end = (*pos + len).min(bytes.len());
+                let c = std::str::from_utf8(&bytes[*pos..end])
+                    .ok()
+                    .and_then(|s| s.chars().next())
+                    .ok_or_else(|| format!("invalid UTF-8 at byte {}", *pos))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

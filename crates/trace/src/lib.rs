@@ -30,10 +30,12 @@ pub mod event;
 pub mod json;
 pub mod report;
 pub mod span;
+pub mod warn;
 
 pub use counters::Counter;
 pub use event::event;
 pub use span::{span, SpanGuard};
+pub use warn::warn;
 
 /// Whether the `collect` feature compiled the collectors in.
 pub const fn enabled() -> bool {

@@ -1,0 +1,66 @@
+//! The workspace's one sanctioned warning path.
+//!
+//! Library crates are forbidden from printing (`lrd-lint`'s `no-print`
+//! invariant): interleaved ad-hoc stderr from six crates is not a report,
+//! and tests cannot assert on it. Diagnostics that are worth a human's
+//! attention but not an error value route through [`warn`] instead, which
+//!
+//! * forwards the message to stderr through this module's single,
+//!   explicitly-allowed `eprintln!` choke point,
+//! * records it in a process-global buffer (under the `collect` feature)
+//!   so tests and the metrics pipeline can observe exactly what was
+//!   emitted, and
+//! * bumps the `warnings_emitted` counter, making "a warning happened"
+//!   visible to `metrics_check` even when stderr was discarded.
+
+#[cfg(feature = "collect")]
+use std::sync::Mutex;
+
+#[cfg(feature = "collect")]
+static WARNINGS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Emits one warning: stderr plus the assertable in-process record.
+pub fn warn(message: impl Into<String>) {
+    let message = message.into();
+    crate::counters::add(crate::Counter::WarningsEmitted, 1);
+    // lrd-lint: allow(no-print, "the single sanctioned stderr choke point every library warning routes through")
+    eprintln!("warning: {message}");
+    #[cfg(feature = "collect")]
+    WARNINGS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(message);
+    #[cfg(not(feature = "collect"))]
+    let _ = message;
+}
+
+/// Snapshot of every warning emitted so far (empty when `collect` is off).
+pub fn snapshot() -> Vec<String> {
+    #[cfg(feature = "collect")]
+    return WARNINGS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    #[cfg(not(feature = "collect"))]
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warnings_are_recorded_and_counted() {
+        let before = snapshot().len();
+        let count_before = crate::counters::get(crate::Counter::WarningsEmitted);
+        warn(format!("unit test warning {before}"));
+        if crate::enabled() {
+            let all = snapshot();
+            assert_eq!(all.len(), before + 1);
+            assert_eq!(all[before], format!("unit test warning {before}"));
+            assert!(crate::counters::get(crate::Counter::WarningsEmitted) > count_before);
+        } else {
+            assert!(snapshot().is_empty());
+        }
+    }
+}

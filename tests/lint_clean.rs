@@ -1,0 +1,25 @@
+//! The tree itself must lint clean: `cargo test` fails on any unsuppressed
+//! `lrd-lint` finding, so the invariants hold locally and in CI without a
+//! separate command to remember.
+
+#[test]
+fn workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let ws = lrd_lint::Workspace::load(&root).expect("load workspace sources");
+    let report = lrd_lint::run(&ws);
+    assert!(
+        report.clean(),
+        "lrd-lint found {} issue(s) — fix them or add a reasoned \
+         `// lrd-lint: allow(<lint>, \"…\")`:\n{}",
+        report.findings.len(),
+        report
+            .findings
+            .iter()
+            .map(lrd_lint::Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
