@@ -3,6 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lrd_nn::linear::{FactoredLinear, Linear};
+use lrd_tensor::dtype::KernelDtype;
+use lrd_tensor::kernel::Backend;
+use lrd_tensor::matmul::{factored_matmul_with, matmul, FactoredPlan};
 use lrd_tensor::rng::Rng64;
 use lrd_tensor::tucker::tucker2;
 use lrd_tensor::Tensor;
@@ -22,6 +25,45 @@ fn bench_dense_vs_factored(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    // The fused factored-GEMM pipeline against the three-matmul
+    // composition it replaces, across ranks and kernel dtypes. `m = 8` is
+    // the decode/small-batch regime where fusion pays most (per-call
+    // factor packing and intermediate tensors dominate the unfused path);
+    // `m = 128` is prefill, where both paths are compute-bound.
+    let backend = Backend::active();
+    let mut rng = Rng64::new(6);
+    for m in [8usize, 128] {
+        let x = Tensor::randn(&[m, 256], &mut rng);
+        let mut group = c.benchmark_group(&format!("factored_matmul_{m}x256"));
+        for rank in [16usize, 64] {
+            let u1 = Tensor::randn(&[256, rank], &mut rng);
+            let core = Tensor::randn(&[rank, rank], &mut rng);
+            let u2 = Tensor::randn(&[rank, 256], &mut rng);
+            group.bench_with_input(BenchmarkId::new("unfused", rank), &rank, |b, _| {
+                b.iter(|| {
+                    let h1 = matmul(black_box(&x), &u1);
+                    let h2 = matmul(&h1, &core);
+                    matmul(&h2, &u2)
+                });
+            });
+            for dtype in [KernelDtype::F32, KernelDtype::Bf16, KernelDtype::F16] {
+                let id = format!("fused_{}", dtype.name());
+                group.bench_with_input(BenchmarkId::new(id, rank), &rank, |b, _| {
+                    b.iter(|| factored_matmul_with(backend, dtype, black_box(&x), &u1, &core, &u2));
+                });
+                // Factors prepacked once — the deployment regime.
+                let plan = FactoredPlan::with_dtype(dtype, &u1, &core, &u2);
+                let id = format!("plan_{}", dtype.name());
+                group.bench_with_input(BenchmarkId::new(id, rank), &rank, |b, _| {
+                    b.iter(|| plan.matmul_on(backend, black_box(&x)));
+                });
+            }
+        }
+        group.finish();
+    }
 }
 
 fn bench_backward(c: &mut Criterion) {
@@ -54,5 +96,10 @@ fn bench_backward(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dense_vs_factored, bench_backward);
+criterion_group!(
+    benches,
+    bench_dense_vs_factored,
+    bench_fused_vs_unfused,
+    bench_backward
+);
 criterion_main!(benches);

@@ -1,7 +1,11 @@
 //! GEMM kernel throughput (the substrate all forward passes stand on).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lrd_tensor::matmul::{batched_matmul, matmul, matmul_transa, matmul_transb, matvec};
+use lrd_tensor::dtype::KernelDtype;
+use lrd_tensor::kernel::Backend;
+use lrd_tensor::matmul::{
+    batched_matmul, matmul, matmul_transa, matmul_transb, matmul_with, matvec, matvec_transb,
+};
 use lrd_tensor::rng::Rng64;
 use lrd_tensor::Tensor;
 use std::hint::black_box;
@@ -16,6 +20,28 @@ fn bench_square(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
             bch.iter(|| matmul(black_box(&a), black_box(&b)));
         });
+    }
+    group.finish();
+}
+
+fn bench_square_dtypes(c: &mut Criterion) {
+    // The same 256³ GEMM with the B panels stored at each kernel dtype —
+    // the storage-precision axis of the mixed-precision backends.
+    let backend = Backend::active();
+    let n = 256usize;
+    let mut rng = Rng64::new(n as u64);
+    let a = Tensor::randn(&[n, n], &mut rng);
+    let b = Tensor::randn(&[n, n], &mut rng);
+    let mut group = c.benchmark_group("gemm_square_dtype_256");
+    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    for dtype in [KernelDtype::F32, KernelDtype::Bf16, KernelDtype::F16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(dtype.name()),
+            &dtype,
+            |bch, &d| {
+                bch.iter(|| matmul_with(backend, d, black_box(&a), black_box(&b)));
+            },
+        );
     }
     group.finish();
 }
@@ -44,6 +70,12 @@ fn bench_token_shapes(c: &mut Criterion) {
     group.bench_function("matvec_112x40", |b| {
         b.iter(|| matvec(black_box(&head), black_box(&v)));
     });
+    // Decode against the weight as stored (k×n): aᵀ·x without
+    // materializing the transpose.
+    let wkn = Tensor::randn(&[40, 112], &mut rng);
+    group.bench_function("matvec_transb_40x112", |b| {
+        b.iter(|| matvec_transb(black_box(&wkn), black_box(&v)));
+    });
     group.finish();
 }
 
@@ -56,5 +88,11 @@ fn bench_batched(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_square, bench_token_shapes, bench_batched);
+criterion_group!(
+    benches,
+    bench_square,
+    bench_square_dtypes,
+    bench_token_shapes,
+    bench_batched
+);
 criterion_main!(benches);

@@ -1,14 +1,22 @@
-//! Validates a metrics document written by `repro --metrics <path>`.
+//! Validates a metrics document written by `repro --metrics <path>`,
+//! and/or a `BENCH_suite.json` perf document.
 //!
 //! ```text
 //! metrics_check <path> [--require-nonzero counter1,counter2,...]
+//!               [--suite BENCH_suite.json]
 //! ```
 //!
-//! Checks the schema identity and version, the presence and finiteness of
-//! every required number, that every named counter appears, and the cache
-//! invariant `hits + misses == lookups`. With `--require-nonzero`, the
-//! named counters must additionally be strictly positive — the chaos CI
-//! job uses this to prove faults were actually injected and retried.
+//! For the metrics document: checks the schema identity and version, the
+//! presence and finiteness of every required number, that every named
+//! counter appears, and the cache invariant `hits + misses == lookups`.
+//! With `--require-nonzero`, the named counters must additionally be
+//! strictly positive — the chaos CI job uses this to prove faults were
+//! actually injected and retried.
+//!
+//! For the suite document (`--suite`): checks the v2 layout — per-dtype
+//! `kernel_gflops` groups with positive throughputs, a resolved
+//! `kernel_dtype`, and nonzero `gemm_bytes_packed`.
+//!
 //! Exits non-zero with a message on the first violation — CI runs this
 //! against a fresh `fig9 --fast` run.
 
@@ -49,9 +57,105 @@ fn require_arr<'a>(doc: &'a Json, key: &str) -> &'a [Json] {
     }
 }
 
+/// Parses a JSON document from disk, dying with context on failure.
+fn load_doc(path: &str) -> Json {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    match parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(&format!("{path} is not valid JSON: {e}")),
+    }
+}
+
+/// Validates a `BENCH_suite.json` document against the v2 layout.
+fn check_suite(path: &str) {
+    let doc = load_doc(path);
+    if require_str(&doc, "$", "schema") != lrd_bench::SUITE_SCHEMA_NAME {
+        fail(&format!(
+            "suite schema is not \"{}\"",
+            lrd_bench::SUITE_SCHEMA_NAME
+        ));
+    }
+    let version = require_num(&doc, "$", "schema_version");
+    if version != lrd_bench::SUITE_SCHEMA_VERSION as f64 {
+        fail(&format!(
+            "suite schema_version {version} != supported {}",
+            lrd_bench::SUITE_SCHEMA_VERSION
+        ));
+    }
+    require_str(&doc, "$", "command");
+    // Sub-millisecond commands legitimately round to 0.000, so only a
+    // negative wall clock is malformed.
+    if require_num(&doc, "$", "wall_s") < 0.0 {
+        fail("suite wall_s must be non-negative");
+    }
+    for key in ["workers", "samples", "steps"] {
+        require_num(&doc, "$", key);
+    }
+    let cache = require_obj(&doc, "cache");
+    let hit_rate = require_num(cache, "cache", "hit_rate");
+    if !(0.0..=1.0).contains(&hit_rate) {
+        fail(&format!("suite cache.hit_rate {hit_rate} outside [0, 1]"));
+    }
+    require_str(&doc, "$", "kernel_backend");
+    let dtype = require_str(&doc, "$", "kernel_dtype");
+    if !["f32", "bf16", "f16"].contains(&dtype) {
+        fail(&format!(
+            "suite kernel_dtype {dtype:?} is not a known dtype"
+        ));
+    }
+    // kernel_gflops: one group per dtype, every throughput positive.
+    let gflops = require_obj(&doc, "kernel_gflops");
+    let groups = gflops.as_obj().expect("require_obj returned an object");
+    if groups.is_empty() {
+        fail("suite kernel_gflops has no dtype groups");
+    }
+    let mut n_kernels = 0usize;
+    for (dtype, group) in groups {
+        if !["f32", "bf16", "f16"].contains(&dtype.as_str()) {
+            fail(&format!(
+                "suite kernel_gflops group {dtype:?} is not a known dtype"
+            ));
+        }
+        let Some(kernels) = group.as_obj() else {
+            fail(&format!("suite kernel_gflops.{dtype} is not an object"));
+        };
+        for (name, value) in kernels {
+            match value.as_num() {
+                Some(g) if g > 0.0 => n_kernels += 1,
+                _ => fail(&format!(
+                    "suite kernel_gflops.{dtype}.{name} must be a positive number"
+                )),
+            }
+        }
+    }
+    // Every dtype group must time the fused factored pipeline.
+    for dtype in ["f32", "bf16", "f16"] {
+        let fused = gflops
+            .get(dtype)
+            .and_then(|g| g.as_obj())
+            .map(|g| g.iter().any(|(name, _)| name.starts_with("factored_fused")));
+        if fused != Some(true) {
+            fail(&format!(
+                "suite kernel_gflops.{dtype} missing a factored_fused entry"
+            ));
+        }
+    }
+    if require_num(&doc, "$", "gemm_bytes_packed") <= 0.0 {
+        fail("suite gemm_bytes_packed must be nonzero");
+    }
+    println!(
+        "metrics_check: suite OK ({} dtype groups, {n_kernels} kernel timings)",
+        groups.len()
+    );
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
+    let mut suite: Option<String> = None;
     let mut require_nonzero: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
@@ -69,6 +173,16 @@ fn main() {
                         .map(String::from),
                 );
             }
+            "--suite" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => suite = Some(p.clone()),
+                    None => {
+                        eprintln!("--suite requires a path to BENCH_suite.json");
+                        std::process::exit(2);
+                    }
+                }
+            }
             p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -77,8 +191,16 @@ fn main() {
         }
         i += 1;
     }
+    if let Some(suite_path) = &suite {
+        check_suite(suite_path);
+    }
     let Some(path) = path else {
-        eprintln!("usage: metrics_check <metrics.json> [--require-nonzero c1,c2,...]");
+        if suite.is_some() {
+            return; // suite-only invocation
+        }
+        eprintln!(
+            "usage: metrics_check <metrics.json> [--require-nonzero c1,c2,...] [--suite BENCH_suite.json]"
+        );
         std::process::exit(2);
     };
     for name in &require_nonzero {
@@ -87,14 +209,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => fail(&format!("cannot read {path}: {e}")),
-    };
-    let doc = match parse(&text) {
-        Ok(d) => d,
-        Err(e) => fail(&format!("{path} is not valid JSON: {e}")),
-    };
+    let doc = load_doc(&path);
 
     // Schema identity.
     if require_str(&doc, "$", "schema") != SCHEMA_NAME {

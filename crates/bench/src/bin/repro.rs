@@ -956,9 +956,17 @@ impl CacheAgg {
 }
 
 /// Measures sustained GFLOP/s for each matmul variant on representative
-/// shapes (quick calibration pass, a few hundred milliseconds total).
-fn kernel_gflops() -> Vec<(&'static str, f64)> {
-    use lrd_tensor::matmul::{batched_matmul, matmul, matmul_transa, matmul_transb, matvec};
+/// shapes (quick calibration pass, under a second total). Returns one
+/// group per kernel storage dtype: the `f32` group covers every entry
+/// point; the `bf16`/`f16` groups cover the dtype-capable ones
+/// (`matmul_with`, the fused factored pipeline).
+fn kernel_gflops() -> Vec<(&'static str, Vec<(&'static str, f64)>)> {
+    use lrd_tensor::dtype::KernelDtype;
+    use lrd_tensor::kernel::Backend;
+    use lrd_tensor::matmul::{
+        batched_matmul, factored_matmul_with, matmul, matmul_transa, matmul_transb, matmul_with,
+        matvec, matvec_transb, FactoredPlan,
+    };
     use lrd_tensor::rng::Rng64;
     use lrd_tensor::Tensor;
 
@@ -973,6 +981,7 @@ fn kernel_gflops() -> Vec<(&'static str, f64)> {
         flops_per_iter * f64::from(iters) / t0.elapsed().as_secs_f64() / 1e9
     }
 
+    let backend = Backend::active();
     let mut rng = Rng64::new(99);
     let n = 256usize;
     let a = Tensor::randn(&[n, n], &mut rng);
@@ -984,7 +993,22 @@ fn kernel_gflops() -> Vec<(&'static str, f64)> {
     let mv_a = Tensor::randn(&[n, n], &mut rng);
     let mv_x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.3).sin()).collect();
     let mv_flops = (2 * n * n) as f64;
-    vec![
+    // The paper's factored-linear shape: 256×256 weight at rank 64,
+    // a 128-token tile of activations.
+    let (fm, fr) = (128usize, 64usize);
+    let fx = Tensor::randn(&[fm, n], &mut rng);
+    let fu1 = Tensor::randn(&[n, fr], &mut rng);
+    let fcore = Tensor::randn(&[fr, fr], &mut rng);
+    let fu2 = Tensor::randn(&[fr, n], &mut rng);
+    let fac_flops = (2 * fm * (n * fr + fr * fr + fr * n)) as f64;
+    // Decode regime: an 8-token tile, where per-call factor packing and
+    // intermediate tensors dominate the unfused composition.
+    let dm = 8usize;
+    let dx = Tensor::randn(&[dm, n], &mut rng);
+    let dec_flops = (2 * dm * (n * fr + fr * fr + fr * n)) as f64;
+
+    let mut out = Vec::new();
+    let mut f32_group = vec![
         (
             "matmul_256",
             time_flops(flops, || {
@@ -1015,7 +1039,69 @@ fn kernel_gflops() -> Vec<(&'static str, f64)> {
                 std::hint::black_box(matvec(&mv_a, &mv_x));
             }),
         ),
-    ]
+        (
+            "matvec_transb_256",
+            time_flops(mv_flops, || {
+                std::hint::black_box(matvec_transb(&mv_a, &mv_x));
+            }),
+        ),
+        (
+            "factored_unfused_128x256_r64",
+            time_flops(fac_flops, || {
+                let h1 = matmul(&fx, &fu1);
+                let h2 = matmul(&h1, &fcore);
+                std::hint::black_box(matmul(&h2, &fu2));
+            }),
+        ),
+        (
+            "factored_unfused_8x256_r64",
+            time_flops(dec_flops, || {
+                let h1 = matmul(&dx, &fu1);
+                let h2 = matmul(&h1, &fcore);
+                std::hint::black_box(matmul(&h2, &fu2));
+            }),
+        ),
+    ];
+    for dtype in [KernelDtype::F32, KernelDtype::Bf16, KernelDtype::F16] {
+        let mut group = Vec::new();
+        if dtype != KernelDtype::F32 {
+            group.push((
+                "matmul_256",
+                time_flops(flops, || {
+                    std::hint::black_box(matmul_with(backend, dtype, &a, &b));
+                }),
+            ));
+        }
+        group.push((
+            "factored_fused_128x256_r64",
+            time_flops(fac_flops, || {
+                std::hint::black_box(factored_matmul_with(
+                    backend, dtype, &fx, &fu1, &fcore, &fu2,
+                ));
+            }),
+        ));
+        // Deployment regime: factors prepacked once, streamed many times.
+        let plan = FactoredPlan::with_dtype(dtype, &fu1, &fcore, &fu2);
+        group.push((
+            "factored_plan_128x256_r64",
+            time_flops(fac_flops, || {
+                std::hint::black_box(plan.matmul_on(backend, &fx));
+            }),
+        ));
+        group.push((
+            "factored_plan_8x256_r64",
+            time_flops(dec_flops, || {
+                std::hint::black_box(plan.matmul_on(backend, &dx));
+            }),
+        ));
+        if dtype == KernelDtype::F32 {
+            f32_group.append(&mut group);
+            out.push(("f32", std::mem::take(&mut f32_group)));
+        } else {
+            out.push((dtype.name(), group));
+        }
+    }
+    out
 }
 
 /// Records the suite's wall clock, cache effectiveness, and per-kernel
@@ -1031,7 +1117,7 @@ fn write_bench_suite(args: &Args, wall_s: f64, agg: &CacheAgg) {
         ("schema", Json::str(lrd_bench::SUITE_SCHEMA_NAME)),
         (
             "schema_version",
-            Json::uint(lrd_trace::report::SCHEMA_VERSION),
+            Json::uint(lrd_bench::SUITE_SCHEMA_VERSION),
         ),
         ("command", Json::str(args.command.clone())),
         ("wall_s", Json::num((wall_s * 1000.0).round() / 1000.0)),
@@ -1049,13 +1135,33 @@ fn write_bench_suite(args: &Args, wall_s: f64, agg: &CacheAgg) {
         ),
         ("kernel_backend", Json::str(backend.name())),
         (
+            "kernel_dtype",
+            Json::str(lrd_tensor::dtype::KernelDtype::active().name()),
+        ),
+        (
             "kernel_gflops",
             Json::Obj(
                 kernels
                     .iter()
-                    .map(|(name, g)| (name.to_string(), Json::num(round2(*g))))
+                    .map(|(dtype, group)| {
+                        (
+                            dtype.to_string(),
+                            Json::Obj(
+                                group
+                                    .iter()
+                                    .map(|(name, g)| (name.to_string(), Json::num(round2(*g))))
+                                    .collect(),
+                            ),
+                        )
+                    })
                     .collect(),
             ),
+        ),
+        (
+            "gemm_bytes_packed",
+            Json::uint(lrd_trace::counters::get(
+                lrd_trace::counters::Counter::GemmBytesPacked,
+            )),
         ),
     ]);
     match std::fs::write("BENCH_suite.json", doc.render()) {
@@ -1073,8 +1179,13 @@ fn write_bench_suite(args: &Args, wall_s: f64, agg: &CacheAgg) {
             samples: args.samples as u64,
             steps: args.steps as u64,
             kernel_backend: backend.name().into(),
-            // Headline throughput: the square matmul calibration shape.
-            kernel_gflops: kernels.first().map(|(_, g)| *g).unwrap_or(0.0),
+            // Headline throughput: the f32 square matmul calibration shape.
+            kernel_gflops: kernels
+                .iter()
+                .find(|(d, _)| *d == "f32")
+                .and_then(|(_, g)| g.iter().find(|(n, _)| *n == "matmul_256"))
+                .map(|(_, g)| *g)
+                .unwrap_or(0.0),
         };
         let cache = lrd_trace::report::CacheInfo {
             hits: agg.hits as u64,

@@ -11,6 +11,15 @@ use std::path::{Path, PathBuf};
 /// Schema identifier of the `BENCH_suite.json` document `repro` emits.
 pub const SUITE_SCHEMA_NAME: &str = "lrd-bench-suite";
 
+/// Version of the `BENCH_suite.json` layout.
+///
+/// v2: `kernel_gflops` became an object keyed by kernel dtype
+/// (`f32`/`bf16`/`f16`), each holding per-kernel GFLOP/s; added
+/// `kernel_dtype` (the resolved `LRD_KERNEL_DTYPE`) and
+/// `gemm_bytes_packed` (bytes staged into GEMM pack buffers during the
+/// calibration pass).
+pub const SUITE_SCHEMA_VERSION: u64 = 2;
+
 /// The world seed every experiment shares.
 pub const WORLD_SEED: u64 = 2024;
 

@@ -227,7 +227,14 @@ mod tests {
         let a = orig.logits(&tokens, 1);
         let b = m.logits(&tokens, 1);
         let diff = a.sub(&b).unwrap().max_abs();
-        assert!(diff < 1e-2, "max logit diff {diff}");
+        // Factored inference streams its U panels at the active kernel
+        // storage dtype, so the 16-bit backends carry that rounding into
+        // the logits on top of the f32 SVD error.
+        let tol = match lrd_tensor::dtype::KernelDtype::active() {
+            lrd_tensor::dtype::KernelDtype::F32 => 1e-2,
+            _ => 6e-2,
+        };
+        assert!(diff < tol, "max logit diff {diff}");
     }
 
     #[test]

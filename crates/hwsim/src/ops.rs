@@ -55,6 +55,22 @@ pub enum Op {
         /// Row width.
         width: usize,
     },
+    /// The three Tucker-2 GEMMs `y = ((x · U1) · Γ) · U2` executed as one
+    /// fused kernel: weights streamed once, the rank-`r` intermediates
+    /// held in on-chip scratch instead of round-tripping through HBM.
+    /// Mirrors `lrd_tensor::matmul::factored_matmul`.
+    FusedFactoredGemm {
+        /// Tokens (output rows).
+        m: usize,
+        /// Input width (rows of `U1`).
+        k: usize,
+        /// First pruned rank (`U1` columns / `Γ` rows).
+        r1: usize,
+        /// Second pruned rank (`Γ` columns / `U2` rows).
+        r2: usize,
+        /// Output width (`U2` columns).
+        n: usize,
+    },
 }
 
 impl Op {
@@ -70,26 +86,50 @@ impl Op {
             Op::Softmax { rows, cols } => (5 * rows * cols) as u64,
             Op::Norm { rows, cols } => (6 * rows * cols) as u64,
             Op::Embedding { .. } => 0,
+            Op::FusedFactoredGemm { m, k, r1, r2, n } => {
+                2 * (m as u64) * ((k * r1) as u64 + (r1 * r2) as u64 + (r2 * n) as u64)
+            }
         }
     }
 
     /// Bytes moved to/from HBM (weights streamed once, activations
-    /// read+written).
+    /// read+written). Single-dtype view of [`Op::bytes_split`].
     pub fn bytes(&self, dtype: DType) -> u64 {
-        let e = dtype.bytes();
+        self.bytes_split(dtype, dtype)
+    }
+
+    /// Bytes moved to/from HBM with the activation and weight streams at
+    /// different storage formats — the mixed-precision regime of the
+    /// `bf16`/`f16` kernel backends, where resident weights are 16-bit but
+    /// activations stay `f32`.
+    pub fn bytes_split(&self, act: DType, weight: DType) -> u64 {
+        let ea = act.bytes();
+        let ew = weight.bytes();
         match *self {
             Op::Gemm { m, n, k } => {
                 // Weight (k×n) streamed + input (m×k) read + output (m×n)
                 // written.
-                e * ((k * n) as u64 + (m * k) as u64 + (m * n) as u64)
+                ew * (k * n) as u64 + ea * ((m * k) as u64 + (m * n) as u64)
             }
             Op::BatchedGemm { b, m, n, k } => {
-                e * (b as u64) * ((m * k) as u64 + (k * n) as u64 + (m * n) as u64)
+                // Both operands are activations (attention scores/context).
+                ea * (b as u64) * ((m * k) as u64 + (k * n) as u64 + (m * n) as u64)
             }
-            Op::Elementwise { elems, .. } => e * 2 * elems as u64,
-            Op::Softmax { rows, cols } => e * 2 * (rows * cols) as u64,
-            Op::Norm { rows, cols } => e * 2 * (rows * cols) as u64,
-            Op::Embedding { tokens, width } => e * 2 * (tokens * width) as u64,
+            Op::Elementwise { elems, .. } => ea * 2 * elems as u64,
+            Op::Softmax { rows, cols } => ea * 2 * (rows * cols) as u64,
+            Op::Norm { rows, cols } => ea * 2 * (rows * cols) as u64,
+            Op::Embedding { tokens, width } => {
+                // Table rows gathered at the weight format, output written
+                // at the activation format.
+                (ew + ea) * (tokens * width) as u64
+            }
+            Op::FusedFactoredGemm { m, k, r1, r2, n } => {
+                // All three factors streamed once; only the input and the
+                // final output touch HBM — the m×r1 and m×r2 intermediates
+                // live in cache-blocked scratch.
+                ew * ((k * r1) as u64 + (r1 * r2) as u64 + (r2 * n) as u64)
+                    + ea * ((m * k) as u64 + (m * n) as u64)
+            }
         }
     }
 
@@ -112,14 +152,29 @@ pub struct DecomposedTensor {
     pub rank: usize,
 }
 
-/// Emits the linear ops for one weight tensor, either dense or factored
-/// into the three Tucker-2 GEMMs.
-fn linear_ops(out: &mut Vec<Op>, tokens: usize, rows: usize, cols: usize, rank: Option<usize>) {
+/// Emits the linear ops for one weight tensor: dense, factored into the
+/// three Tucker-2 GEMMs, or (when `fused`) the single fused factored
+/// kernel.
+fn linear_ops(
+    out: &mut Vec<Op>,
+    tokens: usize,
+    rows: usize,
+    cols: usize,
+    rank: Option<usize>,
+    fused: bool,
+) {
     match rank {
         None => out.push(Op::Gemm {
             m: tokens,
             n: cols,
             k: rows,
+        }),
+        Some(pr) if fused => out.push(Op::FusedFactoredGemm {
+            m: tokens,
+            k: rows,
+            r1: pr,
+            r2: pr,
+            n: cols,
         }),
         Some(pr) => {
             // y = ((x · U1) · Γ) · U2
@@ -142,19 +197,12 @@ fn linear_ops(out: &mut Vec<Op>, tokens: usize, rows: usize, cols: usize, rank: 
     }
 }
 
-/// Builds the full operator stream for one forward pass of a transformer
-/// descriptor over `batch × seq` tokens, honoring the decomposition state.
-///
-/// # Panics
-///
-/// Panics if a [`DecomposedTensor`] references an unknown layer or tensor
-/// name.
-pub fn transformer_ops(
+/// Validates the decomposition list against the descriptor and indexes it
+/// by `(layer, tensor)` slot.
+fn rank_map<'a>(
     desc: &TransformerDescriptor,
-    batch: usize,
-    seq: usize,
-    decomposed: &[DecomposedTensor],
-) -> Vec<Op> {
+    decomposed: &'a [DecomposedTensor],
+) -> HashMap<(usize, &'a str), usize> {
     let mut by_slot: HashMap<(usize, &str), usize> = HashMap::new();
     for d in decomposed {
         assert!(
@@ -169,7 +217,53 @@ pub fn transformer_ops(
         );
         by_slot.insert((d.layer, d.tensor), d.rank);
     }
+    by_slot
+}
 
+/// Builds the full operator stream for one forward pass of a transformer
+/// descriptor over `batch × seq` tokens, honoring the decomposition state.
+/// Factored tensors are emitted as three separate GEMMs (the unfused
+/// baseline); see [`transformer_ops_fused`] for the fused pipeline.
+///
+/// # Panics
+///
+/// Panics if a [`DecomposedTensor`] references an unknown layer or tensor
+/// name.
+pub fn transformer_ops(
+    desc: &TransformerDescriptor,
+    batch: usize,
+    seq: usize,
+    decomposed: &[DecomposedTensor],
+) -> Vec<Op> {
+    transformer_stream(desc, batch, seq, decomposed, false)
+}
+
+/// [`transformer_ops`], but factored tensors run through the fused
+/// factored-GEMM pipeline: one [`Op::FusedFactoredGemm`] per tensor
+/// instead of three [`Op::Gemm`]s, with the rank-`r` intermediates kept
+/// out of HBM.
+///
+/// # Panics
+///
+/// Panics if a [`DecomposedTensor`] references an unknown layer or tensor
+/// name.
+pub fn transformer_ops_fused(
+    desc: &TransformerDescriptor,
+    batch: usize,
+    seq: usize,
+    decomposed: &[DecomposedTensor],
+) -> Vec<Op> {
+    transformer_stream(desc, batch, seq, decomposed, true)
+}
+
+fn transformer_stream(
+    desc: &TransformerDescriptor,
+    batch: usize,
+    seq: usize,
+    decomposed: &[DecomposedTensor],
+    fused: bool,
+) -> Vec<Op> {
+    let by_slot = rank_map(desc, decomposed);
     let tokens = batch * seq;
     let d = desc.d_model;
     let mut ops = Vec::new();
@@ -186,7 +280,7 @@ pub fn transformer_ops(
         });
         for t in desc.layer_tensors() {
             let rank = by_slot.get(&(layer, t.name)).copied();
-            linear_ops(&mut ops, tokens, t.rows, t.cols, rank);
+            linear_ops(&mut ops, tokens, t.rows, t.cols, rank, fused);
         }
         // Attention: scores (QKᵀ) and context (PV) batched over batch×heads.
         let hd = desc.head_dim();
@@ -235,6 +329,8 @@ pub fn transformer_ops(
 /// every weight is streamed for one token of work — and where rank-pruned
 /// layers pay off almost 1:1 with their parameter reduction.
 ///
+/// Factored tensors are emitted unfused; see [`decode_step_ops_fused`].
+///
 /// # Panics
 ///
 /// Panics if a [`DecomposedTensor`] references an unknown layer or tensor
@@ -245,20 +341,36 @@ pub fn decode_step_ops(
     past_len: usize,
     decomposed: &[DecomposedTensor],
 ) -> Vec<Op> {
-    let mut by_slot: HashMap<(usize, &str), usize> = HashMap::new();
-    for d in decomposed {
-        assert!(
-            d.layer < desc.n_layers,
-            "decomposed layer {} out of range",
-            d.layer
-        );
-        assert!(
-            desc.layer_tensors().iter().any(|t| t.name == d.tensor),
-            "unknown tensor name {}",
-            d.tensor
-        );
-        by_slot.insert((d.layer, d.tensor), d.rank);
-    }
+    decode_stream(desc, batch, past_len, decomposed, false)
+}
+
+/// [`decode_step_ops`] with factored tensors running the fused
+/// factored-GEMM pipeline. Decode is where fusion matters most: every
+/// unfused stage is launch/bandwidth-bound at `m = batch`, so collapsing
+/// three kernels into one removes two launch overheads and the
+/// intermediate round-trips per factored linear.
+///
+/// # Panics
+///
+/// Panics if a [`DecomposedTensor`] references an unknown layer or tensor
+/// name.
+pub fn decode_step_ops_fused(
+    desc: &TransformerDescriptor,
+    batch: usize,
+    past_len: usize,
+    decomposed: &[DecomposedTensor],
+) -> Vec<Op> {
+    decode_stream(desc, batch, past_len, decomposed, true)
+}
+
+fn decode_stream(
+    desc: &TransformerDescriptor,
+    batch: usize,
+    past_len: usize,
+    decomposed: &[DecomposedTensor],
+    fused: bool,
+) -> Vec<Op> {
+    let by_slot = rank_map(desc, decomposed);
     let d = desc.d_model;
     let hd = desc.head_dim();
     let ctx = past_len + 1;
@@ -278,7 +390,7 @@ pub fn decode_step_ops(
         });
         for t in desc.layer_tensors() {
             let rank = by_slot.get(&(layer, t.name)).copied();
-            linear_ops(&mut ops, batch, t.rows, t.cols, rank);
+            linear_ops(&mut ops, batch, t.rows, t.cols, rank, fused);
         }
         // Attention against the cache: q(1) · K(ctx)ᵀ and p · V(ctx).
         ops.push(Op::BatchedGemm {
@@ -326,6 +438,12 @@ pub fn total_flops(ops: &[Op]) -> u64 {
 /// Total bytes of an op stream.
 pub fn total_bytes(ops: &[Op], dtype: DType) -> u64 {
     ops.iter().map(|o| o.bytes(dtype)).sum()
+}
+
+/// Total bytes of an op stream with separate activation and weight
+/// storage formats (see [`Op::bytes_split`]).
+pub fn total_bytes_split(ops: &[Op], act: DType, weight: DType) -> u64 {
+    ops.iter().map(|o| o.bytes_split(act, weight)).sum()
 }
 
 #[cfg(test)]
@@ -395,6 +513,110 @@ mod tests {
         let fac_ops = transformer_ops(&desc, 1, 8, &decomp);
         // Each of the 7 factored tensors adds 2 extra GEMMs.
         assert_eq!(fac_ops.len(), dense_ops.len() + 14);
+    }
+
+    #[test]
+    fn fused_factored_matches_unfused_flops_with_fewer_bytes() {
+        let (m, k, r, n) = (64, 4096, 32, 4096);
+        let fused = Op::FusedFactoredGemm {
+            m,
+            k,
+            r1: r,
+            r2: r,
+            n,
+        };
+        let stages = [
+            Op::Gemm { m, n: r, k },
+            Op::Gemm { m, n: r, k: r },
+            Op::Gemm { m, n, k: r },
+        ];
+        assert_eq!(fused.flops(), stages.iter().map(Op::flops).sum::<u64>());
+        // Fusion removes exactly the two intermediate round-trips:
+        // (m×r1 written + read) + (m×r2 written + read).
+        let e = DType::F16.bytes();
+        let unfused_bytes: u64 = stages.iter().map(|o| o.bytes(DType::F16)).sum();
+        assert_eq!(
+            fused.bytes(DType::F16),
+            unfused_bytes - e * 4 * (m * r) as u64
+        );
+    }
+
+    #[test]
+    fn fused_stream_has_one_op_per_factored_tensor() {
+        let desc = llama2_7b();
+        let decomp: Vec<DecomposedTensor> = desc
+            .layer_tensors()
+            .iter()
+            .map(|t| DecomposedTensor {
+                layer: 3,
+                tensor: t.name,
+                rank: 1,
+            })
+            .collect();
+        let dense_ops = transformer_ops(&desc, 1, 8, &[]);
+        let fused_ops = transformer_ops_fused(&desc, 1, 8, &decomp);
+        // Fused: one op per tensor, dense or factored — same stream length.
+        assert_eq!(fused_ops.len(), dense_ops.len());
+        assert_eq!(
+            fused_ops
+                .iter()
+                .filter(|o| matches!(o, Op::FusedFactoredGemm { .. }))
+                .count(),
+            desc.layer_tensors().len()
+        );
+        // Same arithmetic as the unfused emission, strictly fewer bytes.
+        let unfused_ops = transformer_ops(&desc, 1, 8, &decomp);
+        assert_eq!(total_flops(&fused_ops), total_flops(&unfused_ops));
+        assert!(total_bytes(&fused_ops, DType::F16) < total_bytes(&unfused_ops, DType::F16));
+    }
+
+    #[test]
+    fn fused_decode_stream_shrinks() {
+        let desc = llama2_7b();
+        let decomp: Vec<DecomposedTensor> = (0..desc.n_layers)
+            .flat_map(|l| {
+                desc.layer_tensors()
+                    .into_iter()
+                    .map(move |t| DecomposedTensor {
+                        layer: l,
+                        tensor: t.name,
+                        rank: 64,
+                    })
+            })
+            .collect();
+        let unfused = decode_step_ops(&desc, 1, 256, &decomp);
+        let fused = decode_step_ops_fused(&desc, 1, 256, &decomp);
+        // Two kernels saved per factored tensor.
+        assert_eq!(unfused.len() - fused.len(), 2 * decomp.len());
+        assert_eq!(total_flops(&fused), total_flops(&unfused));
+    }
+
+    #[test]
+    fn split_bytes_model_16bit_weights_with_f32_activations() {
+        let g = Op::Gemm {
+            m: 10,
+            n: 20,
+            k: 30,
+        };
+        // Same-dtype split reduces to the single-dtype model.
+        assert_eq!(g.bytes_split(DType::F32, DType::F32), g.bytes(DType::F32));
+        // bf16 weights halve the weight stream only.
+        let mixed = g.bytes_split(DType::F32, DType::Bf16);
+        assert_eq!(mixed, 2 * (30 * 20) as u64 + 4 * (10 * 30 + 10 * 20) as u64);
+        assert!(mixed < g.bytes(DType::F32));
+        assert!(mixed > g.bytes(DType::Bf16));
+    }
+
+    #[test]
+    fn weight_heavy_decode_gains_most_from_16bit_weights() {
+        // Decode at batch 1 is weight-streaming-bound, so moving weights
+        // to bf16 while activations stay f32 should cut total bytes nearly
+        // in half.
+        let desc = llama2_7b();
+        let ops = decode_step_ops(&desc, 1, 256, &[]);
+        let f32_bytes = total_bytes(&ops, DType::F32) as f64;
+        let mixed = total_bytes_split(&ops, DType::F32, DType::Bf16) as f64;
+        assert!(mixed / f32_bytes < 0.55, "ratio {}", mixed / f32_bytes);
     }
 
     #[test]

@@ -38,21 +38,38 @@ impl TimeBreakdown {
 pub struct Roofline {
     /// GPU being modeled.
     pub gpu: GpuSpec,
-    /// Storage format of weights/activations.
+    /// Storage format of activations (and, unless overridden by
+    /// [`Roofline::with_weight_dtype`], weights too).
     pub dtype: DType,
+    /// Storage format of resident weights. Defaults to `dtype`; set it
+    /// narrower to model the mixed-precision kernel backends (16-bit
+    /// weight panels, f32 activations).
+    pub weight_dtype: DType,
 }
 
 impl Roofline {
-    /// Creates a roofline model.
+    /// Creates a roofline model with weights and activations at `dtype`.
     pub fn new(gpu: GpuSpec, dtype: DType) -> Self {
-        Roofline { gpu, dtype }
+        Roofline {
+            gpu,
+            dtype,
+            weight_dtype: dtype,
+        }
+    }
+
+    /// Overrides the weight storage format, keeping activations at
+    /// `self.dtype`.
+    pub fn with_weight_dtype(mut self, weight_dtype: DType) -> Self {
+        self.weight_dtype = weight_dtype;
+        self
     }
 
     /// Time for one operator (excluding launch overhead) and which roof
     /// bound it.
     pub fn op_time(&self, op: &Op) -> (f64, Bound) {
         let compute = op.flops() as f64 / self.gpu.effective_flops();
-        let memory = op.bytes(self.dtype) as f64 / self.gpu.effective_bandwidth();
+        let memory =
+            op.bytes_split(self.dtype, self.weight_dtype) as f64 / self.gpu.effective_bandwidth();
         let t = compute.max(memory);
         let bound = if t <= self.gpu.kernel_overhead_s {
             Bound::Launch
@@ -210,6 +227,55 @@ mod tests {
             fac_h.compute
         );
         assert!(fac_h.memory + fac_h.launch > dense_h.memory + dense_h.launch);
+    }
+
+    #[test]
+    fn fused_factored_decode_beats_unfused() {
+        // The fused pipeline's predicted win: rank-pruned decode layers are
+        // launch/bandwidth-bound, so dropping two launches and the
+        // intermediate round-trips per factored linear must shrink both the
+        // launch term and the memory term.
+        use crate::ops::{decode_step_ops, decode_step_ops_fused};
+        let desc = llama2_7b();
+        let r = roofline();
+        let decomp: Vec<_> = (0..desc.n_layers)
+            .flat_map(|l| {
+                desc.layer_tensors()
+                    .into_iter()
+                    .map(move |t| crate::ops::DecomposedTensor {
+                        layer: l,
+                        tensor: t.name,
+                        rank: 64,
+                    })
+            })
+            .collect();
+        let unfused = r.estimate(&decode_step_ops(&desc, 1, 256, &decomp));
+        let fused = r.estimate(&decode_step_ops_fused(&desc, 1, 256, &decomp));
+        assert!(fused.launch_s < unfused.launch_s, "fewer kernel launches");
+        assert!(
+            fused.total() < unfused.total(),
+            "fused {} s vs unfused {} s",
+            fused.total(),
+            unfused.total()
+        );
+    }
+
+    #[test]
+    fn bf16_weights_speed_up_memory_bound_decode() {
+        // The mixed-precision backend's predicted win: decode streams every
+        // weight once per token, so halving the weight format cuts predicted
+        // latency nearly in half while activations stay f32.
+        use crate::ops::decode_step_ops;
+        let desc = llama2_7b();
+        let ops = decode_step_ops(&desc, 1, 256, &[]);
+        let f32_roof = Roofline::new(GpuSpec::a100_80gb(), DType::F32);
+        let mixed_roof = f32_roof.with_weight_dtype(DType::Bf16);
+        let t_f32 = f32_roof.estimate(&ops).total();
+        let t_mixed = mixed_roof.estimate(&ops).total();
+        assert!(
+            t_mixed < 0.6 * t_f32,
+            "bf16 weights {t_mixed} s vs f32 {t_f32} s"
+        );
     }
 
     #[test]

@@ -6,6 +6,9 @@
 pub enum DType {
     /// 16-bit floating point (the paper's deployment format).
     F16,
+    /// bfloat16 — same width as `F16`, wider exponent. Matches the
+    /// `LRD_KERNEL_DTYPE=bf16` storage backend in `lrd-tensor`.
+    Bf16,
     /// 32-bit floating point.
     F32,
 }
@@ -14,7 +17,7 @@ impl DType {
     /// Bytes per element.
     pub fn bytes(self) -> u64 {
         match self {
-            DType::F16 => 2,
+            DType::F16 | DType::Bf16 => 2,
             DType::F32 => 4,
         }
     }

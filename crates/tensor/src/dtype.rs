@@ -1,0 +1,334 @@
+//! Reduced-precision storage dtypes for packed GEMM weight panels.
+//!
+//! The packed engine can store the B-operand (weight-side) micro-panels in
+//! `bf16` or `f16` instead of `f32`, halving the bytes the inner loop
+//! streams per k-step. Values are converted back to `f32` in registers
+//! inside the micro-kernel, so *compute* stays full precision — only
+//! **storage** is reduced. The A-operand (activation-side) panels always
+//! stay `f32`: activations are live `f32` tensors anyway, and keeping them
+//! wide keeps the broadcast path of the micro-kernel native.
+//!
+//! The active dtype is resolved once per process from `LRD_KERNEL_DTYPE`
+//! (`f32` | `bf16` | `f16`, default `f32`) — the same style of seam as
+//! `LRD_FORCE_SCALAR`. It governs the fused factored path
+//! ([`crate::matmul::factored_matmul`]) and anything calling the explicit
+//! `*_with` GEMM entry points; the classic `f32` entry points are pinned to
+//! `f32` so the decomposition/training numerics stack is unaffected.
+//!
+//! Conversions use round-to-nearest-even, the rounding the hardware
+//! converters (AVX-512 BF16, F16C) implement, so the scalar fallback and
+//! SIMD kernels see bit-identical stored panels.
+
+use std::sync::OnceLock;
+
+/// Storage format of packed weight panels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelDtype {
+    /// Full-precision panels (the reference path).
+    F32,
+    /// Brain float 16: f32's exponent range, 8-bit mantissa.
+    Bf16,
+    /// IEEE binary16: 5-bit exponent, 11-bit mantissa.
+    F16,
+}
+
+/// Every storage dtype, in report order.
+pub const ALL_DTYPES: [KernelDtype; 3] = [KernelDtype::F32, KernelDtype::Bf16, KernelDtype::F16];
+
+impl KernelDtype {
+    /// The dtype the fused factored path and `*_with` callers use by
+    /// default: `LRD_KERNEL_DTYPE` if set and valid, else [`KernelDtype::F32`].
+    /// Resolved once per process.
+    pub fn active() -> KernelDtype {
+        static ACTIVE: OnceLock<KernelDtype> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            match std::env::var("LRD_KERNEL_DTYPE").as_deref() {
+                Ok("bf16") | Ok("BF16") => KernelDtype::Bf16,
+                Ok("f16") | Ok("F16") => KernelDtype::F16,
+                // Unknown values fall back to f32 rather than aborting a
+                // sweep; `f32` is also the documented default.
+                _ => KernelDtype::F32,
+            }
+        })
+    }
+
+    /// Stable lowercase name (JSON keys, bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelDtype::F32 => "f32",
+            KernelDtype::Bf16 => "bf16",
+            KernelDtype::F16 => "f16",
+        }
+    }
+
+    /// Bytes one stored element occupies in a packed panel.
+    pub fn bytes(self) -> usize {
+        match self {
+            KernelDtype::F32 => 4,
+            KernelDtype::Bf16 => 2,
+            KernelDtype::F16 => 2,
+        }
+    }
+
+    /// Documented accuracy contract: the maximum relative error of a GEMM
+    /// whose weight panels are stored at this dtype, versus the same GEMM
+    /// at `f32` (`|Δ| ≤ tol · (1 + |reference|)` per element). `bf16` keeps
+    /// 8 mantissa bits (unit roundoff 2⁻⁹); `f16` keeps 11 but can lose
+    /// range. Property tests and the suite accuracy checks pin these.
+    pub fn gemm_rel_tol(self) -> f32 {
+        match self {
+            KernelDtype::F32 => 1e-4,
+            KernelDtype::Bf16 => 2e-2,
+            KernelDtype::F16 => 4e-3,
+        }
+    }
+}
+
+/// `f32 → bf16` with round-to-nearest-even; NaN payloads are quieted so a
+/// NaN never rounds into an infinity.
+#[inline]
+pub fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let round = 0x7fff + ((bits >> 16) & 1);
+    ((bits.wrapping_add(round)) >> 16) as u16
+}
+
+/// `bf16 → f32` (exact: bf16 is a truncated f32).
+#[inline]
+pub fn bf16_to_f32(b: u16) -> f32 {
+    f32::from_bits((b as u32) << 16)
+}
+
+/// `f32 → f16` (IEEE binary16) with round-to-nearest-even; overflow goes
+/// to infinity, underflow denormalizes then flushes to signed zero.
+#[inline]
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf / NaN: keep a nonzero mantissa bit for NaN.
+        return sign | 0x7c00 | if man != 0 { 0x0200 } else { 0 };
+    }
+    // Re-bias 127 → 15.
+    let e = exp - 127 + 15;
+    if e >= 0x1f {
+        return sign | 0x7c00; // overflow → ±inf
+    }
+    if e <= 0 {
+        // Subnormal half (or zero): shift the implicit-1 mantissa down.
+        if e < -10 {
+            return sign; // underflows even the smallest subnormal
+        }
+        let m = man | 0x0080_0000; // implicit leading 1
+        let shift = (14 - e) as u32;
+        let half = m >> shift;
+        // Round to nearest even on the dropped bits.
+        let rem = m & ((1u32 << shift) - 1);
+        let halfway = 1u32 << (shift - 1);
+        let rounded = match rem.cmp(&halfway) {
+            std::cmp::Ordering::Greater => half + 1,
+            std::cmp::Ordering::Equal => half + (half & 1),
+            std::cmp::Ordering::Less => half,
+        };
+        return sign | rounded as u16;
+    }
+    // Normal half: round 23-bit mantissa to 10 bits, nearest even.
+    let half = (e as u32) << 10 | (man >> 13);
+    let rem = man & 0x1fff;
+    let rounded = match rem.cmp(&0x1000) {
+        std::cmp::Ordering::Greater => half + 1, // may carry into the exponent: still correct
+        std::cmp::Ordering::Equal => half + (half & 1),
+        std::cmp::Ordering::Less => half,
+    };
+    sign | rounded as u16
+}
+
+/// `f16 → f32` (exact).
+#[inline]
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let man = (h & 0x03ff) as u32;
+    let bits = match (exp, man) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal (`m × 2⁻²⁴`): normalize — the leading 1 sits at bit
+            // `p = 31 − lz`, so the value is `1.frac × 2^(p−24)` and the
+            // f32 exponent field is `127 + p − 24 = 113 − shift`.
+            let shift = m.leading_zeros() - 21; // 10 − p
+            let frac = (m << shift) & 0x03ff;
+            let e = 113 - shift;
+            sign | (e << 23) | (frac << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13),
+        (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Converts one `f32` to this dtype's stored `u16` form (meaningless for
+/// [`KernelDtype::F32`], which packs native `f32` panels).
+#[inline]
+pub fn encode_u16(dtype: KernelDtype, x: f32) -> u16 {
+    match dtype {
+        KernelDtype::Bf16 => f32_to_bf16(x),
+        KernelDtype::F16 => f32_to_f16(x),
+        KernelDtype::F32 => debug_unreachable_zero(),
+    }
+}
+
+/// Converts one stored `u16` back to `f32`.
+#[inline]
+pub fn decode_u16(dtype: KernelDtype, v: u16) -> f32 {
+    match dtype {
+        KernelDtype::Bf16 => bf16_to_f32(v),
+        KernelDtype::F16 => f16_to_f32(v),
+        KernelDtype::F32 => debug_unreachable_zero() as f32,
+    }
+}
+
+/// `F32` has no `u16` form; hitting these arms is an engine bug caught in
+/// debug builds, and harmless (zero) in release.
+#[inline]
+fn debug_unreachable_zero() -> u16 {
+    debug_assert!(false, "u16 codec called with KernelDtype::F32");
+    0
+}
+
+/// Quantizes `x` through the dtype's storage roundtrip — the exact value a
+/// packed panel would hold (identity for `f32`).
+#[inline]
+pub fn quantize(dtype: KernelDtype, x: f32) -> f32 {
+    match dtype {
+        KernelDtype::F32 => x,
+        KernelDtype::Bf16 => bf16_to_f32(f32_to_bf16(x)),
+        KernelDtype::F16 => f16_to_f32(f32_to_f16(x)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_roundtrip_exact_for_representables() {
+        for x in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 1.5, -3.25, 65280.0] {
+            assert_eq!(bf16_to_f32(f32_to_bf16(x)), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest_even() {
+        // bf16 spacing at 1.0 is 2^-7, so 1.0 + 2^-8 is exactly halfway;
+        // nearest-even rounds down to 1.0 (mantissa 0 is even).
+        let halfway = 1.0f32 + 2.0f32.powi(-8);
+        assert_eq!(bf16_to_f32(f32_to_bf16(halfway)), 1.0);
+        // Just above halfway rounds up.
+        let above = 1.0f32 + 2.0f32.powi(-8) + 2.0f32.powi(-12);
+        assert_eq!(bf16_to_f32(f32_to_bf16(above)), 1.0 + 2.0f32.powi(-7));
+        // Halfway on an odd mantissa rounds up to the even neighbour.
+        let odd_half = 1.0f32 + 2.0f32.powi(-7) + 2.0f32.powi(-8);
+        assert_eq!(bf16_to_f32(f32_to_bf16(odd_half)), 1.0 + 2.0f32.powi(-6));
+    }
+
+    #[test]
+    fn bf16_relative_error_bounded() {
+        let mut x = 1e-20f32;
+        while x < 1e20 {
+            for v in [x, -x, x * 1.3337, x * 0.77] {
+                let r = bf16_to_f32(f32_to_bf16(v));
+                let rel = (r - v).abs() / v.abs().max(f32::MIN_POSITIVE);
+                assert!(rel <= 2.0f32.powi(-8), "{v} -> {r} rel {rel}");
+            }
+            x *= 10.0;
+        }
+    }
+
+    #[test]
+    fn bf16_handles_specials() {
+        assert!(bf16_to_f32(f32_to_bf16(f32::NAN)).is_nan());
+        assert_eq!(bf16_to_f32(f32_to_bf16(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(
+            bf16_to_f32(f32_to_bf16(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn f16_roundtrip_exact_for_representables() {
+        for x in [0.0f32, -0.0, 1.0, -1.0, 0.5, 1024.0, 65504.0, -0.125] {
+            assert_eq!(f16_to_f32(f32_to_f16(x)), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn f16_relative_error_bounded_in_range() {
+        let mut x = 1e-3f32;
+        while x < 1e4 {
+            for v in [x, -x, x * 1.3337, x * 0.77] {
+                let r = f16_to_f32(f32_to_f16(v));
+                let rel = (r - v).abs() / v.abs();
+                assert!(rel <= 2.0f32.powi(-11), "{v} -> {r} rel {rel}");
+            }
+            x *= 3.0;
+        }
+    }
+
+    #[test]
+    fn f16_overflow_and_underflow() {
+        assert_eq!(f16_to_f32(f32_to_f16(1e6)), f32::INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(-1e6)), f32::NEG_INFINITY);
+        assert_eq!(f16_to_f32(f32_to_f16(1e-12)), 0.0);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        // Subnormal halves round-trip.
+        let sub = 2.0f32.powi(-20);
+        let r = f16_to_f32(f32_to_f16(sub));
+        assert!((r - sub).abs() / sub < 0.01, "{sub} -> {r}");
+    }
+
+    #[test]
+    fn f16_exhaustive_decode_encode_identity() {
+        // Every finite f16 bit pattern decodes then re-encodes to itself.
+        for h in 0u16..=0xffff {
+            let exp = (h >> 10) & 0x1f;
+            if exp == 0x1f {
+                continue; // inf/NaN payloads may requantize
+            }
+            // -0 subnormal edge: sign preserved.
+            assert_eq!(f32_to_f16(f16_to_f32(h)), h, "pattern {h:#06x}");
+        }
+    }
+
+    #[test]
+    fn quantize_matches_codecs() {
+        for x in [0.3f32, -7.25, 1e-5, 123.456] {
+            assert_eq!(quantize(KernelDtype::F32, x), x);
+            assert_eq!(quantize(KernelDtype::Bf16, x), bf16_to_f32(f32_to_bf16(x)));
+            assert_eq!(quantize(KernelDtype::F16, x), f16_to_f32(f32_to_f16(x)));
+        }
+    }
+
+    #[test]
+    fn names_bytes_and_tols() {
+        assert_eq!(KernelDtype::F32.name(), "f32");
+        assert_eq!(KernelDtype::Bf16.name(), "bf16");
+        assert_eq!(KernelDtype::F16.name(), "f16");
+        assert_eq!(KernelDtype::F32.bytes(), 4);
+        assert_eq!(KernelDtype::Bf16.bytes(), 2);
+        assert_eq!(KernelDtype::F16.bytes(), 2);
+        for d in ALL_DTYPES {
+            assert!(d.gemm_rel_tol() > 0.0);
+        }
+    }
+
+    #[test]
+    fn active_dtype_is_stable() {
+        assert_eq!(KernelDtype::active(), KernelDtype::active());
+    }
+}

@@ -14,6 +14,7 @@
 //! scalar kernel (CI runs the suite both ways so the portable path cannot
 //! rot).
 
+use crate::dtype::{decode_u16, KernelDtype};
 use std::sync::OnceLock;
 
 /// Micro-tile height: rows of C updated per kernel invocation.
@@ -70,6 +71,23 @@ impl Backend {
             Backend::Avx2Fma => "avx2+fma",
         }
     }
+}
+
+/// Whether the CPU has the F16C half↔single converter instructions. The
+/// `f16` panel kernel needs `vcvtph2ps`; without it, `f16` panels run
+/// through the portable decoder. Resolved once per process.
+pub fn has_f16c() -> bool {
+    static F16C: OnceLock<bool> = OnceLock::new();
+    *F16C.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("f16c")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
 }
 
 /// Executes one micro-tile: `C[0..MR][0..NR] += Apanel · Bpanel` over `kc`
@@ -148,6 +166,219 @@ unsafe fn microkernel_avx2(kc: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: 
         for _ in 0..kc {
             let b0 = _mm256_loadu_ps(bp);
             let b1 = _mm256_loadu_ps(bp.add(8));
+            let a0 = _mm256_broadcast_ss(&*ap);
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            let a1 = _mm256_broadcast_ss(&*ap.add(1));
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            let a2 = _mm256_broadcast_ss(&*ap.add(2));
+            c20 = _mm256_fmadd_ps(a2, b0, c20);
+            c21 = _mm256_fmadd_ps(a2, b1, c21);
+            let a3 = _mm256_broadcast_ss(&*ap.add(3));
+            c30 = _mm256_fmadd_ps(a3, b0, c30);
+            c31 = _mm256_fmadd_ps(a3, b1, c31);
+            let a4 = _mm256_broadcast_ss(&*ap.add(4));
+            c40 = _mm256_fmadd_ps(a4, b0, c40);
+            c41 = _mm256_fmadd_ps(a4, b1, c41);
+            let a5 = _mm256_broadcast_ss(&*ap.add(5));
+            c50 = _mm256_fmadd_ps(a5, b0, c50);
+            c51 = _mm256_fmadd_ps(a5, b1, c51);
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        let cp = c.as_mut_ptr();
+        let rows = [
+            (c00, c01),
+            (c10, c11),
+            (c20, c21),
+            (c30, c31),
+            (c40, c41),
+            (c50, c51),
+        ];
+        for (r, (lo, hi)) in rows.into_iter().enumerate() {
+            let dst = cp.add(r * ldc);
+            _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), lo));
+            _mm256_storeu_ps(dst.add(8), _mm256_add_ps(_mm256_loadu_ps(dst.add(8)), hi));
+        }
+    }
+}
+
+/// Executes one micro-tile against a reduced-precision B panel:
+/// `C[0..MR][0..NR] += Apanel · decode(Bpanel)` over `kc` packed steps.
+/// The A panel stays `f32`; the B panel holds `bf16` or `f16` bit patterns
+/// (per `dtype`) that are widened to `f32` in registers before the FMA, so
+/// the accumulation order — and therefore the determinism contract — is
+/// identical to [`microkernel`] on pre-widened panels.
+///
+/// `f16` panels use the F16C converter when the CPU has it; otherwise they
+/// fall back to the portable decoder (slow but correct, and bit-identical
+/// because both decode exactly).
+#[inline]
+pub fn microkernel_u16(
+    backend: Backend,
+    dtype: KernelDtype,
+    kc: usize,
+    a: &[f32],
+    b: &[u16],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    debug_assert!(a.len() >= kc * MR);
+    debug_assert!(b.len() >= kc * NR);
+    debug_assert!(kc == 0 || c.len() >= (MR - 1) * ldc + NR);
+    debug_assert!(dtype != KernelDtype::F32, "f32 panels use microkernel");
+    match (backend, dtype) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever constructed after runtime detection.
+        (Backend::Avx2Fma, KernelDtype::Bf16) => unsafe { microkernel_avx2_bf16(kc, a, b, c, ldc) },
+        #[cfg(target_arch = "x86_64")]
+        (Backend::Avx2Fma, KernelDtype::F16) if has_f16c() => {
+            // SAFETY: guarded by runtime detection of avx2+fma (backend)
+            // and f16c (the branch condition).
+            unsafe { microkernel_avx2_f16(kc, a, b, c, ldc) }
+        }
+        _ => microkernel_scalar_u16(dtype, kc, a, b, c, ldc),
+    }
+}
+
+/// Portable reduced-precision micro-kernel: decodes each B value with the
+/// software converter, then accumulates in the same order as
+/// [`microkernel_scalar`].
+fn microkernel_scalar_u16(
+    dtype: KernelDtype,
+    kc: usize,
+    a: &[f32],
+    b: &[u16],
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    let mut brow = [0.0f32; NR];
+    for kk in 0..kc {
+        let ap = &a[kk * MR..kk * MR + MR];
+        for (w, &bits) in brow.iter_mut().zip(&b[kk * NR..kk * NR + NR]) {
+            *w = decode_u16(dtype, bits);
+        }
+        for (accr, &ar) in acc.iter_mut().zip(ap) {
+            for (av, &bv) in accr.iter_mut().zip(&brow) {
+                *av += ar * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut c[r * ldc..r * ldc + NR];
+        for (cv, &av) in crow.iter_mut().zip(accr) {
+            *cv += av;
+        }
+    }
+}
+
+/// AVX2+FMA micro-kernel over a `bf16` B panel: each k-step loads 16
+/// halves as two `__m128i`, widens them to `f32` with a 16-bit shift
+/// (`bf16` is a truncated `f32`), and proceeds exactly like the `f32`
+/// kernel. Two extra integer ops per B vector against half the B traffic.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA, and that the slice
+/// bounds documented on [`microkernel_u16`] hold.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn microkernel_avx2_bf16(kc: usize, a: &[f32], b: &[u16], c: &mut [f32], ldc: usize) {
+    use core::arch::x86_64::*;
+    // SAFETY: the caller upholds this fn's contract — AVX2+FMA are present
+    // and the slice bounds hold — so every pointer below stays in bounds.
+    unsafe {
+        let mut c00 = _mm256_setzero_ps();
+        let mut c01 = _mm256_setzero_ps();
+        let mut c10 = _mm256_setzero_ps();
+        let mut c11 = _mm256_setzero_ps();
+        let mut c20 = _mm256_setzero_ps();
+        let mut c21 = _mm256_setzero_ps();
+        let mut c30 = _mm256_setzero_ps();
+        let mut c31 = _mm256_setzero_ps();
+        let mut c40 = _mm256_setzero_ps();
+        let mut c41 = _mm256_setzero_ps();
+        let mut c50 = _mm256_setzero_ps();
+        let mut c51 = _mm256_setzero_ps();
+        let mut ap = a.as_ptr();
+        let mut bp = b.as_ptr();
+        for _ in 0..kc {
+            let raw0 = _mm_loadu_si128(bp as *const __m128i);
+            let raw1 = _mm_loadu_si128(bp.add(8) as *const __m128i);
+            let b0 = _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(raw0)));
+            let b1 = _mm256_castsi256_ps(_mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(raw1)));
+            let a0 = _mm256_broadcast_ss(&*ap);
+            c00 = _mm256_fmadd_ps(a0, b0, c00);
+            c01 = _mm256_fmadd_ps(a0, b1, c01);
+            let a1 = _mm256_broadcast_ss(&*ap.add(1));
+            c10 = _mm256_fmadd_ps(a1, b0, c10);
+            c11 = _mm256_fmadd_ps(a1, b1, c11);
+            let a2 = _mm256_broadcast_ss(&*ap.add(2));
+            c20 = _mm256_fmadd_ps(a2, b0, c20);
+            c21 = _mm256_fmadd_ps(a2, b1, c21);
+            let a3 = _mm256_broadcast_ss(&*ap.add(3));
+            c30 = _mm256_fmadd_ps(a3, b0, c30);
+            c31 = _mm256_fmadd_ps(a3, b1, c31);
+            let a4 = _mm256_broadcast_ss(&*ap.add(4));
+            c40 = _mm256_fmadd_ps(a4, b0, c40);
+            c41 = _mm256_fmadd_ps(a4, b1, c41);
+            let a5 = _mm256_broadcast_ss(&*ap.add(5));
+            c50 = _mm256_fmadd_ps(a5, b0, c50);
+            c51 = _mm256_fmadd_ps(a5, b1, c51);
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        let cp = c.as_mut_ptr();
+        let rows = [
+            (c00, c01),
+            (c10, c11),
+            (c20, c21),
+            (c30, c31),
+            (c40, c41),
+            (c50, c51),
+        ];
+        for (r, (lo, hi)) in rows.into_iter().enumerate() {
+            let dst = cp.add(r * ldc);
+            _mm256_storeu_ps(dst, _mm256_add_ps(_mm256_loadu_ps(dst), lo));
+            _mm256_storeu_ps(dst.add(8), _mm256_add_ps(_mm256_loadu_ps(dst.add(8)), hi));
+        }
+    }
+}
+
+/// AVX2+FMA+F16C micro-kernel over an `f16` B panel: `vcvtph2ps` widens 8
+/// halves per load, otherwise identical to the `f32` kernel.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2, FMA, *and* F16C, and that the
+/// slice bounds documented on [`microkernel_u16`] hold.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+unsafe fn microkernel_avx2_f16(kc: usize, a: &[f32], b: &[u16], c: &mut [f32], ldc: usize) {
+    use core::arch::x86_64::*;
+    // SAFETY: the caller upholds this fn's contract — AVX2+FMA+F16C are
+    // present and the slice bounds hold — so every pointer below stays in
+    // bounds.
+    unsafe {
+        let mut c00 = _mm256_setzero_ps();
+        let mut c01 = _mm256_setzero_ps();
+        let mut c10 = _mm256_setzero_ps();
+        let mut c11 = _mm256_setzero_ps();
+        let mut c20 = _mm256_setzero_ps();
+        let mut c21 = _mm256_setzero_ps();
+        let mut c30 = _mm256_setzero_ps();
+        let mut c31 = _mm256_setzero_ps();
+        let mut c40 = _mm256_setzero_ps();
+        let mut c41 = _mm256_setzero_ps();
+        let mut c50 = _mm256_setzero_ps();
+        let mut c51 = _mm256_setzero_ps();
+        let mut ap = a.as_ptr();
+        let mut bp = b.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm256_cvtph_ps(_mm_loadu_si128(bp as *const __m128i));
+            let b1 = _mm256_cvtph_ps(_mm_loadu_si128(bp.add(8) as *const __m128i));
             let a0 = _mm256_broadcast_ss(&*ap);
             c00 = _mm256_fmadd_ps(a0, b0, c00);
             c01 = _mm256_fmadd_ps(a0, b1, c01);
@@ -266,6 +497,60 @@ unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
     }
 }
 
+/// `y += alpha · x` on the dispatched backend — the row-streaming kernel
+/// behind [`crate::matmul::matvec_transb`]. Both slices must have equal
+/// length.
+#[inline]
+pub fn axpy(backend: Backend, alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    match backend {
+        Backend::Scalar => axpy_scalar(alpha, x, y),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever constructed after runtime detection.
+        Backend::Avx2Fma => unsafe { axpy_avx2(alpha, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2Fma => axpy_scalar(alpha, x, y),
+    }
+}
+
+/// Portable axpy. Element-wise, so scalar and SIMD agree except for FMA's
+/// missing intermediate rounding.
+fn axpy_scalar(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// AVX2+FMA axpy: one broadcast, 8 lanes per FMA.
+///
+/// # Safety
+///
+/// Caller must ensure the CPU supports AVX2 and FMA and
+/// `x.len() == y.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn axpy_avx2(alpha: f32, x: &[f32], y: &mut [f32]) {
+    use core::arch::x86_64::*;
+    // SAFETY: the caller upholds this fn's contract — AVX2+FMA are present
+    // and `x.len() == y.len()` — so every index below is in bounds.
+    unsafe {
+        let n = y.len();
+        let av = _mm256_set1_ps(alpha);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let acc = _mm256_fmadd_ps(av, _mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+            _mm256_storeu_ps(yp.add(i), acc);
+            i += 8;
+        }
+        while i < n {
+            *yp.add(i) += alpha * *xp.add(i);
+            i += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +637,70 @@ mod tests {
             let v = dot(simd, &a, &b);
             assert!((s - v).abs() <= 1e-4 * (1.0 + s.abs()));
         }
+    }
+
+    #[test]
+    fn u16_scalar_kernel_matches_widened_f32_kernel() {
+        use crate::dtype::{decode_u16, encode_u16};
+        for dtype in [KernelDtype::Bf16, KernelDtype::F16] {
+            for kc in [1usize, 3, 17, 64] {
+                let (a, b) = packed_inputs(kc);
+                let bq: Vec<u16> = b.iter().map(|&v| encode_u16(dtype, v)).collect();
+                let bw: Vec<f32> = bq.iter().map(|&v| decode_u16(dtype, v)).collect();
+                let mut cq = vec![0.25f32; MR * NR];
+                let mut cw = vec![0.25f32; MR * NR];
+                microkernel_u16(Backend::Scalar, dtype, kc, &a, &bq, &mut cq, NR);
+                microkernel(Backend::Scalar, kc, &a, &bw, &mut cw, NR);
+                assert_eq!(cq, cw, "{dtype:?} kc={kc}");
+            }
+        }
+    }
+
+    #[test]
+    fn u16_simd_kernel_matches_scalar_within_fma_tolerance() {
+        let Some(simd) = Backend::detect_simd() else {
+            return;
+        };
+        use crate::dtype::encode_u16;
+        for dtype in [KernelDtype::Bf16, KernelDtype::F16] {
+            for kc in [1usize, 2, 7, 40, 256] {
+                let (a, b) = packed_inputs(kc);
+                let bq: Vec<u16> = b.iter().map(|&v| encode_u16(dtype, v)).collect();
+                let mut cs = vec![0.5f32; MR * NR];
+                let mut cv = vec![0.5f32; MR * NR];
+                microkernel_u16(Backend::Scalar, dtype, kc, &a, &bq, &mut cs, NR);
+                microkernel_u16(simd, dtype, kc, &a, &bq, &mut cv, NR);
+                for (x, y) in cs.iter().zip(&cv) {
+                    assert!(
+                        (x - y).abs() <= 1e-4 * (1.0 + x.abs()),
+                        "{dtype:?} kc={kc}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_kernels_agree() {
+        let x: Vec<f32> = (0..77).map(|i| (i as f32 * 0.31).sin()).collect();
+        let mut ys = vec![0.2f32; 77];
+        axpy(Backend::Scalar, 1.7, &x, &mut ys);
+        for (i, &y) in ys.iter().enumerate() {
+            let want = 0.2 + 1.7 * x[i];
+            assert!((y - want).abs() < 1e-5);
+        }
+        if let Some(simd) = Backend::detect_simd() {
+            let mut yv = vec![0.2f32; 77];
+            axpy(simd, 1.7, &x, &mut yv);
+            for (s, v) in ys.iter().zip(&yv) {
+                assert!((s - v).abs() <= 1e-5 * (1.0 + s.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn f16c_detection_is_stable() {
+        assert_eq!(has_f16c(), has_f16c());
     }
 
     #[test]

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod cp;
+pub mod dtype;
 pub mod error;
 pub mod kernel;
 pub mod matmul;

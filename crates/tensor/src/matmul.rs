@@ -15,10 +15,11 @@
 //! thread count (and any [`set_thread_limit`]) produces bit-identical
 //! output for a given backend.
 
+use crate::dtype::KernelDtype;
 use crate::kernel::{self, Backend, MR, NR};
-use crate::pack::{pack_a, pack_b, packed_a_len, packed_b_len, MatRef};
+use crate::pack::{pack_a, pack_b, pack_b_u16, packed_a_len, packed_b_len, MatRef};
 use crate::Tensor;
-use lrd_trace::counters::{record_gemm, GemmVariant};
+use lrd_trace::counters::{self, record_gemm, record_gemm_typed, Counter, GemmVariant};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Problems smaller than this many MACs run single-threaded.
@@ -55,7 +56,14 @@ pub fn thread_limit() -> usize {
 /// available parallelism (not a hardcoded constant, so many-core machines
 /// aren't silently throttled), further capped by [`set_thread_limit`].
 fn thread_count(macs: usize, rows: usize) -> usize {
-    if macs < PARALLEL_THRESHOLD {
+    thread_count_with(PARALLEL_THRESHOLD, macs, rows)
+}
+
+/// [`thread_count`] with an explicit serial threshold. The batched path
+/// threads earlier (slices are fully independent, so workers never share
+/// packed panels and the spawn cost amortizes over whole slices).
+fn thread_count_with(threshold: usize, macs: usize, rows: usize) -> usize {
+    if macs < threshold {
         return 1;
     }
     // lrd-lint: allow(determinism, "thread count only bands independent output rows; each f32 cell is produced by exactly one worker, so results are bit-identical at any width")
@@ -67,64 +75,155 @@ fn thread_count(macs: usize, rows: usize) -> usize {
     hw.min(cap).min(rows).max(1)
 }
 
-/// Serial packed GEMM over one row band: `C[i0..i0+m][..] += A · B`, where
-/// `c_band` holds rows `i0..i0+m` of C (row stride `b.cols()`). Degenerate
-/// dimensions (`m`, `n`, or `k` of zero) are no-ops.
-fn gemm_block(backend: Backend, a: &MatRef, b: &MatRef, i0: usize, m: usize, c_band: &mut [f32]) {
-    let (n, k) = (b.cols(), a.cols());
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    let kc_bound = KC.min(k);
-    let mut bpack = vec![0.0f32; packed_b_len(kc_bound, NC.min(n))];
-    let mut apack = vec![0.0f32; packed_a_len(MC.min(m), kc_bound)];
-    for jc in (0..n).step_by(NC) {
-        let nc = NC.min(n - jc);
-        for pc in (0..k).step_by(KC) {
-            let kc = KC.min(k - pc);
-            pack_b(&mut bpack, b, pc, kc, jc, nc);
-            for ic in (0..m).step_by(MC) {
-                let mc = MC.min(m - ic);
-                pack_a(&mut apack, a, i0 + ic, mc, pc, kc);
-                for jr in (0..nc).step_by(NR) {
-                    let nr = NR.min(nc - jr);
-                    let bpanel = &bpack[(jr / NR) * NR * kc..][..NR * kc];
-                    for ir in (0..mc).step_by(MR) {
-                        let mr = MR.min(mc - ir);
-                        let apanel = &apack[(ir / MR) * MR * kc..][..MR * kc];
-                        if mr == MR && nr == NR {
-                            let off = (ic + ir) * n + jc + jr;
-                            kernel::microkernel(backend, kc, apanel, bpanel, &mut c_band[off..], n);
-                        } else {
-                            // Edge tile: compute into a local buffer, add
-                            // only the valid region back.
-                            let mut tile = [0.0f32; MR * NR];
-                            kernel::microkernel(backend, kc, apanel, bpanel, &mut tile, NR);
-                            for r in 0..mr {
-                                let off = (ic + ir + r) * n + jc + jr;
-                                for (cv, &tv) in
-                                    c_band[off..off + nr].iter_mut().zip(&tile[r * NR..])
-                                {
-                                    *cv += tv;
-                                }
-                            }
-                        }
-                    }
-                }
+/// Reusable packing buffers for the blocked engine. One scratch lives per
+/// worker thread; callers that issue many small GEMMs back to back (the
+/// batched path) reuse it across calls so panel buffers are allocated once
+/// per batch instead of once per slice.
+#[derive(Default)]
+struct GemmScratch {
+    apack: Vec<f32>,
+    bpack_f32: Vec<f32>,
+    bpack_u16: Vec<u16>,
+}
+
+/// A packed B panel in either storage precision, ready for the micro loop.
+enum BPanel<'a> {
+    F32(&'a [f32]),
+    U16(&'a [u16], KernelDtype),
+}
+
+/// Runs one `MR×NR` micro-tile (edge tiles via a local buffer) against a
+/// packed B panel of either storage dtype.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn run_tile(
+    backend: Backend,
+    kc: usize,
+    apanel: &[f32],
+    bpanel: &BPanel,
+    mr: usize,
+    nr: usize,
+    c_band: &mut [f32],
+    off: usize,
+    ldc: usize,
+) {
+    if mr == MR && nr == NR {
+        match bpanel {
+            BPanel::F32(buf) => {
+                kernel::microkernel(backend, kc, apanel, buf, &mut c_band[off..], ldc);
+            }
+            BPanel::U16(buf, dt) => {
+                kernel::microkernel_u16(backend, *dt, kc, apanel, buf, &mut c_band[off..], ldc);
+            }
+        }
+    } else {
+        // Edge tile: compute into a local buffer, add only the valid
+        // region back.
+        let mut tile = [0.0f32; MR * NR];
+        match bpanel {
+            BPanel::F32(buf) => kernel::microkernel(backend, kc, apanel, buf, &mut tile, NR),
+            BPanel::U16(buf, dt) => {
+                kernel::microkernel_u16(backend, *dt, kc, apanel, buf, &mut tile, NR);
+            }
+        }
+        for r in 0..mr {
+            let dst = off + r * ldc;
+            for (cv, &tv) in c_band[dst..dst + nr].iter_mut().zip(&tile[r * NR..]) {
+                *cv += tv;
             }
         }
     }
 }
 
+/// Serial packed GEMM over one row band: `C[i0..i0+m][..] += A · B`, where
+/// `c_band` holds rows `i0..i0+m` of C (row stride `b.cols()`). B panels
+/// are stored at `dtype` (A panels always stay `f32`). Degenerate
+/// dimensions (`m`, `n`, or `k` of zero) are no-ops.
+#[allow(clippy::too_many_arguments)]
+fn gemm_block(
+    backend: Backend,
+    dtype: KernelDtype,
+    a: &MatRef,
+    b: &MatRef,
+    i0: usize,
+    m: usize,
+    c_band: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    let (n, k) = (b.cols(), a.cols());
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let kc_bound = KC.min(k);
+    let b_len = packed_b_len(kc_bound, NC.min(n));
+    let a_len = packed_a_len(MC.min(m), kc_bound);
+    if scratch.apack.len() < a_len {
+        scratch.apack.resize(a_len, 0.0);
+    }
+    match dtype {
+        KernelDtype::F32 => {
+            if scratch.bpack_f32.len() < b_len {
+                scratch.bpack_f32.resize(b_len, 0.0);
+            }
+        }
+        _ => {
+            if scratch.bpack_u16.len() < b_len {
+                scratch.bpack_u16.resize(b_len, 0);
+            }
+        }
+    }
+    let mut bytes_packed = 0u64;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            match dtype {
+                KernelDtype::F32 => pack_b(&mut scratch.bpack_f32, b, pc, kc, jc, nc),
+                _ => pack_b_u16(&mut scratch.bpack_u16, dtype, b, pc, kc, jc, nc),
+            }
+            bytes_packed += (packed_b_len(kc, nc) * dtype.bytes()) as u64;
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(&mut scratch.apack, a, i0 + ic, mc, pc, kc);
+                bytes_packed += (packed_a_len(mc, kc) * 4) as u64;
+                for jr in (0..nc).step_by(NR) {
+                    let nr = NR.min(nc - jr);
+                    let poff = (jr / NR) * NR * kc;
+                    let bpanel = match dtype {
+                        KernelDtype::F32 => BPanel::F32(&scratch.bpack_f32[poff..][..NR * kc]),
+                        _ => BPanel::U16(&scratch.bpack_u16[poff..][..NR * kc], dtype),
+                    };
+                    for ir in (0..mc).step_by(MR) {
+                        let mr = MR.min(mc - ir);
+                        let apanel = &scratch.apack[(ir / MR) * MR * kc..][..MR * kc];
+                        let off = (ic + ir) * n + jc + jr;
+                        run_tile(backend, kc, apanel, &bpanel, mr, nr, c_band, off, n);
+                    }
+                }
+            }
+        }
+    }
+    counters::add(Counter::GemmBytesPacked, bytes_packed);
+}
+
 /// Threaded driver: splits C's rows into bands and runs [`gemm_block`] per
 /// band, or inline when one thread suffices.
-fn gemm_driver(backend: Backend, a: &MatRef, b: &MatRef, c: &mut Tensor) {
+fn gemm_driver(backend: Backend, dtype: KernelDtype, a: &MatRef, b: &MatRef, c: &mut Tensor) {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
     let threads = thread_count(m * n * k, m);
     let c_data = c.data_mut();
     if threads <= 1 {
-        gemm_block(backend, a, b, 0, m, c_data);
+        gemm_block(
+            backend,
+            dtype,
+            a,
+            b,
+            0,
+            m,
+            c_data,
+            &mut GemmScratch::default(),
+        );
         return;
     }
     let band = m.div_ceil(threads);
@@ -136,7 +235,18 @@ fn gemm_driver(backend: Backend, a: &MatRef, b: &MatRef, c: &mut Tensor) {
             let (mine, tail) = rest.split_at_mut(rows * n);
             rest = tail;
             let (a, b) = (*a, *b);
-            scope.spawn(move || gemm_block(backend, &a, &b, row0, rows, mine));
+            scope.spawn(move || {
+                gemm_block(
+                    backend,
+                    dtype,
+                    &a,
+                    &b,
+                    row0,
+                    rows,
+                    mine,
+                    &mut GemmScratch::default(),
+                );
+            });
             row0 += rows;
         }
     });
@@ -163,6 +273,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// [`matmul`] on an explicit kernel backend (scalar-vs-SIMD testing hook).
 pub fn matmul_on(backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_with(backend, KernelDtype::F32, a, b)
+}
+
+/// [`matmul`] with explicit kernel backend and packed-panel storage dtype:
+/// `b`'s panels are stored at `dtype` and widened to `f32` in registers,
+/// trading one half-ULP-of-`dtype` rounding per weight element for half
+/// the B-panel memory traffic. `a` (the activation side) always stays
+/// `f32`. See `KernelDtype::gemm_rel_tol` for the accuracy contract.
+pub fn matmul_with(backend: Backend, dtype: KernelDtype, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(
@@ -170,10 +289,16 @@ pub fn matmul_on(backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
         "matmul inner dimension mismatch: {}×{} · {}×{}",
         m, k, k2, n
     );
-    record_gemm(GemmVariant::Matmul, backend.name(), 2 * (m * n * k) as u64);
+    record_gemm_typed(
+        GemmVariant::Matmul,
+        backend.name(),
+        dtype.name(),
+        2 * (m * n * k) as u64,
+    );
     let mut c = Tensor::zeros(&[m, n]);
     gemm_driver(
         backend,
+        dtype,
         &MatRef::new(a.data(), m, k),
         &MatRef::new(b.data(), k, n),
         &mut c,
@@ -193,17 +318,24 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// [`matmul_transb`] on an explicit kernel backend.
 pub fn matmul_transb_on(backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_transb_with(backend, KernelDtype::F32, a, b)
+}
+
+/// [`matmul_transb`] with explicit backend and B-panel storage dtype.
+pub fn matmul_transb_with(backend: Backend, dtype: KernelDtype, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.rows(), a.cols());
     let (n, k2) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_transb shared dimension mismatch");
-    record_gemm(
+    record_gemm_typed(
         GemmVariant::MatmulTransB,
         backend.name(),
+        dtype.name(),
         2 * (m * n * k) as u64,
     );
     let mut c = Tensor::zeros(&[m, n]);
     gemm_driver(
         backend,
+        dtype,
         &MatRef::new(a.data(), m, k),
         &MatRef::transposed(b.data(), k, n),
         &mut c,
@@ -224,17 +356,24 @@ pub fn matmul_transa(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// [`matmul_transa`] on an explicit kernel backend.
 pub fn matmul_transa_on(backend: Backend, a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_transa_with(backend, KernelDtype::F32, a, b)
+}
+
+/// [`matmul_transa`] with explicit backend and B-panel storage dtype.
+pub fn matmul_transa_with(backend: Backend, dtype: KernelDtype, a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = (a.rows(), a.cols());
     let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_transa shared dimension mismatch");
-    record_gemm(
+    record_gemm_typed(
         GemmVariant::MatmulTransA,
         backend.name(),
+        dtype.name(),
         2 * (m * n * k) as u64,
     );
     let mut c = Tensor::zeros(&[m, n]);
     gemm_driver(
         backend,
+        dtype,
         &MatRef::transposed(a.data(), m, k),
         &MatRef::new(b.data(), k, n),
         &mut c,
@@ -253,9 +392,89 @@ pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
     let (m, k) = (a.rows(), a.cols());
     assert_eq!(k, x.len(), "matvec dimension mismatch");
     record_gemm(GemmVariant::Matvec, backend.name(), 2 * (m * k) as u64);
-    (0..m)
-        .map(|i| kernel::dot(backend, &a.data()[i * k..(i + 1) * k], x))
-        .collect()
+    let mut y = vec![0.0f32; m];
+    let threads = thread_count(m * k, m);
+    let run_rows = |i0: usize, y_band: &mut [f32]| {
+        for (r, yv) in y_band.iter_mut().enumerate() {
+            let i = i0 + r;
+            *yv = kernel::dot(backend, &a.data()[i * k..(i + 1) * k], x);
+        }
+    };
+    if threads <= 1 {
+        run_rows(0, &mut y);
+        return y;
+    }
+    let band = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = y.as_mut_slice();
+        let mut i0 = 0usize;
+        while i0 < m {
+            let rows = band.min(m - i0);
+            let (mine, tail) = rest.split_at_mut(rows);
+            rest = tail;
+            let run = &run_rows;
+            scope.spawn(move || run(i0, mine));
+            i0 += rows;
+        }
+    });
+    y
+}
+
+/// Matrix–vector product against the *transposed* matrix without
+/// materializing it: `aᵀ (n×k) · x (k)` for row-major `a (k×n)` — the
+/// decode-path shape, where weights stored `(in × out)` multiply a single
+/// activation row. Instead of gathering strided columns per output (what
+/// `matvec(&a.transpose(), x)` costs, plus the transpose copy), this
+/// streams `a` row-major once, accumulating `y += x[kk] · a[kk][..]` with
+/// the SIMD axpy kernel.
+///
+/// Deterministic at any thread count: each `y[j]` accumulates in fixed
+/// `kk` order regardless of how columns are banded.
+///
+/// # Panics
+///
+/// Panics if `a` is not order-2 or `x`'s length differs from `a.rows()`.
+pub fn matvec_transb(a: &Tensor, x: &[f32]) -> Vec<f32> {
+    let backend = Backend::active();
+    let (k, n) = (a.rows(), a.cols());
+    assert_eq!(k, x.len(), "matvec_transb dimension mismatch");
+    record_gemm(
+        GemmVariant::MatvecTransB,
+        backend.name(),
+        2 * (n * k) as u64,
+    );
+    let mut y = vec![0.0f32; n];
+    let a_data = a.data();
+    let threads = thread_count(n * k, n);
+    let run_cols = |j0: usize, y_band: &mut [f32]| {
+        let cols = y_band.len();
+        for (kk, &xv) in x.iter().enumerate() {
+            kernel::axpy(
+                backend,
+                xv,
+                &a_data[kk * n + j0..kk * n + j0 + cols],
+                y_band,
+            );
+        }
+    };
+    if threads <= 1 {
+        run_cols(0, &mut y);
+        return y;
+    }
+    let band = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = y.as_mut_slice();
+        let mut j0 = 0usize;
+        while j0 < n {
+            let cols = band.min(n - j0);
+            let (mine, tail) = rest.split_at_mut(cols);
+            rest = tail;
+            let run = &run_cols;
+            scope.spawn(move || run(j0, mine));
+            j0 += cols;
+        }
+    });
+    y
 }
 
 /// Batched GEMM for order-3 tensors: `(B, m, k) · (B, k, n) → (B, m, n)`,
@@ -278,11 +497,16 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         2 * (ba * m * n * k) as u64,
     );
     let mut c = Tensor::zeros(&[ba, m, n]);
-    let threads = thread_count(ba * m * n * k, ba);
+    let threads = thread_count_with(PARALLEL_THRESHOLD / 4, ba * m * n * k, ba);
     let a_data = a.data();
     let b_data = b.data();
     let c_data = c.data_mut();
+    // One scratch per worker, reused across every slice it owns: panel
+    // buffers are allocated once per batch run, not once per slice, which
+    // is where the old per-slice `vec![…]` allocations burned the
+    // small-slice shapes (tens of µs of allocator traffic per call).
     let run_slices = |b0: usize, count: usize, c_chunk: &mut [f32]| {
+        let mut scratch = GemmScratch::default();
         for (si, c_sl) in c_chunk.chunks_mut(m * n).enumerate() {
             let bi = b0 + si;
             debug_assert!(si < count);
@@ -290,11 +514,13 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
             let b_sl = &b_data[bi * k * n..(bi + 1) * k * n];
             gemm_block(
                 backend,
+                KernelDtype::F32,
                 &MatRef::new(a_sl, m, k),
                 &MatRef::new(b_sl, k, n),
                 0,
                 m,
                 c_sl,
+                &mut scratch,
             );
         }
     };
@@ -316,6 +542,471 @@ pub fn batched_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         }
     });
     c
+}
+
+/// A weight-side GEMM operand packed once into every `(jc, pc)` panel the
+/// blocked loop nest will touch, stored in loop order. The factored path
+/// packs its three tiny factor matrices once and reuses the panels for
+/// every row chunk of every worker, instead of re-packing per chunk the
+/// way the general driver must for arbitrary operands.
+struct PrepackedB {
+    k: usize,
+    n: usize,
+    dtype: KernelDtype,
+    data_f32: Vec<f32>,
+    data_u16: Vec<u16>,
+    blocks: Vec<PackedBlock>,
+}
+
+/// One packed `(jc, pc)` block of a [`PrepackedB`].
+struct PackedBlock {
+    jc: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+    off: usize,
+}
+
+/// Packs every `(jc, pc)` block of `b` at `dtype` storage precision, in
+/// the exact order [`gemm_block`] would visit them (jc outer, pc inner),
+/// so per-element accumulation order — and hence f32 bit-identity with the
+/// unfused path — is preserved.
+fn prepack_b(b: &MatRef, dtype: KernelDtype) -> PrepackedB {
+    let (k, n) = (b.rows(), b.cols());
+    let mut packed = PrepackedB {
+        k,
+        n,
+        dtype,
+        data_f32: Vec::new(),
+        data_u16: Vec::new(),
+        blocks: Vec::new(),
+    };
+    let mut bytes_packed = 0u64;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let len = packed_b_len(kc, nc);
+            let off = match dtype {
+                KernelDtype::F32 => {
+                    let off = packed.data_f32.len();
+                    packed.data_f32.resize(off + len, 0.0);
+                    pack_b(&mut packed.data_f32[off..], b, pc, kc, jc, nc);
+                    off
+                }
+                _ => {
+                    let off = packed.data_u16.len();
+                    packed.data_u16.resize(off + len, 0);
+                    pack_b_u16(&mut packed.data_u16[off..], dtype, b, pc, kc, jc, nc);
+                    off
+                }
+            };
+            bytes_packed += (len * dtype.bytes()) as u64;
+            packed.blocks.push(PackedBlock {
+                jc,
+                nc,
+                pc,
+                kc,
+                off,
+            });
+        }
+    }
+    counters::add(Counter::GemmBytesPacked, bytes_packed);
+    packed
+}
+
+/// [`gemm_block`] against a [`PrepackedB`]: identical loop nest and
+/// accumulation order, but B panels come from the prepacked blocks instead
+/// of being packed in place. Returns the bytes written into A panels so
+/// callers can batch the counter update.
+fn gemm_prepacked(
+    backend: Backend,
+    a: &MatRef,
+    i0: usize,
+    m: usize,
+    bp: &PrepackedB,
+    c_band: &mut [f32],
+    apack: &mut Vec<f32>,
+) -> u64 {
+    let (n, k) = (bp.n, bp.k);
+    if m == 0 || n == 0 || k == 0 {
+        return 0;
+    }
+    let a_len = packed_a_len(MC.min(m), KC.min(k));
+    if apack.len() < a_len {
+        apack.resize(a_len, 0.0);
+    }
+    let mut bytes_packed = 0u64;
+    for blk in &bp.blocks {
+        let (jc, nc, pc, kc) = (blk.jc, blk.nc, blk.pc, blk.kc);
+        for ic in (0..m).step_by(MC) {
+            let mc = MC.min(m - ic);
+            pack_a(apack, a, i0 + ic, mc, pc, kc);
+            bytes_packed += (packed_a_len(mc, kc) * 4) as u64;
+            for jr in (0..nc).step_by(NR) {
+                let nr = NR.min(nc - jr);
+                let poff = blk.off + (jr / NR) * NR * kc;
+                let bpanel = match bp.dtype {
+                    KernelDtype::F32 => BPanel::F32(&bp.data_f32[poff..][..NR * kc]),
+                    _ => BPanel::U16(&bp.data_u16[poff..][..NR * kc], bp.dtype),
+                };
+                for ir in (0..mc).step_by(MR) {
+                    let mr = MR.min(mc - ir);
+                    let apanel = &apack[(ir / MR) * MR * kc..][..MR * kc];
+                    let off = (ic + ir) * n + jc + jr;
+                    run_tile(backend, kc, apanel, &bpanel, mr, nr, c_band, off, n);
+                }
+            }
+        }
+    }
+    bytes_packed
+}
+
+/// One worker's share of the fused factored product: processes `rows` rows
+/// of `x` starting at `row0` in `MC`-row chunks, streaming each chunk
+/// through the three stages (`h1 = x·U1`, `h2 = h1·Γ`, `y += h2·U2`)
+/// against the shared prepacked factor panels. Without caches, `h1`/`h2`
+/// live in two chunk-sized scratch buffers (≲ `MC·r` floats each) that
+/// stay cache-resident instead of materializing `m×r` heap tensors; with
+/// caches, stages write straight into the caller's full `h1`/`h2` rows.
+#[allow(clippy::too_many_arguments)]
+fn factored_band(
+    backend: Backend,
+    x: &MatRef,
+    row0: usize,
+    rows: usize,
+    pu1: &PrepackedB,
+    pcore: &PrepackedB,
+    pu2: &PrepackedB,
+    y_band: &mut [f32],
+    caches: Option<(&mut [f32], &mut [f32])>,
+) {
+    let (r1, r2, n) = (pu1.n, pcore.n, pu2.n);
+    // Packing and intermediate buffers persist across calls on each worker
+    // thread: a decode loop replaying one plan per token would otherwise
+    // pay a ~`MC·KC` allocation + zero-fill on every call.
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>, Vec<f32>)> =
+            const { std::cell::RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+    }
+    SCRATCH.with(|cell| {
+        let mut guard = cell.borrow_mut();
+        let (apack, h1s, h2s) = &mut *guard;
+        factored_band_with(
+            backend, x, row0, rows, pu1, pcore, pu2, y_band, caches, r1, r2, n, apack, h1s, h2s,
+        );
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn factored_band_with(
+    backend: Backend,
+    x: &MatRef,
+    row0: usize,
+    rows: usize,
+    pu1: &PrepackedB,
+    pcore: &PrepackedB,
+    pu2: &PrepackedB,
+    y_band: &mut [f32],
+    mut caches: Option<(&mut [f32], &mut [f32])>,
+    r1: usize,
+    r2: usize,
+    n: usize,
+    apack: &mut Vec<f32>,
+    h1s: &mut Vec<f32>,
+    h2s: &mut Vec<f32>,
+) {
+    let mut bytes_packed = 0u64;
+    for c0 in (0..rows).step_by(MC) {
+        let cm = MC.min(rows - c0);
+        let (h1, h2): (&mut [f32], &mut [f32]) = match caches.as_mut() {
+            Some((h1f, h2f)) => (
+                &mut h1f[c0 * r1..(c0 + cm) * r1],
+                &mut h2f[c0 * r2..(c0 + cm) * r2],
+            ),
+            None => {
+                h1s.clear();
+                h1s.resize(cm * r1, 0.0);
+                h2s.clear();
+                h2s.resize(cm * r2, 0.0);
+                (h1s.as_mut_slice(), h2s.as_mut_slice())
+            }
+        };
+        bytes_packed += gemm_prepacked(backend, x, row0 + c0, cm, pu1, h1, apack);
+        bytes_packed +=
+            gemm_prepacked(backend, &MatRef::new(&*h1, cm, r1), 0, cm, pcore, h2, apack);
+        bytes_packed += gemm_prepacked(
+            backend,
+            &MatRef::new(&*h2, cm, r2),
+            0,
+            cm,
+            pu2,
+            &mut y_band[c0 * n..(c0 + cm) * n],
+            apack,
+        );
+    }
+    counters::add(Counter::GemmBytesPacked, bytes_packed);
+}
+
+/// Validates the factored-product shapes and returns
+/// `(m, k, r1, r2, n)`.
+fn factored_dims(x: &Tensor, u1: &Tensor, core: &Tensor, u2: &Tensor) -> [usize; 5] {
+    let (m, k) = (x.rows(), x.cols());
+    let (k2, r1) = (u1.rows(), u1.cols());
+    let (r1b, r2) = (core.rows(), core.cols());
+    let (r2b, n) = (u2.rows(), u2.cols());
+    assert_eq!(k, k2, "factored_matmul: x·U1 inner dimension mismatch");
+    assert_eq!(r1, r1b, "factored_matmul: U1·core inner dimension mismatch");
+    assert_eq!(r2, r2b, "factored_matmul: core·U2 inner dimension mismatch");
+    [m, k, r1, r2, n]
+}
+
+/// A factored linear product `((x·U1)·Γ)·U2` with all three factor
+/// matrices prepacked once at a fixed panel storage dtype.
+///
+/// This is the "pack tiny core/U panels once" half of the fused pipeline:
+/// building the plan pays the packing cost of `U1`/`Γ`/`U2` a single time,
+/// and every subsequent [`FactoredPlan::matmul`] streams activations
+/// through the prepacked panels. Deployment-style inference — static
+/// factors, many forward calls — should build one plan and reuse it;
+/// [`factored_matmul`] builds a throwaway plan per call for convenience.
+///
+/// A plan borrows nothing: the factor panels are copied into the packed
+/// layout, so the source tensors may be dropped or mutated afterwards
+/// (the plan keeps computing with the values it was built from).
+pub struct FactoredPlan {
+    k: usize,
+    r1: usize,
+    r2: usize,
+    n: usize,
+    dtype: KernelDtype,
+    pu1: PrepackedB,
+    pcore: PrepackedB,
+    pu2: PrepackedB,
+}
+
+impl FactoredPlan {
+    /// Prepacks `U1 (k×r1)`, `Γ (r1×r2)`, `U2 (r2×n)` at the active panel
+    /// dtype ([`KernelDtype::active`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain dimensions disagree.
+    pub fn new(u1: &Tensor, core: &Tensor, u2: &Tensor) -> Self {
+        Self::with_dtype(KernelDtype::active(), u1, core, u2)
+    }
+
+    /// [`FactoredPlan::new`] with an explicit panel storage dtype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain dimensions disagree.
+    pub fn with_dtype(dtype: KernelDtype, u1: &Tensor, core: &Tensor, u2: &Tensor) -> Self {
+        let (k, r1) = (u1.rows(), u1.cols());
+        let (r1b, r2) = (core.rows(), core.cols());
+        let (r2b, n) = (u2.rows(), u2.cols());
+        assert_eq!(r1, r1b, "FactoredPlan: U1·core inner dimension mismatch");
+        assert_eq!(r2, r2b, "FactoredPlan: core·U2 inner dimension mismatch");
+        FactoredPlan {
+            k,
+            r1,
+            r2,
+            n,
+            dtype,
+            pu1: prepack_b(&MatRef::new(u1.data(), k, r1), dtype),
+            pcore: prepack_b(&MatRef::new(core.data(), r1, r2), dtype),
+            pu2: prepack_b(&MatRef::new(u2.data(), r2, n), dtype),
+        }
+    }
+
+    /// The panel storage dtype the factors were packed at.
+    pub fn dtype(&self) -> KernelDtype {
+        self.dtype
+    }
+
+    /// Input width (`U1` rows).
+    pub fn fan_in(&self) -> usize {
+        self.k
+    }
+
+    /// Output width (`U2` columns).
+    pub fn fan_out(&self) -> usize {
+        self.n
+    }
+
+    /// `y = ((x·U1)·Γ)·U2` against the prepacked panels on the active
+    /// backend. Bit-identical to [`factored_matmul`] at the same dtype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != fan_in`.
+    pub fn matmul(&self, x: &Tensor) -> Tensor {
+        self.matmul_on(Backend::active(), x)
+    }
+
+    /// [`FactoredPlan::matmul`] with an explicit kernel backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != fan_in`.
+    pub fn matmul_on(&self, backend: Backend, x: &Tensor) -> Tensor {
+        let (m, k) = (x.rows(), x.cols());
+        let (r1, r2, n) = (self.r1, self.r2, self.n);
+        assert_eq!(k, self.k, "FactoredPlan: x·U1 inner dimension mismatch");
+        record_gemm_typed(
+            GemmVariant::FactoredFused,
+            backend.name(),
+            self.dtype.name(),
+            2 * (m * (k * r1 + r1 * r2 + r2 * n)) as u64,
+        );
+        let xref = MatRef::new(x.data(), m, k);
+        let mut y = Tensor::zeros(&[m, n]);
+        let threads = thread_count(m * (k * r1 + r1 * r2 + r2 * n), m);
+        let y_data = y.data_mut();
+        if threads <= 1 {
+            factored_band(
+                backend,
+                &xref,
+                0,
+                m,
+                &self.pu1,
+                &self.pcore,
+                &self.pu2,
+                y_data,
+                None,
+            );
+            return y;
+        }
+        let band = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest = y_data;
+            let mut row0 = 0usize;
+            while row0 < m {
+                let rows = band.min(m - row0);
+                let (mine, tail) = rest.split_at_mut(rows * n);
+                rest = tail;
+                let (pu1, pcore, pu2) = (&self.pu1, &self.pcore, &self.pu2);
+                scope.spawn(move || {
+                    factored_band(backend, &xref, row0, rows, pu1, pcore, pu2, mine, None);
+                });
+                row0 += rows;
+            }
+        });
+        y
+    }
+}
+
+/// Fused factored-linear product `y = ((x·U1)·Γ)·U2` on the active backend
+/// and active panel dtype ([`KernelDtype::active`]).
+///
+/// One pass packs the three factor matrices (at the active storage dtype),
+/// then every worker streams its row chunks through all three GEMM stages
+/// with the rank-`r` intermediates held in cache-blocked scratch — no heap
+/// `Tensor` intermediates, no re-packing of factors per stage or chunk.
+/// Callers with static factors and many products should build a
+/// [`FactoredPlan`] once instead of paying the factor packing per call.
+///
+/// With `f32` panels the result is bit-identical to the unfused
+/// composition `matmul(&matmul(&matmul(x, u1), core), u2)` at any thread
+/// count: panel blocks are visited in the same order, so each element's
+/// accumulation order is unchanged. With `bf16`/`f16` panels every factor
+/// element is rounded once to the storage dtype; the deviation is bounded
+/// by `KernelDtype::gemm_rel_tol` per stage.
+///
+/// # Panics
+///
+/// Panics if any operand is not order-2 or the chain dimensions disagree.
+pub fn factored_matmul(x: &Tensor, u1: &Tensor, core: &Tensor, u2: &Tensor) -> Tensor {
+    factored_matmul_with(Backend::active(), KernelDtype::active(), x, u1, core, u2)
+}
+
+/// [`factored_matmul`] with explicit kernel backend and panel storage
+/// dtype (testing and benchmarking hook).
+pub fn factored_matmul_with(
+    backend: Backend,
+    dtype: KernelDtype,
+    x: &Tensor,
+    u1: &Tensor,
+    core: &Tensor,
+    u2: &Tensor,
+) -> Tensor {
+    FactoredPlan::with_dtype(dtype, u1, core, u2).matmul_on(backend, x)
+}
+
+/// [`factored_matmul`] that also returns the stage intermediates
+/// `(y, h1, h2)` — the training forward pass needs `h1 = x·U1` and
+/// `h2 = h1·Γ` for the backward pass, so the stages write rows straight
+/// into full tensors instead of transient scratch. Stage values (and `y`)
+/// are bit-identical to [`factored_matmul`].
+pub fn factored_matmul_caches(
+    x: &Tensor,
+    u1: &Tensor,
+    core: &Tensor,
+    u2: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let backend = Backend::active();
+    let dtype = KernelDtype::active();
+    let [m, k, r1, r2, n] = factored_dims(x, u1, core, u2);
+    record_gemm_typed(
+        GemmVariant::FactoredFused,
+        backend.name(),
+        dtype.name(),
+        2 * (m * (k * r1 + r1 * r2 + r2 * n)) as u64,
+    );
+    let pu1 = prepack_b(&MatRef::new(u1.data(), k, r1), dtype);
+    let pcore = prepack_b(&MatRef::new(core.data(), r1, r2), dtype);
+    let pu2 = prepack_b(&MatRef::new(u2.data(), r2, n), dtype);
+    let xref = MatRef::new(x.data(), m, k);
+    let mut y = Tensor::zeros(&[m, n]);
+    let mut h1 = Tensor::zeros(&[m, r1]);
+    let mut h2 = Tensor::zeros(&[m, r2]);
+    let threads = thread_count(m * (k * r1 + r1 * r2 + r2 * n), m);
+    if threads <= 1 {
+        factored_band(
+            backend,
+            &xref,
+            0,
+            m,
+            &pu1,
+            &pcore,
+            &pu2,
+            y.data_mut(),
+            Some((h1.data_mut(), h2.data_mut())),
+        );
+        return (y, h1, h2);
+    }
+    let band = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut y_rest = y.data_mut();
+        let mut h1_rest = h1.data_mut();
+        let mut h2_rest = h2.data_mut();
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows = band.min(m - row0);
+            let (y_mine, y_tail) = y_rest.split_at_mut(rows * n);
+            y_rest = y_tail;
+            let (h1_mine, h1_tail) = h1_rest.split_at_mut(rows * r1);
+            h1_rest = h1_tail;
+            let (h2_mine, h2_tail) = h2_rest.split_at_mut(rows * r2);
+            h2_rest = h2_tail;
+            let (pu1, pcore, pu2) = (&pu1, &pcore, &pu2);
+            scope.spawn(move || {
+                factored_band(
+                    backend,
+                    &xref,
+                    row0,
+                    rows,
+                    pu1,
+                    pcore,
+                    pu2,
+                    y_mine,
+                    Some((h1_mine, h2_mine)),
+                );
+            });
+            row0 += rows;
+        }
+    });
+    (y, h1, h2)
 }
 
 /// Mode-`n` tensor–matrix product: contracts mode `mode` of `t` with the
@@ -476,20 +1167,24 @@ mod tests {
         let mut c = vec![0.0f32; 0];
         gemm_block(
             Backend::Scalar,
+            KernelDtype::F32,
             &MatRef::new(&data, 0, 4),
             &MatRef::new(&data, 4, 4),
             0,
             0,
             &mut c,
+            &mut GemmScratch::default(),
         );
         let mut c2 = vec![0.0f32; 8];
         gemm_block(
             Backend::Scalar,
+            KernelDtype::F32,
             &MatRef::new(&data, 2, 0),
             &MatRef::new(&data, 0, 4),
             0,
             2,
             &mut c2,
+            &mut GemmScratch::default(),
         );
         assert!(c2.iter().all(|&v| v == 0.0), "k=0 must leave C zero");
     }
@@ -531,6 +1226,205 @@ mod tests {
             let bsl = Tensor::from_vec(&[40, 30], b.data()[bi * 1200..(bi + 1) * 1200].to_vec());
             let csl = Tensor::from_vec(&[20, 30], c.data()[bi * 600..(bi + 1) * 600].to_vec());
             assert!(csl.approx_eq(&matmul(&asl, &bsl), 1e-4));
+        }
+    }
+
+    #[test]
+    fn matvec_threaded_path_matches_serial() {
+        // Big enough to cross PARALLEL_THRESHOLD (m·k ≥ 2^20).
+        let mut rng = Rng64::new(30);
+        let a = Tensor::randn(&[1200, 1024], &mut rng);
+        let x: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.01).sin()).collect();
+        let prev = set_thread_limit(1);
+        let one = matvec(&a, &x);
+        set_thread_limit(4);
+        let four = matvec(&a, &x);
+        set_thread_limit(prev);
+        assert_eq!(one, four, "thread count changed matvec bits");
+    }
+
+    #[test]
+    fn matvec_transb_matches_materialized_transpose() {
+        let mut rng = Rng64::new(31);
+        let a = Tensor::randn(&[17, 33], &mut rng);
+        let x: Vec<f32> = (0..17).map(|i| (i as f32 * 0.2).cos()).collect();
+        let got = matvec_transb(&a, &x);
+        let want = matvec(&a.transpose(), &x);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn matvec_transb_threaded_path_is_deterministic() {
+        let mut rng = Rng64::new(32);
+        let a = Tensor::randn(&[1024, 1200], &mut rng);
+        let x: Vec<f32> = (0..1024).map(|i| (i as f32 * 0.013).sin()).collect();
+        let prev = set_thread_limit(1);
+        let one = matvec_transb(&a, &x);
+        set_thread_limit(3);
+        let three = matvec_transb(&a, &x);
+        set_thread_limit(prev);
+        assert_eq!(one, three, "thread count changed matvec_transb bits");
+    }
+
+    #[test]
+    fn bf16_matmul_tracks_f32_within_contract() {
+        let mut rng = Rng64::new(33);
+        for dtype in [KernelDtype::Bf16, KernelDtype::F16] {
+            let a = Tensor::randn(&[50, 70], &mut rng);
+            let b = Tensor::randn(&[70, 45], &mut rng);
+            let f = matmul_on(Backend::active(), &a, &b);
+            let q = matmul_with(Backend::active(), dtype, &a, &b);
+            let tol = dtype.gemm_rel_tol() * (70f32).sqrt();
+            for (x, y) in f.data().iter().zip(q.data()) {
+                assert!(
+                    (x - y).abs() <= tol * (1.0 + x.abs()),
+                    "{dtype:?}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_dtype_matmul_matches_prequantized_f32_matmul() {
+        // Storing B panels at bf16 must equal quantizing B up front and
+        // running the f32 engine: the kernels widen exactly.
+        let mut rng = Rng64::new(34);
+        for dtype in [KernelDtype::Bf16, KernelDtype::F16] {
+            let a = Tensor::randn(&[23, 31], &mut rng);
+            let b = Tensor::randn(&[31, 29], &mut rng);
+            let bq_data: Vec<f32> = b
+                .data()
+                .iter()
+                .map(|&v| crate::dtype::quantize(dtype, v))
+                .collect();
+            let bq = Tensor::from_vec(&[31, 29], bq_data);
+            let got = matmul_with(Backend::active(), dtype, &a, &b);
+            let want = matmul(&a, &bq);
+            assert_eq!(got, want, "{dtype:?} widening must be exact");
+        }
+    }
+
+    fn unfused(x: &Tensor, u1: &Tensor, core: &Tensor, u2: &Tensor) -> Tensor {
+        matmul(&matmul(&matmul(x, u1), core), u2)
+    }
+
+    #[test]
+    fn fused_factored_is_bit_identical_to_unfused_f32() {
+        let mut rng = Rng64::new(35);
+        for (m, k, r, n) in [
+            (1usize, 8usize, 1usize, 5usize),
+            (9, 64, 4, 48),
+            (33, 100, 12, 77),
+            (130, 300, 16, 260), // crosses KC/MC boundaries and threads
+        ] {
+            let x = Tensor::randn(&[m, k], &mut rng);
+            let u1 = Tensor::randn(&[k, r], &mut rng);
+            let core = Tensor::randn(&[r, r], &mut rng);
+            let u2 = Tensor::randn(&[r, n], &mut rng);
+            let fused =
+                factored_matmul_with(Backend::active(), KernelDtype::F32, &x, &u1, &core, &u2);
+            let want = unfused(&x, &u1, &core, &u2);
+            assert_eq!(fused, want, "({m},{k},{r},{n}) fused != unfused bits");
+        }
+    }
+
+    #[test]
+    fn plan_reuse_is_bit_identical_to_per_call_fused() {
+        let mut rng = Rng64::new(53);
+        let u1 = Tensor::randn(&[48, 6], &mut rng);
+        let mut core = Tensor::randn(&[6, 6], &mut rng);
+        let u2 = Tensor::randn(&[6, 40], &mut rng);
+        let plan = FactoredPlan::with_dtype(KernelDtype::F32, &u1, &core, &u2);
+        assert_eq!((plan.fan_in(), plan.fan_out()), (48, 40));
+        assert_eq!(plan.dtype(), KernelDtype::F32);
+        // Same plan, several activations — each product bit-equals the
+        // throwaway-plan entry point.
+        for m in [1usize, 7, 130] {
+            let x = Tensor::randn(&[m, 48], &mut rng);
+            let want =
+                factored_matmul_with(Backend::active(), KernelDtype::F32, &x, &u1, &core, &u2);
+            assert_eq!(plan.matmul(&x), want, "m={m} plan != per-call fused");
+        }
+        // The plan owns its packed panels: mutating the source factor
+        // afterwards must not change what the plan computes.
+        let x = Tensor::randn(&[5, 48], &mut rng);
+        let before = plan.matmul(&x);
+        core.data_mut()[0] += 100.0;
+        assert_eq!(plan.matmul(&x), before, "plan aliased a source tensor");
+    }
+
+    #[test]
+    fn fused_factored_deterministic_across_thread_limits() {
+        let mut rng = Rng64::new(36);
+        let x = Tensor::randn(&[256, 200], &mut rng);
+        let u1 = Tensor::randn(&[200, 24], &mut rng);
+        let core = Tensor::randn(&[24, 24], &mut rng);
+        let u2 = Tensor::randn(&[24, 180], &mut rng);
+        let prev = set_thread_limit(1);
+        let one = factored_matmul(&x, &u1, &core, &u2);
+        set_thread_limit(5);
+        let five = factored_matmul(&x, &u1, &core, &u2);
+        set_thread_limit(prev);
+        assert_eq!(one, five, "thread count changed fused bits");
+    }
+
+    #[test]
+    fn fused_caches_match_unfused_stages() {
+        let mut rng = Rng64::new(37);
+        let x = Tensor::randn(&[40, 60], &mut rng);
+        let u1 = Tensor::randn(&[60, 8], &mut rng);
+        let core = Tensor::randn(&[8, 8], &mut rng);
+        let u2 = Tensor::randn(&[8, 50], &mut rng);
+        let (y, h1, h2) = factored_matmul_caches(&x, &u1, &core, &u2);
+        let h1_want = matmul(&x, &u1);
+        let h2_want = matmul(&h1_want, &core);
+        let y_want = matmul(&h2_want, &u2);
+        if KernelDtype::active() == KernelDtype::F32 {
+            assert_eq!(h1, h1_want);
+            assert_eq!(h2, h2_want);
+            assert_eq!(y, y_want);
+        } else {
+            let tol = KernelDtype::active().gemm_rel_tol() * 8.0;
+            assert!(y.sub(&y_want).map(|d| d.max_abs() < tol).unwrap_or(false));
+        }
+    }
+
+    #[test]
+    fn fused_reduced_precision_within_documented_tolerance() {
+        let mut rng = Rng64::new(38);
+        let (m, k, r, n) = (24usize, 96usize, 8usize, 64usize);
+        let x = Tensor::randn(&[m, k], &mut rng);
+        let u1 = Tensor::randn(&[k, r], &mut rng);
+        let core = Tensor::randn(&[r, r], &mut rng);
+        let u2 = Tensor::randn(&[r, n], &mut rng);
+        let want = unfused(&x, &u1, &core, &u2);
+        for dtype in [KernelDtype::Bf16, KernelDtype::F16] {
+            let got = factored_matmul_with(Backend::active(), dtype, &x, &u1, &core, &u2);
+            // Three stages, each bounded by the per-GEMM contract with a
+            // sqrt(k)-style growth factor.
+            let tol = 3.0 * dtype.gemm_rel_tol() * (k as f32).sqrt();
+            for (g, w) in got.data().iter().zip(want.data()) {
+                assert!(
+                    (g - w).abs() <= tol * (1.0 + w.abs()),
+                    "{dtype:?}: {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bytes_packed_counter_advances() {
+        let mut rng = Rng64::new(39);
+        let a = Tensor::randn(&[32, 40], &mut rng);
+        let b = Tensor::randn(&[40, 24], &mut rng);
+        let before = lrd_trace::counters::get(Counter::GemmBytesPacked);
+        let _ = matmul(&a, &b);
+        let after = lrd_trace::counters::get(Counter::GemmBytesPacked);
+        if lrd_trace::enabled() {
+            assert!(after > before, "matmul must account packed bytes");
         }
     }
 

@@ -15,6 +15,7 @@
 //! a logical-transpose flag, so `matmul_transa` / `matmul_transb` reuse the
 //! same kernel and blocking as plain `matmul` instead of bespoke loops.
 
+use crate::dtype::{encode_u16, KernelDtype};
 use crate::kernel::{MR, NR};
 
 /// A borrowed, row-major matrix operand with an optional logical transpose.
@@ -168,6 +169,62 @@ pub fn pack_b(buf: &mut [f32], b: &MatRef, p0: usize, kc: usize, j0: usize, nc: 
     }
 }
 
+/// Packs the `kc × nc` block of `b` starting at `(p0, j0)` into `buf` as
+/// zero-padded `NR`-column micro-panels of reduced-precision (`bf16` or
+/// `f16`) bit patterns — the layout of [`pack_b`] with each value encoded
+/// through `dtype`'s storage codec. Padding encodes `0.0`, which is exact
+/// in both formats, so padded lanes contribute nothing just as in the
+/// `f32` panels.
+pub fn pack_b_u16(
+    buf: &mut [u16],
+    dtype: KernelDtype,
+    b: &MatRef,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+) {
+    debug_assert!(buf.len() >= packed_b_len(kc, nc));
+    debug_assert!(dtype != KernelDtype::F32, "f32 panels use pack_b");
+    let mut dst = 0usize;
+    let mut jp = 0usize;
+    while jp < nc {
+        let nr = NR.min(nc - jp);
+        if !b.trans && nr == NR {
+            // A logical B row is contiguous in row-major storage.
+            for kk in 0..kc {
+                let src = (p0 + kk) * b.cols + j0 + jp;
+                let out = &mut buf[dst + kk * NR..dst + kk * NR + NR];
+                for (o, &v) in out.iter_mut().zip(&b.data[src..src + NR]) {
+                    *o = encode_u16(dtype, v);
+                }
+            }
+        } else if b.trans && nr == NR {
+            // Transposed storage: gather NR strided values per k-step.
+            let stride = b.rows;
+            for kk in 0..kc {
+                let base = (j0 + jp) * stride + p0 + kk;
+                let out = &mut buf[dst + kk * NR..dst + kk * NR + NR];
+                for (c, o) in out.iter_mut().enumerate() {
+                    *o = encode_u16(dtype, b.data[base + c * stride]);
+                }
+            }
+        } else {
+            for kk in 0..kc {
+                for c in 0..NR {
+                    buf[dst + kk * NR + c] = if c < nr {
+                        encode_u16(dtype, b.at(p0 + kk, j0 + jp + c))
+                    } else {
+                        encode_u16(dtype, 0.0)
+                    };
+                }
+            }
+        }
+        dst += NR * kc;
+        jp += NR;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +322,27 @@ mod tests {
         pack_b(&mut bt, &b_t, 0, kk, 0, n);
         pack_b(&mut bp, &b_plain, 0, kk, 0, n);
         assert_eq!(bt, bp);
+    }
+
+    #[test]
+    fn pack_b_u16_matches_elementwise_encode_of_pack_b() {
+        use crate::dtype::encode_u16;
+        let data = grid(9, 21);
+        let b = MatRef::new(&data, 9, 21);
+        let bt_store = grid(21, 9);
+        let bt = MatRef::transposed(&bt_store, 9, 21);
+        for dtype in [KernelDtype::Bf16, KernelDtype::F16] {
+            for m in [&b, &bt] {
+                let (kc, nc) = (9usize, 21usize);
+                let mut f32buf = vec![0.0f32; packed_b_len(kc, nc)];
+                let mut u16buf = vec![1u16; packed_b_len(kc, nc)];
+                pack_b(&mut f32buf, m, 0, kc, 0, nc);
+                pack_b_u16(&mut u16buf, dtype, m, 0, kc, 0, nc);
+                for (got, &want) in u16buf.iter().zip(&f32buf) {
+                    assert_eq!(*got, encode_u16(dtype, want));
+                }
+            }
+        }
     }
 
     #[test]

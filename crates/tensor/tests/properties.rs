@@ -1,9 +1,10 @@
 //! Property-based tests for the linear-algebra substrate.
 
+use lrd_tensor::dtype::KernelDtype;
 use lrd_tensor::kernel::{Backend, NR};
 use lrd_tensor::matmul::{
-    matmul, matmul_on, matmul_transa, matmul_transa_on, matmul_transb, matmul_transb_on, matvec,
-    mode_n_product, set_thread_limit,
+    factored_matmul_with, matmul, matmul_on, matmul_transa, matmul_transa_on, matmul_transb,
+    matmul_transb_on, matmul_with, matvec, mode_n_product, set_thread_limit, FactoredPlan,
 };
 use lrd_tensor::qr::{orthonormality_error, qr_thin};
 use lrd_tensor::rng::Rng64;
@@ -50,6 +51,52 @@ fn adversarial_shape() -> impl Strategy<Value = (usize, usize, usize, u64)> {
             ),
         }
     })
+}
+
+/// Strategy: factored-product shapes `([m, k, r1, r2, n], seed)` hitting
+/// the fused pipeline's edges — rank-1 cores, single-row activations, `n`
+/// straddling the micro-kernel width, and `m` crossing the 120-row packing
+/// chunk so multi-chunk streaming is exercised.
+fn factored_shape() -> impl Strategy<Value = ([usize; 5], u64)> {
+    (any::<u64>(), any::<u64>()).prop_map(|(pick, seed)| {
+        let r = |lo: usize, hi: usize, x: u64| lo + (x as usize) % (hi - lo + 1);
+        let shape = match pick % 4 {
+            0 => [1, r(1, 24, pick >> 2), 1, 1, r(NR - 1, NR + 1, pick >> 8)],
+            1 => [
+                r(1, 8, pick >> 2),
+                r(1, 3, pick >> 8),
+                r(1, 4, pick >> 16),
+                r(1, 4, pick >> 24),
+                r(1, 2 * NR + 1, pick >> 32),
+            ],
+            2 => [
+                121 + (pick as usize >> 2) % 8,
+                r(1, 8, pick >> 8),
+                r(1, 6, pick >> 16),
+                r(1, 6, pick >> 24),
+                r(1, 8, pick >> 32),
+            ],
+            _ => [
+                r(1, 20, pick >> 2),
+                r(1, 24, pick >> 8),
+                r(1, 10, pick >> 16),
+                r(1, 10, pick >> 24),
+                r(1, 40, pick >> 32),
+            ],
+        };
+        (shape, seed)
+    })
+}
+
+/// Generates the four factored-product operands for a [`factored_shape`].
+fn factored_operands(shape: [usize; 5], seed: u64) -> (Tensor, Tensor, Tensor, Tensor) {
+    let [m, k, r1, r2, n] = shape;
+    let mut rng = Rng64::new(seed);
+    let x = Tensor::randn(&[m, k], &mut rng);
+    let u1 = Tensor::randn(&[k, r1], &mut rng);
+    let core = Tensor::randn(&[r1, r2], &mut rng);
+    let u2 = Tensor::randn(&[r2, n], &mut rng);
+    (x, u1, core, u2)
 }
 
 proptest! {
@@ -243,6 +290,77 @@ proptest! {
         for (i, &v) in via_mv.iter().enumerate() {
             prop_assert!((via_mm.get(&[i, 0]) - v).abs() <= 1e-4 * (1.0 + v.abs()));
         }
+    }
+
+    #[test]
+    fn fused_factored_is_bit_identical_to_unfused_f32(case in factored_shape()) {
+        // The fused pipeline reuses the unfused loop nest's accumulation
+        // order exactly, so at f32 storage the results must match to the
+        // bit — per call and through a reused plan. The unfused baseline
+        // pins f32 explicitly so this holds under LRD_KERNEL_DTYPE overrides.
+        let (shape, seed) = case;
+        let backend = Backend::active();
+        let (x, u1, core, u2) = factored_operands(shape, seed);
+        let h1 = matmul_with(backend, KernelDtype::F32, &x, &u1);
+        let h2 = matmul_with(backend, KernelDtype::F32, &h1, &core);
+        let unfused = matmul_with(backend, KernelDtype::F32, &h2, &u2);
+        let fused = factored_matmul_with(backend, KernelDtype::F32, &x, &u1, &core, &u2);
+        prop_assert_eq!(&unfused, &fused, "shape {:?}", shape);
+        let plan = FactoredPlan::with_dtype(KernelDtype::F32, &u1, &core, &u2);
+        prop_assert_eq!(&unfused, &plan.matmul_on(backend, &x), "plan, shape {:?}", shape);
+    }
+
+    #[test]
+    fn fused_low_precision_within_documented_tolerance(case in factored_shape()) {
+        // 16-bit B-panel storage rounds each factor once; the bounds here
+        // are the ones DESIGN.md §12 documents (bf16: 8 mantissa bits,
+        // f16: 11).
+        let (shape, seed) = case;
+        let backend = Backend::active();
+        let (x, u1, core, u2) = factored_operands(shape, seed);
+        let h1 = matmul_with(backend, KernelDtype::F32, &x, &u1);
+        let h2 = matmul_with(backend, KernelDtype::F32, &h1, &core);
+        let exact = matmul_with(backend, KernelDtype::F32, &h2, &u2);
+        for (dtype, tol) in [(KernelDtype::Bf16, 5e-2), (KernelDtype::F16, 1e-2)] {
+            let fused = factored_matmul_with(backend, dtype, &x, &u1, &core, &u2);
+            let rel = exact.sub(&fused).unwrap().max_abs() / (1.0 + exact.max_abs());
+            prop_assert!(rel <= tol, "{} shape {:?} rel diff {rel}", dtype.name(), shape);
+        }
+    }
+
+    #[test]
+    fn fused_scalar_and_simd_agree(case in factored_shape()) {
+        let (shape, seed) = case;
+        let Some(simd) = Backend::detect_simd() else { return Ok(()) };
+        let (x, u1, core, u2) = factored_operands(shape, seed);
+        let s = factored_matmul_with(Backend::Scalar, KernelDtype::F32, &x, &u1, &core, &u2);
+        let v = factored_matmul_with(simd, KernelDtype::F32, &x, &u1, &core, &u2);
+        let rel = s.sub(&v).unwrap().max_abs() / (1.0 + s.max_abs());
+        prop_assert!(rel <= 1e-4, "shape {:?} rel diff {rel}", shape);
+    }
+
+    #[test]
+    fn fused_is_bit_identical_across_thread_counts(seed in any::<u64>()) {
+        // Band splits must not change any element's accumulation order —
+        // the same invariant `repeated_runs_are_bit_identical` pins for the
+        // classic entry points, here for the fused pipeline at the active
+        // storage dtype (so the bf16/f16 CI variants exercise it too).
+        let backend = Backend::active();
+        let dtype = KernelDtype::active();
+        let mut rng = Rng64::new(seed);
+        let x = Tensor::randn(&[130, 48], &mut rng);
+        let u1 = Tensor::randn(&[48, 6], &mut rng);
+        let core = Tensor::randn(&[6, 6], &mut rng);
+        let u2 = Tensor::randn(&[6, 40], &mut rng);
+        let prev = set_thread_limit(1);
+        let serial = factored_matmul_with(backend, dtype, &x, &u1, &core, &u2);
+        set_thread_limit(3);
+        let banded = factored_matmul_with(backend, dtype, &x, &u1, &core, &u2);
+        let plan = FactoredPlan::with_dtype(dtype, &u1, &core, &u2);
+        let planned = plan.matmul_on(backend, &x);
+        set_thread_limit(prev);
+        prop_assert_eq!(&serial, &banded);
+        prop_assert_eq!(&serial, &planned);
     }
 
     #[test]

@@ -61,10 +61,14 @@ pub enum Counter {
     /// Warnings routed through `lrd_trace::warn` (the sanctioned stderr
     /// choke point).
     WarningsEmitted,
+    /// Bytes written into packed GEMM panels (A and B, padding included) —
+    /// the memory traffic the packed engine actually moves, which drops
+    /// when reduced-precision panel storage is active.
+    GemmBytesPacked,
 }
 
 /// Every counter, in metrics-document order.
-pub const ALL: [Counter; 18] = [
+pub const ALL: [Counter; 19] = [
     Counter::SvdJacobiCalls,
     Counter::SvdJacobiSweeps,
     Counter::SvdRandomizedCalls,
@@ -83,6 +87,7 @@ pub const ALL: [Counter; 18] = [
     Counter::ExecutorRunUs,
     Counter::HwsimSimulations,
     Counter::WarningsEmitted,
+    Counter::GemmBytesPacked,
 ];
 
 impl Counter {
@@ -107,6 +112,7 @@ impl Counter {
             Counter::ExecutorRunUs => "executor_run_us",
             Counter::HwsimSimulations => "hwsim_simulations",
             Counter::WarningsEmitted => "warnings_emitted",
+            Counter::GemmBytesPacked => "gemm_bytes_packed",
         }
     }
 
@@ -162,16 +168,29 @@ pub enum GemmVariant {
     Batched,
     /// Matrix–vector product via the dot kernel.
     Matvec,
+    /// `aᵀ · x` matrix–vector product via the axpy kernel (decode path,
+    /// no materialized transpose).
+    MatvecTransB,
+    /// Fused three-stage factored product `((x·U1)·Γ)·U2` through one
+    /// blocked pipeline with prepacked factor panels.
+    FactoredFused,
 }
 
 /// Every GEMM variant, in metrics-document order.
-pub const GEMM_VARIANTS: [GemmVariant; 5] = [
+pub const GEMM_VARIANTS: [GemmVariant; 7] = [
     GemmVariant::Matmul,
     GemmVariant::MatmulTransA,
     GemmVariant::MatmulTransB,
     GemmVariant::Batched,
     GemmVariant::Matvec,
+    GemmVariant::MatvecTransB,
+    GemmVariant::FactoredFused,
 ];
+
+/// Storage dtypes of packed weight panels the GEMM matrix distinguishes.
+/// Index 0 is the `f32` reference; reduced-precision panel runs land in
+/// their own cells so per-dtype throughput can be read from one document.
+pub const GEMM_DTYPES: [&str; 3] = ["f32", "bf16", "f16"];
 
 impl GemmVariant {
     /// Stable name used as the JSON value.
@@ -182,6 +201,8 @@ impl GemmVariant {
             GemmVariant::MatmulTransB => "matmul_transb",
             GemmVariant::Batched => "batched_matmul",
             GemmVariant::Matvec => "matvec",
+            GemmVariant::MatvecTransB => "matvec_transb",
+            GemmVariant::FactoredFused => "factored_fused",
         }
     }
 
@@ -194,13 +215,15 @@ impl GemmVariant {
     }
 }
 
-/// Calls and FLOPs of one (variant, backend) GEMM cell.
+/// Calls and FLOPs of one (variant, backend, dtype) GEMM cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GemmCounter {
     /// GEMM entry-point name.
     pub variant: &'static str,
     /// Kernel backend name (`"scalar"` or the SIMD dispatch name).
     pub backend: &'static str,
+    /// Packed weight-panel storage dtype (one of [`GEMM_DTYPES`]).
+    pub dtype: &'static str,
     /// Number of calls.
     pub calls: u64,
     /// Total floating-point operations (2 per multiply-add).
@@ -219,21 +242,41 @@ struct GemmCell {
 }
 
 #[cfg(feature = "collect")]
-static GEMM: [[GemmCell; 2]; GEMM_VARIANTS.len()] = {
+static GEMM: [[[GemmCell; GEMM_DTYPES.len()]; 2]; GEMM_VARIANTS.len()] = {
     #[allow(clippy::declare_interior_mutable_const)]
     const CELL: GemmCell = GemmCell {
         calls: AtomicU64::new(0),
         flops: AtomicU64::new(0),
     };
     #[allow(clippy::declare_interior_mutable_const)]
-    const ROW: [GemmCell; 2] = [CELL; 2];
+    const COL: [GemmCell; GEMM_DTYPES.len()] = [CELL; GEMM_DTYPES.len()];
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ROW: [[GemmCell; GEMM_DTYPES.len()]; 2] = [COL; 2];
     [ROW; GEMM_VARIANTS.len()]
 };
 
-/// Records one GEMM call of `flops` floating-point operations on the named
-/// kernel backend. Lock-free; intended for the dispatch hot path.
+#[cfg(feature = "collect")]
+fn dtype_index(dtype: &str) -> usize {
+    GEMM_DTYPES.iter().position(|d| *d == dtype).unwrap_or(0)
+}
+
+/// Records one `f32`-panel GEMM call of `flops` floating-point operations
+/// on the named kernel backend. Lock-free; intended for the dispatch hot
+/// path.
 #[inline]
 pub fn record_gemm(variant: GemmVariant, backend: &'static str, flops: u64) {
+    record_gemm_typed(variant, backend, "f32", flops);
+}
+
+/// [`record_gemm`] with an explicit packed-panel storage dtype (one of
+/// [`GEMM_DTYPES`]; unknown names land in the `f32` cell).
+#[inline]
+pub fn record_gemm_typed(
+    variant: GemmVariant,
+    backend: &'static str,
+    dtype: &'static str,
+    flops: u64,
+) {
     #[cfg(feature = "collect")]
     {
         let b = if backend == "scalar" {
@@ -242,15 +285,15 @@ pub fn record_gemm(variant: GemmVariant, backend: &'static str, flops: u64) {
             SIMD_BACKEND_NAME.get_or_init(|| backend);
             1
         };
-        let cell = &GEMM[variant.index()][b];
+        let cell = &GEMM[variant.index()][b][dtype_index(dtype)];
         cell.calls.fetch_add(1, Ordering::Relaxed);
         cell.flops.fetch_add(flops, Ordering::Relaxed);
     }
     #[cfg(not(feature = "collect"))]
-    let _ = (variant, backend, flops);
+    let _ = (variant, backend, dtype, flops);
 }
 
-/// Snapshot of every non-empty (variant, backend) GEMM cell.
+/// Snapshot of every non-empty (variant, backend, dtype) GEMM cell.
 pub fn gemm_snapshot() -> Vec<GemmCounter> {
     #[cfg(feature = "collect")]
     {
@@ -260,15 +303,18 @@ pub fn gemm_snapshot() -> Vec<GemmCounter> {
                 (0usize, "scalar"),
                 (1, SIMD_BACKEND_NAME.get().copied().unwrap_or("simd")),
             ] {
-                let cell = &GEMM[variant.index()][b];
-                let calls = cell.calls.load(Ordering::Relaxed);
-                if calls > 0 {
-                    out.push(GemmCounter {
-                        variant: variant.name(),
-                        backend,
-                        calls,
-                        flops: cell.flops.load(Ordering::Relaxed),
-                    });
+                for (d, dtype) in GEMM_DTYPES.iter().enumerate() {
+                    let cell = &GEMM[variant.index()][b][d];
+                    let calls = cell.calls.load(Ordering::Relaxed);
+                    if calls > 0 {
+                        out.push(GemmCounter {
+                            variant: variant.name(),
+                            backend,
+                            dtype,
+                            calls,
+                            flops: cell.flops.load(Ordering::Relaxed),
+                        });
+                    }
                 }
             }
         }
@@ -307,7 +353,7 @@ mod tests {
         record_gemm(GemmVariant::Matvec, "scalar", 64);
         let cell: Vec<_> = gemm_snapshot()
             .into_iter()
-            .filter(|g| g.variant == "matvec" && g.backend == "scalar")
+            .filter(|g| g.variant == "matvec" && g.backend == "scalar" && g.dtype == "f32")
             .collect();
         if crate::enabled() {
             assert_eq!(cell.len(), 1);
@@ -315,6 +361,22 @@ mod tests {
             assert!(cell[0].flops >= 192);
         } else {
             assert!(cell.is_empty());
+        }
+    }
+
+    #[test]
+    fn typed_cells_split_by_dtype() {
+        record_gemm_typed(GemmVariant::FactoredFused, "scalar", "bf16", 1000);
+        record_gemm_typed(GemmVariant::FactoredFused, "scalar", "f32", 500);
+        let cells: Vec<_> = gemm_snapshot()
+            .into_iter()
+            .filter(|g| g.variant == "factored_fused" && g.backend == "scalar")
+            .collect();
+        if crate::enabled() {
+            assert!(cells.iter().any(|g| g.dtype == "bf16" && g.flops >= 1000));
+            assert!(cells.iter().any(|g| g.dtype == "f32" && g.flops >= 500));
+        } else {
+            assert!(cells.is_empty());
         }
     }
 

@@ -16,7 +16,7 @@
 //!                 kernel_backend, kernel_gflops },
 //!   "cache":    { hits, misses, lookups, hit_rate, distinct_factors },
 //!   "counters": { <name>: <u64>, … },                 // every ALL name, always
-//!   "gemm":     [ { variant, backend, calls, flops }, … ],
+//!   "gemm":     [ { variant, backend, dtype, calls, flops }, … ],
 //!   "spans":    [ { id, parent, name, label, start_us, dur_us }, … ],
 //!   "events":   [ { name, label, <field>: <f64>, … }, … ]
 //! }
@@ -133,6 +133,7 @@ pub fn metrics_document(run: &RunInfo, cache: &CacheInfo) -> Json {
                         Json::obj([
                             ("variant", Json::str(g.variant)),
                             ("backend", Json::str(g.backend)),
+                            ("dtype", Json::str(g.dtype)),
                             ("calls", Json::uint(g.calls)),
                             ("flops", Json::uint(g.flops)),
                         ])
