@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! metrics_check <path> [--require-nonzero counter1,counter2,...]
-//!               [--suite BENCH_suite.json]
+//!               [--suite BENCH_suite.json] [--require-serve]
 //! ```
 //!
 //! For the metrics document: checks the schema identity and version, the
@@ -13,9 +13,13 @@
 //! strictly positive — the chaos CI job uses this to prove faults were
 //! actually injected and retried.
 //!
-//! For the suite document (`--suite`): checks the v2 layout — per-dtype
+//! For the suite document (`--suite`): checks the v3 layout — per-dtype
 //! `kernel_gflops` groups with positive throughputs, a resolved
-//! `kernel_dtype`, and nonzero `gemm_bytes_packed`.
+//! `kernel_dtype`, nonzero `gemm_bytes_packed`, and (when present, or
+//! demanded by `--require-serve`) the `serve` section: ordered latency
+//! percentiles, positive throughput, and a `true` batched-vs-sequential
+//! bit-identity verdict for every variant — the serve-smoke CI job's
+//! pass condition.
 //!
 //! Exits non-zero with a message on the first violation — CI runs this
 //! against a fresh `fig9 --fast` run.
@@ -69,8 +73,104 @@ fn load_doc(path: &str) -> Json {
     }
 }
 
-/// Validates a `BENCH_suite.json` document against the v2 layout.
-fn check_suite(path: &str) {
+/// Validates one serving-run report object (`serve.variants[i].batched` /
+/// `.sequential`): counts consistent, percentiles ordered, throughput
+/// positive when tokens were generated.
+fn check_serve_run(run: &Json, section: &str) {
+    let offered = require_num(run, section, "offered");
+    let completed = require_num(run, section, "completed");
+    let rejected = require_num(run, section, "rejected");
+    let failed = require_num(run, section, "failed");
+    if completed + rejected + failed != offered {
+        fail(&format!(
+            "{section}: completed {completed} + rejected {rejected} + failed {failed} != offered {offered}"
+        ));
+    }
+    let tokens = require_num(run, section, "tokens");
+    if completed > 0.0 && tokens <= 0.0 {
+        fail(&format!("{section}: completed sessions but zero tokens"));
+    }
+    if tokens > 0.0 && require_num(run, section, "tokens_per_s") <= 0.0 {
+        fail(&format!("{section}.tokens_per_s must be positive"));
+    }
+    for hist in ["per_token_ms", "ttft_ms"] {
+        let h = match run.get(hist) {
+            Some(h) if h.as_obj().is_some() => h,
+            _ => fail(&format!("{section}.{hist} missing or not an object")),
+        };
+        let sec = format!("{section}.{hist}");
+        let (p50, p95, p99) = (
+            require_num(h, &sec, "p50"),
+            require_num(h, &sec, "p95"),
+            require_num(h, &sec, "p99"),
+        );
+        if !(p50 <= p95 && p95 <= p99) {
+            fail(&format!(
+                "{sec}: percentiles out of order ({p50}, {p95}, {p99})"
+            ));
+        }
+        if tokens > 0.0 && require_num(h, &sec, "count") <= 0.0 {
+            fail(&format!("{sec}.count must be positive"));
+        }
+    }
+    require_num(run, section, "stream_checksum");
+}
+
+/// Validates the optional v3 `serve` section.
+fn check_serve_section(serve: &Json) {
+    if require_num(serve, "serve", "sessions") <= 0.0 {
+        fail("serve.sessions must be positive");
+    }
+    require_num(serve, "serve", "max_batch");
+    require_num(serve, "serve", "trace_seed");
+    let variants = match serve.get("variants").and_then(|v| v.as_arr()) {
+        Some(v) if !v.is_empty() => v,
+        _ => fail("serve.variants missing or empty"),
+    };
+    let mut factored = 0usize;
+    for (i, v) in variants.iter().enumerate() {
+        let section = format!("serve.variants[{i}]");
+        let label = require_str(v, &section, "label");
+        let reduction = require_num(v, &section, "reduction_pct");
+        if reduction > 0.0 {
+            factored += 1;
+        }
+        if require_num(v, &section, "speedup") <= 0.0 {
+            fail(&format!("{section}.speedup must be positive"));
+        }
+        if !matches!(v.get("bit_identical"), Some(Json::Bool(true))) {
+            fail(&format!(
+                "{section} (\"{label}\"): batched streams are not bit-identical to sequential"
+            ));
+        }
+        for run in ["batched", "sequential"] {
+            match v.get(run) {
+                Some(r) if r.as_obj().is_some() => {
+                    check_serve_run(r, &format!("{section}.{run}"));
+                }
+                _ => fail(&format!("{section}.{run} missing or not an object")),
+            }
+        }
+    }
+    if !variants
+        .iter()
+        .any(|v| v.get("label").and_then(|l| l.as_str()) == Some("dense"))
+    {
+        fail("serve.variants must include the dense baseline");
+    }
+    if factored < 3 {
+        fail(&format!(
+            "serve.variants must cover at least 3 factored reduction points (found {factored})"
+        ));
+    }
+    println!(
+        "metrics_check: serve section OK ({} variants, {factored} factored points)",
+        variants.len()
+    );
+}
+
+/// Validates a `BENCH_suite.json` document against the v3 layout.
+fn check_suite(path: &str, require_serve: bool) {
     let doc = load_doc(path);
     if require_str(&doc, "$", "schema") != lrd_bench::SUITE_SCHEMA_NAME {
         fail(&format!(
@@ -146,6 +246,14 @@ fn check_suite(path: &str) {
     if require_num(&doc, "$", "gemm_bytes_packed") <= 0.0 {
         fail("suite gemm_bytes_packed must be nonzero");
     }
+    // The serve section is optional (only `repro serve` writes it), but
+    // validated whenever present; `--require-serve` makes absence fatal.
+    match doc.get("serve") {
+        Some(serve) if serve.as_obj().is_some() => check_serve_section(serve),
+        Some(_) => fail("suite serve section is not an object"),
+        None if require_serve => fail("suite has no serve section (--require-serve)"),
+        None => {}
+    }
     println!(
         "metrics_check: suite OK ({} dtype groups, {n_kernels} kernel timings)",
         groups.len()
@@ -157,6 +265,7 @@ fn main() {
     let mut path: Option<String> = None;
     let mut suite: Option<String> = None;
     let mut require_nonzero: Vec<String> = Vec::new();
+    let mut require_serve = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -183,6 +292,7 @@ fn main() {
                     }
                 }
             }
+            "--require-serve" => require_serve = true,
             p if path.is_none() && !p.starts_with('-') => path = Some(p.to_string()),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -191,15 +301,20 @@ fn main() {
         }
         i += 1;
     }
+    if require_serve && suite.is_none() {
+        eprintln!("--require-serve is only meaningful with --suite");
+        std::process::exit(2);
+    }
     if let Some(suite_path) = &suite {
-        check_suite(suite_path);
+        check_suite(suite_path, require_serve);
     }
     let Some(path) = path else {
         if suite.is_some() {
             return; // suite-only invocation
         }
         eprintln!(
-            "usage: metrics_check <metrics.json> [--require-nonzero c1,c2,...] [--suite BENCH_suite.json]"
+            "usage: metrics_check <metrics.json> [--require-nonzero c1,c2,...] \
+             [--suite BENCH_suite.json] [--require-serve]"
         );
         std::process::exit(2);
     };

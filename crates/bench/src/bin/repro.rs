@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro <command> [--fast] [--samples N] [--steps N] [--workers N] [--no-cache]
-//!                 [--metrics PATH] [--journal PATH] [--resume] [--faults SPEC]
-//!                 [--retries N] [--deadline-s SECS]
+//!                 [--sessions N] [--metrics PATH] [--journal PATH] [--resume]
+//!                 [--faults SPEC] [--retries N] [--deadline-s SECS]
 //!
 //! commands:
 //!   train      (re)train the tiny-Llama baseline and print its benchmark scores
@@ -23,6 +23,8 @@
 //!   baselines  low-rank vs quantization vs pruning ablation
 //!   optimize   Definition 1 design-goal search over the layer space
 //!   recovery   §6 fine-tuning recovery experiment
+//!   serve      continuous-batching load test: dense vs factored under one
+//!              deterministic traffic trace (--sessions, default 200)
 //!   all        everything above
 //!
 //! robustness flags:
@@ -63,6 +65,8 @@ struct Args {
     batch_per_gpu: usize,
     /// Sweep worker-pool size (0 = derive from the thread budget).
     workers: usize,
+    /// Serving sessions in the `serve` command's traffic trace.
+    sessions: usize,
     /// Disables the decomposition cache (A/B the sequential seed path).
     no_cache: bool,
     /// Where to write the full telemetry document (spans, counters, GEMM
@@ -104,6 +108,7 @@ fn parse_args() -> Args {
     let mut samples = 200usize;
     let mut steps = 2500usize;
     let mut workers = 0usize;
+    let mut sessions = 200usize;
     let mut no_cache = false;
     let mut metrics = None;
     let mut fast = false;
@@ -127,6 +132,10 @@ fn parse_args() -> Args {
             "--workers" => {
                 i += 1;
                 workers = parse_value("--workers", flag_value(&argv, i, "--workers"));
+            }
+            "--sessions" => {
+                i += 1;
+                sessions = parse_value("--sessions", flag_value(&argv, i, "--sessions"));
             }
             "--no-cache" => no_cache = true,
             "--metrics" => {
@@ -199,6 +208,7 @@ fn parse_args() -> Args {
         seq: 128,
         batch_per_gpu: 64,
         workers,
+        sessions,
         no_cache,
         metrics,
         journal,
@@ -711,6 +721,114 @@ fn cmd_decode(args: &Args) {
     write_csv("decode.csv", &headers, &rows);
 }
 
+/// The live counterpart of Figs. 10–12: serves the trained tiny-Llama —
+/// dense and factored at several Table-4 parameter-reduction points —
+/// under one deterministic traffic trace, and reports measured per-token
+/// latency percentiles, TTFT, and aggregate tokens/s for the
+/// continuous-batching server against the sequential baseline. Returns
+/// the `serve` section of `BENCH_suite.json` (schema v3).
+fn cmd_serve(args: &Args) -> lrd_trace::json::Json {
+    use lrd_serve::{generate, serve, serve_sequential, ServeConfig, TrafficConfig};
+    use lrd_trace::json::Json;
+
+    let (model, _world) = load_model(args);
+    let mcfg = model.config();
+    // Seed of the shared traffic trace; fixed so every variant (and
+    // every rerun) replays the identical workload.
+    const TRACE_SEED: u64 = 0x5E12_7E24;
+    let traffic =
+        TrafficConfig::for_model(args.sessions, TRACE_SEED, mcfg.vocab_size, mcfg.max_seq);
+    let requests = generate(&traffic);
+    // The queue bound covers the whole offered trace: overload rejection
+    // is an admission-control behavior pinned by lrd-serve's tests, while
+    // the benchmark wants every variant to complete the same sessions.
+    let serve_cfg = ServeConfig {
+        max_batch: 32,
+        queue_cap: args.sessions.max(1),
+    };
+    println!(
+        "\n=== Serving load test: {} sessions, max batch {}, trace seed {TRACE_SEED:#x} ===",
+        args.sessions, serve_cfg.max_batch
+    );
+
+    // Dense plus factored variants spanning the Table-4 reduction range.
+    let presets = table4_presets();
+    let mut variants: Vec<(String, f64, TransformerLm)> =
+        vec![("dense".into(), 0.0, model.clone())];
+    for &idx in &[0usize, 2, 4, 5] {
+        let (label, _, layers) = &presets[idx];
+        let mut m = model.clone();
+        match lrd_core::decompose::decompose_model(&mut m, &preset_config(layers)) {
+            Ok(report) => variants.push((format!("factored {label}"), report.reduction_pct(), m)),
+            Err(e) => eprintln!("[repro] serve: preset {label} failed to decompose: {e}"),
+        }
+    }
+
+    let headers = [
+        "config",
+        "param-red %",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "TTFT p50 ms",
+        "tok/s",
+        "seq tok/s",
+        "speedup",
+        "bit-identical",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_variants: Vec<Json> = Vec::new();
+    let round2 = |v: f64| (v * 100.0).round() / 100.0;
+    for (label, reduction, m) in &variants {
+        let sequential = serve_sequential(m, &requests, label);
+        let batched = serve(m, &requests, &serve_cfg, label);
+        let speedup = if sequential.report.tokens_per_s > 0.0 {
+            batched.report.tokens_per_s / sequential.report.tokens_per_s
+        } else {
+            0.0
+        };
+        let bit_identical = batched.report.completed == sequential.report.completed
+            && batched.report.stream_checksum == sequential.report.stream_checksum;
+        if !bit_identical {
+            eprintln!(
+                "[repro] error: \"{label}\" batched token streams diverged from sequential \
+                 (checksum {:#x} vs {:#x})",
+                batched.report.stream_checksum, sequential.report.stream_checksum
+            );
+            FIGURE_ALL_FAILED.store(true, std::sync::atomic::Ordering::Relaxed);
+        }
+        let b = &batched.report;
+        rows.push(vec![
+            label.clone(),
+            format!("{reduction:.1}"),
+            format!("{:.3}", b.per_token_ms.p50),
+            format!("{:.3}", b.per_token_ms.p95),
+            format!("{:.3}", b.per_token_ms.p99),
+            format!("{:.3}", b.ttft_ms.p50),
+            format!("{:.0}", b.tokens_per_s),
+            format!("{:.0}", sequential.report.tokens_per_s),
+            format!("{speedup:.2}"),
+            if bit_identical { "yes" } else { "NO" }.to_string(),
+        ]);
+        json_variants.push(Json::obj([
+            ("label", Json::str(label.clone())),
+            ("reduction_pct", Json::num(round2(*reduction))),
+            ("batched", b.to_json()),
+            ("sequential", sequential.report.to_json()),
+            ("speedup", Json::num(round2(speedup))),
+            ("bit_identical", Json::Bool(bit_identical)),
+        ]));
+    }
+    print!("{}", render_table(&headers, &rows));
+    write_csv("serve.csv", &headers, &rows);
+    Json::obj([
+        ("sessions", Json::uint(args.sessions as u64)),
+        ("trace_seed", Json::uint(TRACE_SEED)),
+        ("max_batch", Json::uint(serve_cfg.max_batch as u64)),
+        ("variants", Json::Arr(json_variants)),
+    ])
+}
+
 /// Compression-family ablation: rank-1 Tucker vs int8/int4 quantization vs
 /// magnitude pruning at comparable size reductions, on the same trained
 /// model.
@@ -1108,12 +1226,17 @@ fn kernel_gflops() -> Vec<(&'static str, Vec<(&'static str, f64)>)> {
 /// GFLOP/s for the perf trajectory (`BENCH_suite.json` at the invocation
 /// directory), and — when `--metrics` was given — the full telemetry
 /// document (spans, counters, GEMM matrix, events) via `lrd-trace`.
-fn write_bench_suite(args: &Args, wall_s: f64, agg: &CacheAgg) {
+fn write_bench_suite(
+    args: &Args,
+    wall_s: f64,
+    agg: &CacheAgg,
+    serve: Option<lrd_trace::json::Json>,
+) {
     use lrd_trace::json::Json;
     let backend = lrd_tensor::kernel::Backend::active();
     let kernels = kernel_gflops();
     let round2 = |g: f64| (g * 100.0).round() / 100.0;
-    let doc = Json::obj([
+    let mut doc = Json::obj([
         ("schema", Json::str(lrd_bench::SUITE_SCHEMA_NAME)),
         (
             "schema_version",
@@ -1164,6 +1287,11 @@ fn write_bench_suite(args: &Args, wall_s: f64, agg: &CacheAgg) {
             )),
         ),
     ]);
+    // v3: the `serve` command appends its measured serving percentiles;
+    // every other command writes the suite without the section.
+    if let (Some(section), Json::Obj(pairs)) = (serve, &mut doc) {
+        pairs.push(("serve".into(), section));
+    }
     match std::fs::write("BENCH_suite.json", doc.render()) {
         Ok(()) => eprintln!(
             "[repro] wrote BENCH_suite.json (wall {wall_s:.1}s, cache hit rate {:.0}%)",
@@ -1215,12 +1343,14 @@ fn main() {
     let t0 = std::time::Instant::now();
     let journal = open_journal(&args);
     let mut agg = CacheAgg::default();
+    let mut serve_section = None;
     match args.command.as_str() {
         "table1" => cmd_table1(),
         "table2" => cmd_table2(),
         "table4" => cmd_table4(),
         "fig10" | "fig11" | "fig12" => cmd_efficiency(&args, &args.command),
         "decode" => cmd_decode(&args),
+        "serve" => serve_section = Some(cmd_serve(&args)),
         "bert" => agg.add(cmd_bert(&args, journal.as_ref())),
         "all" => {
             cmd_table1();
@@ -1240,6 +1370,7 @@ fn main() {
             cmd_efficiency(&args, "fig10");
             agg.add(cmd_bert(&args, journal.as_ref()));
             cmd_recovery(&args, &exec);
+            serve_section = Some(cmd_serve(&args));
             agg.add_exec(&exec);
         }
         cmd @ ("train" | "fig3" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "spectra"
@@ -1268,7 +1399,7 @@ fn main() {
     }
     let wall_s = t0.elapsed().as_secs_f64();
     eprintln!("[repro] done in {wall_s:.1}s");
-    write_bench_suite(&args, wall_s, &agg);
+    write_bench_suite(&args, wall_s, &agg, serve_section);
     if FIGURE_ALL_FAILED.load(std::sync::atomic::Ordering::Relaxed) {
         eprintln!("[repro] exiting non-zero: at least one figure lost every point");
         std::process::exit(1);

@@ -18,7 +18,15 @@ pub const SUITE_SCHEMA_NAME: &str = "lrd-bench-suite";
 /// `kernel_dtype` (the resolved `LRD_KERNEL_DTYPE`) and
 /// `gemm_bytes_packed` (bytes staged into GEMM pack buffers during the
 /// calibration pass).
-pub const SUITE_SCHEMA_VERSION: u64 = 2;
+///
+/// v3: added the optional `serve` section — written by `repro serve` —
+/// holding the continuous-batching load test's measured percentiles
+/// (per-token p50/p95/p99 and TTFT), aggregate tokens/s, and the
+/// batched-vs-sequential speedup and bit-identity verdict for the dense
+/// model and each factored parameter-reduction point. Documents from
+/// other commands omit the section; `metrics_check --suite` validates it
+/// only when present (or on demand with `--require-serve`).
+pub const SUITE_SCHEMA_VERSION: u64 = 3;
 
 /// The world seed every experiment shares.
 pub const WORLD_SEED: u64 = 2024;

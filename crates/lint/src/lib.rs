@@ -27,17 +27,20 @@ use source::SourceFile;
 use std::path::{Path, PathBuf};
 
 /// Crates whose non-test code must be panic-free (`no-panic`): everything
-/// a production sweep executes. `trace` is the telemetry substrate and
-/// `bench` is the CLI harness; both are exempt from `no-panic` but still
-/// covered by the other lints.
-pub const RUNTIME_CRATES: [&str; 6] = ["core", "tensor", "nn", "eval", "models", "hwsim"];
+/// a production sweep or serving run executes. `trace` is the telemetry
+/// substrate and `bench` is the CLI harness; both are exempt from
+/// `no-panic` but still covered by the other lints.
+pub const RUNTIME_CRATES: [&str; 7] = ["core", "tensor", "nn", "eval", "models", "hwsim", "serve"];
 
 /// Modules allowed to read ambient time or parallelism (`determinism`).
 /// Everything else must either be deterministic or carry an inline allow.
-pub const DETERMINISM_ALLOWLIST: [&str; 1] = [
+pub const DETERMINISM_ALLOWLIST: [&str; 2] = [
     // The span clock: all timing flows through this one module, whose
     // output is telemetry-only and never feeds results.
     "crates/trace/src/span.rs",
+    // The serving stopwatch: latency histograms only; admission, batch
+    // packing and token selection are pure functions of the trace.
+    "crates/serve/src/clock.rs",
 ];
 
 /// Schema identifier strings that must be single-sourced (`schema-const`).

@@ -7,6 +7,7 @@
 //! decomposer can factor them in place.
 
 use crate::act::{softmax_rows, softmax_rows_backward};
+use crate::decode::DecodeError;
 use crate::linear::{AnyLinear, AnyLinearCache};
 use crate::param::Param;
 use crate::rope::Rope;
@@ -14,44 +15,91 @@ use lrd_tensor::matmul::{matmul, matmul_transa, matmul_transb};
 use lrd_tensor::rng::Rng64;
 use lrd_tensor::Tensor;
 
-/// Per-layer key/value cache for incremental (single-sequence) decoding.
+/// Per-layer key/value cache for incremental decoding of one session.
 ///
-/// Rows are appended one per generated token; keys are stored post-RoPE.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// Storage is a pair of flat `f32` buffers (keys post-RoPE, values) whose
+/// full `max_seq · width` capacity is reserved up front, so appending a
+/// token in the serving hot loop never reallocates, and a session can
+/// never grow past its hard `max_seq` bound — [`KvCache::push`] returns a
+/// typed error instead.
+#[derive(Debug, Clone, PartialEq)]
 pub struct KvCache {
-    /// Cached key rows, each `n_kv_heads · head_dim` wide.
-    k_rows: Vec<Vec<f32>>,
-    /// Cached value rows.
-    v_rows: Vec<Vec<f32>>,
+    /// Cached key rows, flattened; each row is `width` wide.
+    k: Vec<f32>,
+    /// Cached value rows, flattened.
+    v: Vec<f32>,
+    /// Row width, `n_kv_heads · head_dim`.
+    width: usize,
+    /// Hard bound on cached positions.
+    max_seq: usize,
+    /// Cached positions so far.
+    len: usize,
 }
 
 impl KvCache {
-    /// An empty cache.
-    pub fn new() -> Self {
-        Self::default()
+    /// An empty cache bounded at `max_seq` positions of `width`-wide rows,
+    /// with the full capacity reserved immediately.
+    pub fn with_bounds(max_seq: usize, width: usize) -> Self {
+        KvCache {
+            k: Vec::with_capacity(max_seq * width),
+            v: Vec::with_capacity(max_seq * width),
+            width,
+            max_seq,
+            len: 0,
+        }
     }
 
     /// Number of cached positions.
     pub fn len(&self) -> usize {
-        self.k_rows.len()
+        self.len
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.k_rows.is_empty()
+        self.len == 0
     }
 
-    fn push(&mut self, k: &[f32], v: &[f32]) {
-        self.k_rows.push(k.to_vec());
-        self.v_rows.push(v.to_vec());
+    /// The hard bound on cached positions.
+    pub fn max_seq(&self) -> usize {
+        self.max_seq
+    }
+
+    /// Appends one position's key/value rows.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::CacheFull`] at the `max_seq` bound;
+    /// [`DecodeError::BatchMismatch`] if a row is not `width` wide. The
+    /// cache is unchanged on error.
+    pub fn push(&mut self, k: &[f32], v: &[f32]) -> Result<(), DecodeError> {
+        if self.len >= self.max_seq {
+            return Err(DecodeError::CacheFull {
+                max_seq: self.max_seq,
+            });
+        }
+        for row in [k, v] {
+            if row.len() != self.width {
+                return Err(DecodeError::BatchMismatch {
+                    what: "kv row width",
+                    expected: self.width,
+                    got: row.len(),
+                });
+            }
+        }
+        self.k.extend_from_slice(k);
+        self.v.extend_from_slice(v);
+        self.len += 1;
+        Ok(())
     }
 
     fn key_slice(&self, t: usize, kv_head: usize, head_dim: usize) -> &[f32] {
-        &self.k_rows[t][kv_head * head_dim..(kv_head + 1) * head_dim]
+        let base = t * self.width + kv_head * head_dim;
+        &self.k[base..base + head_dim]
     }
 
     fn value_slice(&self, t: usize, kv_head: usize, head_dim: usize) -> &[f32] {
-        &self.v_rows[t][kv_head * head_dim..(kv_head + 1) * head_dim]
+        let base = t * self.width + kv_head * head_dim;
+        &self.v[base..base + head_dim]
     }
 }
 
@@ -175,62 +223,133 @@ impl MultiHeadAttention {
     /// attending over the whole cache. Returns the attention output
     /// (`1 × d`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x` is not a single row or `pos` disagrees with the cache
-    /// length.
-    pub fn decode_step(&self, x: &Tensor, pos: usize, cache: &mut KvCache) -> Tensor {
-        assert_eq!(x.rows(), 1, "decode_step processes one token");
-        assert_eq!(pos, cache.len(), "position must equal cached length");
-        let mut q = self.wq.infer(x);
-        let mut k = self.wk.infer(x);
-        let v = self.wv.infer(x);
-        if let Some(rope) = &self.rope {
-            let qrow = q.row_mut(0);
-            for h in 0..self.n_heads {
-                rope.apply(&mut qrow[h * self.head_dim..(h + 1) * self.head_dim], pos);
+    /// [`DecodeError::BatchMismatch`] if `x` is not a single row, plus the
+    /// [`MultiHeadAttention::decode_step_many`] failure modes.
+    pub fn decode_step(
+        &self,
+        x: &Tensor,
+        pos: usize,
+        cache: &mut KvCache,
+    ) -> Result<Tensor, DecodeError> {
+        if x.rows() != 1 {
+            return Err(DecodeError::BatchMismatch {
+                what: "input rows",
+                expected: 1,
+                got: x.rows(),
+            });
+        }
+        self.decode_step_many(x, &[pos], &mut [cache])
+    }
+
+    /// Continuous-batching decode: processes one new token for each of `S`
+    /// independent sessions at once. Row `i` of `xs` is session `i`'s token
+    /// activation at absolute position `positions[i]`, extending
+    /// `caches[i]`. All four projections run as single `S × d` GEMMs; the
+    /// per-session attention over each session's own cache is unchanged
+    /// from the batch-1 path, so row `i` of the output is bit-identical to
+    /// a [`MultiHeadAttention::decode_step`] call for session `i` alone
+    /// (the packed GEMM engine's per-row accumulation order does not
+    /// depend on the batch height — see DESIGN.md §13).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BatchMismatch`] if `positions`/`caches` disagree with
+    /// `xs.rows()`, [`DecodeError::PositionMismatch`] if a position is not
+    /// its cache's length, [`DecodeError::CacheFull`] at a session's
+    /// `max_seq` bound. All sessions are validated before any cache is
+    /// mutated, so no cache is extended on error.
+    pub fn decode_step_many(
+        &self,
+        xs: &Tensor,
+        positions: &[usize],
+        caches: &mut [&mut KvCache],
+    ) -> Result<Tensor, DecodeError> {
+        let s_count = xs.rows();
+        if positions.len() != s_count {
+            return Err(DecodeError::BatchMismatch {
+                what: "positions",
+                expected: s_count,
+                got: positions.len(),
+            });
+        }
+        if caches.len() != s_count {
+            return Err(DecodeError::BatchMismatch {
+                what: "caches",
+                expected: s_count,
+                got: caches.len(),
+            });
+        }
+        for (&pos, cache) in positions.iter().zip(caches.iter()) {
+            if pos != cache.len() {
+                return Err(DecodeError::PositionMismatch {
+                    pos,
+                    cached: cache.len(),
+                });
             }
-            let krow = k.row_mut(0);
-            for h in 0..self.n_kv_heads {
-                rope.apply(&mut krow[h * self.head_dim..(h + 1) * self.head_dim], pos);
+            if cache.len() >= cache.max_seq() {
+                return Err(DecodeError::CacheFull {
+                    max_seq: cache.max_seq(),
+                });
             }
         }
-        cache.push(k.row(0), v.row(0));
 
-        let scale = 1.0 / (self.head_dim as f32).sqrt();
-        let group = self.n_heads / self.n_kv_heads;
-        let ctx_len = cache.len();
-        let mut ctx = Tensor::zeros(&[1, self.n_heads * self.head_dim]);
-        for h in 0..self.n_heads {
-            let kv_h = h / group;
-            let qh = &q.row(0)[h * self.head_dim..(h + 1) * self.head_dim];
-            // Scores against every cached key.
-            let mut scores = Vec::with_capacity(ctx_len);
-            for t in 0..ctx_len {
-                let kh = cache.key_slice(t, kv_h, self.head_dim);
-                let dot: f32 = qh.iter().zip(kh).map(|(&a, &b)| a * b).sum();
-                scores.push(dot * scale);
-            }
-            // Softmax.
-            let max = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-            let mut sum = 0.0f32;
-            for s in &mut scores {
-                *s = (*s - max).exp();
-                sum += *s;
-            }
-            for s in &mut scores {
-                *s /= sum;
-            }
-            // Weighted value sum.
-            let out = &mut ctx.row_mut(0)[h * self.head_dim..(h + 1) * self.head_dim];
-            for (t, &s) in scores.iter().enumerate().take(ctx_len) {
-                let vh = cache.value_slice(t, kv_h, self.head_dim);
-                for (o, &vv) in out.iter_mut().zip(vh) {
-                    *o += s * vv;
+        let mut q = self.wq.infer(xs);
+        let mut k = self.wk.infer(xs);
+        let v = self.wv.infer(xs);
+        if let Some(rope) = &self.rope {
+            for (i, &pos) in positions.iter().enumerate() {
+                let qrow = q.row_mut(i);
+                for h in 0..self.n_heads {
+                    rope.apply(&mut qrow[h * self.head_dim..(h + 1) * self.head_dim], pos);
+                }
+                let krow = k.row_mut(i);
+                for h in 0..self.n_kv_heads {
+                    rope.apply(&mut krow[h * self.head_dim..(h + 1) * self.head_dim], pos);
                 }
             }
         }
-        self.wo.infer(&ctx)
+        for (i, cache) in caches.iter_mut().enumerate() {
+            cache.push(k.row(i), v.row(i))?;
+        }
+
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let group = self.n_heads / self.n_kv_heads;
+        let mut ctx = Tensor::zeros(&[s_count, self.n_heads * self.head_dim]);
+        for (i, cache) in caches.iter().enumerate() {
+            let ctx_len = cache.len();
+            for h in 0..self.n_heads {
+                let kv_h = h / group;
+                let qh = &q.row(i)[h * self.head_dim..(h + 1) * self.head_dim];
+                // Scores against every cached key of this session.
+                let mut scores = Vec::with_capacity(ctx_len);
+                for t in 0..ctx_len {
+                    let kh = cache.key_slice(t, kv_h, self.head_dim);
+                    let dot: f32 = qh.iter().zip(kh).map(|(&a, &b)| a * b).sum();
+                    scores.push(dot * scale);
+                }
+                // Softmax.
+                let max = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+                let mut sum = 0.0f32;
+                for s in &mut scores {
+                    *s = (*s - max).exp();
+                    sum += *s;
+                }
+                for s in &mut scores {
+                    *s /= sum;
+                }
+                // Weighted value sum.
+                let out = &mut ctx.row_mut(i)[h * self.head_dim..(h + 1) * self.head_dim];
+                for (t, &s) in scores.iter().enumerate().take(ctx_len) {
+                    let vh = cache.value_slice(t, kv_h, self.head_dim);
+                    for (o, &vv) in out.iter_mut().zip(vh) {
+                        *o += s * vv;
+                    }
+                }
+            }
+        }
+        Ok(self.wo.infer(&ctx))
     }
 
     /// Forward pass over `x ((B·T) × d)` laid out batch-major.

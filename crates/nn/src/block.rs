@@ -90,18 +90,41 @@ impl DecoderBlock {
 
     /// Incremental decode of one token (batch 1) at position `pos`,
     /// using/extending the layer's KV cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`MultiHeadAttention::decode_step`] failure modes.
     pub fn decode_step(
         &self,
         x: &Tensor,
         pos: usize,
         cache: &mut crate::attention::KvCache,
-    ) -> Tensor {
-        let nx = self.norm1.infer(x);
-        let ax = self.attn.decode_step(&nx, pos, cache);
-        let h = residual(x, &ax);
+    ) -> Result<Tensor, crate::decode::DecodeError> {
+        self.decode_step_many(x, &[pos], &mut [cache])
+    }
+
+    /// Continuous-batching decode of one token per session: row `i` of
+    /// `xs` advances the session whose context is `caches[i]` at position
+    /// `positions[i]`. Norms, MLP and residuals are row-wise, so each
+    /// output row is bit-identical to a batch-1 [`DecoderBlock::decode_step`]
+    /// for that session alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`MultiHeadAttention::decode_step_many`] failure
+    /// modes; no cache is extended on error.
+    pub fn decode_step_many(
+        &self,
+        xs: &Tensor,
+        positions: &[usize],
+        caches: &mut [&mut crate::attention::KvCache],
+    ) -> Result<Tensor, crate::decode::DecodeError> {
+        let nx = self.norm1.infer(xs);
+        let ax = self.attn.decode_step_many(&nx, positions, caches)?;
+        let h = residual(xs, &ax);
         let nh = self.norm2.infer(&h);
         let mx = self.mlp.infer(&nh);
-        residual(&h, &mx)
+        Ok(residual(&h, &mx))
     }
 
     /// Backward pass; returns `dx`.

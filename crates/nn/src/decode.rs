@@ -1,0 +1,71 @@
+//! Typed errors for the incremental decoding paths.
+//!
+//! Serving turns decode misuse (full KV caches, out-of-range tokens,
+//! mismatched session batches) into failed requests rather than process
+//! aborts, so the decode entry points return these instead of asserting.
+
+use std::fmt;
+
+/// Why an incremental decode step could not be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Incremental decoding was requested on a non-decoder model.
+    NotDecoder,
+    /// A token id is outside the vocabulary.
+    TokenOutOfRange {
+        /// Offending token id.
+        token: usize,
+        /// Vocabulary size.
+        vocab: usize,
+    },
+    /// A session's KV cache is at its hard `max_seq` bound.
+    CacheFull {
+        /// The bound the cache was created with.
+        max_seq: usize,
+    },
+    /// The requested position disagrees with the cached context length.
+    PositionMismatch {
+        /// Position the caller asked to decode at.
+        pos: usize,
+        /// Positions already in the cache.
+        cached: usize,
+    },
+    /// Batched-call operands disagree on the number of sessions, or a
+    /// cached row has the wrong width.
+    BatchMismatch {
+        /// Which operand disagreed.
+        what: &'static str,
+        /// Expected count.
+        expected: usize,
+        /// Actual count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::NotDecoder => {
+                write!(f, "incremental decoding requires a decoder model")
+            }
+            DecodeError::TokenOutOfRange { token, vocab } => {
+                write!(f, "token id {token} out of range (vocab {vocab})")
+            }
+            DecodeError::CacheFull { max_seq } => {
+                write!(f, "KV cache full: context at max_seq bound {max_seq}")
+            }
+            DecodeError::PositionMismatch { pos, cached } => {
+                write!(f, "decode position {pos} != cached length {cached}")
+            }
+            DecodeError::BatchMismatch {
+                what,
+                expected,
+                got,
+            } => {
+                write!(f, "batched decode {what}: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

@@ -31,6 +31,7 @@ pub mod attention;
 pub mod block;
 pub mod checkpoint;
 pub mod config;
+pub mod decode;
 pub mod linear;
 pub mod mlp;
 pub mod model;
@@ -41,5 +42,6 @@ pub mod rope;
 pub mod train;
 
 pub use config::{ArchKind, TransformerConfig};
-pub use model::TransformerLm;
+pub use decode::DecodeError;
+pub use model::{DecodeState, TransformerLm};
 pub use param::Param;

@@ -420,7 +420,14 @@ mod tests {
         let x = Tensor::randn(&[3, 6], &mut rng);
         let yd = dense.infer(&x);
         let yf = fac.infer(&x);
-        assert!(yd.approx_eq(&yf, 1e-3));
+        // At 16-bit B-panel storage the dense path rounds W once while the
+        // factored path rounds three smaller panels, so the two sides agree
+        // only to the documented storage bound, not to f32 accuracy.
+        let tol = match lrd_tensor::dtype::KernelDtype::active() {
+            lrd_tensor::dtype::KernelDtype::F32 => 1e-3,
+            _ => 5e-2,
+        };
+        assert!(yd.approx_eq(&yf, tol));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::act::log_softmax_rows;
 use crate::block::{BlockCache, DecoderBlock, EncoderBlock, TransformerBlock};
 use crate::config::{ArchKind, TransformerConfig};
+use crate::decode::DecodeError;
 use crate::linear::{AnyLinear, AnyLinearCache};
 use crate::norm::{LayerNorm, LayerNormCache, RmsNorm, RmsNormCache};
 use crate::param::Param;
@@ -105,8 +106,12 @@ pub struct TransformerLm {
 }
 
 /// Incremental decoding state (KV caches + position) for
-/// [`TransformerLm::decode_step`].
-#[derive(Debug, Clone, PartialEq, Default)]
+/// [`TransformerLm::decode_step`] — one per in-flight serving session.
+///
+/// Created by [`TransformerLm::new_decode_state`], which preallocates
+/// every layer's KV cache at its full `max_seq` capacity, so a session's
+/// memory footprint is fixed at admission and decoding never reallocates.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecodeState {
     caches: Vec<crate::attention::KvCache>,
     pos: usize,
@@ -315,11 +320,14 @@ impl TransformerLm {
     }
 
     /// Incremental decoding state: one KV cache per decoder layer plus the
-    /// running position.
+    /// running position. Every cache's full `max_seq` capacity is reserved
+    /// here, so the session's memory footprint is fixed at creation.
     pub fn new_decode_state(&self) -> DecodeState {
+        let head_dim = self.cfg.d_model / self.cfg.n_heads;
+        let width = self.cfg.n_kv_heads * head_dim;
         DecodeState {
             caches: (0..self.cfg.n_layers)
-                .map(|_| crate::attention::KvCache::new())
+                .map(|_| crate::attention::KvCache::with_bounds(self.cfg.max_seq, width))
                 .collect(),
             pos: 0,
         }
@@ -328,45 +336,102 @@ impl TransformerLm {
     /// Feeds one token through the model incrementally (decoder only),
     /// returning the next-token logits (`1 × vocab`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on encoder models, out-of-range tokens, or when the context
-    /// exceeds `max_seq`.
-    pub fn decode_step(&self, token: usize, state: &mut DecodeState) -> Tensor {
-        assert!(
-            matches!(self.cfg.kind, ArchKind::Decoder),
-            "incremental decoding requires a decoder model"
-        );
-        assert!(token < self.cfg.vocab_size, "token id {token} out of range");
-        assert!(state.pos < self.cfg.max_seq, "KV cache exceeds max_seq");
-        let mut x = Tensor::zeros(&[1, self.cfg.d_model]);
-        x.row_mut(0)
-            .copy_from_slice(self.tok_embed.value.row(token));
-        for (block, cache) in self.blocks.iter().zip(&mut state.caches) {
-            match block {
-                TransformerBlock::Decoder(b) => x = b.decode_step(&x, state.pos, cache),
-                // lrd-lint: allow(no-panic, "the decoder-only assert at function entry already rejected encoder blocks")
-                TransformerBlock::Encoder(_) => unreachable!("checked above"),
+    /// See [`TransformerLm::decode_step_many`]; the state is unchanged on
+    /// error.
+    pub fn decode_step(
+        &self,
+        token: usize,
+        state: &mut DecodeState,
+    ) -> Result<Tensor, DecodeError> {
+        self.decode_step_many(&[token], &mut [state])
+    }
+
+    /// Continuous-batching decode: advances `S` independent sessions by one
+    /// token each, returning the `S × vocab` next-token logits (row `i`
+    /// for session `i`). Each layer runs its projections, MLP and norms as
+    /// single `S`-row batches — one batched GEMM per weight per layer per
+    /// step — while attention reads each session's own KV cache, so the
+    /// logits for every session are bit-identical to decoding it alone
+    /// with [`TransformerLm::decode_step`] (see DESIGN.md §13 for the
+    /// determinism argument).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::NotDecoder`] on encoder models,
+    /// [`DecodeError::BatchMismatch`] if `tokens`/`states` disagree or are
+    /// empty, [`DecodeError::TokenOutOfRange`] for an invalid token id,
+    /// [`DecodeError::CacheFull`] if a session is at `max_seq`. All
+    /// sessions are validated before any state is advanced, so every
+    /// session is unchanged on error.
+    pub fn decode_step_many(
+        &self,
+        tokens: &[usize],
+        states: &mut [&mut DecodeState],
+    ) -> Result<Tensor, DecodeError> {
+        if !matches!(self.cfg.kind, ArchKind::Decoder) {
+            return Err(DecodeError::NotDecoder);
+        }
+        if tokens.is_empty() || tokens.len() != states.len() {
+            return Err(DecodeError::BatchMismatch {
+                what: "states",
+                expected: tokens.len().max(1),
+                got: states.len(),
+            });
+        }
+        for &t in tokens {
+            if t >= self.cfg.vocab_size {
+                return Err(DecodeError::TokenOutOfRange {
+                    token: t,
+                    vocab: self.cfg.vocab_size,
+                });
             }
         }
-        state.pos += 1;
+        for state in states.iter() {
+            if state.pos >= self.cfg.max_seq {
+                return Err(DecodeError::CacheFull {
+                    max_seq: self.cfg.max_seq,
+                });
+            }
+        }
+        let positions: Vec<usize> = states.iter().map(|s| s.pos).collect();
+        let mut x = self.tok_embed.value.gather_rows(tokens);
+        for (l, block) in self.blocks.iter().enumerate() {
+            match block {
+                TransformerBlock::Decoder(b) => {
+                    let mut layer_caches: Vec<&mut crate::attention::KvCache> =
+                        states.iter_mut().map(|s| &mut s.caches[l]).collect();
+                    x = b.decode_step_many(&x, &positions, &mut layer_caches)?;
+                }
+                TransformerBlock::Encoder(_) => return Err(DecodeError::NotDecoder),
+            }
+        }
+        for state in states.iter_mut() {
+            state.pos += 1;
+        }
         let nx = self.final_norm.infer(&x);
-        self.lm_head.infer(&nx)
+        Ok(self.lm_head.infer(&nx))
     }
 
     /// Greedy generation using the KV cache: O(context) work per new token
     /// instead of O(context²) full recomputes. Produces exactly the same
     /// tokens as [`TransformerLm::generate_greedy`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TransformerLm::decode_step`] failures (encoder model,
+    /// out-of-range prompt token).
     pub fn generate_greedy_cached(
         &self,
         prompt: &[usize],
         max_new: usize,
         stop_token: Option<usize>,
-    ) -> Vec<usize> {
+    ) -> Result<Vec<usize>, DecodeError> {
         let mut state = self.new_decode_state();
         let mut logits = Tensor::zeros(&[1, self.cfg.vocab_size]);
         for &t in prompt {
-            logits = self.decode_step(t, &mut state);
+            logits = self.decode_step(t, &mut state)?;
         }
         let mut out = Vec::new();
         for _ in 0..max_new {
@@ -385,10 +450,10 @@ impl TransformerLm {
                 break;
             }
             if out.len() < max_new && state.pos < self.cfg.max_seq {
-                logits = self.decode_step(next, &mut state);
+                logits = self.decode_step(next, &mut state)?;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Greedy (argmax) generation of up to `max_new` tokens, stopping early
@@ -595,7 +660,7 @@ mod tests {
         let m = tiny(ArchKind::Decoder, 3);
         for prompt in [vec![1usize, 2, 3], vec![7, 7], vec![4, 9, 2, 11]] {
             let full = m.generate_greedy(&prompt, 5, None);
-            let cached = m.generate_greedy_cached(&prompt, 5, None);
+            let cached = m.generate_greedy_cached(&prompt, 5, None).unwrap();
             assert_eq!(full, cached, "prompt {prompt:?}");
         }
     }
@@ -608,7 +673,7 @@ mod tests {
         let mut state = m.new_decode_state();
         let mut last = Tensor::zeros(&[1, 16]);
         for &t in &tokens {
-            last = m.decode_step(t, &mut state);
+            last = m.decode_step(t, &mut state).unwrap();
         }
         assert_eq!(state.len(), 5);
         let diff: f32 = (0..16)
@@ -618,11 +683,91 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "decoder model")]
     fn decode_step_rejects_encoder() {
         let m = tiny(ArchKind::Encoder, 1);
         let mut state = m.new_decode_state();
-        let _ = m.decode_step(1, &mut state);
+        assert_eq!(
+            m.decode_step(1, &mut state),
+            Err(DecodeError::NotDecoder),
+            "encoder models must be rejected with a typed error"
+        );
+        assert_eq!(state.len(), 0, "state must be unchanged on error");
+    }
+
+    #[test]
+    fn decode_step_rejects_bad_token_and_overflow() {
+        let m = tiny(ArchKind::Decoder, 1);
+        let mut state = m.new_decode_state();
+        assert_eq!(
+            m.decode_step(99, &mut state),
+            Err(DecodeError::TokenOutOfRange {
+                token: 99,
+                vocab: 16
+            })
+        );
+        assert_eq!(state.len(), 0, "state must be unchanged on error");
+        // Fill to max_seq (12), then the next step must fail cleanly.
+        for i in 0..12 {
+            m.decode_step(i % 16, &mut state).unwrap();
+        }
+        assert_eq!(
+            m.decode_step(1, &mut state),
+            Err(DecodeError::CacheFull { max_seq: 12 })
+        );
+        assert_eq!(state.len(), 12, "state must be unchanged on error");
+    }
+
+    #[test]
+    fn decode_step_many_is_bit_identical_to_sequential() {
+        // Three sessions at staggered positions, advanced together: every
+        // logits row must equal the row a lone batch-1 session produces.
+        let m = tiny(ArchKind::Decoder, 2);
+        let prompts: [&[usize]; 3] = [&[3, 1, 4, 1], &[7, 7], &[9, 2, 6, 5, 3]];
+        let mut seq_states: Vec<DecodeState> = Vec::new();
+        let mut seq_logits: Vec<Tensor> = Vec::new();
+        for prompt in prompts {
+            let mut st = m.new_decode_state();
+            let mut last = Tensor::zeros(&[1, 16]);
+            for &t in prompt {
+                last = m.decode_step(t, &mut st).unwrap();
+            }
+            seq_states.push(st);
+            seq_logits.push(last);
+        }
+        // Replay the same prompts through the batched path, joining each
+        // session only while it still has prompt tokens left.
+        let mut bat_states: Vec<DecodeState> =
+            (0..prompts.len()).map(|_| m.new_decode_state()).collect();
+        let max_len = prompts.iter().map(|p| p.len()).max().unwrap();
+        let mut last_rows: Vec<Vec<f32>> = vec![Vec::new(); prompts.len()];
+        for step in 0..max_len {
+            let mut tokens = Vec::new();
+            let mut idxs = Vec::new();
+            for (i, prompt) in prompts.iter().enumerate() {
+                if step < prompt.len() {
+                    tokens.push(prompt[step]);
+                    idxs.push(i);
+                }
+            }
+            let mut refs: Vec<&mut DecodeState> = bat_states
+                .iter_mut()
+                .enumerate()
+                .filter(|(i, _)| step < prompts[*i].len())
+                .map(|(_, s)| s)
+                .collect();
+            let logits = m.decode_step_many(&tokens, &mut refs).unwrap();
+            for (row, &i) in idxs.iter().enumerate() {
+                last_rows[i] = logits.row(row).to_vec();
+            }
+        }
+        for i in 0..prompts.len() {
+            assert_eq!(bat_states[i], seq_states[i], "session {i} state diverged");
+            assert_eq!(
+                last_rows[i],
+                seq_logits[i].row(0).to_vec(),
+                "session {i} logits diverged"
+            );
+        }
     }
 
     #[test]

@@ -57,7 +57,14 @@ proptest! {
         );
         let x = Tensor::randn(&[3, fan_in], &mut rng);
         let d = dense.infer(&x).sub(&fac.infer(&x)).unwrap().max_abs();
-        prop_assert!(d < 1e-2, "full-rank mismatch {d}");
+        // 16-bit B-panel storage rounds W once on the dense path but three
+        // panels on the factored path; the sides match only to the storage
+        // bound there, not to f32 accuracy.
+        let tol = match lrd_tensor::dtype::KernelDtype::active() {
+            lrd_tensor::dtype::KernelDtype::F32 => 1e-2,
+            _ => 8e-2,
+        };
+        prop_assert!(d < tol, "full-rank mismatch {d}");
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! The serving wall clock — the crate's single ambient-time read point.
+//!
+//! Allowlisted by the `determinism` lint: every duration the server
+//! records (per-token latency, TTFT, run wall time) flows through this
+//! module, and those values are telemetry-only — admission, batch
+//! packing, and token selection are pure functions of the request trace
+//! and model weights, so the clock can never perturb a result stream.
+
+/// A monotonic stopwatch started at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    start: std::time::Instant,
+}
+
+impl Clock {
+    /// Starts the stopwatch.
+    pub fn start() -> Clock {
+        Clock {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Clock::start`].
+    pub fn seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = Clock::start();
+        let a = c.seconds();
+        let b = c.seconds();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # lrd-serve
+//!
+//! A continuous-batching inference server that turns the paper's
+//! efficiency projections (Figs. 10–12) into a *measured* dense-vs-
+//! factored load test on the trained tiny-Llama. Where `lrd-hwsim`
+//! predicts serving efficiency analytically, this crate actually runs
+//! the decode loop under synthetic production traffic and reports the
+//! latency distribution a deployment would see.
+//!
+//! * [`traffic`] — a deterministic workload generator: seeded Poisson
+//!   inter-arrivals with periodic bursts, per-request prompt/generation
+//!   lengths drawn from a seeded [`lrd_tensor::rng::Rng64`] stream.
+//! * [`server`] — the serving loop. [`server::serve`] packs every
+//!   in-flight session's next token into one `S × d` batch per decode
+//!   step ([`lrd_nn::TransformerLm::decode_step_many`]: one batched GEMM
+//!   per weight per layer per step), with bounded-queue admission
+//!   control; [`server::serve_sequential`] is the one-session-at-a-time
+//!   baseline on the single-step [`lrd_nn::TransformerLm::decode_step`]
+//!   path.
+//! * [`report`] — per-run percentile summaries (p50/p95/p99 per-token
+//!   latency, TTFT), aggregate tokens/s, and an FNV-1a checksum over the
+//!   produced token streams for cheap bit-identity comparison.
+//! * [`clock`] — the one wall-clock read point, allowlisted by the
+//!   `determinism` lint: timing feeds telemetry only, never token
+//!   streams.
+//!
+//! Determinism contract: batch composition (which sessions are packed
+//! together at each step) depends only on the request trace's virtual
+//! arrival steps and on token-level progress — never on wall time — so a
+//! trace replays identically on any host, and the batched token streams
+//! are bit-identical to the sequential baseline (see `DESIGN.md` §13 and
+//! the property tests in `tests/batched_identity.rs`).
+
+pub mod clock;
+pub mod report;
+pub mod server;
+pub mod traffic;
+
+pub use report::{stream_checksum, Completion, ServeOutcome, ServeReport};
+pub use server::{argmax, serve, serve_sequential, ServeConfig};
+pub use traffic::{generate, Request, TrafficConfig};

@@ -1,0 +1,157 @@
+//! Serving run reports: latency percentiles, throughput, and a stream
+//! checksum for bit-identity comparisons.
+
+use lrd_trace::json::Json;
+use lrd_trace::HistogramSummary;
+
+/// The token stream one completed session produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The originating request's id.
+    pub id: usize,
+    /// Generated tokens, in order.
+    pub tokens: Vec<usize>,
+}
+
+/// Everything a serving run yields: the aggregate report plus the raw
+/// per-session completions (for bit-identity checks against another run
+/// of the same trace).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Aggregate metrics.
+    pub report: ServeReport,
+    /// Completed sessions, in completion order.
+    pub completions: Vec<Completion>,
+}
+
+/// Aggregate metrics of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Human label ("dense", "15%", …).
+    pub label: String,
+    /// Requests in the trace.
+    pub offered: u64,
+    /// Requests turned away by the bounded admission queue.
+    pub rejected: u64,
+    /// Requests that failed validation or lost their decode batch.
+    pub failed: u64,
+    /// Sessions that ran to completion.
+    pub completed: u64,
+    /// Batched decode steps executed.
+    pub batches: u64,
+    /// Tokens generated across all sessions.
+    pub tokens: u64,
+    /// Mean in-flight sessions per decode step.
+    pub mean_batch: f64,
+    /// Wall-clock duration of the run.
+    pub wall_s: f64,
+    /// Aggregate generated tokens per second.
+    pub tokens_per_s: f64,
+    /// Time-to-first-token distribution, milliseconds.
+    pub ttft_ms: HistogramSummary,
+    /// Per-token latency distribution (the wall time of the decode step
+    /// that produced each token), milliseconds.
+    pub per_token_ms: HistogramSummary,
+    /// FNV-1a checksum over the completed token streams in request-id
+    /// order; equal checksums ⇒ bit-identical streams (up to hash
+    /// collision), comparable across hosts and batch sizes.
+    pub stream_checksum: u64,
+}
+
+impl ServeReport {
+    /// The suite/metrics JSON shape of this report (`BENCH_suite.json`
+    /// schema v3 `serve.runs[]` entries).
+    pub fn to_json(&self) -> Json {
+        let round3 = |v: f64| (v * 1000.0).round() / 1000.0;
+        Json::obj([
+            ("label", Json::str(self.label.clone())),
+            ("offered", Json::uint(self.offered)),
+            ("rejected", Json::uint(self.rejected)),
+            ("failed", Json::uint(self.failed)),
+            ("completed", Json::uint(self.completed)),
+            ("batches", Json::uint(self.batches)),
+            ("tokens", Json::uint(self.tokens)),
+            ("mean_batch", Json::num(round3(self.mean_batch))),
+            ("wall_s", Json::num(round3(self.wall_s))),
+            ("tokens_per_s", Json::num(round3(self.tokens_per_s))),
+            ("ttft_ms", self.ttft_ms.to_json()),
+            ("per_token_ms", self.per_token_ms.to_json()),
+            ("stream_checksum", Json::uint(self.stream_checksum)),
+        ])
+    }
+}
+
+/// FNV-1a over `(id, len, tokens…)` of every completion in request-id
+/// order. Completion *order* is excluded deliberately: the batched and
+/// sequential servers finish sessions in different orders but must
+/// produce the same streams.
+pub fn stream_checksum(completions: &[Completion]) -> u64 {
+    let mut by_id: Vec<&Completion> = completions.iter().collect();
+    by_id.sort_by_key(|c| c.id);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for c in by_id {
+        mix(c.id as u64);
+        mix(c.tokens.len() as u64);
+        for &t in &c.tokens {
+            mix(t as u64);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(id: usize, tokens: &[usize]) -> Completion {
+        Completion {
+            id,
+            tokens: tokens.to_vec(),
+        }
+    }
+
+    #[test]
+    fn checksum_ignores_completion_order() {
+        let a = vec![comp(0, &[1, 2]), comp(1, &[3])];
+        let b = vec![comp(1, &[3]), comp(0, &[1, 2])];
+        assert_eq!(stream_checksum(&a), stream_checksum(&b));
+    }
+
+    #[test]
+    fn checksum_sees_stream_contents_and_boundaries() {
+        let a = vec![comp(0, &[1, 2]), comp(1, &[3])];
+        let flipped = vec![comp(0, &[1, 3]), comp(1, &[2])];
+        let moved = vec![comp(0, &[1, 2, 3]), comp(1, &[])];
+        assert_ne!(stream_checksum(&a), stream_checksum(&flipped));
+        assert_ne!(stream_checksum(&a), stream_checksum(&moved));
+    }
+
+    #[test]
+    fn report_renders_to_json() {
+        let r = ServeReport {
+            label: "dense".into(),
+            offered: 4,
+            rejected: 1,
+            failed: 0,
+            completed: 3,
+            batches: 10,
+            tokens: 30,
+            mean_batch: 2.5,
+            wall_s: 0.5,
+            tokens_per_s: 60.0,
+            ttft_ms: lrd_trace::Histogram::new().summary(),
+            per_token_ms: lrd_trace::Histogram::new().summary(),
+            stream_checksum: 7,
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("label").and_then(Json::as_str), Some("dense"));
+        assert_eq!(j.get("tokens_per_s").and_then(Json::as_num), Some(60.0));
+        assert!(j.get("per_token_ms").and_then(|p| p.get("p99")).is_some());
+    }
+}

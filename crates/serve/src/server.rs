@@ -1,0 +1,494 @@
+//! The continuous-batching serving loop and its sequential baseline.
+//!
+//! ## Packing policy
+//!
+//! [`serve`] keeps a *running set* of at most `max_batch` in-flight
+//! sessions. Every decode step packs each running session's next input
+//! token (a prompt token during prefill, its own last output during
+//! generation) into one `S × d` batch and advances all of them with a
+//! single [`TransformerLm::decode_step_many`] call — one batched GEMM
+//! per weight per layer per step, instead of `S` skinny ones.
+//!
+//! ## Admission control
+//!
+//! Arrivals land in a bounded FIFO queue (`queue_cap`); a full queue
+//! rejects the request (counted, reported — never an error). The running
+//! set refills from the queue front whenever a session completes, so the
+//! batch stays as full as the offered load allows.
+//!
+//! ## Determinism
+//!
+//! Virtual time drives everything: arrivals are keyed to decode-step
+//! indices (see [`crate::traffic`]), the running set preserves admission
+//! order, and completed sessions are removed order-stably. Wall-clock
+//! readings feed only the latency histograms. Batch composition is
+//! therefore a pure function of (model, trace, config), and because
+//! every batched kernel in the stack is row-bit-identical across batch
+//! heights (`DESIGN.md` §13), the produced token streams are bit-equal
+//! to [`serve_sequential`]'s at any `max_batch`.
+//!
+//! ## Failure containment
+//!
+//! A request that cannot be served (out-of-vocabulary prompt token, a
+//! prompt longer than the model's context window) fails at admission and
+//! is reported in [`ServeReport::failed`] — the decode loop itself
+//! validates before mutating, so a degraded request never panics the
+//! server or corrupts its batch-mates.
+
+use std::collections::VecDeque;
+
+use lrd_nn::{DecodeState, TransformerLm};
+use lrd_trace::counters::{add, Counter};
+use lrd_trace::Histogram;
+
+use crate::clock::Clock;
+use crate::report::{stream_checksum, Completion, ServeOutcome, ServeReport};
+use crate::traffic::Request;
+
+/// Serving-loop parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum in-flight sessions per decode batch (clamped to ≥ 1).
+    pub max_batch: usize,
+    /// Admission-queue bound; arrivals beyond it are rejected.
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            queue_cap: 256,
+        }
+    }
+}
+
+/// Greedy decoding: index of the first maximum of `row`.
+///
+/// Shared by the batched and sequential paths (and the property tests'
+/// reference decoder) so "same logits ⇒ same token" holds by
+/// construction.
+pub fn argmax(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in row.iter().enumerate() {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// One in-flight session.
+struct Active {
+    id: usize,
+    prompt: Vec<usize>,
+    gen_target: usize,
+    /// Prompt tokens fed so far.
+    fed: usize,
+    produced: Vec<usize>,
+    state: DecodeState,
+    admitted_s: f64,
+}
+
+impl Active {
+    /// The token this session feeds into the next decode step.
+    fn next_input(&self) -> usize {
+        if self.fed < self.prompt.len() {
+            self.prompt[self.fed]
+        } else {
+            self.produced.last().copied().unwrap_or(0)
+        }
+    }
+
+    /// Advances the session past one decode step whose logits row is
+    /// `row`; returns `true` when a token was emitted (prefill steps
+    /// before the last prompt token discard their logits).
+    fn consume(&mut self, row: &[f32]) -> bool {
+        if self.fed < self.prompt.len() {
+            self.fed += 1;
+        }
+        if self.fed >= self.prompt.len() && self.produced.len() < self.gen_target {
+            self.produced.push(argmax(row));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the session is finished: generation target reached, or the
+    /// KV cache is at the model's context window.
+    fn done(&self, max_seq: usize) -> bool {
+        self.produced.len() >= self.gen_target || self.state.len() >= max_seq
+    }
+}
+
+/// Validates `r` against the model and builds its session, preallocating
+/// the full KV-cache footprint. Returns a failure reason for requests
+/// the model can never serve.
+fn admit(model: &TransformerLm, r: &Request, clock: &Clock) -> Result<Active, &'static str> {
+    let cfg = model.config();
+    if r.prompt.is_empty() {
+        return Err("empty prompt");
+    }
+    if r.prompt.len() > cfg.max_seq {
+        return Err("prompt longer than the model's context window");
+    }
+    if r.prompt.iter().any(|&t| t >= cfg.vocab_size) {
+        return Err("prompt token outside the vocabulary");
+    }
+    Ok(Active {
+        id: r.id,
+        prompt: r.prompt.clone(),
+        gen_target: r.gen_len,
+        fed: 0,
+        produced: Vec::with_capacity(r.gen_len),
+        state: model.new_decode_state(),
+        admitted_s: clock.seconds(),
+    })
+}
+
+/// Shared accumulator for both serving modes.
+struct Metrics {
+    rejected: u64,
+    failed: u64,
+    batches: u64,
+    tokens: u64,
+    occupancy: u64,
+    ttft_ms: Histogram,
+    per_token_ms: Histogram,
+    completions: Vec<Completion>,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        Metrics {
+            rejected: 0,
+            failed: 0,
+            batches: 0,
+            tokens: 0,
+            occupancy: 0,
+            ttft_ms: Histogram::new(),
+            per_token_ms: Histogram::new(),
+            completions: Vec::new(),
+        }
+    }
+
+    fn finish(self, label: &str, offered: usize, wall_s: f64) -> ServeOutcome {
+        let report = ServeReport {
+            label: label.to_string(),
+            offered: offered as u64,
+            rejected: self.rejected,
+            failed: self.failed,
+            completed: self.completions.len() as u64,
+            batches: self.batches,
+            tokens: self.tokens,
+            mean_batch: if self.batches == 0 {
+                0.0
+            } else {
+                self.occupancy as f64 / self.batches as f64
+            },
+            wall_s,
+            tokens_per_s: if wall_s > 0.0 {
+                self.tokens as f64 / wall_s
+            } else {
+                0.0
+            },
+            ttft_ms: self.ttft_ms.summary(),
+            per_token_ms: self.per_token_ms.summary(),
+            stream_checksum: stream_checksum(&self.completions),
+        };
+        ServeOutcome {
+            report,
+            completions: self.completions,
+        }
+    }
+}
+
+/// Runs the continuous-batching server over `requests` and returns the
+/// aggregate report plus every completed token stream.
+///
+/// Serving never fails as a whole: individual requests degrade to
+/// rejected (queue full) or failed (invalid for this model, or caught in
+/// a failed decode batch) entries of the report.
+pub fn serve(
+    model: &TransformerLm,
+    requests: &[Request],
+    cfg: &ServeConfig,
+    label: &str,
+) -> ServeOutcome {
+    let max_batch = cfg.max_batch.max(1);
+    let max_seq = model.config().max_seq;
+    let clock = Clock::start();
+    let mut m = Metrics::new();
+
+    // Arrival order: by virtual step, ties by id (the generator's order).
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| (requests[i].arrival_step, requests[i].id));
+    let mut next_arrival = 0usize;
+
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut running: Vec<Active> = Vec::new();
+    let mut step = 0u64;
+
+    loop {
+        // 1. Enqueue arrivals due at the current virtual step.
+        while next_arrival < order.len() && requests[order[next_arrival]].arrival_step <= step {
+            let idx = order[next_arrival];
+            next_arrival += 1;
+            if queue.len() >= cfg.queue_cap {
+                m.rejected += 1;
+                add(Counter::ServeSessionsRejected, 1);
+            } else {
+                queue.push_back(idx);
+                add(Counter::ServeSessionsAdmitted, 1);
+            }
+        }
+        // 2. Refill the running set from the queue front.
+        while running.len() < max_batch {
+            let Some(idx) = queue.pop_front() else { break };
+            match admit(model, &requests[idx], &clock) {
+                Ok(a) => running.push(a),
+                Err(reason) => {
+                    m.failed += 1;
+                    lrd_trace::warn(format!(
+                        "serve: request {} failed at admission: {reason}",
+                        requests[idx].id
+                    ));
+                }
+            }
+        }
+        // 3. Idle: fast-forward virtual time to the next arrival, or stop.
+        if running.is_empty() {
+            match order.get(next_arrival) {
+                Some(&idx) => {
+                    step = requests[idx].arrival_step;
+                    continue;
+                }
+                None => break,
+            }
+        }
+        // 4. Pack one decode step across every running session.
+        let t0 = clock.seconds();
+        let tokens: Vec<usize> = running.iter().map(Active::next_input).collect();
+        let logits = {
+            let mut states: Vec<&mut DecodeState> =
+                running.iter_mut().map(|a| &mut a.state).collect();
+            model.decode_step_many(&tokens, &mut states)
+        };
+        m.batches += 1;
+        m.occupancy += running.len() as u64;
+        add(Counter::ServeDecodeBatches, 1);
+        match logits {
+            Ok(logits) => {
+                let dt_ms = (clock.seconds() - t0) * 1e3;
+                let now_s = clock.seconds();
+                for (i, a) in running.iter_mut().enumerate() {
+                    if a.consume(logits.row(i)) {
+                        m.tokens += 1;
+                        add(Counter::ServeTokensGenerated, 1);
+                        m.per_token_ms.record(dt_ms);
+                        if a.produced.len() == 1 {
+                            m.ttft_ms.record((now_s - a.admitted_s) * 1e3);
+                        }
+                    }
+                }
+                // Order-stable removal keeps future batch composition
+                // deterministic.
+                let mut still = Vec::with_capacity(running.len());
+                for a in running.drain(..) {
+                    if a.done(max_seq) {
+                        add(Counter::ServeSessionsCompleted, 1);
+                        m.completions.push(Completion {
+                            id: a.id,
+                            tokens: a.produced,
+                        });
+                    } else {
+                        still.push(a);
+                    }
+                }
+                running = still;
+            }
+            Err(e) => {
+                // Should be unreachable — admission validated every
+                // session — but a decode error must degrade, not panic:
+                // fail the whole batch and keep serving the queue.
+                lrd_trace::warn(format!(
+                    "serve: decode batch of {} session(s) failed: {e}",
+                    running.len()
+                ));
+                m.failed += running.len() as u64;
+                running.clear();
+            }
+        }
+        step += 1;
+    }
+    let wall = clock.seconds();
+    m.finish(label, requests.len(), wall)
+}
+
+/// The sequential baseline: serves the same trace one session at a time,
+/// one token per step, on the single-session
+/// [`TransformerLm::decode_step`] path. Same metrics, same counters —
+/// this is the "no continuous batching" ablation the speedup is measured
+/// against.
+pub fn serve_sequential(model: &TransformerLm, requests: &[Request], label: &str) -> ServeOutcome {
+    let max_seq = model.config().max_seq;
+    let clock = Clock::start();
+    let mut m = Metrics::new();
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by_key(|&i| (requests[i].arrival_step, requests[i].id));
+    for idx in order {
+        let r = &requests[idx];
+        add(Counter::ServeSessionsAdmitted, 1);
+        let mut a = match admit(model, r, &clock) {
+            Ok(a) => a,
+            Err(reason) => {
+                m.failed += 1;
+                lrd_trace::warn(format!(
+                    "serve: request {} failed at admission: {reason}",
+                    r.id
+                ));
+                continue;
+            }
+        };
+        while !a.done(max_seq) {
+            let t0 = clock.seconds();
+            let step = model.decode_step(a.next_input(), &mut a.state);
+            m.batches += 1;
+            m.occupancy += 1;
+            add(Counter::ServeDecodeBatches, 1);
+            match step {
+                Ok(logits) => {
+                    let dt_ms = (clock.seconds() - t0) * 1e3;
+                    if a.consume(logits.row(0)) {
+                        m.tokens += 1;
+                        add(Counter::ServeTokensGenerated, 1);
+                        m.per_token_ms.record(dt_ms);
+                        if a.produced.len() == 1 {
+                            m.ttft_ms.record((clock.seconds() - a.admitted_s) * 1e3);
+                        }
+                    }
+                }
+                Err(e) => {
+                    lrd_trace::warn(format!("serve: request {} failed mid-decode: {e}", r.id));
+                    m.failed += 1;
+                    break;
+                }
+            }
+        }
+        if a.done(max_seq) {
+            add(Counter::ServeSessionsCompleted, 1);
+            m.completions.push(Completion {
+                id: a.id,
+                tokens: a.produced,
+            });
+        }
+    }
+    let wall = clock.seconds();
+    m.finish(label, requests.len(), wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{generate, TrafficConfig};
+    use lrd_nn::{ArchKind, TransformerConfig};
+    use lrd_tensor::rng::Rng64;
+
+    fn tiny() -> TransformerLm {
+        let cfg = TransformerConfig {
+            kind: ArchKind::Decoder,
+            vocab_size: 32,
+            d_model: 8,
+            n_layers: 2,
+            n_heads: 2,
+            n_kv_heads: 2,
+            d_ff: 16,
+            max_seq: 24,
+        };
+        TransformerLm::new(cfg, &mut Rng64::new(5))
+    }
+
+    fn trace(sessions: usize) -> Vec<crate::traffic::Request> {
+        generate(&TrafficConfig::for_model(sessions, 11, 32, 24))
+    }
+
+    #[test]
+    fn batched_streams_match_sequential() {
+        let model = tiny();
+        let reqs = trace(12);
+        let seq = serve_sequential(&model, &reqs, "seq");
+        for max_batch in [1usize, 2, 5, 16] {
+            let cfg = ServeConfig {
+                max_batch,
+                queue_cap: usize::MAX,
+            };
+            let bat = serve(&model, &reqs, &cfg, "bat");
+            assert_eq!(bat.report.completed, seq.report.completed);
+            assert_eq!(
+                bat.report.stream_checksum, seq.report.stream_checksum,
+                "streams diverged at max_batch {max_batch}"
+            );
+            let mut a = bat.completions.clone();
+            let mut b = seq.completions.clone();
+            a.sort_by_key(|c| c.id);
+            b.sort_by_key(|c| c.id);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        let model = tiny();
+        // Everyone arrives at step 0: with one slot running and one
+        // queued, the rest must be rejected.
+        let mut reqs = trace(8);
+        for r in &mut reqs {
+            r.arrival_step = 0;
+        }
+        let cfg = ServeConfig {
+            max_batch: 1,
+            queue_cap: 1,
+        };
+        let out = serve(&model, &reqs, &cfg, "tiny-queue");
+        assert!(out.report.rejected > 0, "expected rejections");
+        assert_eq!(
+            out.report.completed + out.report.rejected + out.report.failed,
+            out.report.offered
+        );
+    }
+
+    #[test]
+    fn invalid_requests_degrade_to_failed() {
+        let model = tiny();
+        let mut reqs = trace(3);
+        reqs[0].prompt = vec![999]; // out of vocabulary
+        reqs[1].prompt = vec![1; 25]; // longer than max_seq
+        let out = serve(&model, &reqs, &ServeConfig::default(), "degraded");
+        assert_eq!(out.report.failed, 2);
+        assert_eq!(out.report.completed, 1);
+    }
+
+    #[test]
+    fn report_accounts_for_every_request() {
+        let model = tiny();
+        let reqs = trace(20);
+        let out = serve(&model, &reqs, &ServeConfig::default(), "acct");
+        let r = &out.report;
+        assert_eq!(r.offered, 20);
+        assert_eq!(r.completed + r.rejected + r.failed, r.offered);
+        assert_eq!(r.completed as usize, out.completions.len());
+        assert_eq!(
+            r.tokens,
+            out.completions
+                .iter()
+                .map(|c| c.tokens.len() as u64)
+                .sum::<u64>()
+        );
+        assert_eq!(r.per_token_ms.count, r.tokens);
+        assert_eq!(r.ttft_ms.count, r.completed);
+        assert!(r.mean_batch >= 1.0);
+    }
+}

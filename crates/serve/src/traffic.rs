@@ -1,0 +1,167 @@
+//! Deterministic synthetic traffic: the load a serving benchmark replays.
+//!
+//! Arrivals live in *virtual time*, measured in decode steps of the
+//! serving loop rather than seconds. That choice is what makes a trace
+//! reproducible: the server advances its step counter deterministically,
+//! so "request 17 arrives at step 203" means the same thing on every
+//! host and at every batch size, whereas wall-clock arrivals would shift
+//! batch composition with machine speed.
+//!
+//! The arrival process is Poisson (exponential inter-arrival gaps drawn
+//! from a seeded [`Rng64`]) overlaid with periodic bursts — every
+//! `burst_every`-th request anchors a burst whose following
+//! `burst_size − 1` requests arrive at the same step, modelling the
+//! correlated request spikes that stress admission control.
+
+use lrd_tensor::rng::Rng64;
+
+/// One serving request: a prompt to prefill and a number of tokens to
+/// generate, arriving at a virtual decode step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Stable id (the order of generation); completions are keyed by it.
+    pub id: usize,
+    /// Virtual arrival time, in decode-loop steps.
+    pub arrival_step: u64,
+    /// Prompt tokens to prefill.
+    pub prompt: Vec<usize>,
+    /// Number of tokens to generate after the prompt.
+    pub gen_len: usize,
+}
+
+/// Parameters of the synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Number of requests to generate.
+    pub sessions: usize,
+    /// Seed of the whole trace; two configs with equal fields generate
+    /// identical traces.
+    pub seed: u64,
+    /// Mean exponential inter-arrival gap, in decode steps.
+    pub mean_interarrival_steps: f64,
+    /// Every `burst_every`-th request anchors a burst (0 disables bursts).
+    pub burst_every: usize,
+    /// Requests per burst, including the anchor.
+    pub burst_size: usize,
+    /// Inclusive `(lo, hi)` range of prompt lengths.
+    pub prompt_len: (usize, usize),
+    /// Inclusive `(lo, hi)` range of generation lengths.
+    pub gen_len: (usize, usize),
+    /// Vocabulary to draw prompt tokens from.
+    pub vocab: usize,
+}
+
+impl TrafficConfig {
+    /// A workload sized for a model with the given vocabulary and
+    /// context window: prompts fill up to a quarter of the window and
+    /// generation targets fit the remainder, so no request can overflow
+    /// its KV cache.
+    pub fn for_model(sessions: usize, seed: u64, vocab: usize, max_seq: usize) -> TrafficConfig {
+        let prompt_hi = (max_seq / 4).max(2);
+        let gen_hi = max_seq.saturating_sub(prompt_hi).max(2);
+        TrafficConfig {
+            sessions,
+            seed,
+            mean_interarrival_steps: 4.0,
+            burst_every: 8,
+            burst_size: 4,
+            prompt_len: (2, prompt_hi),
+            gen_len: (4, gen_hi),
+            vocab,
+        }
+    }
+}
+
+/// Inclusive-range sample; degenerate ranges collapse to `lo`.
+fn sample_range(rng: &mut Rng64, (lo, hi): (usize, usize)) -> usize {
+    if hi <= lo {
+        lo
+    } else {
+        lo + rng.below(hi - lo + 1)
+    }
+}
+
+/// Generates the request trace for `cfg`, sorted by arrival step.
+///
+/// The trace is a pure function of `cfg`: a seeded Poisson arrival
+/// process with bursts, prompts drawn uniformly from `[0, vocab)`.
+pub fn generate(cfg: &TrafficConfig) -> Vec<Request> {
+    let mut rng = Rng64::new(cfg.seed);
+    let mut t = 0.0f64;
+    let mut burst_left = 0usize;
+    let mut out = Vec::with_capacity(cfg.sessions);
+    for id in 0..cfg.sessions {
+        if burst_left > 0 {
+            // Burst member: arrives with its anchor, no gap.
+            burst_left -= 1;
+        } else {
+            // `1 - u` keeps the argument of ln strictly positive.
+            let u = rng.uniform();
+            t += -cfg.mean_interarrival_steps * (1.0 - u).ln();
+            if cfg.burst_every > 0 && cfg.burst_size > 1 && (id + 1) % cfg.burst_every == 0 {
+                burst_left = cfg.burst_size - 1;
+            }
+        }
+        let plen = sample_range(&mut rng, cfg.prompt_len).max(1);
+        let gen_len = sample_range(&mut rng, cfg.gen_len).max(1);
+        let prompt = (0..plen).map(|_| rng.below(cfg.vocab.max(1))).collect();
+        out.push(Request {
+            id,
+            arrival_step: t as u64,
+            prompt,
+            gen_len,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrafficConfig {
+        TrafficConfig::for_model(64, 42, 256, 64)
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        assert_eq!(generate(&cfg()), generate(&cfg()));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut other = cfg();
+        other.seed ^= 1;
+        assert_ne!(generate(&cfg()), generate(&other));
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_lengths_in_range() {
+        let c = cfg();
+        let trace = generate(&c);
+        assert_eq!(trace.len(), c.sessions);
+        let mut last = 0u64;
+        for r in &trace {
+            assert!(r.arrival_step >= last, "arrivals must be monotone");
+            last = r.arrival_step;
+            assert!((c.prompt_len.0..=c.prompt_len.1).contains(&r.prompt.len()));
+            assert!((c.gen_len.0..=c.gen_len.1).contains(&r.gen_len));
+            assert!(
+                r.prompt.len() + r.gen_len <= 64,
+                "request overflows the window"
+            );
+            assert!(r.prompt.iter().all(|&t| t < c.vocab));
+        }
+    }
+
+    #[test]
+    fn bursts_share_an_arrival_step() {
+        let c = cfg();
+        let trace = generate(&c);
+        // Request 8 anchors the first burst: 8..12 arrive together.
+        let anchor = trace[c.burst_every - 1].arrival_step;
+        for r in &trace[c.burst_every - 1..c.burst_every - 1 + c.burst_size] {
+            assert_eq!(r.arrival_step, anchor);
+        }
+    }
+}

@@ -1387,7 +1387,10 @@ mod tests {
             assert_eq!(h2, h2_want);
             assert_eq!(y, y_want);
         } else {
-            let tol = KernelDtype::active().gemm_rel_tol() * 8.0;
+            // The bound is relative: three chained GEMMs grow the output to
+            // ~|x||u1||core||u2| magnitude, so scale by the reference's
+            // largest entry instead of comparing absolutely.
+            let tol = KernelDtype::active().gemm_rel_tol() * 8.0 * y_want.max_abs().max(1.0);
             assert!(y.sub(&y_want).map(|d| d.max_abs() < tol).unwrap_or(false));
         }
     }

@@ -238,6 +238,22 @@ impl Tensor {
         (0..m).map(|i| self.data[i * n + j]).collect()
     }
 
+    /// Gathers the listed rows of a matrix into a new `len × cols` matrix
+    /// (row `i` of the output is row `rows[i]` of `self`) — the batched
+    /// embedding lookup of the serving path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not order-2 or an index is out of bounds.
+    pub fn gather_rows(&self, rows: &[usize]) -> Tensor {
+        let n = self.cols();
+        let mut out = Tensor::zeros(&[rows.len(), n]);
+        for (i, &r) in rows.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {

@@ -1,0 +1,58 @@
+//! Engine-level foundation of the serving bit-identity contract
+//! (`DESIGN.md` §13): each output row of a GEMM is bit-identical
+//! regardless of how many other rows share the call.
+//!
+//! The packed BLIS-style engine accumulates every `C` row over the same
+//! fixed KC-outer loop order whatever the batch height `m`, the band
+//! split, or the worker count — so batching `S` serving sessions into
+//! one `S × d` GEMM per layer (continuous batching) computes exactly the
+//! same floats each session would get alone. These tests pin that
+//! invariant on the shapes the tiny-Llama decode path actually issues
+//! (`d_model` 40, `d_ff` 112, vocab 256), for both the plain and the
+//! fused factored kernels; CI repeats them under `LRD_FORCE_SCALAR=1`
+//! and the bf16 storage backend.
+
+use lrd_tensor::matmul::{factored_matmul, matmul};
+use lrd_tensor::rng::Rng64;
+use lrd_tensor::Tensor;
+
+#[test]
+fn matmul_rows_bit_identical_across_batch_heights() {
+    let mut rng = Rng64::new(9);
+    // (k, n) pairs covering the decode projections: d_model×d_model,
+    // d_model×d_ff, d_ff×d_model, d_model×vocab.
+    for &(k, n) in &[(40usize, 40usize), (40, 112), (112, 40), (40, 256)] {
+        let b = Tensor::randn(&[k, n], &mut rng);
+        // Heights straddling the kernel's MR blocking and the band split.
+        for &m in &[2usize, 3, 7, 8, 17, 64, 130] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let full = matmul(&a, &b);
+            for i in 0..m {
+                let row = Tensor::from_vec(&[1, k], a.row(i).to_vec());
+                let single = matmul(&row, &b);
+                assert_eq!(
+                    full.row(i),
+                    single.row(0),
+                    "matmul m={m} row {i} k={k} n={n}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn factored_matmul_rows_bit_identical_across_batch_heights() {
+    let mut rng = Rng64::new(10);
+    let u1 = Tensor::randn(&[40, 8], &mut rng);
+    let core = Tensor::randn(&[8, 8], &mut rng);
+    let u2 = Tensor::randn(&[8, 40], &mut rng);
+    for &m in &[2usize, 5, 8, 33, 64] {
+        let x = Tensor::randn(&[m, 40], &mut rng);
+        let full = factored_matmul(&x, &u1, &core, &u2);
+        for i in 0..m {
+            let row = Tensor::from_vec(&[1, 40], x.row(i).to_vec());
+            let single = factored_matmul(&row, &u1, &core, &u2);
+            assert_eq!(full.row(i), single.row(0), "factored m={m} row {i}");
+        }
+    }
+}

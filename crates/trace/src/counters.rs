@@ -65,10 +65,21 @@ pub enum Counter {
     /// the memory traffic the packed engine actually moves, which drops
     /// when reduced-precision panel storage is active.
     GemmBytesPacked,
+    /// Sessions admitted into the serving queue or batch.
+    ServeSessionsAdmitted,
+    /// Session arrivals rejected because the admission queue was full.
+    ServeSessionsRejected,
+    /// Sessions that ran to completion (generated their full budget or
+    /// hit the context bound).
+    ServeSessionsCompleted,
+    /// Tokens produced by the serving decode loop across all sessions.
+    ServeTokensGenerated,
+    /// Continuous-batching decode iterations (one batched model step each).
+    ServeDecodeBatches,
 }
 
 /// Every counter, in metrics-document order.
-pub const ALL: [Counter; 19] = [
+pub const ALL: [Counter; 24] = [
     Counter::SvdJacobiCalls,
     Counter::SvdJacobiSweeps,
     Counter::SvdRandomizedCalls,
@@ -88,6 +99,11 @@ pub const ALL: [Counter; 19] = [
     Counter::HwsimSimulations,
     Counter::WarningsEmitted,
     Counter::GemmBytesPacked,
+    Counter::ServeSessionsAdmitted,
+    Counter::ServeSessionsRejected,
+    Counter::ServeSessionsCompleted,
+    Counter::ServeTokensGenerated,
+    Counter::ServeDecodeBatches,
 ];
 
 impl Counter {
@@ -113,6 +129,11 @@ impl Counter {
             Counter::HwsimSimulations => "hwsim_simulations",
             Counter::WarningsEmitted => "warnings_emitted",
             Counter::GemmBytesPacked => "gemm_bytes_packed",
+            Counter::ServeSessionsAdmitted => "serve_sessions_admitted",
+            Counter::ServeSessionsRejected => "serve_sessions_rejected",
+            Counter::ServeSessionsCompleted => "serve_sessions_completed",
+            Counter::ServeTokensGenerated => "serve_tokens_generated",
+            Counter::ServeDecodeBatches => "serve_decode_batches",
         }
     }
 

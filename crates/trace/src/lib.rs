@@ -14,6 +14,9 @@
 //! * [`event`] — one-shot structured records (name + label + numeric
 //!   fields) for things that are neither durations nor monotone counts,
 //!   e.g. a hardware-simulator report breakdown.
+//! * [`hist`] — exact-sample latency histograms with nearest-rank
+//!   percentiles, the per-token latency / TTFT distributions the serving
+//!   loop reports.
 //! * [`json`] + [`report`] — a dependency-free JSON writer/parser and the
 //!   versioned metrics document (`schema_version` [`report::SCHEMA_VERSION`])
 //!   that `repro --metrics <path>` emits and CI validates.
@@ -27,6 +30,7 @@
 
 pub mod counters;
 pub mod event;
+pub mod hist;
 pub mod json;
 pub mod report;
 pub mod span;
@@ -34,6 +38,7 @@ pub mod warn;
 
 pub use counters::Counter;
 pub use event::event;
+pub use hist::{Histogram, HistogramSummary};
 pub use span::{span, SpanGuard};
 pub use warn::warn;
 
