@@ -4,6 +4,7 @@
 //! ```text
 //! metrics_check <path> [--require-nonzero counter1,counter2,...]
 //!               [--suite BENCH_suite.json] [--require-serve]
+//!               [--journal merged.jsonl]
 //! ```
 //!
 //! For the metrics document: checks the schema identity and version, the
@@ -20,6 +21,12 @@
 //! percentiles, positive throughput, and a `true` batched-vs-sequential
 //! bit-identity verdict for every variant — the serve-smoke CI job's
 //! pass condition.
+//!
+//! For a merged journal (`--journal`): checks that every line parses as
+//! an `lrd-journal` v1 record, that no `(figure, fingerprint)` key repeats
+//! (a merged journal is canonical — `repro journal-merge` collapsed the
+//! duplicates), and that at least one record is present — the shard-merge
+//! CI job's pass condition.
 //!
 //! Exits non-zero with a message on the first violation — CI runs this
 //! against a fresh `fig9 --fast` run.
@@ -169,6 +176,47 @@ fn check_serve_section(serve: &Json) {
     );
 }
 
+/// Validates a merged journal (`--journal`): every line parses, no
+/// duplicate `(figure, fingerprint)` keys, at least one record.
+fn check_journal(path: &str) {
+    use lrd_core::journal::JournalRecord;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut figures = std::collections::BTreeSet::new();
+    let mut records = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = match JournalRecord::parse_line(line) {
+            Ok(r) => r,
+            // A merged journal tolerates no torn/foreign lines: the merge
+            // rewrote every record canonically.
+            Err(e) => fail(&format!("{path} line {}: {e}", lineno + 1)),
+        };
+        if !seen.insert((record.figure.clone(), record.fingerprint)) {
+            fail(&format!(
+                "{path} line {}: duplicate key ({}, {:016x}) — a merged journal must be duplicate-free",
+                lineno + 1,
+                record.figure,
+                record.fingerprint
+            ));
+        }
+        figures.insert(record.figure);
+        records += 1;
+    }
+    if records == 0 {
+        fail(&format!("{path} holds no journal records"));
+    }
+    println!(
+        "metrics_check: journal OK ({records} record(s), {} figure(s))",
+        figures.len()
+    );
+}
+
 /// Validates a `BENCH_suite.json` document against the v3 layout.
 fn check_suite(path: &str, require_serve: bool) {
     let doc = load_doc(path);
@@ -264,11 +312,22 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut path: Option<String> = None;
     let mut suite: Option<String> = None;
+    let mut journal: Option<String> = None;
     let mut require_nonzero: Vec<String> = Vec::new();
     let mut require_serve = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--journal" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => journal = Some(p.clone()),
+                    None => {
+                        eprintln!("--journal requires a path to a merged journal");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--require-nonzero" => {
                 i += 1;
                 let list = argv.get(i).map(String::as_str).unwrap_or_else(|| {
@@ -308,13 +367,16 @@ fn main() {
     if let Some(suite_path) = &suite {
         check_suite(suite_path, require_serve);
     }
+    if let Some(journal_path) = &journal {
+        check_journal(journal_path);
+    }
     let Some(path) = path else {
-        if suite.is_some() {
-            return; // suite-only invocation
+        if suite.is_some() || journal.is_some() {
+            return; // suite-/journal-only invocation
         }
         eprintln!(
             "usage: metrics_check <metrics.json> [--require-nonzero c1,c2,...] \
-             [--suite BENCH_suite.json] [--require-serve]"
+             [--suite BENCH_suite.json] [--require-serve] [--journal merged.jsonl]"
         );
         std::process::exit(2);
     };

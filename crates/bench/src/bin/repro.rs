@@ -3,7 +3,8 @@
 //! ```text
 //! repro <command> [--fast] [--samples N] [--steps N] [--workers N] [--no-cache]
 //!                 [--sessions N] [--metrics PATH] [--journal PATH] [--resume]
-//!                 [--faults SPEC] [--retries N] [--deadline-s SECS]
+//!                 [--faults SPEC] [--retries N] [--deadline-s SECS] [--shard I/N]
+//! repro journal-merge <out> <in...>
 //!
 //! commands:
 //!   train      (re)train the tiny-Llama baseline and print its benchmark scores
@@ -26,6 +27,10 @@
 //!   serve      continuous-batching load test: dense vs factored under one
 //!              deterministic traffic trace (--sessions, default 200)
 //!   all        everything above
+//!   journal-merge <out> <in...>
+//!              combine shard journals into one whose resumed table is
+//!              bit-identical to an unsharded run (exit 1 on conflicting
+//!              payloads for the same point)
 //!
 //! robustness flags:
 //!   --journal PATH    append every settled sweep point to a durable JSONL
@@ -38,15 +43,19 @@
 //!   --retries N       per-point retry budget for transient failures (default 2)
 //!   --deadline-s S    per-point soft deadline; overrunning points settle as
 //!                     timed out (default off)
+//!   --shard I/N       compute only the sweep points shard I of N owns
+//!                     (fingerprint % N == I); figure commands only. Pair
+//!                     with --journal, run every shard, then journal-merge
+//!                     and --resume for the full table (DESIGN.md §14)
 //! ```
 
 use lrd_bench::{pretrained_tiny_llama, render_table, write_csv, PretrainOptions, WORLD_SEED};
 use lrd_core::executor::CacheStats;
 use lrd_core::faults::{FaultPlan, FAULTS_ENV, FAULTS_SEED_ENV};
-use lrd_core::journal::Journal;
+use lrd_core::journal::{Journal, Shard};
 use lrd_core::recovery::{recover, RecoveryOptions};
 use lrd_core::select::{middle_spread_layers, preset_config, table4_presets};
-use lrd_core::space::table2;
+use lrd_core::space::{table2, DecompositionConfig};
 use lrd_core::study::{self, efficiency_sweep, DynBenchmark, StudyExecutor, StudyPoint};
 use lrd_eval::harness::{evaluate_all, EvalOptions};
 use lrd_eval::tasks;
@@ -82,7 +91,19 @@ struct Args {
     retries: u32,
     /// Per-point soft deadline.
     deadline: Option<std::time::Duration>,
+    /// Restrict sweeps to the points this shard owns.
+    shard: Option<Shard>,
+    /// Positional arguments after the command (`journal-merge` only).
+    positionals: Vec<String>,
 }
+
+/// Commands whose sweeps may be sharded: their point lists are pure
+/// functions of the spec fingerprints, so `--shard` partitions them
+/// cleanly. The other commands either have no sweep or feed sweep output
+/// into downstream computation (optimize's sensitivity vector, recovery's
+/// reference point, baselines' comparison rows) where a partial set would
+/// silently corrupt the result.
+const SHARDABLE_COMMANDS: [&str; 7] = ["fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "bert"];
 
 /// Takes the value following `flag`, exiting with an error if it is absent.
 fn flag_value<'v>(argv: &'v [String], i: usize, flag: &str) -> &'v str {
@@ -117,6 +138,8 @@ fn parse_args() -> Args {
     let mut faults_spec: Option<String> = None;
     let mut retries = 2u32;
     let mut deadline = None;
+    let mut shard = None;
+    let mut positionals = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -164,13 +187,28 @@ fn parse_args() -> Args {
                 }
                 deadline = Some(std::time::Duration::from_secs_f64(secs));
             }
+            "--shard" => {
+                i += 1;
+                let value = flag_value(&argv, i, "--shard");
+                shard = Some(Shard::parse(value).unwrap_or_else(|e| {
+                    eprintln!("invalid value for --shard: {value:?}: {e}");
+                    std::process::exit(2);
+                }));
+            }
             c if command.is_empty() && !c.starts_with('-') => command = c.to_string(),
+            p if !p.starts_with('-') && command == "journal-merge" => {
+                positionals.push(p.to_string());
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+    if command == "journal-merge" && positionals.len() < 2 {
+        eprintln!("journal-merge requires an output path and at least one input journal: repro journal-merge <out> <in...>");
+        std::process::exit(2);
     }
     if resume && journal.is_none() {
         eprintln!("--resume requires --journal <path>");
@@ -201,6 +239,16 @@ fn parse_args() -> Args {
     if command.is_empty() {
         command = "all".into();
     }
+    if shard.is_some() && !SHARDABLE_COMMANDS.contains(&command.as_str()) {
+        eprintln!(
+            "--shard applies only to figure sweeps ({}), not {command:?}",
+            SHARDABLE_COMMANDS.join(", ")
+        );
+        std::process::exit(2);
+    }
+    if shard.is_some() && journal.is_none() {
+        eprintln!("[repro] warning: --shard without --journal: this shard's results cannot be merged later");
+    }
     Args {
         command,
         samples,
@@ -216,6 +264,8 @@ fn parse_args() -> Args {
         faults,
         retries,
         deadline,
+        shard,
+        positionals,
     }
 }
 
@@ -254,6 +304,11 @@ fn bench_names(benches: &[DynBenchmark]) -> Vec<&'static str> {
 /// Set when a printed figure had *every* point fail; drives the process
 /// exit code (individual failed points are reported but non-fatal).
 static FIGURE_ALL_FAILED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// The run's shard, if `--shard` was given — lets table rendering flag
+/// partial output on stderr without touching the stdout/CSV bytes (which
+/// must stay identical between an unsharded run and a merged resume).
+static ACTIVE_SHARD: std::sync::OnceLock<Shard> = std::sync::OnceLock::new();
 
 /// Prints a study as a table with one row per configuration and one column
 /// per benchmark; returns the rows for CSV reuse. Failed points render as
@@ -301,8 +356,25 @@ fn print_study(title: &str, csv: &str, points: &[StudyPoint], benches: &[DynBenc
         eprintln!("[repro] error: every point of \"{title}\" failed");
         FIGURE_ALL_FAILED.store(true, std::sync::atomic::Ordering::Relaxed);
     }
+    if let Some(shard) = ACTIVE_SHARD.get() {
+        eprintln!(
+            "[repro] shard {shard}: \"{title}\" rendered {} owned/journaled point(s) (partial table)",
+            points.len()
+        );
+    }
     let path = write_csv(csv, &headers, &rows);
     println!("[csv] {}", path.display());
+}
+
+/// The baseline (undecomposed) row of a figure, via the executor's
+/// journal-and-shard path. Unlike [`StudyExecutor::baseline`] this yields
+/// *no* row — rather than fabricating a FAILED one — when a shard does
+/// not own the baseline point, so sharded tables stay clean partial views.
+fn baseline_row(exec: &StudyExecutor, benches: &[DynBenchmark]) -> Vec<StudyPoint> {
+    exec.run(
+        benches,
+        vec![("original".into(), DecompositionConfig::original())],
+    )
 }
 
 fn cmd_table1() {
@@ -406,7 +478,8 @@ fn executor<'a>(
         .with_cache(!args.no_cache)
         .with_faults(args.faults)
         .with_retries(args.retries)
-        .with_deadline(args.deadline);
+        .with_deadline(args.deadline)
+        .with_shard(args.shard);
     if let Some(journal) = journal {
         exec = exec.with_journal(journal);
     }
@@ -469,7 +542,7 @@ fn cmd_fig3(_args: &Args, exec: &StudyExecutor) {
         ("15%", presets[2].2.clone()),
         ("33%", presets[4].2.clone()),
     ];
-    let mut points = vec![exec.baseline(&benches)];
+    let mut points = baseline_row(exec, &benches);
     points.extend(exec.rank_sweep(&benches, &[5, 2, 1], &layer_sets));
     print_study(
         "Fig. 3: accuracy vs pruned rank",
@@ -482,7 +555,7 @@ fn cmd_fig3(_args: &Args, exec: &StudyExecutor) {
 fn cmd_fig5(_args: &Args, exec: &StudyExecutor) {
     exec.set_figure("fig5");
     let benches = mc_benches();
-    let mut points = vec![exec.baseline(&benches)];
+    let mut points = baseline_row(exec, &benches);
     points.extend(exec.tensor_choice(&benches));
     print_study(
         "Fig. 5: accuracy vs decomposed tensor choice",
@@ -558,7 +631,7 @@ fn cmd_fig8(_args: &Args, exec: &StudyExecutor) {
 fn cmd_fig9(_args: &Args, exec: &StudyExecutor) {
     exec.set_figure("fig9");
     let benches = all_benches();
-    let mut points = vec![exec.baseline(&benches)];
+    let mut points = baseline_row(exec, &benches);
     points.extend(exec.case_study(&benches));
     print_study(
         "Fig. 9: accuracy vs parameter reduction (case study)",
@@ -631,7 +704,7 @@ fn cmd_bert(args: &Args, journal: Option<&Journal>) -> (CacheStats, usize) {
     let benches: Vec<DynBenchmark> = vec![Box::new(tasks::BertCloze)];
     let exec = executor(&model, &world, args, journal);
     exec.set_figure("bert");
-    let mut points = vec![exec.baseline(&benches)];
+    let mut points = baseline_row(&exec, &benches);
     points.extend(exec.tensor_choice(&benches));
     print_study(
         "Fig. 5/6 (BERT): per-tensor sensitivity on the cloze probe",
@@ -1327,8 +1400,48 @@ fn write_bench_suite(
     }
 }
 
+/// `repro journal-merge <out> <in...>`: combines shard journals into one
+/// whose resumed table is bit-identical to an unsharded run. Runs before
+/// any model work — no journal opening, no BENCH_suite.json.
+fn run_journal_merge(positionals: &[String]) -> ! {
+    let out = std::path::PathBuf::from(&positionals[0]);
+    let inputs: Vec<std::path::PathBuf> = positionals[1..]
+        .iter()
+        .map(std::path::PathBuf::from)
+        .collect();
+    match Journal::merge(&out, &inputs) {
+        Ok((journal, report)) => {
+            eprintln!(
+                "[repro] journal-merge: wrote {} ({} record(s) from {} input(s), \
+                 {} duplicate(s) collapsed{})",
+                journal.path().display(),
+                report.records,
+                report.inputs,
+                report.duplicates,
+                if report.dropped_lines > 0 {
+                    format!(", {} torn/foreign line(s) dropped", report.dropped_lines)
+                } else {
+                    String::new()
+                }
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("[repro] journal-merge failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.command == "journal-merge" {
+        run_journal_merge(&args.positionals);
+    }
+    if let Some(shard) = args.shard {
+        let _ = ACTIVE_SHARD.set(shard);
+        eprintln!("[repro] shard {shard}: computing only owned sweep points");
+    }
     eprintln!(
         "[repro] command={} samples={} steps={} workers={} (world seed {WORLD_SEED})",
         args.command,

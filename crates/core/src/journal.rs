@@ -23,16 +23,103 @@
 //! torn record from *our* writes. A journal truncated by the crash itself
 //! (e.g. `kill -9` mid-write on a non-atomic filesystem, or a partial copy)
 //! is still loadable: unparsable lines — in particular a torn final line —
-//! are counted and dropped, never fatal.
+//! are dropped, never fatal; each drop is warned about with its line
+//! number and counted (`journal_lines_dropped`), so a corrupted shard
+//! cannot masquerade as a short-but-clean one.
+//!
+//! Beyond crash recovery the journal is the sweep suite's *distribution*
+//! mechanism: [`Shard`] deterministically partitions a figure's points by
+//! fingerprint so coordinator-free workers compute disjoint subsets, and
+//! [`Journal::merge`] combines the shard journals back into one journal
+//! whose resumed result table is bit-identical to an unsharded run
+//! (DESIGN.md §14).
 
 use crate::space::DecompositionConfig;
 use crate::study::{DynBenchmark, StudyPoint};
 use lrd_eval::harness::EvalOptions;
 use lrd_eval::Accuracy;
 use lrd_trace::json::{self, Json};
+use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+/// One worker's deterministic slice of a sweep: shard `index` of `count`
+/// owns exactly the points whose [`fingerprint`] satisfies
+/// `fingerprint % count == index`.
+///
+/// The partition is a pure function of the spec fingerprint, so it is
+/// stable across hosts, worker-pool sizes, and repeated runs: every
+/// shard of a figure computes a disjoint subset and the union over
+/// `0..count` covers every point exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: u64,
+    count: u64,
+}
+
+impl Shard {
+    /// Builds a shard, rejecting degenerate shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `count == 0` (no shards exist) or
+    /// `index >= count` (the shard would own nothing and alias nothing).
+    pub fn new(index: u64, count: u64) -> Result<Shard, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s) (valid: 0..{count})"
+            ));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Parses an `i/n` spec (e.g. `"0/3"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the defect: missing `/`, non-numeric
+    /// parts, `n == 0`, or `i >= n`.
+    pub fn parse(spec: &str) -> Result<Shard, String> {
+        let Some((i, n)) = spec.split_once('/') else {
+            return Err("expected i/n (e.g. 0/3)".into());
+        };
+        let index: u64 = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index {i:?} is not a non-negative integer"))?;
+        let count: u64 = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count {n:?} is not a non-negative integer"))?;
+        Shard::new(index, count)
+    }
+
+    /// This shard's 0-based index.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Total number of shards in the partition.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether this shard owns the point with the given fingerprint.
+    pub fn owns(&self, fingerprint: u64) -> bool {
+        // `new`/`parse` reject count == 0, so the modulo cannot trap.
+        self.count != 0 && fingerprint % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
 
 /// Identifying string in every record's `schema` key.
 pub const SCHEMA_NAME: &str = "lrd-journal";
@@ -275,7 +362,24 @@ struct Inner {
     /// Verbatim persisted lines (kept so rewrites preserve prior bytes).
     lines: Vec<String>,
     records: Vec<JournalRecord>,
+    /// `(figure, fingerprint)` → index of the *latest* matching record,
+    /// so resume lookups are O(1) instead of a reverse scan per call
+    /// (an n-point `--resume` used to cost O(n²) record comparisons).
+    index: HashMap<(String, u64), usize>,
     dropped: usize,
+}
+
+impl Inner {
+    /// Appends to the in-memory copy, keeping the latest-wins index in
+    /// step with the record list.
+    fn push(&mut self, line: String, record: JournalRecord) {
+        self.index.insert(
+            (record.figure.clone(), record.fingerprint),
+            self.records.len(),
+        );
+        self.lines.push(line);
+        self.records.push(record);
+    }
 }
 
 impl Journal {
@@ -305,16 +409,21 @@ impl Journal {
         let mut inner = Inner::default();
         match std::fs::read_to_string(&path) {
             Ok(text) => {
-                for line in text.lines() {
+                for (lineno, line) in text.lines().enumerate() {
                     if line.trim().is_empty() {
                         continue;
                     }
                     match JournalRecord::parse_line(line) {
-                        Ok(record) => {
-                            inner.lines.push(line.to_string());
-                            inner.records.push(record);
+                        Ok(record) => inner.push(line.to_string(), record),
+                        Err(e) => {
+                            inner.dropped += 1;
+                            lrd_trace::counters::add(lrd_trace::Counter::JournalLinesDropped, 1);
+                            lrd_trace::warn(format!(
+                                "journal {}: dropped unparsable line {}: {e}",
+                                path.display(),
+                                lineno + 1
+                            ));
                         }
-                        Err(_) => inner.dropped += 1,
                     }
                 }
             }
@@ -350,13 +459,37 @@ impl Journal {
     /// The settled record for `(figure, fingerprint)`, if journaled.
     /// When duplicates exist (a point re-run after a resume under a torn
     /// journal) the *latest* record wins.
+    ///
+    /// Served from the `(figure, fingerprint)` index in O(1) — a resumed
+    /// n-point sweep performs n lookups, so the scan-based implementation
+    /// this replaces made `--resume` quadratic in the journal length (the
+    /// index-vs-scan equivalence is pinned by a property test).
     pub fn lookup(&self, figure: &str, fingerprint: u64) -> Option<JournalRecord> {
-        self.lock()
+        let inner = self.lock();
+        inner
+            .index
+            .get(&(figure.to_string(), fingerprint))
+            .and_then(|&i| inner.records.get(i))
+            .cloned()
+    }
+
+    /// Snapshot of every loadable record, in journal order.
+    pub fn records(&self) -> Vec<JournalRecord> {
+        self.lock().records.clone()
+    }
+
+    /// The latest-wins *settled* view: one record per `(figure,
+    /// fingerprint)` key — the one [`Journal::lookup`] would return — in
+    /// journal order of each winning record.
+    pub fn settled_records(&self) -> Vec<JournalRecord> {
+        let inner = self.lock();
+        inner
             .records
             .iter()
-            .rev()
-            .find(|r| r.fingerprint == fingerprint && r.figure == figure)
-            .cloned()
+            .enumerate()
+            .filter(|(i, r)| inner.index.get(&(r.figure.clone(), r.fingerprint)) == Some(i))
+            .map(|(_, r)| r.clone())
+            .collect()
     }
 
     /// Appends a record durably: the whole journal is rewritten to a
@@ -369,21 +502,123 @@ impl Journal {
     pub fn append(&self, record: JournalRecord) -> std::io::Result<()> {
         let mut inner = self.lock();
         let line = record.to_line();
-        let tmp = tmp_path(&self.path);
-        {
-            let mut file = std::fs::File::create(&tmp)?;
-            for prior in &inner.lines {
-                file.write_all(prior.as_bytes())?;
-                file.write_all(b"\n")?;
-            }
-            file.write_all(line.as_bytes())?;
-            file.write_all(b"\n")?;
-            file.sync_all()?;
-        }
-        std::fs::rename(&tmp, &self.path)?;
-        inner.lines.push(line);
-        inner.records.push(record);
+        persist_lines(
+            &self.path,
+            inner.lines.iter().map(String::as_str),
+            Some(&line),
+        )?;
+        inner.push(line, record);
         Ok(())
+    }
+
+    /// Combines shard journals into one journal at `out` whose resumed
+    /// result table is bit-identical to an unsharded run.
+    ///
+    /// Within each input the journal's own latest-duplicate-wins invariant
+    /// applies (a point re-run after a torn resume). Across inputs the
+    /// shards of a sweep are disjoint by construction, so the same
+    /// `(figure, fingerprint)` key appearing in two inputs is legal only
+    /// when the payloads are identical (the same point journaled twice);
+    /// conflicting payloads mean a fingerprint collision or a corrupted
+    /// shard and abort the merge with [`MergeError::Conflict`] rather
+    /// than silently picking a winner.
+    ///
+    /// The merged journal is written through the same tmp+fsync+rename
+    /// path as [`Journal::append`], in canonical form (records re-rendered
+    /// by [`JournalRecord::to_line`], first-occurrence order, duplicates
+    /// collapsed), and returned loaded.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::Io`] on filesystem failures (a *missing* input is an
+    /// error here, unlike [`Journal::resume`] — merging a shard that never
+    /// ran must not silently produce a short journal);
+    /// [`MergeError::Conflict`] on a cross-input payload conflict.
+    pub fn merge(
+        out: impl Into<PathBuf>,
+        inputs: &[PathBuf],
+    ) -> Result<(Journal, MergeReport), MergeError> {
+        let out = out.into();
+        let mut merged: Vec<JournalRecord> = Vec::new();
+        let mut index: HashMap<(String, u64), (usize, usize)> = HashMap::new();
+        let mut report = MergeReport {
+            inputs: inputs.len(),
+            records: 0,
+            duplicates: 0,
+            dropped_lines: 0,
+        };
+        for (input_idx, path) in inputs.iter().enumerate() {
+            if !path.exists() {
+                return Err(MergeError::Io {
+                    path: path.clone(),
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::NotFound,
+                        "input journal does not exist",
+                    ),
+                });
+            }
+            let journal = Journal::resume(path).map_err(|source| MergeError::Io {
+                path: path.clone(),
+                source,
+            })?;
+            report.dropped_lines += journal.dropped_lines();
+            // Each input is settled first (its own latest-wins invariant),
+            // *then* compared across inputs — so a shard that re-ran a
+            // point cannot mask a genuine cross-shard conflict behind an
+            // earlier agreeing record.
+            let settled = journal.settled_records();
+            report.duplicates += journal.len() - settled.len();
+            for record in settled {
+                let key = (record.figure.clone(), record.fingerprint);
+                match index.get(&key) {
+                    None => {
+                        index.insert(key, (merged.len(), input_idx));
+                        merged.push(record);
+                    }
+                    Some(&(slot, prev_input)) => {
+                        let Some(prev) = merged.get(slot) else {
+                            continue; // unreachable: index slots track `merged`
+                        };
+                        if *prev == record {
+                            // The same settled point journaled by two
+                            // inputs — collapse it.
+                            report.duplicates += 1;
+                        } else {
+                            return Err(MergeError::Conflict {
+                                figure: record.figure.clone(),
+                                fingerprint: record.fingerprint,
+                                label: record.label.clone(),
+                                first: inputs.get(prev_input).cloned().unwrap_or_default(),
+                                second: path.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        report.records = merged.len();
+        let lines: Vec<String> = merged.iter().map(JournalRecord::to_line).collect();
+        persist_lines(&out, lines.iter().map(String::as_str), None).map_err(|source| {
+            MergeError::Io {
+                path: out.clone(),
+                source,
+            }
+        })?;
+        lrd_trace::counters::add(
+            lrd_trace::Counter::JournalRecordsMerged,
+            merged.len() as u64,
+        );
+        let mut inner = Inner::default();
+        for (line, record) in lines.into_iter().zip(merged) {
+            inner.push(line, record);
+        }
+        Ok((
+            Journal {
+                path: out,
+                inner: Mutex::new(inner),
+            },
+            report,
+        ))
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -399,6 +634,99 @@ fn tmp_path(path: &Path) -> PathBuf {
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(".tmp");
     path.with_file_name(name)
+}
+
+/// Atomically replaces `path` with `lines` (plus an optional `extra` final
+/// line): write to a sibling tmp file, fsync, `rename(2)` over `path`.
+fn persist_lines<'a>(
+    path: &Path,
+    lines: impl Iterator<Item = &'a str>,
+    extra: Option<&'a str>,
+) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        for line in lines.chain(extra) {
+            file.write_all(line.as_bytes())?;
+            file.write_all(b"\n")?;
+        }
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Summary of a [`Journal::merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Number of input journals consumed.
+    pub inputs: usize,
+    /// Records in the merged journal.
+    pub records: usize,
+    /// Duplicate records collapsed (intra-input latest-wins supersessions
+    /// plus identical cross-input repeats).
+    pub duplicates: usize,
+    /// Unparsable lines dropped across all inputs.
+    pub dropped_lines: usize,
+}
+
+/// Why a [`Journal::merge`] failed.
+#[derive(Debug)]
+pub enum MergeError {
+    /// An input could not be read (including a missing input — a shard
+    /// that never ran) or the output could not be written.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// Two inputs settled the same `(figure, fingerprint)` key with
+    /// different payloads — a fingerprint collision or a corrupted shard.
+    Conflict {
+        /// Figure the conflicting point belongs to.
+        figure: String,
+        /// The colliding resume key.
+        fingerprint: u64,
+        /// Label of the later record, for the operator.
+        label: String,
+        /// Input that first settled the key.
+        first: PathBuf,
+        /// Input that contradicted it.
+        second: PathBuf,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Io { path, source } => {
+                write!(f, "journal {}: {source}", path.display())
+            }
+            MergeError::Conflict {
+                figure,
+                fingerprint,
+                label,
+                first,
+                second,
+            } => write!(
+                f,
+                "conflicting payloads for {figure} point {fingerprint:016x} ({label:?}): \
+                 {} and {} disagree — shards of one sweep are disjoint, so this is a \
+                 fingerprint collision or a corrupted shard journal",
+                first.display(),
+                second.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MergeError::Io { source, .. } => Some(source),
+            MergeError::Conflict { .. } => None,
+        }
+    }
 }
 
 /// The resume key: a 64-bit FNV-1a fingerprint of everything that
@@ -599,6 +927,184 @@ mod tests {
         journal.append(second.clone()).unwrap();
         assert_eq!(journal.lookup("fig9", 5), Some(second));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shard_validation_rejects_degenerate_specs() {
+        assert!(Shard::new(0, 1).is_ok());
+        assert!(Shard::new(2, 3).is_ok());
+        assert!(Shard::new(0, 0).is_err(), "n == 0");
+        assert!(Shard::new(3, 3).is_err(), "i >= n");
+        assert_eq!(Shard::parse("1/3").unwrap(), Shard::new(1, 3).unwrap());
+        assert_eq!(Shard::parse(" 1 / 3 ").unwrap(), Shard::new(1, 3).unwrap());
+        assert!(Shard::parse("3/3").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("x/3").is_err());
+        assert!(Shard::parse("1/y").is_err());
+        assert!(Shard::parse("13").is_err(), "missing slash");
+        assert!(Shard::parse("-1/3").is_err(), "negative index");
+        assert_eq!(Shard::parse("1/3").unwrap().to_string(), "1/3");
+    }
+
+    #[test]
+    fn shard_partition_is_disjoint_and_covering() {
+        let n = 3;
+        for fp in [0u64, 1, 2, 3, 7, u64::MAX, 0xdead_beef_cafe_f00d] {
+            let owners: Vec<u64> = (0..n)
+                .filter(|&i| Shard::new(i, n).unwrap().owns(fp))
+                .collect();
+            assert_eq!(
+                owners.len(),
+                1,
+                "fingerprint {fp:#x} must have exactly one owner"
+            );
+        }
+        let whole = Shard::new(0, 1).unwrap();
+        assert!(
+            whole.owns(0) && whole.owns(u64::MAX),
+            "1-shard owns everything"
+        );
+    }
+
+    #[test]
+    fn lookup_index_survives_appends_and_torn_resume() {
+        let path = temp_file("index");
+        let journal = Journal::create(&path).unwrap();
+        let a = JournalRecord::from_point("fig9", 1, &sample_point());
+        let mut newer = sample_point();
+        newer.retries = 9;
+        let a2 = JournalRecord::from_point("fig9", 1, &newer);
+        journal.append(a.clone()).unwrap();
+        assert_eq!(journal.lookup("fig9", 1), Some(a));
+        // The index must track post-resume appends, not just resume-time
+        // records: the latest duplicate wins after append too.
+        journal.append(a2.clone()).unwrap();
+        assert_eq!(journal.lookup("fig9", 1), Some(a2.clone()));
+        assert_eq!(journal.settled_records(), vec![a2.clone()]);
+        let resumed = Journal::resume(&path).unwrap();
+        assert_eq!(resumed.lookup("fig9", 1), Some(a2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn journal_with(name: &str, records: &[JournalRecord]) -> PathBuf {
+        let path = temp_file(name);
+        let journal = Journal::create(&path).unwrap();
+        for r in records {
+            journal.append(r.clone()).unwrap();
+        }
+        path
+    }
+
+    #[test]
+    fn merge_combines_disjoint_shards_and_collapses_duplicates() {
+        let a = JournalRecord::from_point("fig9", 0, &sample_point());
+        let b = JournalRecord::from_point("fig9", 1, &sample_point());
+        let c = JournalRecord::from_point("fig3", 2, &sample_point());
+        let p0 = journal_with("merge-in0", &[a.clone(), c.clone()]);
+        let p1 = journal_with("merge-in1", &[b.clone(), c.clone()]);
+        let out = temp_file("merge-out");
+        let (merged, report) =
+            Journal::merge(&out, &[p0.clone(), p1.clone()]).expect("merge succeeds");
+        assert_eq!(report.inputs, 2);
+        assert_eq!(report.records, 3);
+        assert_eq!(
+            report.duplicates, 1,
+            "identical cross-input record collapses"
+        );
+        assert_eq!(report.dropped_lines, 0);
+        assert_eq!(merged.records(), vec![a.clone(), c.clone(), b.clone()]);
+        // The merged file resumes to the same settled view.
+        let resumed = Journal::resume(&out).unwrap();
+        assert_eq!(resumed.lookup("fig9", 0), Some(a));
+        assert_eq!(resumed.lookup("fig9", 1), Some(b));
+        assert_eq!(resumed.lookup("fig3", 2), Some(c));
+        assert_eq!(resumed.dropped_lines(), 0, "merged output is canonical");
+        for p in [p0, p1, out] {
+            let _ = std::fs::remove_file(&p);
+        }
+    }
+
+    #[test]
+    fn merge_rejects_conflicting_payloads() {
+        let a = JournalRecord::from_point("fig9", 7, &sample_point());
+        let mut other = sample_point();
+        other.retries = 3;
+        let b = JournalRecord::from_point("fig9", 7, &other);
+        let p0 = journal_with("conflict-in0", &[a]);
+        let p1 = journal_with("conflict-in1", &[b]);
+        let out = temp_file("conflict-out");
+        let err = Journal::merge(&out, &[p0.clone(), p1.clone()]).expect_err("must conflict");
+        match &err {
+            MergeError::Conflict {
+                figure,
+                fingerprint,
+                first,
+                second,
+                ..
+            } => {
+                assert_eq!(figure, "fig9");
+                assert_eq!(*fingerprint, 7);
+                assert_eq!(first, &p0);
+                assert_eq!(second, &p1);
+            }
+            MergeError::Io { .. } => panic!("expected Conflict, got {err}"),
+        }
+        assert!(!out.exists(), "no output on conflict");
+        for p in [p0, p1] {
+            let _ = std::fs::remove_file(&p);
+        }
+    }
+
+    #[test]
+    fn merge_conflict_not_masked_by_agreeing_superseded_record() {
+        // Input 1 first journaled the same payload as input 0, then re-ran
+        // the point and settled differently. Its settled view conflicts
+        // with input 0 and the merge must say so.
+        let a = JournalRecord::from_point("fig9", 7, &sample_point());
+        let mut rerun = sample_point();
+        rerun.retries = 5;
+        let b = JournalRecord::from_point("fig9", 7, &rerun);
+        let p0 = journal_with("mask-in0", std::slice::from_ref(&a));
+        let p1 = journal_with("mask-in1", &[a, b]);
+        let out = temp_file("mask-out");
+        assert!(matches!(
+            Journal::merge(&out, &[p0.clone(), p1.clone()]),
+            Err(MergeError::Conflict { .. })
+        ));
+        for p in [p0, p1] {
+            let _ = std::fs::remove_file(&p);
+        }
+    }
+
+    #[test]
+    fn merge_missing_input_is_an_error() {
+        let a = JournalRecord::from_point("fig9", 0, &sample_point());
+        let p0 = journal_with("missing-in0", &[a]);
+        let ghost = temp_file("missing-in1");
+        let out = temp_file("missing-out");
+        assert!(matches!(
+            Journal::merge(&out, &[p0.clone(), ghost]),
+            Err(MergeError::Io { .. })
+        ));
+        let _ = std::fs::remove_file(&p0);
+    }
+
+    #[test]
+    fn merge_counts_dropped_lines_from_torn_inputs() {
+        let a = JournalRecord::from_point("fig9", 0, &sample_point());
+        let b = JournalRecord::from_point("fig9", 1, &sample_point());
+        let p0 = journal_with("torn-in0", &[a.clone(), b]);
+        let mut text = std::fs::read_to_string(&p0).unwrap();
+        text.truncate(text.len() - 25);
+        std::fs::write(&p0, text).unwrap();
+        let out = temp_file("torn-out");
+        let (merged, report) = Journal::merge(&out, std::slice::from_ref(&p0)).unwrap();
+        assert_eq!(report.dropped_lines, 1);
+        assert_eq!(report.records, 1);
+        assert_eq!(merged.records(), vec![a]);
+        for p in [p0, out] {
+            let _ = std::fs::remove_file(&p);
+        }
     }
 
     #[test]

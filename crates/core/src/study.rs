@@ -12,7 +12,7 @@ use crate::executor::{
     JobOutcome,
 };
 use crate::faults::{injected_nan_error, FaultKind, FaultPlan, FAULTS_ENV};
-use crate::journal::{fingerprint, Journal, JournalRecord};
+use crate::journal::{fingerprint, Journal, JournalRecord, Shard};
 use crate::select::{all_llama_tensors, preset_config, strided_layers, table4_presets};
 use crate::space::DecompositionConfig;
 use lrd_eval::harness::{evaluate, EvalOptions};
@@ -215,7 +215,10 @@ impl Drop for ThreadLimitGuard {
 ///   [`StudyExecutor::run`] skips points already journaled under the same
 ///   `(figure, fingerprint)` key, restoring them bit-identically;
 /// * a [`FaultPlan`] (from `LRD_FAULTS` by default) injects deterministic
-///   failures at the decomposition boundary to exercise all of the above.
+///   failures at the decomposition boundary to exercise all of the above;
+/// * an optional [`Shard`] restricts each run to the points it owns
+///   (`fingerprint % count == index`), turning journal + merge into a
+///   coordinator-free distribution mechanism (DESIGN.md §14).
 pub struct StudyExecutor<'a> {
     base: &'a TransformerLm,
     world: &'a World,
@@ -228,6 +231,7 @@ pub struct StudyExecutor<'a> {
     deadline: Option<Duration>,
     faults: FaultPlan,
     journal: Option<&'a Journal>,
+    shard: Option<Shard>,
     figure: Mutex<String>,
 }
 
@@ -253,6 +257,7 @@ impl<'a> StudyExecutor<'a> {
             deadline: None,
             faults,
             journal: None,
+            shard: None,
             figure: Mutex::new("study".to_string()),
         }
     }
@@ -308,6 +313,16 @@ impl<'a> StudyExecutor<'a> {
         self
     }
 
+    /// Restricts sweeps to the points this shard owns (default: all).
+    /// Points owned by other shards are *omitted* from the output — not
+    /// failed — and counted under `sweep_points_shard_skipped`; journaled
+    /// points are still restored regardless of ownership, so resuming from
+    /// a merged journal reconstructs the full table (DESIGN.md §14).
+    pub fn with_shard(mut self, shard: Option<Shard>) -> Self {
+        self.shard = shard;
+        self
+    }
+
     /// Names the figure/driver for journal keying (`"fig9"`, `"bert"`, …).
     /// Takes `&self` so one executor can serve several figures back to
     /// back, re-labelling between them.
@@ -357,6 +372,12 @@ impl<'a> StudyExecutor<'a> {
     /// uninterrupted run, bit for bit. Panicked and timed-out points are
     /// *not* journaled (they never settled normally) and surface as failed
     /// points in the output.
+    ///
+    /// With a [`Shard`] attached ([`StudyExecutor::with_shard`]), points
+    /// the shard does not own are omitted from the output — the returned
+    /// vector keeps spec order but covers only the owned (or journaled)
+    /// subset. The journal lookup runs *before* the ownership check, so a
+    /// merged journal restores every point and yields the full table.
     pub fn run(&self, benches: &[DynBenchmark], specs: Vec<StudySpec>) -> Vec<StudyPoint> {
         let n = specs.len();
         if n == 0 {
@@ -382,6 +403,12 @@ impl<'a> StudyExecutor<'a> {
                 Some(point) => {
                     lrd_trace::counters::add(lrd_trace::Counter::JournalPointsResumed, 1);
                     slots[i] = Some(point);
+                }
+                None if self.shard.is_some_and(|s| !s.owns(keys[i])) => {
+                    // Another shard's point and not journaled: leave the
+                    // slot empty — it is omitted from the output, never
+                    // fabricated as a failed row.
+                    lrd_trace::counters::add(lrd_trace::Counter::SweepPointsShardSkipped, 1);
                 }
                 None => pending.push((i, spec)),
             }
@@ -453,11 +480,10 @@ impl<'a> StudyExecutor<'a> {
                 });
             }
         }
-        slots
-            .into_iter()
-            // lrd-lint: allow(no-panic, "every index is either restored from the journal or pushed to pending, and every pending outcome writes its slot above")
-            .map(|slot| slot.expect("every sweep slot settles"))
-            .collect()
+        // Unsharded, every slot settles (restored, computed, or failed);
+        // under a shard, unowned un-journaled slots stay `None` and are
+        // legitimately omitted from the output.
+        slots.into_iter().flatten().collect()
     }
 
     /// Evaluates one point under the executor's robustness policy: up to
@@ -1137,6 +1163,74 @@ mod tests {
         let other = exec2.layer_sensitivity(&quick_benches());
         assert_eq!(first, other, "recomputation still gives the same data");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sharded_runs_partition_points_and_merged_journal_restores_full_table() {
+        let m = quick_model();
+        let w = World::new(1);
+        let reference = StudyExecutor::new(&m, &w, &quick_opts())
+            .with_faults(FaultPlan::default())
+            .with_workers(1)
+            .layer_sensitivity(&quick_benches());
+        assert_eq!(reference.len(), 4);
+
+        // Run each shard with its own journal; outputs must be disjoint
+        // and together cover the reference exactly.
+        let n = 3u64;
+        let mut shard_paths = Vec::new();
+        let mut union: Vec<StudyPoint> = Vec::new();
+        for i in 0..n {
+            let path = std::env::temp_dir()
+                .join(format!("lrd-study-shard-{}-{i}.jsonl", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            let journal = Journal::create(&path).unwrap();
+            let exec = StudyExecutor::new(&m, &w, &quick_opts())
+                .with_faults(FaultPlan::default())
+                .with_workers(1)
+                .with_journal(&journal)
+                .with_shard(Some(Shard::new(i, n).unwrap()));
+            exec.set_figure("fig7");
+            let part = exec.layer_sensitivity(&quick_benches());
+            assert_eq!(journal.len(), part.len(), "every owned point journals");
+            for p in part {
+                assert!(!union.contains(&p), "shards must be disjoint");
+                union.push(p);
+            }
+            shard_paths.push(path);
+        }
+        assert_eq!(union.len(), reference.len(), "shards must cover the sweep");
+        for p in &reference {
+            assert!(union.contains(p), "missing point {:?}", p.label);
+        }
+
+        // Merge the shard journals and resume unsharded: the full table
+        // comes back bit-identical to the uninterrupted reference.
+        let out =
+            std::env::temp_dir().join(format!("lrd-study-merged-{}.jsonl", std::process::id()));
+        let (merged, report) = Journal::merge(&out, &shard_paths).unwrap();
+        assert_eq!(report.records, reference.len());
+        let exec = StudyExecutor::new(&m, &w, &quick_opts())
+            .with_faults(FaultPlan::default())
+            .with_workers(1)
+            .with_journal(&merged);
+        exec.set_figure("fig7");
+        let restored = exec.layer_sensitivity(&quick_benches());
+        assert_eq!(restored, reference, "merged resume must be bit-identical");
+
+        // A sharded executor resuming from the merged journal also sees
+        // the full table: restoration precedes the ownership filter.
+        let exec = StudyExecutor::new(&m, &w, &quick_opts())
+            .with_faults(FaultPlan::default())
+            .with_workers(1)
+            .with_journal(&merged)
+            .with_shard(Some(Shard::new(0, n).unwrap()));
+        exec.set_figure("fig7");
+        assert_eq!(exec.layer_sensitivity(&quick_benches()), reference);
+
+        for p in shard_paths.iter().chain([&out]) {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use lrd_core::compression::{decomposed_params, param_reduction_pct, tensor_compression_ratio};
 use lrd_core::decompose::{decompose_model, decompose_model_cached};
 use lrd_core::executor::{worker_budget, DecompositionCache};
+use lrd_core::journal::{Journal, JournalRecord, Shard};
 use lrd_core::select::{spread_layers, strided_layers};
 use lrd_core::space::DecompositionConfig;
 use lrd_core::study::{DynBenchmark, StudyExecutor, StudySpec};
@@ -263,6 +264,91 @@ fn sweep_survives_injected_decomposition_failure() {
     if lrd_trace::enabled() {
         let failed_after = lrd_trace::counters::get(lrd_trace::Counter::SweepPointsFailed);
         assert!(failed_after > failed_before);
+    }
+}
+
+/// One journal record per generated `(figure, fingerprint, payload)`
+/// triple. Duplicate keys are likely by construction (tiny domains), which
+/// is exactly what exercises latest-wins.
+fn journal_record(figure_idx: u32, fingerprint: u64, reduction: u32) -> JournalRecord {
+    let point = lrd_core::study::StudyPoint {
+        label: format!("p{fingerprint}"),
+        rank: 1,
+        layers: vec![0],
+        tensors: vec![0],
+        param_reduction_pct: f64::from(reduction),
+        results: vec![(
+            "ARC Easy",
+            lrd_eval::Accuracy {
+                correct: 1,
+                total: 2,
+            },
+        )],
+        error: None,
+        retries: 0,
+    };
+    JournalRecord::from_point(&format!("fig{figure_idx}"), fingerprint, &point)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The `(figure, fingerprint)` lookup index must agree with a linear
+    /// reverse scan of the append order (the pre-index resume semantics),
+    /// both for the in-memory journal and after a round trip through disk.
+    #[test]
+    fn journal_lookup_index_matches_linear_scan(
+        entries in proptest::collection::vec((0u32..3, 0u64..6, 0u32..100), 1..24),
+    ) {
+        let path = std::env::temp_dir().join(format!(
+            "lrd-prop-index-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::create(&path).expect("create");
+        for &(figure_idx, fingerprint, reduction) in &entries {
+            journal
+                .append(journal_record(figure_idx, fingerprint, reduction))
+                .expect("append");
+        }
+        let reloaded = Journal::resume(&path).expect("resume");
+        prop_assert_eq!(reloaded.dropped_lines(), 0);
+        for journal in [&journal, &reloaded] {
+            let records = journal.records();
+            prop_assert_eq!(records.len(), entries.len());
+            for figure_idx in 0u32..3 {
+                let figure = format!("fig{figure_idx}");
+                for fingerprint in 0u64..6 {
+                    let scanned = records
+                        .iter()
+                        .rev()
+                        .find(|r| r.figure == figure && r.fingerprint == fingerprint);
+                    let indexed = journal.lookup(&figure, fingerprint);
+                    prop_assert_eq!(
+                        indexed.as_ref(),
+                        scanned,
+                        "index diverged from reverse scan at ({}, {})",
+                        figure,
+                        fingerprint,
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Every fingerprint is owned by exactly one shard of any `n`-way
+    /// split: the partition is disjoint and covering by construction.
+    #[test]
+    fn shard_partition_assigns_each_fingerprint_exactly_once(
+        fingerprint in proptest::prelude::any::<u64>(),
+        count in 1u64..12,
+    ) {
+        let owners = (0..count)
+            .filter(|&i| Shard::new(i, count).expect("valid shard").owns(fingerprint))
+            .count();
+        prop_assert_eq!(owners, 1);
     }
 }
 

@@ -50,6 +50,13 @@ pub enum Counter {
     FaultsInjected,
     /// Sweep points restored from a journal instead of recomputed.
     JournalPointsResumed,
+    /// Unparsable journal lines dropped while loading (torn final line
+    /// after a crash, foreign schema, corruption).
+    JournalLinesDropped,
+    /// Records combined into a merged journal by `journal-merge`.
+    JournalRecordsMerged,
+    /// Sweep points skipped because another shard owns them.
+    SweepPointsShardSkipped,
     /// Jobs submitted to `run_jobs` worker pools.
     ExecutorJobs,
     /// Total µs jobs spent queued before a worker claimed them.
@@ -79,7 +86,7 @@ pub enum Counter {
 }
 
 /// Every counter, in metrics-document order.
-pub const ALL: [Counter; 24] = [
+pub const ALL: [Counter; 27] = [
     Counter::SvdJacobiCalls,
     Counter::SvdJacobiSweeps,
     Counter::SvdRandomizedCalls,
@@ -93,6 +100,9 @@ pub const ALL: [Counter; 24] = [
     Counter::SweepPointsTimedOut,
     Counter::FaultsInjected,
     Counter::JournalPointsResumed,
+    Counter::JournalLinesDropped,
+    Counter::JournalRecordsMerged,
+    Counter::SweepPointsShardSkipped,
     Counter::ExecutorJobs,
     Counter::ExecutorQueueWaitUs,
     Counter::ExecutorRunUs,
@@ -123,6 +133,9 @@ impl Counter {
             Counter::SweepPointsTimedOut => "sweep_points_timed_out",
             Counter::FaultsInjected => "faults_injected",
             Counter::JournalPointsResumed => "journal_points_resumed",
+            Counter::JournalLinesDropped => "journal_lines_dropped",
+            Counter::JournalRecordsMerged => "journal_records_merged",
+            Counter::SweepPointsShardSkipped => "sweep_points_shard_skipped",
             Counter::ExecutorJobs => "executor_jobs",
             Counter::ExecutorQueueWaitUs => "executor_queue_wait_us",
             Counter::ExecutorRunUs => "executor_run_us",

@@ -1,0 +1,225 @@
+//! Sharded sweep execution end to end: a figure sweep run as 1 shard and
+//! as 3 shards + `Journal::merge` must render byte-identical result
+//! tables, and the merged journal must resume bit-identically to an
+//! uninterrupted run (DESIGN.md §14).
+
+use lrd_core::faults::FaultPlan;
+use lrd_core::journal::{Journal, MergeError, Shard};
+use lrd_core::study::{DynBenchmark, StudyExecutor, StudyPoint};
+use lrd_eval::harness::EvalOptions;
+use lrd_eval::tasks::{ArcEasy, WinoGrande};
+use lrd_eval::World;
+use lrd_nn::{ArchKind, TransformerConfig, TransformerLm};
+use lrd_tensor::rng::Rng64;
+
+fn quick_model() -> TransformerLm {
+    let cfg = TransformerConfig {
+        kind: ArchKind::Decoder,
+        vocab_size: 256,
+        d_model: 16,
+        n_layers: 4,
+        n_heads: 2,
+        n_kv_heads: 2,
+        d_ff: 32,
+        max_seq: 64,
+    };
+    TransformerLm::new(cfg, &mut Rng64::new(9))
+}
+
+fn quick_benches() -> Vec<DynBenchmark> {
+    vec![Box::new(ArcEasy), Box::new(WinoGrande)]
+}
+
+fn quick_opts() -> EvalOptions {
+    EvalOptions {
+        n_samples: 20,
+        seed: 3,
+        batch_size: 32,
+        threads: 2,
+    }
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lrd-shard-{tag}-{}.jsonl", std::process::id()))
+}
+
+/// Renders points exactly the way `repro`'s `print_study` builds its
+/// table, so "byte-identical result table" is pinned at the byte level.
+fn render_points(points: &[StudyPoint], benches: &[DynBenchmark]) -> String {
+    let names: Vec<&str> = benches.iter().map(|b| b.name()).collect();
+    let mut headers: Vec<&str> = vec!["config", "param-red %"];
+    headers.extend(names.iter().copied());
+    headers.push("mean");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            let mut row = vec![p.label.clone()];
+            row.push(if p.is_failed() {
+                "-".into()
+            } else {
+                format!("{:.1}", p.param_reduction_pct)
+            });
+            for n in &names {
+                row.push(
+                    p.accuracy_of(n)
+                        .map(|a| format!("{a:.1}"))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            row.push(if p.is_failed() {
+                "FAILED".into()
+            } else {
+                format!("{:.1}", p.mean_accuracy())
+            });
+            row
+        })
+        .collect();
+    lrd_bench::render_table(&headers, &rows)
+}
+
+/// The tentpole invariant: 1 shard versus 3 shards + merge + resume render
+/// byte-identical tables, and every intermediate view is consistent.
+#[test]
+fn three_shards_merge_to_the_unsharded_table_byte_identically() {
+    let m = quick_model();
+    let w = World::new(1);
+    let benches = quick_benches();
+
+    // Unsharded reference.
+    let reference = StudyExecutor::new(&m, &w, &quick_opts())
+        .with_faults(FaultPlan::default())
+        .with_workers(1)
+        .layer_sensitivity(&benches);
+    assert_eq!(reference.len(), 4);
+    let reference_table = render_points(&reference, &benches);
+
+    // "1 shard": shard 0/1 owns everything; its table already matches.
+    let whole = StudyExecutor::new(&m, &w, &quick_opts())
+        .with_faults(FaultPlan::default())
+        .with_workers(1)
+        .with_shard(Some(Shard::new(0, 1).unwrap()))
+        .layer_sensitivity(&benches);
+    assert_eq!(
+        render_points(&whole, &benches),
+        reference_table,
+        "a 1-shard run must render the unsharded table byte for byte"
+    );
+
+    // 3 shards, each journaling its disjoint subset.
+    let shard_paths: Vec<std::path::PathBuf> = (0..3u64)
+        .map(|i| {
+            let path = temp_path(&format!("in{i}"));
+            let _ = std::fs::remove_file(&path);
+            let journal = Journal::create(&path).unwrap();
+            let exec = StudyExecutor::new(&m, &w, &quick_opts())
+                .with_faults(FaultPlan::default())
+                .with_workers(1)
+                .with_journal(&journal)
+                .with_shard(Some(Shard::new(i, 3).unwrap()));
+            exec.set_figure("fig7");
+            let part = exec.layer_sensitivity(&benches);
+            assert_eq!(
+                journal.len(),
+                part.len(),
+                "shard {i} must journal exactly its owned points"
+            );
+            for p in &part {
+                assert!(reference.contains(p), "shard point must match reference");
+            }
+            path
+        })
+        .collect();
+
+    // Merge and resume: the full table comes back, byte for byte.
+    let merged_path = temp_path("merged");
+    let (merged, report) = Journal::merge(&merged_path, &shard_paths).unwrap();
+    assert_eq!(
+        report.records,
+        reference.len(),
+        "no point lost or duplicated"
+    );
+    assert_eq!(report.dropped_lines, 0);
+    let exec = StudyExecutor::new(&m, &w, &quick_opts())
+        .with_faults(FaultPlan::default())
+        .with_workers(1)
+        .with_journal(&merged);
+    exec.set_figure("fig7");
+    let restored = exec.layer_sensitivity(&benches);
+    assert_eq!(restored, reference, "merged resume must be bit-identical");
+    assert_eq!(
+        render_points(&restored, &benches),
+        reference_table,
+        "merged-journal table must equal the unsharded table byte for byte"
+    );
+    // Accuracy and reduction survive at the f64 bit level, not just as
+    // formatted strings.
+    for (a, b) in restored.iter().zip(&reference) {
+        assert_eq!(
+            a.param_reduction_pct.to_bits(),
+            b.param_reduction_pct.to_bits()
+        );
+        for ((_, x), (_, y)) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.percent().to_bits(), y.percent().to_bits());
+        }
+    }
+    for p in shard_paths.iter().chain([&merged_path]) {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// Merging journals that settled the same point differently is a typed
+/// error naming both sources, and no output file is written.
+#[test]
+fn merge_conflict_is_a_typed_error() {
+    let m = quick_model();
+    let w = World::new(1);
+    let benches = quick_benches();
+
+    let path_a = temp_path("conflict-a");
+    let path_b = temp_path("conflict-b");
+    for p in [&path_a, &path_b] {
+        let _ = std::fs::remove_file(p);
+    }
+    // Same figure + specs (same fingerprints), different eval outcomes:
+    // produced here by tampering with one journal's payload bytes.
+    for path in [&path_a, &path_b] {
+        let journal = Journal::create(path).unwrap();
+        let exec = StudyExecutor::new(&m, &w, &quick_opts())
+            .with_faults(FaultPlan::default())
+            .with_workers(1)
+            .with_journal(&journal);
+        exec.set_figure("fig7");
+        exec.layer_sensitivity(&benches);
+    }
+    let text = std::fs::read_to_string(&path_b).unwrap();
+    std::fs::write(
+        &path_b,
+        text.replace(
+            "\"param_reduction_pct\":",
+            "\"param_reduction_pct\":9e9,\"was\":",
+        ),
+    )
+    .unwrap();
+
+    let out = temp_path("conflict-out");
+    let _ = std::fs::remove_file(&out);
+    let err = Journal::merge(&out, &[path_a.clone(), path_b.clone()])
+        .expect_err("tampered payloads must conflict");
+    match &err {
+        MergeError::Conflict {
+            figure,
+            first,
+            second,
+            ..
+        } => {
+            assert_eq!(figure, "fig7");
+            assert_eq!(first, &path_a);
+            assert_eq!(second, &path_b);
+        }
+        MergeError::Io { .. } => panic!("expected Conflict, got {err}"),
+    }
+    assert!(!out.exists(), "conflicting merge must not write an output");
+    for p in [path_a, path_b] {
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -314,6 +314,31 @@ pub mod collection {
             size: size.into(),
         }
     }
+
+    /// Strategy yielding a `Vec` of `element` draws, see [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_exclusive.saturating_sub(self.size.min).max(1) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` strategy with a `size`-drawn length, elements from
+    /// `element`. Unlike [`btree_set`], duplicates are kept.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
 }
 
 pub mod prelude {
