@@ -14,13 +14,15 @@
 //! strictly positive — the chaos CI job uses this to prove faults were
 //! actually injected and retried.
 //!
-//! For the suite document (`--suite`): checks the v3 layout — per-dtype
+//! For the suite document (`--suite`): checks the v4 layout — per-dtype
 //! `kernel_gflops` groups with positive throughputs, a resolved
 //! `kernel_dtype`, nonzero `gemm_bytes_packed`, and (when present, or
 //! demanded by `--require-serve`) the `serve` section: ordered latency
-//! percentiles, positive throughput, and a `true` batched-vs-sequential
-//! bit-identity verdict for every variant — the serve-smoke CI job's
-//! pass condition.
+//! percentiles, positive throughput and goodput, the degradation
+//! accounting identity `completed + rejected + failed + shed + timed_out
+//! == offered`, and a `true` batched-vs-sequential bit-identity verdict
+//! for every variant — the serve-smoke and serve-chaos CI jobs' pass
+//! condition.
 //!
 //! For a merged journal (`--journal`): checks that every line parses as
 //! an `lrd-journal` v1 record, that no `(figure, fingerprint)` key repeats
@@ -88,9 +90,13 @@ fn check_serve_run(run: &Json, section: &str) {
     let completed = require_num(run, section, "completed");
     let rejected = require_num(run, section, "rejected");
     let failed = require_num(run, section, "failed");
-    if completed + rejected + failed != offered {
+    let shed = require_num(run, section, "shed");
+    let timed_out = require_num(run, section, "timed_out");
+    require_num(run, section, "readmitted");
+    if completed + rejected + failed + shed + timed_out != offered {
         fail(&format!(
-            "{section}: completed {completed} + rejected {rejected} + failed {failed} != offered {offered}"
+            "{section}: completed {completed} + rejected {rejected} + failed {failed} \
+             + shed {shed} + timed_out {timed_out} != offered {offered}"
         ));
     }
     let tokens = require_num(run, section, "tokens");
@@ -99,6 +105,20 @@ fn check_serve_run(run: &Json, section: &str) {
     }
     if tokens > 0.0 && require_num(run, section, "tokens_per_s") <= 0.0 {
         fail(&format!("{section}.tokens_per_s must be positive"));
+    }
+    let healthy = require_num(run, section, "healthy_tokens");
+    if healthy > tokens {
+        fail(&format!(
+            "{section}: healthy_tokens {healthy} exceeds tokens {tokens}"
+        ));
+    }
+    if completed > 0.0 && healthy <= 0.0 {
+        fail(&format!(
+            "{section}: completed sessions but zero healthy tokens"
+        ));
+    }
+    if healthy > 0.0 && require_num(run, section, "goodput_tokens_per_s") <= 0.0 {
+        fail(&format!("{section}.goodput_tokens_per_s must be positive"));
     }
     for hist in ["per_token_ms", "ttft_ms"] {
         let h = match run.get(hist) {
@@ -123,7 +143,7 @@ fn check_serve_run(run: &Json, section: &str) {
     require_num(run, section, "stream_checksum");
 }
 
-/// Validates the optional v3 `serve` section.
+/// Validates the optional v4 `serve` section.
 fn check_serve_section(serve: &Json) {
     if require_num(serve, "serve", "sessions") <= 0.0 {
         fail("serve.sessions must be positive");
@@ -217,7 +237,7 @@ fn check_journal(path: &str) {
     );
 }
 
-/// Validates a `BENCH_suite.json` document against the v3 layout.
+/// Validates a `BENCH_suite.json` document against the v4 layout.
 fn check_suite(path: &str, require_serve: bool) {
     let doc = load_doc(path);
     if require_str(&doc, "$", "schema") != lrd_bench::SUITE_SCHEMA_NAME {

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! repro <command> [--fast] [--samples N] [--steps N] [--workers N] [--no-cache]
-//!                 [--sessions N] [--metrics PATH] [--journal PATH] [--resume]
-//!                 [--faults SPEC] [--retries N] [--deadline-s SECS] [--shard I/N]
+//!                 [--sessions N] [--max-batch N] [--metrics PATH] [--journal PATH]
+//!                 [--resume] [--faults SPEC] [--retries N] [--deadline-s SECS]
+//!                 [--shard I/N]
 //! repro journal-merge <out> <in...>
 //!
 //! commands:
@@ -25,7 +26,11 @@
 //!   optimize   Definition 1 design-goal search over the layer space
 //!   recovery   §6 fine-tuning recovery experiment
 //!   serve      continuous-batching load test: dense vs factored under one
-//!              deterministic traffic trace (--sessions, default 200)
+//!              deterministic traffic trace (--sessions, default 200;
+//!              --max-batch, default 32); with serve-side --faults kinds
+//!              it becomes the chaos test: injected faults are
+//!              quarantined per session, overload is shed, and the
+//!              healthy streams must stay bit-identical
 //!   all        everything above
 //!   journal-merge <out> <in...>
 //!              combine shard journals into one whose resumed table is
@@ -39,7 +44,9 @@
 //!                     recomputing them (bit-identical to an uninterrupted run)
 //!   --faults SPEC     deterministic fault injection, e.g. svd:0.05,panic:0.01,
 //!                     nan:0.02,seed:42 (also readable from LRD_FAULTS /
-//!                     LRD_FAULTS_SEED)
+//!                     LRD_FAULTS_SEED); the serve command reads the
+//!                     serve-plane kinds nan-logits / decode-panic /
+//!                     slow-step from the same spec
 //!   --retries N       per-point retry budget for transient failures (default 2)
 //!   --deadline-s S    per-point soft deadline; overrunning points settle as
 //!                     timed out (default off)
@@ -76,6 +83,8 @@ struct Args {
     workers: usize,
     /// Serving sessions in the `serve` command's traffic trace.
     sessions: usize,
+    /// Maximum in-flight sessions per decode batch (`serve` command).
+    max_batch: usize,
     /// Disables the decomposition cache (A/B the sequential seed path).
     no_cache: bool,
     /// Where to write the full telemetry document (spans, counters, GEMM
@@ -130,6 +139,7 @@ fn parse_args() -> Args {
     let mut steps = 2500usize;
     let mut workers = 0usize;
     let mut sessions = 200usize;
+    let mut max_batch = 32usize;
     let mut no_cache = false;
     let mut metrics = None;
     let mut fast = false;
@@ -159,6 +169,18 @@ fn parse_args() -> Args {
             "--sessions" => {
                 i += 1;
                 sessions = parse_value("--sessions", flag_value(&argv, i, "--sessions"));
+                if sessions == 0 {
+                    eprintln!("invalid value for --sessions: \"0\" (must be ≥ 1)");
+                    std::process::exit(2);
+                }
+            }
+            "--max-batch" => {
+                i += 1;
+                max_batch = parse_value("--max-batch", flag_value(&argv, i, "--max-batch"));
+                if max_batch == 0 {
+                    eprintln!("invalid value for --max-batch: \"0\" (must be ≥ 1)");
+                    std::process::exit(2);
+                }
             }
             "--no-cache" => no_cache = true,
             "--metrics" => {
@@ -257,6 +279,7 @@ fn parse_args() -> Args {
         batch_per_gpu: 64,
         workers,
         sessions,
+        max_batch,
         no_cache,
         metrics,
         journal,
@@ -797,11 +820,23 @@ fn cmd_decode(args: &Args) {
 /// The live counterpart of Figs. 10–12: serves the trained tiny-Llama —
 /// dense and factored at several Table-4 parameter-reduction points —
 /// under one deterministic traffic trace, and reports measured per-token
-/// latency percentiles, TTFT, and aggregate tokens/s for the
+/// latency percentiles, TTFT, aggregate tokens/s, and goodput for the
 /// continuous-batching server against the sequential baseline. Returns
-/// the `serve` section of `BENCH_suite.json` (schema v3).
+/// the `serve` section of `BENCH_suite.json` (schema v4).
+///
+/// With serve-plane fault kinds in `--faults` this becomes the chaos
+/// test: graceful degradation (bounded admission, load shedding at a
+/// queue high-water mark, virtual-time deadlines) is switched on, faulted
+/// sessions settle with typed reasons, and the bit-identity verdict
+/// changes shape — every stream the degraded batched server completes
+/// must equal the sequential plane's, and any session the sequential
+/// plane completes that the batched one does not must be accounted for by
+/// a permanent shed (failures and timeouts are session-local, so those
+/// sets agree across planes by construction).
 fn cmd_serve(args: &Args) -> lrd_trace::json::Json {
-    use lrd_serve::{generate, serve, serve_sequential, ServeConfig, TrafficConfig};
+    use lrd_serve::{
+        generate, serve, serve_sequential, ServeConfig, SessionFate, TrafficConfig, STALL_STEPS,
+    };
     use lrd_trace::json::Json;
 
     let (model, _world) = load_model(args);
@@ -812,16 +847,33 @@ fn cmd_serve(args: &Args) -> lrd_trace::json::Json {
     let traffic =
         TrafficConfig::for_model(args.sessions, TRACE_SEED, mcfg.vocab_size, mcfg.max_seq);
     let requests = generate(&traffic);
+    let chaos = args.faults.serve_active();
     // The queue bound covers the whole offered trace: overload rejection
     // is an admission-control behavior pinned by lrd-serve's tests, while
     // the benchmark wants every variant to complete the same sessions.
+    // Under chaos the degradation path must actually exercise: admission
+    // is bounded so bursts build queue depth, shedding fires above a low
+    // high-water mark, and sessions carry a virtual-time deadline sized
+    // so no fault-free session can ever trip it (its clock is bounded by
+    // max_seq) while two slow-step stalls always do.
     let serve_cfg = ServeConfig {
-        max_batch: 32,
+        max_batch: args.max_batch,
         queue_cap: args.sessions.max(1),
+        faults: args.faults,
+        deadline_steps: if chaos {
+            (2 * STALL_STEPS).max(mcfg.max_seq as u64)
+        } else {
+            u64::MAX
+        },
+        shed_high_water: if chaos { 2 } else { usize::MAX },
+        max_admit_per_step: if chaos { 2 } else { usize::MAX },
+        readmit_delay_steps: STALL_STEPS,
     };
     println!(
-        "\n=== Serving load test: {} sessions, max batch {}, trace seed {TRACE_SEED:#x} ===",
-        args.sessions, serve_cfg.max_batch
+        "\n=== Serving load test: {} sessions, max batch {}, trace seed {TRACE_SEED:#x}{} ===",
+        args.sessions,
+        serve_cfg.max_batch,
+        if chaos { ", chaos faults ON" } else { "" }
     );
 
     // Dense plus factored variants spanning the Table-4 reduction range.
@@ -845,6 +897,10 @@ fn cmd_serve(args: &Args) -> lrd_trace::json::Json {
         "p99 ms",
         "TTFT p50 ms",
         "tok/s",
+        "goodput tok/s",
+        "failed",
+        "shed",
+        "timed-out",
         "seq tok/s",
         "speedup",
         "bit-identical",
@@ -853,15 +909,46 @@ fn cmd_serve(args: &Args) -> lrd_trace::json::Json {
     let mut json_variants: Vec<Json> = Vec::new();
     let round2 = |v: f64| (v * 100.0).round() / 100.0;
     for (label, reduction, m) in &variants {
-        let sequential = serve_sequential(m, &requests, label);
+        let sequential = serve_sequential(m, &requests, &serve_cfg, label);
         let batched = serve(m, &requests, &serve_cfg, label);
         let speedup = if sequential.report.tokens_per_s > 0.0 {
             batched.report.tokens_per_s / sequential.report.tokens_per_s
         } else {
             0.0
         };
-        let bit_identical = batched.report.completed == sequential.report.completed
-            && batched.report.stream_checksum == sequential.report.stream_checksum;
+        // Fault-free: the batched server must reproduce the sequential
+        // plane exactly. Under chaos the batched plane may additionally
+        // shed sessions the (queueless) sequential plane completes, so
+        // the verdict becomes: every batched completion is bit-identical
+        // to its sequential counterpart, and every sequential completion
+        // the batched plane lacks was permanently shed there — any other
+        // difference is a real divergence.
+        let bit_identical = if chaos {
+            let seq_streams: std::collections::HashMap<usize, &Vec<usize>> = sequential
+                .completions
+                .iter()
+                .map(|c| (c.id, &c.tokens))
+                .collect();
+            let bat_ids: std::collections::HashSet<usize> =
+                batched.completions.iter().map(|c| c.id).collect();
+            let shed_ids: std::collections::HashSet<usize> = batched
+                .settled
+                .iter()
+                .filter(|s| s.fate == SessionFate::Shed)
+                .map(|s| s.id)
+                .collect();
+            batched
+                .completions
+                .iter()
+                .all(|c| seq_streams.get(&c.id) == Some(&&c.tokens))
+                && sequential
+                    .completions
+                    .iter()
+                    .all(|c| bat_ids.contains(&c.id) || shed_ids.contains(&c.id))
+        } else {
+            batched.report.completed == sequential.report.completed
+                && batched.report.stream_checksum == sequential.report.stream_checksum
+        };
         if !bit_identical {
             eprintln!(
                 "[repro] error: \"{label}\" batched token streams diverged from sequential \
@@ -879,6 +966,10 @@ fn cmd_serve(args: &Args) -> lrd_trace::json::Json {
             format!("{:.3}", b.per_token_ms.p99),
             format!("{:.3}", b.ttft_ms.p50),
             format!("{:.0}", b.tokens_per_s),
+            format!("{:.0}", b.goodput_tokens_per_s),
+            format!("{}", b.failed),
+            format!("{}", b.shed),
+            format!("{}", b.timed_out),
             format!("{:.0}", sequential.report.tokens_per_s),
             format!("{speedup:.2}"),
             if bit_identical { "yes" } else { "NO" }.to_string(),
@@ -898,6 +989,29 @@ fn cmd_serve(args: &Args) -> lrd_trace::json::Json {
         ("sessions", Json::uint(args.sessions as u64)),
         ("trace_seed", Json::uint(TRACE_SEED)),
         ("max_batch", Json::uint(serve_cfg.max_batch as u64)),
+        ("faults_active", Json::Bool(chaos)),
+        ("deadline_steps", {
+            // u64::MAX does not survive the f64-backed JSON number; encode
+            // "off" as 0 (a real deadline is always ≥ 1).
+            let d = if chaos { serve_cfg.deadline_steps } else { 0 };
+            Json::uint(d)
+        }),
+        (
+            "shed_high_water",
+            Json::uint(if chaos {
+                serve_cfg.shed_high_water as u64
+            } else {
+                0
+            }),
+        ),
+        (
+            "max_admit_per_step",
+            Json::uint(if chaos {
+                serve_cfg.max_admit_per_step as u64
+            } else {
+                0
+            }),
+        ),
         ("variants", Json::Arr(json_variants)),
     ])
 }

@@ -26,7 +26,15 @@ pub const SUITE_SCHEMA_NAME: &str = "lrd-bench-suite";
 /// model and each factored parameter-reduction point. Documents from
 /// other commands omit the section; `metrics_check --suite` validates it
 /// only when present (or on demand with `--require-serve`).
-pub const SUITE_SCHEMA_VERSION: u64 = 3;
+///
+/// v4: serve runs gained the graceful-degradation breakdown — `shed`,
+/// `timed_out`, `readmitted` counts (the accounting identity became
+/// `completed + rejected + failed + shed + timed_out == offered`) — plus
+/// `healthy_tokens` and `goodput_tokens_per_s` (tokens/s counting only
+/// completed sessions' streams); the serve section itself gained the
+/// resolved chaos knobs (`faults_active`, `deadline_steps`,
+/// `shed_high_water`, `max_admit_per_step`).
+pub const SUITE_SCHEMA_VERSION: u64 = 4;
 
 /// The world seed every experiment shares.
 pub const WORLD_SEED: u64 = 2024;

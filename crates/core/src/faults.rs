@@ -1,20 +1,24 @@
-//! Deterministic fault injection for the sweep runtime.
+//! Deterministic fault injection — one spec, one parser, two execution
+//! planes (sweeps and serving).
 //!
 //! A [`FaultPlan`] describes, per fault kind, the probability that the
-//! fault fires at a decomposition boundary. Decisions are a *pure function*
+//! fault fires at an injection site. Decisions are a *pure function*
 //! of `(seed, kind, site, attempt)` — no RNG state, no call ordering — so
 //! the same plan produces the identical set of failed and retried sweep
-//! points on every run and at every worker-pool size. That property is what
-//! makes chaos runs regression-testable.
+//! points (and the identical set of quarantined serving sessions) on
+//! every run and at every worker-pool or batch size. That property is
+//! what makes chaos runs regression-testable.
 //!
 //! Configuration comes from the `LRD_FAULTS` environment variable (or the
 //! `repro --faults` flag), e.g.:
 //!
 //! ```text
 //! LRD_FAULTS="svd:0.05,panic:0.01,nan:0.02" LRD_FAULTS_SEED=42 repro fig9
+//! LRD_FAULTS="nan-logits:0.1,decode-panic:0.05,slow-step:0.1" repro serve
 //! ```
 //!
-//! Three fault kinds are injected where real failures occur:
+//! Three *sweep* fault kinds are injected where decomposition failures
+//! occur:
 //!
 //! * [`FaultKind::Svd`] — the decomposition reports SVD non-convergence
 //!   ([`TensorError::NotConverged`]), the classic transient numeric flake;
@@ -28,6 +32,24 @@
 //! and the panic handling in `study`), so the retry layer gets exercised
 //! too: a point only fails for good once every allowed attempt drew the
 //! fault.
+//!
+//! Three *serving* fault kinds are injected in `lrd-serve`'s decode loop,
+//! rolled per `(session id, session-local decode step)` so the fault set
+//! is identical across batch sizes, queue bounds, and thread counts:
+//!
+//! * [`FaultKind::NanLogits`] — a session's logits row is NaN-poisoned,
+//!   exercising the non-finite-logits quarantine guard;
+//! * [`FaultKind::DecodePanic`] — the session's slot panics mid-consume,
+//!   exercising the per-slot `catch_unwind` fence;
+//! * [`FaultKind::SlowStep`] — the session's decode step overruns in
+//!   virtual time, exercising deadline-based timeout settlement.
+//!
+//! Unknown fault kinds in a spec are *tolerated*: they warn through
+//! [`lrd_trace::warn`] and count into `fault_spec_unknown_kinds`, so one
+//! chaos spec can name kinds only one execution plane implements without
+//! aborting the other — while a typo is still loudly visible in both the
+//! stderr stream and the metrics document. Malformed entries (not
+//! `kind:rate`, non-numeric or out-of-range rates) remain hard errors.
 
 use lrd_tensor::tucker::Tucker2;
 use lrd_tensor::{Tensor, TensorError};
@@ -47,6 +69,12 @@ pub enum FaultKind {
     Panic,
     /// A NaN-poisoned factor caught by the numeric-health guard.
     Nan,
+    /// A NaN-poisoned logits row in the serving decode loop.
+    NanLogits,
+    /// A panicking serving session slot.
+    DecodePanic,
+    /// A serving decode step that overruns in virtual time.
+    SlowStep,
 }
 
 impl FaultKind {
@@ -56,6 +84,9 @@ impl FaultKind {
             FaultKind::Svd => "svd",
             FaultKind::Panic => "panic",
             FaultKind::Nan => "nan",
+            FaultKind::NanLogits => "nan-logits",
+            FaultKind::DecodePanic => "decode-panic",
+            FaultKind::SlowStep => "slow-step",
         }
     }
 
@@ -64,6 +95,9 @@ impl FaultKind {
             FaultKind::Svd => 1,
             FaultKind::Panic => 2,
             FaultKind::Nan => 3,
+            FaultKind::NanLogits => 4,
+            FaultKind::DecodePanic => 5,
+            FaultKind::SlowStep => 6,
         }
     }
 }
@@ -79,19 +113,33 @@ pub struct FaultPlan {
     pub panic: f64,
     /// Probability in `[0, 1]` of an injected NaN-poisoned factor.
     pub nan: f64,
+    /// Probability in `[0, 1]` of an injected NaN-poisoned logits row
+    /// (serving decode loop, per session per decode step).
+    pub nan_logits: f64,
+    /// Probability in `[0, 1]` of an injected serving-slot panic.
+    pub decode_panic: f64,
+    /// Probability in `[0, 1]` of an injected virtual-time decode stall.
+    pub slow_step: f64,
     /// Seed mixed into every decision hash.
     pub seed: u64,
 }
 
 impl FaultPlan {
-    /// Parses a spec like `"svd:0.05,panic:0.01,nan:0.02"` (optionally with
-    /// a `seed:<u64>` entry). Whitespace around entries is tolerated; an
-    /// empty spec is the no-fault plan.
+    /// Parses a spec like `"svd:0.05,panic:0.01,nan-logits:0.1"`
+    /// (optionally with a `seed:<u64>` entry). Whitespace around entries
+    /// is tolerated; an empty spec is the no-fault plan.
+    ///
+    /// An entry whose kind is well-formed but unknown is *not* an error:
+    /// it warns through [`lrd_trace::warn`] and counts into
+    /// `fault_spec_unknown_kinds`, so a spec written for one execution
+    /// plane (or a newer version) degrades loudly instead of aborting —
+    /// or, worse, being silently dropped.
     ///
     /// # Errors
     ///
     /// Returns a human-readable message naming the offending entry for
-    /// unknown keys, malformed entries, or rates outside `[0, 1]`.
+    /// malformed entries (not `kind:rate`, non-numeric values) or rates
+    /// outside `[0, 1]`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
@@ -115,10 +163,15 @@ impl FaultPlan {
                 "svd" => plan.svd = rate,
                 "panic" => plan.panic = rate,
                 "nan" => plan.nan = rate,
+                "nan-logits" => plan.nan_logits = rate,
+                "decode-panic" => plan.decode_panic = rate,
+                "slow-step" => plan.slow_step = rate,
                 other => {
-                    return Err(format!(
-                        "unknown fault kind {other:?} (expected svd, panic, nan or seed)"
-                    ))
+                    lrd_trace::counters::add(lrd_trace::Counter::FaultSpecUnknownKinds, 1);
+                    lrd_trace::warn(format!(
+                        "fault spec names unknown kind {other:?} (known: svd, panic, nan, \
+                         nan-logits, decode-panic, slow-step, seed) — entry ignored"
+                    ));
                 }
             }
         }
@@ -148,7 +201,18 @@ impl FaultPlan {
 
     /// Whether any fault kind has a non-zero rate.
     pub fn is_active(&self) -> bool {
+        self.sweep_active() || self.serve_active()
+    }
+
+    /// Whether any *sweep* fault kind (svd / panic / nan) can fire.
+    pub fn sweep_active(&self) -> bool {
         self.svd > 0.0 || self.panic > 0.0 || self.nan > 0.0
+    }
+
+    /// Whether any *serving* fault kind (nan-logits / decode-panic /
+    /// slow-step) can fire.
+    pub fn serve_active(&self) -> bool {
+        self.nan_logits > 0.0 || self.decode_panic > 0.0 || self.slow_step > 0.0
     }
 
     fn rate(&self, kind: FaultKind) -> f64 {
@@ -156,7 +220,27 @@ impl FaultPlan {
             FaultKind::Svd => self.svd,
             FaultKind::Panic => self.panic,
             FaultKind::Nan => self.nan,
+            FaultKind::NanLogits => self.nan_logits,
+            FaultKind::DecodePanic => self.decode_panic,
+            FaultKind::SlowStep => self.slow_step,
         }
+    }
+
+    /// Decides whether `kind` fires for serving session `session` at its
+    /// session-local decode step `step`.
+    ///
+    /// The site key deliberately excludes everything scheduling-dependent
+    /// (global step counters, batch slots, queue positions): a session
+    /// performs the same sequence of local decode steps no matter how it
+    /// is batched, so the injected fault set is identical across batch
+    /// sizes, queue bounds, and thread counts — the serving analogue of
+    /// the sweep plane's worker-count independence.
+    pub fn roll_session(&self, kind: FaultKind, session: usize, step: u64) -> bool {
+        self.roll(
+            kind,
+            &format!("session {session}"),
+            (step & 0xFFFF_FFFF) as u32,
+        )
     }
 
     /// Decides whether `kind` fires at `site` on retry `attempt`.
@@ -224,6 +308,19 @@ pub fn injected_nan_error() -> TensorError {
         .expect_err("NaN-poisoned factor must fail the finite guard")
 }
 
+/// Unwinds the current serving slot with an injected decode panic.
+///
+/// Uses [`std::panic::resume_unwind`] rather than `panic!` so the global
+/// panic hook stays silent — a chaos serve run injects hundreds of these
+/// and each is caught by the per-slot `catch_unwind` fence; spamming a
+/// backtrace per injection would bury real diagnostics. The payload is a
+/// `String`, which the fence's panic-message rendering understands.
+pub fn injected_decode_panic(session: usize, step: u64) -> ! {
+    std::panic::resume_unwind(Box::new(format!(
+        "injected decode panic at session {session}, step {step}"
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,12 +334,34 @@ mod tests {
                 svd: 0.05,
                 panic: 0.01,
                 nan: 0.02,
-                seed: 42
+                seed: 42,
+                ..FaultPlan::default()
             }
         );
         assert!(plan.is_active());
+        assert!(plan.sweep_active());
+        assert!(!plan.serve_active());
         assert!(!FaultPlan::default().is_active());
         assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn parses_serve_spec() {
+        let plan =
+            FaultPlan::parse("nan-logits:0.1, decode-panic:0.05,slow-step:0.1,seed:42").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan {
+                nan_logits: 0.1,
+                decode_panic: 0.05,
+                slow_step: 0.1,
+                seed: 42,
+                ..FaultPlan::default()
+            }
+        );
+        assert!(plan.serve_active());
+        assert!(!plan.sweep_active());
+        assert!(plan.is_active());
     }
 
     #[test]
@@ -251,8 +370,32 @@ mod tests {
         assert!(FaultPlan::parse("svd:1.5").is_err());
         assert!(FaultPlan::parse("svd:-0.1").is_err());
         assert!(FaultPlan::parse("svd:abc").is_err());
-        assert!(FaultPlan::parse("oom:0.5").is_err());
+        assert!(FaultPlan::parse("slow-step:2.0").is_err());
+        assert!(FaultPlan::parse("oom:abc").is_err());
         assert!(FaultPlan::parse("seed:x").is_err());
+    }
+
+    #[test]
+    fn unknown_kinds_warn_and_count_instead_of_erroring() {
+        let unknown = lrd_trace::Counter::FaultSpecUnknownKinds;
+        let warnings_before = lrd_trace::warn::snapshot().len();
+        let count_before = lrd_trace::counters::get(unknown);
+        let plan = FaultPlan::parse("oom:0.5,svd:0.1").expect("unknown kind must not abort");
+        assert_eq!(plan.svd, 0.1, "known entries around an unknown one apply");
+        assert!(!plan.serve_active());
+        if lrd_trace::enabled() {
+            assert_eq!(lrd_trace::counters::get(unknown), count_before + 1);
+            let warnings = lrd_trace::warn::snapshot();
+            assert!(warnings.len() > warnings_before);
+            assert!(
+                warnings
+                    .last()
+                    .map(String::as_str)
+                    .unwrap_or("")
+                    .contains("\"oom\""),
+                "warning names the unknown kind"
+            );
+        }
     }
 
     #[test]
@@ -299,6 +442,42 @@ mod tests {
             (observed - 0.25).abs() < 0.03,
             "observed rate {observed} far from 0.25"
         );
+    }
+
+    #[test]
+    fn session_rolls_are_pure_and_kind_independent() {
+        let plan =
+            FaultPlan::parse("nan-logits:0.5,decode-panic:0.5,slow-step:0.5,seed:9").unwrap();
+        for kind in [
+            FaultKind::NanLogits,
+            FaultKind::DecodePanic,
+            FaultKind::SlowStep,
+        ] {
+            let first: Vec<bool> = (0..64).map(|s| plan.roll_session(kind, 3, s)).collect();
+            let second: Vec<bool> = (0..64).map(|s| plan.roll_session(kind, 3, s)).collect();
+            assert_eq!(first, second, "session rolls must be pure");
+            assert!(first.iter().any(|&f| f) && first.iter().any(|&f| !f));
+        }
+        // Different kinds draw independent decision streams at the same
+        // (session, step) sites.
+        let a: Vec<bool> = (0..64)
+            .map(|s| plan.roll_session(FaultKind::NanLogits, 3, s))
+            .collect();
+        let b: Vec<bool> = (0..64)
+            .map(|s| plan.roll_session(FaultKind::DecodePanic, 3, s))
+            .collect();
+        assert_ne!(a, b, "kinds must decorrelate");
+    }
+
+    #[test]
+    fn injected_decode_panic_is_catchable_and_hookless() {
+        let caught = std::panic::catch_unwind(|| injected_decode_panic(7, 12));
+        let payload = caught.expect_err("must unwind");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("payload is a String");
+        assert!(msg.contains("session 7"));
+        assert!(msg.contains("step 12"));
     }
 
     #[test]

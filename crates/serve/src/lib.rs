@@ -14,9 +14,11 @@
 //!   in-flight session's next token into one `S × d` batch per decode
 //!   step ([`lrd_nn::TransformerLm::decode_step_many`]: one batched GEMM
 //!   per weight per layer per step), with bounded-queue admission
-//!   control; [`server::serve_sequential`] is the one-session-at-a-time
-//!   baseline on the single-step [`lrd_nn::TransformerLm::decode_step`]
-//!   path.
+//!   control, deterministic fault injection (`lrd-core::faults`),
+//!   per-session quarantine, load shedding, and virtual-time deadlines;
+//!   [`server::serve_sequential`] is the one-session-at-a-time baseline
+//!   on the single-step [`lrd_nn::TransformerLm::decode_step`] path,
+//!   running the same fault rolls and quarantine fence.
 //! * [`report`] — per-run percentile summaries (p50/p95/p99 per-token
 //!   latency, TTFT), aggregate tokens/s, and an FNV-1a checksum over the
 //!   produced token streams for cheap bit-identity comparison.
@@ -29,13 +31,19 @@
 //! arrival steps and on token-level progress — never on wall time — so a
 //! trace replays identically on any host, and the batched token streams
 //! are bit-identical to the sequential baseline (see `DESIGN.md` §13 and
-//! the property tests in `tests/batched_identity.rs`).
+//! the property tests in `tests/batched_identity.rs`). Fault rolls are
+//! keyed to (seed, session id, session-local step), so the injected
+//! fault set — and every healthy session's stream — is likewise
+//! identical across batch sizes and queue bounds (`DESIGN.md` §15 and
+//! `tests/chaos_quarantine.rs`).
 
 pub mod clock;
 pub mod report;
 pub mod server;
 pub mod traffic;
 
-pub use report::{stream_checksum, Completion, ServeOutcome, ServeReport};
-pub use server::{argmax, serve, serve_sequential, ServeConfig};
+pub use report::{
+    stream_checksum, Completion, FailReason, ServeOutcome, ServeReport, SessionFate, Settled,
+};
+pub use server::{argmax, serve, serve_sequential, ServeConfig, STALL_STEPS};
 pub use traffic::{generate, Request, TrafficConfig};

@@ -59,6 +59,7 @@ fn check_trace(m: &TransformerLm, reqs: &[Request], max_batch: usize, queue_cap:
     let cfg = ServeConfig {
         max_batch,
         queue_cap,
+        ..ServeConfig::default()
     };
     let out = serve(m, reqs, &cfg, "prop");
     assert_eq!(
@@ -122,7 +123,12 @@ proptest! {
         let reqs = generate(&TrafficConfig::for_model(8, seed ^ 0xD00D, 48, 20));
         let baseline: Vec<Vec<usize>> = reqs.iter().map(|r| reference_stream(&m, r)).collect();
         let prev = set_thread_limit(threads);
-        let out = serve(&m, &reqs, &ServeConfig { max_batch, queue_cap: usize::MAX }, "threads");
+        let out = serve(
+            &m,
+            &reqs,
+            &ServeConfig { max_batch, queue_cap: usize::MAX, ..ServeConfig::default() },
+            "threads",
+        );
         set_thread_limit(prev);
         for c in &out.completions {
             prop_assert_eq!(&c.tokens, &baseline[c.id], "thread limit {} changed stream {}", threads, c.id);
@@ -143,10 +149,11 @@ fn batched_and_sequential_servers_agree_on_a_big_trace() {
         &ServeConfig {
             max_batch: 16,
             queue_cap: usize::MAX,
+            ..ServeConfig::default()
         },
         "bat",
     );
-    let seq = serve_sequential(&m, &reqs, "seq");
+    let seq = serve_sequential(&m, &reqs, &ServeConfig::default(), "seq");
     assert_eq!(bat.report.completed, reqs.len() as u64);
     assert_eq!(bat.report.stream_checksum, seq.report.stream_checksum);
     for c in &bat.completions {

@@ -1,0 +1,161 @@
+//! Property tests: deterministic chaos injection quarantines exactly the
+//! faulted sessions and never perturbs a healthy stream.
+//!
+//! The serving fault model's contract (`DESIGN.md` §15) is the serving
+//! analogue of the sweep plane's FAILED-row invariant: injecting
+//! `nan-logits` / `decode-panic` / `slow-step` faults changes *which*
+//! sessions settle, but never the tokens of a session that completes.
+//! Because fault rolls are keyed to (seed, session id, session-local
+//! step) and every batched kernel is row-bit-identical across batch
+//! heights, the settled set is independent of batch size and queue
+//! bound, and every completed stream is bit-identical to the fault-free
+//! run. These tests drive arbitrary fault specs, batch sizes, queue
+//! bounds, and degradation knobs through [`lrd_serve::serve`] and check
+//! both halves of that contract plus the accounting identity
+//! `completed + rejected + failed + shed + timed_out == offered`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lrd_core::faults::FaultPlan;
+use lrd_nn::{ArchKind, TransformerConfig, TransformerLm};
+use lrd_serve::{
+    generate, serve, serve_sequential, Request, ServeConfig, TrafficConfig, STALL_STEPS,
+};
+use lrd_tensor::rng::Rng64;
+use proptest::prelude::*;
+
+fn model(seed: u64, max_seq: usize) -> TransformerLm {
+    let cfg = TransformerConfig {
+        kind: ArchKind::Decoder,
+        vocab_size: 48,
+        d_model: 16,
+        n_layers: 2,
+        n_heads: 2,
+        n_kv_heads: 2,
+        d_ff: 32,
+        max_seq,
+    };
+    TransformerLm::new(cfg, &mut Rng64::new(seed))
+}
+
+/// The fault-free ground truth: every session's stream from an unloaded,
+/// uninjected run (unbounded queue, so nothing is rejected).
+fn fault_free_streams(m: &TransformerLm, reqs: &[Request]) -> BTreeMap<usize, Vec<usize>> {
+    let cfg = ServeConfig {
+        queue_cap: usize::MAX,
+        ..ServeConfig::default()
+    };
+    serve(m, reqs, &cfg, "reference")
+        .completions
+        .into_iter()
+        .map(|c| (c.id, c.tokens))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole invariant: for any fault spec and any combination of
+    /// batch size, queue bound, and degradation knobs, a session that
+    /// completes produces exactly its fault-free stream, and every
+    /// offered request is accounted for exactly once.
+    #[test]
+    fn healthy_streams_survive_any_fault_spec(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        nan in (0u64..250).prop_map(|v| v as f64 / 1000.0),
+        panic_rate in (0u64..250).prop_map(|v| v as f64 / 1000.0),
+        slow in (0u64..250).prop_map(|v| v as f64 / 1000.0),
+        sessions in 4usize..14,
+        max_batch in 1usize..17,
+        queue_cap in 2usize..40,
+        // 0 encodes "off" for the degradation knobs.
+        shed_high_water in (0usize..6).prop_map(|v| if v == 0 { usize::MAX } else { v }),
+        max_admit_per_step in (0usize..4).prop_map(|v| if v == 0 { usize::MAX } else { v }),
+    ) {
+        let m = model(seed, 24);
+        let reqs = generate(&TrafficConfig::for_model(sessions, seed ^ 0xC0DE, 48, 24));
+        let reference = fault_free_streams(&m, &reqs);
+        let cfg = ServeConfig {
+            max_batch,
+            queue_cap,
+            faults: FaultPlan {
+                nan_logits: nan,
+                decode_panic: panic_rate,
+                slow_step: slow,
+                seed: fault_seed,
+                ..FaultPlan::default()
+            },
+            deadline_steps: 2 * STALL_STEPS,
+            shed_high_water,
+            max_admit_per_step,
+            readmit_delay_steps: 8,
+        };
+        let out = serve(&m, &reqs, &cfg, "chaos");
+        let r = &out.report;
+        prop_assert_eq!(
+            r.completed + r.rejected + r.failed + r.shed + r.timed_out,
+            r.offered,
+            "accounting identity broken: {:?}",
+            r
+        );
+        let settled_ids: BTreeSet<usize> = out.settled.iter().map(|s| s.id).collect();
+        for c in &out.completions {
+            prop_assert!(
+                !settled_ids.contains(&c.id),
+                "session {} both completed and settled",
+                c.id
+            );
+            prop_assert_eq!(
+                Some(&c.tokens),
+                reference.get(&c.id),
+                "healthy stream {} diverged from the fault-free run",
+                c.id
+            );
+        }
+    }
+
+    /// With nothing scheduling-dependent in play (unbounded queue, no
+    /// shedding), the settled set — ids *and* typed fates — is identical
+    /// across every batch size and to the sequential plane: the fault
+    /// set is a pure function of (seed, session, step).
+    #[test]
+    fn settled_sets_are_batch_size_and_plane_independent(
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        nan in (10u64..200).prop_map(|v| v as f64 / 1000.0),
+        panic_rate in (10u64..200).prop_map(|v| v as f64 / 1000.0),
+        slow in (0u64..200).prop_map(|v| v as f64 / 1000.0),
+        sessions in 4usize..12,
+    ) {
+        let m = model(seed, 24);
+        let reqs = generate(&TrafficConfig::for_model(sessions, seed ^ 0xFEED, 48, 24));
+        let base = ServeConfig {
+            queue_cap: usize::MAX,
+            faults: FaultPlan {
+                nan_logits: nan,
+                decode_panic: panic_rate,
+                slow_step: slow,
+                seed: fault_seed,
+                ..FaultPlan::default()
+            },
+            deadline_steps: 2 * STALL_STEPS,
+            ..ServeConfig::default()
+        };
+        let seq = serve_sequential(&m, &reqs, &base, "seq");
+        let mut expect = seq.settled.clone();
+        expect.sort_by_key(|s| s.id);
+        for max_batch in [1usize, 4, 16] {
+            let bat = serve(&m, &reqs, &ServeConfig { max_batch, ..base }, "bat");
+            let mut got = bat.settled.clone();
+            got.sort_by_key(|s| s.id);
+            prop_assert_eq!(
+                &got,
+                &expect,
+                "settled set diverged at max_batch {}",
+                max_batch
+            );
+            prop_assert_eq!(bat.report.stream_checksum, seq.report.stream_checksum);
+        }
+    }
+}

@@ -48,6 +48,9 @@ pub enum Counter {
     SweepPointsTimedOut,
     /// Faults injected by the deterministic fault-injection layer.
     FaultsInjected,
+    /// Well-formed fault-spec entries naming a kind this build does not
+    /// know (warned about, then ignored).
+    FaultSpecUnknownKinds,
     /// Sweep points restored from a journal instead of recomputed.
     JournalPointsResumed,
     /// Unparsable journal lines dropped while loading (torn final line
@@ -83,10 +86,20 @@ pub enum Counter {
     ServeTokensGenerated,
     /// Continuous-batching decode iterations (one batched model step each).
     ServeDecodeBatches,
+    /// Serving sessions settled as Failed (admission validation, a
+    /// non-finite logits row, or a quarantined slot panic).
+    ServeSessionsFailed,
+    /// Serving sessions settled as TimedOut by the virtual-time deadline.
+    ServeSessionsTimedOut,
+    /// Load-shedding events: sessions pushed out of the admission queue
+    /// above the high-water mark (a session shed twice counts twice).
+    ServeSessionsShed,
+    /// Re-admission attempts granted to shed sessions.
+    ServeSessionsReadmitted,
 }
 
 /// Every counter, in metrics-document order.
-pub const ALL: [Counter; 27] = [
+pub const ALL: [Counter; 32] = [
     Counter::SvdJacobiCalls,
     Counter::SvdJacobiSweeps,
     Counter::SvdRandomizedCalls,
@@ -99,6 +112,7 @@ pub const ALL: [Counter; 27] = [
     Counter::SweepRetries,
     Counter::SweepPointsTimedOut,
     Counter::FaultsInjected,
+    Counter::FaultSpecUnknownKinds,
     Counter::JournalPointsResumed,
     Counter::JournalLinesDropped,
     Counter::JournalRecordsMerged,
@@ -114,6 +128,10 @@ pub const ALL: [Counter; 27] = [
     Counter::ServeSessionsCompleted,
     Counter::ServeTokensGenerated,
     Counter::ServeDecodeBatches,
+    Counter::ServeSessionsFailed,
+    Counter::ServeSessionsTimedOut,
+    Counter::ServeSessionsShed,
+    Counter::ServeSessionsReadmitted,
 ];
 
 impl Counter {
@@ -132,6 +150,7 @@ impl Counter {
             Counter::SweepRetries => "sweep_retries",
             Counter::SweepPointsTimedOut => "sweep_points_timed_out",
             Counter::FaultsInjected => "faults_injected",
+            Counter::FaultSpecUnknownKinds => "fault_spec_unknown_kinds",
             Counter::JournalPointsResumed => "journal_points_resumed",
             Counter::JournalLinesDropped => "journal_lines_dropped",
             Counter::JournalRecordsMerged => "journal_records_merged",
@@ -147,6 +166,10 @@ impl Counter {
             Counter::ServeSessionsCompleted => "serve_sessions_completed",
             Counter::ServeTokensGenerated => "serve_tokens_generated",
             Counter::ServeDecodeBatches => "serve_decode_batches",
+            Counter::ServeSessionsFailed => "serve_sessions_failed",
+            Counter::ServeSessionsTimedOut => "serve_sessions_timed_out",
+            Counter::ServeSessionsShed => "serve_sessions_shed",
+            Counter::ServeSessionsReadmitted => "serve_sessions_readmitted",
         }
     }
 
