@@ -139,6 +139,24 @@ fn check_serve_run(run: &Json, section: &str) {
         if tokens > 0.0 && require_num(h, &sec, "count") <= 0.0 {
             fail(&format!("{sec}.count must be positive"));
         }
+        let (min, mean, max) = (
+            require_num(h, &sec, "min"),
+            require_num(h, &sec, "mean"),
+            require_num(h, &sec, "max"),
+        );
+        if !(min <= mean && mean <= max) {
+            fail(&format!(
+                "{sec}: min {min} / mean {mean} / max {max} out of order"
+            ));
+        }
+    }
+    let batches = require_num(run, section, "batches");
+    let mean_batch = require_num(run, section, "mean_batch");
+    if tokens > 0.0 && (batches <= 0.0 || mean_batch <= 0.0) {
+        fail(&format!(
+            "{section}: generated tokens but batches {batches} / mean_batch {mean_batch} \
+             not positive"
+        ));
     }
     require_num(run, section, "stream_checksum");
 }
@@ -150,6 +168,24 @@ fn check_serve_section(serve: &Json) {
     }
     require_num(serve, "serve", "max_batch");
     require_num(serve, "serve", "trace_seed");
+    // Chaos knobs: the writer zeroes all three when faults are off, so a
+    // nonzero knob with faults_active == false is a torn document.
+    let faults_active = match serve.get("faults_active") {
+        Some(Json::Bool(b)) => *b,
+        _ => fail("serve.faults_active missing or not a bool"),
+    };
+    for knob in ["deadline_steps", "shed_high_water", "max_admit_per_step"] {
+        let v = require_num(serve, "serve", knob);
+        if v < 0.0 {
+            fail(&format!("serve.{knob} must be non-negative"));
+        }
+        if !faults_active && v != 0.0 {
+            fail(&format!(
+                "serve.{knob} is {v} but faults_active is false — chaos knobs must be \
+                 zeroed when faults are off"
+            ));
+        }
+    }
     let variants = match serve.get("variants").and_then(|v| v.as_arr()) {
         Some(v) if !v.is_empty() => v,
         _ => fail("serve.variants missing or empty"),
@@ -466,6 +502,10 @@ fn main() {
         let section = format!("gemm[{i}]");
         require_str(cell, &section, "variant");
         require_str(cell, &section, "backend");
+        let dtype = require_str(cell, &section, "dtype");
+        if !["f32", "bf16", "f16"].contains(&dtype) {
+            fail(&format!("{section}.dtype {dtype:?} is not a known dtype"));
+        }
         if require_num(cell, &section, "calls") <= 0.0 {
             fail(&format!("{section}.calls must be positive"));
         }
@@ -477,7 +517,14 @@ fn main() {
     for (i, span) in spans.iter().enumerate() {
         let section = format!("spans[{i}]");
         require_str(span, &section, "name");
+        require_str(span, &section, "label");
         require_num(span, &section, "id");
+        // `parent` is null for roots, a span id otherwise.
+        match span.get("parent") {
+            Some(Json::Null) => {}
+            Some(p) if p.as_num().is_some() => {}
+            _ => fail(&format!("{section}.parent missing or not null/number")),
+        }
         let start_us = require_num(span, &section, "start_us");
         let dur_us = require_num(span, &section, "dur_us");
         if start_us + dur_us > wall_s * 1.1e6 + 1e6 {

@@ -281,6 +281,19 @@ impl JournalRecord {
             Some(Json::Str(s)) => Some(s.clone()),
             Some(_) => return Err("field \"error\" is neither string nor null".into()),
         };
+        // `status` is denormalized from `error` at write time; a line where
+        // the two disagree was torn or hand-edited and must not resume.
+        let status = field_str(&doc, "status")?;
+        match status.as_str() {
+            "ok" | "failed" => {}
+            other => return Err(format!("status {other:?} is neither \"ok\" nor \"failed\"")),
+        }
+        if (status == "failed") != error.is_some() {
+            return Err(format!(
+                "status {status:?} contradicts the error field ({:?})",
+                error
+            ));
+        }
         let mut results = Vec::new();
         for item in field_arr(&doc, "results")? {
             let triple = item.as_arr().ok_or("result entry is not an array")?;

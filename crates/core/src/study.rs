@@ -8,8 +8,7 @@
 use crate::compression::param_reduction_pct;
 use crate::decompose::{decompose_model, decompose_model_cached, descriptor_decomposition};
 use crate::executor::{
-    panic_message, run_jobs, run_jobs_isolated, worker_budget, CacheStats, DecompositionCache,
-    JobOutcome,
+    panic_message, run_jobs_isolated, worker_budget, CacheStats, DecompositionCache, JobOutcome,
 };
 use crate::faults::{injected_nan_error, FaultKind, FaultPlan, FAULTS_ENV};
 use crate::journal::{fingerprint, Journal, JournalRecord, Shard};
@@ -890,7 +889,7 @@ pub fn efficiency_sweep(
         energy_saving_pct: 0.0,
         memory_saving_pct: 0.0,
     }];
-    out.extend(run_jobs(
+    for outcome in run_jobs_isolated(
         presets
             .into_iter()
             .map(|(label, _, layers)| {
@@ -913,8 +912,26 @@ pub fn efficiency_sweep(
             })
             .collect(),
         workers,
-    ));
+        None,
+    ) {
+        match outcome {
+            JobOutcome::Done(point) => out.push(point),
+            other => warn_lost_point("efficiency", &other),
+        }
+    }
     out
+}
+
+/// A sweep point's job died (panicked, or — with a deadline — timed out):
+/// count it, warn, and let the sweep keep the points it has. One bad
+/// preset must cost one point, never the sweep.
+fn warn_lost_point<T>(sweep: &str, outcome: &JobOutcome<T>) {
+    lrd_trace::counters::add(lrd_trace::Counter::SweepPointsFailed, 1);
+    let why = match outcome {
+        JobOutcome::Panicked(msg) => format!("panicked: {msg}"),
+        _ => "timed out".to_string(),
+    };
+    lrd_trace::warn(format!("{sweep} sweep point {why}; omitting the point"));
 }
 
 /// One point of the decode-phase sweep (extension beyond the paper: the
@@ -956,7 +973,7 @@ pub fn decode_sweep(
         step_time_s: dense_t,
         speedup: 1.0,
     }];
-    out.extend(run_jobs(
+    for outcome in run_jobs_isolated(
         presets
             .into_iter()
             .map(|(label, _, layers)| {
@@ -977,7 +994,13 @@ pub fn decode_sweep(
             })
             .collect(),
         workers,
-    ));
+        None,
+    ) {
+        match outcome {
+            JobOutcome::Done(point) => out.push(point),
+            other => warn_lost_point("decode", &other),
+        }
+    }
     out
 }
 

@@ -1,30 +1,47 @@
 //! `lrd-lint` — workspace invariant checker for the LRD repo.
 //!
-//! A dependency-free static analyzer built on a small hand-rolled Rust
-//! lexer ([`lexer`]). It enforces project-specific invariants that rustc
-//! and clippy cannot see — panic-safety of the sweep runtime, determinism
-//! of the fault/journal layer, and telemetry hygiene — on every commit:
+//! A dependency-free static analyzer. The substrate is layered: a
+//! hand-rolled lexer ([`lexer`]), an item-level parser recovering fns /
+//! structs / enums / consts with bodies kept as token streams
+//! ([`parser`]), a workspace symbol table with crate-dependency pruning
+//! ([`symbols`]), and a barrier-aware call-graph reachability pass
+//! ([`callgraph`]). On top of that it enforces project-specific
+//! invariants rustc and clippy cannot see — panic-safety of the sweep
+//! runtime, determinism of the fault/journal layer, telemetry and schema
+//! hygiene — on every commit:
 //!
 //! | lint | invariant |
 //! |------|-----------|
 //! | `no-panic` | no `.unwrap()`/`.expect()`/`panic!` in non-test runtime-crate code |
 //! | `safety-comment` | every `unsafe` carries an adjacent `// SAFETY:` / `# Safety` note |
 //! | `no-print` | library crates never print; output routes through `lrd-trace` |
-//! | `counter-hygiene` | every declared counter is incremented and documented |
+//! | `counter-hygiene-v2` | counters declared ⇔ reported ⇔ incremented ⇔ documented, bidirectionally |
 //! | `determinism` | no ambient time/parallelism reads outside approved modules |
+//! | `determinism-taint` | no entry point reaches `HashMap`/`HashSet` iteration or `RandomState` through any call chain |
 //! | `schema-const` | schema strings are single-sourced `const`s, never re-typed |
+//! | `schema-field-parity` | every JSON field a writer emits is validated by `metrics_check`; versions are const-sourced |
+//! | `panic-fence` | panics reachable from executor jobs sit behind a `catch_unwind` fence |
 //! | `suppression-hygiene` | every suppression is well-formed, known, and used |
 //!
-//! Findings are suppressed *explicitly and auditably* with
+//! Findings carry stable IDs (`FNV-1a` over lint + file + digit-masked
+//! message) and can be baselined via a committed `lint-baseline.json`
+//! ([`baseline`]) so CI fails on *new* findings only. Findings are
+//! suppressed *explicitly and auditably* with
 //! `// lrd-lint: allow(<lint>, "<reason>")` — the reason is mandatory and
 //! unused directives are themselves findings. See `DESIGN.md` §11.
 
+pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 pub mod source;
+pub mod symbols;
 
+use callgraph::CallGraph;
 use source::SourceFile;
 use std::path::{Path, PathBuf};
+use symbols::SymbolTable;
 
 /// Crates whose non-test code must be panic-free (`no-panic`): everything
 /// a production sweep or serving run executes. `trace` is the telemetry
@@ -57,9 +74,25 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable explanation.
     pub message: String,
+    /// Stable ID: FNV-1a over `(lint, file, digit-masked message)`. Line
+    /// numbers and counts are excluded so the ID survives unrelated edits;
+    /// this is what baselines key on.
+    pub id: String,
 }
 
 impl Finding {
+    /// Builds a finding, deriving its stable [`Finding::id`].
+    pub fn new(lint: &'static str, file: String, line: usize, message: String) -> Finding {
+        let id = stable_id(lint, &file, &message);
+        Finding {
+            lint,
+            file,
+            line,
+            message,
+            id,
+        }
+    }
+
     /// `path:line: [lint] message` — the human diagnostic format.
     pub fn render(&self) -> String {
         format!(
@@ -67,6 +100,26 @@ impl Finding {
             self.file, self.line, self.lint, self.message
         )
     }
+}
+
+/// FNV-1a over the identity of a finding, with every ASCII digit masked to
+/// `#` so messages citing lines, counts, or chain positions hash the same
+/// after unrelated code motion.
+fn stable_id(lint: &str, file: &str, message: &str) -> String {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            let b = if b.is_ascii_digit() { b'#' } else { b };
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(lint.as_bytes());
+    mix(&[0]);
+    mix(file.as_bytes());
+    mix(&[0]);
+    mix(message.as_bytes());
+    format!("{h:016x}")
 }
 
 /// The loaded workspace a lint run operates on.
@@ -190,7 +243,8 @@ impl Report {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"lint\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                "{{\"id\":{},\"lint\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_str(&f.id),
                 json_str(f.lint),
                 json_str(&f.file),
                 f.line,
@@ -202,7 +256,7 @@ impl Report {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -220,13 +274,33 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// Shared cross-file analysis, built once per run: the symbol table and
+/// the call graph every reachability lint walks.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Workspace symbol table.
+    pub syms: SymbolTable,
+    /// Call graph over `syms.fns`.
+    pub graph: CallGraph,
+}
+
+impl Analysis {
+    /// Builds the symbol table and call graph for `ws`.
+    pub fn build(ws: &Workspace) -> Analysis {
+        let syms = SymbolTable::build(ws);
+        let graph = CallGraph::build(ws, &syms);
+        Analysis { syms, graph }
+    }
+}
+
 /// Runs every registered lint over `ws`.
 pub fn run(ws: &Workspace) -> Report {
+    let analysis = Analysis::build(ws);
     let registry = lints::registry();
     let names: Vec<&'static str> = registry.iter().map(|l| l.name()).collect();
     let mut findings = Vec::new();
     for lint in &registry {
-        lint.check(ws, &mut findings);
+        lint.check(ws, &analysis, &mut findings);
     }
     // Suppression bookkeeping runs after every content lint has had the
     // chance to mark its directives used.

@@ -1,0 +1,280 @@
+//! `counter-hygiene-v2`: the telemetry counter registry, the snapshot
+//! array, the name map, the incrementing code, and the DESIGN.md catalog
+//! all agree — in *both* directions.
+//!
+//! The v1 lint checked one direction (declared ⇒ named, incremented,
+//! documented). v2 closes the loop using the item parser:
+//!
+//! 1. every `Counter` variant has a `Counter::name` arm;
+//! 2. every variant appears in `Counter::ALL` — a variant missing there
+//!    is invisible to snapshots, the metrics document, and
+//!    `metrics_check`;
+//! 3. every variant is incremented in non-test workspace code
+//!    (`add(… Counter::X …)`) — dead counters report a permanent zero
+//!    that looks like a measurement;
+//! 4. every counter name appears in DESIGN.md §8's counter catalog table;
+//! 5. **vice versa**: every catalog row names a counter that exists —
+//!    stale documentation is a finding anchored at the DESIGN.md row;
+//! 6. **vice versa**: every `add(… Counter::X …)` site names a declared
+//!    variant — an increment of a nonexistent counter is caught at the
+//!    incrementing line before rustc ever sees it.
+//!
+//! Checks 1–4 anchor to the variant's declaration line in `counters.rs`.
+
+use super::{emit, Lint};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::{Analysis, Finding, Workspace};
+
+/// See module docs.
+pub struct CounterHygieneV2;
+
+const COUNTERS_RS: &str = "crates/trace/src/counters.rs";
+
+impl Lint for CounterHygieneV2 {
+    fn name(&self) -> &'static str {
+        "counter-hygiene-v2"
+    }
+
+    fn summary(&self) -> &'static str {
+        "counters declared ⇔ in ALL ⇔ named ⇔ incremented ⇔ documented, both directions"
+    }
+
+    fn check(&self, ws: &Workspace, _an: &Analysis, out: &mut Vec<Finding>) {
+        let Some(registry) = ws.file(COUNTERS_RS) else {
+            return; // single-file fixture workspaces
+        };
+        let variants: Vec<(String, usize)> = registry
+            .items
+            .enums
+            .iter()
+            .find(|e| e.name == "Counter")
+            .map(|e| e.variants.clone())
+            .unwrap_or_default();
+        let names = name_arms(registry, "Counter");
+        let all = all_members(registry);
+        let increments = increment_sites(ws);
+        let catalog = ws.design_md.as_deref().map(catalog_rows);
+
+        for (variant, line) in &variants {
+            if !names.iter().any(|(v, _)| v == variant) {
+                emit(
+                    registry,
+                    self.name(),
+                    *line,
+                    format!(
+                        "counter `{variant}` has no `Counter::name` arm — it can never be reported"
+                    ),
+                    out,
+                );
+                continue;
+            }
+            if !all.contains(variant) {
+                emit(
+                    registry,
+                    self.name(),
+                    *line,
+                    format!(
+                        "counter `{variant}` is missing from `Counter::ALL` — snapshots, the \
+                         metrics document, and `metrics_check` will never see it"
+                    ),
+                    out,
+                );
+            }
+            if !increments.iter().any(|(v, _, _)| v == variant) {
+                emit(
+                    registry,
+                    self.name(),
+                    *line,
+                    format!(
+                        "counter `{variant}` is declared but never incremented — \
+                         remove it or add the `counters::add` call its subsystem owes"
+                    ),
+                    out,
+                );
+            }
+        }
+
+        // Increments of variants that do not exist (checked from the
+        // incrementing side so the finding lands where the typo is).
+        for (variant, rel, line) in &increments {
+            if !variants.iter().any(|(v, _)| v == variant) {
+                let file = ws.files.iter().find(|f| &f.rel == rel);
+                let msg = format!(
+                    "`Counter::{variant}` is incremented here but `{COUNTERS_RS}` declares no \
+                     such counter — add the variant (plus its `name()` arm and catalog row) \
+                     or fix the name"
+                );
+                match file {
+                    Some(f) => emit(f, self.name(), *line, msg, out),
+                    None => out.push(Finding::new(self.name(), rel.clone(), *line, msg)),
+                }
+            }
+        }
+
+        let Some(Some(catalog)) = catalog else {
+            if ws.design_md.is_some() {
+                emit(
+                    registry,
+                    self.name(),
+                    1,
+                    "DESIGN.md has no metrics-schema counter catalog table to document \
+                     counters in"
+                        .to_string(),
+                    out,
+                );
+            }
+            return;
+        };
+        for (variant, name) in &names {
+            if !catalog.iter().any(|(n, _)| n == name) {
+                let line = variants
+                    .iter()
+                    .find(|(v, _)| v == variant)
+                    .map(|(_, l)| *l)
+                    .unwrap_or(1);
+                emit(
+                    registry,
+                    self.name(),
+                    line,
+                    format!(
+                        "counter `{name}` is missing from DESIGN.md's metrics-schema \
+                         counter catalog"
+                    ),
+                    out,
+                );
+            }
+        }
+        for (name, line) in &catalog {
+            if !names.iter().any(|(_, n)| n == name) {
+                out.push(Finding::new(
+                    self.name(),
+                    "DESIGN.md".to_string(),
+                    *line,
+                    format!(
+                        "catalog documents counter `{name}` but `{COUNTERS_RS}` defines no \
+                         counter with that name — prune the stale row or restore the counter"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `(variant, string)` pairs from `<enum>::<Variant> => "string"` match arms.
+fn name_arms(file: &SourceFile, enum_name: &str) -> Vec<(String, String)> {
+    let code = &file.items.code;
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if code[i].is_ident(enum_name)
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && code.get(i + 3).is_some_and(|t| t.kind == TokenKind::Ident)
+            && code.get(i + 4).is_some_and(|t| t.is_punct('='))
+            && code.get(i + 5).is_some_and(|t| t.is_punct('>'))
+            && code.get(i + 6).is_some_and(|t| t.kind == TokenKind::Str)
+        {
+            out.push((code[i + 3].text.clone(), code[i + 6].text.clone()));
+        }
+    }
+    out
+}
+
+/// Variant names referenced inside the `ALL` const's initializer.
+fn all_members(file: &SourceFile) -> Vec<String> {
+    let Some(all) = file.items.consts.iter().find(|c| c.name == "ALL") else {
+        return Vec::new();
+    };
+    let code = &file.items.code;
+    let (start, end) = all.value;
+    let mut out = Vec::new();
+    for i in start..end.min(code.len()) {
+        if code[i].kind == TokenKind::Ident
+            && i >= 3
+            && code[i - 1].is_punct(':')
+            && code[i - 2].is_punct(':')
+            && code[i - 3].is_ident("Counter")
+        {
+            out.push(code[i].text.clone());
+        }
+    }
+    out
+}
+
+/// Every non-test `add(… Counter::X …)` site outside the registry itself:
+/// `(variant, file rel, line)`.
+fn increment_sites(ws: &Workspace) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if file.rel == COUNTERS_RS {
+            continue;
+        }
+        let code = &file.items.code;
+        for i in 0..code.len() {
+            if code[i].kind == TokenKind::Ident
+                && i >= 3
+                && code[i - 1].is_punct(':')
+                && code[i - 2].is_punct(':')
+                && code[i - 3].is_ident("Counter")
+                && !file.is_test_line(code[i].line)
+            {
+                // Look a few tokens back for the `add(` call this variant
+                // feeds; `get(Counter::X)` reads don't keep a counter alive.
+                let lo = i.saturating_sub(8);
+                if code[lo..i].iter().any(|t| t.is_ident("add")) {
+                    out.push((code[i].text.clone(), file.rel.clone(), code[i].line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `(name, 1-based DESIGN.md line)` rows of the counter catalog: the first
+/// markdown table inside the metrics-schema section whose header's first
+/// cell is `counter`.
+fn catalog_rows(design: &str) -> Option<Vec<(String, usize)>> {
+    let mut in_section = false;
+    let mut in_table = false;
+    let mut rows = Vec::new();
+    for (idx, line) in design.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.starts_with("## ") {
+            if in_section {
+                break;
+            }
+            in_section = line.to_lowercase().contains("metrics schema");
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            if in_table {
+                break; // table ended
+            }
+            continue;
+        }
+        let first_cell = trimmed
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .map(str::trim)
+            .unwrap_or("");
+        if !in_table {
+            if first_cell.eq_ignore_ascii_case("counter") {
+                in_table = true;
+            }
+            continue;
+        }
+        // Skip the separator row; data rows carry a backticked name.
+        if let Some(name) = first_cell
+            .strip_prefix('`')
+            .and_then(|c| c.strip_suffix('`'))
+        {
+            rows.push((name.to_string(), lineno));
+        }
+    }
+    in_section.then_some(rows)
+}

@@ -14,7 +14,7 @@
 
 use super::{emit, Lint};
 use crate::source::FileKind;
-use crate::{Finding, Workspace, DETERMINISM_ALLOWLIST};
+use crate::{Analysis, Finding, Workspace, DETERMINISM_ALLOWLIST};
 
 /// See module docs.
 pub struct Determinism;
@@ -31,7 +31,7 @@ impl Lint for Determinism {
         "no SystemTime::now/Instant::now/available_parallelism outside approved modules"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, _an: &Analysis, out: &mut Vec<Finding>) {
         for file in &ws.files {
             let exempt = file
                 .crate_name

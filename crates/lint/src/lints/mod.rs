@@ -1,27 +1,34 @@
 //! The lint registry.
 //!
 //! Each lint is a zero-state struct implementing [`Lint`]; `registry()`
-//! returns them in execution order. To add a lint: create a module here,
-//! implement [`Lint`], append it to [`registry`], add a known-bad and a
-//! known-good fixture under `tests/fixtures/`, and document it in
-//! `DESIGN.md` §11.
+//! returns them in execution order. Lints receive the shared [`Analysis`]
+//! (symbol table + call graph) so cross-file reachability checks are
+//! built once per run. To add a lint: create a module here, implement
+//! [`Lint`], append it to [`registry`], add a known-bad and a known-good
+//! fixture under `tests/fixtures/`, and document it in `DESIGN.md` §11.
 
-mod counter_hygiene;
+mod counter_hygiene_v2;
 mod determinism;
+mod determinism_taint;
 mod no_panic;
 mod no_print;
+mod panic_fence;
 mod safety_comment;
 mod schema_const;
+mod schema_field_parity;
 
 use crate::source::SourceFile;
-use crate::{Finding, Workspace};
+use crate::{Analysis, Finding, Workspace};
 
-pub use counter_hygiene::CounterHygiene;
+pub use counter_hygiene_v2::CounterHygieneV2;
 pub use determinism::Determinism;
+pub use determinism_taint::DeterminismTaint;
 pub use no_panic::NoPanic;
 pub use no_print::NoPrint;
+pub use panic_fence::PanicFence;
 pub use safety_comment::SafetyComment;
 pub use schema_const::SchemaConst;
+pub use schema_field_parity::SchemaFieldParity;
 
 /// One workspace invariant.
 pub trait Lint {
@@ -30,7 +37,7 @@ pub trait Lint {
     /// One-line description for `--list` and the JSON report.
     fn summary(&self) -> &'static str;
     /// Appends unsuppressed findings for the whole workspace.
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+    fn check(&self, ws: &Workspace, an: &Analysis, out: &mut Vec<Finding>);
 }
 
 /// Every content lint, in execution order.
@@ -39,9 +46,12 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(NoPanic),
         Box::new(SafetyComment),
         Box::new(NoPrint),
-        Box::new(CounterHygiene),
+        Box::new(CounterHygieneV2),
         Box::new(Determinism),
+        Box::new(DeterminismTaint),
         Box::new(SchemaConst),
+        Box::new(SchemaFieldParity),
+        Box::new(PanicFence),
     ]
 }
 
@@ -57,12 +67,7 @@ pub(crate) fn emit(
     if file.suppressed(lint, line) {
         return;
     }
-    out.push(Finding {
-        lint,
-        file: file.rel.clone(),
-        line,
-        message,
-    });
+    out.push(Finding::new(lint, file.rel.clone(), line, message));
 }
 
 /// Name of the bookkeeping pseudo-lint (not suppressible — suppressions
@@ -75,35 +80,35 @@ pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
 pub fn suppression_hygiene(ws: &Workspace, known: &[&'static str], out: &mut Vec<Finding>) {
     for file in &ws.files {
         for bad in &file.malformed {
-            out.push(Finding {
-                lint: SUPPRESSION_HYGIENE,
-                file: file.rel.clone(),
-                line: bad.line,
-                message: format!("malformed suppression directive: {}", bad.problem),
-            });
+            out.push(Finding::new(
+                SUPPRESSION_HYGIENE,
+                file.rel.clone(),
+                bad.line,
+                format!("malformed suppression directive: {}", bad.problem),
+            ));
         }
         for sup in &file.suppressions {
             if !known.contains(&sup.lint.as_str()) {
-                out.push(Finding {
-                    lint: SUPPRESSION_HYGIENE,
-                    file: file.rel.clone(),
-                    line: sup.line,
-                    message: format!(
+                out.push(Finding::new(
+                    SUPPRESSION_HYGIENE,
+                    file.rel.clone(),
+                    sup.line,
+                    format!(
                         "suppression names unknown lint `{}` (known: {})",
                         sup.lint,
                         known.join(", ")
                     ),
-                });
+                ));
             } else if !sup.used.get() {
-                out.push(Finding {
-                    lint: SUPPRESSION_HYGIENE,
-                    file: file.rel.clone(),
-                    line: sup.line,
-                    message: format!(
+                out.push(Finding::new(
+                    SUPPRESSION_HYGIENE,
+                    file.rel.clone(),
+                    sup.line,
+                    format!(
                         "unused suppression for `{}` — the code it excused is gone; remove it",
                         sup.lint
                     ),
-                });
+                ));
             }
         }
     }

@@ -11,7 +11,7 @@
 //! with `// lrd-lint: allow(no-panic, "<proof>")`.
 
 use super::{emit, Lint};
-use crate::{Finding, Workspace, RUNTIME_CRATES};
+use crate::{Analysis, Finding, Workspace, RUNTIME_CRATES};
 
 /// See module docs.
 pub struct NoPanic;
@@ -28,7 +28,7 @@ impl Lint for NoPanic {
         "no .unwrap()/.expect()/panic! in non-test code of runtime crates"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, _an: &Analysis, out: &mut Vec<Finding>) {
         for file in &ws.files {
             let runtime = file
                 .crate_name

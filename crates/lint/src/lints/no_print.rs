@@ -10,7 +10,7 @@
 
 use super::{emit, Lint};
 use crate::source::FileKind;
-use crate::{Finding, Workspace};
+use crate::{Analysis, Finding, Workspace};
 
 /// See module docs.
 pub struct NoPrint;
@@ -29,7 +29,7 @@ impl Lint for NoPrint {
         "no println!/eprintln!/dbg! in library crates; route through lrd-trace"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, _an: &Analysis, out: &mut Vec<Finding>) {
         for file in &ws.files {
             let exempt = file
                 .crate_name

@@ -17,7 +17,7 @@
 use super::{emit, Lint};
 use crate::lexer::Token;
 use crate::source::SourceFile;
-use crate::{Finding, Workspace};
+use crate::{Analysis, Finding, Workspace};
 
 /// See module docs.
 pub struct SafetyComment;
@@ -31,7 +31,7 @@ impl Lint for SafetyComment {
         "every unsafe block/fn/impl requires an adjacent SAFETY justification"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, _an: &Analysis, out: &mut Vec<Finding>) {
         for file in &ws.files {
             let lines = LineIndex::new(file);
             let code: Vec<_> = file.tokens.iter().filter(|t| !t.is_comment()).collect();

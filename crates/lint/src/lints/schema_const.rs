@@ -10,7 +10,7 @@
 
 use super::{emit, Lint};
 use crate::lexer::TokenKind;
-use crate::{Finding, Workspace, SCHEMA_STRINGS};
+use crate::{Analysis, Finding, Workspace, SCHEMA_STRINGS};
 
 /// See module docs.
 pub struct SchemaConst;
@@ -24,7 +24,7 @@ impl Lint for SchemaConst {
         "schema strings live in exactly one const; re-typed literals are findings"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+    fn check(&self, ws: &Workspace, _an: &Analysis, out: &mut Vec<Finding>) {
         for schema in SCHEMA_STRINGS {
             // (file index, token line, is the literal a const initializer?)
             let mut sites = Vec::new();

@@ -1,0 +1,372 @@
+//! `schema-field-parity`: every JSON field a schema writer emits is known
+//! to its validator, and schema versions are single-sourced consts.
+//!
+//! Three documents cross process boundaries (`lrd-metrics`,
+//! `lrd-journal`, `lrd-bench-suite`). Their writers are plain Rust
+//! functions building key/value pairs; their validator is
+//! `metrics_check` (and, for the journal, its own `parse_line`). Nothing
+//! ties the two sides together at compile time, so a field added to a
+//! writer silently becomes dead weight the validator never checks — the
+//! exact drift this lint exists to catch.
+//!
+//! For each configured schema the lint extracts the *emitted keys* from
+//! the writer functions' bodies (string literals in tuple position:
+//! `("key", value)`), then requires each key to appear as a string
+//! literal in the validator file. The journal check is bidirectional:
+//! keys `parse_line` consumes must also be keys `to_line` emits —
+//! emitted-but-never-parsed fields rot just as silently.
+//!
+//! Version single-sourcing: the `schema_version` value each writer emits
+//! must reference a `…SCHEMA_VERSION` const (not an inline literal), the
+//! writer's file must declare exactly one such const, and the validator
+//! must reference it by name.
+
+use super::{emit, Lint};
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+use crate::{Analysis, Finding, Workspace};
+
+/// See module docs.
+pub struct SchemaFieldParity;
+
+/// One schema's writer/validator wiring.
+struct Parity {
+    /// Schema identifier (for messages only).
+    schema: &'static str,
+    /// `(file, fn name)` writer functions whose emitted keys are policed.
+    writers: &'static [(&'static str, &'static str)],
+    /// Files that must mention every emitted key.
+    validators: &'static [&'static str],
+    /// `(file, fn name)` parser functions whose consumed keys must be
+    /// emitted by the writers (the bidirectional leg; empty to skip).
+    parsers: &'static [(&'static str, &'static str)],
+    /// The file that must declare exactly one `…SCHEMA_VERSION` const
+    /// that the writer's `schema_version` value references.
+    version_file: &'static str,
+}
+
+const METRICS_CHECK: &str = "crates/bench/src/bin/metrics_check.rs";
+const JOURNAL_RS: &str = "crates/core/src/journal.rs";
+
+const PARITIES: [Parity; 3] = [
+    Parity {
+        schema: "lrd-metrics",
+        writers: &[
+            ("crates/trace/src/report.rs", "metrics_document"),
+            ("crates/trace/src/report.rs", "span_json"),
+            ("crates/trace/src/report.rs", "event_json"),
+            ("crates/trace/src/hist.rs", "to_json"),
+        ],
+        validators: &[METRICS_CHECK],
+        parsers: &[],
+        version_file: "crates/trace/src/report.rs",
+    },
+    Parity {
+        schema: "lrd-journal",
+        writers: &[(JOURNAL_RS, "to_line")],
+        validators: &[JOURNAL_RS],
+        parsers: &[(JOURNAL_RS, "parse_line")],
+        version_file: JOURNAL_RS,
+    },
+    Parity {
+        schema: "lrd-bench-suite",
+        writers: &[
+            ("crates/bench/src/bin/repro.rs", "write_bench_suite"),
+            ("crates/bench/src/bin/repro.rs", "cmd_serve"),
+            ("crates/serve/src/report.rs", "to_json"),
+        ],
+        validators: &[METRICS_CHECK],
+        parsers: &[],
+        version_file: "crates/bench/src/lib.rs",
+    },
+];
+
+impl Lint for SchemaFieldParity {
+    fn name(&self) -> &'static str {
+        "schema-field-parity"
+    }
+
+    fn summary(&self) -> &'static str {
+        "every JSON field a schema writer emits is validated; versions are const-sourced"
+    }
+
+    fn check(&self, ws: &Workspace, _an: &Analysis, out: &mut Vec<Finding>) {
+        for parity in &PARITIES {
+            // Fixture workspaces only exercise the parities whose files
+            // they provide.
+            let have_writer = parity.writers.iter().any(|(f, _)| ws.file(f).is_some());
+            let have_validator = parity.validators.iter().all(|f| ws.file(f).is_some());
+            if !have_writer || !have_validator {
+                continue;
+            }
+            let validator_strs: Vec<String> = parity
+                .validators
+                .iter()
+                .filter_map(|f| ws.file(f))
+                .flat_map(|f| {
+                    f.items
+                        .code
+                        .iter()
+                        .filter(|t| matches!(t.kind, TokenKind::Str | TokenKind::RawStr))
+                        .map(|t| t.text.clone())
+                })
+                .collect();
+
+            let mut emitted: Vec<(String, &SourceFile, usize)> = Vec::new();
+            for (rel, fn_name) in parity.writers {
+                let Some(file) = ws.file(rel) else { continue };
+                for f in file.items.fns.iter().filter(|f| &f.name == fn_name) {
+                    let Some((start, end)) = f.body else { continue };
+                    for (key, line) in emitted_keys(file, start, end) {
+                        emitted.push((key, file, line));
+                    }
+                }
+            }
+
+            for (key, file, line) in &emitted {
+                if !validator_strs.iter().any(|s| s == key) {
+                    emit(
+                        file,
+                        self.name(),
+                        *line,
+                        format!(
+                            "schema `{}` writer emits field \"{key}\" that {} never \
+                             mentions — add a validation or the schema rots",
+                            parity.schema,
+                            parity.validators.join(", "),
+                        ),
+                        out,
+                    );
+                }
+            }
+
+            // Bidirectional leg: parsed keys must be emitted.
+            for (rel, fn_name) in parity.parsers {
+                let Some(file) = ws.file(rel) else { continue };
+                for f in file.items.fns.iter().filter(|f| &f.name == fn_name) {
+                    let Some((start, end)) = f.body else { continue };
+                    for (key, line) in parsed_keys(file, start, end) {
+                        if !emitted.iter().any(|(k, _, _)| *k == key) {
+                            emit(
+                                file,
+                                self.name(),
+                                line,
+                                format!(
+                                    "schema `{}` parser consumes field \"{key}\" that no \
+                                     writer emits — writer and parser have drifted",
+                                    parity.schema,
+                                ),
+                                out,
+                            );
+                        }
+                    }
+                }
+            }
+            // And the reverse for schemas with a parser: emitted keys the
+            // parser never mentions are write-only fields resume cannot
+            // round-trip.
+            if !parity.parsers.is_empty() {
+                let parser_strs: Vec<String> = parity
+                    .parsers
+                    .iter()
+                    .filter_map(|(rel, fn_name)| {
+                        let file = ws.file(rel)?;
+                        Some((file, *fn_name))
+                    })
+                    .flat_map(|(file, fn_name)| {
+                        file.items
+                            .fns
+                            .iter()
+                            .filter(move |f| f.name == fn_name)
+                            .filter_map(|f| f.body)
+                            .flat_map(|(s, e)| {
+                                file.items.code[s..e.min(file.items.code.len())]
+                                    .iter()
+                                    .filter(|t| t.kind == TokenKind::Str)
+                                    .map(|t| t.text.clone())
+                            })
+                    })
+                    .collect();
+                for (key, file, line) in &emitted {
+                    if !parser_strs.iter().any(|s| s == key) {
+                        emit(
+                            file,
+                            self.name(),
+                            *line,
+                            format!(
+                                "schema `{}` writer emits field \"{key}\" that the parser \
+                                 never reads — resume round-trips will drop it silently",
+                                parity.schema,
+                            ),
+                            out,
+                        );
+                    }
+                }
+            }
+
+            check_version_sourcing(self.name(), ws, parity, out);
+        }
+    }
+}
+
+/// Is `s` shaped like a JSON field key?
+fn keyish(s: &str) -> bool {
+    !s.is_empty()
+        && s.as_bytes()[0].is_ascii_lowercase()
+        && s.bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+}
+
+/// String literals in tuple-key position within `[start, end)`:
+/// `("key", …)` or `("key".into(), …)` — the token before the `(` must
+/// not be an identifier (that would be a call argument, not a tuple).
+fn emitted_keys(file: &SourceFile, start: usize, end: usize) -> Vec<(String, usize)> {
+    let code = &file.items.code;
+    let mut out = Vec::new();
+    for i in start..end.min(code.len()) {
+        let t = &code[i];
+        if t.kind != TokenKind::Str || !keyish(&t.text) || file.is_test_line(t.line) {
+            continue;
+        }
+        if i == 0 || !code[i - 1].is_punct('(') {
+            continue;
+        }
+        if i >= 2 && code[i - 2].kind == TokenKind::Ident {
+            continue; // `f("key", …)` — a call, not a tuple
+        }
+        let next_ok = code
+            .get(i + 1)
+            .is_some_and(|n| n.is_punct(',') || n.is_punct('.'));
+        if next_ok {
+            out.push((t.text.clone(), t.line));
+        }
+    }
+    out
+}
+
+/// String literals in field-lookup position within `[start, end)`:
+/// `helper(&doc, "key")` or `doc.get("key")` — a `"key"` followed by `)`
+/// and preceded by `,` or `(`. Comparison operands (`== "failed"`) never
+/// match.
+fn parsed_keys(file: &SourceFile, start: usize, end: usize) -> Vec<(String, usize)> {
+    let code = &file.items.code;
+    let mut out = Vec::new();
+    for i in start..end.min(code.len()) {
+        let t = &code[i];
+        if t.kind != TokenKind::Str || !keyish(&t.text) || file.is_test_line(t.line) {
+            continue;
+        }
+        let prev_ok = i > 0 && (code[i - 1].is_punct(',') || code[i - 1].is_punct('('));
+        let next_ok = code.get(i + 1).is_some_and(|n| n.is_punct(')'));
+        if prev_ok && next_ok {
+            out.push((t.text.clone(), t.line));
+        }
+    }
+    out
+}
+
+/// The `schema_version` value must reference a `…SCHEMA_VERSION` const;
+/// `version_file` must declare exactly one such const; the validators
+/// must reference one by name.
+fn check_version_sourcing(
+    lint: &'static str,
+    ws: &Workspace,
+    parity: &Parity,
+    out: &mut Vec<Finding>,
+) {
+    let Some(vfile) = ws.file(parity.version_file) else {
+        return;
+    };
+    let decls: Vec<&crate::parser::ConstItem> = vfile
+        .items
+        .consts
+        .iter()
+        .filter(|c| c.name.contains("SCHEMA_VERSION"))
+        .collect();
+    if decls.len() != 1 {
+        emit(
+            vfile,
+            lint,
+            decls.first().map(|c| c.line).unwrap_or(1),
+            format!(
+                "schema `{}` needs exactly one `…SCHEMA_VERSION` const in {} (found {})",
+                parity.schema,
+                parity.version_file,
+                decls.len()
+            ),
+            out,
+        );
+    }
+    for (rel, fn_name) in parity.writers {
+        let Some(file) = ws.file(rel) else { continue };
+        for f in file.items.fns.iter().filter(|f| &f.name == fn_name) {
+            let Some((start, end)) = f.body else { continue };
+            let code = &file.items.code;
+            for i in start..end.min(code.len()) {
+                if code[i].kind != TokenKind::Str || code[i].text != "schema_version" {
+                    continue;
+                }
+                // Value tokens: from past the `,` to the tuple's `)`.
+                let mut depth = 0usize;
+                let mut k = i + 1;
+                let mut sourced = false;
+                let mut literal_line = None;
+                while k < code.len() {
+                    let t = &code[k];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        if t.is_punct(')') && depth == 0 {
+                            break;
+                        }
+                        depth = depth.saturating_sub(1);
+                    } else if t.kind == TokenKind::Ident && t.text.contains("SCHEMA_VERSION") {
+                        sourced = true;
+                    } else if t.kind == TokenKind::Num {
+                        literal_line = Some(t.line);
+                    }
+                    k += 1;
+                }
+                if !sourced {
+                    emit(
+                        file,
+                        lint,
+                        literal_line.unwrap_or(code[i].line),
+                        format!(
+                            "schema `{}`'s `schema_version` value is not sourced from a \
+                             `…SCHEMA_VERSION` const — writer and validator can silently \
+                             disagree",
+                            parity.schema,
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+    }
+    // The validator must compare against the const by name.
+    for rel in parity.validators {
+        if rel == &parity.version_file {
+            continue; // journal: parser lives next to the const
+        }
+        let Some(file) = ws.file(rel) else { continue };
+        let mentions = file
+            .items
+            .code
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text.contains("SCHEMA_VERSION"));
+        if !mentions {
+            emit(
+                file,
+                lint,
+                1,
+                format!(
+                    "validator {rel} never references a `…SCHEMA_VERSION` const for \
+                     schema `{}` — version checks must share the writer's source of truth",
+                    parity.schema,
+                ),
+                out,
+            );
+        }
+    }
+}

@@ -1,13 +1,25 @@
 //! `lrd-lint` CLI.
 //!
 //! ```text
-//! lrd-lint --workspace [--root DIR] [--json] [--list]
+//! lrd-lint --workspace [--root DIR] [--json] [--json-out PATH]
+//!          [--baseline PATH | --no-baseline] [--write-baseline PATH]
+//!          [--list]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` unsuppressed findings, `2` usage or I/O
-//! error. `--json` prints the machine-readable report (schema
+//! Exit codes: `0` clean (or every finding baselined), `1` new
+//! unsuppressed findings, `2` usage or I/O error — bad flags, unreadable
+//! paths, and malformed baselines all name the flag and the offending
+//! value. `--json` prints the machine-readable report (schema
 //! `"lrd-lint"`, v1) for CI; the human format is `path:line: [lint] msg`.
+//!
+//! A committed `lint-baseline.json` at the workspace root is loaded
+//! automatically (suppress with `--no-baseline`, replace with
+//! `--baseline PATH`): findings whose stable IDs it lists are reported
+//! but do not fail the run, so CI gates on *new* findings only. Baseline
+//! IDs that no longer match anything are reported as stale — a baseline
+//! must only ever shrink.
 
+use lrd_lint::baseline::{self, Baseline};
 use lrd_lint::{lints, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,33 +40,84 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: Vec<String>) -> Result<bool, String> {
-    let mut json = false;
-    let mut list = false;
-    let mut workspace = false;
-    let mut root: Option<PathBuf> = None;
+/// Parsed command line.
+struct Opts {
+    json: bool,
+    json_out: Option<PathBuf>,
+    list: bool,
+    workspace: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: Option<PathBuf>,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Option<Opts>, String> {
+    let mut opts = Opts {
+        json: false,
+        json_out: None,
+        list: false,
+        workspace: false,
+        root: None,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: None,
+    };
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--json" => json = true,
-            "--list" => list = true,
-            "--workspace" => workspace = true,
-            "--root" => {
-                root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+        // `--flag=value` and `--flag value` both work for valued flags.
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let mut value = |name: &str| -> Result<String, String> {
+            match inline.clone() {
+                Some(v) if v.is_empty() => Err(format!("{name} needs a non-empty value")),
+                Some(v) => Ok(v),
+                None => it
+                    .next()
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| format!("{name} needs a value")),
+            }
+        };
+        match flag.as_str() {
+            "--json" => opts.json = true,
+            "--json-out" => opts.json_out = Some(PathBuf::from(value("--json-out")?)),
+            "--list" => opts.list = true,
+            "--workspace" => opts.workspace = true,
+            "--root" => opts.root = Some(PathBuf::from(value("--root")?)),
+            "--baseline" => opts.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--no-baseline" => opts.no_baseline = true,
+            "--write-baseline" => {
+                opts.write_baseline = Some(PathBuf::from(value("--write-baseline")?));
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: lrd-lint --workspace [--root DIR] [--json] [--list]\n\
+                    "usage: lrd-lint --workspace [--root DIR] [--json] [--json-out PATH]\n\
+                     \x20                [--baseline PATH | --no-baseline]\n\
+                     \x20                [--write-baseline PATH] [--list]\n\
                      \n\
                      Checks the LRD workspace invariants (see DESIGN.md §11).\n\
-                     exit 0: clean   exit 1: findings   exit 2: error"
+                     A committed lint-baseline.json at the root is honored unless\n\
+                     --no-baseline is passed; baselined findings never fail the run.\n\
+                     exit 0: clean/baselined   exit 1: new findings   exit 2: error"
                 );
-                return Ok(true);
+                return Ok(None);
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
-    if list {
+    if opts.baseline.is_some() && opts.no_baseline {
+        return Err("--baseline and --no-baseline are mutually exclusive".into());
+    }
+    Ok(Some(opts))
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let Some(opts) = parse_args(args)? else {
+        return Ok(true); // --help
+    };
+    if opts.list {
         for lint in lints::registry() {
             println!("{:<22} {}", lint.name(), lint.summary());
         }
@@ -64,29 +127,80 @@ fn run(args: Vec<String>) -> Result<bool, String> {
         );
         return Ok(true);
     }
-    if !workspace {
+    if !opts.workspace {
         return Err("nothing to do: pass --workspace (or --list)".into());
     }
-    let root = match root {
-        Some(r) => r,
+    let root = match opts.root {
+        Some(r) => {
+            if !r.is_dir() {
+                return Err(format!("--root `{}` is not a directory", r.display()));
+            }
+            r
+        }
         None => find_root()?,
     };
     let ws = Workspace::load(&root).map_err(|e| format!("loading {}: {e}", root.display()))?;
     let report = lrd_lint::run(&ws);
-    if json {
-        println!("{}", report.to_json());
-    } else {
-        for f in &report.findings {
-            println!("{}", f.render());
-        }
-        println!(
-            "lrd-lint: {} file(s), {} lint(s), {} finding(s)",
-            report.files_checked,
-            report.lints.len(),
-            report.findings.len()
+
+    if let Some(path) = &opts.write_baseline {
+        std::fs::write(path, baseline::render(&report))
+            .map_err(|e| format!("--write-baseline `{}`: {e}", path.display()))?;
+        eprintln!(
+            "lrd-lint: wrote baseline with {} finding(s) to {}",
+            report.findings.len(),
+            path.display()
         );
     }
-    Ok(report.clean())
+
+    // Baseline resolution: explicit path > auto-loaded root file > none.
+    let base = if opts.no_baseline {
+        Baseline::default()
+    } else if let Some(path) = &opts.baseline {
+        Baseline::load(path).map_err(|e| format!("--baseline `{}`: {e}", path.display()))?
+    } else {
+        let auto = root.join(baseline::DEFAULT_BASELINE);
+        if auto.is_file() {
+            Baseline::load(&auto).map_err(|e| format!("{}: {e}", auto.display()))?
+        } else {
+            Baseline::default()
+        }
+    };
+    let new = base.new_findings(&report);
+    let stale = base.stale_ids(&report);
+
+    if opts.json || opts.json_out.is_some() {
+        let json = report.to_json();
+        if let Some(path) = &opts.json_out {
+            std::fs::write(path, &json)
+                .map_err(|e| format!("--json-out `{}`: {e}", path.display()))?;
+        }
+        if opts.json {
+            println!("{json}");
+        }
+    }
+    if !opts.json {
+        for f in &report.findings {
+            let tag = if new.iter().any(|n| n.id == f.id) {
+                ""
+            } else {
+                " (baselined)"
+            };
+            println!("{}{tag}", f.render());
+        }
+        for id in &stale {
+            println!("lrd-lint: baseline id {id} matches no finding — remove the stale entry");
+        }
+        println!(
+            "lrd-lint: {} file(s), {} lint(s), {} finding(s), {} new, {} baselined, {} stale id(s)",
+            report.files_checked,
+            report.lints.len(),
+            report.findings.len(),
+            new.len(),
+            report.findings.len() - new.len(),
+            stale.len()
+        );
+    }
+    Ok(new.is_empty())
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` declaring

@@ -3,6 +3,7 @@
 //! which *lines* are test-only, and the explicit suppression directives.
 
 use crate::lexer::{self, Token, TokenKind};
+use crate::parser::{self, ParsedFile};
 use std::cell::Cell;
 use std::path::PathBuf;
 
@@ -63,6 +64,9 @@ pub struct SourceFile {
     pub kind: FileKind,
     /// Token stream (comments included).
     pub tokens: Vec<Token>,
+    /// Item-level parse: fns with bodies and call refs, structs, enums,
+    /// consts, uses. See [`crate::parser`].
+    pub items: ParsedFile,
     /// `test_lines[line - 1]` is true when the line sits inside a
     /// `#[cfg(test)]` module or a `#[test]`/`proptest!` item.
     pub test_lines: Vec<bool>,
@@ -88,12 +92,14 @@ impl SourceFile {
             mark_test_lines(&tokens, n_lines)
         };
         let (suppressions, malformed) = parse_suppressions(&tokens, n_lines);
+        let items = parser::parse_items(&tokens);
         SourceFile {
             path,
             rel,
             crate_name,
             kind,
             tokens,
+            items,
             test_lines,
             suppressions,
             malformed,

@@ -2,20 +2,24 @@
 //! triggers *exactly* its lint, and every known-good fixture passes clean.
 //!
 //! Fixtures are loaded into in-memory workspaces at the paths their lint
-//! polices (runtime-crate library code, the counter registry, …), so the
-//! on-disk fixture tree itself is excluded from real lint runs.
+//! polices (runtime-crate library code, the counter registry, the journal
+//! module, …), so the on-disk fixture tree itself is excluded from real
+//! lint runs.
 
 use lrd_lint::{run, Workspace};
 use std::path::Path;
 
 /// Every lint with a fixture pair, by registry name.
-const LINTS: [&str; 7] = [
+const LINTS: [&str; 10] = [
     "no-panic",
     "safety-comment",
     "no-print",
-    "counter-hygiene",
+    "counter-hygiene-v2",
     "determinism",
+    "determinism-taint",
     "schema-const",
+    "schema-field-parity",
+    "panic-fence",
     "suppression-hygiene",
 ];
 
@@ -30,7 +34,9 @@ fn fixture(lint: &str, file: &str) -> String {
 fn rel_path(lint: &str) -> &'static str {
     match lint {
         "safety-comment" => "crates/tensor/src/fixture.rs",
-        "counter-hygiene" => "crates/trace/src/counters.rs",
+        "counter-hygiene-v2" => "crates/trace/src/counters.rs",
+        "schema-field-parity" => "crates/core/src/journal.rs",
+        "panic-fence" => "crates/bench/src/bin/fixture.rs",
         _ => "crates/core/src/fixture.rs",
     }
 }
@@ -41,14 +47,14 @@ fn workspace_for(lint: &str, which: &str) -> Workspace {
         fixture(lint, &format!("{which}.rs")),
     )];
     let mut design = None;
-    if lint == "counter-hygiene" {
+    if lint == "counter-hygiene-v2" {
         design = Some(fixture(lint, &format!("design_{which}.md")));
-        if which == "good" {
-            files.push((
-                "crates/core/src/fixture.rs".to_string(),
-                fixture(lint, "good_use.rs"),
-            ));
-        }
+        // The companion increment file: the good one keeps the counter
+        // alive, the bad one increments a counter that was never declared.
+        files.push((
+            "crates/core/src/fixture.rs".to_string(),
+            fixture(lint, &format!("{which}_use.rs")),
+        ));
     }
     Workspace::from_memory(files, design)
 }
@@ -94,8 +100,9 @@ fn good_fixtures_pass_clean() {
 
 #[test]
 fn bad_fixtures_fail_a_cli_style_run() {
-    // The CLI exits non-zero exactly when `Report::clean()` is false; this
-    // pins that every bad fixture would fail `lrd-lint` in CI.
+    // The CLI exits non-zero exactly when new findings exist; with no
+    // baseline every finding is new, so this pins that every bad fixture
+    // would fail `lrd-lint` in CI.
     for lint in LINTS {
         assert!(
             !run(&workspace_for(lint, "bad")).clean(),

@@ -1,0 +1,19 @@
+//! Known-bad: `counter-hygiene-v2` — a counter that is declared and named
+//! but missing from `ALL`, never incremented, and absent from the design
+//! catalog (which in turn documents a counter that no longer exists).
+
+pub enum Counter {
+    OrphanCount,
+}
+
+pub const ALL: [Counter; 0] = [];
+
+impl Counter {
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::OrphanCount => "orphan_count",
+        }
+    }
+}
+
+pub fn add(_counter: Counter, _delta: u64) {}

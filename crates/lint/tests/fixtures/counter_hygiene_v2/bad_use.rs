@@ -1,0 +1,6 @@
+//! Companion file for the bad fixture: increments a counter the registry
+//! never declared — the finding lands on this line.
+
+pub fn bump() {
+    lrd_trace::counters::add(lrd_trace::Counter::NeverDeclared, 1);
+}

@@ -1,9 +1,11 @@
-//! Known-good: the counter is named, incremented elsewhere, and listed in
-//! the design catalog.
+//! Known-good: the counter is named, in `ALL`, incremented elsewhere, and
+//! listed in the design catalog.
 
 pub enum Counter {
     OrphanCount,
 }
+
+pub const ALL: [Counter; 1] = [Counter::OrphanCount];
 
 impl Counter {
     pub fn name(self) -> &'static str {

@@ -1,0 +1,22 @@
+//! Known-bad: `determinism-taint` — a pub entry point reaches `HashMap`
+//! iteration through a private helper, so its result depends on
+//! host-randomized order even though the entry itself touches no map.
+
+use std::collections::HashMap;
+
+pub fn summarize(n: usize) -> usize {
+    walk(n)
+}
+
+fn walk(n: usize) -> usize {
+    let mut m = HashMap::new();
+    for i in 0..n {
+        m.insert(i, 1usize);
+    }
+    let mut first = 0;
+    for (k, _v) in m.iter() {
+        first = *k;
+        break;
+    }
+    first
+}

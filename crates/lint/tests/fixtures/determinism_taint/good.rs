@@ -1,0 +1,21 @@
+//! Known-good: the same shape over a `BTreeMap` — iteration order is
+//! defined, nothing is tainted.
+
+use std::collections::BTreeMap;
+
+pub fn summarize(n: usize) -> usize {
+    walk(n)
+}
+
+fn walk(n: usize) -> usize {
+    let mut m = BTreeMap::new();
+    for i in 0..n {
+        m.insert(i, 1usize);
+    }
+    let mut first = 0;
+    for (k, _v) in m.iter() {
+        first = *k;
+        break;
+    }
+    first
+}

@@ -1,0 +1,12 @@
+//! Known-bad: `panic-fence` — job closures handed to a bare `run_jobs`
+//! reach an `assert!` with no `catch_unwind` between them and the panic.
+
+fn risky(x: usize) -> usize {
+    assert!(x < 10, "fixture job blows up");
+    x * 2
+}
+
+fn main() {
+    let results = run_jobs(vec![Box::new(|| risky(3)), Box::new(|| risky(4))], 2);
+    drop(results);
+}

@@ -1,0 +1,12 @@
+//! Known-good: the same jobs go through `run_jobs_isolated`, whose
+//! per-job `catch_unwind` fence turns a panic into one lost result.
+
+fn risky(x: usize) -> usize {
+    assert!(x < 10, "fixture job blows up");
+    x * 2
+}
+
+fn main() {
+    let results = run_jobs_isolated(vec![Box::new(|| risky(3))], 2, None);
+    drop(results);
+}

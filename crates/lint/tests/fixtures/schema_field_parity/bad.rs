@@ -1,0 +1,34 @@
+//! Known-bad: `schema-field-parity` — the journal writer emits `status`
+//! (which the parser never reads back), the parser consumes `ghost`
+//! (which no writer emits), and `schema_version` is an inline literal
+//! with no `…SCHEMA_VERSION` const to source it from.
+
+pub fn to_line(seq: u64) -> String {
+    let fields = [
+        ("schema_version", 1),
+        ("seq", seq),
+        ("status", 0),
+    ];
+    let mut out = String::new();
+    for (key, value) in fields {
+        out.push_str(key);
+        out.push('=');
+        out.push_str(&value.to_string());
+        out.push(' ');
+    }
+    out
+}
+
+pub fn parse_line(line: &str) -> Option<(u64, u64)> {
+    let version = field(line, "schema_version")?;
+    let seq = field(line, "seq")?;
+    let ghost = field(line, "ghost")?;
+    Some((version, seq.max(ghost)))
+}
+
+fn field(line: &str, key: &str) -> Option<u64> {
+    line.split(' ')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}

@@ -1,0 +1,34 @@
+//! Known-good: writer and parser agree on every field, and the version
+//! is sourced from the file's single `…SCHEMA_VERSION` const.
+
+pub const JOURNAL_SCHEMA_VERSION: u64 = 1;
+
+pub fn to_line(seq: u64) -> String {
+    let fields = [
+        ("schema_version", JOURNAL_SCHEMA_VERSION),
+        ("seq", seq),
+    ];
+    let mut out = String::new();
+    for (key, value) in fields {
+        out.push_str(key);
+        out.push('=');
+        out.push_str(&value.to_string());
+        out.push(' ');
+    }
+    out
+}
+
+pub fn parse_line(line: &str) -> Option<u64> {
+    let version = field(line, "schema_version")?;
+    if version != JOURNAL_SCHEMA_VERSION {
+        return None;
+    }
+    field(line, "seq")
+}
+
+fn field(line: &str, key: &str) -> Option<u64> {
+    line.split(' ')
+        .filter_map(|kv| kv.split_once('='))
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}
